@@ -1,0 +1,87 @@
+// E10 ("real experiments"): the thread-based choreography runtime.
+//
+// Reproduced claim: on a real decentralized execution — one thread per
+// service, direct queues, no coordinator — the plan chosen by the
+// branch-and-bound delivers its predicted advantage in wall-clock time
+// over heuristic and bad plans.
+
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/opt/random_sampler.hpp"
+#include "quest/runtime/choreography.hpp"
+#include "quest/workload/scenarios.hpp"
+#include "support/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("bench_e10_runtime",
+          "E10: wall-clock validation on the thread-based runtime");
+  auto& tuples = cli.add_int("tuples", 1600, "input tuples per run");
+  auto& scale = cli.add_double("scale-us", 100.0,
+                               "microseconds per model cost unit");
+  cli.parse(argc, argv);
+
+  bench::banner("E10", "real threaded choreography: model cost units vs "
+                       "wall-clock per-tuple cost (" +
+                           std::to_string(tuples.value) + " tuples, " +
+                           Table::num(scale.value, 0) + "us per unit)");
+
+  Table table("E10: wall-clock per-tuple cost (model units)");
+  table.set_header({"scenario", "plan", "predicted", "wall", "error %",
+                    "delivered"});
+
+  for (const auto& scenario :
+       {workload::credit_screening(), workload::sky_survey(),
+        workload::log_analytics()}) {
+    opt::Request request;
+    request.instance = &scenario.instance;
+    request.precedence = &scenario.precedence;
+
+    core::Bnb_optimizer bnb;
+    opt::Greedy_optimizer greedy;
+    opt::Random_sampler_options sampler_options;
+    sampler_options.samples = 1;
+    sampler_options.seed = 2;
+    opt::Random_sampler_optimizer sampler(sampler_options);
+
+    struct Row {
+      std::string label;
+      model::Plan plan;
+    };
+    const std::vector<Row> rows = {
+        {"optimal", bnb.optimize(request).plan},
+        {"greedy", greedy.optimize(request).plan},
+        {"random", sampler.optimize(request).plan},
+    };
+
+    for (const auto& row : rows) {
+      runtime::Runtime_config config;
+      config.input_tuples = static_cast<std::uint64_t>(tuples.value);
+      config.block_size = 24;
+      config.time_scale_us = scale.value;
+      const auto result =
+          runtime::execute(scenario.instance, row.plan, config);
+      table.add_row(
+          {scenario.instance.name(), row.label,
+           Table::num(result.predicted_cost, 3),
+           Table::num(result.per_tuple_cost_units, 3),
+           Table::num(100.0 *
+                          (result.per_tuple_cost_units -
+                           result.predicted_cost) /
+                          result.predicted_cost,
+                      2),
+           std::to_string(result.tuples_delivered)});
+    }
+  }
+  table.add_footnote(
+      "Eq. 1 is a steady-state metric: heavily filtered pipelines leave "
+      "tail services with under-filled blocks (batching latency), so "
+      "short runs sit 10-25% above prediction — the effect E9 isolates");
+  table.add_footnote("expected shape: plan ranking by wall time matches the "
+                     "Eq. 1 ranking; errors shrink as --tuples grows");
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E3 ("Figure 2"): plan quality of heuristics relative to the exact
+// branch-and-bound optimum, per instance family.
+//
+// Reproduced claim: optimal ordering buys a real margin — constructive
+// heuristics land noticeably above the optimum (and random ordering far
+// above), which is what justifies an exact algorithm.
+
+#include <iostream>
+#include <memory>
+
+#include "quest/common/cli.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/annealing.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/opt/local_search.hpp"
+#include "quest/opt/multistart.hpp"
+#include "quest/opt/random_sampler.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/bench_util.hpp"
+
+namespace {
+
+quest::model::Instance make_family(const std::string& family, std::size_t n,
+                                   quest::Rng& rng) {
+  using namespace quest::workload;
+  if (family == "uniform") {
+    Uniform_spec spec;
+    spec.n = n;
+    return make_uniform(spec, rng);
+  }
+  if (family == "clustered") {
+    Clustered_spec spec;
+    spec.n = n;
+    return make_clustered(spec, rng);
+  }
+  if (family == "euclidean") {
+    Euclidean_spec spec;
+    spec.n = n;
+    return make_euclidean(spec, rng);
+  }
+  Bottleneck_tsp_spec spec;
+  spec.n = n;
+  return make_bottleneck_tsp(spec, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("bench_e3_heuristic_quality",
+          "E3: heuristic cost ratio to the exact optimum");
+  auto& n = cli.add_int("n", 10, "instance size");
+  auto& seeds = cli.add_int("seeds", 25, "instances per family");
+  cli.parse(argc, argv);
+
+  bench::banner("E3", "geometric-mean cost ratio to optimal (1.000 = "
+                      "optimal) and share of instances solved optimally");
+
+  const std::vector<std::string> families = {"uniform", "clustered",
+                                             "euclidean", "btsp"};
+
+  Table table("E3: heuristic quality by instance family (n=" +
+              std::to_string(n.value) + ")");
+  table.set_header({"family", "optimizer", "geo-mean ratio", "worst ratio",
+                    "% optimal"});
+
+  for (const auto& family : families) {
+    struct Entry {
+      std::string name;
+      std::vector<double> ratios;
+      int optimal = 0;
+    };
+    std::vector<Entry> entries = {{"greedy", {}, 0},
+                                  {"uniform-opt", {}, 0},
+                                  {"local-search", {}, 0},
+                                  {"multistart-8", {}, 0},
+                                  {"annealing", {}, 0},
+                                  {"random-best-of-100", {}, 0}};
+
+    for (std::int64_t seed = 1; seed <= seeds.value; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 3);
+      const auto instance =
+          make_family(family, static_cast<std::size_t>(n.value), rng);
+      opt::Request request;
+      request.instance = &instance;
+
+      core::Bnb_optimizer bnb;
+      const double optimum = bnb.optimize(request).cost;
+      if (optimum <= 0.0) continue;  // degenerate zero-cost instance
+
+      std::vector<std::unique_ptr<opt::Optimizer>> heuristics;
+      heuristics.push_back(std::make_unique<opt::Greedy_optimizer>());
+      heuristics.push_back(std::make_unique<opt::Uniform_comm_optimizer>());
+      heuristics.push_back(std::make_unique<opt::Local_search_optimizer>());
+      opt::Multistart_options multistart;
+      multistart.seed = static_cast<std::uint64_t>(seed);
+      heuristics.push_back(
+          std::make_unique<opt::Multistart_optimizer>(multistart));
+      opt::Annealing_options annealing;
+      annealing.seed = static_cast<std::uint64_t>(seed);
+      annealing.iterations = 10'000;
+      heuristics.push_back(
+          std::make_unique<opt::Annealing_optimizer>(annealing));
+      opt::Random_sampler_options sampler;
+      sampler.seed = static_cast<std::uint64_t>(seed);
+      sampler.samples = 100;
+      heuristics.push_back(
+          std::make_unique<opt::Random_sampler_optimizer>(sampler));
+
+      for (std::size_t h = 0; h < heuristics.size(); ++h) {
+        const double cost = heuristics[h]->optimize(request).cost;
+        const double ratio = cost / optimum;
+        entries[h].ratios.push_back(ratio);
+        if (ratio < 1.0 + 1e-9) ++entries[h].optimal;
+      }
+    }
+
+    for (const auto& entry : entries) {
+      if (entry.ratios.empty()) continue;
+      double worst = 0.0;
+      for (const double r : entry.ratios) worst = std::max(worst, r);
+      table.add_row(
+          {family, entry.name, Table::num(geometric_mean(entry.ratios), 3),
+           Table::num(worst, 3),
+           Table::num(100.0 * entry.optimal /
+                          static_cast<double>(entry.ratios.size()),
+                      1)});
+    }
+  }
+  table.add_footnote("expected shape: local-search/annealing close to 1.0, "
+                     "greedy and uniform-opt clearly above, random far "
+                     "above; no heuristic is reliably optimal");
+  std::cout << table;
+  return 0;
+}

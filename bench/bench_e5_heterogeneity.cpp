@@ -1,0 +1,66 @@
+// E5 ("Figure 4"): the value of decentralization-aware ordering.
+//
+// Reproduced claim (the paper's raison d'etre): the polynomial algorithm
+// of Srivastava et al. [1] is only optimal when inter-service transfer
+// costs are uniform. As network heterogeneity grows, the plan it produces
+// degrades steadily relative to the true decentralized optimum, while the
+// branch-and-bound stays exact by construction.
+
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("bench_e5_heterogeneity",
+          "E5: uniform-communication plan quality vs network heterogeneity");
+  auto& n = cli.add_int("n", 10, "instance size");
+  auto& seeds = cli.add_int("seeds", 30, "instances per point");
+  cli.parse(argc, argv);
+
+  bench::banner("E5", "cost ratio to the decentralized optimum as links go "
+                      "from flat (h=0) to fully heterogeneous (h=1)");
+
+  Table table("E5: plan cost ratio vs heterogeneity (n=" +
+              std::to_string(n.value) + ")");
+  table.set_header({"h", "uniform-opt ratio", "uniform-opt worst",
+                    "greedy ratio", "bnb ratio"});
+
+  for (const double h : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<double> uniform_ratios, greedy_ratios;
+    double uniform_worst = 0.0;
+    for (std::int64_t seed = 1; seed <= seeds.value; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 271 + 9);
+      workload::Heterogeneity_spec spec;
+      spec.n = static_cast<std::size_t>(n.value);
+      spec.heterogeneity = h;
+      const auto instance = workload::make_heterogeneous(spec, rng);
+      opt::Request request;
+      request.instance = &instance;
+
+      core::Bnb_optimizer bnb;
+      const double optimum = bnb.optimize(request).cost;
+      opt::Uniform_comm_optimizer uniform;
+      opt::Greedy_optimizer greedy;
+      const double uniform_ratio = uniform.optimize(request).cost / optimum;
+      uniform_ratios.push_back(uniform_ratio);
+      uniform_worst = std::max(uniform_worst, uniform_ratio);
+      greedy_ratios.push_back(greedy.optimize(request).cost / optimum);
+    }
+    table.add_row({Table::num(h, 1),
+                   Table::num(geometric_mean(uniform_ratios), 3),
+                   Table::num(uniform_worst, 3),
+                   Table::num(geometric_mean(greedy_ratios), 3),
+                   Table::num(1.0, 3)});
+  }
+  table.add_footnote("uniform-opt = the centralized special-case optimum "
+                     "[Srivastava et al., VLDB'06] applied blindly");
+  table.add_footnote("expected shape: ratio 1.000 at h=0 (it IS optimal on "
+                     "flat networks), rising steadily with h");
+  std::cout << table;
+  return 0;
+}

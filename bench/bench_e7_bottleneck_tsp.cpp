@@ -1,0 +1,79 @@
+// E7 ("Figure 5"): the hardness reduction made concrete.
+//
+// Reproduced claim: with unit selectivities and zero processing costs the
+// problem *is* bottleneck TSP (path variant), so the branch-and-bound's
+// selectivity-driven pruning loses its leverage: node counts grow
+// explosively with n while the subset DP stays at its predictable 2^n
+// pace. Both remain exact and agree on the optimum.
+
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/dp.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("bench_e7_bottleneck_tsp",
+          "E7: pure bottleneck-TSP instances (sigma=1, c=0)");
+  auto& n_min = cli.add_int("n-min", 6, "smallest instance");
+  auto& n_max = cli.add_int("n-max", 16, "largest instance");
+  auto& seeds = cli.add_int("seeds", 5, "instances per size");
+  auto& node_limit =
+      cli.add_int("node-limit", 40'000'000, "bnb node budget per run");
+  cli.parse(argc, argv);
+
+  bench::banner("E7", "branch-and-bound vs subset DP on the bottleneck-TSP "
+                      "reduction");
+
+  Table table("E7: bottleneck TSP (path) — exact solvers");
+  table.set_header({"n", "bnb (ms)", "bnb nodes", "dp (ms)", "dp states",
+                    "agree", "bnb limit hit"});
+
+  for (std::int64_t n = n_min.value; n <= n_max.value; ++n) {
+    Sample_stats bnb_ms, bnb_nodes, dp_ms, dp_states;
+    int agree = 0;
+    int limits = 0;
+    for (std::int64_t seed = 1; seed <= seeds.value; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 17 + 5);
+      workload::Bottleneck_tsp_spec spec;
+      spec.n = static_cast<std::size_t>(n);
+      const auto instance = workload::make_bottleneck_tsp(spec, rng);
+      opt::Request request;
+      request.instance = &instance;
+      request.node_limit = static_cast<std::uint64_t>(node_limit.value);
+
+      core::Bnb_optimizer bnb;
+      opt::Result bnb_result;
+      bnb_ms.add(bench::timed_ms(bnb, request, bnb_result));
+      bnb_nodes.add(static_cast<double>(bnb_result.stats.nodes_expanded));
+      if (bnb_result.hit_limit) ++limits;
+
+      opt::Dp_optimizer dp;
+      opt::Result dp_result;
+      dp_ms.add(bench::timed_ms(dp, request, dp_result));
+      dp_states.add(static_cast<double>(dp_result.stats.nodes_expanded));
+
+      if (std::fabs(bnb_result.cost - dp_result.cost) <=
+          1e-9 * std::max(1.0, dp_result.cost)) {
+        ++agree;
+      }
+    }
+    table.add_row({std::to_string(n), Table::num(bnb_ms.mean(), 2),
+                   bench::human_count(bnb_nodes.mean()),
+                   Table::num(dp_ms.mean(), 2),
+                   bench::human_count(dp_states.mean()),
+                   std::to_string(agree) + "/" + std::to_string(seeds.value),
+                   limits ? std::to_string(limits) + "/" +
+                                std::to_string(seeds.value)
+                          : "-"});
+  }
+  table.add_footnote("expected shape: dp time ~doubles per added service; "
+                     "bnb nodes grow much faster than on selective "
+                     "workloads (E1) — the reduction is the hard core of "
+                     "the problem");
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E8 ("Figure 6"): precedence constraints.
+//
+// Reproduced claim: the "minor modification" the paper mentions works and
+// even helps — constraints shrink the feasible order space, so the search
+// gets cheaper as DAG density grows, while the constrained optimum's cost
+// (weakly) increases because plans are removed from the feasible set.
+
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("bench_e8_constraints",
+          "E8: search effort and plan cost vs precedence DAG density");
+  auto& n = cli.add_int("n", 12, "instance size");
+  auto& seeds = cli.add_int("seeds", 12, "instances per density");
+  auto& sigma_lo =
+      cli.add_double("sigma-lo", 0.8, "selectivity lower bound (hardness)");
+  cli.parse(argc, argv);
+
+  bench::banner("E8", "precedence constraints at n=" + std::to_string(n.value) +
+                          ", sigma in [" + Table::num(sigma_lo.value, 1) +
+                          ", 1]");
+
+  Table table("E8: effect of precedence DAG density");
+  table.set_header({"density", "lin. extensions", "time (ms)", "nodes",
+                    "cost vs unconstrained"});
+
+  for (const double density : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    Sample_stats ms, nodes, extensions;
+    std::vector<double> cost_ratio;
+    for (std::int64_t seed = 1; seed <= seeds.value; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 47 + 13);
+      workload::Uniform_spec spec;
+      spec.n = static_cast<std::size_t>(n.value);
+      spec.selectivity_min = sigma_lo.value;
+      const auto instance = workload::make_uniform(spec, rng);
+      Rng dag_rng(static_cast<std::uint64_t>(seed) * 89 + 1);
+      const auto dag = workload::make_random_dag(
+          static_cast<std::size_t>(n.value), density, dag_rng);
+      extensions.add(dag.count_linear_extensions());
+
+      opt::Request unconstrained;
+      unconstrained.instance = &instance;
+      core::Bnb_optimizer free_bnb;
+      const double free_cost = free_bnb.optimize(unconstrained).cost;
+
+      opt::Request request = unconstrained;
+      request.precedence = &dag;
+      core::Bnb_optimizer bnb;
+      opt::Result result;
+      ms.add(bench::timed_ms(bnb, request, result));
+      nodes.add(static_cast<double>(result.stats.nodes_expanded));
+      if (free_cost > 0.0) cost_ratio.push_back(result.cost / free_cost);
+    }
+    table.add_row({Table::num(density, 1),
+                   bench::human_count(extensions.mean()),
+                   Table::num(ms.mean(), 3), bench::human_count(nodes.mean()),
+                   Table::num(geometric_mean(cost_ratio), 3)});
+  }
+  table.add_footnote("expected shape: linear extensions and search effort "
+                     "shrink with density; constrained optimum cost ratio "
+                     ">= 1 and grows");
+  std::cout << table;
+  return 0;
+}

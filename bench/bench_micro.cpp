@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot paths every experiment
+// leans on: full-plan cost evaluation, incremental append/pop, epsilon-bar
+// in both modes, the DP inner loop, RNG draws, and JSON round-trips.
+
+#include <benchmark/benchmark.h>
+
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/measures.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/opt/dp.hpp"
+#include "quest/workload/generators.hpp"
+
+namespace {
+
+using namespace quest;
+
+model::Instance bench_instance(std::size_t n, double sigma_lo = 0.1) {
+  Rng rng(12345);
+  workload::Uniform_spec spec;
+  spec.n = n;
+  spec.selectivity_min = sigma_lo;
+  return workload::make_uniform(spec, rng);
+}
+
+void BM_bottleneck_cost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  const auto plan = model::Plan::identity(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::bottleneck_cost(instance, plan));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_bottleneck_cost)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_evaluator_append_pop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  model::Partial_plan_evaluator eval(instance);
+  for (auto _ : state) {
+    for (model::Service_id id = 0; id < n; ++id) eval.append(id);
+    benchmark::DoNotOptimize(eval.epsilon());
+    for (std::size_t i = 0; i < n; ++i) eval.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_evaluator_append_pop)->Arg(8)->Arg(16)->Arg(32);
+
+template <core::Epsilon_bar_mode mode>
+void BM_epsilon_bar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  const core::Epsilon_bar ebar(instance, model::Send_policy::sequential,
+                               mode);
+  model::Partial_plan_evaluator eval(instance);
+  eval.append(0);
+  eval.append(1);
+  std::vector<model::Service_id> remaining;
+  for (model::Service_id id = 2; id < n; ++id) remaining.push_back(id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebar.evaluate(eval, remaining));
+  }
+}
+BENCHMARK_TEMPLATE(BM_epsilon_bar, core::Epsilon_bar_mode::exact)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32);
+BENCHMARK_TEMPLATE(BM_epsilon_bar, core::Epsilon_bar_mode::loose)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32);
+
+void BM_bnb_selective(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  opt::Request request;
+  request.instance = &instance;
+  for (auto _ : state) {
+    core::Bnb_optimizer bnb;
+    benchmark::DoNotOptimize(bnb.optimize(request).cost);
+  }
+}
+BENCHMARK(BM_bnb_selective)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_bnb_hard(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n, 0.9);
+  opt::Request request;
+  request.instance = &instance;
+  for (auto _ : state) {
+    core::Bnb_optimizer bnb;
+    benchmark::DoNotOptimize(bnb.optimize(request).cost);
+  }
+}
+BENCHMARK(BM_bnb_hard)->Arg(10)->Arg(12);
+
+void BM_dp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  opt::Request request;
+  request.instance = &instance;
+  for (auto _ : state) {
+    opt::Dp_optimizer dp;
+    benchmark::DoNotOptimize(dp.optimize(request).cost);
+  }
+}
+BENCHMARK(BM_dp)->Arg(10)->Arg(14);
+
+void BM_rng_uniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_rng_uniform);
+
+void BM_json_round_trip(benchmark::State& state) {
+  const auto instance = bench_instance(12);
+  const std::string text = io::to_json(instance).dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        io::instance_from_json(io::Json::parse(text)).instance.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_json_round_trip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

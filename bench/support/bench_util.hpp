@@ -1,0 +1,50 @@
+// bench/support/bench_util.hpp
+//
+// Shared plumbing for the experiment harnesses: seed sweeps, optimizer
+// timing, and consistent "paper table" output.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "quest/common/stats.hpp"
+#include "quest/common/table.hpp"
+#include "quest/common/timer.hpp"
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::bench {
+
+/// Milliseconds elapsed by one optimize() call.
+inline double timed_ms(opt::Optimizer& optimizer, const opt::Request& request,
+                       opt::Result& out) {
+  Timer timer;
+  out = optimizer.optimize(request);
+  return timer.millis();
+}
+
+/// n! as a double (overflows gracefully to inf).
+inline double factorial(std::size_t n) {
+  double f = 1.0;
+  for (std::size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+/// Renders "123", "45.6k", "7.89M" style counts for table cells.
+inline std::string human_count(double value) {
+  if (value < 1e3) return Table::num(value, 0);
+  if (value < 1e6) return Table::num(value / 1e3, 1) + "k";
+  if (value < 1e9) return Table::num(value / 1e6, 2) + "M";
+  if (value < 1e12) return Table::num(value / 1e9, 2) + "G";
+  return Table::num(value / 1e12, 2) + "T";
+}
+
+/// Standard experiment banner so bench_output.txt is self-describing.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n#### " << id << " — " << claim << "\n\n";
+}
+
+}  // namespace quest::bench

@@ -1,0 +1,73 @@
+// credit_screening — the paper's Section-1 motivating example, end to end:
+// a customer-screening pipeline whose services live in three data centers.
+// Compares the decentralized optimum against the plans a centralized
+// optimizer or a greedy heuristic would pick, then *executes* all three in
+// the discrete-event simulator to show the difference is real.
+//
+//   ./examples/credit_screening [--tuples 20000]
+
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/common/table.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/sim/simulator.hpp"
+#include "quest/workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("credit_screening", "the paper's motivating example, end to end");
+  auto& tuples = cli.add_int("tuples", 20'000, "applicants to screen");
+  cli.parse(argc, argv);
+
+  const auto scenario = workload::credit_screening();
+  const auto& instance = scenario.instance;
+  std::cout << scenario.description << "\n\n";
+
+  Table services("services (three data centers)");
+  services.set_header({"service", "cost/tuple", "selectivity"});
+  for (const auto& s : instance.services()) {
+    services.add_row(
+        {s.name, Table::num(s.cost, 2), Table::num(s.selectivity, 2)});
+  }
+  services.add_footnote("card-lookup EXPANDS its input (3.2 cards per "
+                        "person); risk-score must run after card-lookup");
+  std::cout << services << "\n";
+
+  opt::Request request;
+  request.instance = &instance;
+  request.precedence = &scenario.precedence;
+
+  core::Bnb_optimizer bnb;
+  opt::Greedy_optimizer greedy;
+  opt::Uniform_comm_optimizer uniform;
+  const auto optimal = bnb.optimize(request);
+  const auto greedy_result = greedy.optimize(request);
+  const auto uniform_result = uniform.optimize(request);
+
+  Table plans("candidate plans");
+  plans.set_header({"optimizer", "plan", "Eq.1 cost", "simulated/tuple"});
+  for (const auto& [label, result] :
+       {std::pair<std::string, const opt::Result&>{"bnb (decentralized "
+                                                   "optimal)",
+                                                   optimal},
+        {"greedy", greedy_result},
+        {"uniform-comm (centralized)", uniform_result}}) {
+    sim::Sim_config config;
+    config.input_tuples = static_cast<std::uint64_t>(tuples.value);
+    const auto simulated = sim::simulate(instance, result.plan, config);
+    plans.add_row({label, result.plan.to_string(instance),
+                   Table::num(result.cost, 3),
+                   Table::num(simulated.per_tuple_time, 3)});
+  }
+  plans.add_footnote("screening " + std::to_string(tuples.value) +
+                     " applicants; simulated = makespan / applicants");
+  std::cout << plans;
+
+  std::cout << "\nthe decentralized optimum routes the expanding "
+               "card-lookup so its 3.2x traffic stays on cheap "
+               "intra-data-center links — exactly the effect a uniform-"
+               "cost model cannot see.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// live_choreography — run a plan for real: one thread per service,
+// direct queues, no coordinator. Compares the wall-clock per-tuple cost of
+// the optimal plan against a deliberately bad one on the log-analytics
+// scenario.
+//
+//   ./examples/live_choreography [--tuples 500] [--scale-us 40]
+
+#include <algorithm>
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/common/table.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/runtime/choreography.hpp"
+#include "quest/workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("live_choreography", "threaded execution of optimal vs bad plan");
+  auto& tuples = cli.add_int("tuples", 500, "log records to process");
+  auto& scale =
+      cli.add_double("scale-us", 40.0, "microseconds per model cost unit");
+  cli.parse(argc, argv);
+
+  const auto scenario = workload::log_analytics();
+  const auto& instance = scenario.instance;
+  std::cout << scenario.description << "\n\n";
+
+  opt::Request request;
+  request.instance = &instance;
+  request.precedence = &scenario.precedence;
+  core::Bnb_optimizer bnb;
+  const auto optimal = bnb.optimize(request);
+
+  // A deliberately poor but feasible plan: reverse the optimum where the
+  // constraints allow, via repeated feasible picks with the *largest*
+  // transfer from the previous service.
+  model::Plan bad;
+  {
+    std::vector<char> placed(instance.size(), 0);
+    while (bad.size() < instance.size()) {
+      model::Service_id pick = model::invalid_service;
+      double pick_t = -1.0;
+      for (model::Service_id u = 0; u < instance.size(); ++u) {
+        if (placed[u]) continue;
+        if (!scenario.precedence.feasible_next(u, placed)) continue;
+        const double t =
+            bad.empty() ? 0.0 : instance.transfer(bad.back(), u);
+        if (t > pick_t) {
+          pick_t = t;
+          pick = u;
+        }
+      }
+      bad.append(pick);
+      placed[pick] = 1;
+    }
+  }
+
+  Table table("wall-clock execution (" + std::to_string(tuples.value) +
+              " records, " + Table::num(scale.value, 0) +
+              "us per cost unit)");
+  table.set_header({"plan", "Eq.1 cost", "wall cost/tuple", "wall total (s)",
+                    "delivered"});
+  for (const auto& [label, plan] :
+       {std::pair<std::string, const model::Plan&>{"optimal", optimal.plan},
+        {"worst-link greedy", bad}}) {
+    runtime::Runtime_config config;
+    config.input_tuples = static_cast<std::uint64_t>(tuples.value);
+    config.time_scale_us = scale.value;
+    config.block_size = 20;
+    const auto result = runtime::execute(instance, plan, config);
+    table.add_row({label + ": " + plan.to_string(instance),
+                   Table::num(result.predicted_cost, 3),
+                   Table::num(result.per_tuple_cost_units, 3),
+                   Table::num(result.wall_seconds, 3),
+                   std::to_string(result.tuples_delivered)});
+  }
+  table.add_footnote("both plans deliver the same tuples; only the "
+                     "response time differs — ordering is free capacity");
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,66 @@
+// network_sensitivity — why "decentralized" is in the paper's title:
+// sweeps a network from perfectly flat to wildly heterogeneous and shows
+// the plan of the centralized special-case optimizer (optimal at h=0)
+// degrading against the branch-and-bound, which re-optimizes per network.
+//
+//   ./examples/network_sensitivity [--n 10] [--seeds 15]
+
+#include <iostream>
+
+#include "quest/common/cli.hpp"
+#include "quest/common/stats.hpp"
+#include "quest/common/table.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/workload/analysis.hpp"
+#include "quest/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("network_sensitivity",
+          "centralized-assumption plans vs network heterogeneity");
+  auto& n = cli.add_int("n", 10, "services");
+  auto& seeds = cli.add_int("seeds", 15, "instances per point");
+  cli.parse(argc, argv);
+
+  Table table("flat-network plan vs true optimum");
+  table.set_header({"heterogeneity h", "transfer CV", "comm share",
+                    "uniform-opt / optimal", "worst case"});
+
+  for (const double h : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<double> ratios;
+    double worst = 0.0;
+    Running_stats cv_stats;
+    Running_stats share_stats;
+    for (std::int64_t seed = 1; seed <= seeds.value; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 1009);
+      workload::Heterogeneity_spec spec;
+      spec.n = static_cast<std::size_t>(n.value);
+      spec.heterogeneity = h;
+      const auto instance = workload::make_heterogeneous(spec, rng);
+      const auto profile = workload::analyze(instance);
+      cv_stats.add(profile.transfer_cv);
+      share_stats.add(profile.communication_share);
+
+      opt::Request request;
+      request.instance = &instance;
+      core::Bnb_optimizer bnb;
+      opt::Uniform_comm_optimizer uniform;
+      const double ratio =
+          uniform.optimize(request).cost / bnb.optimize(request).cost;
+      ratios.push_back(ratio);
+      worst = std::max(worst, ratio);
+    }
+    table.add_row({Table::num(h, 2), Table::num(cv_stats.mean(), 3),
+                   Table::num(share_stats.mean(), 3),
+                   Table::num(geometric_mean(ratios), 3),
+                   Table::num(worst, 3)});
+  }
+  table.add_footnote("uniform-opt sorts by c_i + sigma_i * t-bar — optimal "
+                     "when every link costs the same, blind otherwise");
+  std::cout << table;
+  std::cout << "\ntakeaway: once links differ (h > 0), ordering by a flat "
+               "network model leaves real response time on the table; the "
+               "decentralized optimizer recovers it.\n";
+  return 0;
+}

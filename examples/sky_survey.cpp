@@ -1,0 +1,62 @@
+// sky_survey — precedence constraints in practice: an astronomy pipeline
+// where source extraction must run first. Shows (a) how constraints are
+// declared, (b) what they cost (constrained vs unconstrained optimum),
+// and (c) that the optimizer proves optimality within the feasible set.
+//
+//   ./examples/sky_survey
+
+#include <iostream>
+
+#include "quest/common/table.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/workload/scenarios.hpp"
+
+int main() {
+  using namespace quest;
+  const auto scenario = workload::sky_survey();
+  const auto& instance = scenario.instance;
+  std::cout << scenario.description << "\n\n";
+
+  Table edges("precedence constraints");
+  edges.set_header({"before", "after"});
+  for (model::Service_id u = 0; u < scenario.precedence.size(); ++u) {
+    for (const model::Service_id v : scenario.precedence.successors(u)) {
+      edges.add_row({instance.service(u).name, instance.service(v).name});
+    }
+  }
+  edges.add_footnote(
+      Table::num(scenario.precedence.count_linear_extensions(), 0) +
+      " feasible orderings out of " + Table::num(5040, 0) + " (7!)");
+  std::cout << edges << "\n";
+
+  core::Bnb_optimizer bnb;
+
+  opt::Request constrained;
+  constrained.instance = &instance;
+  constrained.precedence = &scenario.precedence;
+  const auto with = bnb.optimize(constrained);
+
+  opt::Request unconstrained;
+  unconstrained.instance = &instance;
+  const auto without = bnb.optimize(unconstrained);
+
+  Table comparison("constrained vs unconstrained optimum");
+  comparison.set_header({"setting", "plan", "bottleneck cost", "nodes"});
+  comparison.add_row({"with constraints", with.plan.to_string(instance),
+                      Table::num(with.cost, 3),
+                      std::to_string(with.stats.nodes_expanded)});
+  comparison.add_row({"without (hypothetical)",
+                      without.plan.to_string(instance),
+                      Table::num(without.cost, 3),
+                      std::to_string(without.stats.nodes_expanded)});
+  comparison.add_footnote("the gap between the rows is the price of the "
+                          "workflow's data dependencies");
+  std::cout << comparison;
+
+  std::cout << "\nconstrained plan respects every edge: "
+            << (scenario.precedence.respects(with.plan.order()) ? "yes"
+                                                                : "NO (bug)")
+            << ", proven optimal: " << (with.proven_optimal ? "yes" : "no")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "quest/common/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "quest/common/error.hpp"
+
+namespace quest {
+
+namespace {
+
+std::int64_t parse_int(std::string_view name, std::string_view text) {
+  std::int64_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw Parse_error("flag --" + std::string(name) +
+                      ": expected integer, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view name, std::string_view text) {
+  // std::from_chars for double is not universally available in libstdc++ 12
+  // for all formats; strtod on a NUL-terminated copy is robust enough here.
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    throw Parse_error("flag --" + std::string(name) +
+                      ": expected number, got '" + copy + "'");
+  }
+  return value;
+}
+
+bool parse_bool(std::string_view name, std::string_view text) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  throw Parse_error("flag --" + std::string(name) +
+                    ": expected boolean, got '" + std::string(text) + "'");
+}
+
+}  // namespace
+
+Cli::Flag<std::int64_t>& Cli::add_int(std::string name,
+                                      std::int64_t default_value,
+                                      std::string help) {
+  QUEST_EXPECTS(!find(name), "duplicate flag registration");
+  ints_.push_back(std::make_unique<Flag<std::int64_t>>(
+      Flag<std::int64_t>{name, std::move(help), default_value, false}));
+  entries_.emplace_back(std::move(name), Entry{Kind::integer, ints_.size() - 1});
+  return *ints_.back();
+}
+
+Cli::Flag<double>& Cli::add_double(std::string name, double default_value,
+                                   std::string help) {
+  QUEST_EXPECTS(!find(name), "duplicate flag registration");
+  doubles_.push_back(std::make_unique<Flag<double>>(
+      Flag<double>{name, std::move(help), default_value, false}));
+  entries_.emplace_back(std::move(name),
+                        Entry{Kind::floating, doubles_.size() - 1});
+  return *doubles_.back();
+}
+
+Cli::Flag<bool>& Cli::add_bool(std::string name, bool default_value,
+                               std::string help) {
+  QUEST_EXPECTS(!find(name), "duplicate flag registration");
+  bools_.push_back(std::make_unique<Flag<bool>>(
+      Flag<bool>{name, std::move(help), default_value, false}));
+  entries_.emplace_back(std::move(name), Entry{Kind::boolean, bools_.size() - 1});
+  return *bools_.back();
+}
+
+Cli::Flag<std::string>& Cli::add_string(std::string name,
+                                        std::string default_value,
+                                        std::string help) {
+  QUEST_EXPECTS(!find(name), "duplicate flag registration");
+  strings_.push_back(std::make_unique<Flag<std::string>>(Flag<std::string>{
+      name, std::move(help), std::move(default_value), false}));
+  entries_.emplace_back(std::move(name),
+                        Entry{Kind::text, strings_.size() - 1});
+  return *strings_.back();
+}
+
+std::optional<Cli::Entry> Cli::find(std::string_view name) const {
+  for (const auto& [flag_name, entry] : entries_) {
+    if (flag_name == name) return entry;
+  }
+  return std::nullopt;
+}
+
+void Cli::apply(const Entry& entry, std::string_view name,
+                std::string_view value) {
+  switch (entry.kind) {
+    case Kind::integer: {
+      auto& flag = *ints_[entry.index];
+      flag.value = parse_int(name, value);
+      flag.set = true;
+      break;
+    }
+    case Kind::floating: {
+      auto& flag = *doubles_[entry.index];
+      flag.value = parse_double(name, value);
+      flag.set = true;
+      break;
+    }
+    case Kind::boolean: {
+      auto& flag = *bools_[entry.index];
+      flag.value = parse_bool(name, value);
+      flag.set = true;
+      break;
+    }
+    case Kind::text: {
+      auto& flag = *strings_[entry.index];
+      flag.value = std::string(value);
+      flag.set = true;
+      break;
+    }
+  }
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    const auto entry = find(body);
+    if (!entry) {
+      throw Parse_error("unknown flag --" + std::string(body) +
+                        " (see --help)");
+    }
+    if (!has_value) {
+      if (entry->kind == Kind::boolean) {
+        // `--flag` alone means true.
+        auto& flag = *bools_[entry->index];
+        flag.value = true;
+        flag.set = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw Parse_error("flag --" + std::string(body) + " expects a value");
+      }
+      value = argv[++i];
+    }
+    apply(*entry, body, value);
+  }
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, entry] : entries_) {
+    out << "  --" << name;
+    switch (entry.kind) {
+      case Kind::integer:
+        out << " <int>      (default " << ints_[entry.index]->value << ") "
+            << ints_[entry.index]->help;
+        break;
+      case Kind::floating:
+        out << " <num>      (default " << doubles_[entry.index]->value << ") "
+            << doubles_[entry.index]->help;
+        break;
+      case Kind::boolean:
+        out << "            (default "
+            << (bools_[entry.index]->value ? "true" : "false") << ") "
+            << bools_[entry.index]->help;
+        break;
+      case Kind::text:
+        out << " <string>   (default '" << strings_[entry.index]->value
+            << "') " << strings_[entry.index]->help;
+        break;
+    }
+    out << '\n';
+  }
+  out << "  --help            print this message\n";
+  return out.str();
+}
+
+}  // namespace quest

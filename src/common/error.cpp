@@ -1,0 +1,31 @@
+#include "quest/common/error.hpp"
+
+#include <sstream>
+
+namespace quest::detail {
+
+namespace {
+
+std::string format(std::string_view kind, std::string_view condition,
+                   std::string_view message, std::string_view file,
+                   int line) {
+  std::ostringstream out;
+  out << kind << " violated: (" << condition << ") — " << message << " ["
+      << file << ':' << line << ']';
+  return out.str();
+}
+
+}  // namespace
+
+void throw_precondition(std::string_view condition, std::string_view message,
+                        std::string_view file, int line) {
+  throw Precondition_error(
+      format("precondition", condition, message, file, line));
+}
+
+void throw_invariant(std::string_view condition, std::string_view message,
+                     std::string_view file, int line) {
+  throw Invariant_error(format("invariant", condition, message, file, line));
+}
+
+}  // namespace quest::detail

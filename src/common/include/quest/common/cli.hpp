@@ -1,0 +1,82 @@
+// quest/common/cli.hpp
+//
+// A deliberately small command-line flag parser for the bench and example
+// binaries: `--name=value` or `--name value`, `--flag` booleans, with typed
+// accessors, defaults, and an auto-generated --help.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace quest {
+
+/// Declarative flag set.
+///
+///   Cli cli("bench_e1", "Optimizer scaling experiment");
+///   auto& n_max  = cli.add_int("n-max", 16, "largest instance size");
+///   auto& seeds  = cli.add_int("seeds", 20, "repetitions per point");
+///   auto& csv    = cli.add_bool("csv", false, "emit CSV instead of a table");
+///   cli.parse(argc, argv);          // exits(0) on --help, throws Parse_error
+///   run(n_max.value, seeds.value, csv.value);
+class Cli {
+ public:
+  template <typename T>
+  struct Flag {
+    std::string name;
+    std::string help;
+    T value;       ///< Current value (default until parse()).
+    bool set = false;  ///< Whether the user supplied it.
+  };
+
+  Cli(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  Flag<std::int64_t>& add_int(std::string name, std::int64_t default_value,
+                              std::string help);
+  Flag<double>& add_double(std::string name, double default_value,
+                           std::string help);
+  Flag<bool>& add_bool(std::string name, bool default_value, std::string help);
+  Flag<std::string>& add_string(std::string name, std::string default_value,
+                                std::string help);
+
+  /// Parses argv. Prints usage and calls std::exit(0) on --help.
+  /// Throws quest::Parse_error on unknown flags or malformed values.
+  /// Unrecognized *positional* arguments are collected in positional().
+  void parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Render the --help text.
+  std::string usage() const;
+
+ private:
+  enum class Kind { integer, floating, boolean, text };
+  struct Entry {
+    Kind kind;
+    std::size_t index;  // into the per-kind storage below
+  };
+
+  std::optional<Entry> find(std::string_view name) const;
+  void apply(const Entry& entry, std::string_view name,
+             std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Entry>> entries_;
+  // Pointer-stable storage: callers hold references into these.
+  std::vector<std::unique_ptr<Flag<std::int64_t>>> ints_;
+  std::vector<std::unique_ptr<Flag<double>>> doubles_;
+  std::vector<std::unique_ptr<Flag<bool>>> bools_;
+  std::vector<std::unique_ptr<Flag<std::string>>> strings_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace quest

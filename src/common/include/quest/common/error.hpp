@@ -1,0 +1,76 @@
+// quest/common/error.hpp
+//
+// Error-handling machinery shared by every quest module.
+//
+// Philosophy (following the C++ Core Guidelines, E.*):
+//  * Unrecoverable API misuse (precondition violations) -> QUEST_EXPECTS,
+//    which throws quest::Precondition_error so tests can assert on misuse.
+//  * Recoverable/environmental failures (bad input files, malformed JSON)
+//    -> dedicated exception types derived from quest::Error.
+//  * Internal invariant checks -> QUEST_ASSERT (active in all build types;
+//    the optimizer is a search algorithm whose correctness we refuse to
+//    trade for the last few percent of speed).
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace quest {
+
+/// Root of the quest exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a documented precondition of a public API is violated.
+class Precondition_error : public Error {
+ public:
+  explicit Precondition_error(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in quest itself).
+class Invariant_error : public Error {
+ public:
+  explicit Invariant_error(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed external input (files, JSON documents, CLI values).
+class Parse_error : public Error {
+ public:
+  explicit Parse_error(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(std::string_view condition,
+                                     std::string_view message,
+                                     std::string_view file, int line);
+
+[[noreturn]] void throw_invariant(std::string_view condition,
+                                  std::string_view message,
+                                  std::string_view file, int line);
+
+}  // namespace detail
+
+}  // namespace quest
+
+/// Check a documented precondition of a public entry point.
+/// Throws quest::Precondition_error with location info when violated.
+#define QUEST_EXPECTS(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::quest::detail::throw_precondition(#cond, (msg), __FILE__,        \
+                                          __LINE__);                     \
+    }                                                                    \
+  } while (false)
+
+/// Check an internal invariant. Active in every build type.
+#define QUEST_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::quest::detail::throw_invariant(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                    \
+  } while (false)

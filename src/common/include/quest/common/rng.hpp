@@ -1,0 +1,179 @@
+// quest/common/rng.hpp
+//
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in quest (workload generators, simulated
+// annealing, simulator jitter) draws from quest::Rng so that experiments are
+// reproducible bit-for-bit from a 64-bit seed, independent of the standard
+// library implementation. The generator is xoshiro256++ seeded via
+// splitmix64, both public-domain algorithms by Blackman & Vigna.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "quest/common/error.hpp"
+
+namespace quest {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Satisfies the essential parts of UniformRandomBitGenerator, but quest
+/// code should prefer the typed helpers (uniform_double, uniform_int, ...)
+/// which are guaranteed stable across platforms (std::uniform_*_distribution
+/// is not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9d1ce4e5b9u) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64 random bits.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    QUEST_EXPECTS(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased multiply-shift.
+  /// Requires bound > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) {
+    QUEST_EXPECTS(bound > 0, "uniform_int bound must be positive");
+    // Rejection loop to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    QUEST_EXPECTS(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 only when the range covers all of int64, where any draw works.
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    return lo + static_cast<std::int64_t>(uniform_int(span));
+  }
+
+  /// true with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given seed).
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and (non-negative) standard deviation.
+  double normal(double mean, double stddev) {
+    QUEST_EXPECTS(stddev >= 0.0, "normal stddev must be non-negative");
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (> 0); mean 1/rate.
+  double exponential(double rate) {
+    QUEST_EXPECTS(rate > 0.0, "exponential rate must be positive");
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// log-normal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` >= 0 (s = 0 is
+  /// uniform). Uses inverse-CDF over precomputable weights; O(n) per draw,
+  /// intended for modest n (workload shaping, not inner loops).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = uniform_int(static_cast<std::uint64_t>(i) + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    shuffle(perm);
+    return perm;
+  }
+
+  /// Derives an independent child generator; use to give each experiment
+  /// repetition its own stream without draw-order coupling.
+  Rng fork() noexcept { return Rng((*this)() ^ 0xa5a5a5a5deadbeefull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace quest

@@ -1,0 +1,73 @@
+// quest/common/stats.hpp
+//
+// Summary statistics used by benches and the simulator: streaming
+// mean/variance (Welford), min/max, and exact percentiles over retained
+// samples. Kept deliberately simple — results feed ASCII tables, not
+// numerical pipelines.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace quest {
+
+/// Streaming summary: O(1) per observation, no samples retained.
+/// Mean/variance use Welford's algorithm for numerical stability.
+class Running_stats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another summary into this one (parallel-friendly).
+  void merge(const Running_stats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains every sample; adds exact order statistics on top of
+/// Running_stats. Percentile queries sort lazily.
+class Sample_stats {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return summary_.count(); }
+  double mean() const noexcept { return summary_.mean(); }
+  double stddev() const noexcept { return summary_.stddev(); }
+  double min() const noexcept { return summary_.min(); }
+  double max() const noexcept { return summary_.max(); }
+  double sum() const noexcept { return summary_.sum(); }
+
+  /// Exact percentile via linear interpolation between closest ranks.
+  /// `p` in [0, 100]. Requires at least one sample.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  Running_stats summary_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Geometric mean of a non-empty set of positive values; used for cost-ratio
+/// aggregation in heuristic-quality experiments (E3/E5).
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace quest

@@ -1,0 +1,55 @@
+// quest/common/table.hpp
+//
+// Minimal ASCII table renderer. Every bench binary reports its experiment
+// as a paper-style table through this class, so the output format is
+// uniform across the suite.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quest {
+
+/// Column-aligned ASCII table with a title, header row and footnotes.
+///
+/// Usage:
+///   Table t("E1: optimizer scaling");
+///   t.set_header({"n", "bnb (ms)", "dp (ms)"});
+///   t.add_row({"8", "0.13", "0.55"});
+///   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_footnote(std::string note);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with single-space-padded columns, +-separated rule lines.
+  void render(std::ostream& out) const;
+
+  /// Render as comma-separated values (header + rows, no title).
+  void render_csv(std::ostream& out) const;
+
+  friend std::ostream& operator<<(std::ostream& out, const Table& table) {
+    table.render(out);
+    return out;
+  }
+
+  /// Format a double with `digits` significant decimal places.
+  static std::string num(double value, int digits = 3);
+  /// Format an integral count with thousands separators ("1,234,567").
+  static std::string count(unsigned long long value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+}  // namespace quest

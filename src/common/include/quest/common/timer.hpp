@@ -1,0 +1,32 @@
+// quest/common/timer.hpp
+//
+// Wall-clock stopwatch for experiment harnesses.
+
+#pragma once
+
+#include <chrono>
+
+namespace quest {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace quest

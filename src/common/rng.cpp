@@ -1,0 +1,23 @@
+#include "quest/common/rng.hpp"
+
+#include <cmath>
+
+namespace quest {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  QUEST_EXPECTS(n > 0, "zipf requires n > 0");
+  QUEST_EXPECTS(s >= 0.0, "zipf exponent must be non-negative");
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+  }
+  const double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -s);
+    if (acc >= target) return k;
+  }
+  return n - 1;  // floating-point slack: the tail bucket absorbs it
+}
+
+}  // namespace quest

@@ -1,0 +1,81 @@
+#include "quest/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quest/common/error.hpp"
+
+namespace quest {
+
+void Running_stats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Running_stats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Running_stats::merge(const Running_stats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Sample_stats::add(double x) {
+  summary_.add(x);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double Sample_stats::percentile(double p) const {
+  QUEST_EXPECTS(!samples_.empty(), "percentile of an empty sample set");
+  QUEST_EXPECTS(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_.front();
+  const double rank =
+      p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  QUEST_EXPECTS(!values.empty(), "geometric_mean of an empty set");
+  double log_sum = 0.0;
+  for (const double v : values) {
+    QUEST_EXPECTS(v > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace quest

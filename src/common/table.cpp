@@ -1,0 +1,98 @@
+#include "quest/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "quest/common/error.hpp"
+
+namespace quest {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  QUEST_EXPECTS(header_.empty() || row.size() == header_.size(),
+                "table row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_footnote(std::string note) {
+  footnotes_.push_back(std::move(note));
+}
+
+void Table::render(std::ostream& out) const {
+  // Column widths: max over header and all rows.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto rule = [&widths, &out] {
+    out << '+';
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+  auto line = [&widths, &out](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << ' ' << std::setw(static_cast<int>(widths[i])) << cell << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& row : rows_) line(row);
+  rule();
+  for (const auto& note : footnotes_) out << "  * " << note << '\n';
+}
+
+void Table::render_csv(std::ostream& out) const {
+  auto line = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::num(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+std::string Table::count(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  result.reserve(digits.size() + digits.size() / 3);
+  std::size_t seen = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (seen && seen % 3 == 0) result.push_back(',');
+    result.push_back(*it);
+    ++seen;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace quest

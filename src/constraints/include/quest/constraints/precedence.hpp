@@ -1,0 +1,64 @@
+// quest/constraints/precedence.hpp
+//
+// Precedence constraints between services. The brief announcement assumes
+// no precedence constraints "to keep the discussion simple" but notes the
+// solution applies with minor modifications when they exist; quest supports
+// them throughout (optimizers, generators, E8).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "quest/model/service.hpp"
+
+namespace quest::constraints {
+
+/// A DAG over service ids: an edge u -> v means "u must be invoked before v
+/// in every plan". Edges are validated to keep the graph acyclic.
+class Precedence_graph {
+ public:
+  /// An unconstrained graph over `n` services.
+  explicit Precedence_graph(std::size_t n);
+
+  std::size_t size() const noexcept { return successors_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+  bool unconstrained() const noexcept { return edge_count_ == 0; }
+
+  /// Adds u -> v. Throws Precondition_error if it would create a cycle,
+  /// u == v, or either id is out of range. Duplicate edges are ignored.
+  void add_edge(model::Service_id before, model::Service_id after);
+
+  bool has_edge(model::Service_id before, model::Service_id after) const;
+
+  const std::vector<model::Service_id>& successors(
+      model::Service_id id) const;
+  const std::vector<model::Service_id>& predecessors(
+      model::Service_id id) const;
+
+  /// True iff every predecessor of `id` is marked present in `placed`
+  /// (an n-length membership mask) — i.e. `id` may legally be appended.
+  bool feasible_next(model::Service_id id,
+                     const std::vector<char>& placed) const;
+
+  /// True iff the ordering respects every edge. `order` may be partial;
+  /// services appearing in it must be distinct.
+  bool respects(const std::vector<model::Service_id>& order) const;
+
+  /// Any topological ordering (deterministic: smallest id first).
+  std::vector<model::Service_id> topological_order() const;
+
+  /// Reachability check (is there a directed path before ->* after?).
+  bool reachable(model::Service_id from, model::Service_id to) const;
+
+  /// Number of linear extensions (exact, exponential-time DP over subsets;
+  /// intended for n <= ~20 in tests and E8 reporting).
+  double count_linear_extensions() const;
+
+ private:
+  std::vector<std::vector<model::Service_id>> successors_;
+  std::vector<std::vector<model::Service_id>> predecessors_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace quest::constraints

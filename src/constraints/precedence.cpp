@@ -1,0 +1,139 @@
+#include "quest/constraints/precedence.hpp"
+
+#include <algorithm>
+
+#include "quest/common/error.hpp"
+
+namespace quest::constraints {
+
+using model::Service_id;
+
+Precedence_graph::Precedence_graph(std::size_t n)
+    : successors_(n), predecessors_(n) {
+  QUEST_EXPECTS(n >= 1, "precedence graph needs at least one service");
+}
+
+void Precedence_graph::add_edge(Service_id before, Service_id after) {
+  QUEST_EXPECTS(before < size() && after < size(),
+                "precedence edge endpoint out of range");
+  QUEST_EXPECTS(before != after, "self-precedence is not allowed");
+  if (has_edge(before, after)) return;
+  QUEST_EXPECTS(!reachable(after, before),
+                "precedence edge would create a cycle");
+  successors_[before].push_back(after);
+  predecessors_[after].push_back(before);
+  ++edge_count_;
+}
+
+bool Precedence_graph::has_edge(Service_id before, Service_id after) const {
+  QUEST_EXPECTS(before < size() && after < size(),
+                "precedence edge endpoint out of range");
+  const auto& out = successors_[before];
+  return std::find(out.begin(), out.end(), after) != out.end();
+}
+
+const std::vector<Service_id>& Precedence_graph::successors(
+    Service_id id) const {
+  QUEST_EXPECTS(id < size(), "service id out of range");
+  return successors_[id];
+}
+
+const std::vector<Service_id>& Precedence_graph::predecessors(
+    Service_id id) const {
+  QUEST_EXPECTS(id < size(), "service id out of range");
+  return predecessors_[id];
+}
+
+bool Precedence_graph::feasible_next(Service_id id,
+                                     const std::vector<char>& placed) const {
+  QUEST_EXPECTS(id < size(), "service id out of range");
+  QUEST_EXPECTS(placed.size() == size(), "membership mask size mismatch");
+  for (const Service_id pred : predecessors_[id]) {
+    if (!placed[pred]) return false;
+  }
+  return true;
+}
+
+bool Precedence_graph::respects(const std::vector<Service_id>& order) const {
+  std::vector<char> placed(size(), 0);
+  for (const Service_id id : order) {
+    QUEST_EXPECTS(id < size(), "ordering references out-of-range service");
+    QUEST_EXPECTS(!placed[id], "ordering repeats a service");
+    if (!feasible_next(id, placed)) return false;
+    placed[id] = 1;
+  }
+  // Services not in a partial ordering impose no violated edges by
+  // themselves; completed orderings have checked every edge.
+  return true;
+}
+
+std::vector<Service_id> Precedence_graph::topological_order() const {
+  const std::size_t n = size();
+  std::vector<std::size_t> missing(n);
+  for (Service_id v = 0; v < n; ++v) missing[v] = predecessors_[v].size();
+  std::vector<Service_id> ready;
+  for (Service_id v = 0; v < n; ++v) {
+    if (missing[v] == 0) ready.push_back(v);
+  }
+  std::vector<Service_id> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    // Smallest-id-first keeps the result deterministic.
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const Service_id v = *it;
+    ready.erase(it);
+    order.push_back(v);
+    for (const Service_id w : successors_[v]) {
+      if (--missing[w] == 0) ready.push_back(w);
+    }
+  }
+  QUEST_ASSERT(order.size() == n, "precedence graph contains a cycle");
+  return order;
+}
+
+bool Precedence_graph::reachable(Service_id from, Service_id to) const {
+  QUEST_EXPECTS(from < size() && to < size(), "service id out of range");
+  if (from == to) return true;
+  std::vector<char> seen(size(), 0);
+  std::vector<Service_id> stack{from};
+  seen[from] = 1;
+  while (!stack.empty()) {
+    const Service_id v = stack.back();
+    stack.pop_back();
+    for (const Service_id w : successors_[v]) {
+      if (w == to) return true;
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+double Precedence_graph::count_linear_extensions() const {
+  const std::size_t n = size();
+  QUEST_EXPECTS(n <= 24, "linear-extension counting is limited to n <= 24");
+  // Predecessor masks.
+  std::vector<std::uint32_t> pred_mask(n, 0);
+  for (Service_id v = 0; v < n; ++v) {
+    for (const Service_id p : predecessors_[v]) {
+      pred_mask[v] |= (1u << p);
+    }
+  }
+  const std::size_t full = std::size_t{1} << n;
+  std::vector<double> ways(full, 0.0);
+  ways[0] = 1.0;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (ways[mask] == 0.0) continue;
+    for (Service_id v = 0; v < n; ++v) {
+      const std::uint32_t bit = 1u << v;
+      if (mask & bit) continue;
+      if ((pred_mask[v] & mask) != pred_mask[v]) continue;
+      ways[mask | bit] += ways[mask];
+    }
+  }
+  return ways[full - 1];
+}
+
+}  // namespace quest::constraints

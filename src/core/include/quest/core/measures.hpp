@@ -1,0 +1,94 @@
+// quest/core/measures.hpp
+//
+// The second of the paper's two guiding measures: epsilon-bar, "the maximum
+// possible cost that may be incurred by WSs not currently included in the
+// partial plan". epsilon itself (the bottleneck cost of the determined
+// terms) lives in model::Partial_plan_evaluator.
+//
+// For a partial plan C = (s_0 .. s_{k-1}) with remaining set R, epsilon-bar
+// upper-bounds every stage term a completion of C can still create:
+//
+//  * the *dangling* term of s_{k-1}, whose successor is not fixed yet:
+//      P_{k-1} * term(c, sigma, max_{u in R} t(s_{k-1}, u))
+//  * the term of each u in R, wherever it lands:
+//      P_k * A_u * term(c_u, sigma_u, T_u)
+//    with P_k the selectivity product of all of C, T_u the largest transfer
+//    out of u into R \ {u} or the sink, and A_u an amplification factor that
+//    is 1 when all selectivities are <= 1 and otherwise
+//    prod_{w in R \ {u}} max(1, sigma_w) — the paper's "slightly modified"
+//    computation for expanding services.
+//
+// Lemma 2 then reads: if epsilon >= epsilon-bar, every completion of C
+// costs exactly epsilon.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quest/model/cost.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest::core {
+
+/// How tight the epsilon-bar upper bound is. Both modes are sound (they
+/// never under-estimate); tighter bounds trigger Lemma-2 closures earlier
+/// at a higher per-node price. Ablated in experiment E2/E4.
+enum class Epsilon_bar_mode {
+  /// T_u over the live remaining set: O(|R|^2) per evaluation.
+  exact,
+  /// T_u precomputed over all services: O(|R|) per evaluation, looser.
+  loose,
+};
+
+/// Stateless-per-call evaluator for epsilon-bar. Construct once per
+/// instance; evaluate() per search node.
+class Epsilon_bar {
+ public:
+  Epsilon_bar(const model::Instance& instance, model::Send_policy policy,
+              Epsilon_bar_mode mode);
+
+  /// Upper bound over every not-yet-determined stage term for the partial
+  /// plan held by `eval`. `remaining` must list exactly the services not in
+  /// the plan and be non-empty.
+  double evaluate(const model::Partial_plan_evaluator& eval,
+                  std::span<const model::Service_id> remaining) const;
+
+  Epsilon_bar_mode mode() const noexcept { return mode_; }
+
+ private:
+  const model::Instance* instance_;
+  model::Send_policy policy_;
+  Epsilon_bar_mode mode_;
+  /// loose mode: term(c_u, sigma_u, max_global_transfer_out_of_u).
+  std::vector<double> loose_term_bound_;
+};
+
+/// quest extension (not part of the paper's description): an *admissible
+/// lower bound* on the stage terms a completion of the partial plan must
+/// still create. Mirrors Epsilon_bar with every max replaced by a min:
+///
+///  * the dangling term of the last placed service is at least
+///      P_{k-1} * term(c, sigma, min_{u in R} t(last, u));
+///  * the term of each unplaced u is at least
+///      P_k * (prod_{w in R \ {u}} min(1, sigma_w))
+///          * term(c_u, sigma_u, min(min_{v in R \ {u}} t(u, v), sink_u)).
+///
+/// Joining this with epsilon tightens Lemma-1 pruning — decisive in the
+/// sigma > 1 regime where epsilon alone stays small while the selectivity
+/// product (and therefore every future term) must grow. Ablated in E11.
+class Lower_bound {
+ public:
+  Lower_bound(const model::Instance& instance, model::Send_policy policy);
+
+  /// Greatest provable lower bound over the not-yet-determined stage terms
+  /// of any completion. Preconditions as Epsilon_bar::evaluate.
+  double evaluate(const model::Partial_plan_evaluator& eval,
+                  std::span<const model::Service_id> remaining) const;
+
+ private:
+  const model::Instance* instance_;
+  model::Send_policy policy_;
+};
+
+}  // namespace quest::core

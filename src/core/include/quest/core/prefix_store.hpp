@@ -1,0 +1,49 @@
+// quest/core/prefix_store.hpp
+//
+// The paper's data structure V: "all the pruned plans up to the bottleneck
+// service (including the latter)". In the implementation the back-jump
+// makes V implicit — a DFS never revisits a pruned prefix — so the store
+// exists for observability: Lemma-3 verification in tests, search
+// post-mortems, and the E2 pruning report.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "quest/model/service.hpp"
+
+namespace quest::core {
+
+/// Bounded log of pruned prefixes.
+class Prefix_store {
+ public:
+  explicit Prefix_store(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Records a pruned prefix; returns false (and counts a drop) when the
+  /// store is at capacity.
+  bool record(std::span<const model::Service_id> prefix);
+
+  void clear();
+
+  std::size_t size() const noexcept { return prefixes_.size(); }
+  std::size_t dropped() const noexcept { return dropped_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// True iff `order` equals or extends one of the stored prefixes —
+  /// i.e. Lemma 3 says `order` need not be explored.
+  bool covers(std::span<const model::Service_id> order) const;
+
+  const std::vector<std::vector<model::Service_id>>& prefixes()
+      const noexcept {
+    return prefixes_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::vector<std::vector<model::Service_id>> prefixes_;
+};
+
+}  // namespace quest::core

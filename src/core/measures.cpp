@@ -1,0 +1,137 @@
+#include "quest/core/measures.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "quest/common/error.hpp"
+
+namespace quest::core {
+
+using model::Instance;
+using model::Partial_plan_evaluator;
+using model::Send_policy;
+using model::Service_id;
+using model::stage_term;
+
+Epsilon_bar::Epsilon_bar(const Instance& instance, Send_policy policy,
+                         Epsilon_bar_mode mode)
+    : instance_(&instance), policy_(policy), mode_(mode) {
+  if (mode_ == Epsilon_bar_mode::loose) {
+    const std::size_t n = instance.size();
+    loose_term_bound_.resize(n);
+    for (Service_id u = 0; u < n; ++u) {
+      const double t_max = instance.max_outgoing_transfer(
+          u, [](Service_id) { return true; });
+      const auto& s = instance.service(u);
+      loose_term_bound_[u] = stage_term(s.cost, s.selectivity, t_max, policy_);
+    }
+  }
+}
+
+double Epsilon_bar::evaluate(
+    const Partial_plan_evaluator& eval,
+    std::span<const Service_id> remaining) const {
+  QUEST_EXPECTS(!eval.empty(), "epsilon-bar needs a non-empty partial plan");
+  QUEST_EXPECTS(!remaining.empty(),
+                "epsilon-bar is defined while services remain");
+  const Instance& instance = *instance_;
+
+  // Dangling term of the current last service: its successor will be drawn
+  // from `remaining`, so the worst case is the costliest outgoing link.
+  const Service_id last = eval.last();
+  const auto& last_service = instance.service(last);
+  double t_dangling = 0.0;
+  for (const Service_id u : remaining) {
+    t_dangling = std::max(t_dangling, instance.transfer(last, u));
+  }
+  double bound = eval.product_before_last() *
+                 stage_term(last_service.cost, last_service.selectivity,
+                            t_dangling, policy_);
+
+  // Amplification product over the remaining set (only > 1 when expanding
+  // services exist — the paper's sigma > 1 modification).
+  const bool selective = instance.all_selective();
+  const double product_through = eval.product_through();
+
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    const Service_id u = remaining[i];
+    const auto& s = instance.service(u);
+
+    double term_bound;
+    if (mode_ == Epsilon_bar_mode::loose) {
+      term_bound = loose_term_bound_[u];
+    } else {
+      // Exact: worst transfer out of u into the live remaining set or the
+      // sink (u may be placed last).
+      double t_max = instance.sink_transfer(u);
+      for (const Service_id v : remaining) {
+        if (v != u) t_max = std::max(t_max, instance.transfer(u, v));
+      }
+      term_bound = stage_term(s.cost, s.selectivity, t_max, policy_);
+    }
+
+    double amplification = 1.0;
+    if (!selective) {
+      if (mode_ == Epsilon_bar_mode::loose) {
+        // Sound but looser: include u's own factor.
+        for (const Service_id w : remaining) {
+          amplification *= std::max(1.0, instance.selectivity(w));
+        }
+      } else {
+        for (const Service_id w : remaining) {
+          if (w != u) amplification *= std::max(1.0, instance.selectivity(w));
+        }
+      }
+    }
+
+    bound = std::max(bound, product_through * amplification * term_bound);
+  }
+  return bound;
+}
+
+Lower_bound::Lower_bound(const Instance& instance, Send_policy policy)
+    : instance_(&instance), policy_(policy) {}
+
+double Lower_bound::evaluate(
+    const Partial_plan_evaluator& eval,
+    std::span<const Service_id> remaining) const {
+  QUEST_EXPECTS(!eval.empty(), "lower bound needs a non-empty partial plan");
+  QUEST_EXPECTS(!remaining.empty(),
+                "lower bound is defined while services remain");
+  const Instance& instance = *instance_;
+
+  // Dangling term: the last placed service must forward to something in
+  // the remaining set.
+  const Service_id last = eval.last();
+  const auto& last_service = instance.service(last);
+  double t_dangling = std::numeric_limits<double>::infinity();
+  for (const Service_id u : remaining) {
+    t_dangling = std::min(t_dangling, instance.transfer(last, u));
+  }
+  double bound = eval.product_before_last() *
+                 stage_term(last_service.cost, last_service.selectivity,
+                            t_dangling, policy_);
+
+  // Smallest possible selectivity attenuation between the plan's end and
+  // any later position: only sub-unit selectivities can shrink a product.
+  // Computed exactly per candidate (no division) so floating-point
+  // rounding can never overstate the bound — admissibility is what keeps
+  // the search exact.
+  const double product_through = eval.product_through();
+  for (const Service_id u : remaining) {
+    const auto& s = instance.service(u);
+    double t_min = instance.sink_transfer(u);  // u may be placed last
+    double shrink = 1.0;
+    for (const Service_id v : remaining) {
+      if (v == u) continue;
+      t_min = std::min(t_min, instance.transfer(u, v));
+      shrink *= std::min(1.0, instance.selectivity(v));
+    }
+    bound = std::max(bound,
+                     product_through * shrink *
+                         stage_term(s.cost, s.selectivity, t_min, policy_));
+  }
+  return bound;
+}
+
+}  // namespace quest::core

@@ -1,0 +1,83 @@
+#include "quest/core/portfolio.hpp"
+
+#include <algorithm>
+
+#include "quest/common/timer.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/frontier.hpp"
+#include "quest/opt/local_search.hpp"
+#include "quest/workload/analysis.hpp"
+
+namespace quest::core {
+
+using workload::Hardness_regime;
+
+std::string Portfolio_optimizer::chosen_engine(
+    const model::Instance& instance) const {
+  const auto profile = workload::analyze(instance);
+  switch (profile.regime) {
+    case Hardness_regime::selective:
+      return "bnb";
+    case Hardness_regime::expanding:
+      return instance.size() <= options_.hard_exact_size_limit
+                 ? "bnb-lb"
+                 : "heuristic-only";
+    case Hardness_regime::near_tsp:
+      if (instance.size() <= opt::Frontier_optimizer::max_services) {
+        return "frontier";
+      }
+      return instance.size() <= options_.hard_exact_size_limit
+                 ? "bnb"
+                 : "heuristic-only";
+  }
+  return "bnb";
+}
+
+opt::Result Portfolio_optimizer::optimize(const opt::Request& request) {
+  opt::validate_request(request);
+  Timer timer;
+
+  // Phase 1: fast incumbent.
+  opt::Local_search_optimizer polish;
+  opt::Result incumbent = polish.optimize(request);
+
+  // Phase 2: profile-driven exact (or bounded-suboptimal) engine.
+  const std::string engine = chosen_engine(*request.instance);
+  opt::Result exact;
+  bool ran_exact = false;
+  if (engine == "bnb" || engine == "bnb-lb") {
+    Bnb_options options;
+    options.warm_start = true;
+    options.suboptimality = options_.suboptimality;
+    options.enable_lower_bound = engine == "bnb-lb";
+    Bnb_optimizer bnb(options);
+    exact = bnb.optimize(request);
+    ran_exact = true;
+  } else if (engine == "frontier") {
+    opt::Frontier_optimizer frontier;
+    exact = frontier.optimize(request);
+    ran_exact = true;
+  }
+
+  // Phase 3: best of both; never worse than the heuristic.
+  const std::uint64_t heuristic_nodes = incumbent.stats.nodes_expanded;
+  opt::Result result;
+  const bool exact_usable =
+      ran_exact && exact.plan.size() == request.instance->size() &&
+      exact.cost <= incumbent.cost;
+  if (exact_usable) {
+    result = std::move(exact);
+    result.stats.nodes_expanded += heuristic_nodes;
+  } else {
+    result = std::move(incumbent);
+    result.proven_optimal = false;
+    if (ran_exact) {
+      result.hit_limit = exact.hit_limit;
+      result.stats.nodes_expanded += exact.stats.nodes_expanded;
+    }
+  }
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::core

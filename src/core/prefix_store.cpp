@@ -1,0 +1,30 @@
+#include "quest/core/prefix_store.hpp"
+
+#include <algorithm>
+
+namespace quest::core {
+
+bool Prefix_store::record(std::span<const model::Service_id> prefix) {
+  if (prefixes_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  prefixes_.emplace_back(prefix.begin(), prefix.end());
+  return true;
+}
+
+void Prefix_store::clear() {
+  prefixes_.clear();
+  dropped_ = 0;
+}
+
+bool Prefix_store::covers(
+    std::span<const model::Service_id> order) const {
+  return std::any_of(
+      prefixes_.begin(), prefixes_.end(), [&order](const auto& prefix) {
+        return prefix.size() <= order.size() &&
+               std::equal(prefix.begin(), prefix.end(), order.begin());
+      });
+}
+
+}  // namespace quest::core

@@ -1,0 +1,88 @@
+// quest/io/json.hpp
+//
+// A minimal, dependency-free JSON document model with a strict parser and
+// a deterministic writer. Covers the subset quest needs to persist problem
+// instances, plans and experiment records: null, booleans, finite doubles,
+// strings with standard escapes, arrays, and objects (insertion-ordered).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "quest/common/error.hpp"
+
+namespace quest::io {
+
+/// A JSON value. Value-semantic; copies are deep.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion order is preserved for deterministic output.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const noexcept { return holds<std::nullptr_t>(); }
+  bool is_bool() const noexcept { return holds<bool>(); }
+  bool is_number() const noexcept { return holds<double>(); }
+  bool is_string() const noexcept { return holds<std::string>(); }
+  bool is_array() const noexcept { return holds<Array>(); }
+  bool is_object() const noexcept { return holds<Object>(); }
+
+  /// Typed accessors; throw Parse_error on type mismatch (documents are
+  /// external input, so mismatches are data errors, not API misuse).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field lookup; throws Parse_error when absent.
+  const Json& at(std::string_view key) const;
+  /// Object field lookup; returns nullptr when absent.
+  const Json* find(std::string_view key) const;
+  /// Array element; throws Parse_error when out of range.
+  const Json& at(std::size_t index) const;
+
+  /// Appends a field to an object (creates the object on a null value).
+  void set(std::string key, Json value);
+  /// Appends an element to an array (creates the array on a null value).
+  void push_back(Json value);
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parser; throws Parse_error with line/column on any violation.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&);
+
+ private:
+  template <typename T>
+  bool holds() const noexcept {
+    return std::holds_alternative<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Reads an entire file; throws Parse_error when unreadable.
+std::string read_file(const std::string& path);
+/// Writes (truncates) a file; throws Parse_error on failure.
+void write_file(const std::string& path, std::string_view contents);
+
+}  // namespace quest::io

@@ -1,0 +1,186 @@
+#include "quest/io/instance_io.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace quest::io {
+
+using model::Instance;
+using model::Plan;
+using model::Service;
+using model::Service_id;
+
+namespace {
+
+/// Converts a JSON number that must be a non-negative integer below
+/// `limit` (used for service ids).
+Service_id id_from_json(const Json& json, std::size_t limit,
+                        const char* what) {
+  const double d = json.as_number();
+  if (d < 0 || d != std::floor(d) || d >= static_cast<double>(limit)) {
+    throw Parse_error(std::string(what) + ": invalid service id");
+  }
+  return static_cast<Service_id>(d);
+}
+
+}  // namespace
+
+Json to_json(const Instance& instance,
+             const constraints::Precedence_graph* precedence) {
+  Json document;
+  document.set("name", instance.name());
+
+  Json services;
+  for (const Service& s : instance.services()) {
+    Json entry;
+    entry.set("name", s.name);
+    entry.set("cost", s.cost);
+    entry.set("selectivity", s.selectivity);
+    services.push_back(std::move(entry));
+  }
+  document.set("services", std::move(services));
+
+  Json transfer;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    Json row;
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      row.push_back(instance.transfer_matrix().at_unchecked(i, j));
+    }
+    transfer.push_back(std::move(row));
+  }
+  document.set("transfer", std::move(transfer));
+
+  bool any_sink = false;
+  for (const double s : instance.sink_transfers()) {
+    if (s != 0.0) any_sink = true;
+  }
+  if (any_sink) {
+    Json sink;
+    for (const double s : instance.sink_transfers()) sink.push_back(s);
+    document.set("sink_transfer", std::move(sink));
+  }
+
+  if (precedence != nullptr && !precedence->unconstrained()) {
+    Json edges;
+    for (Service_id u = 0; u < precedence->size(); ++u) {
+      for (const Service_id v : precedence->successors(u)) {
+        Json edge;
+        edge.push_back(std::size_t{u});
+        edge.push_back(std::size_t{v});
+        edges.push_back(std::move(edge));
+      }
+    }
+    document.set("precedence", std::move(edges));
+  }
+  return document;
+}
+
+Instance_document instance_from_json(const Json& json) {
+  const Json& services_json = json.at("services");
+  std::vector<Service> services;
+  for (const Json& entry : services_json.as_array()) {
+    Service s;
+    if (const Json* name = entry.find("name")) s.name = name->as_string();
+    s.cost = entry.at("cost").as_number();
+    s.selectivity = entry.at("selectivity").as_number();
+    services.push_back(std::move(s));
+  }
+  const std::size_t n = services.size();
+  if (n == 0) throw Parse_error("instance document has no services");
+
+  const Json& transfer_json = json.at("transfer");
+  const auto& rows = transfer_json.as_array();
+  if (rows.size() != n) {
+    throw Parse_error("transfer matrix must have one row per service");
+  }
+  Matrix<double> transfer = Matrix<double>::square(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& row = rows[i].as_array();
+    if (row.size() != n) {
+      throw Parse_error("transfer matrix rows must have n entries");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      transfer(i, j) = row[j].as_number();
+    }
+  }
+
+  std::vector<double> sink;
+  if (const Json* sink_json = json.find("sink_transfer")) {
+    for (const Json& s : sink_json->as_array()) {
+      sink.push_back(s.as_number());
+    }
+    if (sink.size() != n) {
+      throw Parse_error("sink_transfer must have one entry per service");
+    }
+  }
+
+  std::string name;
+  if (const Json* name_json = json.find("name")) {
+    name = name_json->as_string();
+  }
+
+  Instance_document document{
+      // Instance construction re-validates numeric invariants; surface
+      // violations as data errors.
+      [&]() -> Instance {
+        try {
+          return Instance(std::move(services), std::move(transfer),
+                          std::move(sink), std::move(name));
+        } catch (const Precondition_error& e) {
+          throw Parse_error(std::string("invalid instance data: ") +
+                            e.what());
+        }
+      }(),
+      std::nullopt};
+
+  if (const Json* edges = json.find("precedence")) {
+    constraints::Precedence_graph graph(n);
+    for (const Json& edge : edges->as_array()) {
+      const auto& pair = edge.as_array();
+      if (pair.size() != 2) {
+        throw Parse_error("precedence edges must be [from, to] pairs");
+      }
+      try {
+        graph.add_edge(id_from_json(pair[0], n, "precedence"),
+                       id_from_json(pair[1], n, "precedence"));
+      } catch (const Precondition_error& e) {
+        throw Parse_error(std::string("invalid precedence edge: ") +
+                          e.what());
+      }
+    }
+    document.precedence = std::move(graph);
+  }
+  return document;
+}
+
+Json to_json(const Plan& plan) {
+  Json array;
+  for (const Service_id id : plan) array.push_back(std::size_t{id});
+  return array;
+}
+
+Plan plan_from_json(const Json& json, std::size_t n) {
+  std::vector<Service_id> order;
+  for (const Json& entry : json.as_array()) {
+    order.push_back(id_from_json(entry, n, "plan"));
+  }
+  Plan plan(std::move(order));
+  std::vector<char> seen(n, 0);
+  for (const Service_id id : plan) {
+    if (seen[id]) throw Parse_error("plan repeats a service");
+    seen[id] = 1;
+  }
+  return plan;
+}
+
+void save_instance(const std::string& path, const Instance& instance,
+                   const constraints::Precedence_graph* precedence) {
+  write_file(path, to_json(instance, precedence).dump(2) + "\n");
+}
+
+Instance_document load_instance(const std::string& path) {
+  return instance_from_json(Json::parse(read_file(path)));
+}
+
+}  // namespace quest::io

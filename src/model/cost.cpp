@@ -1,0 +1,161 @@
+#include "quest/model/cost.hpp"
+
+#include <algorithm>
+
+#include "quest/common/error.hpp"
+
+namespace quest::model {
+
+double bottleneck_cost(const Instance& instance, const Plan& plan,
+                       Send_policy policy) {
+  QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
+                "bottleneck_cost requires a complete plan");
+  const std::size_t n = plan.size();
+  double product = 1.0;
+  double worst = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const Service_id id = plan[p];
+    const Service& s = instance.service(id);
+    const double transfer = p + 1 < n ? instance.transfer(id, plan[p + 1])
+                                      : instance.sink_transfer(id);
+    worst = std::max(
+        worst, product * stage_term(s.cost, s.selectivity, transfer, policy));
+    product *= s.selectivity;
+  }
+  return worst;
+}
+
+double partial_epsilon(const Instance& instance, const Plan& plan,
+                       Send_policy policy) {
+  Partial_plan_evaluator eval(instance, policy);
+  for (const Service_id id : plan) eval.append(id);
+  return eval.epsilon();
+}
+
+Cost_breakdown cost_breakdown(const Instance& instance, const Plan& plan,
+                              Send_policy policy) {
+  QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
+                "cost_breakdown requires a complete plan");
+  Cost_breakdown result;
+  const std::size_t n = plan.size();
+  result.stage_costs.resize(n);
+  result.input_fractions.resize(n);
+  double product = 1.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const Service_id id = plan[p];
+    const Service& s = instance.service(id);
+    const double transfer = p + 1 < n ? instance.transfer(id, plan[p + 1])
+                                      : instance.sink_transfer(id);
+    result.input_fractions[p] = product;
+    result.stage_costs[p] =
+        product * stage_term(s.cost, s.selectivity, transfer, policy);
+    product *= s.selectivity;
+  }
+  const auto it =
+      std::max_element(result.stage_costs.begin(), result.stage_costs.end());
+  result.bottleneck_position =
+      static_cast<std::size_t>(it - result.stage_costs.begin());
+  result.cost = *it;
+  return result;
+}
+
+Partial_plan_evaluator::Partial_plan_evaluator(const Instance& instance,
+                                               Send_policy policy)
+    : instance_(&instance),
+      policy_(policy),
+      in_plan_(instance.size(), 0) {
+  frames_.reserve(instance.size());
+  order_.reserve(instance.size());
+}
+
+void Partial_plan_evaluator::append(Service_id id) {
+  QUEST_EXPECTS(id < instance_->size(), "service id out of range");
+  QUEST_EXPECTS(!in_plan_[id], "service already in the partial plan");
+  const Service& s = instance_->service(id);
+  Frame frame;
+  frame.id = id;
+  frame.bottleneck_pos = 0;
+  if (frames_.empty()) {
+    frame.product_before = 1.0;
+    frame.epsilon_after = 0.0;
+  } else {
+    const Frame& prev = frames_.back();
+    frame.product_before = prev.product_through;
+    // Appending fixes the previous last service's successor, determining
+    // its stage term.
+    const Service& last_service = instance_->service(prev.id);
+    const double fixed =
+        prev.product_before *
+        stage_term(last_service.cost, last_service.selectivity,
+                   instance_->transfer(prev.id, id), policy_);
+    if (fixed > prev.epsilon_after) {
+      frame.epsilon_after = fixed;
+      frame.bottleneck_pos = frames_.size() - 1;
+    } else {
+      // Ties keep the earliest position: the back-jump then prunes more.
+      frame.epsilon_after = prev.epsilon_after;
+      frame.bottleneck_pos = prev.bottleneck_pos;
+    }
+  }
+  frame.product_through = frame.product_before * s.selectivity;
+  frames_.push_back(frame);
+  order_.push_back(id);
+  in_plan_[id] = 1;
+}
+
+void Partial_plan_evaluator::pop() {
+  QUEST_EXPECTS(!frames_.empty(), "pop() on an empty partial plan");
+  in_plan_[frames_.back().id] = 0;
+  frames_.pop_back();
+  order_.pop_back();
+}
+
+void Partial_plan_evaluator::clear() {
+  frames_.clear();
+  order_.clear();
+  std::fill(in_plan_.begin(), in_plan_.end(), 0);
+}
+
+Service_id Partial_plan_evaluator::last() const {
+  QUEST_EXPECTS(!frames_.empty(), "last() on an empty partial plan");
+  return frames_.back().id;
+}
+
+double Partial_plan_evaluator::product_before_last() const {
+  QUEST_EXPECTS(!frames_.empty(),
+                "product_before_last() on an empty partial plan");
+  return frames_.back().product_before;
+}
+
+std::size_t Partial_plan_evaluator::bottleneck_position() const {
+  QUEST_EXPECTS(frames_.size() >= 2,
+                "bottleneck_position() needs at least one determined term");
+  return frames_.back().bottleneck_pos;
+}
+
+double Partial_plan_evaluator::term_if_appended(Service_id next) const {
+  QUEST_EXPECTS(!frames_.empty(),
+                "term_if_appended() on an empty partial plan");
+  QUEST_EXPECTS(next < instance_->size(), "service id out of range");
+  QUEST_EXPECTS(!in_plan_[next], "candidate already in the partial plan");
+  const Frame& top = frames_.back();
+  const Service& last_service = instance_->service(top.id);
+  return top.product_before *
+         stage_term(last_service.cost, last_service.selectivity,
+                    instance_->transfer(top.id, next), policy_);
+}
+
+double Partial_plan_evaluator::complete_cost() const {
+  QUEST_EXPECTS(full(), "complete_cost() requires a full plan");
+  const Frame& top = frames_.back();
+  const Service& last_service = instance_->service(top.id);
+  const double final_term =
+      top.product_before *
+      stage_term(last_service.cost, last_service.selectivity,
+                 instance_->sink_transfer(top.id), policy_);
+  return std::max(top.epsilon_after, final_term);
+}
+
+Plan Partial_plan_evaluator::plan() const { return Plan(order_); }
+
+}  // namespace quest::model

@@ -1,0 +1,79 @@
+#include "quest/model/explain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "quest/common/error.hpp"
+#include "quest/common/table.hpp"
+
+namespace quest::model {
+
+std::string explain_plan(const Instance& instance, const Plan& plan,
+                         Send_policy policy) {
+  const auto breakdown = cost_breakdown(instance, plan, policy);
+  Table table("plan: " + plan.to_string(instance) + "  (bottleneck cost " +
+              Table::num(breakdown.cost, 3) + ")");
+  table.set_header({"pos", "service", "tuples in", "c", "sigma", "t-out",
+                    "stage cost", ""});
+  const std::size_t n = plan.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    const Service& s = instance.service(plan[p]);
+    const double t_out = p + 1 < n ? instance.transfer(plan[p], plan[p + 1])
+                                   : instance.sink_transfer(plan[p]);
+    table.add_row({std::to_string(p),
+                   s.name.empty() ? "WS" + std::to_string(plan[p]) : s.name,
+                   Table::num(breakdown.input_fractions[p], 3),
+                   Table::num(s.cost, 2), Table::num(s.selectivity, 2),
+                   Table::num(t_out, 2),
+                   Table::num(breakdown.stage_costs[p], 3),
+                   p == breakdown.bottleneck_position ? "<- bottleneck"
+                                                      : ""});
+  }
+  table.add_footnote("tuples in = expected tuples reaching the stage per "
+                     "input tuple; stage cost = tuples-in x " +
+                     std::string(policy == Send_policy::sequential
+                                     ? "(c + sigma*t)"
+                                     : "max(c, sigma*t)"));
+  std::ostringstream out;
+  out << table;
+  return out.str();
+}
+
+std::string compare_plans(const Instance& instance,
+                          const std::vector<Labeled_plan>& plans,
+                          Send_policy policy) {
+  QUEST_EXPECTS(!plans.empty(), "compare_plans needs at least one plan");
+  struct Row {
+    const Labeled_plan* entry;
+    double cost;
+    std::size_t bottleneck;
+  };
+  std::vector<Row> rows;
+  rows.reserve(plans.size());
+  for (const auto& entry : plans) {
+    const auto breakdown = cost_breakdown(instance, entry.plan, policy);
+    rows.push_back({&entry, breakdown.cost, breakdown.bottleneck_position});
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.cost < b.cost; });
+  const double best = rows.front().cost;
+
+  Table table("plan comparison (" + std::to_string(plans.size()) +
+              " candidates)");
+  table.set_header({"label", "cost", "vs best", "bottleneck", "plan"});
+  for (const Row& row : rows) {
+    const Service& b =
+        instance.service(row.entry->plan[row.bottleneck]);
+    table.add_row({row.entry->label, Table::num(row.cost, 3),
+                   best > 0.0 ? Table::num(row.cost / best, 3) : "-",
+                   b.name.empty()
+                       ? "WS" + std::to_string(row.entry->plan[row.bottleneck])
+                       : b.name,
+                   row.entry->plan.to_string(instance)});
+  }
+  std::ostringstream out;
+  out << table;
+  return out.str();
+}
+
+}  // namespace quest::model

@@ -1,0 +1,37 @@
+// quest/model/explain.hpp
+//
+// Human-readable plan reports: where the time goes, which stage is the
+// bottleneck, and how candidate plans compare. Built on cost_breakdown;
+// used by the examples and handy at any debugging session.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quest/model/cost.hpp"
+
+namespace quest::model {
+
+/// Renders a per-stage table for a complete plan:
+///
+///   == plan: a -> b -> c (cost 4.5) ==
+///   | pos | service | in-frac | c | sigma | t-out | stage cost |  |
+///   ...                                              4.500  <- bottleneck
+///
+/// Preconditions as bottleneck_cost.
+std::string explain_plan(const Instance& instance, const Plan& plan,
+                         Send_policy policy = Send_policy::sequential);
+
+/// One row per plan, best (lowest cost) first:
+/// label, cost, ratio to best, bottleneck service.
+struct Labeled_plan {
+  std::string label;
+  Plan plan;
+};
+
+std::string compare_plans(const Instance& instance,
+                          const std::vector<Labeled_plan>& plans,
+                          Send_policy policy = Send_policy::sequential);
+
+}  // namespace quest::model

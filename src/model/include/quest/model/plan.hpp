@@ -1,0 +1,64 @@
+// quest/model/plan.hpp
+//
+// A plan is a linear ordering of all (complete plan) or some (partial plan)
+// services of an instance. Plans are what every optimizer returns and what
+// the simulator and runtime execute.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "quest/model/service.hpp"
+
+namespace quest::model {
+
+class Instance;
+
+/// Linear service ordering. A thin, validated wrapper over a vector of
+/// Service_id; position 0 receives the input tuples.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(std::vector<Service_id> order) : order_(std::move(order)) {}
+
+  /// The identity ordering 0, 1, ..., n-1.
+  static Plan identity(std::size_t n);
+
+  std::size_t size() const noexcept { return order_.size(); }
+  bool empty() const noexcept { return order_.empty(); }
+
+  Service_id operator[](std::size_t position) const;
+  Service_id front() const;
+  Service_id back() const;
+
+  const std::vector<Service_id>& order() const noexcept { return order_; }
+
+  void append(Service_id id) { order_.push_back(id); }
+  void pop() { order_.pop_back(); }
+
+  /// True iff the plan is a permutation of 0..n-1 (a complete plan for an
+  /// n-service instance).
+  bool is_permutation_of(std::size_t n) const;
+
+  /// Position of each service in the plan; invalid_service marks absent
+  /// services. The returned vector has `n` entries.
+  std::vector<Service_id> positions(std::size_t n) const;
+
+  /// Human-readable rendering using instance service names:
+  /// "scan -> filter -> enrich".
+  std::string to_string(const Instance& instance) const;
+  /// Rendering with bare ids: "[3 0 2 1]".
+  std::string to_string() const;
+
+  friend bool operator==(const Plan&, const Plan&) = default;
+
+  auto begin() const noexcept { return order_.begin(); }
+  auto end() const noexcept { return order_.end(); }
+
+ private:
+  std::vector<Service_id> order_;
+};
+
+}  // namespace quest::model

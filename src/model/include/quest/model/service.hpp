@@ -1,0 +1,36 @@
+// quest/model/service.hpp
+//
+// The atoms of the problem model: a Web Service with a per-tuple processing
+// cost and a selectivity, identified inside an Instance by a dense index.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace quest::model {
+
+/// Dense index of a service inside an Instance (0 .. n-1).
+using Service_id = std::uint32_t;
+
+/// Sentinel for "no service".
+inline constexpr Service_id invalid_service =
+    std::numeric_limits<Service_id>::max();
+
+/// A pipelined Web Service.
+///
+/// `cost` is the average time the service needs to process one input tuple
+/// (the paper's c_i). `selectivity` is the average ratio of output to input
+/// tuples (σ_i): < 1 for filters, > 1 for expanding services such as a
+/// person -> credit-card-numbers lookup. Both are assumed constant and
+/// independent of attribute values, as in the paper.
+struct Service {
+  double cost = 0.0;
+  double selectivity = 1.0;
+  std::string name;
+
+  friend bool operator==(const Service&, const Service&) = default;
+};
+
+}  // namespace quest::model

@@ -1,0 +1,75 @@
+#include "quest/model/plan.hpp"
+
+#include <sstream>
+
+#include "quest/common/error.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest::model {
+
+Plan Plan::identity(std::size_t n) {
+  std::vector<Service_id> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<Service_id>(i);
+  return Plan(std::move(order));
+}
+
+Service_id Plan::operator[](std::size_t position) const {
+  QUEST_EXPECTS(position < order_.size(), "plan position out of range");
+  return order_[position];
+}
+
+Service_id Plan::front() const {
+  QUEST_EXPECTS(!order_.empty(), "front() of an empty plan");
+  return order_.front();
+}
+
+Service_id Plan::back() const {
+  QUEST_EXPECTS(!order_.empty(), "back() of an empty plan");
+  return order_.back();
+}
+
+bool Plan::is_permutation_of(std::size_t n) const {
+  if (order_.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const Service_id id : order_) {
+    if (id >= n || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+std::vector<Service_id> Plan::positions(std::size_t n) const {
+  std::vector<Service_id> pos(n, invalid_service);
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    QUEST_EXPECTS(order_[p] < n, "plan references out-of-range service");
+    pos[order_[p]] = static_cast<Service_id>(p);
+  }
+  return pos;
+}
+
+std::string Plan::to_string(const Instance& instance) const {
+  std::ostringstream out;
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    if (p) out << " -> ";
+    const Service& s = instance.service(order_[p]);
+    if (s.name.empty()) {
+      out << "WS" << order_[p];
+    } else {
+      out << s.name;
+    }
+  }
+  return out.str();
+}
+
+std::string Plan::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    if (p) out << ' ';
+    out << order_[p];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace quest::model

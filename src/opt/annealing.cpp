@@ -1,0 +1,93 @@
+#include "quest/opt/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "quest/common/rng.hpp"
+#include "quest/common/timer.hpp"
+#include "quest/opt/greedy.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+
+Result Annealing_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  const auto* precedence = request.precedence;
+  const std::size_t n = instance.size();
+  Timer timer;
+  Search_stats stats;
+  Rng rng(options_.seed);
+
+  // Seed with greedy so annealing never does worse than the constructive
+  // heuristic.
+  Greedy_optimizer greedy;
+  const Result seed = greedy.optimize(request);
+  std::vector<Service_id> current = seed.plan.order();
+  double current_cost = seed.cost;
+  std::vector<Service_id> best = current;
+  double best_cost = current_cost;
+  stats.complete_plans = 1;
+
+  if (n < 2) {
+    Result result;
+    result.plan = Plan(std::move(best));
+    result.cost = best_cost;
+    result.stats = stats;
+    result.elapsed_seconds = timer.seconds();
+    return result;
+  }
+
+  const double scale = std::max(best_cost, 1e-12);
+  double temperature = options_.initial_temperature * scale;
+  const double floor = options_.min_temperature * scale;
+
+  std::vector<Service_id> neighbor;
+  for (std::size_t iteration = 0; iteration < options_.iterations;
+       ++iteration) {
+    neighbor = current;
+    const bool do_swap = rng.bernoulli(0.5);
+    const auto i = static_cast<std::size_t>(rng.uniform_int(n));
+    auto j = static_cast<std::size_t>(rng.uniform_int(n - 1));
+    if (j >= i) ++j;
+    if (do_swap) {
+      std::swap(neighbor[i], neighbor[j]);
+    } else {
+      const Service_id moved = neighbor[i];
+      neighbor.erase(neighbor.begin() + static_cast<std::ptrdiff_t>(i));
+      neighbor.insert(neighbor.begin() + static_cast<std::ptrdiff_t>(j),
+                      moved);
+    }
+    if (precedence != nullptr && !precedence->respects(neighbor)) {
+      temperature = std::max(temperature * options_.cooling, floor);
+      continue;
+    }
+    const double cost =
+        model::bottleneck_cost(instance, Plan(neighbor), request.policy);
+    ++stats.complete_plans;
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-300))) {
+      current = neighbor;
+      current_cost = cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = current;
+        ++stats.incumbent_updates;
+      }
+    }
+    temperature = std::max(temperature * options_.cooling, floor);
+  }
+
+  Result result;
+  result.plan = Plan(std::move(best));
+  result.cost = best_cost;
+  result.stats = stats;
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,130 @@
+#include "quest/opt/dp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/timer.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+using model::stage_term;
+
+Result Dp_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  const std::size_t n = instance.size();
+  QUEST_EXPECTS(n <= max_services,
+                "subset DP is limited to max_services services");
+  const auto policy = request.policy;
+  const auto* precedence = request.precedence;
+  Timer timer;
+  Search_stats stats;
+
+  const std::size_t full = std::size_t{1} << n;
+  constexpr double inf = std::numeric_limits<double>::infinity();
+
+  // Selectivity product of every subset (prod[S] = prod_{w in S} sigma_w).
+  std::vector<double> prod(full);
+  prod[0] = 1.0;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const int low = std::countr_zero(mask);
+    prod[mask] = prod[mask & (mask - 1)] *
+                 instance.selectivity(static_cast<Service_id>(low));
+  }
+
+  // Precedence: predecessor masks; u is addable to S iff pred_mask[u] ⊆ S.
+  std::vector<std::size_t> pred_mask(n, 0);
+  if (precedence != nullptr) {
+    for (Service_id v = 0; v < n; ++v) {
+      for (const Service_id p : precedence->predecessors(v)) {
+        pred_mask[v] |= std::size_t{1} << p;
+      }
+    }
+  }
+
+  std::vector<double> g(full * n, inf);
+  std::vector<std::uint8_t> parent(full * n, 0xFF);
+  auto at = [n](std::size_t mask, std::size_t j) { return mask * n + j; };
+
+  for (Service_id a = 0; a < n; ++a) {
+    if (pred_mask[a] != 0) continue;
+    g[at(std::size_t{1} << a, a)] = 0.0;  // no determined terms yet
+  }
+
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double current = g[at(mask, j)];
+      if (current == inf) continue;
+      ++stats.nodes_expanded;
+      const std::size_t without_j = mask & ~(std::size_t{1} << j);
+      const auto& sj = instance.service(static_cast<Service_id>(j));
+      for (std::size_t u = 0; u < n; ++u) {
+        const std::size_t bit = std::size_t{1} << u;
+        if (mask & bit) continue;
+        if ((pred_mask[u] & mask) != pred_mask[u]) continue;
+        // Appending u fixes j's stage term.
+        const double fixed =
+            prod[without_j] *
+            stage_term(sj.cost, sj.selectivity,
+                       instance.transfer(static_cast<Service_id>(j),
+                                         static_cast<Service_id>(u)),
+                       policy);
+        const double value = std::max(current, fixed);
+        auto& slot = g[at(mask | bit, u)];
+        if (value < slot) {
+          slot = value;
+          parent[at(mask | bit, u)] = static_cast<std::uint8_t>(j);
+        }
+      }
+    }
+  }
+
+  // Close full-set states with the sink term of the last service.
+  double best_cost = inf;
+  std::size_t best_last = 0;
+  const std::size_t all = full - 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double current = g[at(all, j)];
+    if (current == inf) continue;
+    const auto& sj = instance.service(static_cast<Service_id>(j));
+    const std::size_t without_j = all & ~(std::size_t{1} << j);
+    const double final_term =
+        prod[without_j] *
+        stage_term(sj.cost, sj.selectivity,
+                   instance.sink_transfer(static_cast<Service_id>(j)),
+                   policy);
+    const double cost = std::max(current, final_term);
+    ++stats.complete_plans;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_last = j;
+    }
+  }
+  QUEST_ASSERT(best_cost < inf, "DP found no feasible ordering");
+
+  // Reconstruct the plan by walking parents backwards.
+  std::vector<Service_id> order(n);
+  std::size_t mask = all;
+  std::size_t j = best_last;
+  for (std::size_t position = n; position-- > 0;) {
+    order[position] = static_cast<Service_id>(j);
+    const std::uint8_t p = parent[at(mask, j)];
+    mask &= ~(std::size_t{1} << j);
+    j = p;
+  }
+
+  Result result;
+  result.plan = Plan(std::move(order));
+  result.cost = best_cost;
+  result.proven_optimal = true;
+  result.stats = stats;
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,103 @@
+#include "quest/opt/exhaustive.hpp"
+
+#include <limits>
+
+#include "quest/common/timer.hpp"
+
+namespace quest::opt {
+
+using model::Partial_plan_evaluator;
+using model::Plan;
+using model::Service_id;
+
+namespace {
+
+class Enumeration {
+ public:
+  Enumeration(const Request& request, bool bound)
+      : instance_(*request.instance),
+        precedence_(request.precedence),
+        bound_(bound),
+        eval_(instance_, request.policy),
+        node_limit_(request.node_limit),
+        time_limit_(request.time_limit_seconds),
+        placed_(instance_.size(), 0) {}
+
+  Result run() {
+    descend();
+    Result result;
+    result.plan = best_;
+    result.cost = rho_;
+    result.hit_limit = aborted_;
+    result.proven_optimal = !aborted_;
+    result.stats = stats_;
+    result.elapsed_seconds = timer_.seconds();
+    return result;
+  }
+
+ private:
+  bool aborted() {
+    if (aborted_) return true;
+    if (node_limit_ != 0 && stats_.nodes_expanded >= node_limit_) {
+      aborted_ = true;
+    } else if (time_limit_ > 0.0 && (++tick_ & 0x3FF) == 0 &&
+               timer_.seconds() > time_limit_) {
+      aborted_ = true;
+    }
+    return aborted_;
+  }
+
+  void descend() {
+    if (aborted()) return;
+    if (eval_.full()) {
+      ++stats_.complete_plans;
+      const double cost = eval_.complete_cost();
+      if (cost < rho_) {
+        rho_ = cost;
+        best_ = eval_.plan();
+        ++stats_.incumbent_updates;
+      }
+      return;
+    }
+    if (bound_ && eval_.size() >= 2 && eval_.epsilon() >= rho_) {
+      ++stats_.lemma1_cutoffs;
+      return;
+    }
+    const std::size_t n = instance_.size();
+    for (Service_id u = 0; u < n; ++u) {
+      if (placed_[u]) continue;
+      if (precedence_ && !precedence_->feasible_next(u, placed_)) continue;
+      eval_.append(u);
+      placed_[u] = 1;
+      ++stats_.nodes_expanded;
+      descend();
+      placed_[u] = 0;
+      eval_.pop();
+      if (aborted_) return;
+    }
+  }
+
+  const model::Instance& instance_;
+  const constraints::Precedence_graph* precedence_;
+  bool bound_;
+  Partial_plan_evaluator eval_;
+  std::uint64_t node_limit_;
+  double time_limit_;
+  Timer timer_;
+  std::uint64_t tick_ = 0;
+  bool aborted_ = false;
+  std::vector<char> placed_;
+  double rho_ = std::numeric_limits<double>::infinity();
+  Plan best_;
+  Search_stats stats_;
+};
+
+}  // namespace
+
+Result Exhaustive_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  Enumeration enumeration(request, bound_);
+  return enumeration.run();
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,182 @@
+#include "quest/opt/frontier.hpp"
+
+#include <bit>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/timer.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+using model::stage_term;
+
+namespace {
+
+/// (subset mask, last service) packed into one key.
+constexpr std::uint64_t state_key(std::uint64_t mask, std::size_t last) {
+  return (mask << 5) | last;
+}
+
+struct Entry {
+  double priority;  // epsilon of the state; final cost for goal entries
+  std::uint64_t mask;
+  std::uint8_t last;
+  bool goal;
+
+  bool operator>(const Entry& other) const {
+    return priority > other.priority;
+  }
+};
+
+}  // namespace
+
+Result Frontier_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  const std::size_t n = instance.size();
+  QUEST_EXPECTS(n <= max_services,
+                "frontier search is limited to max_services services");
+  const auto policy = request.policy;
+  Timer timer;
+  Search_stats stats;
+
+  // Selectivity product per subset, built lazily would cost a popcount
+  // walk; precompute like the DP (cheap relative to the map).
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+
+  std::vector<std::uint64_t> pred_mask(n, 0);
+  if (request.precedence != nullptr) {
+    for (Service_id v = 0; v < n; ++v) {
+      for (const Service_id p : request.precedence->predecessors(v)) {
+        pred_mask[v] |= std::uint64_t{1} << p;
+      }
+    }
+  }
+
+  // Product of selectivities over a mask, memoized sparsely.
+  std::unordered_map<std::uint64_t, double> product_cache;
+  product_cache.reserve(1024);
+  auto product_of = [&](std::uint64_t mask) {
+    const auto cached = product_cache.find(mask);
+    if (cached != product_cache.end()) return cached->second;
+    double product = 1.0;
+    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+      product *= instance.selectivity(
+          static_cast<Service_id>(std::countr_zero(bits)));
+    }
+    product_cache.emplace(mask, product);
+    return product;
+  };
+
+  std::unordered_map<std::uint64_t, double> best;
+  std::unordered_map<std::uint64_t, std::uint8_t> parent;
+  best.reserve(4096);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+
+  for (Service_id a = 0; a < n; ++a) {
+    if (pred_mask[a] != 0) continue;
+    const std::uint64_t mask = std::uint64_t{1} << a;
+    best[state_key(mask, a)] = 0.0;
+    // Even a single-service state flows through the full-mask branch so
+    // the sink term is accounted for before the goal is closed.
+    frontier.push({0.0, mask, static_cast<std::uint8_t>(a), false});
+  }
+
+  Result result;
+  bool aborted = false;
+  while (!frontier.empty()) {
+    const Entry entry = frontier.top();
+    frontier.pop();
+    if (request.node_limit != 0 &&
+        stats.nodes_expanded >= request.node_limit) {
+      aborted = true;
+      break;
+    }
+    if (request.time_limit_seconds > 0.0 &&
+        (stats.nodes_expanded & 0x3FF) == 0 &&
+        timer.seconds() > request.time_limit_seconds) {
+      aborted = true;
+      break;
+    }
+
+    if (entry.goal) {
+      // First closed goal = optimum: every other frontier entry already
+      // costs at least this much and costs never decrease.
+      std::vector<Service_id> order(n);
+      std::uint64_t mask = entry.mask;
+      std::size_t last = entry.last;
+      for (std::size_t position = n; position-- > 0;) {
+        order[position] = static_cast<Service_id>(last);
+        const std::uint8_t p = parent[state_key(mask, last)];
+        mask &= ~(std::uint64_t{1} << last);
+        last = p;
+      }
+      result.plan = Plan(std::move(order));
+      result.cost = entry.priority;
+      result.proven_optimal = true;
+      break;
+    }
+
+    const auto key = state_key(entry.mask, entry.last);
+    const auto known = best.find(key);
+    if (known == best.end() || entry.priority > known->second) {
+      continue;  // stale entry
+    }
+    ++stats.nodes_expanded;
+
+    const auto& last_service =
+        instance.service(static_cast<Service_id>(entry.last));
+    const std::uint64_t without_last =
+        entry.mask & ~(std::uint64_t{1} << entry.last);
+    const double product_before_last = product_of(without_last);
+
+    if (entry.mask == full) {
+      const double final_term =
+          product_before_last *
+          stage_term(last_service.cost, last_service.selectivity,
+                     instance.sink_transfer(
+                         static_cast<Service_id>(entry.last)),
+                     policy);
+      ++stats.complete_plans;
+      frontier.push({std::max(entry.priority, final_term), entry.mask,
+                     entry.last, true});
+      continue;
+    }
+
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::uint64_t bit = std::uint64_t{1} << u;
+      if (entry.mask & bit) continue;
+      if ((pred_mask[u] & entry.mask) != pred_mask[u]) continue;
+      const double fixed =
+          product_before_last *
+          stage_term(last_service.cost, last_service.selectivity,
+                     instance.transfer(static_cast<Service_id>(entry.last),
+                                       static_cast<Service_id>(u)),
+                     policy);
+      const double value = std::max(entry.priority, fixed);
+      const auto child_key = state_key(entry.mask | bit, u);
+      const auto slot = best.find(child_key);
+      if (slot == best.end() || value < slot->second) {
+        best[child_key] = value;
+        parent[child_key] = entry.last;
+        frontier.push({value, entry.mask | bit, static_cast<std::uint8_t>(u),
+                       false});
+      }
+    }
+  }
+
+  QUEST_ASSERT(result.plan.size() == n || aborted,
+               "frontier search must reach a goal state");
+  result.hit_limit = aborted;
+  if (aborted) result.proven_optimal = false;
+  result.stats = stats;
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,149 @@
+#include "quest/opt/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/timer.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+using model::stage_term;
+
+Result Greedy_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  const auto* precedence = request.precedence;
+  const std::size_t n = instance.size();
+  Timer timer;
+  Search_stats stats;
+
+  model::Partial_plan_evaluator eval(instance, request.policy);
+  std::vector<char> placed(n, 0);
+
+  if (n == 1) {
+    eval.append(0);
+  } else {
+    // Cheapest feasible pair by the position-0 stage term.
+    double best_term = std::numeric_limits<double>::infinity();
+    Service_id best_a = model::invalid_service;
+    Service_id best_b = model::invalid_service;
+    for (Service_id a = 0; a < n; ++a) {
+      if (precedence && !precedence->predecessors(a).empty()) continue;
+      const auto& sa = instance.service(a);
+      for (Service_id b = 0; b < n; ++b) {
+        if (b == a) continue;
+        if (precedence) {
+          const auto& preds = precedence->predecessors(b);
+          const bool ok = std::all_of(preds.begin(), preds.end(),
+                                      [a](Service_id p) { return p == a; });
+          if (!ok) continue;
+        }
+        const double term =
+            stage_term(sa.cost, sa.selectivity, instance.transfer(a, b),
+                       request.policy);
+        if (term < best_term) {
+          best_term = term;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    QUEST_ASSERT(best_a != model::invalid_service,
+                 "no feasible starting pair");
+    eval.append(best_a);
+    eval.append(best_b);
+    placed[best_a] = 1;
+    placed[best_b] = 1;
+    stats.nodes_expanded += 2;
+
+    while (!eval.full()) {
+      Service_id next = model::invalid_service;
+      double next_t = std::numeric_limits<double>::infinity();
+      for (Service_id u = 0; u < n; ++u) {
+        if (placed[u]) continue;
+        if (precedence && !precedence->feasible_next(u, placed)) continue;
+        const double t = instance.transfer(eval.last(), u);
+        if (t < next_t) {
+          next_t = t;
+          next = u;
+        }
+      }
+      QUEST_ASSERT(next != model::invalid_service,
+                   "greedy found no feasible successor");
+      eval.append(next);
+      placed[next] = 1;
+      ++stats.nodes_expanded;
+    }
+  }
+
+  Result result;
+  result.plan = eval.plan();
+  result.cost = eval.complete_cost();
+  result.stats = stats;
+  ++result.stats.complete_plans;
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+Result Uniform_comm_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  const auto* precedence = request.precedence;
+  const std::size_t n = instance.size();
+  Timer timer;
+
+  // Mean off-diagonal transfer cost: the "flat network" the centralized
+  // optimizer believes in.
+  double t_bar = 0.0;
+  if (n > 1) {
+    double sum = 0.0;
+    for (Service_id i = 0; i < n; ++i) {
+      for (Service_id j = 0; j < n; ++j) {
+        if (i != j) sum += instance.transfer(i, j);
+      }
+    }
+    t_bar = sum / (static_cast<double>(n) * static_cast<double>(n - 1));
+  }
+
+  std::vector<double> gamma(n);
+  for (Service_id u = 0; u < n; ++u) {
+    const auto& s = instance.service(u);
+    gamma[u] = stage_term(s.cost, s.selectivity, t_bar, request.policy);
+  }
+
+  // Ascending gamma; under precedence constraints, repeatedly emit the
+  // feasible service with the smallest gamma (list scheduling).
+  std::vector<Service_id> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  while (order.size() < n) {
+    Service_id next = model::invalid_service;
+    for (Service_id u = 0; u < n; ++u) {
+      if (placed[u]) continue;
+      if (precedence && !precedence->feasible_next(u, placed)) continue;
+      if (next == model::invalid_service || gamma[u] < gamma[next]) next = u;
+    }
+    QUEST_ASSERT(next != model::invalid_service,
+                 "no feasible service to schedule");
+    order.push_back(next);
+    placed[next] = 1;
+  }
+
+  Result result;
+  result.plan = Plan(std::move(order));
+  result.cost = model::bottleneck_cost(instance, result.plan, request.policy);
+  result.stats.complete_plans = 1;
+  // Optimal only in the uniform special case it was designed for.
+  result.proven_optimal = instance.uniform_transfer() &&
+                          instance.all_selective() &&
+                          (precedence == nullptr || precedence->unconstrained());
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,34 @@
+// quest/opt/annealing.hpp
+//
+// Simulated annealing over feasible orderings: random swap/insert moves,
+// geometric cooling, Metropolis acceptance. Deterministic given the seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+struct Annealing_options {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 20'000;
+  double initial_temperature = 1.0;  ///< scaled by the seed plan's cost
+  double cooling = 0.999;            ///< multiplicative per iteration
+  double min_temperature = 1e-6;     ///< relative floor
+};
+
+class Annealing_optimizer final : public Optimizer {
+ public:
+  explicit Annealing_optimizer(Annealing_options options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "annealing"; }
+  Result optimize(const Request& request) override;
+
+ private:
+  Annealing_options options_;
+};
+
+}  // namespace quest::opt

@@ -1,0 +1,30 @@
+// quest/opt/dp.hpp
+//
+// Exact bottleneck dynamic program over subsets (Held–Karp style),
+// O(2^n · n^2) time and O(2^n · n) space. The strongest exact baseline:
+// immune to instance hardness, but limited to n <= ~20 by memory.
+//
+// State g(S, j) = the minimum, over all feasible orderings of subset S
+// ending in service j, of the maximum *determined* stage term (the
+// epsilon of that partial plan). Appending u after (S, j) fixes j's term
+// with transfer t(j, u); the final answer closes each full-set state with
+// the sink term.
+
+#pragma once
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+/// Exact subset DP for the bottleneck ordering problem.
+class Dp_optimizer final : public Optimizer {
+ public:
+  /// Instances above this size are rejected (memory = 2^n * n doubles).
+  static constexpr std::size_t max_services = 22;
+
+  std::string name() const override { return "dp"; }
+
+  Result optimize(const Request& request) override;
+};
+
+}  // namespace quest::opt

@@ -1,0 +1,33 @@
+// quest/opt/exhaustive.hpp
+//
+// Exhaustive search over all (precedence-feasible) orderings. The ground
+// truth for property tests and the n!-scale reference point of E1/E2.
+
+#pragma once
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+/// Depth-first enumeration of every feasible ordering.
+///
+/// With `bound_with_epsilon` the enumeration prunes branches whose partial
+/// epsilon already reaches the incumbent (Lemma-1-only branch-and-bound);
+/// without it the search visits every ordering — use only for tiny n or
+/// with a node limit.
+class Exhaustive_optimizer final : public Optimizer {
+ public:
+  explicit Exhaustive_optimizer(bool bound_with_epsilon = false)
+      : bound_(bound_with_epsilon) {}
+
+  std::string name() const override {
+    return bound_ ? "exhaustive-bounded" : "exhaustive";
+  }
+
+  Result optimize(const Request& request) override;
+
+ private:
+  bool bound_;
+};
+
+}  // namespace quest::opt

@@ -1,0 +1,32 @@
+// quest/opt/frontier.hpp
+//
+// Best-first (Dijkstra-style) exact search over (subset, last-service)
+// states with bottleneck relaxation — the frontier variant of the subset
+// DP. Where the DP (dp.hpp) sweeps every one of the 2^n * n states, the
+// frontier search pops states in non-decreasing epsilon order and stops at
+// the first closed goal, so easy instances finish long before the full
+// state space is touched; the worst case matches the DP.
+//
+// State dominance is sound for the bottleneck metric: two orderings of
+// the same subset ending in the same service present identical options to
+// every completion (same remaining set, same selectivity product, same
+// last service), so only the cheaper epsilon needs to survive.
+
+#pragma once
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+/// Exact best-first search; memory O(reached states), capped below.
+class Frontier_optimizer final : public Optimizer {
+ public:
+  /// Instances above this size are rejected (same state space as the DP).
+  static constexpr std::size_t max_services = 24;
+
+  std::string name() const override { return "frontier"; }
+
+  Result optimize(const Request& request) override;
+};
+
+}  // namespace quest::opt

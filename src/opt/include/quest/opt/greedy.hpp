@@ -1,0 +1,40 @@
+// quest/opt/greedy.hpp
+//
+// Constructive heuristics:
+//
+//  * Greedy_optimizer — the paper's expansion policy run once, with no
+//    backtracking: start from the cheapest feasible pair, then repeatedly
+//    append the remaining feasible service with the cheapest transfer from
+//    the current last service. Identical to the branch-and-bound's first
+//    descent.
+//
+//  * Uniform_comm_optimizer — the centralized baseline of Srivastava et
+//    al. [1]: rank services by their position-independent stage term
+//    gamma_u = term(c_u, sigma_u, t-bar) with t-bar the mean off-diagonal
+//    transfer cost, and order ascending. For truly uniform transfer costs,
+//    selectivities <= 1 and no precedence constraints this is *optimal*
+//    (adjacent-exchange argument); on heterogeneous networks it is exactly
+//    the "pretend the network is flat" plan whose degradation E5 measures.
+
+#pragma once
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+/// Cheapest-pair + cheapest-successor constructive heuristic.
+class Greedy_optimizer final : public Optimizer {
+ public:
+  std::string name() const override { return "greedy"; }
+  Result optimize(const Request& request) override;
+};
+
+/// Rank-by-gamma baseline; optimal for the uniform-communication special
+/// case with selective services, a heuristic otherwise.
+class Uniform_comm_optimizer final : public Optimizer {
+ public:
+  std::string name() const override { return "uniform-opt"; }
+  Result optimize(const Request& request) override;
+};
+
+}  // namespace quest::opt

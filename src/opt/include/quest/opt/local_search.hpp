@@ -1,0 +1,38 @@
+// quest/opt/local_search.hpp
+//
+// Pipelined-plan local search: starting from a seed (greedy by default),
+// repeatedly apply the best improving *swap* (exchange two positions) or
+// *insert* (move one service to another position) until a local optimum.
+// The standard metaheuristic yardstick for E3.
+
+#pragma once
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+struct Local_search_options {
+  /// Consider position swaps.
+  bool use_swap = true;
+  /// Consider single-service moves.
+  bool use_insert = true;
+  /// Upper bound on improvement rounds (0 = until local optimum).
+  std::size_t max_rounds = 0;
+};
+
+class Local_search_optimizer final : public Optimizer {
+ public:
+  explicit Local_search_optimizer(Local_search_options options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "local-search"; }
+  Result optimize(const Request& request) override;
+
+  /// Polishes a specific plan instead of the greedy seed.
+  Result improve(const Request& request, const model::Plan& seed);
+
+ private:
+  Local_search_options options_;
+};
+
+}  // namespace quest::opt

@@ -1,0 +1,36 @@
+// quest/opt/multistart.hpp
+//
+// Multi-start local search: local-search polish from several independent
+// starting plans (the greedy seed plus random feasible restarts), keeping
+// the best local optimum. The strongest practical heuristic in the suite
+// and the fairest metaheuristic yardstick for the exact algorithm (E3).
+
+#pragma once
+
+#include <cstdint>
+
+#include "quest/opt/local_search.hpp"
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+struct Multistart_options {
+  std::uint64_t seed = 1;
+  /// Restarts beyond the greedy-seeded first descent.
+  std::size_t restarts = 8;
+  Local_search_options local_search;
+};
+
+class Multistart_optimizer final : public Optimizer {
+ public:
+  explicit Multistart_optimizer(Multistart_options options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "multistart"; }
+  Result optimize(const Request& request) override;
+
+ private:
+  Multistart_options options_;
+};
+
+}  // namespace quest::opt

@@ -1,0 +1,102 @@
+// quest/opt/optimizer.hpp
+//
+// The optimizer abstraction shared by the paper's branch-and-bound
+// (quest::core) and every baseline (quest::opt): a Request describing the
+// problem and limits, a Result carrying the plan found plus search
+// statistics, and an abstract Optimizer.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "quest/constraints/precedence.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/model/instance.hpp"
+#include "quest/model/plan.hpp"
+
+namespace quest::opt {
+
+/// Counters describing a single optimization run. Optimizers fill the
+/// counters that apply to them; the rest stay zero.
+struct Search_stats {
+  /// Partial-plan tree nodes created (service appends).
+  std::uint64_t nodes_expanded = 0;
+  /// Complete plans whose cost was evaluated.
+  std::uint64_t complete_plans = 0;
+  /// Times the incumbent improved.
+  std::uint64_t incumbent_updates = 0;
+  /// Lemma 1: sibling loops cut because the newly fixed term reached the
+  /// incumbent (each event skips all remaining, costlier siblings).
+  std::uint64_t lemma1_cutoffs = 0;
+  /// Lemma 1: children skipped by those cuts.
+  std::uint64_t lemma1_children_skipped = 0;
+  /// Lemma 2: subtrees collapsed because epsilon >= epsilon-bar.
+  std::uint64_t lemma2_closures = 0;
+  /// Lemma 3: back-jumps performed (prefix pruned up to the bottleneck).
+  std::uint64_t lemma3_backjumps = 0;
+  /// Lemma 3: siblings skipped while unwinding to the back-jump target.
+  std::uint64_t lemma3_siblings_skipped = 0;
+  /// Size-two seed prefixes: total / actually explored.
+  std::uint64_t pairs_total = 0;
+  std::uint64_t pairs_explored = 0;
+  /// epsilon-bar evaluations performed.
+  std::uint64_t ebar_evaluations = 0;
+  /// quest extension: subtrees pruned by the admissible lower bound on
+  /// undetermined terms (Bnb_options::enable_lower_bound).
+  std::uint64_t lower_bound_prunes = 0;
+
+  /// Sum of every prune-style counter; a coarse "work avoided" indicator.
+  std::uint64_t total_prunes() const noexcept {
+    return lemma1_cutoffs + lemma2_closures + lemma3_backjumps +
+           lower_bound_prunes;
+  }
+};
+
+/// A problem to optimize. The instance (and optional precedence graph)
+/// must outlive the optimize() call.
+struct Request {
+  const model::Instance* instance = nullptr;
+  model::Send_policy policy = model::Send_policy::sequential;
+  /// Optional precedence constraints; nullptr means unconstrained.
+  const constraints::Precedence_graph* precedence = nullptr;
+  /// Stop after this many node expansions (0 = unlimited).
+  std::uint64_t node_limit = 0;
+  /// Stop after this much wall-clock time (0 = unlimited).
+  double time_limit_seconds = 0.0;
+};
+
+/// Outcome of an optimization run.
+struct Result {
+  model::Plan plan;
+  double cost = std::numeric_limits<double>::infinity();
+  /// True when the optimizer proved `plan` optimal (exact methods that ran
+  /// to completion). Heuristics always report false.
+  bool proven_optimal = false;
+  /// True when a limit stopped the search early.
+  bool hit_limit = false;
+  Search_stats stats;
+  double elapsed_seconds = 0.0;
+};
+
+/// Abstract optimizer. Implementations must be reusable: optimize() may be
+/// called repeatedly with different requests.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Short stable identifier used in tables ("bnb", "dp", "greedy", ...).
+  virtual std::string name() const = 0;
+
+  /// Solves (or approximates) the given request.
+  /// Throws Precondition_error on malformed requests (null instance,
+  /// precedence graph of the wrong size).
+  virtual Result optimize(const Request& request) = 0;
+};
+
+/// Validates the request invariants shared by all optimizers.
+void validate_request(const Request& request);
+
+}  // namespace quest::opt

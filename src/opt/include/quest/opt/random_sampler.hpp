@@ -1,0 +1,31 @@
+// quest/opt/random_sampler.hpp
+//
+// Best of K uniformly random feasible orderings — the weakest baseline,
+// anchoring the quality axis of E3.
+
+#pragma once
+
+#include <cstdint>
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+struct Random_sampler_options {
+  std::uint64_t seed = 1;
+  std::size_t samples = 1000;
+};
+
+class Random_sampler_optimizer final : public Optimizer {
+ public:
+  explicit Random_sampler_optimizer(Random_sampler_options options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "random"; }
+  Result optimize(const Request& request) override;
+
+ private:
+  Random_sampler_options options_;
+};
+
+}  // namespace quest::opt

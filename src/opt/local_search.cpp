@@ -1,0 +1,110 @@
+#include "quest/opt/local_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/timer.hpp"
+#include "quest/opt/greedy.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+
+namespace {
+
+bool respects(const constraints::Precedence_graph* precedence,
+              const std::vector<Service_id>& order) {
+  return precedence == nullptr || precedence->respects(order);
+}
+
+}  // namespace
+
+Result Local_search_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  Greedy_optimizer greedy;
+  const Result seed = greedy.optimize(request);
+  Result result = improve(request, seed.plan);
+  result.stats.nodes_expanded += seed.stats.nodes_expanded;
+  return result;
+}
+
+Result Local_search_optimizer::improve(const Request& request,
+                                       const Plan& seed) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  const auto* precedence = request.precedence;
+  QUEST_EXPECTS(seed.is_permutation_of(instance.size()),
+                "local search needs a complete seed plan");
+  QUEST_EXPECTS(respects(precedence, seed.order()),
+                "seed plan violates precedence constraints");
+  Timer timer;
+  Search_stats stats;
+
+  std::vector<Service_id> current = seed.order();
+  double current_cost =
+      model::bottleneck_cost(instance, Plan(current), request.policy);
+  ++stats.complete_plans;
+  const std::size_t n = current.size();
+
+  std::size_t rounds = 0;
+  bool improved = true;
+  while (improved &&
+         (options_.max_rounds == 0 || rounds < options_.max_rounds)) {
+    improved = false;
+    ++rounds;
+    std::vector<Service_id> best_neighbor;
+    double best_cost = current_cost;
+
+    auto consider = [&](std::vector<Service_id>& neighbor) {
+      if (!respects(precedence, neighbor)) return;
+      const double cost =
+          model::bottleneck_cost(instance, Plan(neighbor), request.policy);
+      ++stats.complete_plans;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_neighbor = neighbor;
+      }
+    };
+
+    if (options_.use_swap) {
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          std::vector<Service_id> neighbor = current;
+          std::swap(neighbor[i], neighbor[j]);
+          consider(neighbor);
+        }
+      }
+    }
+    if (options_.use_insert) {
+      for (std::size_t from = 0; from < n; ++from) {
+        for (std::size_t to = 0; to < n; ++to) {
+          if (from == to) continue;
+          std::vector<Service_id> neighbor = current;
+          const Service_id moved = neighbor[from];
+          neighbor.erase(neighbor.begin() + static_cast<std::ptrdiff_t>(from));
+          neighbor.insert(neighbor.begin() + static_cast<std::ptrdiff_t>(to),
+                          moved);
+          consider(neighbor);
+        }
+      }
+    }
+
+    if (!best_neighbor.empty()) {
+      current = std::move(best_neighbor);
+      current_cost = best_cost;
+      improved = true;
+      ++stats.incumbent_updates;
+    }
+  }
+
+  Result result;
+  result.plan = Plan(std::move(current));
+  result.cost = current_cost;
+  result.stats = stats;
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::opt

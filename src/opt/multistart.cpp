@@ -1,0 +1,70 @@
+#include "quest/opt/multistart.hpp"
+
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/rng.hpp"
+#include "quest/common/timer.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+
+namespace {
+
+/// Random feasible ordering (uniform over feasible draw sequences).
+Plan random_feasible_plan(const model::Instance& instance,
+                          const constraints::Precedence_graph* precedence,
+                          Rng& rng) {
+  const std::size_t n = instance.size();
+  std::vector<Service_id> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  std::vector<Service_id> feasible;
+  while (order.size() < n) {
+    feasible.clear();
+    for (Service_id u = 0; u < n; ++u) {
+      if (placed[u]) continue;
+      if (precedence && !precedence->feasible_next(u, placed)) continue;
+      feasible.push_back(u);
+    }
+    QUEST_ASSERT(!feasible.empty(), "no feasible service to draw");
+    const Service_id pick =
+        feasible[rng.uniform_int(static_cast<std::uint64_t>(feasible.size()))];
+    order.push_back(pick);
+    placed[pick] = 1;
+  }
+  return Plan(std::move(order));
+}
+
+}  // namespace
+
+Result Multistart_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  Timer timer;
+  Rng rng(options_.seed);
+  Local_search_optimizer search(options_.local_search);
+
+  // Descent 0: the greedy-seeded polish.
+  Result best = search.optimize(request);
+
+  for (std::size_t restart = 0; restart < options_.restarts; ++restart) {
+    const Plan start =
+        random_feasible_plan(*request.instance, request.precedence, rng);
+    Result candidate = search.improve(request, start);
+    best.stats.complete_plans += candidate.stats.complete_plans;
+    best.stats.nodes_expanded += candidate.stats.nodes_expanded;
+    if (candidate.cost < best.cost) {
+      best.plan = std::move(candidate.plan);
+      best.cost = candidate.cost;
+      ++best.stats.incumbent_updates;
+    }
+  }
+
+  best.proven_optimal = false;
+  best.elapsed_seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace quest::opt

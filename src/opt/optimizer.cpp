@@ -1,0 +1,18 @@
+#include "quest/opt/optimizer.hpp"
+
+#include "quest/common/error.hpp"
+
+namespace quest::opt {
+
+void validate_request(const Request& request) {
+  QUEST_EXPECTS(request.instance != nullptr,
+                "request.instance must not be null");
+  if (request.precedence != nullptr) {
+    QUEST_EXPECTS(request.precedence->size() == request.instance->size(),
+                  "precedence graph size must match the instance");
+  }
+  QUEST_EXPECTS(request.time_limit_seconds >= 0.0,
+                "time limit must be non-negative");
+}
+
+}  // namespace quest::opt

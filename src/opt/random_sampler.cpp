@@ -1,0 +1,77 @@
+#include "quest/opt/random_sampler.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/rng.hpp"
+#include "quest/common/timer.hpp"
+
+namespace quest::opt {
+
+using model::Plan;
+using model::Service_id;
+
+namespace {
+
+/// Uniformly random feasible ordering: repeatedly draw uniformly among the
+/// currently feasible services. (Uniform over feasible *draw sequences*,
+/// which is the standard cheap approximation of a uniform linear
+/// extension.)
+std::vector<Service_id> random_feasible_order(
+    const model::Instance& instance,
+    const constraints::Precedence_graph* precedence, Rng& rng) {
+  const std::size_t n = instance.size();
+  std::vector<Service_id> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  std::vector<Service_id> feasible;
+  feasible.reserve(n);
+  while (order.size() < n) {
+    feasible.clear();
+    for (Service_id u = 0; u < n; ++u) {
+      if (placed[u]) continue;
+      if (precedence && !precedence->feasible_next(u, placed)) continue;
+      feasible.push_back(u);
+    }
+    QUEST_ASSERT(!feasible.empty(), "no feasible service to draw");
+    const Service_id pick =
+        feasible[rng.uniform_int(static_cast<std::uint64_t>(feasible.size()))];
+    order.push_back(pick);
+    placed[pick] = 1;
+  }
+  return order;
+}
+
+}  // namespace
+
+Result Random_sampler_optimizer::optimize(const Request& request) {
+  validate_request(request);
+  const auto& instance = *request.instance;
+  Timer timer;
+  Search_stats stats;
+  Rng rng(options_.seed);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<Service_id> best;
+  for (std::size_t s = 0; s < options_.samples; ++s) {
+    auto order = random_feasible_order(instance, request.precedence, rng);
+    const double cost =
+        model::bottleneck_cost(instance, Plan(order), request.policy);
+    ++stats.complete_plans;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(order);
+      ++stats.incumbent_updates;
+    }
+  }
+
+  Result result;
+  result.plan = Plan(std::move(best));
+  result.cost = best_cost;
+  result.stats = stats;
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,204 @@
+#include "quest/runtime/choreography.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "quest/common/error.hpp"
+
+namespace quest::runtime {
+
+using model::Instance;
+using model::Plan;
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// A block travelling down a link: `count` tuples, or the end-of-stream
+/// marker.
+struct Block {
+  std::uint64_t count = 0;
+  bool eos = false;
+};
+
+/// Bounded MPSC block queue with blocking push/pop.
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(Block block) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return blocks_.size() < capacity_; });
+    blocks_.push_back(block);
+    not_empty_.notify_one();
+  }
+
+  Block pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !blocks_.empty(); });
+    const Block block = blocks_.front();
+    blocks_.pop_front();
+    not_full_.notify_one();
+    return block;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Block> blocks_;
+  std::size_t capacity_;
+};
+
+struct Worker_state {
+  double cost_us = 0.0;
+  double selectivity = 0.0;
+  double transfer_us = 0.0;  // per tuple, to the next hop (0 for sink)
+  Channel* in = nullptr;
+  Channel* out = nullptr;  // nullptr for the last service (sink collector)
+  std::uint64_t block_size = 1;
+  // results
+  double busy_us = 0.0;
+  std::uint64_t tuples_out = 0;
+};
+
+void run_service(Worker_state& state) {
+#ifdef __linux__
+  // Default timer slack (50 us) would dominate the emulated durations;
+  // 1 us keeps deadline sleeps faithful.
+  ::prctl(PR_SET_TIMERSLACK, 1000 /* ns */);
+#endif
+  double acc = 0.0;
+  std::uint64_t out_buffer = 0;
+  // Deadline accounting: each work item extends a running deadline rather
+  // than sleeping relative to "now", so wake-up latency does not
+  // accumulate across tuples within a burst.
+  clock::time_point deadline = clock::now();
+
+  auto work_for_us = [&state, &deadline](double us) {
+    if (us <= 0.0) return;
+    // The deadline is NOT clamped to "now" here: a late wake-up from the
+    // previous sleep is absorbed by the next sleep_until (which returns
+    // immediately while we are behind schedule), so overshoot does not
+    // accumulate across tuples.
+    deadline += std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double, std::micro>(us));
+    std::this_thread::sleep_until(deadline);
+    state.busy_us += us;
+  };
+
+  auto ship = [&](std::uint64_t count, bool eos) {
+    work_for_us(static_cast<double>(count) * state.transfer_us);
+    state.tuples_out += count;
+    if (state.out != nullptr && (count > 0 || eos)) {
+      state.out->push({count, eos});
+    }
+  };
+
+  for (;;) {
+    const Block block = state.in->pop();
+    // Work on this block cannot have started before it arrived.
+    if (const auto now = clock::now(); deadline < now) deadline = now;
+    for (std::uint64_t i = 0; i < block.count; ++i) {
+      work_for_us(state.cost_us);
+      acc += state.selectivity;
+      const double whole = std::floor(acc);
+      acc -= whole;
+      out_buffer += static_cast<std::uint64_t>(whole);
+      if (out_buffer >= state.block_size) {
+        ship(out_buffer, false);
+        out_buffer = 0;
+      }
+    }
+    if (block.eos) {
+      ship(out_buffer, true);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Runtime_result execute(const Instance& instance, const Plan& plan,
+                       const Runtime_config& config) {
+  QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
+                "execute requires a complete plan");
+  QUEST_EXPECTS(config.input_tuples >= 1, "need at least one input tuple");
+  QUEST_EXPECTS(config.block_size >= 1, "block size must be >= 1");
+  QUEST_EXPECTS(config.time_scale_us > 0.0, "time scale must be positive");
+  QUEST_EXPECTS(config.queue_capacity_blocks >= 1,
+                "queue capacity must be >= 1");
+
+  const std::size_t n = plan.size();
+  std::vector<std::unique_ptr<Channel>> channels;
+  channels.reserve(n + 1);
+  for (std::size_t i = 0; i < n + 1; ++i) {
+    channels.push_back(
+        std::make_unique<Channel>(config.queue_capacity_blocks));
+  }
+
+  std::vector<Worker_state> workers(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& s = instance.service(plan[p]);
+    workers[p].cost_us = s.cost * config.time_scale_us;
+    workers[p].selectivity = s.selectivity;
+    const double t = p + 1 < n ? instance.transfer(plan[p], plan[p + 1])
+                               : instance.sink_transfer(plan[p]);
+    workers[p].transfer_us = t * config.time_scale_us;
+    workers[p].in = channels[p].get();
+    workers[p].out = channels[p + 1].get();
+    workers[p].block_size = config.block_size;
+  }
+
+  const auto start = clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    threads.emplace_back(run_service, std::ref(workers[p]));
+  }
+
+  // Inject the input as full blocks followed by the end-of-stream marker.
+  std::uint64_t remaining = config.input_tuples;
+  while (remaining > 0) {
+    const std::uint64_t batch = std::min<std::uint64_t>(
+        remaining, config.block_size);
+    channels[0]->push({batch, false});
+    remaining -= batch;
+  }
+  channels[0]->push({0, true});
+
+  // Drain the sink: count tuples until the end-of-stream marker arrives.
+  std::uint64_t delivered = 0;
+  for (;;) {
+    const Block block = channels[n]->pop();
+    delivered += block.count;
+    if (block.eos) break;
+  }
+  const auto end = clock::now();
+  for (auto& thread : threads) thread.join();
+
+  Runtime_result result;
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.per_tuple_cost_units =
+      result.wall_seconds * 1e6 /
+      (static_cast<double>(config.input_tuples) * config.time_scale_us);
+  result.predicted_cost = model::bottleneck_cost(instance, plan);
+  result.tuples_delivered = delivered;
+  result.busy_fraction.reserve(n);
+  for (const auto& worker : workers) {
+    result.busy_fraction.push_back(
+        worker.busy_us / (result.wall_seconds * 1e6));
+  }
+  return result;
+}
+
+}  // namespace quest::runtime

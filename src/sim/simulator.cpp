@@ -1,0 +1,242 @@
+#include "quest/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "quest/common/error.hpp"
+#include "quest/common/rng.hpp"
+
+namespace quest::sim {
+
+using model::Instance;
+using model::Plan;
+using model::Send_policy;
+
+namespace {
+
+enum class Event_kind { arrival, wake };
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // FIFO tie-break for equal times
+  std::size_t position;
+  Event_kind kind;
+  std::uint64_t count = 0;  // arrival payload
+  bool eos = false;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct Node {
+  // static
+  double cost = 0.0;
+  double selectivity = 0.0;
+  double transfer_out = 0.0;  // per-tuple cost to the next hop / sink
+  // dynamic
+  std::uint64_t queue = 0;
+  bool eos_in = false;
+  bool done = false;
+  double acc = 0.0;  // deterministic-selectivity accumulator
+  std::uint64_t out_buffer = 0;
+  double busy_until = 0.0;
+  double channel_until = 0.0;  // overlapped sends
+  Service_metrics metrics;
+};
+
+class Simulation {
+ public:
+  Simulation(const Instance& instance, const Plan& plan,
+             const Sim_config& config)
+      : instance_(instance), config_(config), rng_(config.seed) {
+    QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
+                  "simulate requires a complete plan");
+    QUEST_EXPECTS(config.input_tuples >= 1, "need at least one input tuple");
+    QUEST_EXPECTS(config.block_size >= 1, "block size must be >= 1");
+    QUEST_EXPECTS(config.cost_jitter >= 0.0 && config.cost_jitter < 1.0,
+                  "cost jitter must be in [0, 1)");
+    QUEST_EXPECTS(config.per_block_overhead >= 0.0,
+                  "per-block overhead must be non-negative");
+    const std::size_t n = plan.size();
+    nodes_.resize(n);
+    wake_armed_.assign(n, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto& s = instance.service(plan[p]);
+      nodes_[p].cost = s.cost;
+      nodes_[p].selectivity = s.selectivity;
+      nodes_[p].transfer_out = p + 1 < n
+                                   ? instance.transfer(plan[p], plan[p + 1])
+                                   : instance.sink_transfer(plan[p]);
+    }
+    predicted_ = model::bottleneck_cost(instance, plan, config.policy);
+  }
+
+  Sim_result run() {
+    // All input tuples are available at time zero, followed by the
+    // end-of-stream marker.
+    push({0.0, seq_++, 0, Event_kind::arrival, config_.input_tuples, false});
+    push({0.0, seq_++, 0, Event_kind::arrival, 0, true});
+
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      Node& node = nodes_[event.position];
+      if (event.kind == Event_kind::arrival) {
+        node.queue += event.count;
+        node.metrics.tuples_in += event.count;
+        if (event.eos) node.eos_in = true;
+      }
+      advance(event.position, event.time);
+    }
+
+    Sim_result result;
+    result.makespan = makespan_;
+    result.tuples_delivered = delivered_;
+    result.per_tuple_time =
+        makespan_ / static_cast<double>(config_.input_tuples);
+    result.predicted_cost = predicted_;
+    result.services.reserve(nodes_.size());
+    double best_utilization = -1.0;
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      Service_metrics metrics = nodes_[p].metrics;
+      const double busy =
+          config_.policy == Send_policy::sequential
+              ? metrics.processing_time + metrics.send_time
+              : std::max(metrics.processing_time, metrics.send_time);
+      metrics.utilization = makespan_ > 0.0 ? busy / makespan_ : 0.0;
+      if (metrics.utilization > best_utilization) {
+        best_utilization = metrics.utilization;
+        result.busiest_position = p;
+      }
+      result.services.push_back(metrics);
+    }
+    return result;
+  }
+
+ private:
+  void push(Event event) { events_.push(event); }
+
+  /// Lets the service at `position` make progress at time `now`.
+  /// Processes at most one tuple per invocation, then re-arms a wake.
+  void advance(std::size_t position, double now) {
+    Node& node = nodes_[position];
+    if (node.done) return;
+    if (node.busy_until > now) {
+      // Still busy; the pending wake scheduled at busy_until will return
+      // here. (Arrivals during busy periods rely on that wake.)
+      if (!wake_armed_[position]) arm_wake(position, node.busy_until);
+      return;
+    }
+    wake_armed_[position] = false;
+
+    if (node.queue > 0) {
+      node.queue -= 1;
+      double dt = node.cost;
+      if (config_.cost_jitter > 0.0) {
+        dt *= rng_.uniform(1.0 - config_.cost_jitter,
+                           1.0 + config_.cost_jitter);
+      }
+      node.metrics.processing_time += dt;
+      node.busy_until = now + dt;
+      const std::uint64_t outputs = emit(node);
+      node.out_buffer += outputs;
+      node.metrics.tuples_out += outputs;
+      if (node.out_buffer >= config_.block_size) {
+        send_block(position, node.busy_until);
+      }
+      arm_wake(position, node.busy_until);
+      return;
+    }
+
+    if (node.eos_in) {
+      // Upstream is exhausted and the queue is drained: flush and forward
+      // the end-of-stream marker.
+      double eos_time = now;
+      if (node.out_buffer > 0) {
+        send_block(position, now);
+        eos_time = config_.policy == Send_policy::sequential
+                       ? node.busy_until
+                       : node.channel_until;
+      } else if (config_.policy == Send_policy::overlapped) {
+        eos_time = std::max(now, node.channel_until);
+      }
+      node.done = true;
+      if (position + 1 < nodes_.size()) {
+        push({eos_time, seq_++, position + 1, Event_kind::arrival, 0, true});
+      } else {
+        makespan_ = std::max(makespan_, eos_time);
+      }
+    }
+  }
+
+  std::uint64_t emit(Node& node) {
+    if (config_.selectivity_mode == Selectivity_mode::deterministic) {
+      node.acc += node.selectivity;
+      const double whole = std::floor(node.acc);
+      node.acc -= whole;
+      return static_cast<std::uint64_t>(whole);
+    }
+    const double whole = std::floor(node.selectivity);
+    const double frac = node.selectivity - whole;
+    return static_cast<std::uint64_t>(whole) +
+           (rng_.bernoulli(frac) ? 1u : 0u);
+  }
+
+  void send_block(std::size_t position, double start) {
+    Node& node = nodes_[position];
+    const std::uint64_t block = node.out_buffer;
+    node.out_buffer = 0;
+    if (block == 0) return;
+    const double duration = config_.per_block_overhead +
+                            static_cast<double>(block) * node.transfer_out;
+    double arrival;
+    if (config_.policy == Send_policy::sequential) {
+      // The single service thread ships the block itself.
+      node.busy_until = std::max(node.busy_until, start) + duration;
+      arrival = node.busy_until;
+    } else {
+      const double begin = std::max(node.channel_until, start);
+      node.channel_until = begin + duration;
+      arrival = node.channel_until;
+    }
+    node.metrics.send_time += duration;
+    node.metrics.blocks_sent += 1;
+    if (position + 1 < nodes_.size()) {
+      push({arrival, seq_++, position + 1, Event_kind::arrival, block,
+            false});
+    } else {
+      delivered_ += block;
+      makespan_ = std::max(makespan_, arrival);
+    }
+  }
+
+  void arm_wake(std::size_t position, double time) {
+    if (wake_armed_[position]) return;
+    wake_armed_[position] = true;
+    push({time, seq_++, position, Event_kind::wake, 0, false});
+  }
+
+  const Instance& instance_;
+  Sim_config config_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<char> wake_armed_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  double makespan_ = 0.0;
+  double predicted_ = 0.0;
+};
+
+}  // namespace
+
+Sim_result simulate(const Instance& instance, const Plan& plan,
+                    const Sim_config& config) {
+  Simulation simulation(instance, plan, config);
+  return simulation.run();
+}
+
+}  // namespace quest::sim

@@ -1,0 +1,99 @@
+#include "quest/workload/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "quest/common/stats.hpp"
+
+namespace quest::workload {
+
+using model::Instance;
+using model::Service_id;
+
+Instance_profile analyze(const Instance& instance) {
+  Instance_profile profile;
+  const std::size_t n = instance.size();
+  profile.services = n;
+
+  Running_stats sigma_stats;
+  Running_stats cost_stats;
+  double log_sigma_sum = 0.0;
+  bool zero_sigma = false;
+  std::size_t expanding = 0;
+  for (Service_id u = 0; u < n; ++u) {
+    const double sigma = instance.selectivity(u);
+    sigma_stats.add(sigma);
+    cost_stats.add(instance.cost(u));
+    if (sigma > 1.0) ++expanding;
+    if (sigma > 0.0) {
+      log_sigma_sum += std::log(sigma);
+    } else {
+      zero_sigma = true;
+    }
+  }
+  profile.selectivity_min = sigma_stats.min();
+  profile.selectivity_max = sigma_stats.max();
+  profile.selectivity_geomean =
+      zero_sigma ? 0.0 : std::exp(log_sigma_sum / static_cast<double>(n));
+  profile.expanding_fraction =
+      static_cast<double>(expanding) / static_cast<double>(n);
+  profile.cost_mean = cost_stats.mean();
+
+  Running_stats transfer_stats;
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+  for (Service_id i = 0; i < n; ++i) {
+    for (Service_id j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double t = instance.transfer(i, j);
+      transfer_stats.add(t);
+      t_min = std::min(t_min, t);
+      t_max = std::max(t_max, t);
+    }
+  }
+  if (transfer_stats.count() > 0) {
+    profile.transfer_mean = transfer_stats.mean();
+    profile.transfer_cv = transfer_stats.mean() > 0.0
+                              ? transfer_stats.stddev() / transfer_stats.mean()
+                              : 0.0;
+    profile.transfer_spread =
+        t_min > 0.0 ? t_max / t_min
+                    : (t_max > 0.0
+                           ? std::numeric_limits<double>::infinity()
+                           : 1.0);
+  } else {
+    // Single-service instance: no links.
+    profile.transfer_spread = 1.0;
+  }
+
+  const double sigma_bar = sigma_stats.mean();
+  const double denominator =
+      profile.cost_mean + sigma_bar * profile.transfer_mean;
+  profile.communication_share =
+      denominator > 0.0 ? sigma_bar * profile.transfer_mean / denominator
+                        : 0.0;
+
+  if (profile.expanding_fraction > 0.0) {
+    profile.regime = Hardness_regime::expanding;
+  } else if (profile.selectivity_geomean >= 0.8) {
+    profile.regime = Hardness_regime::near_tsp;
+  } else {
+    profile.regime = Hardness_regime::selective;
+  }
+  return profile;
+}
+
+std::string to_string(Hardness_regime regime) {
+  switch (regime) {
+    case Hardness_regime::selective:
+      return "selective";
+    case Hardness_regime::near_tsp:
+      return "near-tsp";
+    case Hardness_regime::expanding:
+      return "expanding";
+  }
+  return "unknown";
+}
+
+}  // namespace quest::workload

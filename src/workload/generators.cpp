@@ -1,0 +1,183 @@
+#include "quest/workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "quest/common/error.hpp"
+
+namespace quest::workload {
+
+using model::Instance;
+using model::Service;
+using model::Service_id;
+
+namespace {
+
+std::vector<Service> make_services(std::size_t n, double cost_min,
+                                   double cost_max, double sel_min,
+                                   double sel_max, Rng& rng) {
+  QUEST_EXPECTS(n >= 1, "generator needs n >= 1");
+  QUEST_EXPECTS(cost_min >= 0.0 && cost_min <= cost_max,
+                "invalid cost range");
+  QUEST_EXPECTS(sel_min >= 0.0 && sel_min <= sel_max,
+                "invalid selectivity range");
+  std::vector<Service> services(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    services[i].cost = rng.uniform(cost_min, cost_max);
+    services[i].selectivity = rng.uniform(sel_min, sel_max);
+    services[i].name = "WS" + std::to_string(i);
+  }
+  return services;
+}
+
+}  // namespace
+
+Instance make_uniform(const Uniform_spec& spec, Rng& rng) {
+  QUEST_EXPECTS(spec.transfer_min >= 0.0 &&
+                    spec.transfer_min <= spec.transfer_max,
+                "invalid transfer range");
+  QUEST_EXPECTS(spec.sink_min >= 0.0 && spec.sink_min <= spec.sink_max,
+                "invalid sink range");
+  auto services =
+      make_services(spec.n, spec.cost_min, spec.cost_max,
+                    spec.selectivity_min, spec.selectivity_max, rng);
+  Matrix<double> transfer = Matrix<double>::square(spec.n, 0.0);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = spec.symmetric ? i + 1 : 0; j < spec.n; ++j) {
+      if (i == j) continue;
+      const double t = rng.uniform(spec.transfer_min, spec.transfer_max);
+      transfer(i, j) = t;
+      if (spec.symmetric) transfer(j, i) = t;
+    }
+  }
+  std::vector<double> sink(spec.n, 0.0);
+  if (spec.sink_max > 0.0) {
+    for (auto& s : sink) s = rng.uniform(spec.sink_min, spec.sink_max);
+  }
+  return Instance(std::move(services), std::move(transfer), std::move(sink),
+                  "uniform");
+}
+
+Instance make_clustered(const Clustered_spec& spec, Rng& rng) {
+  QUEST_EXPECTS(spec.clusters >= 1, "need at least one cluster");
+  QUEST_EXPECTS(spec.intra_transfer >= 0.0 && spec.inter_transfer >= 0.0,
+                "transfer costs must be non-negative");
+  QUEST_EXPECTS(spec.jitter >= 0.0 && spec.jitter < 1.0,
+                "jitter must be in [0, 1)");
+  auto services =
+      make_services(spec.n, spec.cost_min, spec.cost_max,
+                    spec.selectivity_min, spec.selectivity_max, rng);
+  std::vector<std::size_t> cluster_of(spec.n);
+  for (auto& c : cluster_of) {
+    c = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(spec.clusters)));
+  }
+  Matrix<double> transfer = Matrix<double>::square(spec.n, 0.0);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = 0; j < spec.n; ++j) {
+      if (i == j) continue;
+      const double base = cluster_of[i] == cluster_of[j]
+                              ? spec.intra_transfer
+                              : spec.inter_transfer;
+      transfer(i, j) =
+          base * rng.uniform(1.0 - spec.jitter, 1.0 + spec.jitter);
+    }
+  }
+  return Instance(std::move(services), std::move(transfer), {}, "clustered");
+}
+
+Instance make_euclidean(const Euclidean_spec& spec, Rng& rng) {
+  QUEST_EXPECTS(spec.scale >= 0.0, "scale must be non-negative");
+  QUEST_EXPECTS(spec.noise >= 0.0 && spec.noise < 1.0,
+                "noise must be in [0, 1)");
+  auto services =
+      make_services(spec.n, spec.cost_min, spec.cost_max,
+                    spec.selectivity_min, spec.selectivity_max, rng);
+  std::vector<std::pair<double, double>> host(spec.n);
+  for (auto& [x, y] : host) {
+    x = rng.uniform();
+    y = rng.uniform();
+  }
+  Matrix<double> transfer = Matrix<double>::square(spec.n, 0.0);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = i + 1; j < spec.n; ++j) {
+      const double dx = host[i].first - host[j].first;
+      const double dy = host[i].second - host[j].second;
+      const double distance = std::sqrt(dx * dx + dy * dy) / std::sqrt(2.0);
+      const double t = spec.scale * distance *
+                       rng.uniform(1.0 - spec.noise, 1.0 + spec.noise);
+      transfer(i, j) = t;
+      transfer(j, i) = t;
+    }
+  }
+  return Instance(std::move(services), std::move(transfer), {}, "euclidean");
+}
+
+Instance make_heterogeneous(const Heterogeneity_spec& spec, Rng& rng) {
+  QUEST_EXPECTS(spec.heterogeneity >= 0.0 && spec.heterogeneity <= 1.0,
+                "heterogeneity must be in [0, 1]");
+  QUEST_EXPECTS(spec.transfer_min >= 0.0 &&
+                    spec.transfer_min <= spec.transfer_max,
+                "invalid transfer range");
+  auto services =
+      make_services(spec.n, spec.cost_min, spec.cost_max,
+                    spec.selectivity_min, spec.selectivity_max, rng);
+  const double h = spec.heterogeneity;
+  Matrix<double> transfer = Matrix<double>::square(spec.n, 0.0);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = 0; j < spec.n; ++j) {
+      if (i == j) continue;
+      const double random_t =
+          rng.uniform(spec.transfer_min, spec.transfer_max);
+      transfer(i, j) = (1.0 - h) * spec.t_base + h * random_t;
+    }
+  }
+  return Instance(std::move(services), std::move(transfer), {},
+                  "heterogeneous");
+}
+
+Instance make_bottleneck_tsp(const Bottleneck_tsp_spec& spec, Rng& rng) {
+  QUEST_EXPECTS(spec.transfer_min >= 0.0 &&
+                    spec.transfer_min <= spec.transfer_max,
+                "invalid transfer range");
+  std::vector<Service> services(spec.n);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    services[i].cost = 0.0;
+    services[i].selectivity = 1.0;
+    services[i].name = "city" + std::to_string(i);
+  }
+  Matrix<double> transfer = Matrix<double>::square(spec.n, 0.0);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = spec.symmetric ? i + 1 : 0; j < spec.n; ++j) {
+      if (i == j) continue;
+      const double t = rng.uniform(spec.transfer_min, spec.transfer_max);
+      transfer(i, j) = t;
+      if (spec.symmetric) transfer(j, i) = t;
+    }
+  }
+  return Instance(std::move(services), std::move(transfer), {},
+                  "bottleneck-tsp");
+}
+
+constraints::Precedence_graph make_random_dag(std::size_t n, double density,
+                                              Rng& rng) {
+  QUEST_EXPECTS(density >= 0.0 && density <= 1.0,
+                "density must be in [0, 1]");
+  constraints::Precedence_graph graph(n);
+  // A random relabeling hides the id order so edge direction does not
+  // correlate with service ids.
+  const auto label = rng.permutation(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(density)) {
+        graph.add_edge(static_cast<Service_id>(label[i]),
+                       static_cast<Service_id>(label[j]));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace quest::workload

@@ -1,0 +1,55 @@
+// quest/workload/analysis.hpp
+//
+// Instance analysis: the structural statistics that predict how the
+// problem behaves — selectivity decay (drives Lemma-2 closures), link
+// heterogeneity (drives the gap to the centralized optimum), expansion
+// (drives search hardness). Used by bench footers, examples, and anyone
+// deciding between the exact search and a heuristic.
+
+#pragma once
+
+#include <string>
+
+#include "quest/model/instance.hpp"
+
+namespace quest::workload {
+
+/// Search-hardness regimes, in increasing order of expected effort.
+enum class Hardness_regime {
+  selective,  ///< geometric-mean sigma well below 1: closures fire early
+  near_tsp,   ///< sigma concentrated near 1: bottleneck-TSP-like
+  expanding,  ///< sigma > 1 present: the hardest regime (see E4)
+};
+
+struct Instance_profile {
+  std::size_t services = 0;
+  /// Geometric mean of the selectivities (0 if any sigma is 0).
+  double selectivity_geomean = 0.0;
+  double selectivity_min = 0.0;
+  double selectivity_max = 0.0;
+  /// Share of services with sigma > 1.
+  double expanding_fraction = 0.0;
+  /// Coefficient of variation (stddev / mean) of the off-diagonal
+  /// transfer costs: 0 = flat network (the centralized special case),
+  /// larger = more to gain from decentralization-aware ordering.
+  double transfer_cv = 0.0;
+  /// Mean off-diagonal transfer cost (the t-bar of uniform-opt).
+  double transfer_mean = 0.0;
+  /// max/min off-diagonal transfer ratio (infinity when min is 0).
+  double transfer_spread = 0.0;
+  /// Mean processing cost.
+  double cost_mean = 0.0;
+  /// Share of the mean stage term contributed by transfers
+  /// (sigma-bar * t-bar / (c-bar + sigma-bar * t-bar)): communication-bound
+  /// instances reward decentralized planning the most.
+  double communication_share = 0.0;
+  Hardness_regime regime = Hardness_regime::selective;
+};
+
+/// Computes the profile; O(n^2).
+Instance_profile analyze(const model::Instance& instance);
+
+/// Human-readable regime name ("selective", "near-tsp", "expanding").
+std::string to_string(Hardness_regime regime);
+
+}  // namespace quest::workload

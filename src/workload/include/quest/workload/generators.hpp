@@ -1,0 +1,107 @@
+// quest/workload/generators.hpp
+//
+// Synthetic problem-instance generators. These stand in for the paper's
+// unavailable experimental workloads (see DESIGN.md, substitutions): each
+// generator produces the structural feature a given experiment needs —
+// heterogeneous links, clustered hosts, selectivity regimes, pure
+// bottleneck-TSP structure — from an explicit 64-bit seed.
+
+#pragma once
+
+#include <cstddef>
+
+#include "quest/common/rng.hpp"
+#include "quest/constraints/precedence.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest::workload {
+
+/// Independent-uniform instance: costs, selectivities and (asymmetric)
+/// transfer costs drawn i.i.d. from the given ranges.
+struct Uniform_spec {
+  std::size_t n = 8;
+  double cost_min = 0.5;
+  double cost_max = 10.0;
+  double selectivity_min = 0.1;
+  double selectivity_max = 1.0;
+  double transfer_min = 0.1;
+  double transfer_max = 5.0;
+  /// Force t_{i,j} == t_{j,i}.
+  bool symmetric = false;
+  /// Per-service transfer cost back to the query originator; both zero
+  /// (the paper's Eq. 1) by default.
+  double sink_min = 0.0;
+  double sink_max = 0.0;
+};
+
+model::Instance make_uniform(const Uniform_spec& spec, Rng& rng);
+
+/// Services placed on hosts grouped into clusters (data centers): cheap
+/// intra-cluster links, expensive inter-cluster links, multiplicative
+/// jitter. The canonical "decentralization matters" topology (E5).
+struct Clustered_spec {
+  std::size_t n = 12;
+  std::size_t clusters = 3;
+  double intra_transfer = 0.2;
+  double inter_transfer = 4.0;
+  /// Relative jitter: each link is scaled by U[1-jitter, 1+jitter].
+  double jitter = 0.25;
+  double cost_min = 0.5;
+  double cost_max = 10.0;
+  double selectivity_min = 0.1;
+  double selectivity_max = 1.0;
+};
+
+model::Instance make_clustered(const Clustered_spec& spec, Rng& rng);
+
+/// Hosts embedded in the unit square; transfer cost proportional to
+/// Euclidean distance plus noise. Symmetric, roughly metric.
+struct Euclidean_spec {
+  std::size_t n = 12;
+  double scale = 5.0;   ///< cost of crossing the whole square
+  double noise = 0.05;  ///< relative per-link noise
+  double cost_min = 0.5;
+  double cost_max = 10.0;
+  double selectivity_min = 0.1;
+  double selectivity_max = 1.0;
+};
+
+model::Instance make_euclidean(const Euclidean_spec& spec, Rng& rng);
+
+/// The E5 heterogeneity knob: every link interpolates between a flat
+/// network (h = 0: all links equal t_base) and a fully random one (h = 1:
+/// links i.i.d. in [transfer_min, transfer_max]).
+struct Heterogeneity_spec {
+  std::size_t n = 10;
+  double heterogeneity = 0.5;  ///< h in [0, 1]
+  double t_base = 2.0;
+  double transfer_min = 0.1;
+  double transfer_max = 5.0;
+  double cost_min = 0.5;
+  double cost_max = 10.0;
+  double selectivity_min = 0.1;
+  double selectivity_max = 1.0;
+};
+
+model::Instance make_heterogeneous(const Heterogeneity_spec& spec, Rng& rng);
+
+/// The paper's hardness reduction (E7): selectivities 1, costs 0 — the
+/// bottleneck cost metric degenerates to the largest link in the path, and
+/// optimal ordering becomes bottleneck TSP (path variant).
+struct Bottleneck_tsp_spec {
+  std::size_t n = 10;
+  double transfer_min = 1.0;
+  double transfer_max = 100.0;
+  bool symmetric = true;
+};
+
+model::Instance make_bottleneck_tsp(const Bottleneck_tsp_spec& spec,
+                                    Rng& rng);
+
+/// Random DAG over n services: for every pair i < j under a random
+/// relabeling, edge with probability `density`. density 0 = unconstrained;
+/// 1 = a total order (one feasible plan).
+constraints::Precedence_graph make_random_dag(std::size_t n, double density,
+                                              Rng& rng);
+
+}  // namespace quest::workload

@@ -1,0 +1,43 @@
+// quest/workload/scenarios.hpp
+//
+// Hand-built, named scenarios used by the examples and integration tests.
+// credit_screening() is the paper's own motivating example (Section 1);
+// the others are realistic WS-workflow shapes from the literature the
+// paper builds on (WS-DBMS pipelines a la Srivastava et al.).
+
+#pragma once
+
+#include "quest/constraints/precedence.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest::workload {
+
+/// A named scenario: an instance plus (possibly empty) precedence
+/// constraints.
+struct Scenario {
+  model::Instance instance;
+  constraints::Precedence_graph precedence;
+  std::string description;
+};
+
+/// The paper's Section-1 example, extended to a 6-service screening
+/// pipeline over three data centers:
+///   0 card-lookup      sigma 3.2  (person -> credit card numbers, expands)
+///   1 payment-history  sigma 0.3  (keeps good payers)
+///   2 fraud-blacklist  sigma 0.92
+///   3 address-verify   sigma 0.75
+///   4 income-estimate  sigma 1.0  (pure enrichment)
+///   5 risk-score       sigma 0.55
+/// card-lookup must precede risk-score (the score needs card numbers).
+Scenario credit_screening();
+
+/// An astronomy cross-matching pipeline: all services selective, spread
+/// over two sites with a slow cross-site link; source-extraction precedes
+/// everything else.
+Scenario sky_survey();
+
+/// A log-analytics pipeline with one expanding service (session
+/// reconstruction) and heterogeneous cloud-region links.
+Scenario log_analytics();
+
+}  // namespace quest::workload

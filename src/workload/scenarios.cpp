@@ -1,0 +1,92 @@
+#include "quest/workload/scenarios.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace quest::workload {
+
+using model::Instance;
+using model::Service;
+using quest::Matrix;
+
+namespace {
+
+/// Builds a transfer matrix from per-service data-center ids with fixed
+/// intra/inter costs modulated by a deterministic per-pair variation, so
+/// scenarios are reproducible without an RNG.
+Matrix<double> site_matrix(const std::vector<int>& site, double intra,
+                           double inter) {
+  const std::size_t n = site.size();
+  Matrix<double> t = Matrix<double>::square(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double base = site[i] == site[j] ? intra : inter;
+      // Deterministic +-15% variation per ordered pair.
+      const double wiggle =
+          1.0 +
+          0.15 * (static_cast<double>((i * 7 + j * 13) % 11) / 5.0 - 1.0);
+      t(i, j) = base * wiggle;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Scenario credit_screening() {
+  std::vector<Service> services = {
+      {1.8, 3.2, "card-lookup"},     {0.9, 0.30, "payment-history"},
+      {0.5, 0.92, "fraud-blacklist"}, {1.2, 0.75, "address-verify"},
+      {2.5, 1.0, "income-estimate"},  {1.6, 0.55, "risk-score"},
+  };
+  // Three data centers: {0,1} | {2,3} | {4,5}.
+  const std::vector<int> site = {0, 0, 1, 1, 2, 2};
+  Instance instance(std::move(services), site_matrix(site, 0.25, 3.5), {},
+                    "credit-screening");
+  constraints::Precedence_graph precedence(instance.size());
+  precedence.add_edge(0, 5);  // risk-score consumes card numbers
+  return {std::move(instance), std::move(precedence),
+          "Customer screening: find credit cards of applicants with a good "
+          "payment history (the paper's Section-1 example)"};
+}
+
+Scenario sky_survey() {
+  std::vector<Service> services = {
+      {3.0, 0.60, "source-extract"}, {1.1, 0.85, "dedup"},
+      {2.2, 0.40, "cross-match"},    {0.8, 0.70, "quality-filter"},
+      {4.5, 0.25, "classify"},       {1.4, 0.90, "photometry"},
+      {0.6, 0.95, "astrometry"},
+  };
+  const std::vector<int> site = {0, 0, 1, 0, 1, 1, 0};
+  Instance instance(std::move(services), site_matrix(site, 0.15, 6.0), {},
+                    "sky-survey");
+  constraints::Precedence_graph precedence(instance.size());
+  for (model::Service_id v = 1; v < instance.size(); ++v) {
+    precedence.add_edge(0, v);  // everything needs extracted sources
+  }
+  precedence.add_edge(1, 2);  // cross-match after dedup
+  return {std::move(instance), std::move(precedence),
+          "Astronomy survey pipeline across two sites with a slow "
+          "cross-site link"};
+}
+
+Scenario log_analytics() {
+  std::vector<Service> services = {
+      {0.4, 0.50, "parse"},          {0.7, 2.4, "sessionize"},
+      {1.5, 0.35, "bot-filter"},     {2.1, 0.80, "geo-enrich"},
+      {0.9, 0.65, "anomaly-detect"}, {1.2, 0.45, "pii-scrub"},
+      {3.4, 0.30, "aggregate"},      {0.5, 0.75, "dedupe"},
+  };
+  const std::vector<int> site = {0, 1, 1, 2, 0, 2, 1, 0};
+  Instance instance(std::move(services), site_matrix(site, 0.3, 2.8), {},
+                    "log-analytics");
+  constraints::Precedence_graph precedence(instance.size());
+  precedence.add_edge(0, 1);  // sessionize needs parsed records
+  precedence.add_edge(1, 6);  // aggregate consumes sessions
+  return {std::move(instance), std::move(precedence),
+          "Click-stream analytics with one expanding service "
+          "(sessionization, sigma > 1) across three cloud regions"};
+}
+
+}  // namespace quest::workload

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quest/common/cli.hpp"
+#include "quest/common/error.hpp"
+
+namespace quest {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+TEST(Cli_test, DefaultsSurviveEmptyParse) {
+  Cli cli("prog", "test");
+  auto& n = cli.add_int("n", 12, "size");
+  auto& x = cli.add_double("x", 1.5, "ratio");
+  auto& flag = cli.add_bool("flag", false, "toggle");
+  auto& name = cli.add_string("name", "abc", "label");
+  const auto argv = argv_of({});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(n.value, 12);
+  EXPECT_FALSE(n.set);
+  EXPECT_DOUBLE_EQ(x.value, 1.5);
+  EXPECT_FALSE(flag.value);
+  EXPECT_EQ(name.value, "abc");
+}
+
+TEST(Cli_test, ParsesEqualsAndSpaceForms) {
+  Cli cli("prog", "test");
+  auto& n = cli.add_int("n", 0, "size");
+  auto& x = cli.add_double("x", 0.0, "ratio");
+  auto& name = cli.add_string("name", "", "label");
+  const auto argv = argv_of({"--n=42", "--x", "2.75", "--name=hello"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(n.value, 42);
+  EXPECT_TRUE(n.set);
+  EXPECT_DOUBLE_EQ(x.value, 2.75);
+  EXPECT_EQ(name.value, "hello");
+}
+
+TEST(Cli_test, BooleanForms) {
+  Cli cli("prog", "test");
+  auto& a = cli.add_bool("a", false, "");
+  auto& b = cli.add_bool("b", true, "");
+  auto& c = cli.add_bool("c", false, "");
+  const auto argv = argv_of({"--a", "--b=false", "--c=yes"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(a.value);
+  EXPECT_FALSE(b.value);
+  EXPECT_TRUE(c.value);
+}
+
+TEST(Cli_test, NegativeNumbers) {
+  Cli cli("prog", "test");
+  auto& n = cli.add_int("n", 0, "");
+  auto& x = cli.add_double("x", 0.0, "");
+  const auto argv = argv_of({"--n=-7", "--x=-2.5"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(n.value, -7);
+  EXPECT_DOUBLE_EQ(x.value, -2.5);
+}
+
+TEST(Cli_test, PositionalArgumentsCollected) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 0, "");
+  const auto argv = argv_of({"file1", "--n=1", "file2"});
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli_test, Errors) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 0, "");
+  {
+    const auto argv = argv_of({"--unknown=1"});
+    EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+                 Parse_error);
+  }
+  {
+    const auto argv = argv_of({"--n=abc"});
+    EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+                 Parse_error);
+  }
+  {
+    const auto argv = argv_of({"--n"});
+    EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+                 Parse_error);
+  }
+}
+
+TEST(Cli_test, MalformedDoubleAndBool) {
+  Cli cli("prog", "test");
+  cli.add_double("x", 0.0, "");
+  cli.add_bool("b", false, "");
+  {
+    const auto argv = argv_of({"--x=1.2.3"});
+    EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+                 Parse_error);
+  }
+  {
+    const auto argv = argv_of({"--b=maybe"});
+    EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+                 Parse_error);
+  }
+}
+
+TEST(Cli_test, DuplicateRegistrationThrows) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 0, "");
+  EXPECT_THROW(cli.add_double("n", 0.0, ""), Precondition_error);
+}
+
+TEST(Cli_test, UsageListsFlags) {
+  Cli cli("prog", "does things");
+  cli.add_int("n", 3, "instance size");
+  cli.add_bool("csv", false, "emit csv");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("instance size"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "quest/common/error.hpp"
+#include "quest/common/matrix.hpp"
+
+namespace quest {
+namespace {
+
+TEST(Matrix_test, ConstructionAndFill) {
+  Matrix<int> m(2, 3, 7);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 7);
+  }
+  m.fill(-1);
+  EXPECT_EQ(m(1, 2), -1);
+}
+
+TEST(Matrix_test, DefaultIsEmpty) {
+  const Matrix<double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix_test, SquareFactory) {
+  const auto m = Matrix<double>::square(4, 1.5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(3, 3), 1.5);
+}
+
+TEST(Matrix_test, IndexingIsRowMajorAndMutable) {
+  Matrix<int> m(2, 2);
+  m(0, 1) = 5;
+  m(1, 0) = 9;
+  EXPECT_EQ(m.data()[1], 5);
+  EXPECT_EQ(m.data()[2], 9);
+  EXPECT_EQ(m.at_unchecked(0, 1), 5);
+}
+
+TEST(Matrix_test, BoundsChecking) {
+  Matrix<int> m(2, 3);
+  EXPECT_THROW(m(2, 0), Precondition_error);
+  EXPECT_THROW(m(0, 3), Precondition_error);
+  const Matrix<int>& cm = m;
+  EXPECT_THROW(cm(5, 5), Precondition_error);
+}
+
+TEST(Matrix_test, RowMaxIf) {
+  Matrix<double> m(2, 4, 0.0);
+  m(0, 0) = 3.0;
+  m(0, 1) = 9.0;
+  m(0, 2) = 5.0;
+  m(0, 3) = 1.0;
+  const double all = m.row_max_if(0, [](std::size_t) { return true; }, -1.0);
+  EXPECT_DOUBLE_EQ(all, 9.0);
+  const double no_one =
+      m.row_max_if(0, [](std::size_t c) { return c != 1; }, -1.0);
+  EXPECT_DOUBLE_EQ(no_one, 5.0);
+  const double none = m.row_max_if(0, [](std::size_t) { return false; }, -1.0);
+  EXPECT_DOUBLE_EQ(none, -1.0);
+  EXPECT_THROW(m.row_max_if(2, [](std::size_t) { return true; }, 0.0),
+               Precondition_error);
+}
+
+TEST(Matrix_test, Equality) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 2;
+  EXPECT_FALSE(a == b);
+  const Matrix<int> c(2, 3, 1);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace quest

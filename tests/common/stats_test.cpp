@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quest/common/error.hpp"
+#include "quest/common/stats.hpp"
+
+namespace quest {
+namespace {
+
+TEST(Running_stats_test, EmptyIsZero) {
+  const Running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Running_stats_test, MatchesNaiveFormulas) {
+  Running_stats s;
+  const double values[] = {1.0, 4.0, 9.0, 16.0, 25.0};
+  double sum = 0.0;
+  for (const double v : values) {
+    s.add(v);
+    sum += v;
+  }
+  const double mean = sum / 5.0;
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= 4.0;
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 25.0);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+}
+
+TEST(Running_stats_test, SingleObservationHasZeroVariance) {
+  Running_stats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Running_stats_test, MergeEqualsSequential) {
+  Running_stats all;
+  Running_stats left;
+  Running_stats right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Running_stats_test, MergeWithEmptyIsIdentity) {
+  Running_stats s;
+  s.add(1.0);
+  s.add(2.0);
+  Running_stats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Sample_stats_test, PercentileInterpolates) {
+  Sample_stats s;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+}
+
+TEST(Sample_stats_test, PercentileAfterMoreAddsResorts) {
+  Sample_stats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 9.0);
+}
+
+TEST(Sample_stats_test, ErrorsOnMisuse) {
+  Sample_stats s;
+  EXPECT_THROW(s.percentile(50.0), Precondition_error);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1.0), Precondition_error);
+  EXPECT_THROW(s.percentile(101.0), Precondition_error);
+}
+
+TEST(Geometric_mean_test, MatchesDefinition) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0}), 4.0);
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+  EXPECT_THROW(geometric_mean({}), Precondition_error);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), Precondition_error);
+  EXPECT_THROW(geometric_mean({-2.0}), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

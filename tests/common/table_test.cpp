@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "quest/common/error.hpp"
+#include "quest/common/table.hpp"
+
+namespace quest {
+namespace {
+
+TEST(Table_test, RendersTitleHeaderRowsAndNotes) {
+  Table t("demo");
+  t.set_header({"n", "cost"});
+  t.add_row({"8", "1.25"});
+  t.add_row({"16", "2.50"});
+  t.add_footnote("all costs in ms");
+  std::ostringstream out;
+  out << t;
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find(" n |"), std::string::npos);  // right-aligned header
+  EXPECT_NE(text.find("cost"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+  EXPECT_NE(text.find("2.50"), std::string::npos);
+  EXPECT_NE(text.find("* all costs in ms"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table_test, ColumnsAlignToWidestCell) {
+  Table t("");
+  t.set_header({"x"});
+  t.add_row({"wide-cell"});
+  std::ostringstream out;
+  t.render(out);
+  // Every data line must have the same width.
+  std::string line;
+  std::istringstream in(out.str());
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table_test, CsvEscapesNothingButSeparatesCells) {
+  Table t("ignored");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.render_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table_test, RowWidthMismatchThrows) {
+  Table t("x");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Precondition_error);
+}
+
+TEST(Table_test, NumFormatsFixedDigits) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+}
+
+TEST(Table_test, CountInsertsThousandsSeparators) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(999), "999");
+  EXPECT_EQ(Table::count(1000), "1,000");
+  EXPECT_EQ(Table::count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace quest

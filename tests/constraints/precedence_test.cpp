@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "quest/common/error.hpp"
+#include "quest/common/rng.hpp"
+#include "quest/constraints/precedence.hpp"
+#include "quest/workload/generators.hpp"
+
+namespace quest {
+namespace {
+
+using constraints::Precedence_graph;
+using model::Service_id;
+
+TEST(Precedence_test, EmptyGraphIsUnconstrained) {
+  const Precedence_graph g(4);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(g.unconstrained());
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.respects({3, 1, 0, 2}));
+}
+
+TEST(Precedence_test, EdgesAndQueries) {
+  Precedence_graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_FALSE(g.unconstrained());
+  EXPECT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.predecessors(3).size(), 1u);
+  // Duplicate edges are ignored.
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Precedence_test, CycleAndSelfEdgeRejected) {
+  Precedence_graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_THROW(g.add_edge(2, 0), Precondition_error);
+  EXPECT_THROW(g.add_edge(1, 1), Precondition_error);
+  EXPECT_THROW(g.add_edge(0, 5), Precondition_error);
+}
+
+TEST(Precedence_test, Reachability) {
+  Precedence_graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.reachable(0, 2));
+  EXPECT_TRUE(g.reachable(0, 0));
+  EXPECT_FALSE(g.reachable(2, 0));
+  EXPECT_FALSE(g.reachable(0, 4));
+}
+
+TEST(Precedence_test, FeasibleNextAndRespects) {
+  Precedence_graph g(3);
+  g.add_edge(0, 1);
+  std::vector<char> placed(3, 0);
+  EXPECT_TRUE(g.feasible_next(0, placed));
+  EXPECT_FALSE(g.feasible_next(1, placed));
+  EXPECT_TRUE(g.feasible_next(2, placed));
+  placed[0] = 1;
+  EXPECT_TRUE(g.feasible_next(1, placed));
+
+  EXPECT_TRUE(g.respects({0, 1, 2}));
+  EXPECT_TRUE(g.respects({2, 0, 1}));
+  EXPECT_FALSE(g.respects({1, 0, 2}));
+  EXPECT_TRUE(g.respects({0}));       // partial
+  EXPECT_FALSE(g.respects({1}));      // partial but already violating
+  EXPECT_THROW(g.respects({0, 0}), Precondition_error);
+}
+
+TEST(Precedence_test, TopologicalOrderIsValidAndDeterministic) {
+  Precedence_graph g(5);
+  g.add_edge(4, 0);
+  g.add_edge(4, 2);
+  g.add_edge(2, 1);
+  const auto order = g.topological_order();
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_TRUE(g.respects(order));
+  EXPECT_EQ(order, g.topological_order());  // deterministic
+  // Smallest-id-first among ready nodes: 3 and 4 are initially ready.
+  EXPECT_EQ(order.front(), 3u);
+}
+
+TEST(Precedence_test, LinearExtensionCounts) {
+  Precedence_graph empty(3);
+  EXPECT_DOUBLE_EQ(empty.count_linear_extensions(), 6.0);
+
+  Precedence_graph chain(4);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  chain.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(chain.count_linear_extensions(), 1.0);
+
+  // A fork 0 -> {1, 2}: orders 0,1,2 / 0,2,1 plus 3 free slots... with
+  // n = 3 exactly: 0 first, then 1,2 in either order -> 2.
+  Precedence_graph fork(3);
+  fork.add_edge(0, 1);
+  fork.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(fork.count_linear_extensions(), 2.0);
+}
+
+TEST(Precedence_test, RandomDagsAreAcyclicAndDensityBehaves) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = workload::make_random_dag(8, 0.4, rng);
+    EXPECT_EQ(g.topological_order().size(), 8u);  // asserts acyclicity
+  }
+  const auto free_graph = workload::make_random_dag(6, 0.0, rng);
+  EXPECT_TRUE(free_graph.unconstrained());
+  const auto total = workload::make_random_dag(6, 1.0, rng);
+  EXPECT_DOUBLE_EQ(total.count_linear_extensions(), 1.0);
+}
+
+TEST(Precedence_test, SizeValidation) {
+  EXPECT_THROW(Precedence_graph(0), Precondition_error);
+  Precedence_graph g(2);
+  std::vector<char> wrong(3, 0);
+  EXPECT_THROW(g.feasible_next(0, wrong), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

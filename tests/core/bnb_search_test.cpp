@@ -1,0 +1,201 @@
+// Behavioural tests of the branch-and-bound search machinery: statistics,
+// limits, pruning effectiveness, determinism.
+
+#include <gtest/gtest.h>
+
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/opt/exhaustive.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using core::Bnb_optimizer;
+using core::Bnb_options;
+using model::Instance;
+using opt::Request;
+
+Request request_for(const Instance& instance) {
+  Request request;
+  request.instance = &instance;
+  return request;
+}
+
+TEST(Bnb_search, ExploresFarFewerNodesThanExhaustive) {
+  const Instance instance = test::selective_instance(9, 42);
+  Bnb_optimizer bnb;
+  opt::Exhaustive_optimizer exhaustive;
+  const auto request = request_for(instance);
+  const auto pruned = bnb.optimize(request);
+  const auto full = exhaustive.optimize(request);
+  EXPECT_LT(pruned.stats.nodes_expanded, full.stats.nodes_expanded / 10)
+      << "bnb should prune the vast majority of the tree";
+}
+
+TEST(Bnb_search, PairSeedingCountsAreConsistent) {
+  const std::size_t n = 8;
+  const Instance instance = test::selective_instance(n, 7);
+  Bnb_optimizer bnb;
+  const auto result = bnb.optimize(request_for(instance));
+  EXPECT_EQ(result.stats.pairs_total, n * (n - 1));
+  EXPECT_GE(result.stats.pairs_explored, 1u);
+  EXPECT_LE(result.stats.pairs_explored, result.stats.pairs_total);
+}
+
+TEST(Bnb_search, PruningCountersFireOnRealInstances) {
+  const Instance instance = test::selective_instance(10, 123);
+  Bnb_optimizer bnb;
+  const auto result = bnb.optimize(request_for(instance));
+  EXPECT_GT(result.stats.lemma1_cutoffs, 0u);
+  EXPECT_GT(result.stats.lemma2_closures, 0u);
+  EXPECT_GT(result.stats.lemma3_backjumps, 0u);
+  EXPECT_GT(result.stats.ebar_evaluations, 0u);
+  EXPECT_GT(result.stats.incumbent_updates, 0u);
+}
+
+TEST(Bnb_search, NodeLimitReturnsFeasibleButUnproven) {
+  const Instance instance = test::selective_instance(11, 9);
+  Request request = request_for(instance);
+  // First find the true optimum.
+  Bnb_optimizer reference;
+  const auto optimal = reference.optimize(request);
+  ASSERT_TRUE(optimal.proven_optimal);
+
+  // A limit below the length of the first descent guarantees an abort.
+  request.node_limit = 4;
+  Bnb_optimizer limited;
+  const auto result = limited.optimize(request);
+  EXPECT_TRUE(result.hit_limit);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_LE(result.stats.nodes_expanded, 6u);  // limit + one pair seed
+  if (result.plan.size() == instance.size()) {
+    EXPECT_GE(result.cost, optimal.cost * (1.0 - test::cost_tolerance));
+  }
+}
+
+TEST(Bnb_search, TimeLimitIsRespected) {
+  const Instance instance = test::selective_instance(14, 31);
+  Request request = request_for(instance);
+  request.time_limit_seconds = 1e-6;  // essentially instant
+  Bnb_optimizer bnb;
+  const auto result = bnb.optimize(request);
+  // Tiny budget: either it finished very fast or it aborted cleanly.
+  if (result.hit_limit) {
+    EXPECT_FALSE(result.proven_optimal);
+  } else {
+    EXPECT_TRUE(result.proven_optimal);
+  }
+}
+
+TEST(Bnb_search, DeterministicAcrossRuns) {
+  const Instance instance = test::selective_instance(9, 5);
+  Bnb_optimizer bnb;
+  const auto first = bnb.optimize(request_for(instance));
+  const auto second = bnb.optimize(request_for(instance));
+  EXPECT_EQ(first.plan, second.plan);
+  EXPECT_EQ(first.stats.nodes_expanded, second.stats.nodes_expanded);
+  EXPECT_EQ(first.stats.lemma2_closures, second.stats.lemma2_closures);
+}
+
+TEST(Bnb_search, WarmStartNeverExpandsMoreThanColdOnPairExit) {
+  const Instance instance = test::selective_instance(10, 77);
+  Bnb_options warm;
+  warm.warm_start = true;
+  Bnb_optimizer warm_bnb(warm);
+  Bnb_optimizer cold_bnb;
+  const auto warm_result = warm_bnb.optimize(request_for(instance));
+  const auto cold_result = cold_bnb.optimize(request_for(instance));
+  EXPECT_TRUE(test::costs_equal(warm_result.cost, cold_result.cost));
+}
+
+TEST(Bnb_search, ExactEbarClosesAtLeastAsOftenAsLoose) {
+  const Instance instance = test::selective_instance(10, 19);
+  Bnb_options loose;
+  loose.ebar_mode = core::Epsilon_bar_mode::loose;
+  Bnb_optimizer exact_bnb;
+  Bnb_optimizer loose_bnb(loose);
+  const auto exact_result = exact_bnb.optimize(request_for(instance));
+  const auto loose_result = loose_bnb.optimize(request_for(instance));
+  EXPECT_TRUE(test::costs_equal(exact_result.cost, loose_result.cost));
+  // The tighter bound cannot explore more nodes on the same tree order.
+  EXPECT_LE(exact_result.stats.nodes_expanded,
+            loose_result.stats.nodes_expanded);
+}
+
+TEST(Bnb_search, AblationsCostMoreNodes) {
+  const Instance instance = test::selective_instance(10, 57);
+  Bnb_optimizer full_bnb;
+  Bnb_options no_closure;
+  no_closure.enable_closure = false;
+  Bnb_optimizer ablated(no_closure);
+  const auto with = full_bnb.optimize(request_for(instance));
+  const auto without = ablated.optimize(request_for(instance));
+  EXPECT_TRUE(test::costs_equal(with.cost, without.cost));
+  EXPECT_LE(with.stats.nodes_expanded, without.stats.nodes_expanded);
+}
+
+TEST(Bnb_search, NameReflectsConfiguration) {
+  EXPECT_EQ(Bnb_optimizer().name(), "bnb");
+  Bnb_options options;
+  options.ebar_mode = core::Epsilon_bar_mode::loose;
+  options.enable_closure = false;
+  EXPECT_EQ(Bnb_optimizer(options).name(), "bnb-loose-noclosure");
+  Bnb_options extended;
+  extended.enable_lower_bound = true;
+  extended.suboptimality = 0.1;
+  EXPECT_EQ(Bnb_optimizer(extended).name(), "bnb-lb-subopt");
+}
+
+TEST(Bnb_search, LowerBoundPrunesFireOnExpandingInstances) {
+  const Instance instance = test::expanding_instance(9, 99);
+  Bnb_options options;
+  options.enable_lower_bound = true;
+  Bnb_optimizer with_lb(options);
+  Bnb_optimizer without_lb;
+  const auto pruned = with_lb.optimize(request_for(instance));
+  const auto plain = without_lb.optimize(request_for(instance));
+  EXPECT_TRUE(test::costs_equal(pruned.cost, plain.cost));
+  EXPECT_GT(pruned.stats.lower_bound_prunes, 0u);
+  EXPECT_LE(pruned.stats.nodes_expanded, plain.stats.nodes_expanded);
+}
+
+TEST(Bnb_search, SuboptimalitySearchesFewerNodes) {
+  const Instance instance = test::selective_instance(11, 3);
+  Bnb_options relaxed;
+  relaxed.suboptimality = 0.5;
+  Bnb_optimizer fast(relaxed);
+  Bnb_optimizer exact;
+  const auto request = request_for(instance);
+  const auto approx = fast.optimize(request);
+  const auto truth = exact.optimize(request);
+  EXPECT_LE(approx.stats.nodes_expanded, truth.stats.nodes_expanded);
+  EXPECT_LE(approx.cost, truth.cost * 1.5 * (1.0 + test::cost_tolerance));
+  EXPECT_GE(approx.cost, truth.cost * (1.0 - test::cost_tolerance));
+}
+
+TEST(Bnb_search, NegativeSuboptimalityRejected) {
+  const Instance instance = test::selective_instance(4, 1);
+  Bnb_options options;
+  options.suboptimality = -0.1;
+  Bnb_optimizer bnb(options);
+  EXPECT_THROW(bnb.optimize(request_for(instance)), Precondition_error);
+}
+
+TEST(Bnb_search, RejectsMalformedRequests) {
+  Bnb_optimizer bnb;
+  Request request;  // null instance
+  EXPECT_THROW(bnb.optimize(request), Precondition_error);
+
+  const Instance instance = test::selective_instance(4, 3);
+  constraints::Precedence_graph wrong_size(5);
+  request.instance = &instance;
+  request.precedence = &wrong_size;
+  EXPECT_THROW(bnb.optimize(request), Precondition_error);
+
+  request.precedence = nullptr;
+  request.time_limit_seconds = -1.0;
+  EXPECT_THROW(bnb.optimize(request), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,173 @@
+// Property tests for the epsilon-bar measure: it must upper-bound every
+// stage term any completion of a partial plan can still produce (this is
+// exactly what Lemma 2's soundness needs).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quest/core/measures.hpp"
+#include "quest/model/cost.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using core::Epsilon_bar;
+using core::Epsilon_bar_mode;
+using model::Instance;
+using model::Partial_plan_evaluator;
+using model::Plan;
+using model::Send_policy;
+using model::Service_id;
+
+struct Param {
+  std::uint64_t seed;
+  Send_policy policy;
+  bool expanding;
+};
+
+class Epsilon_bar_property : public ::testing::TestWithParam<Param> {};
+
+/// For a random prefix of a random full ordering, every stage term of the
+/// completed plan that was not already determined by the prefix must be
+/// <= epsilon-bar.
+TEST_P(Epsilon_bar_property, BoundsEveryUndeterminedTerm) {
+  const auto param = GetParam();
+  const std::size_t n = 9;
+  const Instance instance =
+      param.expanding ? test::expanding_instance(n, param.seed)
+                      : test::sink_instance(n, param.seed);
+  Rng rng(param.seed * 31 + 7);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto order = rng.permutation(n);
+    const std::size_t prefix_len =
+        2 + static_cast<std::size_t>(rng.uniform_int(n - 2));  // [2, n-1]
+
+    Partial_plan_evaluator eval(instance, param.policy);
+    for (std::size_t p = 0; p < prefix_len; ++p) {
+      eval.append(static_cast<Service_id>(order[p]));
+    }
+    std::vector<Service_id> remaining;
+    for (std::size_t p = prefix_len; p < n; ++p) {
+      remaining.push_back(static_cast<Service_id>(order[p]));
+    }
+
+    for (const auto mode :
+         {Epsilon_bar_mode::exact, Epsilon_bar_mode::loose}) {
+      const Epsilon_bar ebar(instance, param.policy, mode);
+      const double bound = ebar.evaluate(eval, remaining);
+
+      // Complete the plan in the sampled order and compare each stage term
+      // from position prefix_len-1 (the dangling term) onwards.
+      Plan full;
+      for (const std::size_t id : order) {
+        full.append(static_cast<Service_id>(id));
+      }
+      const auto breakdown =
+          model::cost_breakdown(instance, full, param.policy);
+      for (std::size_t p = prefix_len - 1; p < n; ++p) {
+        EXPECT_LE(breakdown.stage_costs[p],
+                  bound * (1.0 + test::cost_tolerance) + 1e-12)
+            << "mode " << static_cast<int>(mode) << " position " << p
+            << " trial " << trial;
+      }
+    }
+  }
+}
+
+/// exact is never looser than loose.
+TEST_P(Epsilon_bar_property, ExactAtMostLoose) {
+  const auto param = GetParam();
+  const std::size_t n = 8;
+  const Instance instance =
+      param.expanding ? test::expanding_instance(n, param.seed)
+                      : test::selective_instance(n, param.seed);
+  Rng rng(param.seed);
+  const Epsilon_bar exact(instance, param.policy, Epsilon_bar_mode::exact);
+  const Epsilon_bar loose(instance, param.policy, Epsilon_bar_mode::loose);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto order = rng.permutation(n);
+    const std::size_t prefix_len =
+        2 + static_cast<std::size_t>(rng.uniform_int(n - 2));
+    Partial_plan_evaluator eval(instance, param.policy);
+    for (std::size_t p = 0; p < prefix_len; ++p) {
+      eval.append(static_cast<Service_id>(order[p]));
+    }
+    std::vector<Service_id> remaining;
+    for (std::size_t p = prefix_len; p < n; ++p) {
+      remaining.push_back(static_cast<Service_id>(order[p]));
+    }
+    EXPECT_LE(exact.evaluate(eval, remaining),
+              loose.evaluate(eval, remaining) * (1.0 + 1e-12));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Epsilon_bar_property,
+    ::testing::Values(Param{3, Send_policy::sequential, false},
+                      Param{4, Send_policy::sequential, true},
+                      Param{5, Send_policy::overlapped, false},
+                      Param{6, Send_policy::overlapped, true},
+                      Param{7, Send_policy::sequential, false},
+                      Param{8, Send_policy::sequential, true}),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.policy == Send_policy::overlapped ? "_ovl"
+                                                                 : "_seq") +
+             (param_info.param.expanding ? "_exp" : "_sel");
+    });
+
+/// Admissibility of the quest-extension lower bound: no completion of the
+/// partial plan may cost less than the bound.
+TEST_P(Epsilon_bar_property, LowerBoundIsAdmissible) {
+  const auto param = GetParam();
+  const std::size_t n = 9;
+  const Instance instance =
+      param.expanding ? test::expanding_instance(n, param.seed)
+                      : test::sink_instance(n, param.seed);
+  const core::Lower_bound lower(instance, param.policy);
+  Rng rng(param.seed * 53 + 1);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto order = rng.permutation(n);
+    const std::size_t prefix_len =
+        2 + static_cast<std::size_t>(rng.uniform_int(n - 2));
+    Partial_plan_evaluator eval(instance, param.policy);
+    for (std::size_t p = 0; p < prefix_len; ++p) {
+      eval.append(static_cast<Service_id>(order[p]));
+    }
+    std::vector<Service_id> remaining;
+    for (std::size_t p = prefix_len; p < n; ++p) {
+      remaining.push_back(static_cast<Service_id>(order[p]));
+    }
+    const double bound = lower.evaluate(eval, remaining);
+
+    Plan full;
+    for (const std::size_t id : order) {
+      full.append(static_cast<Service_id>(id));
+    }
+    const double cost = model::bottleneck_cost(instance, full, param.policy);
+    EXPECT_GE(cost, bound * (1.0 - test::cost_tolerance) - 1e-12)
+        << "trial " << trial;
+    // The lower bound never exceeds the upper bound.
+    const Epsilon_bar ebar(instance, param.policy, Epsilon_bar_mode::exact);
+    EXPECT_LE(bound, ebar.evaluate(eval, remaining) * (1.0 + 1e-12));
+  }
+}
+
+TEST(Epsilon_bar_test, RequiresNonEmptyPlanAndRemaining) {
+  const Instance instance = test::selective_instance(4, 1);
+  const Epsilon_bar ebar(instance, Send_policy::sequential,
+                         Epsilon_bar_mode::exact);
+  Partial_plan_evaluator eval(instance);
+  const std::vector<Service_id> remaining{2, 3};
+  EXPECT_THROW(ebar.evaluate(eval, remaining), Precondition_error);
+  eval.append(0);
+  EXPECT_THROW(ebar.evaluate(eval, {}), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "quest/core/prefix_store.hpp"
+
+namespace quest {
+namespace {
+
+using core::Prefix_store;
+using model::Service_id;
+
+std::vector<Service_id> ids(std::initializer_list<Service_id> list) {
+  return {list};
+}
+
+TEST(Prefix_store_test, RecordsAndCovers) {
+  Prefix_store store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.record(ids({1, 2})));
+  EXPECT_TRUE(store.record(ids({3})));
+  EXPECT_EQ(store.size(), 2u);
+
+  EXPECT_TRUE(store.covers(ids({1, 2})));
+  EXPECT_TRUE(store.covers(ids({1, 2, 0})));
+  EXPECT_TRUE(store.covers(ids({3, 1, 2})));
+  EXPECT_FALSE(store.covers(ids({1})));       // shorter than any prefix
+  EXPECT_FALSE(store.covers(ids({2, 1})));    // different order
+  EXPECT_FALSE(store.covers(ids({0, 1, 2})));
+}
+
+TEST(Prefix_store_test, EmptyStoreCoversNothing) {
+  const Prefix_store store;
+  EXPECT_FALSE(store.covers(ids({0})));
+}
+
+TEST(Prefix_store_test, CapacityDropsAreCounted) {
+  Prefix_store store(2);
+  EXPECT_TRUE(store.record(ids({0})));
+  EXPECT_TRUE(store.record(ids({1})));
+  EXPECT_FALSE(store.record(ids({2})));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dropped(), 1u);
+  EXPECT_FALSE(store.covers(ids({2, 0})));
+}
+
+TEST(Prefix_store_test, ClearResets) {
+  Prefix_store store(1);
+  store.record(ids({0}));
+  store.record(ids({1}));
+  EXPECT_EQ(store.dropped(), 1u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dropped(), 0u);
+  EXPECT_TRUE(store.record(ids({1})));
+  EXPECT_TRUE(store.covers(ids({1, 0})));
+}
+
+}  // namespace
+}  // namespace quest

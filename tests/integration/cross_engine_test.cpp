@@ -1,0 +1,121 @@
+// Cross-engine consistency: quest ships four independent exact solvers
+// (branch-and-bound, subset DP, frontier best-first, bounded exhaustive
+// DFS) built on different algorithmic principles. On any shared input
+// they must agree on the optimal cost — the strongest internal-evidence
+// check the suite has, swept across every scenario, topology family,
+// send policy and constraint setting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/portfolio.hpp"
+#include "quest/opt/dp.hpp"
+#include "quest/opt/exhaustive.hpp"
+#include "quest/opt/frontier.hpp"
+#include "quest/workload/generators.hpp"
+#include "quest/workload/scenarios.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Send_policy;
+using opt::Request;
+
+/// Runs every exact engine on `request` and checks pairwise agreement.
+void expect_all_engines_agree(const Request& request) {
+  std::vector<std::unique_ptr<opt::Optimizer>> engines;
+  engines.push_back(std::make_unique<core::Bnb_optimizer>());
+  {
+    core::Bnb_options lb;
+    lb.enable_lower_bound = true;
+    engines.push_back(std::make_unique<core::Bnb_optimizer>(lb));
+  }
+  engines.push_back(std::make_unique<opt::Dp_optimizer>());
+  engines.push_back(std::make_unique<opt::Frontier_optimizer>());
+  engines.push_back(std::make_unique<opt::Exhaustive_optimizer>(true));
+  engines.push_back(std::make_unique<core::Portfolio_optimizer>());
+
+  double reference = -1.0;
+  std::string reference_engine;
+  for (const auto& engine : engines) {
+    const auto result = engine->optimize(request);
+    ASSERT_TRUE(result.plan.is_permutation_of(request.instance->size()))
+        << engine->name();
+    EXPECT_TRUE(test::costs_equal(
+        result.cost, model::bottleneck_cost(*request.instance, result.plan,
+                                            request.policy)))
+        << engine->name() << " reports a cost its plan does not achieve";
+    if (request.precedence != nullptr) {
+      EXPECT_TRUE(request.precedence->respects(result.plan.order()))
+          << engine->name();
+    }
+    if (reference < 0.0) {
+      reference = result.cost;
+      reference_engine = engine->name();
+    } else {
+      EXPECT_TRUE(test::costs_equal(result.cost, reference))
+          << engine->name() << " disagrees with " << reference_engine;
+    }
+  }
+}
+
+TEST(Cross_engine, ScenariosBothPolicies) {
+  for (const auto& scenario :
+       {workload::credit_screening(), workload::sky_survey(),
+        workload::log_analytics()}) {
+    for (const auto policy :
+         {Send_policy::sequential, Send_policy::overlapped}) {
+      Request request;
+      request.instance = &scenario.instance;
+      request.precedence = &scenario.precedence;
+      request.policy = policy;
+      expect_all_engines_agree(request);
+    }
+  }
+}
+
+TEST(Cross_engine, TopologyFamilies) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    Rng rng(seed * 2161);
+    workload::Clustered_spec clustered;
+    clustered.n = 8;
+    workload::Euclidean_spec euclidean;
+    euclidean.n = 8;
+    workload::Bottleneck_tsp_spec btsp;
+    btsp.n = 8;
+    for (const Instance& instance :
+         {workload::make_clustered(clustered, rng),
+          workload::make_euclidean(euclidean, rng),
+          workload::make_bottleneck_tsp(btsp, rng)}) {
+      Request request;
+      request.instance = &instance;
+      expect_all_engines_agree(request);
+    }
+  }
+}
+
+TEST(Cross_engine, ConstrainedSinkAndExpanding) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    workload::Uniform_spec spec;
+    spec.n = 8;
+    spec.selectivity_min = 0.4;
+    spec.selectivity_max = 1.8;
+    spec.sink_min = 0.2;
+    spec.sink_max = 2.0;
+    const Instance instance = workload::make_uniform(spec, rng);
+    Rng dag_rng(seed * 7);
+    const auto dag = workload::make_random_dag(8, 0.25, dag_rng);
+    Request request;
+    request.instance = &instance;
+    request.precedence = &dag;
+    expect_all_engines_agree(request);
+  }
+}
+
+}  // namespace
+}  // namespace quest

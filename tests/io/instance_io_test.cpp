@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "quest/io/instance_io.hpp"
+#include "quest/workload/generators.hpp"
+#include "quest/workload/scenarios.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using io::Json;
+using model::Plan;
+
+TEST(Instance_io_test, RoundTripsRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto instance = test::sink_instance(7, seed);
+    const Json json = io::to_json(instance);
+    const auto restored = io::instance_from_json(json);
+    EXPECT_TRUE(restored.instance == instance);
+    EXPECT_FALSE(restored.precedence.has_value());
+    // Through text as well.
+    const auto reparsed =
+        io::instance_from_json(Json::parse(json.dump(2)));
+    EXPECT_TRUE(reparsed.instance == instance);
+  }
+}
+
+TEST(Instance_io_test, RoundTripsPrecedence) {
+  const auto scenario = workload::credit_screening();
+  const Json json = io::to_json(scenario.instance, &scenario.precedence);
+  const auto restored = io::instance_from_json(json);
+  ASSERT_TRUE(restored.precedence.has_value());
+  EXPECT_EQ(restored.precedence->edge_count(),
+            scenario.precedence.edge_count());
+  EXPECT_TRUE(restored.precedence->has_edge(0, 5));
+  EXPECT_TRUE(restored.instance == scenario.instance);
+}
+
+TEST(Instance_io_test, OmitsZeroSinkAndEmptyPrecedence) {
+  const auto instance = test::selective_instance(4, 2);
+  constraints::Precedence_graph empty(4);
+  const Json json = io::to_json(instance, &empty);
+  EXPECT_EQ(json.find("sink_transfer"), nullptr);
+  EXPECT_EQ(json.find("precedence"), nullptr);
+}
+
+TEST(Instance_io_test, PlanRoundTrip) {
+  const Plan plan({3, 1, 0, 2});
+  const Json json = io::to_json(plan);
+  EXPECT_EQ(io::plan_from_json(json, 4), plan);
+  EXPECT_THROW(io::plan_from_json(json, 3), Parse_error);  // id 3 invalid
+  EXPECT_THROW(io::plan_from_json(Json::parse("[0,0]"), 2), Parse_error);
+  EXPECT_THROW(io::plan_from_json(Json::parse("[0.5]"), 2), Parse_error);
+}
+
+TEST(Instance_io_test, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/quest_instance.json";
+  const auto scenario = workload::sky_survey();
+  io::save_instance(path, scenario.instance, &scenario.precedence);
+  const auto restored = io::load_instance(path);
+  EXPECT_TRUE(restored.instance == scenario.instance);
+  ASSERT_TRUE(restored.precedence.has_value());
+  EXPECT_EQ(restored.precedence->edge_count(),
+            scenario.precedence.edge_count());
+}
+
+TEST(Instance_io_test, RejectsMalformedDocuments) {
+  // Missing services.
+  EXPECT_THROW(io::instance_from_json(Json::parse(R"({"transfer": []})")),
+               Parse_error);
+  // Ragged matrix.
+  EXPECT_THROW(io::instance_from_json(Json::parse(R"({
+    "services": [{"cost":1,"selectivity":0.5},{"cost":1,"selectivity":0.5}],
+    "transfer": [[0,1],[1]]
+  })")),
+               Parse_error);
+  // Wrong row count.
+  EXPECT_THROW(io::instance_from_json(Json::parse(R"({
+    "services": [{"cost":1,"selectivity":0.5}],
+    "transfer": [[0],[0]]
+  })")),
+               Parse_error);
+  // Negative cost is data validation, surfaced as Parse_error.
+  EXPECT_THROW(io::instance_from_json(Json::parse(R"({
+    "services": [{"cost":-1,"selectivity":0.5}],
+    "transfer": [[0]]
+  })")),
+               Parse_error);
+  // Cyclic precedence.
+  EXPECT_THROW(io::instance_from_json(Json::parse(R"({
+    "services": [{"cost":1,"selectivity":0.5},{"cost":1,"selectivity":0.5}],
+    "transfer": [[0,1],[1,0]],
+    "precedence": [[0,1],[1,0]]
+  })")),
+               Parse_error);
+  // Wrong sink length.
+  EXPECT_THROW(io::instance_from_json(Json::parse(R"({
+    "services": [{"cost":1,"selectivity":0.5}],
+    "transfer": [[0]],
+    "sink_transfer": [1, 2]
+  })")),
+               Parse_error);
+}
+
+}  // namespace
+}  // namespace quest

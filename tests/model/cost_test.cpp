@@ -1,0 +1,160 @@
+// Hand-computed checks of the bottleneck cost metric (Eq. 1) plus
+// randomized consistency properties.
+
+#include <gtest/gtest.h>
+
+#include "quest/model/cost.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Plan;
+using model::Send_policy;
+using model::Service;
+using model::stage_term;
+
+TEST(Stage_term_test, Policies) {
+  EXPECT_DOUBLE_EQ(stage_term(2.0, 0.5, 4.0, Send_policy::sequential), 4.0);
+  EXPECT_DOUBLE_EQ(stage_term(2.0, 0.5, 4.0, Send_policy::overlapped), 2.0);
+  EXPECT_DOUBLE_EQ(stage_term(1.0, 0.5, 8.0, Send_policy::overlapped), 4.0);
+  EXPECT_DOUBLE_EQ(stage_term(3.0, 0.0, 100.0, Send_policy::sequential), 3.0);
+}
+
+Instance two_service_instance() {
+  // a: c=1, sigma=0.5; b: c=10, sigma=0.5; t(a,b)=2, t(b,a)=4.
+  Matrix<double> t = Matrix<double>::square(2, 0.0);
+  t(0, 1) = 2.0;
+  t(1, 0) = 4.0;
+  return Instance({{1.0, 0.5, "a"}, {10.0, 0.5, "b"}}, std::move(t));
+}
+
+TEST(Bottleneck_cost_test, HandComputedTwoServices) {
+  const Instance instance = two_service_instance();
+  // a->b: max(1 + 0.5*2, 0.5 * 10) = max(2, 5) = 5.
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(instance, Plan({0, 1})), 5.0);
+  // b->a: max(10 + 0.5*4, 0.5 * 1) = 12.
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(instance, Plan({1, 0})), 12.0);
+}
+
+TEST(Bottleneck_cost_test, HandComputedOverlapped) {
+  const Instance instance = two_service_instance();
+  // a->b: max(max(1, 0.5*2), 0.5 * max(10, 0)) = 5.
+  EXPECT_DOUBLE_EQ(
+      model::bottleneck_cost(instance, Plan({0, 1}), Send_policy::overlapped),
+      5.0);
+  // b->a: max(max(10, 0.5*4), 0.5*max(1,0)) = 10.
+  EXPECT_DOUBLE_EQ(
+      model::bottleneck_cost(instance, Plan({1, 0}), Send_policy::overlapped),
+      10.0);
+}
+
+TEST(Bottleneck_cost_test, SinkTransferChargesLastService) {
+  Matrix<double> t = Matrix<double>::square(2, 0.0);
+  t(0, 1) = 1.0;
+  t(1, 0) = 1.0;
+  const Instance instance({{1.0, 0.5, "a"}, {1.0, 0.5, "b"}}, std::move(t),
+                          {10.0, 6.0});
+  // a->b: max(1 + 0.5, 0.5 * (1 + 0.5*6)) = max(1.5, 2) = 2.
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(instance, Plan({0, 1})), 2.0);
+}
+
+TEST(Bottleneck_cost_test, SelectivityProductsAttenuate) {
+  // Three selective services in a chain with unit transfers.
+  Matrix<double> t = Matrix<double>::square(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) t(i, j) = 1.0;
+    }
+  }
+  const Instance instance(
+      {{4.0, 0.5, "a"}, {4.0, 0.5, "b"}, {4.0, 0.5, "c"}}, std::move(t));
+  // 0,1,2: terms 4.5, 0.5*4.5, 0.25*4 = 4.5, 2.25, 1.0 -> 4.5.
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(instance, Plan({0, 1, 2})), 4.5);
+}
+
+TEST(Bottleneck_cost_test, ExpandingServiceAmplifiesDownstream) {
+  Matrix<double> t = Matrix<double>::square(2, 0.0);
+  t(0, 1) = 1.0;
+  t(1, 0) = 1.0;
+  const Instance instance({{1.0, 3.0, "expand"}, {2.0, 1.0, "sink"}},
+                          std::move(t));
+  // expand->sink: max(1 + 3*1, 3*2) = 6.
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(instance, Plan({0, 1})), 6.0);
+}
+
+TEST(Bottleneck_cost_test, SingleService) {
+  const Instance plain({{2.0, 0.7, "x"}}, Matrix<double>::square(1, 0.0));
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(plain, Plan({0})), 2.0);
+  const Instance with_sink({{2.0, 0.7, "x"}}, Matrix<double>::square(1, 0.0),
+                           {3.0});
+  EXPECT_DOUBLE_EQ(model::bottleneck_cost(with_sink, Plan({0})),
+                   2.0 + 0.7 * 3.0);
+}
+
+TEST(Bottleneck_cost_test, RequiresCompletePlan) {
+  const Instance instance = two_service_instance();
+  EXPECT_THROW(model::bottleneck_cost(instance, Plan({0})),
+               Precondition_error);
+  EXPECT_THROW(model::bottleneck_cost(instance, Plan({0, 0})),
+               Precondition_error);
+}
+
+TEST(Cost_breakdown_test, FieldsAreConsistent) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = test::sink_instance(7, seed);
+    Rng rng(seed);
+    const auto perm = rng.permutation(7);
+    Plan plan;
+    for (const auto id : perm) {
+      plan.append(static_cast<model::Service_id>(id));
+    }
+    const auto breakdown = model::cost_breakdown(instance, plan);
+    EXPECT_TRUE(test::costs_equal(breakdown.cost,
+                                  model::bottleneck_cost(instance, plan)));
+    ASSERT_EQ(breakdown.stage_costs.size(), 7u);
+    ASSERT_EQ(breakdown.input_fractions.size(), 7u);
+    EXPECT_DOUBLE_EQ(breakdown.input_fractions[0], 1.0);
+    double max_stage = 0.0;
+    for (const double c : breakdown.stage_costs) {
+      max_stage = std::max(max_stage, c);
+    }
+    EXPECT_TRUE(test::costs_equal(breakdown.cost, max_stage));
+    EXPECT_TRUE(test::costs_equal(
+        breakdown.stage_costs[breakdown.bottleneck_position], breakdown.cost));
+  }
+}
+
+TEST(Cost_breakdown_test, BottleneckTieKeepsEarliestPosition) {
+  // Two identical stages: both terms equal, position 0 must win.
+  Matrix<double> t = Matrix<double>::square(2, 0.0);
+  t(0, 1) = 1.0;
+  t(1, 0) = 1.0;
+  const Instance instance({{1.0, 1.0, "a"}, {2.0, 1.0, "b"}}, std::move(t));
+  // a->b: terms [1 + 1, 2 + 0] = [2, 2].
+  const auto breakdown = model::cost_breakdown(instance, Plan({0, 1}));
+  EXPECT_EQ(breakdown.bottleneck_position, 0u);
+}
+
+TEST(Partial_epsilon_test, PrefixEpsilonNeverExceedsFullCost) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = test::expanding_instance(8, seed);
+    Rng rng(seed * 3);
+    const auto perm = rng.permutation(8);
+    Plan full;
+    for (const auto id : perm) {
+      full.append(static_cast<model::Service_id>(id));
+    }
+    const double cost = model::bottleneck_cost(instance, full);
+    Plan prefix;
+    for (const auto id : perm) {
+      prefix.append(static_cast<model::Service_id>(id));
+      EXPECT_LE(model::partial_epsilon(instance, prefix),
+                cost * (1.0 + test::cost_tolerance) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quest

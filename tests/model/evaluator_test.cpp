@@ -1,0 +1,153 @@
+// The incremental Partial_plan_evaluator must agree with from-scratch
+// recomputation under arbitrary append/pop interleavings.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quest/model/cost.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Partial_plan_evaluator;
+using model::Plan;
+using model::Send_policy;
+using model::Service_id;
+
+TEST(Evaluator_test, MatchesRecomputationUnderFuzzedMutation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::size_t n = 9;
+    const Instance instance = test::sink_instance(n, seed);
+    for (const auto policy :
+         {Send_policy::sequential, Send_policy::overlapped}) {
+      Partial_plan_evaluator eval(instance, policy);
+      Rng rng(seed * 977);
+      std::vector<Service_id> mirror;
+      for (int step = 0; step < 400; ++step) {
+        const bool can_append = mirror.size() < n;
+        const bool do_append =
+            can_append && (mirror.empty() || rng.bernoulli(0.6));
+        if (do_append) {
+          Service_id pick;
+          do {
+            pick = static_cast<Service_id>(rng.uniform_int(n));
+          } while (eval.contains(pick));
+          eval.append(pick);
+          mirror.push_back(pick);
+        } else if (!mirror.empty()) {
+          eval.pop();
+          mirror.pop_back();
+        }
+        ASSERT_EQ(eval.size(), mirror.size());
+        EXPECT_TRUE(test::costs_equal(
+            eval.epsilon(),
+            model::partial_epsilon(instance, Plan(mirror), policy)));
+        double product = 1.0;
+        for (const Service_id id : mirror) {
+          product *= instance.selectivity(id);
+        }
+        EXPECT_TRUE(test::costs_equal(eval.product_through(), product));
+        if (eval.full()) {
+          EXPECT_TRUE(test::costs_equal(
+              eval.complete_cost(),
+              model::bottleneck_cost(instance, Plan(mirror), policy)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Evaluator_test, TermIfAppendedMatchesActualAppend) {
+  const Instance instance = test::selective_instance(6, 3);
+  Partial_plan_evaluator eval(instance);
+  eval.append(0);
+  eval.append(1);
+  for (Service_id next : {2u, 3u, 4u, 5u}) {
+    const double predicted = eval.term_if_appended(next);
+    const double eps_before = eval.epsilon();
+    eval.append(next);
+    EXPECT_TRUE(test::costs_equal(eval.epsilon(),
+                                  std::max(eps_before, predicted)));
+    eval.pop();
+  }
+}
+
+TEST(Evaluator_test, BottleneckPositionTracksArgmax) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = test::expanding_instance(8, seed);
+    Rng rng(seed);
+    const auto perm = rng.permutation(8);
+    Partial_plan_evaluator eval(instance);
+    Plan mirror;
+    for (const auto id : perm) {
+      eval.append(static_cast<Service_id>(id));
+      mirror.append(static_cast<Service_id>(id));
+      if (eval.size() < 2) continue;
+      // Recompute the earliest argmax over determined terms.
+      double best = -1.0;
+      std::size_t best_pos = 0;
+      double product = 1.0;
+      for (std::size_t p = 0; p + 1 < mirror.size(); ++p) {
+        const auto& s = instance.service(mirror[p]);
+        const double term =
+            product * model::stage_term(s.cost, s.selectivity,
+                                        instance.transfer(mirror[p],
+                                                          mirror[p + 1]),
+                                        Send_policy::sequential);
+        if (term > best) {
+          best = term;
+          best_pos = p;
+        }
+        product *= s.selectivity;
+      }
+      EXPECT_EQ(eval.bottleneck_position(), best_pos);
+    }
+  }
+}
+
+TEST(Evaluator_test, ProductBeforeLast) {
+  const Instance instance = test::selective_instance(4, 9);
+  Partial_plan_evaluator eval(instance);
+  eval.append(2);
+  EXPECT_DOUBLE_EQ(eval.product_before_last(), 1.0);
+  eval.append(0);
+  EXPECT_DOUBLE_EQ(eval.product_before_last(), instance.selectivity(2));
+  eval.append(3);
+  EXPECT_TRUE(test::costs_equal(
+      eval.product_before_last(),
+      instance.selectivity(2) * instance.selectivity(0)));
+}
+
+TEST(Evaluator_test, ClearResetsEverything) {
+  const Instance instance = test::selective_instance(5, 4);
+  Partial_plan_evaluator eval(instance);
+  eval.append(1);
+  eval.append(3);
+  eval.clear();
+  EXPECT_TRUE(eval.empty());
+  EXPECT_DOUBLE_EQ(eval.epsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.product_through(), 1.0);
+  EXPECT_FALSE(eval.contains(1));
+  eval.append(1);  // reusable after clear
+  EXPECT_EQ(eval.last(), 1u);
+}
+
+TEST(Evaluator_test, MisuseThrows) {
+  const Instance instance = test::selective_instance(3, 2);
+  Partial_plan_evaluator eval(instance);
+  EXPECT_THROW(eval.pop(), Precondition_error);
+  EXPECT_THROW(eval.last(), Precondition_error);
+  EXPECT_THROW(eval.product_before_last(), Precondition_error);
+  EXPECT_THROW(eval.complete_cost(), Precondition_error);
+  eval.append(0);
+  EXPECT_THROW(eval.append(0), Precondition_error);
+  EXPECT_THROW(eval.append(7), Precondition_error);
+  EXPECT_THROW(eval.bottleneck_position(), Precondition_error);
+  EXPECT_THROW(eval.term_if_appended(0), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

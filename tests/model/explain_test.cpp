@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "quest/model/explain.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Labeled_plan;
+using model::Plan;
+
+Instance two_site_instance() {
+  Matrix<double> t = Matrix<double>::square(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) t(i, j) = 1.0;
+    }
+  }
+  return Instance({{4.0, 0.5, "scan"}, {1.0, 0.5, "filter"},
+                   {2.0, 1.0, "enrich"}},
+                  std::move(t));
+}
+
+TEST(Explain_test, PlanReportNamesBottleneckAndStages) {
+  const Instance instance = two_site_instance();
+  const std::string report = model::explain_plan(instance, Plan({0, 1, 2}));
+  EXPECT_NE(report.find("scan -> filter -> enrich"), std::string::npos);
+  EXPECT_NE(report.find("<- bottleneck"), std::string::npos);
+  EXPECT_NE(report.find("scan"), std::string::npos);
+  // Position-0 term: 4 + 0.5*1 = 4.5 is the bottleneck here.
+  EXPECT_NE(report.find("4.500"), std::string::npos);
+  EXPECT_NE(report.find("tuples in"), std::string::npos);
+}
+
+TEST(Explain_test, UnnamedServicesGetIds) {
+  const Instance instance({{1.0, 0.5, ""}, {1.0, 0.5, ""}},
+                          Matrix<double>::square(2, 0.0));
+  const std::string report = model::explain_plan(instance, Plan({1, 0}));
+  EXPECT_NE(report.find("WS1"), std::string::npos);
+  EXPECT_NE(report.find("WS0"), std::string::npos);
+}
+
+TEST(Explain_test, ComparisonSortsByCostAndRatios) {
+  const Instance instance = two_site_instance();
+  const std::vector<Labeled_plan> plans = {
+      {"forward", Plan({0, 1, 2})},
+      {"backward", Plan({2, 1, 0})},
+      {"best", Plan({1, 0, 2})},
+  };
+  const std::string report = model::compare_plans(instance, plans);
+  // "best" plan: filter first -> max(1.5, 0.5*4.5, 0.25*2) = 2.25.
+  const auto best_pos = report.find("best");
+  const auto fwd_pos = report.find("forward");
+  ASSERT_NE(best_pos, std::string::npos);
+  ASSERT_NE(fwd_pos, std::string::npos);
+  EXPECT_LT(best_pos, fwd_pos);  // sorted: cheapest first
+  EXPECT_NE(report.find("1.000"), std::string::npos);  // best vs best ratio
+}
+
+TEST(Explain_test, ComparisonRequiresPlans) {
+  const Instance instance = two_site_instance();
+  EXPECT_THROW(model::compare_plans(instance, {}), Precondition_error);
+}
+
+TEST(Explain_test, OverlappedPolicyIsLabelled) {
+  const Instance instance = two_site_instance();
+  const std::string report = model::explain_plan(
+      instance, Plan({0, 1, 2}), model::Send_policy::overlapped);
+  EXPECT_NE(report.find("max(c, sigma*t)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "quest/common/error.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Service;
+
+Matrix<double> zero3() { return Matrix<double>::square(3, 0.0); }
+
+std::vector<Service> three_services() {
+  return {{1.0, 0.5, "a"}, {2.0, 0.9, "b"}, {3.0, 1.0, "c"}};
+}
+
+TEST(Instance_test, BasicAccessors) {
+  auto t = zero3();
+  t(0, 1) = 1.5;
+  t(1, 0) = 2.5;
+  const Instance instance(three_services(), std::move(t), {}, "demo");
+  EXPECT_EQ(instance.size(), 3u);
+  EXPECT_EQ(instance.name(), "demo");
+  EXPECT_DOUBLE_EQ(instance.cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(instance.selectivity(1), 0.9);
+  EXPECT_DOUBLE_EQ(instance.transfer(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(instance.transfer(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(instance.sink_transfer(2), 0.0);
+  EXPECT_EQ(instance.service(2).name, "c");
+}
+
+TEST(Instance_test, EmptySinkVectorBecomesZeros) {
+  const Instance instance(three_services(), zero3());
+  for (model::Service_id i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(instance.sink_transfer(i), 0.0);
+  }
+}
+
+TEST(Instance_test, AllSelectiveDetection) {
+  EXPECT_TRUE(Instance(three_services(), zero3()).all_selective());
+  auto services = three_services();
+  services[1].selectivity = 1.01;
+  EXPECT_FALSE(Instance(std::move(services), zero3()).all_selective());
+}
+
+TEST(Instance_test, UniformTransferDetection) {
+  auto t = zero3();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) t(i, j) = 2.0;
+    }
+  }
+  EXPECT_TRUE(Instance(three_services(), t).uniform_transfer());
+  t(0, 2) = 2.0001;
+  EXPECT_FALSE(Instance(three_services(), t).uniform_transfer());
+  // Non-zero sink links break uniformity (the last service pays too).
+  auto t2 = zero3();
+  EXPECT_FALSE(
+      Instance(three_services(), t2, {0.0, 1.0, 0.0}).uniform_transfer());
+}
+
+TEST(Instance_test, MaxOutgoingTransferIncludesSink) {
+  auto t = zero3();
+  t(0, 1) = 3.0;
+  t(0, 2) = 5.0;
+  const Instance instance(three_services(), std::move(t), {4.0, 0.0, 0.0});
+  const double all = instance.max_outgoing_transfer(
+      0, [](model::Service_id) { return true; });
+  EXPECT_DOUBLE_EQ(all, 5.0);
+  const double without_2 = instance.max_outgoing_transfer(
+      0, [](model::Service_id v) { return v != 2; });
+  EXPECT_DOUBLE_EQ(without_2, 4.0);  // sink dominates t(0,1)
+}
+
+TEST(Instance_test, ValidationRejectsMalformedInput) {
+  EXPECT_THROW(Instance({}, Matrix<double>{}), Precondition_error);
+  EXPECT_THROW(Instance(three_services(), Matrix<double>::square(2, 0.0)),
+               Precondition_error);
+  EXPECT_THROW(Instance(three_services(), zero3(), {1.0}),
+               Precondition_error);
+
+  auto bad_cost = three_services();
+  bad_cost[0].cost = -1.0;
+  EXPECT_THROW(Instance(std::move(bad_cost), zero3()), Precondition_error);
+
+  auto nan_selectivity = three_services();
+  nan_selectivity[2].selectivity = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Instance(std::move(nan_selectivity), zero3()),
+               Precondition_error);
+
+  auto diag = zero3();
+  diag(1, 1) = 0.5;
+  EXPECT_THROW(Instance(three_services(), std::move(diag)),
+               Precondition_error);
+
+  auto negative_t = zero3();
+  negative_t(0, 1) = -0.5;
+  EXPECT_THROW(Instance(three_services(), std::move(negative_t)),
+               Precondition_error);
+
+  auto inf_t = zero3();
+  inf_t(2, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Instance(three_services(), std::move(inf_t)),
+               Precondition_error);
+
+  EXPECT_THROW(Instance(three_services(), zero3(), {0.0, -1.0, 0.0}),
+               Precondition_error);
+}
+
+TEST(Instance_test, ServiceIdRangeChecks) {
+  const Instance instance(three_services(), zero3());
+  EXPECT_THROW(instance.service(3), Precondition_error);
+  EXPECT_THROW(instance.transfer(0, 3), Precondition_error);
+}
+
+TEST(Instance_test, Equality) {
+  const Instance a(three_services(), zero3());
+  const Instance b(three_services(), zero3());
+  EXPECT_TRUE(a == b);
+  auto services = three_services();
+  services[0].cost = 9.0;
+  const Instance c(std::move(services), zero3());
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "quest/common/error.hpp"
+#include "quest/model/instance.hpp"
+#include "quest/model/plan.hpp"
+
+namespace quest {
+namespace {
+
+using model::Plan;
+using model::Service_id;
+
+TEST(Plan_test, IdentityAndAccessors) {
+  const Plan plan = Plan::identity(4);
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front(), 0u);
+  EXPECT_EQ(plan.back(), 3u);
+  EXPECT_EQ(plan[2], 2u);
+  EXPECT_THROW(plan[4], Precondition_error);
+}
+
+TEST(Plan_test, EmptyPlanGuards) {
+  const Plan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_THROW(plan.front(), Precondition_error);
+  EXPECT_THROW(plan.back(), Precondition_error);
+}
+
+TEST(Plan_test, AppendAndPop) {
+  Plan plan;
+  plan.append(2);
+  plan.append(0);
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.back(), 0u);
+  plan.pop();
+  EXPECT_EQ(plan.back(), 2u);
+}
+
+TEST(Plan_test, PermutationValidation) {
+  EXPECT_TRUE(Plan({2, 0, 1}).is_permutation_of(3));
+  EXPECT_FALSE(Plan({0, 1}).is_permutation_of(3));       // too short
+  EXPECT_FALSE(Plan({0, 1, 1}).is_permutation_of(3));    // duplicate
+  EXPECT_FALSE(Plan({0, 1, 3}).is_permutation_of(3));    // out of range
+  EXPECT_TRUE(Plan({0}).is_permutation_of(1));
+}
+
+TEST(Plan_test, PositionsMapAndAbsentServices) {
+  const Plan plan({2, 0});
+  const auto positions = plan.positions(4);
+  ASSERT_EQ(positions.size(), 4u);
+  EXPECT_EQ(positions[2], 0u);
+  EXPECT_EQ(positions[0], 1u);
+  EXPECT_EQ(positions[1], model::invalid_service);
+  EXPECT_EQ(positions[3], model::invalid_service);
+  EXPECT_THROW(plan.positions(2), Precondition_error);  // id 2 out of range
+}
+
+TEST(Plan_test, ToStringForms) {
+  const model::Instance instance(
+      {{1.0, 0.5, "alpha"}, {1.0, 0.5, ""}, {1.0, 0.5, "gamma"}},
+      Matrix<double>::square(3, 0.0));
+  const Plan plan({0, 1, 2});
+  EXPECT_EQ(plan.to_string(instance), "alpha -> WS1 -> gamma");
+  EXPECT_EQ(plan.to_string(), "[0 1 2]");
+  EXPECT_EQ(Plan().to_string(), "[]");
+}
+
+TEST(Plan_test, EqualityAndIteration) {
+  const Plan a({1, 0});
+  const Plan b({1, 0});
+  const Plan c({0, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::vector<Service_id> seen;
+  for (const Service_id id : a) seen.push_back(id);
+  EXPECT_EQ(seen, (std::vector<Service_id>{1, 0}));
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "quest/opt/exhaustive.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/opt/random_sampler.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using opt::Exhaustive_optimizer;
+using opt::Greedy_optimizer;
+using opt::Random_sampler_optimizer;
+using opt::Request;
+using opt::Uniform_comm_optimizer;
+
+Request request_for(const Instance& instance) {
+  Request request;
+  request.instance = &instance;
+  return request;
+}
+
+TEST(Greedy_test, ProducesValidPlanNeverBelowOptimum) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = test::selective_instance(7, seed);
+    const auto request = request_for(instance);
+    const auto greedy = Greedy_optimizer().optimize(request);
+    const auto optimal = Exhaustive_optimizer().optimize(request);
+    EXPECT_TRUE(greedy.plan.is_permutation_of(7));
+    EXPECT_FALSE(greedy.proven_optimal);
+    EXPECT_GE(greedy.cost, optimal.cost * (1.0 - test::cost_tolerance));
+    EXPECT_TRUE(test::costs_equal(
+        greedy.cost, model::bottleneck_cost(instance, greedy.plan)));
+  }
+}
+
+TEST(Greedy_test, RespectsPrecedence) {
+  const Instance instance = test::selective_instance(8, 3);
+  Rng rng(17);
+  const auto dag = workload::make_random_dag(8, 0.4, rng);
+  Request request = request_for(instance);
+  request.precedence = &dag;
+  const auto result = Greedy_optimizer().optimize(request);
+  EXPECT_TRUE(dag.respects(result.plan.order()));
+  EXPECT_TRUE(result.plan.is_permutation_of(8));
+}
+
+TEST(Greedy_test, SingleServiceTrivial) {
+  const Instance instance = test::selective_instance(1, 1);
+  const auto result = Greedy_optimizer().optimize(request_for(instance));
+  EXPECT_EQ(result.plan.size(), 1u);
+}
+
+TEST(Uniform_comm_test, OptimalOnUniformNetworks) {
+  // On a truly flat network the gamma ordering must equal the exhaustive
+  // optimum (the Srivastava et al. special case).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    workload::Heterogeneity_spec spec;
+    spec.n = 7;
+    spec.heterogeneity = 0.0;  // flat
+    const Instance instance = workload::make_heterogeneous(spec, rng);
+    ASSERT_TRUE(instance.uniform_transfer());
+    const auto request = request_for(instance);
+    const auto got = Uniform_comm_optimizer().optimize(request);
+    const auto want = Exhaustive_optimizer().optimize(request);
+    EXPECT_TRUE(test::costs_equal(got.cost, want.cost)) << "seed " << seed;
+    EXPECT_TRUE(got.proven_optimal);
+  }
+}
+
+TEST(Uniform_comm_test, HeuristicOnHeterogeneousNetworks) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance instance = test::selective_instance(7, seed);
+    const auto request = request_for(instance);
+    const auto got = Uniform_comm_optimizer().optimize(request);
+    const auto want = Exhaustive_optimizer().optimize(request);
+    EXPECT_FALSE(got.proven_optimal);
+    EXPECT_GE(got.cost, want.cost * (1.0 - test::cost_tolerance));
+    EXPECT_TRUE(got.plan.is_permutation_of(7));
+  }
+}
+
+TEST(Uniform_comm_test, PrecedenceListScheduling) {
+  const Instance instance = test::selective_instance(8, 5);
+  Rng rng(5);
+  const auto dag = workload::make_random_dag(8, 0.5, rng);
+  Request request = request_for(instance);
+  request.precedence = &dag;
+  const auto result = Uniform_comm_optimizer().optimize(request);
+  EXPECT_TRUE(dag.respects(result.plan.order()));
+  EXPECT_FALSE(result.proven_optimal);
+}
+
+TEST(Random_sampler_test, DeterministicPerSeedAndImprovesWithSamples) {
+  const Instance instance = test::selective_instance(8, 11);
+  const auto request = request_for(instance);
+
+  opt::Random_sampler_options few;
+  few.seed = 9;
+  few.samples = 5;
+  opt::Random_sampler_options many;
+  many.seed = 9;
+  many.samples = 2000;
+
+  const auto a = Random_sampler_optimizer(few).optimize(request);
+  const auto b = Random_sampler_optimizer(few).optimize(request);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_TRUE(test::costs_equal(a.cost, b.cost));
+
+  const auto big = Random_sampler_optimizer(many).optimize(request);
+  EXPECT_LE(big.cost, a.cost * (1.0 + test::cost_tolerance));
+  EXPECT_EQ(big.stats.complete_plans, 2000u);
+}
+
+TEST(Random_sampler_test, RespectsPrecedence) {
+  const Instance instance = test::selective_instance(7, 2);
+  Rng rng(2);
+  const auto dag = workload::make_random_dag(7, 0.5, rng);
+  Request request = request_for(instance);
+  request.precedence = &dag;
+  opt::Random_sampler_options options;
+  options.samples = 50;
+  const auto result = Random_sampler_optimizer(options).optimize(request);
+  EXPECT_TRUE(dag.respects(result.plan.order()));
+}
+
+TEST(Exhaustive_test, BoundedMatchesUnboundedWithFewerNodes) {
+  const Instance instance = test::selective_instance(8, 21);
+  const auto request = request_for(instance);
+  const auto plain = Exhaustive_optimizer(false).optimize(request);
+  const auto bounded = Exhaustive_optimizer(true).optimize(request);
+  EXPECT_TRUE(test::costs_equal(plain.cost, bounded.cost));
+  EXPECT_LT(bounded.stats.nodes_expanded, plain.stats.nodes_expanded);
+  EXPECT_GT(bounded.stats.lemma1_cutoffs, 0u);
+}
+
+TEST(Exhaustive_test, NodeLimitAborts) {
+  const Instance instance = test::selective_instance(10, 4);
+  Request request = request_for(instance);
+  request.node_limit = 100;
+  const auto result = Exhaustive_optimizer().optimize(request);
+  EXPECT_TRUE(result.hit_limit);
+  EXPECT_FALSE(result.proven_optimal);
+}
+
+TEST(Validate_request_test, Rejections) {
+  Request request;
+  EXPECT_THROW(opt::validate_request(request), Precondition_error);
+  const Instance instance = test::selective_instance(3, 1);
+  request.instance = &instance;
+  constraints::Precedence_graph wrong(4);
+  request.precedence = &wrong;
+  EXPECT_THROW(opt::validate_request(request), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "quest/opt/annealing.hpp"
+#include "quest/opt/exhaustive.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/opt/local_search.hpp"
+#include "quest/opt/multistart.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Plan;
+using opt::Annealing_optimizer;
+using opt::Greedy_optimizer;
+using opt::Local_search_optimizer;
+using opt::Request;
+
+Request request_for(const Instance& instance) {
+  Request request;
+  request.instance = &instance;
+  return request;
+}
+
+TEST(Local_search_test, NeverWorseThanGreedySeed) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = test::selective_instance(9, seed);
+    const auto request = request_for(instance);
+    const auto greedy = Greedy_optimizer().optimize(request);
+    const auto polished = Local_search_optimizer().optimize(request);
+    EXPECT_LE(polished.cost, greedy.cost * (1.0 + test::cost_tolerance));
+    EXPECT_TRUE(polished.plan.is_permutation_of(9));
+  }
+}
+
+TEST(Local_search_test, ReachesLocalOptimum) {
+  const Instance instance = test::selective_instance(8, 5);
+  const auto request = request_for(instance);
+  Local_search_optimizer search;
+  const auto first = search.optimize(request);
+  // Re-polishing a local optimum must not move.
+  const auto second = search.improve(request, first.plan);
+  EXPECT_TRUE(test::costs_equal(first.cost, second.cost));
+  EXPECT_EQ(first.plan, second.plan);
+}
+
+TEST(Local_search_test, FindsOptimumOnSmallInstances) {
+  // Swap+insert neighborhoods are strong enough for tiny instances; allow
+  // equality failures to be loud if the neighborhood regresses.
+  int optimal_hits = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = test::selective_instance(5, seed);
+    const auto request = request_for(instance);
+    const auto polished = Local_search_optimizer().optimize(request);
+    const auto optimal = opt::Exhaustive_optimizer().optimize(request);
+    if (test::costs_equal(polished.cost, optimal.cost)) ++optimal_hits;
+    EXPECT_GE(polished.cost, optimal.cost * (1.0 - test::cost_tolerance));
+  }
+  EXPECT_GE(optimal_hits, 7);
+}
+
+TEST(Local_search_test, RespectsPrecedence) {
+  const Instance instance = test::selective_instance(8, 7);
+  Rng rng(7);
+  const auto dag = workload::make_random_dag(8, 0.4, rng);
+  Request request = request_for(instance);
+  request.precedence = &dag;
+  const auto result = Local_search_optimizer().optimize(request);
+  EXPECT_TRUE(dag.respects(result.plan.order()));
+}
+
+TEST(Local_search_test, SeedValidation) {
+  const Instance instance = test::selective_instance(4, 1);
+  const auto request = request_for(instance);
+  Local_search_optimizer search;
+  EXPECT_THROW(search.improve(request, Plan({0, 1})), Precondition_error);
+  constraints::Precedence_graph dag(4);
+  dag.add_edge(3, 0);
+  Request constrained = request;
+  constrained.precedence = &dag;
+  EXPECT_THROW(search.improve(constrained, Plan({0, 1, 2, 3})),
+               Precondition_error);
+}
+
+TEST(Local_search_test, MaxRoundsCapsWork) {
+  const Instance instance = test::selective_instance(10, 3);
+  opt::Local_search_options options;
+  options.max_rounds = 1;
+  Local_search_optimizer capped(options);
+  const auto result = capped.optimize(request_for(instance));
+  EXPECT_TRUE(result.plan.is_permutation_of(10));
+}
+
+TEST(Annealing_test, NeverWorseThanGreedyAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance instance = test::selective_instance(9, seed * 13);
+    const auto request = request_for(instance);
+    const auto greedy = Greedy_optimizer().optimize(request);
+
+    opt::Annealing_options options;
+    options.seed = seed;
+    options.iterations = 4000;
+    const auto a = Annealing_optimizer(options).optimize(request);
+    const auto b = Annealing_optimizer(options).optimize(request);
+    EXPECT_LE(a.cost, greedy.cost * (1.0 + test::cost_tolerance));
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_TRUE(a.plan.is_permutation_of(9));
+  }
+}
+
+TEST(Annealing_test, RespectsPrecedence) {
+  const Instance instance = test::selective_instance(8, 2);
+  Rng rng(23);
+  const auto dag = workload::make_random_dag(8, 0.3, rng);
+  Request request = request_for(instance);
+  request.precedence = &dag;
+  opt::Annealing_options options;
+  options.iterations = 2000;
+  const auto result = Annealing_optimizer(options).optimize(request);
+  EXPECT_TRUE(dag.respects(result.plan.order()));
+}
+
+TEST(Multistart_test, NeverWorseThanSingleStartAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance instance = test::selective_instance(9, seed * 19);
+    const auto request = request_for(instance);
+    const auto single = Local_search_optimizer().optimize(request);
+
+    opt::Multistart_options options;
+    options.seed = seed;
+    options.restarts = 6;
+    const auto a = opt::Multistart_optimizer(options).optimize(request);
+    const auto b = opt::Multistart_optimizer(options).optimize(request);
+    EXPECT_LE(a.cost, single.cost * (1.0 + test::cost_tolerance));
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_TRUE(a.plan.is_permutation_of(9));
+    EXPECT_FALSE(a.proven_optimal);
+  }
+}
+
+TEST(Multistart_test, FindsOptimumMoreOftenThanSingleStart) {
+  int single_hits = 0;
+  int multi_hits = 0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    // Bottleneck-TSP instances, where single-start local search struggles
+    // (E3: 28% optimal).
+    Rng rng(seed * 607);
+    workload::Bottleneck_tsp_spec spec;
+    spec.n = 8;
+    const Instance instance = workload::make_bottleneck_tsp(spec, rng);
+    const auto request = request_for(instance);
+    const double optimum =
+        opt::Exhaustive_optimizer().optimize(request).cost;
+    if (test::costs_equal(
+            Local_search_optimizer().optimize(request).cost, optimum)) {
+      ++single_hits;
+    }
+    opt::Multistart_options options;
+    options.seed = seed;
+    options.restarts = 10;
+    if (test::costs_equal(
+            opt::Multistart_optimizer(options).optimize(request).cost,
+            optimum)) {
+      ++multi_hits;
+    }
+  }
+  EXPECT_GE(multi_hits, single_hits);
+  EXPECT_GE(multi_hits, 10);
+}
+
+TEST(Multistart_test, RespectsPrecedence) {
+  const Instance instance = test::selective_instance(8, 31);
+  Rng rng(31);
+  const auto dag = workload::make_random_dag(8, 0.4, rng);
+  Request request = request_for(instance);
+  request.precedence = &dag;
+  opt::Multistart_options options;
+  options.restarts = 4;
+  const auto result = opt::Multistart_optimizer(options).optimize(request);
+  EXPECT_TRUE(dag.respects(result.plan.order()));
+}
+
+TEST(Annealing_test, TinyInstances) {
+  const Instance instance = test::selective_instance(1, 1);
+  const auto result = Annealing_optimizer().optimize(request_for(instance));
+  EXPECT_EQ(result.plan.size(), 1u);
+}
+
+}  // namespace
+}  // namespace quest

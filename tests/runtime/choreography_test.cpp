@@ -1,0 +1,119 @@
+// Smoke and consistency tests for the thread-based choreography runtime.
+// Wall-clock assertions are kept loose — CI machines are noisy — and the
+// precise model-vs-wall comparison lives in bench E10.
+
+#include <gtest/gtest.h>
+
+#include "quest/runtime/choreography.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Plan;
+using runtime::Runtime_config;
+using runtime::execute;
+
+Runtime_config small_config() {
+  Runtime_config config;
+  config.input_tuples = 150;
+  config.block_size = 16;
+  config.time_scale_us = 30.0;
+  return config;
+}
+
+TEST(Choreography_test, DeliversDeterministicTupleCount) {
+  const Instance instance = test::selective_instance(5, 4);
+  const auto config = small_config();
+  const auto result = execute(instance, Plan::identity(5), config);
+  double expected = static_cast<double>(config.input_tuples);
+  for (model::Service_id id = 0; id < 5; ++id) {
+    expected *= instance.selectivity(id);
+  }
+  EXPECT_NEAR(static_cast<double>(result.tuples_delivered), expected, 6.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.per_tuple_cost_units, 0.0);
+  ASSERT_EQ(result.busy_fraction.size(), 5u);
+}
+
+TEST(Choreography_test, WallClockIsAtLeastTheModelLowerBound) {
+  // The bottleneck service alone must busy-spin for
+  // input * predicted_cost time units, so wall time cannot beat it.
+  const Instance instance = test::selective_instance(4, 11);
+  const auto config = small_config();
+  const auto result = execute(instance, Plan::identity(4), config);
+  const double lower_bound_seconds =
+      result.predicted_cost * static_cast<double>(config.input_tuples) *
+      config.time_scale_us * 1e-6;
+  EXPECT_GE(result.wall_seconds, lower_bound_seconds * 0.95);
+}
+
+TEST(Choreography_test, PerTupleCostTracksPrediction) {
+  const Instance instance = test::selective_instance(4, 7);
+  Runtime_config config;
+  config.input_tuples = 400;
+  config.block_size = 25;
+  config.time_scale_us = 60.0;
+  const auto result = execute(instance, Plan::identity(4), config);
+  // Wall time includes wake-up latency and scheduling noise; demand the
+  // right ballpark (within 2x) rather than tight agreement here.
+  EXPECT_GT(result.per_tuple_cost_units, result.predicted_cost * 0.8);
+  EXPECT_LT(result.per_tuple_cost_units, result.predicted_cost * 2.0);
+}
+
+TEST(Choreography_test, ExpandingPipelineDeliversMore) {
+  Rng rng(3);
+  workload::Uniform_spec spec;
+  spec.n = 3;
+  spec.selectivity_min = 1.4;
+  spec.selectivity_max = 1.8;
+  spec.cost_min = 0.2;
+  spec.cost_max = 0.5;
+  spec.transfer_min = 0.05;
+  spec.transfer_max = 0.2;
+  const Instance instance = workload::make_uniform(spec, rng);
+  Runtime_config config = small_config();
+  config.input_tuples = 200;
+  const auto result = execute(instance, Plan::identity(3), config);
+  EXPECT_GT(result.tuples_delivered, 200u);
+}
+
+TEST(Choreography_test, BoundedQueuesStillComplete) {
+  // Tight queues force back-pressure; the run must still drain.
+  const Instance instance = test::selective_instance(5, 9);
+  Runtime_config config = small_config();
+  config.queue_capacity_blocks = 1;
+  config.input_tuples = 150;
+  const auto result = execute(instance, Plan::identity(5), config);
+  EXPECT_GT(result.tuples_delivered, 0u);
+}
+
+TEST(Choreography_test, SingleService) {
+  const Instance instance({{0.5, 1.0, "relay"}},
+                          Matrix<double>::square(1, 0.0));
+  Runtime_config config = small_config();
+  config.input_tuples = 100;
+  const auto result = execute(instance, Plan({0}), config);
+  EXPECT_EQ(result.tuples_delivered, 100u);
+}
+
+TEST(Choreography_test, RejectsMalformedConfig) {
+  const Instance instance = test::selective_instance(3, 1);
+  Runtime_config config;
+  config.input_tuples = 0;
+  EXPECT_THROW(execute(instance, Plan::identity(3), config),
+               Precondition_error);
+  config.input_tuples = 10;
+  config.time_scale_us = 0.0;
+  EXPECT_THROW(execute(instance, Plan::identity(3), config),
+               Precondition_error);
+  config.time_scale_us = 1.0;
+  config.queue_capacity_blocks = 0;
+  EXPECT_THROW(execute(instance, Plan::identity(3), config),
+               Precondition_error);
+  EXPECT_THROW(execute(instance, Plan({0}), config), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,271 @@
+// The discrete-event simulator must (a) conserve tuples, (b) converge to
+// the bottleneck cost metric's prediction at scale, and (c) rank plans the
+// way Eq. 1 ranks them — that is what makes Eq. 1 the right objective.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "quest/sim/simulator.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Plan;
+using model::Send_policy;
+using sim::Sim_config;
+using sim::simulate;
+
+TEST(Simulator_test, DeterministicSelectivityConservesExpectedTuples) {
+  const Instance instance = test::selective_instance(6, 3);
+  const Plan plan = Plan::identity(6);
+  Sim_config config;
+  config.input_tuples = 10'000;
+  const auto result = simulate(instance, plan, config);
+
+  double expected = static_cast<double>(config.input_tuples);
+  for (model::Service_id id : plan) expected *= instance.selectivity(id);
+  EXPECT_NEAR(static_cast<double>(result.tuples_delivered), expected,
+              static_cast<double>(plan.size()) + 1);
+}
+
+TEST(Simulator_test, PerTupleTimeConvergesToPredictedCost) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Instance instance = test::selective_instance(7, seed);
+    const Plan plan = Plan::identity(7);
+    Sim_config config;
+    config.input_tuples = 20'000;
+    config.block_size = 16;
+    const auto result = simulate(instance, plan, config);
+    EXPECT_NEAR(result.per_tuple_time / result.predicted_cost, 1.0, 0.08)
+        << "seed " << seed;
+  }
+}
+
+TEST(Simulator_test, OverlappedPolicyConvergesToo) {
+  const Instance instance = test::selective_instance(6, 9);
+  const Plan plan = Plan::identity(6);
+  Sim_config config;
+  config.input_tuples = 20'000;
+  config.policy = Send_policy::overlapped;
+  const auto result = simulate(instance, plan, config);
+  EXPECT_NEAR(result.per_tuple_time / result.predicted_cost, 1.0, 0.08);
+}
+
+TEST(Simulator_test, ExpandingServicesDeliverMoreTuplesThanInput) {
+  Rng rng(5);
+  workload::Uniform_spec spec;
+  spec.n = 4;
+  spec.selectivity_min = 1.5;
+  spec.selectivity_max = 2.0;
+  const Instance instance = workload::make_uniform(spec, rng);
+  Sim_config config;
+  config.input_tuples = 1'000;
+  const auto result = simulate(instance, Plan::identity(4), config);
+  EXPECT_GT(result.tuples_delivered, config.input_tuples);
+}
+
+TEST(Simulator_test, RanksPlansLikeTheCostModel) {
+  // For several random instances, compare two plans: the one with lower
+  // Eq.-1 cost must have (weakly) lower simulated makespan.
+  int agreements = 0;
+  int trials = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Instance instance = test::selective_instance(6, seed * 7);
+    Rng rng(seed);
+    Plan a;
+    Plan b;
+    for (const auto id : rng.permutation(6)) {
+      a.append(static_cast<model::Service_id>(id));
+    }
+    for (const auto id : rng.permutation(6)) {
+      b.append(static_cast<model::Service_id>(id));
+    }
+    const double cost_a = model::bottleneck_cost(instance, a);
+    const double cost_b = model::bottleneck_cost(instance, b);
+    if (std::fabs(cost_a - cost_b) / std::max(cost_a, cost_b) < 0.10) {
+      continue;  // too close to call; pipeline fill effects could flip it
+    }
+    Sim_config config;
+    config.input_tuples = 10'000;
+    const double time_a = simulate(instance, a, config).makespan;
+    const double time_b = simulate(instance, b, config).makespan;
+    ++trials;
+    if ((cost_a < cost_b) == (time_a < time_b)) ++agreements;
+  }
+  ASSERT_GT(trials, 5);
+  EXPECT_EQ(agreements, trials);
+}
+
+TEST(Simulator_test, StochasticModeApproximatesExpectation) {
+  const Instance instance = test::selective_instance(5, 21);
+  Sim_config config;
+  config.input_tuples = 40'000;
+  config.selectivity_mode = sim::Selectivity_mode::stochastic;
+  config.seed = 77;
+  const auto result = simulate(instance, Plan::identity(5), config);
+  double expected = static_cast<double>(config.input_tuples);
+  for (model::Service_id id = 0; id < 5; ++id) {
+    expected *= instance.selectivity(id);
+  }
+  EXPECT_NEAR(static_cast<double>(result.tuples_delivered) / expected, 1.0,
+              0.10);
+}
+
+TEST(Simulator_test, StochasticModeIsSeedDeterministic) {
+  const Instance instance = test::selective_instance(5, 2);
+  Sim_config config;
+  config.selectivity_mode = sim::Selectivity_mode::stochastic;
+  config.input_tuples = 2'000;
+  config.seed = 5;
+  const auto a = simulate(instance, Plan::identity(5), config);
+  const auto b = simulate(instance, Plan::identity(5), config);
+  EXPECT_EQ(a.tuples_delivered, b.tuples_delivered);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Simulator_test, CostJitterChangesTimingNotCounts) {
+  const Instance instance = test::selective_instance(5, 6);
+  Sim_config plain;
+  plain.input_tuples = 3'000;
+  Sim_config jittered = plain;
+  jittered.cost_jitter = 0.3;
+  jittered.seed = 17;
+  const auto a = simulate(instance, Plan::identity(5), plain);
+  const auto b = simulate(instance, Plan::identity(5), jittered);
+  EXPECT_EQ(a.tuples_delivered, b.tuples_delivered);
+  EXPECT_NE(a.makespan, b.makespan);
+  // Jitter is symmetric, so the mean effect is small.
+  EXPECT_NEAR(b.makespan / a.makespan, 1.0, 0.1);
+}
+
+TEST(Simulator_test, PerBlockOverheadRaisesEffectiveTransferCost) {
+  const Instance instance = test::selective_instance(5, 8);
+  Sim_config small_blocks;
+  small_blocks.input_tuples = 5'000;
+  small_blocks.block_size = 1;
+  small_blocks.per_block_overhead = 1.0;
+  Sim_config big_blocks = small_blocks;
+  big_blocks.block_size = 128;
+  const auto slow = simulate(instance, Plan::identity(5), small_blocks);
+  const auto fast = simulate(instance, Plan::identity(5), big_blocks);
+  EXPECT_GT(slow.makespan, fast.makespan);
+}
+
+TEST(Simulator_test, UtilizationIdentifiesTheBottleneck) {
+  const Instance instance = test::selective_instance(7, 13);
+  const Plan plan = Plan::identity(7);
+  Sim_config config;
+  config.input_tuples = 20'000;
+  const auto result = simulate(instance, plan, config);
+  const auto breakdown = model::cost_breakdown(instance, plan);
+  EXPECT_EQ(result.busiest_position, breakdown.bottleneck_position);
+  EXPECT_GT(result.services[result.busiest_position].utilization, 0.85);
+  for (const auto& s : result.services) {
+    EXPECT_LE(s.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(Simulator_test, MetricsAreInternallyConsistent) {
+  const Instance instance = test::sink_instance(6, 4);
+  const Plan plan = Plan::identity(6);
+  Sim_config config;
+  config.input_tuples = 2'000;
+  config.block_size = 8;
+  const auto result = simulate(instance, plan, config);
+  ASSERT_EQ(result.services.size(), 6u);
+  EXPECT_EQ(result.services[0].tuples_in, config.input_tuples);
+  for (std::size_t p = 0; p + 1 < 6; ++p) {
+    EXPECT_EQ(result.services[p].tuples_out,
+              result.services[p + 1].tuples_in);
+  }
+  EXPECT_EQ(result.services[5].tuples_out, result.tuples_delivered);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(
+      result.per_tuple_time,
+      result.makespan / static_cast<double>(config.input_tuples));
+}
+
+TEST(Simulator_test, SingleServicePipeline) {
+  const Instance instance({{2.0, 0.5, "only"}},
+                          Matrix<double>::square(1, 0.0), {1.0});
+  Sim_config config;
+  config.input_tuples = 1'000;
+  const auto result = simulate(instance, Plan({0}), config);
+  // makespan ~ N * (c + sigma * t_sink) = 1000 * 2.5.
+  EXPECT_NEAR(result.makespan, 2500.0, 100.0);
+}
+
+TEST(Simulator_test, MakespanIsMonotoneInInputSize) {
+  const Instance instance = test::selective_instance(6, 12);
+  const Plan plan = Plan::identity(6);
+  double previous = 0.0;
+  for (const std::uint64_t tuples : {100u, 1'000u, 5'000u, 20'000u}) {
+    Sim_config config;
+    config.input_tuples = tuples;
+    const double makespan = simulate(instance, plan, config).makespan;
+    EXPECT_GT(makespan, previous);
+    previous = makespan;
+  }
+}
+
+TEST(Simulator_test, BlockSizeDoesNotChangeDeliveredCount) {
+  const Instance instance = test::selective_instance(6, 15);
+  const Plan plan = Plan::identity(6);
+  Sim_config config;
+  config.input_tuples = 4'000;
+  config.block_size = 1;
+  const auto reference = simulate(instance, plan, config);
+  for (const std::uint64_t block : {4u, 32u, 512u}) {
+    config.block_size = block;
+    EXPECT_EQ(simulate(instance, plan, config).tuples_delivered,
+              reference.tuples_delivered);
+  }
+}
+
+TEST(Simulator_test, ThroughputScalesInverselyWithBottleneck) {
+  // Doubling every cost and transfer doubles the per-tuple time.
+  const Instance base = test::selective_instance(5, 33);
+  std::vector<model::Service> scaled_services;
+  for (const auto& s : base.services()) {
+    scaled_services.push_back({s.cost * 2.0, s.selectivity, s.name});
+  }
+  Matrix<double> scaled_t = Matrix<double>::square(5, 0.0);
+  for (model::Service_id i = 0; i < 5; ++i) {
+    for (model::Service_id j = 0; j < 5; ++j) {
+      if (i != j) scaled_t(i, j) = base.transfer(i, j) * 2.0;
+    }
+  }
+  const Instance doubled(std::move(scaled_services), std::move(scaled_t));
+  Sim_config config;
+  config.input_tuples = 10'000;
+  const Plan plan = Plan::identity(5);
+  const double t1 = simulate(base, plan, config).per_tuple_time;
+  const double t2 = simulate(doubled, plan, config).per_tuple_time;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.02);
+}
+
+TEST(Simulator_test, RejectsMalformedConfig) {
+  const Instance instance = test::selective_instance(3, 1);
+  Sim_config config;
+  config.input_tuples = 0;
+  EXPECT_THROW(simulate(instance, Plan::identity(3), config),
+               Precondition_error);
+  config.input_tuples = 10;
+  config.block_size = 0;
+  EXPECT_THROW(simulate(instance, Plan::identity(3), config),
+               Precondition_error);
+  config.block_size = 4;
+  config.cost_jitter = 1.0;
+  EXPECT_THROW(simulate(instance, Plan::identity(3), config),
+               Precondition_error);
+  config.cost_jitter = 0.0;
+  EXPECT_THROW(simulate(instance, Plan({0, 1}), config), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "quest/workload/analysis.hpp"
+#include "quest/workload/generators.hpp"
+#include "quest/workload/scenarios.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+namespace wl = workload;
+using wl::Hardness_regime;
+
+TEST(Analysis_test, FlatNetworkHasZeroCv) {
+  Rng rng(1);
+  wl::Heterogeneity_spec spec;
+  spec.n = 6;
+  spec.heterogeneity = 0.0;
+  const auto profile = wl::analyze(wl::make_heterogeneous(spec, rng));
+  EXPECT_DOUBLE_EQ(profile.transfer_cv, 0.0);
+  EXPECT_DOUBLE_EQ(profile.transfer_spread, 1.0);
+  EXPECT_DOUBLE_EQ(profile.transfer_mean, spec.t_base);
+}
+
+TEST(Analysis_test, HeterogeneityRaisesCv) {
+  Rng rng(2);
+  wl::Heterogeneity_spec flat;
+  flat.n = 8;
+  flat.heterogeneity = 0.2;
+  wl::Heterogeneity_spec wild = flat;
+  wild.heterogeneity = 1.0;
+  const auto low = wl::analyze(wl::make_heterogeneous(flat, rng));
+  const auto high = wl::analyze(wl::make_heterogeneous(wild, rng));
+  EXPECT_GT(high.transfer_cv, low.transfer_cv);
+  EXPECT_GT(high.transfer_spread, low.transfer_spread);
+}
+
+TEST(Analysis_test, RegimeClassification) {
+  Rng rng(3);
+  wl::Uniform_spec selective;
+  selective.n = 8;
+  selective.selectivity_min = 0.1;
+  selective.selectivity_max = 0.5;
+  EXPECT_EQ(wl::analyze(wl::make_uniform(selective, rng)).regime,
+            Hardness_regime::selective);
+
+  wl::Uniform_spec near;
+  near.n = 8;
+  near.selectivity_min = 0.9;
+  near.selectivity_max = 1.0;
+  EXPECT_EQ(wl::analyze(wl::make_uniform(near, rng)).regime,
+            Hardness_regime::near_tsp);
+
+  wl::Uniform_spec expanding;
+  expanding.n = 8;
+  expanding.selectivity_min = 0.5;
+  expanding.selectivity_max = 2.0;
+  const auto profile = wl::analyze(wl::make_uniform(expanding, rng));
+  EXPECT_EQ(profile.regime, Hardness_regime::expanding);
+  EXPECT_GT(profile.expanding_fraction, 0.0);
+}
+
+TEST(Analysis_test, GeomeanAndBounds) {
+  Matrix<double> t = Matrix<double>::square(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) t(i, j) = 2.0;
+    }
+  }
+  const model::Instance instance(
+      {{1.0, 0.25, "a"}, {2.0, 1.0, "b"}, {3.0, 0.5, "c"}}, std::move(t));
+  const auto profile = wl::analyze(instance);
+  EXPECT_EQ(profile.services, 3u);
+  EXPECT_NEAR(profile.selectivity_geomean, 0.5, 1e-12);  // (0.25*1*0.5)^(1/3)
+  EXPECT_DOUBLE_EQ(profile.selectivity_min, 0.25);
+  EXPECT_DOUBLE_EQ(profile.selectivity_max, 1.0);
+  EXPECT_DOUBLE_EQ(profile.cost_mean, 2.0);
+  EXPECT_DOUBLE_EQ(profile.transfer_mean, 2.0);
+  // comm share = sigma_bar * t_bar / (c_bar + sigma_bar * t_bar)
+  const double sigma_bar = (0.25 + 1.0 + 0.5) / 3.0;
+  EXPECT_NEAR(profile.communication_share,
+              sigma_bar * 2.0 / (2.0 + sigma_bar * 2.0), 1e-12);
+}
+
+TEST(Analysis_test, ZeroSelectivityGeomeanIsZero) {
+  const model::Instance instance({{1.0, 0.0, "kill"}, {1.0, 0.5, "pass"}},
+                                 Matrix<double>::square(2, 0.0));
+  EXPECT_DOUBLE_EQ(wl::analyze(instance).selectivity_geomean, 0.0);
+}
+
+TEST(Analysis_test, SingleServiceInstance) {
+  const model::Instance instance({{1.0, 0.5, "solo"}},
+                                 Matrix<double>::square(1, 0.0));
+  const auto profile = wl::analyze(instance);
+  EXPECT_EQ(profile.services, 1u);
+  EXPECT_DOUBLE_EQ(profile.transfer_cv, 0.0);
+  EXPECT_DOUBLE_EQ(profile.transfer_spread, 1.0);
+}
+
+TEST(Analysis_test, ScenarioProfilesMakeSense) {
+  const auto credit = wl::analyze(wl::credit_screening().instance);
+  EXPECT_EQ(credit.regime, Hardness_regime::expanding);
+  const auto survey = wl::analyze(wl::sky_survey().instance);
+  EXPECT_NE(survey.regime, Hardness_regime::expanding);
+  EXPECT_GT(survey.transfer_cv, 0.5);  // two sites, slow cross-link
+}
+
+TEST(Analysis_test, RegimeNames) {
+  EXPECT_EQ(wl::to_string(Hardness_regime::selective), "selective");
+  EXPECT_EQ(wl::to_string(Hardness_regime::near_tsp), "near-tsp");
+  EXPECT_EQ(wl::to_string(Hardness_regime::expanding), "expanding");
+}
+
+}  // namespace
+}  // namespace quest

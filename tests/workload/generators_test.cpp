@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "quest/common/error.hpp"
+#include "quest/workload/generators.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Service_id;
+namespace wl = workload;
+
+TEST(Generators_test, UniformRespectsRanges) {
+  Rng rng(1);
+  wl::Uniform_spec spec;
+  spec.n = 15;
+  spec.cost_min = 1.0;
+  spec.cost_max = 2.0;
+  spec.selectivity_min = 0.4;
+  spec.selectivity_max = 0.6;
+  spec.transfer_min = 3.0;
+  spec.transfer_max = 4.0;
+  const Instance instance = wl::make_uniform(spec, rng);
+  ASSERT_EQ(instance.size(), 15u);
+  for (Service_id i = 0; i < 15; ++i) {
+    EXPECT_GE(instance.cost(i), 1.0);
+    EXPECT_LE(instance.cost(i), 2.0);
+    EXPECT_GE(instance.selectivity(i), 0.4);
+    EXPECT_LE(instance.selectivity(i), 0.6);
+    EXPECT_DOUBLE_EQ(instance.sink_transfer(i), 0.0);
+    for (Service_id j = 0; j < 15; ++j) {
+      if (i == j) {
+        EXPECT_DOUBLE_EQ(instance.transfer(i, j), 0.0);
+      } else {
+        EXPECT_GE(instance.transfer(i, j), 3.0);
+        EXPECT_LE(instance.transfer(i, j), 4.0);
+      }
+    }
+  }
+  EXPECT_TRUE(instance.all_selective());
+}
+
+TEST(Generators_test, UniformDeterministicPerSeed) {
+  wl::Uniform_spec spec;
+  spec.n = 6;
+  Rng a(42);
+  Rng b(42);
+  EXPECT_TRUE(wl::make_uniform(spec, a) == wl::make_uniform(spec, b));
+  Rng c(43);
+  EXPECT_FALSE(wl::make_uniform(spec, a) == wl::make_uniform(spec, c));
+}
+
+TEST(Generators_test, UniformSymmetricFlag) {
+  Rng rng(2);
+  wl::Uniform_spec spec;
+  spec.n = 8;
+  spec.symmetric = true;
+  const Instance instance = wl::make_uniform(spec, rng);
+  for (Service_id i = 0; i < 8; ++i) {
+    for (Service_id j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(instance.transfer(i, j), instance.transfer(j, i));
+    }
+  }
+}
+
+TEST(Generators_test, UniformSinkRange) {
+  Rng rng(3);
+  wl::Uniform_spec spec;
+  spec.n = 5;
+  spec.sink_min = 1.0;
+  spec.sink_max = 2.0;
+  const Instance instance = wl::make_uniform(spec, rng);
+  for (Service_id i = 0; i < 5; ++i) {
+    EXPECT_GE(instance.sink_transfer(i), 1.0);
+    EXPECT_LE(instance.sink_transfer(i), 2.0);
+  }
+}
+
+TEST(Generators_test, ClusteredSeparatesIntraAndInter) {
+  Rng rng(4);
+  wl::Clustered_spec spec;
+  spec.n = 12;
+  spec.jitter = 0.0;
+  const Instance instance = wl::make_clustered(spec, rng);
+  // With zero jitter every off-diagonal entry is one of the two base
+  // costs.
+  int intra = 0;
+  int inter = 0;
+  for (Service_id i = 0; i < 12; ++i) {
+    for (Service_id j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      const double t = instance.transfer(i, j);
+      if (t == spec.intra_transfer) {
+        ++intra;
+      } else if (t == spec.inter_transfer) {
+        ++inter;
+      } else {
+        FAIL() << "unexpected transfer " << t;
+      }
+    }
+  }
+  EXPECT_GT(inter, 0);
+}
+
+TEST(Generators_test, EuclideanIsSymmetricAndBounded) {
+  Rng rng(5);
+  wl::Euclidean_spec spec;
+  spec.n = 10;
+  spec.noise = 0.0;
+  const Instance instance = wl::make_euclidean(spec, rng);
+  for (Service_id i = 0; i < 10; ++i) {
+    for (Service_id j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(instance.transfer(i, j), instance.transfer(j, i));
+      EXPECT_LE(instance.transfer(i, j), spec.scale + 1e-12);
+    }
+  }
+}
+
+TEST(Generators_test, HeterogeneityKnobEndpoints) {
+  Rng rng(6);
+  wl::Heterogeneity_spec flat;
+  flat.n = 7;
+  flat.heterogeneity = 0.0;
+  EXPECT_TRUE(wl::make_heterogeneous(flat, rng).uniform_transfer());
+
+  wl::Heterogeneity_spec wild;
+  wild.n = 7;
+  wild.heterogeneity = 1.0;
+  const Instance instance = wl::make_heterogeneous(wild, rng);
+  EXPECT_FALSE(instance.uniform_transfer());
+  for (Service_id i = 0; i < 7; ++i) {
+    for (Service_id j = 0; j < 7; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(instance.transfer(i, j), wild.transfer_min);
+      EXPECT_LE(instance.transfer(i, j), wild.transfer_max);
+    }
+  }
+}
+
+TEST(Generators_test, BottleneckTspShape) {
+  Rng rng(7);
+  wl::Bottleneck_tsp_spec spec;
+  spec.n = 9;
+  const Instance instance = wl::make_bottleneck_tsp(spec, rng);
+  for (Service_id i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(instance.cost(i), 0.0);
+    EXPECT_DOUBLE_EQ(instance.selectivity(i), 1.0);
+    for (Service_id j = 0; j < 9; ++j) {
+      EXPECT_DOUBLE_EQ(instance.transfer(i, j), instance.transfer(j, i));
+    }
+  }
+}
+
+TEST(Generators_test, SpecValidation) {
+  Rng rng(8);
+  wl::Uniform_spec bad_range;
+  bad_range.cost_min = 5.0;
+  bad_range.cost_max = 1.0;
+  EXPECT_THROW(wl::make_uniform(bad_range, rng), Precondition_error);
+
+  wl::Clustered_spec bad_jitter;
+  bad_jitter.jitter = 1.5;
+  EXPECT_THROW(wl::make_clustered(bad_jitter, rng), Precondition_error);
+
+  wl::Heterogeneity_spec bad_h;
+  bad_h.heterogeneity = 1.5;
+  EXPECT_THROW(wl::make_heterogeneous(bad_h, rng), Precondition_error);
+
+  EXPECT_THROW(wl::make_random_dag(4, -0.1, rng), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/workload/scenarios.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+namespace wl = workload;
+
+void expect_solvable(const wl::Scenario& scenario) {
+  core::Bnb_optimizer bnb;
+  opt::Request request;
+  request.instance = &scenario.instance;
+  request.precedence = &scenario.precedence;
+  const auto result = bnb.optimize(request);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_TRUE(result.plan.is_permutation_of(scenario.instance.size()));
+  EXPECT_TRUE(scenario.precedence.respects(result.plan.order()));
+  EXPECT_TRUE(test::costs_equal(
+      result.cost, model::bottleneck_cost(scenario.instance, result.plan)));
+}
+
+TEST(Scenarios_test, CreditScreeningShape) {
+  const auto scenario = wl::credit_screening();
+  EXPECT_EQ(scenario.instance.size(), 6u);
+  EXPECT_FALSE(scenario.instance.all_selective());  // card-lookup expands
+  EXPECT_TRUE(scenario.precedence.has_edge(0, 5));
+  EXPECT_EQ(scenario.instance.service(0).name, "card-lookup");
+  EXPECT_FALSE(scenario.description.empty());
+  expect_solvable(scenario);
+}
+
+TEST(Scenarios_test, SkySurveyShape) {
+  const auto scenario = wl::sky_survey();
+  EXPECT_EQ(scenario.instance.size(), 7u);
+  EXPECT_TRUE(scenario.instance.all_selective());
+  // Source extraction precedes every other service.
+  for (model::Service_id v = 1; v < 7; ++v) {
+    EXPECT_TRUE(scenario.precedence.has_edge(0, v));
+  }
+  expect_solvable(scenario);
+}
+
+TEST(Scenarios_test, LogAnalyticsShape) {
+  const auto scenario = wl::log_analytics();
+  EXPECT_EQ(scenario.instance.size(), 8u);
+  EXPECT_GT(scenario.instance.selectivity(1), 1.0);  // sessionize expands
+  expect_solvable(scenario);
+}
+
+TEST(Scenarios_test, OptimalBeatsWorstOrderClearly) {
+  // The motivating claim of the paper: ordering matters. For each scenario
+  // the optimum must be strictly better than the worst feasible plan.
+  for (const auto& scenario :
+       {wl::credit_screening(), wl::sky_survey(), wl::log_analytics()}) {
+    opt::Request request;
+    request.instance = &scenario.instance;
+    request.precedence = &scenario.precedence;
+    core::Bnb_optimizer bnb;
+    const double best = bnb.optimize(request).cost;
+
+    // Worst: sample many feasible plans and track the maximum.
+    Rng rng(99);
+    double worst = best;
+    for (int s = 0; s < 2000; ++s) {
+      std::vector<model::Service_id> order;
+      std::vector<char> placed(scenario.instance.size(), 0);
+      while (order.size() < scenario.instance.size()) {
+        std::vector<model::Service_id> feasible;
+        for (model::Service_id u = 0; u < scenario.instance.size(); ++u) {
+          if (!placed[u] && scenario.precedence.feasible_next(u, placed)) {
+            feasible.push_back(u);
+          }
+        }
+        const auto pick = feasible[rng.uniform_int(
+            static_cast<std::uint64_t>(feasible.size()))];
+        order.push_back(pick);
+        placed[pick] = 1;
+      }
+      worst = std::max(worst, model::bottleneck_cost(
+                                  scenario.instance, model::Plan(order)));
+    }
+    EXPECT_GT(worst, best * 1.2)
+        << scenario.instance.name()
+        << ": ordering should matter by a clear margin";
+  }
+}
+
+}  // namespace
+}  // namespace quest
