@@ -28,6 +28,14 @@ using clock = std::chrono::steady_clock;
 struct Block {
   std::uint64_t count = 0;
   bool eos = false;
+  /// When the block became available to the consumer (stamped inside
+  /// push, after any back-pressure wait). Downstream work on the block
+  /// cannot be scheduled before this instant — but clamping the consumer
+  /// deadline to this stamp (rather than to "now" at pop return) keeps
+  /// pop wake-up latency and accumulated oversleep recoverable by the
+  /// deadline catch-up mechanism instead of baking one scheduling delay
+  /// into the emulated timeline per block.
+  clock::time_point ready{};
 };
 
 /// Bounded MPSC block queue with blocking push/pop.
@@ -38,6 +46,7 @@ class Channel {
   void push(Block block) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [this] { return blocks_.size() < capacity_; });
+    block.ready = clock::now();
     blocks_.push_back(block);
     not_empty_.notify_one();
   }
@@ -106,8 +115,11 @@ void run_service(Worker_state& state) {
 
   for (;;) {
     const Block block = state.in->pop();
-    // Work on this block cannot have started before it arrived.
-    if (const auto now = clock::now(); deadline < now) deadline = now;
+    // Work on this block cannot have started before it was available.
+    // (Clamping to block.ready, not clock::now(): the gap between the
+    // producer's push and this thread actually waking is scheduler
+    // latency, not emulated work, and must stay absorbable.)
+    if (deadline < block.ready) deadline = block.ready;
     for (std::uint64_t i = 0; i < block.count; ++i) {
       work_for_us(state.cost_us);
       acc += state.selectivity;
@@ -183,8 +195,11 @@ Runtime_result execute(const Instance& instance, const Plan& plan,
     delivered += block.count;
     if (block.eos) break;
   }
-  const auto end = clock::now();
+  // The end timestamp is taken after join: every worker's scheduled work
+  // has then demonstrably finished, so each busy_us is at most its
+  // thread's lifetime and busy_fraction entries stay in [0, 1].
   for (auto& thread : threads) thread.join();
+  const auto end = clock::now();
 
   Runtime_result result;
   result.wall_seconds = std::chrono::duration<double>(end - start).count();

@@ -41,7 +41,9 @@ struct Runtime_config {
 };
 
 struct Runtime_result {
-  /// Wall-clock seconds from injection start to last output.
+  /// Wall-clock seconds from injection start until every service thread
+  /// has finished (captured after join, so each worker's busy time is
+  /// contained in the interval and busy_fraction entries lie in [0, 1]).
   double wall_seconds = 0.0;
   /// Wall-clock seconds per input tuple, in model cost units
   /// (wall / input_tuples / time_scale): directly comparable to Eq. 1.

@@ -62,6 +62,52 @@ TEST(Choreography_test, PerTupleCostTracksPrediction) {
   EXPECT_LT(result.per_tuple_cost_units, result.predicted_cost * 2.0);
 }
 
+TEST(Choreography_test, BusyFractionsAreWellFormed) {
+  // Regression: the end timestamp used to be captured before join, so a
+  // worker still finishing sink-side transfer work could report a busy
+  // fraction above 1. The interval now contains every worker's lifetime.
+  const Instance instance = test::selective_instance(4, 7);
+  Runtime_config config;
+  config.input_tuples = 300;
+  config.block_size = 16;
+  config.time_scale_us = 40.0;
+  const auto result = execute(instance, Plan::identity(4), config);
+  ASSERT_EQ(result.busy_fraction.size(), 4u);
+  for (const double fraction : result.busy_fraction) {
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+}
+
+TEST(Choreography_test, PerTupleCostAmortizesFillDrain) {
+  // Regression for the per-block deadline clamp: the measured per-tuple
+  // cost must converge toward the Eq. 1 prediction as pipeline fill/drain
+  // overhead is amortized over more input. The buggy accounting baked one
+  // scheduler wake-up into the timeline per block, an overhead that does
+  // not amortize (and explodes under CPU contention).
+  const Instance instance = test::selective_instance(4, 7);
+  Runtime_config config;
+  config.block_size = 25;
+  config.time_scale_us = 60.0;
+
+  config.input_tuples = 200;
+  const auto small = execute(instance, Plan::identity(4), config);
+  config.input_tuples = 1'600;
+  const auto large = execute(instance, Plan::identity(4), config);
+
+  ASSERT_GT(small.predicted_cost, 0.0);
+  const double excess_small =
+      small.per_tuple_cost_units / small.predicted_cost - 1.0;
+  const double excess_large =
+      large.per_tuple_cost_units / large.predicted_cost - 1.0;
+  // Calibrated margins: excess is ~1.3 at 200 tuples and ~0.19 at 1600,
+  // stable even with 4 CPU-hog processes on a single core, because the
+  // fill/drain term is emulated (sleep) time, not host CPU time.
+  EXPECT_GT(excess_large, -0.05);  // cannot beat the model lower bound
+  EXPECT_LT(excess_large, 0.75);
+  EXPECT_LT(excess_large, 0.5 * excess_small);
+}
+
 TEST(Choreography_test, ExpandingPipelineDeliversMore) {
   Rng rng(3);
   workload::Uniform_spec spec;
