@@ -1,9 +1,12 @@
-// live_choreography — run a plan for real: one thread per service,
-// direct queues, no coordinator. Compares the wall-clock per-tuple cost of
-// the optimal plan against a deliberately bad one on the log-analytics
-// scenario.
+// live_choreography — run a plan for real: emulated services on the
+// batched executor, direct queues, no coordinator. Compares the per-tuple
+// cost of the optimal plan against a deliberately bad one on the
+// log-analytics scenario. By default the real clock paces the pipeline
+// with deadline sleeps (wall time is genuine); --virtual switches to the
+// deterministic virtual clock, and --workers bounds the pool (0 = auto).
 //
 //   ./examples/live_choreography [--tuples 500] [--scale-us 40]
+//                                [--virtual] [--workers 4]
 
 #include <algorithm>
 #include <iostream>
@@ -20,6 +23,10 @@ int main(int argc, char** argv) {
   auto& tuples = cli.add_int("tuples", 500, "log records to process");
   auto& scale =
       cli.add_double("scale-us", 40.0, "microseconds per model cost unit");
+  auto& virtual_clock = cli.add_bool(
+      "virtual", false, "use the deterministic virtual-time clock");
+  auto& workers =
+      cli.add_int("workers", 0, "executor pool size (0 = auto)");
   cli.parse(argc, argv);
 
   const auto scenario = workload::log_analytics();
@@ -56,9 +63,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  Table table("wall-clock execution (" + std::to_string(tuples.value) +
-              " records, " + Table::num(scale.value, 0) +
-              "us per cost unit)");
+  Table table(std::string(virtual_clock.value ? "virtual-time" : "wall-clock") +
+              " execution (" + std::to_string(tuples.value) + " records, " +
+              Table::num(scale.value, 0) + "us per cost unit)");
   table.set_header({"plan", "Eq.1 cost", "wall cost/tuple", "wall total (s)",
                     "delivered"});
   for (const auto& [label, plan] :
@@ -68,6 +75,11 @@ int main(int argc, char** argv) {
     config.input_tuples = static_cast<std::uint64_t>(tuples.value);
     config.time_scale_us = scale.value;
     config.block_size = 20;
+    config.clock_mode = virtual_clock.value
+                            ? runtime::Clock_mode::virtual_time
+                            : runtime::Clock_mode::real;
+    config.worker_count =
+        static_cast<std::size_t>(std::max<std::int64_t>(0, workers.value));
     const auto result = runtime::execute(instance, plan, config);
     table.add_row({label + ": " + plan.to_string(instance),
                    Table::num(result.predicted_cost, 3),

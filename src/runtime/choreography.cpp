@@ -1,146 +1,21 @@
+// The stable runtime entry point. Validation lives here; the execution
+// engine is the batched multi-service executor (executor.cpp), timed by
+// the clock selected in the config. The pre-PR-2 thread-per-service
+// backend is exactly the real-clock configuration with one worker per
+// service (the worker_count == 0 default), so execute() keeps its
+// historical behavior unless the caller opts into virtual time or a
+// bounded pool.
+
 #include "quest/runtime/choreography.hpp"
 
-#include <chrono>
-#include <cmath>
-#include <condition_variable>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <thread>
-
-#ifdef __linux__
-#include <sys/prctl.h>
-#endif
-
 #include "quest/common/error.hpp"
+#include "quest/runtime/clock.hpp"
+#include "quest/runtime/executor.hpp"
 
 namespace quest::runtime {
 
-using model::Instance;
-using model::Plan;
-
-namespace {
-
-using clock = std::chrono::steady_clock;
-
-/// A block travelling down a link: `count` tuples, or the end-of-stream
-/// marker.
-struct Block {
-  std::uint64_t count = 0;
-  bool eos = false;
-  /// When the block became available to the consumer (stamped inside
-  /// push, after any back-pressure wait). Downstream work on the block
-  /// cannot be scheduled before this instant — but clamping the consumer
-  /// deadline to this stamp (rather than to "now" at pop return) keeps
-  /// pop wake-up latency and accumulated oversleep recoverable by the
-  /// deadline catch-up mechanism instead of baking one scheduling delay
-  /// into the emulated timeline per block.
-  clock::time_point ready{};
-};
-
-/// Bounded MPSC block queue with blocking push/pop.
-class Channel {
- public:
-  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
-
-  void push(Block block) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [this] { return blocks_.size() < capacity_; });
-    block.ready = clock::now();
-    blocks_.push_back(block);
-    not_empty_.notify_one();
-  }
-
-  Block pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return !blocks_.empty(); });
-    const Block block = blocks_.front();
-    blocks_.pop_front();
-    not_full_.notify_one();
-    return block;
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Block> blocks_;
-  std::size_t capacity_;
-};
-
-struct Worker_state {
-  double cost_us = 0.0;
-  double selectivity = 0.0;
-  double transfer_us = 0.0;  // per tuple, to the next hop (0 for sink)
-  Channel* in = nullptr;
-  Channel* out = nullptr;  // nullptr for the last service (sink collector)
-  std::uint64_t block_size = 1;
-  // results
-  double busy_us = 0.0;
-  std::uint64_t tuples_out = 0;
-};
-
-void run_service(Worker_state& state) {
-#ifdef __linux__
-  // Default timer slack (50 us) would dominate the emulated durations;
-  // 1 us keeps deadline sleeps faithful.
-  ::prctl(PR_SET_TIMERSLACK, 1000 /* ns */);
-#endif
-  double acc = 0.0;
-  std::uint64_t out_buffer = 0;
-  // Deadline accounting: each work item extends a running deadline rather
-  // than sleeping relative to "now", so wake-up latency does not
-  // accumulate across tuples within a burst.
-  clock::time_point deadline = clock::now();
-
-  auto work_for_us = [&state, &deadline](double us) {
-    if (us <= 0.0) return;
-    // The deadline is NOT clamped to "now" here: a late wake-up from the
-    // previous sleep is absorbed by the next sleep_until (which returns
-    // immediately while we are behind schedule), so overshoot does not
-    // accumulate across tuples.
-    deadline += std::chrono::duration_cast<clock::duration>(
-        std::chrono::duration<double, std::micro>(us));
-    std::this_thread::sleep_until(deadline);
-    state.busy_us += us;
-  };
-
-  auto ship = [&](std::uint64_t count, bool eos) {
-    work_for_us(static_cast<double>(count) * state.transfer_us);
-    state.tuples_out += count;
-    if (state.out != nullptr && (count > 0 || eos)) {
-      state.out->push({count, eos});
-    }
-  };
-
-  for (;;) {
-    const Block block = state.in->pop();
-    // Work on this block cannot have started before it was available.
-    // (Clamping to block.ready, not clock::now(): the gap between the
-    // producer's push and this thread actually waking is scheduler
-    // latency, not emulated work, and must stay absorbable.)
-    if (deadline < block.ready) deadline = block.ready;
-    for (std::uint64_t i = 0; i < block.count; ++i) {
-      work_for_us(state.cost_us);
-      acc += state.selectivity;
-      const double whole = std::floor(acc);
-      acc -= whole;
-      out_buffer += static_cast<std::uint64_t>(whole);
-      if (out_buffer >= state.block_size) {
-        ship(out_buffer, false);
-        out_buffer = 0;
-      }
-    }
-    if (block.eos) {
-      ship(out_buffer, true);
-      return;
-    }
-  }
-}
-
-}  // namespace
-
-Runtime_result execute(const Instance& instance, const Plan& plan,
+Runtime_result execute(const model::Instance& instance,
+                       const model::Plan& plan,
                        const Runtime_config& config) {
   QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
                 "execute requires a complete plan");
@@ -150,70 +25,8 @@ Runtime_result execute(const Instance& instance, const Plan& plan,
   QUEST_EXPECTS(config.queue_capacity_blocks >= 1,
                 "queue capacity must be >= 1");
 
-  const std::size_t n = plan.size();
-  std::vector<std::unique_ptr<Channel>> channels;
-  channels.reserve(n + 1);
-  for (std::size_t i = 0; i < n + 1; ++i) {
-    channels.push_back(
-        std::make_unique<Channel>(config.queue_capacity_blocks));
-  }
-
-  std::vector<Worker_state> workers(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    const auto& s = instance.service(plan[p]);
-    workers[p].cost_us = s.cost * config.time_scale_us;
-    workers[p].selectivity = s.selectivity;
-    const double t = p + 1 < n ? instance.transfer(plan[p], plan[p + 1])
-                               : instance.sink_transfer(plan[p]);
-    workers[p].transfer_us = t * config.time_scale_us;
-    workers[p].in = channels[p].get();
-    workers[p].out = channels[p + 1].get();
-    workers[p].block_size = config.block_size;
-  }
-
-  const auto start = clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    threads.emplace_back(run_service, std::ref(workers[p]));
-  }
-
-  // Inject the input as full blocks followed by the end-of-stream marker.
-  std::uint64_t remaining = config.input_tuples;
-  while (remaining > 0) {
-    const std::uint64_t batch = std::min<std::uint64_t>(
-        remaining, config.block_size);
-    channels[0]->push({batch, false});
-    remaining -= batch;
-  }
-  channels[0]->push({0, true});
-
-  // Drain the sink: count tuples until the end-of-stream marker arrives.
-  std::uint64_t delivered = 0;
-  for (;;) {
-    const Block block = channels[n]->pop();
-    delivered += block.count;
-    if (block.eos) break;
-  }
-  // The end timestamp is taken after join: every worker's scheduled work
-  // has then demonstrably finished, so each busy_us is at most its
-  // thread's lifetime and busy_fraction entries stay in [0, 1].
-  for (auto& thread : threads) thread.join();
-  const auto end = clock::now();
-
-  Runtime_result result;
-  result.wall_seconds = std::chrono::duration<double>(end - start).count();
-  result.per_tuple_cost_units =
-      result.wall_seconds * 1e6 /
-      (static_cast<double>(config.input_tuples) * config.time_scale_us);
-  result.predicted_cost = model::bottleneck_cost(instance, plan);
-  result.tuples_delivered = delivered;
-  result.busy_fraction.reserve(n);
-  for (const auto& worker : workers) {
-    result.busy_fraction.push_back(
-        worker.busy_us / (result.wall_seconds * 1e6));
-  }
-  return result;
+  const auto clock = make_execution_clock(config.clock_mode);
+  return run_batched(instance, plan, config, *clock);
 }
 
 }  // namespace quest::runtime

@@ -1,0 +1,64 @@
+#include "quest/runtime/clock.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace quest::runtime {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+steady::duration to_duration(double us) {
+  return std::chrono::duration_cast<steady::duration>(
+      std::chrono::duration<double, std::micro>(us));
+}
+
+class Real_execution_clock final : public Execution_clock {
+ public:
+  Real_execution_clock() : start_(steady::now()) {}
+
+  void work_completed(double instant_us) override {
+    // sleep_until a past instant returns immediately: a worker that woke
+    // late from the previous block catches up instead of drifting.
+    std::this_thread::sleep_until(start_ + to_duration(instant_us));
+  }
+
+  double run_us() const override {
+    return std::chrono::duration<double, std::micro>(steady::now() - start_)
+        .count();
+  }
+
+ private:
+  steady::time_point start_;
+};
+
+class Virtual_execution_clock final : public Execution_clock {
+ public:
+  void work_completed(double instant_us) override {
+    std::lock_guard lock(mutex_);
+    makespan_us_ = std::max(makespan_us_, instant_us);
+  }
+
+  double run_us() const override {
+    std::lock_guard lock(mutex_);
+    return makespan_us_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  double makespan_us_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Execution_clock> make_execution_clock(Clock_mode mode) {
+  if (mode == Clock_mode::real) {
+    return std::make_unique<Real_execution_clock>();
+  }
+  return std::make_unique<Virtual_execution_clock>();
+}
+
+}  // namespace quest::runtime

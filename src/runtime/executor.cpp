@@ -1,0 +1,265 @@
+#include "quest/runtime/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace quest::runtime {
+
+using model::Instance;
+using model::Plan;
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// A block travelling down a link: `count` tuples, or the end-of-stream
+/// marker (always the last block on its link).
+struct Block {
+  std::uint64_t count = 0;
+  bool eos = false;
+  /// Emulated instant (us since run start) the block left its producer;
+  /// the consumer's timeline cannot start work on it earlier.
+  double ready_us = 0.0;
+};
+
+/// One service of the plan, multiplexed onto the worker pool.
+struct Service_task {
+  // Wiring, immutable during the run. `downstream` is the index of the
+  // next task — or `npos` for the last service, which ships into the
+  // engine's collector (the one truth for the sink path: delivered tuples
+  // are counted by the engine, no sink worker exists).
+  double cost_us = 0.0;
+  double selectivity = 0.0;
+  double transfer_us = 0.0;  // per tuple, to the next hop (sink link last)
+  std::uint64_t block_size = 1;
+  std::size_t downstream = npos;
+
+  // Inbox and scheduling flags, guarded by the engine mutex.
+  std::deque<Block> inbox;
+  bool claimed = false;
+  bool done = false;
+
+  // Local state, touched only by the worker holding the claim.
+  double timeline_us = 0.0;  ///< the service's emulated clock
+  double acc = 0.0;          ///< deterministic selectivity accumulator
+  std::uint64_t out_buffer = 0;
+  double busy_us = 0.0;
+  std::uint64_t tuples_out = 0;
+};
+
+class Engine {
+ public:
+  Engine(std::vector<Service_task> tasks, std::size_t capacity_blocks,
+         Execution_clock& clock)
+      : tasks_(std::move(tasks)),
+        capacity_(capacity_blocks),
+        clock_(clock) {}
+
+  /// Queues the whole input on the first service, ready at instant zero.
+  /// (The source is not back-pressured; queue capacity flow-controls the
+  /// links *between* services.)
+  void inject(std::uint64_t input_tuples, std::uint64_t block_size) {
+    std::uint64_t remaining = input_tuples;
+    while (remaining > 0) {
+      const std::uint64_t batch = std::min(remaining, block_size);
+      tasks_[0].inbox.push_back({batch, false, 0.0});
+      remaining -= batch;
+    }
+    tasks_[0].inbox.push_back({0, true, 0.0});
+  }
+
+  void run(std::size_t worker_count) {
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      workers.emplace_back(&Engine::worker_loop, this);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  const std::vector<Service_task>& tasks() const noexcept { return tasks_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  void worker_loop() {
+#ifdef __linux__
+    // Default timer slack (50 us) would dominate real-clock emulated
+    // durations; 1 us keeps deadline sleeps faithful. Harmless under
+    // virtual time (no sleeps).
+    ::prctl(PR_SET_TIMERSLACK, 1000 /* ns */);
+#endif
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      const std::size_t p = claim_runnable();
+      if (p == npos) {
+        if (done_count_ == tasks_.size()) return;
+        wake_.wait(lock);
+        continue;
+      }
+      Service_task& task = tasks_[p];
+      // Claim a batch: up to `capacity_` blocks, preserving FIFO order.
+      // The cap keeps the downstream queue overshoot bounded (capacity is
+      // rechecked only between claims, not between pushes).
+      std::deque<Block> batch;
+      const std::size_t take = std::min(task.inbox.size(), capacity_);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(task.inbox.front());
+        task.inbox.pop_front();
+      }
+      task.claimed = true;
+      // The drained inbox is fresh capacity for the upstream producer.
+      wake_.notify_all();
+      lock.unlock();
+      const bool finished = process_batch(task, batch);
+      lock.lock();
+      task.claimed = false;
+      if (finished) {
+        task.done = true;
+        ++done_count_;
+      }
+      // Leftover inbox blocks (or the terminal state) may unblock waiters.
+      if (done_count_ == tasks_.size() || !task.inbox.empty()) {
+        wake_.notify_all();
+      }
+    }
+  }
+
+  /// A task is runnable when it has queued input, nobody holds its claim,
+  /// and its downstream queue has space. Requires the engine mutex.
+  std::size_t claim_runnable() const {
+    for (std::size_t p = 0; p < tasks_.size(); ++p) {
+      const Service_task& task = tasks_[p];
+      if (task.claimed || task.done || task.inbox.empty()) continue;
+      if (task.downstream != npos &&
+          tasks_[task.downstream].inbox.size() >= capacity_) {
+        continue;
+      }
+      return p;
+    }
+    return npos;
+  }
+
+  /// Advances `task`'s emulated timeline by `us` of chargeable work.
+  static void work(Service_task& task, double us) {
+    if (us <= 0.0) return;
+    task.timeline_us += us;
+    task.busy_us += us;
+  }
+
+  /// Charges the transfer, grounds the send-completion instant on the
+  /// clock (real: sleep until then, so the block arrives downstream on
+  /// schedule; virtual: fold into the makespan), and commits the block.
+  void ship(Service_task& task, std::uint64_t count, bool eos) {
+    work(task, static_cast<double>(count) * task.transfer_us);
+    task.tuples_out += count;
+    if (count == 0 && !eos) return;
+    clock_.work_completed(task.timeline_us);
+    std::lock_guard lock(mutex_);
+    if (task.downstream == npos) {
+      delivered_ += count;
+    } else {
+      tasks_[task.downstream].inbox.push_back(
+          {count, eos, task.timeline_us});
+    }
+    wake_.notify_all();
+  }
+
+  /// Runs every block of `batch` through `task`'s tuple loop. Returns
+  /// true when the end-of-stream marker was consumed (task finished).
+  /// Runs unlocked: only claim-guarded task state and ship() are touched.
+  bool process_batch(Service_task& task, std::deque<Block>& batch) {
+    for (const Block& block : batch) {
+      // Work on a block cannot start before the block left its producer.
+      // A timeline already past `ready_us` is a service that fell behind
+      // its input; it continues without penalty (pipeline overlap).
+      if (task.timeline_us < block.ready_us) {
+        task.timeline_us = block.ready_us;
+      }
+      for (std::uint64_t i = 0; i < block.count; ++i) {
+        work(task, task.cost_us);
+        task.acc += task.selectivity;
+        const double whole = std::floor(task.acc);
+        task.acc -= whole;
+        task.out_buffer += static_cast<std::uint64_t>(whole);
+        if (task.out_buffer >= task.block_size) {
+          ship(task, task.out_buffer, false);
+          task.out_buffer = 0;
+        }
+      }
+      if (block.eos) {
+        ship(task, task.out_buffer, true);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Service_task> tasks_;
+  std::size_t capacity_;
+  Execution_clock& clock_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::size_t done_count_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace
+
+std::size_t resolve_worker_count(const Runtime_config& config,
+                                 std::size_t service_count) {
+  if (config.worker_count > 0) return config.worker_count;
+  if (config.clock_mode == Clock_mode::real) return service_count;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::min(service_count,
+                  static_cast<std::size_t>(hardware > 0 ? hardware : 4));
+}
+
+Runtime_result run_batched(const Instance& instance, const Plan& plan,
+                           const Runtime_config& config,
+                           Execution_clock& clock) {
+  const std::size_t n = plan.size();
+  std::vector<Service_task> tasks(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& s = instance.service(plan[p]);
+    tasks[p].cost_us = s.cost * config.time_scale_us;
+    tasks[p].selectivity = s.selectivity;
+    const double t = p + 1 < n ? instance.transfer(plan[p], plan[p + 1])
+                               : instance.sink_transfer(plan[p]);
+    tasks[p].transfer_us = t * config.time_scale_us;
+    tasks[p].block_size = config.block_size;
+    tasks[p].downstream = p + 1 < n ? p + 1 : npos;
+  }
+
+  Engine engine(std::move(tasks), config.queue_capacity_blocks, clock);
+  engine.inject(config.input_tuples, config.block_size);
+  engine.run(resolve_worker_count(config, n));
+
+  Runtime_result result;
+  const double run_us = clock.run_us();
+  result.wall_seconds = run_us * 1e-6;
+  result.per_tuple_cost_units =
+      run_us /
+      (static_cast<double>(config.input_tuples) * config.time_scale_us);
+  result.predicted_cost = model::bottleneck_cost(instance, plan);
+  result.tuples_delivered = engine.delivered();
+  result.busy_fraction.reserve(n);
+  for (const auto& task : engine.tasks()) {
+    result.busy_fraction.push_back(run_us > 0.0 ? task.busy_us / run_us
+                                                : 0.0);
+  }
+  return result;
+}
+
+}  // namespace quest::runtime

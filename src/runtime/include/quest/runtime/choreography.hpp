@@ -1,18 +1,27 @@
 // quest/runtime/choreography.hpp
 //
-// A real (thread-based) decentralized execution of a pipelined plan: one
-// OS thread per service, direct bounded queues between consecutive
-// services (no coordinator — the choreography approach of the paper), and
-// calibrated deadline sleeps standing in for per-tuple processing and
-// per-tuple transfer delay. Sleeping (rather than spinning) releases the
-// CPU, so the pipeline exhibits true overlap even on single-core hosts —
-// each emulated service behaves like an I/O-bound remote Web Service,
-// which is exactly the paper's setting.
+// Decentralized execution of a pipelined plan — the choreography approach
+// of the paper: tuples flow directly from each service to the next with no
+// coordinator. Since PR 2 the execution engine is the batched multi-service
+// executor (see executor.hpp): the plan's N services are multiplexed onto a
+// fixed pool of M workers, and per-tuple processing / per-tuple transfer
+// are emulated on a pluggable clock (see clock.hpp):
 //
-// This is the "real experiments" substrate of the reconstruction: where
-// the simulator validates the cost model against modelled time, the
-// runtime validates it against wall-clock time with genuine concurrency,
-// queue contention and scheduling noise (E10).
+//   * Clock_mode::real — calibrated deadline sleeps stand in for service
+//     work, so the pipeline exhibits true overlap in wall-clock time even
+//     on single-core hosts. This is the "real experiments" substrate of
+//     the reconstruction (E10): it validates the cost model against wall
+//     time with genuine concurrency and scheduling noise.
+//
+//   * Clock_mode::virtual_time — the same engine with arithmetic time:
+//     deterministic, immune to CPU contention, and able to execute plans
+//     with hundreds of services on a handful of workers (the paper's
+//     unbounded-services setting). This is what timing-sensitive tests
+//     assert against.
+//
+// Both backends honor the same Runtime_result contract: per-tuple cost in
+// model units comparable to Eq. 1, busy fractions in [0, 1], and a
+// deterministic delivered-tuple count.
 
 #pragma once
 
@@ -22,6 +31,7 @@
 #include "quest/model/cost.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
+#include "quest/runtime/clock.hpp"
 
 namespace quest::runtime {
 
@@ -32,20 +42,35 @@ struct Runtime_config {
   std::uint64_t block_size = 32;
   /// Wall-clock microseconds that one model cost unit represents.
   /// (cost 2.0 with time_scale_us 50 -> 100 microseconds of emulated
-  /// work.) Values well above the kernel wakeup latency (~10 us) keep the
-  /// emulation faithful.
+  /// work.) Under the real clock, values well above the kernel wakeup
+  /// latency (~10 us) keep the emulation faithful; virtual time is exact
+  /// at any scale.
   double time_scale_us = 50.0;
-  /// Bounded inter-service queue capacity, in blocks; senders block when
-  /// the downstream queue is full (pipelined back-pressure).
+  /// Soft bound on inter-service queue depth, in blocks; a service whose
+  /// downstream queue is full is parked (not scheduled) until the consumer
+  /// drains it. Flow control and memory bounding only — back-pressure
+  /// waits are scheduler time, not emulated work, so they never enter the
+  /// emulated timeline.
   std::size_t queue_capacity_blocks = 64;
+  /// Workers in the execution pool. 0 = auto: one worker per service under
+  /// the real clock (every emulated service can sleep independently, which
+  /// preserves full pipeline overlap — the pre-PR-2 thread-per-service
+  /// behavior), min(services, hardware threads) under virtual time. With
+  /// the real clock, fewer workers than concurrently-active services
+  /// serializes their sleeps and inflates wall time; virtual time is
+  /// exact for any worker count.
+  std::size_t worker_count = 0;
+  /// Which clock drives the run (see quest/runtime/clock.hpp).
+  Clock_mode clock_mode = Clock_mode::real;
 };
 
 struct Runtime_result {
-  /// Wall-clock seconds from injection start until every service thread
-  /// has finished (captured after join, so each worker's busy time is
-  /// contained in the interval and busy_fraction entries lie in [0, 1]).
+  /// Real clock: wall-clock seconds from injection start until every
+  /// worker has finished (captured after join, so each service's busy time
+  /// is contained in the interval). Virtual time: the emulated makespan in
+  /// seconds. Either way busy_fraction entries lie in [0, 1].
   double wall_seconds = 0.0;
-  /// Wall-clock seconds per input tuple, in model cost units
+  /// wall_seconds per input tuple, in model cost units
   /// (wall / input_tuples / time_scale): directly comparable to Eq. 1.
   double per_tuple_cost_units = 0.0;
   /// Eq. 1 prediction for this plan (sequential policy).
@@ -56,9 +81,11 @@ struct Runtime_result {
   std::vector<double> busy_fraction;
 };
 
-/// Executes `plan` with real threads. Selectivities are applied with the
-/// deterministic accumulator (zero variance), so tuples_delivered is
-/// reproducible. Preconditions mirror sim::simulate.
+/// Executes `plan` on the batched executor with the clock selected by
+/// `config.clock_mode`. Selectivities are applied with the deterministic
+/// accumulator (zero variance), so tuples_delivered is reproducible; under
+/// virtual time the entire result is bit-for-bit deterministic.
+/// Preconditions mirror sim::simulate.
 Runtime_result execute(const model::Instance& instance,
                        const model::Plan& plan,
                        const Runtime_config& config = {});

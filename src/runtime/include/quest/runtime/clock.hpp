@@ -1,0 +1,55 @@
+// quest/runtime/clock.hpp
+//
+// The clock abstraction behind the batched runtime executor. The engine
+// computes every service's timeline in *emulated microseconds since run
+// start* with pure arithmetic; the clock decides what that timeline means:
+//
+//   * Clock_mode::real — reaching an emulated instant blocks the calling
+//     worker until that instant of wall time (std::this_thread::sleep_until
+//     on steady_clock). Late calls return immediately, so accumulated
+//     oversleep is recovered instead of compounding — the deadline catch-up
+//     behavior the original thread-per-service runtime relied on. This is
+//     the wall-clock validation substrate (E10).
+//
+//   * Clock_mode::virtual_time — reaching an emulated instant only records
+//     it; the run's "wall clock" is the largest instant any service
+//     reached (the emulated makespan). No sleeps, no OS scheduler in the
+//     loop: results are bit-for-bit deterministic and immune to CPU
+//     contention from sibling processes, which is what lets the timing
+//     tests run under `ctest -j` and lets plans with hundreds of services
+//     execute on a handful of workers.
+
+#pragma once
+
+#include <memory>
+
+namespace quest::runtime {
+
+/// Which clock drives an execution (see file comment).
+enum class Clock_mode {
+  real,          ///< calibrated deadline sleeps; measures wall time
+  virtual_time,  ///< deterministic arithmetic time; measures makespan
+};
+
+/// Maps emulated pipeline time onto a concrete clock. Instants are doubles
+/// in microseconds since the clock was created (run start). Thread-safe:
+/// every engine worker calls work_completed concurrently.
+class Execution_clock {
+ public:
+  virtual ~Execution_clock() = default;
+
+  /// A service's local timeline has reached `instant_us`: under the real
+  /// clock, block until that instant of wall time (immediately if already
+  /// past); under virtual time, fold it into the makespan and return.
+  virtual void work_completed(double instant_us) = 0;
+
+  /// Emulated microseconds covered by the run so far. Real: wall time
+  /// elapsed since construction. Virtual: largest instant reached. Call
+  /// after every worker has been joined for the final figure.
+  virtual double run_us() const = 0;
+};
+
+/// Factory; the real clock's epoch is the moment of this call.
+std::unique_ptr<Execution_clock> make_execution_clock(Clock_mode mode);
+
+}  // namespace quest::runtime

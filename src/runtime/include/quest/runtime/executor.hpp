@@ -1,0 +1,49 @@
+// quest/runtime/executor.hpp
+//
+// The batched multi-service executor: the engine behind runtime::execute.
+// The plan's N services become N cooperative tasks multiplexed onto a
+// fixed pool of M workers. A worker claims a service that has input blocks
+// queued (and downstream space), runs its tuple loop over the whole batch
+// of pending blocks, commits the produced blocks downstream, and releases
+// the claim — so one OS thread can carry hundreds of emulated services.
+//
+// Time is emulated, not measured: each service keeps a local timeline in
+// microseconds since run start that advances by exactly the work Eq. 1
+// charges it (cost per tuple, transfer per shipped tuple) and is clamped
+// forward to each input block's ready instant — the pipeline dependency.
+// Every produced block is stamped with the instant it left its producer.
+// The Execution_clock (clock.hpp) then grounds that timeline: the real
+// clock sleeps workers until each shipped block's instant of wall time,
+// the virtual clock just folds instants into the makespan. Scheduler
+// latency and worker contention therefore never corrupt the timeline —
+// under the real clock they are absorbed by deadline catch-up, under
+// virtual time they do not exist.
+//
+// The last service ships into the engine's collector (there is no sink
+// worker): the engine counts delivered tuples directly, which is the
+// single source of truth for the sink path.
+
+#pragma once
+
+#include <cstddef>
+
+#include "quest/runtime/choreography.hpp"
+
+namespace quest::runtime {
+
+/// Number of pool workers an execution will actually use for
+/// `service_count` services: `config.worker_count` when positive,
+/// otherwise the clock-dependent auto choice documented on Runtime_config.
+std::size_t resolve_worker_count(const Runtime_config& config,
+                                 std::size_t service_count);
+
+/// Runs `plan` on the batched engine, timed by `clock`. This is the
+/// engine entry used by execute(); call it directly to supply your own
+/// Execution_clock. Preconditions are checked by execute(); this function
+/// assumes them.
+Runtime_result run_batched(const model::Instance& instance,
+                           const model::Plan& plan,
+                           const Runtime_config& config,
+                           Execution_clock& clock);
+
+}  // namespace quest::runtime

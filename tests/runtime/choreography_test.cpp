@@ -1,9 +1,14 @@
-// Smoke and consistency tests for the thread-based choreography runtime.
-// Wall-clock assertions are kept loose — CI machines are noisy — and the
-// precise model-vs-wall comparison lives in bench E10.
+// Smoke and consistency tests for the real-clock configuration of the
+// choreography runtime (deadline sleeps on OS threads). Wall-clock
+// assertions are kept loose — CI machines are noisy — and this binary is
+// registered RUN_SERIAL so `ctest -j` does not share cores with it; the
+// precise, deterministic model-vs-measured assertions live in
+// executor_test (virtual clock) and the model-vs-wall comparison in bench
+// E10.
 
 #include <gtest/gtest.h>
 
+#include "quest/model/cost.hpp"
 #include "quest/runtime/choreography.hpp"
 #include "support/helpers.hpp"
 
@@ -12,6 +17,8 @@ namespace {
 
 using model::Instance;
 using model::Plan;
+using model::Service;
+using runtime::Clock_mode;
 using runtime::Runtime_config;
 using runtime::execute;
 
@@ -84,11 +91,15 @@ TEST(Choreography_test, PerTupleCostAmortizesFillDrain) {
   // cost must converge toward the Eq. 1 prediction as pipeline fill/drain
   // overhead is amortized over more input. The buggy accounting baked one
   // scheduler wake-up into the timeline per block, an overhead that does
-  // not amortize (and explodes under CPU contention).
+  // not amortize (and explodes under CPU contention). Ported to the
+  // virtual-time backend: the fill/drain term is emulated time either
+  // way, and virtual time makes the assertion deterministic instead of
+  // "stable even with 4 CPU hogs".
   const Instance instance = test::selective_instance(4, 7);
   Runtime_config config;
   config.block_size = 25;
   config.time_scale_us = 60.0;
+  config.clock_mode = Clock_mode::virtual_time;
 
   config.input_tuples = 200;
   const auto small = execute(instance, Plan::identity(4), config);
@@ -100,12 +111,33 @@ TEST(Choreography_test, PerTupleCostAmortizesFillDrain) {
       small.per_tuple_cost_units / small.predicted_cost - 1.0;
   const double excess_large =
       large.per_tuple_cost_units / large.predicted_cost - 1.0;
-  // Calibrated margins: excess is ~1.3 at 200 tuples and ~0.19 at 1600,
-  // stable even with 4 CPU-hog processes on a single core, because the
-  // fill/drain term is emulated (sleep) time, not host CPU time.
-  EXPECT_GT(excess_large, -0.05);  // cannot beat the model lower bound
+  EXPECT_GT(excess_large, -1e-9);  // cannot beat the model lower bound
   EXPECT_LT(excess_large, 0.75);
   EXPECT_LT(excess_large, 0.5 * excess_small);
+}
+
+TEST(Choreography_test, RealAndVirtualBackendsAgreeOnRanking) {
+  // A pair of plans whose Eq. 1 costs differ by ~3x: ordering the cheap
+  // aggressive filter first starves the expensive stage. Both clock
+  // backends must rank them the same way.
+  const Instance instance(
+      {{0.2, 0.2, "filter"}, {2.0, 1.0, "heavy"}, {0.3, 0.9, "tail"}},
+      Matrix<double>::square(3, 0.0));
+  const Plan good({0, 1, 2});
+  const Plan bad({1, 0, 2});
+  ASSERT_GT(model::bottleneck_cost(instance, bad),
+            model::bottleneck_cost(instance, good) * 1.5);
+
+  Runtime_config config = small_config();
+  config.input_tuples = 250;
+  for (const Clock_mode mode :
+       {Clock_mode::real, Clock_mode::virtual_time}) {
+    config.clock_mode = mode;
+    const auto fast = execute(instance, good, config);
+    const auto slow = execute(instance, bad, config);
+    EXPECT_LT(fast.wall_seconds, slow.wall_seconds)
+        << "clock mode " << static_cast<int>(mode);
+  }
 }
 
 TEST(Choreography_test, ExpandingPipelineDeliversMore) {

@@ -1,0 +1,224 @@
+// Tests for the batched multi-service executor and its clock abstraction.
+// Everything here runs on the virtual clock: no sleeps, no OS scheduler in
+// the timeline, bit-for-bit deterministic results — so this binary is safe
+// under `ctest -j` at any load, and it can execute plans with hundreds of
+// services on a handful of workers (the paper's unbounded-services
+// setting, which the thread-per-service backend could not reach).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quest/common/matrix.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/runtime/choreography.hpp"
+#include "quest/runtime/clock.hpp"
+#include "quest/runtime/executor.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Instance;
+using model::Plan;
+using model::Service;
+using runtime::Clock_mode;
+using runtime::Runtime_config;
+using runtime::Runtime_result;
+using runtime::execute;
+
+Runtime_config virtual_config(std::size_t workers = 4) {
+  Runtime_config config;
+  config.clock_mode = Clock_mode::virtual_time;
+  config.worker_count = workers;
+  config.input_tuples = 500;
+  config.block_size = 16;
+  config.time_scale_us = 30.0;
+  return config;
+}
+
+/// A relay pipeline (selectivity 1 everywhere) with one expensive stage:
+/// the Eq. 1 bottleneck is unambiguous and fill/drain is cheap relative to
+/// steady state, which makes the prediction sharp.
+Instance relay_pipeline(std::size_t n, std::size_t bottleneck_position,
+                        double bottleneck_cost, double base_cost,
+                        double transfer) {
+  std::vector<Service> services(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    services[i].cost = i == bottleneck_position ? bottleneck_cost : base_cost;
+    services[i].selectivity = 1.0;
+  }
+  Matrix<double> links = Matrix<double>::square(n, transfer);
+  for (std::size_t i = 0; i < n; ++i) links(i, i) = 0.0;
+  return Instance(std::move(services), std::move(links));
+}
+
+TEST(Execution_clock_test, VirtualClockTracksMakespan) {
+  const auto clock =
+      runtime::make_execution_clock(Clock_mode::virtual_time);
+  EXPECT_EQ(clock->run_us(), 0.0);
+  clock->work_completed(120.0);
+  clock->work_completed(40.0);  // an earlier instant must not regress it
+  EXPECT_EQ(clock->run_us(), 120.0);
+  clock->work_completed(300.5);
+  EXPECT_EQ(clock->run_us(), 300.5);
+}
+
+TEST(Execution_clock_test, RealClockMeasuresElapsedTime) {
+  const auto clock = runtime::make_execution_clock(Clock_mode::real);
+  clock->work_completed(200.0);  // sleeps until +200us of wall time
+  EXPECT_GE(clock->run_us(), 200.0);
+  clock->work_completed(50.0);  // already past: returns immediately
+}
+
+TEST(Executor_test, ResolvesWorkerCounts) {
+  Runtime_config config;  // defaults: worker_count 0, real clock
+  // Real-clock auto keeps the thread-per-service behavior.
+  EXPECT_EQ(runtime::resolve_worker_count(config, 7), 7u);
+  config.clock_mode = Clock_mode::virtual_time;
+  // Virtual auto never exceeds the service count.
+  EXPECT_LE(runtime::resolve_worker_count(config, 3), 3u);
+  EXPECT_GE(runtime::resolve_worker_count(config, 3), 1u);
+  // An explicit count is always honored.
+  config.worker_count = 5;
+  EXPECT_EQ(runtime::resolve_worker_count(config, 300), 5u);
+}
+
+TEST(Executor_test, LargePlanOnSmallPoolTracksBottleneckPrediction) {
+  // The acceptance bar for the scaling work: a 256-service plan executes
+  // on 8 workers, and the measured per-tuple cost lands within 25% of the
+  // Eq. 1 bottleneck prediction.
+  const std::size_t n = 256;
+  const Instance instance = relay_pipeline(n, n / 2, 2.0, 0.2, 0.05);
+
+  Runtime_config config = virtual_config(8);
+  config.input_tuples = 20'000;
+  config.block_size = 8;
+  config.time_scale_us = 50.0;
+  const auto result = execute(instance, Plan::identity(n), config);
+
+  ASSERT_GT(result.predicted_cost, 0.0);
+  EXPECT_NEAR(result.per_tuple_cost_units / result.predicted_cost, 1.0,
+              0.25);
+  // Relay pipeline: every tuple survives.
+  EXPECT_EQ(result.tuples_delivered, config.input_tuples);
+  // The bottleneck stage dominates the run; everyone stays within it.
+  ASSERT_EQ(result.busy_fraction.size(), n);
+  EXPECT_GT(result.busy_fraction[n / 2], 0.9);
+  for (const double fraction : result.busy_fraction) {
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+}
+
+TEST(Executor_test, VirtualRunsAreDeterministic) {
+  const Instance instance = test::selective_instance(6, 3);
+  const auto config = virtual_config();
+  const auto first = execute(instance, Plan::identity(6), config);
+  const auto second = execute(instance, Plan::identity(6), config);
+  EXPECT_EQ(first.wall_seconds, second.wall_seconds);
+  EXPECT_EQ(first.per_tuple_cost_units, second.per_tuple_cost_units);
+  EXPECT_EQ(first.tuples_delivered, second.tuples_delivered);
+  EXPECT_EQ(first.busy_fraction, second.busy_fraction);
+}
+
+TEST(Executor_test, WorkerCountDoesNotChangeVirtualResults) {
+  // The emulated timeline is a pure function of the plan and config: how
+  // many workers race through it must not be observable.
+  const Instance instance = test::expanding_instance(7, 11);
+  auto config = virtual_config(1);
+  const auto solo = execute(instance, Plan::identity(7), config);
+  config.worker_count = 8;
+  const auto pooled = execute(instance, Plan::identity(7), config);
+  EXPECT_EQ(solo.wall_seconds, pooled.wall_seconds);
+  EXPECT_EQ(solo.tuples_delivered, pooled.tuples_delivered);
+  EXPECT_EQ(solo.busy_fraction, pooled.busy_fraction);
+}
+
+TEST(Executor_test, DeliversDeterministicTupleCount) {
+  const Instance instance = test::selective_instance(5, 4);
+  const auto config = virtual_config();
+  const auto result = execute(instance, Plan::identity(5), config);
+  double expected = static_cast<double>(config.input_tuples);
+  for (model::Service_id id = 0; id < 5; ++id) {
+    expected *= instance.selectivity(id);
+  }
+  EXPECT_NEAR(static_cast<double>(result.tuples_delivered), expected, 6.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Executor_test, MakespanIsAtLeastTheModelLowerBound) {
+  // The bottleneck service alone accounts for input * predicted_cost of
+  // emulated time, so the virtual makespan cannot beat it — and with no
+  // scheduling noise in the timeline this bound is exact, not a 0.95
+  // tolerance band.
+  const Instance instance = test::selective_instance(4, 11);
+  const auto config = virtual_config();
+  const auto result = execute(instance, Plan::identity(4), config);
+  const double lower_bound_seconds =
+      result.predicted_cost * static_cast<double>(config.input_tuples) *
+      config.time_scale_us * 1e-6;
+  EXPECT_GE(result.wall_seconds, lower_bound_seconds);
+}
+
+TEST(Executor_test, TightQueuesAndExpandingPipelinesStillComplete) {
+  // Capacity-1 queues force constant parking; the run must still drain,
+  // and an expanding pipeline (selectivity > 1, so each block fans out)
+  // must deliver more than it consumed.
+  const Instance instance = test::expanding_instance(6, 2);
+  auto config = virtual_config(2);
+  config.queue_capacity_blocks = 1;
+  const auto result = execute(instance, Plan::identity(6), config);
+  EXPECT_GT(result.tuples_delivered, 0u);
+
+  Rng rng(3);
+  workload::Uniform_spec spec;
+  spec.n = 3;
+  spec.selectivity_min = 1.4;
+  spec.selectivity_max = 1.8;
+  spec.cost_min = 0.2;
+  spec.cost_max = 0.5;
+  spec.transfer_min = 0.05;
+  spec.transfer_max = 0.2;
+  const Instance expanding = workload::make_uniform(spec, rng);
+  auto grow_config = virtual_config();
+  grow_config.input_tuples = 200;
+  const auto grown = execute(expanding, Plan::identity(3), grow_config);
+  EXPECT_GT(grown.tuples_delivered, 200u);
+}
+
+TEST(Executor_test, SinkTransferIsChargedToTheLastService) {
+  // Instances with a result link back to the originator: the last
+  // service's term includes the sink transfer, and the measured per-tuple
+  // cost must track the prediction that includes it.
+  const Instance instance = test::sink_instance(4, 5);
+  auto config = virtual_config();
+  config.input_tuples = 4'000;
+  const auto result = execute(instance, Plan::identity(4), config);
+  EXPECT_NEAR(result.per_tuple_cost_units / result.predicted_cost, 1.0,
+              0.15);
+}
+
+TEST(Executor_test, VirtualAndRealBackendsShareTheResultContract) {
+  // Same plan through both clocks: identical delivered count (the
+  // deterministic selectivity accumulator is clock-independent), same
+  // busy-fraction shape, and per-tuple costs in the same ballpark.
+  const Instance instance = test::selective_instance(4, 7);
+  Runtime_config config;
+  config.input_tuples = 300;
+  config.block_size = 16;
+  config.time_scale_us = 40.0;
+  config.clock_mode = Clock_mode::virtual_time;
+  const auto virt = execute(instance, Plan::identity(4), config);
+  config.clock_mode = Clock_mode::real;
+  const auto real = execute(instance, Plan::identity(4), config);
+  EXPECT_EQ(virt.tuples_delivered, real.tuples_delivered);
+  ASSERT_EQ(virt.busy_fraction.size(), real.busy_fraction.size());
+  // Real wall time includes whatever noise the host adds on top of the
+  // emulated timeline, so it can only be slower.
+  EXPECT_GE(real.per_tuple_cost_units, virt.per_tuple_cost_units * 0.95);
+}
+
+}  // namespace
+}  // namespace quest
