@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       const auto instance = workload::make_uniform(spec, rng);
       opt::Request request;
       request.instance = &instance;
-      request.node_limit = static_cast<std::uint64_t>(node_limit.value);
+      request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
 
       core::Bnb_optimizer plain;
       opt::Result base;
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
         const auto instance = workload::make_uniform(spec, rng);
         opt::Request request;
         request.instance = &instance;
-        request.node_limit = static_cast<std::uint64_t>(node_limit.value);
+        request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
 
         core::Bnb_optimizer exact;
         const auto truth = exact.optimize(request);

@@ -8,11 +8,6 @@
 #include <iostream>
 
 #include "quest/common/cli.hpp"
-#include "quest/core/branch_and_bound.hpp"
-#include "quest/opt/dp.hpp"
-#include "quest/opt/exhaustive.hpp"
-#include "quest/opt/frontier.hpp"
-#include "quest/opt/greedy.hpp"
 #include "quest/workload/generators.hpp"
 #include "support/bench_util.hpp"
 
@@ -33,6 +28,13 @@ int main(int argc, char** argv) {
                 "branch-and-bound vs exact baselines on selective services "
                 "(sigma in [0.1, 1], heterogeneous asymmetric transfers)");
 
+  // Engines by registry spec; per-engine size caps below.
+  auto bnb = core::make_optimizer("bnb");
+  auto dp = core::make_optimizer("dp");
+  auto frontier = core::make_optimizer("frontier");
+  auto exhaustive = core::make_optimizer("exhaustive-bounded");
+  auto greedy = core::make_optimizer("greedy");
+
   Table table("E1: mean optimization time per instance");
   table.set_header({"n", "n!", "bnb (ms)", "bnb nodes", "dp (ms)",
                     "frontier (ms)", "exhaustive (ms)", "greedy (ms)",
@@ -49,27 +51,22 @@ int main(int argc, char** argv) {
       opt::Request request;
       request.instance = &instance;
 
-      core::Bnb_optimizer bnb;
       opt::Result bnb_result;
-      bnb_ms.add(bench::timed_ms(bnb, request, bnb_result));
+      bnb_ms.add(bench::timed_ms(*bnb, request, bnb_result));
       bnb_nodes.add(static_cast<double>(bnb_result.stats.nodes_expanded));
 
       if (n <= dp_max.value) {
-        opt::Dp_optimizer dp;
         opt::Result dp_result;
-        dp_ms.add(bench::timed_ms(dp, request, dp_result));
-        opt::Frontier_optimizer frontier;
+        dp_ms.add(bench::timed_ms(*dp, request, dp_result));
         opt::Result frontier_result;
-        frontier_ms.add(bench::timed_ms(frontier, request, frontier_result));
+        frontier_ms.add(bench::timed_ms(*frontier, request, frontier_result));
       }
       if (n <= exhaustive_max.value) {
-        opt::Exhaustive_optimizer exhaustive(true);
         opt::Result exh_result;
-        exh_ms.add(bench::timed_ms(exhaustive, request, exh_result));
+        exh_ms.add(bench::timed_ms(*exhaustive, request, exh_result));
       }
-      opt::Greedy_optimizer greedy;
       opt::Result greedy_result;
-      greedy_ms.add(bench::timed_ms(greedy, request, greedy_result));
+      greedy_ms.add(bench::timed_ms(*greedy, request, greedy_result));
       greedy_ratio.add(greedy_result.cost / bnb_result.cost);
     }
     table.add_row({std::to_string(n),

@@ -70,13 +70,13 @@ int main(int argc, char** argv) {
         const auto instance = workload::make_uniform(spec, rng);
         opt::Request request;
         request.instance = &instance;
-        request.node_limit = static_cast<std::uint64_t>(node_limit.value);
+        request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
 
         for (std::size_t c = 0; c < configs.size(); ++c) {
           core::Bnb_optimizer bnb(configs[c].options);
           const auto result = bnb.optimize(request);
           nodes[c].add(static_cast<double>(result.stats.nodes_expanded));
-          any_limit |= result.hit_limit;
+          any_limit |= opt::stopped_early(result.termination);
           if (c == 0) {
             closures.add(static_cast<double>(result.stats.lemma2_closures));
             backjumps.add(

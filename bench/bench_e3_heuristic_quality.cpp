@@ -6,15 +6,9 @@
 // above), which is what justifies an exact algorithm.
 
 #include <iostream>
-#include <memory>
+#include <vector>
 
 #include "quest/common/cli.hpp"
-#include "quest/core/branch_and_bound.hpp"
-#include "quest/opt/annealing.hpp"
-#include "quest/opt/greedy.hpp"
-#include "quest/opt/local_search.hpp"
-#include "quest/opt/multistart.hpp"
-#include "quest/opt/random_sampler.hpp"
 #include "quest/workload/generators.hpp"
 #include "support/bench_util.hpp"
 
@@ -58,6 +52,17 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> families = {"uniform", "clustered",
                                              "euclidean", "btsp"};
+  // Heuristics by registry spec; stochastic engines are reseeded per
+  // instance through the one top-level Request::seed knob.
+  const std::vector<std::string> heuristic_specs = {
+      "greedy",
+      "uniform-opt",
+      "local-search",
+      "multistart:restarts=8",
+      "annealing:iterations=10000",
+      "random:samples=100"};
+  auto reference = core::make_optimizer("bnb");
+  auto heuristics = bench::make_engines(heuristic_specs);
 
   Table table("E3: heuristic quality by instance family (n=" +
               std::to_string(n.value) + ")");
@@ -66,16 +71,10 @@ int main(int argc, char** argv) {
 
   for (const auto& family : families) {
     struct Entry {
-      std::string name;
       std::vector<double> ratios;
       int optimal = 0;
     };
-    std::vector<Entry> entries = {{"greedy", {}, 0},
-                                  {"uniform-opt", {}, 0},
-                                  {"local-search", {}, 0},
-                                  {"multistart-8", {}, 0},
-                                  {"annealing", {}, 0},
-                                  {"random-best-of-100", {}, 0}};
+    std::vector<Entry> entries(heuristics.size());
 
     for (std::int64_t seed = 1; seed <= seeds.value; ++seed) {
       Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 3);
@@ -83,44 +82,27 @@ int main(int argc, char** argv) {
           make_family(family, static_cast<std::size_t>(n.value), rng);
       opt::Request request;
       request.instance = &instance;
+      request.seed = static_cast<std::uint64_t>(seed);
 
-      core::Bnb_optimizer bnb;
-      const double optimum = bnb.optimize(request).cost;
+      const double optimum = reference->optimize(request).cost;
       if (optimum <= 0.0) continue;  // degenerate zero-cost instance
 
-      std::vector<std::unique_ptr<opt::Optimizer>> heuristics;
-      heuristics.push_back(std::make_unique<opt::Greedy_optimizer>());
-      heuristics.push_back(std::make_unique<opt::Uniform_comm_optimizer>());
-      heuristics.push_back(std::make_unique<opt::Local_search_optimizer>());
-      opt::Multistart_options multistart;
-      multistart.seed = static_cast<std::uint64_t>(seed);
-      heuristics.push_back(
-          std::make_unique<opt::Multistart_optimizer>(multistart));
-      opt::Annealing_options annealing;
-      annealing.seed = static_cast<std::uint64_t>(seed);
-      annealing.iterations = 10'000;
-      heuristics.push_back(
-          std::make_unique<opt::Annealing_optimizer>(annealing));
-      opt::Random_sampler_options sampler;
-      sampler.seed = static_cast<std::uint64_t>(seed);
-      sampler.samples = 100;
-      heuristics.push_back(
-          std::make_unique<opt::Random_sampler_optimizer>(sampler));
-
       for (std::size_t h = 0; h < heuristics.size(); ++h) {
-        const double cost = heuristics[h]->optimize(request).cost;
+        const double cost = heuristics[h].optimizer->optimize(request).cost;
         const double ratio = cost / optimum;
         entries[h].ratios.push_back(ratio);
         if (ratio < 1.0 + 1e-9) ++entries[h].optimal;
       }
     }
 
-    for (const auto& entry : entries) {
+    for (std::size_t h = 0; h < heuristics.size(); ++h) {
+      const Entry& entry = entries[h];
       if (entry.ratios.empty()) continue;
       double worst = 0.0;
       for (const double r : entry.ratios) worst = std::max(worst, r);
       table.add_row(
-          {family, entry.name, Table::num(geometric_mean(entry.ratios), 3),
+          {family, heuristics[h].spec,
+           Table::num(geometric_mean(entry.ratios), 3),
            Table::num(worst, 3),
            Table::num(100.0 * entry.optimal /
                           static_cast<double>(entry.ratios.size()),

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       const auto instance = workload::make_uniform(spec, rng);
       opt::Request request;
       request.instance = &instance;
-      request.node_limit = static_cast<std::uint64_t>(node_limit.value);
+      request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
 
       core::Bnb_optimizer bnb;
       opt::Result result;
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       closures.add(static_cast<double>(result.stats.lemma2_closures));
       backjumps.add(static_cast<double>(result.stats.lemma3_backjumps));
       pairs.add(static_cast<double>(result.stats.pairs_explored));
-      if (result.hit_limit) ++limits;
+      if (opt::stopped_early(result.termination)) ++limits;
     }
     table.add_row({"[" + Table::num(regime.lo, 1) + ", " +
                        Table::num(regime.hi, 1) + "]",

@@ -9,8 +9,6 @@
 #include <iostream>
 
 #include "quest/common/cli.hpp"
-#include "quest/core/branch_and_bound.hpp"
-#include "quest/opt/dp.hpp"
 #include "quest/workload/generators.hpp"
 #include "support/bench_util.hpp"
 
@@ -28,6 +26,9 @@ int main(int argc, char** argv) {
   bench::banner("E7", "branch-and-bound vs subset DP on the bottleneck-TSP "
                       "reduction");
 
+  auto bnb = core::make_optimizer("bnb");
+  auto dp = core::make_optimizer("dp");
+
   Table table("E7: bottleneck TSP (path) — exact solvers");
   table.set_header({"n", "bnb (ms)", "bnb nodes", "dp (ms)", "dp states",
                     "agree", "bnb limit hit"});
@@ -43,17 +44,15 @@ int main(int argc, char** argv) {
       const auto instance = workload::make_bottleneck_tsp(spec, rng);
       opt::Request request;
       request.instance = &instance;
-      request.node_limit = static_cast<std::uint64_t>(node_limit.value);
+      request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
 
-      core::Bnb_optimizer bnb;
       opt::Result bnb_result;
-      bnb_ms.add(bench::timed_ms(bnb, request, bnb_result));
+      bnb_ms.add(bench::timed_ms(*bnb, request, bnb_result));
       bnb_nodes.add(static_cast<double>(bnb_result.stats.nodes_expanded));
-      if (bnb_result.hit_limit) ++limits;
+      if (opt::stopped_early(bnb_result.termination)) ++limits;
 
-      opt::Dp_optimizer dp;
       opt::Result dp_result;
-      dp_ms.add(bench::timed_ms(dp, request, dp_result));
+      dp_ms.add(bench::timed_ms(*dp, request, dp_result));
       dp_states.add(static_cast<double>(dp_result.stats.nodes_expanded));
 
       if (std::fabs(bnb_result.cost - dp_result.cost) <=

@@ -8,15 +8,35 @@
 #include <cstdint>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "quest/common/stats.hpp"
 #include "quest/common/table.hpp"
 #include "quest/common/timer.hpp"
+#include "quest/core/engines.hpp"
 #include "quest/opt/optimizer.hpp"
 
 namespace quest::bench {
+
+/// One engine built from a registry spec, labeled by that spec — the one
+/// way bench harnesses name optimizers (no concrete classes).
+struct Engine {
+  std::string spec;
+  std::unique_ptr<opt::Optimizer> optimizer;
+};
+
+/// Instantiates every spec through core::engine_registry().
+inline std::vector<Engine> make_engines(
+    const std::vector<std::string>& specs) {
+  std::vector<Engine> engines;
+  engines.reserve(specs.size());
+  for (const auto& spec : specs) {
+    engines.push_back({spec, core::make_optimizer(spec)});
+  }
+  return engines;
+}
 
 /// Milliseconds elapsed by one optimize() call.
 inline double timed_ms(opt::Optimizer& optimizer, const opt::Request& request,

@@ -1,7 +1,8 @@
 // portfolio_tour — the high-level API in one pass: profile an instance,
 // let the portfolio pick the right engine, and read the explanation.
 // Repeats for one instance per hardness regime so the dispatch logic is
-// visible.
+// visible. Engines come from the process-wide registry — the same
+// string-spec surface tools/quest_cli exposes.
 //
 //   ./examples/portfolio_tour [--n 10]
 
@@ -9,9 +10,9 @@
 
 #include "quest/common/cli.hpp"
 #include "quest/common/table.hpp"
+#include "quest/core/engines.hpp"
 #include "quest/core/portfolio.hpp"
 #include "quest/model/explain.hpp"
-#include "quest/opt/greedy.hpp"
 #include "quest/workload/analysis.hpp"
 #include "quest/workload/generators.hpp"
 
@@ -20,6 +21,12 @@ int main(int argc, char** argv) {
   Cli cli("portfolio_tour", "profile -> dispatch -> optimize -> explain");
   auto& n = cli.add_int("n", 10, "instance size");
   cli.parse(argc, argv);
+
+  std::cout << "registered engines:";
+  for (const auto& name : core::engine_registry().names()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << "\n\n";
 
   struct Case {
     std::string label;
@@ -32,7 +39,11 @@ int main(int argc, char** argv) {
       {"expanding pipeline", 0.6, 2.0},
   };
 
-  core::Portfolio_optimizer portfolio;
+  // The dispatch helper comes from the concrete class; the engines it
+  // runs (and the greedy yardstick) come from the registry.
+  core::Portfolio_optimizer dispatch;
+  auto portfolio = core::make_optimizer("portfolio");
+  auto greedy = core::make_optimizer("greedy");
 
   for (const auto& instance_case : cases) {
     Rng rng(2026);
@@ -47,19 +58,20 @@ int main(int argc, char** argv) {
               << workload::to_string(profile.regime) << " (sigma geomean "
               << Table::num(profile.selectivity_geomean, 2)
               << ", transfer CV " << Table::num(profile.transfer_cv, 2)
-              << ") -> engine: " << portfolio.chosen_engine(instance)
+              << ") -> engine: " << dispatch.chosen_engine(instance)
               << "\n";
 
     opt::Request request;
     request.instance = &instance;
-    const auto result = portfolio.optimize(request);
-    opt::Greedy_optimizer greedy;
-    const auto greedy_result = greedy.optimize(request);
+    const auto result = portfolio->optimize(request);
+    const auto greedy_result = greedy->optimize(request);
 
     std::cout << model::compare_plans(
                      instance, {{"portfolio", result.plan},
                                 {"greedy", greedy_result.plan}})
-              << "proven optimal: " << (result.proven_optimal ? "yes" : "no")
+              << "termination: " << opt::to_string(result.termination)
+              << ", proven optimal: "
+              << (result.proven_optimal ? "yes" : "no")
               << ", nodes: " << result.stats.nodes_expanded << "\n\n";
   }
   return 0;

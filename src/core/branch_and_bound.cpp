@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "quest/common/error.hpp"
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::core {
 
@@ -36,10 +36,9 @@ class Search {
         ebar_(instance_, policy_, options.ebar_mode),
         lower_(instance_, policy_),
         relax_(1.0 + options.suboptimality),
-        node_limit_(request.node_limit),
-        time_limit_(request.time_limit_seconds),
         placed_(instance_.size(), 0),
-        scratch_(instance_.size() + 1) {
+        scratch_(instance_.size() + 1),
+        control_(request, stats_) {
     QUEST_EXPECTS(options.suboptimality >= 0.0,
                   "suboptimality must be non-negative");
   }
@@ -51,9 +50,10 @@ class Search {
     if (n == 1) {
       result.plan = Plan::identity(1);
       result.cost = model::bottleneck_cost(instance_, result.plan, policy_);
-      result.proven_optimal = true;
+      ++stats_.complete_plans;
+      control_.note_final_incumbent(result.plan, result.cost);
       result.stats = stats_;
-      result.elapsed_seconds = timer_.seconds();
+      control_.finish(result, true);
       return result;
     }
 
@@ -93,7 +93,7 @@ class Search {
 
     std::vector<char> closed_leader(n, 0);
     for (const Pair_seed& pair : pairs) {
-      if (aborted()) break;
+      if (control_.should_stop()) break;
       // Lemma-1 global exit: the list is sorted, so no remaining pair can
       // start a plan cheaper than the incumbent (relaxed by the
       // suboptimality factor when bounded-suboptimal search is on).
@@ -111,18 +111,16 @@ class Search {
       const std::size_t target = expand();
       pop();
       pop();
-      if (aborted()) break;
+      if (control_.stopped()) break;
       if (target == 0) closed_leader[pair.a] = 1;
     }
 
-    QUEST_ASSERT(best_.size() == n || aborted_,
+    QUEST_ASSERT(best_.size() == n || control_.stopped(),
                  "branch-and-bound must visit at least one complete plan");
     result.plan = best_;
     result.cost = rho_;
-    result.hit_limit = aborted_;
-    result.proven_optimal = !aborted_ && options_.suboptimality == 0.0;
     result.stats = stats_;
-    result.elapsed_seconds = timer_.seconds();
+    control_.finish(result, options_.suboptimality == 0.0);
     return result;
   }
 
@@ -143,26 +141,13 @@ class Search {
            (!precedence_ || precedence_->feasible_next(id, placed_));
   }
 
-  // ---- limits --------------------------------------------------------
-
-  bool aborted() {
-    if (aborted_) return true;
-    if (node_limit_ != 0 && stats_.nodes_expanded >= node_limit_) {
-      aborted_ = true;
-    } else if (time_limit_ > 0.0 && (++tick_ & 0xFF) == 0 &&
-               timer_.seconds() > time_limit_) {
-      aborted_ = true;
-    }
-    return aborted_;
-  }
-
   // ---- incumbent handling ---------------------------------------------
 
   void offer_incumbent(const Plan& plan, double cost) {
     if (cost < rho_) {
       rho_ = cost;
       best_ = plan;
-      ++stats_.incumbent_updates;
+      control_.note_incumbent(best_, rho_);
     }
   }
 
@@ -244,7 +229,7 @@ class Search {
   /// the bottleneck service"); the invocation at that size continues with
   /// its next sibling.
   std::size_t expand() {
-    if (aborted()) return 0;
+    if (control_.should_stop()) return 0;
     const std::size_t k = eval_.size();
 
     if (eval_.full()) {
@@ -312,7 +297,7 @@ class Search {
 
     const double eps = eval_.epsilon();
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (aborted()) return 0;
+      if (control_.should_stop()) return 0;
       const Candidate& candidate = candidates[i];
       // Lemma 1: the term this append would fix is non-decreasing along
       // the sorted sibling list; once it reaches rho, nothing that starts
@@ -367,12 +352,6 @@ class Search {
   Lower_bound lower_;
   double relax_;
 
-  std::uint64_t node_limit_;
-  double time_limit_;
-  Timer timer_;
-  std::uint64_t tick_ = 0;
-  bool aborted_ = false;
-
   std::vector<char> placed_;
   std::vector<std::vector<Candidate>> scratch_;
   std::vector<Service_id> scratch_remaining_;
@@ -380,6 +359,7 @@ class Search {
   double rho_ = std::numeric_limits<double>::infinity();
   Plan best_;
   opt::Search_stats stats_;
+  opt::Search_control control_;  // binds stats_: keep it declared after
 };
 
 }  // namespace

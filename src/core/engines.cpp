@@ -1,0 +1,82 @@
+#include "quest/core/engines.hpp"
+
+#include "quest/common/error.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/portfolio.hpp"
+
+namespace quest::core {
+
+namespace {
+
+Bnb_options bnb_options_from(const opt::Spec_options& options,
+                             bool force_lower_bound) {
+  Bnb_options parsed;
+  const std::string ebar = options.get_string("ebar", "exact");
+  QUEST_EXPECTS(ebar == "exact" || ebar == "loose",
+                "bnb option ebar must be 'exact' or 'loose', got '" + ebar +
+                    "'");
+  parsed.ebar_mode =
+      ebar == "exact" ? Epsilon_bar_mode::exact : Epsilon_bar_mode::loose;
+  parsed.enable_closure = options.get_bool("closure", parsed.enable_closure);
+  parsed.enable_backjump =
+      options.get_bool("backjump", parsed.enable_backjump);
+  parsed.warm_start = options.get_bool("warm-start", parsed.warm_start);
+  parsed.enable_lower_bound =
+      force_lower_bound ||
+      options.get_bool("lower-bound", parsed.enable_lower_bound);
+  parsed.suboptimality = options.get_double("subopt", parsed.suboptimality);
+  QUEST_EXPECTS(parsed.suboptimality >= 0.0,
+                "bnb option subopt must be non-negative");
+  return parsed;
+}
+
+void register_core_optimizers(opt::Registry& registry) {
+  registry.add(
+      "bnb", "the paper's branch-and-bound (exact; Lemma 1/2/3 pruning)",
+      {"ebar", "closure", "backjump", "warm-start", "lower-bound", "subopt"},
+      [](const opt::Spec_options& options) {
+        return std::make_unique<Bnb_optimizer>(
+            bnb_options_from(options, false));
+      });
+  registry.add(
+      "bnb-lb",
+      "branch-and-bound with the admissible lower bound (sigma > 1 "
+      "workloads)",
+      {"ebar", "closure", "backjump", "warm-start", "subopt"},
+      [](const opt::Spec_options& options) {
+        return std::make_unique<Bnb_optimizer>(
+            bnb_options_from(options, true));
+      });
+  registry.add(
+      "portfolio",
+      "heuristic incumbent + profile-dispatched exact engine under the "
+      "budget",
+      {"hard-exact-limit", "subopt"}, [](const opt::Spec_options& options) {
+        Portfolio_options parsed;
+        parsed.hard_exact_size_limit =
+            options.get_size("hard-exact-limit", parsed.hard_exact_size_limit);
+        parsed.suboptimality =
+            options.get_double("subopt", parsed.suboptimality);
+        QUEST_EXPECTS(parsed.suboptimality >= 0.0,
+                      "portfolio option subopt must be non-negative");
+        return std::make_unique<Portfolio_optimizer>(parsed);
+      });
+}
+
+}  // namespace
+
+opt::Registry& engine_registry() {
+  static opt::Registry registry = [] {
+    opt::Registry built;
+    opt::register_baseline_optimizers(built);
+    register_core_optimizers(built);
+    return built;
+  }();
+  return registry;
+}
+
+std::unique_ptr<opt::Optimizer> make_optimizer(std::string_view spec) {
+  return engine_registry().make(spec);
+}
+
+}  // namespace quest::core

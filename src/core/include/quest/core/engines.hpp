@@ -1,0 +1,31 @@
+// quest/core/engines.hpp
+//
+// The process-wide optimizer registry with every quest engine registered:
+// the quest::opt baselines plus the paper's branch-and-bound ("bnb",
+// "bnb-lb") and the profile-driven portfolio. This is the one entry point
+// drivers should use to turn a spec string into an engine:
+//
+//   auto optimizer = core::make_optimizer("annealing:iterations=50000");
+//   auto result = optimizer->optimize(request);
+//
+// The registry machinery itself lives a layer below (quest/opt/registry.hpp)
+// so quest::opt stays free of core dependencies; this header is where the
+// layering comes together.
+
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "quest/opt/registry.hpp"
+
+namespace quest::core {
+
+/// The fully-populated registry. Built on first call; the reference is
+/// mutable so embedders can add their own engines next to the built-ins.
+opt::Registry& engine_registry();
+
+/// Shorthand for engine_registry().make(spec).
+std::unique_ptr<opt::Optimizer> make_optimizer(std::string_view spec);
+
+}  // namespace quest::core

@@ -1,11 +1,13 @@
 #include "quest/core/portfolio.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
 
-#include "quest/common/timer.hpp"
-#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/engines.hpp"
 #include "quest/opt/frontier.hpp"
-#include "quest/opt/local_search.hpp"
+#include "quest/opt/search_control.hpp"
 #include "quest/workload/analysis.hpp"
 
 namespace quest::core {
@@ -35,48 +37,84 @@ std::string Portfolio_optimizer::chosen_engine(
 
 opt::Result Portfolio_optimizer::optimize(const opt::Request& request) {
   opt::validate_request(request);
-  Timer timer;
+  opt::Search_stats stats;
+  opt::Search_control control(request, stats);
 
-  // Phase 1: fast incumbent.
-  opt::Local_search_optimizer polish;
-  opt::Result incumbent = polish.optimize(request);
+  // Sub-requests share the problem, seed, stop token and cost target, but
+  // get the budget left at launch time and a filtered incumbent stream:
+  // only genuine portfolio-level improvements reach the caller (phase 2
+  // restarts its own incumbent from scratch and would re-announce worse
+  // plans otherwise).
+  double streamed_best = std::numeric_limits<double>::infinity();
+  opt::Request sub = request;
+  if (request.on_incumbent) {
+    sub.on_incumbent = [&](const model::Plan& plan, double cost,
+                           const opt::Search_stats& sub_stats) {
+      if (cost < streamed_best) {
+        streamed_best = cost;
+        request.on_incumbent(plan, cost, sub_stats);
+      }
+    };
+  }
 
-  // Phase 2: profile-driven exact (or bounded-suboptimal) engine.
+  // Phase 1: fast incumbent (greedy + local-search polish) via the
+  // registry, like every other engine the portfolio runs.
+  const auto polish = engine_registry().make("local-search");
+  sub.budget = control.remaining_budget();
+  opt::Result incumbent = polish->optimize(sub);
+  stats.nodes_expanded += incumbent.stats.nodes_expanded;
+  stats.complete_plans += incumbent.stats.complete_plans;
+  if (opt::stopped_early(incumbent.termination)) {
+    // Budget (or the caller) ended the run during the polish; hand back
+    // whatever it produced with its honest reason.
+    incumbent.elapsed_seconds = control.elapsed_seconds();
+    return incumbent;
+  }
+
+  // Phase 2: profile-driven exact (or bounded-suboptimal) engine, built
+  // from its registry spec and run under the remaining budget.
   const std::string engine = chosen_engine(*request.instance);
   opt::Result exact;
   bool ran_exact = false;
-  if (engine == "bnb" || engine == "bnb-lb") {
-    Bnb_options options;
-    options.warm_start = true;
-    options.suboptimality = options_.suboptimality;
-    options.enable_lower_bound = engine == "bnb-lb";
-    Bnb_optimizer bnb(options);
-    exact = bnb.optimize(request);
-    ran_exact = true;
-  } else if (engine == "frontier") {
-    opt::Frontier_optimizer frontier;
-    exact = frontier.optimize(request);
+  if (engine != "heuristic-only") {
+    std::string spec = engine;
+    if (engine == "bnb" || engine == "bnb-lb") {
+      spec += ":warm-start=1";
+      if (options_.suboptimality > 0.0) {
+        spec += ",subopt=" + std::to_string(options_.suboptimality);
+      }
+    }
+    const auto exact_engine = engine_registry().make(spec);
+    sub.budget = control.remaining_budget();
+    exact = exact_engine->optimize(sub);
     ran_exact = true;
   }
 
   // Phase 3: best of both; never worse than the heuristic.
-  const std::uint64_t heuristic_nodes = incumbent.stats.nodes_expanded;
   opt::Result result;
   const bool exact_usable =
       ran_exact && exact.plan.size() == request.instance->size() &&
       exact.cost <= incumbent.cost;
   if (exact_usable) {
+    // Keep the exact engine's full counters (lemma cutoffs etc.) and add
+    // the polish phase's work on top.
     result = std::move(exact);
-    result.stats.nodes_expanded += heuristic_nodes;
+    result.stats.nodes_expanded += incumbent.stats.nodes_expanded;
+    result.stats.complete_plans += incumbent.stats.complete_plans;
   } else {
     result = std::move(incumbent);
     result.proven_optimal = false;
     if (ran_exact) {
-      result.hit_limit = exact.hit_limit;
       result.stats.nodes_expanded += exact.stats.nodes_expanded;
+      result.stats.complete_plans += exact.stats.complete_plans;
+      // The heuristic plan stands, but the exact phase's early stop is
+      // what kept it unproven — report that reason.
+      if (opt::stopped_early(exact.termination)) {
+        result.termination = exact.termination;
+      }
     }
   }
-  result.elapsed_seconds = timer.seconds();
+  result.elapsed_seconds = control.elapsed_seconds();
   return result;
 }
 

@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "quest/common/rng.hpp"
-#include "quest/common/timer.hpp"
 #include "quest/opt/greedy.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -18,26 +18,38 @@ Result Annealing_optimizer::optimize(const Request& request) {
   const auto& instance = *request.instance;
   const auto* precedence = request.precedence;
   const std::size_t n = instance.size();
-  Timer timer;
   Search_stats stats;
-  Rng rng(options_.seed);
+  Search_control control(request, stats);
+  Rng rng(effective_seed(request, options_.seed));
 
   // Seed with greedy so annealing never does worse than the constructive
   // heuristic.
   Greedy_optimizer greedy;
-  const Result seed = greedy.optimize(request);
+  Request greedy_request = request;
+  greedy_request.on_incumbent = nullptr;  // streamed below as incumbent 0
+  const Result seed = greedy.optimize(greedy_request);
+  if (stopped_early(seed.termination) || seed.plan.size() != n) {
+    // Budget died during the constructive seed; deliver the incumbent the
+    // nulled sub-request callback missed (when there is one) and return.
+    if (request.on_incumbent && seed.plan.size() == n) {
+      request.on_incumbent(seed.plan, seed.cost, seed.stats);
+    }
+    return seed;
+  }
+  stats.nodes_expanded = seed.stats.nodes_expanded;
+  stats.complete_plans = 1;
   std::vector<Service_id> current = seed.plan.order();
   double current_cost = seed.cost;
   std::vector<Service_id> best = current;
   double best_cost = current_cost;
-  stats.complete_plans = 1;
+  control.note_incumbent(seed.plan, best_cost);
 
   if (n < 2) {
     Result result;
     result.plan = Plan(std::move(best));
     result.cost = best_cost;
     result.stats = stats;
-    result.elapsed_seconds = timer.seconds();
+    control.finish(result, false);
     return result;
   }
 
@@ -46,7 +58,8 @@ Result Annealing_optimizer::optimize(const Request& request) {
   const double floor = options_.min_temperature * scale;
 
   std::vector<Service_id> neighbor;
-  for (std::size_t iteration = 0; iteration < options_.iterations;
+  for (std::size_t iteration = 0;
+       iteration < options_.iterations && !control.should_stop();
        ++iteration) {
     neighbor = current;
     const bool do_swap = rng.bernoulli(0.5);
@@ -76,7 +89,7 @@ Result Annealing_optimizer::optimize(const Request& request) {
       if (cost < best_cost) {
         best_cost = cost;
         best = current;
-        ++stats.incumbent_updates;
+        control.note_incumbent(Plan(best), best_cost);
       }
     }
     temperature = std::max(temperature * options_.cooling, floor);
@@ -86,7 +99,7 @@ Result Annealing_optimizer::optimize(const Request& request) {
   result.plan = Plan(std::move(best));
   result.cost = best_cost;
   result.stats = stats;
-  result.elapsed_seconds = timer.seconds();
+  control.finish(result, false);
   return result;
 }
 

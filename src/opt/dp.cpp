@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "quest/common/error.hpp"
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -22,8 +22,9 @@ Result Dp_optimizer::optimize(const Request& request) {
                 "subset DP is limited to max_services services");
   const auto policy = request.policy;
   const auto* precedence = request.precedence;
-  Timer timer;
+  Result result;
   Search_stats stats;
+  Search_control control(request, stats);
 
   const std::size_t full = std::size_t{1} << n;
   constexpr double inf = std::numeric_limits<double>::infinity();
@@ -57,6 +58,7 @@ Result Dp_optimizer::optimize(const Request& request) {
   }
 
   for (std::size_t mask = 1; mask < full; ++mask) {
+    if (control.should_stop()) break;
     for (std::size_t j = 0; j < n; ++j) {
       const double current = g[at(mask, j)];
       if (current == inf) continue;
@@ -82,6 +84,14 @@ Result Dp_optimizer::optimize(const Request& request) {
         }
       }
     }
+  }
+
+  if (control.stopped()) {
+    // The sweep has no usable incumbent mid-flight: unlike the tree
+    // searches, a partial table encodes no complete plan. Report honestly.
+    result.stats = stats;
+    control.finish(result, false);
+    return result;
   }
 
   // Close full-set states with the sink term of the last service.
@@ -118,12 +128,11 @@ Result Dp_optimizer::optimize(const Request& request) {
     j = p;
   }
 
-  Result result;
   result.plan = Plan(std::move(order));
   result.cost = best_cost;
-  result.proven_optimal = true;
+  control.note_final_incumbent(result.plan, result.cost);
   result.stats = stats;
-  result.elapsed_seconds = timer.seconds();
+  control.finish(result, true);
   return result;
 }
 

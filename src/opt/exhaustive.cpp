@@ -1,8 +1,9 @@
 #include "quest/opt/exhaustive.hpp"
 
 #include <limits>
+#include <vector>
 
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -19,43 +20,29 @@ class Enumeration {
         precedence_(request.precedence),
         bound_(bound),
         eval_(instance_, request.policy),
-        node_limit_(request.node_limit),
-        time_limit_(request.time_limit_seconds),
-        placed_(instance_.size(), 0) {}
+        placed_(instance_.size(), 0),
+        control_(request, stats_) {}
 
   Result run() {
     descend();
     Result result;
     result.plan = best_;
     result.cost = rho_;
-    result.hit_limit = aborted_;
-    result.proven_optimal = !aborted_;
     result.stats = stats_;
-    result.elapsed_seconds = timer_.seconds();
+    control_.finish(result, true);
     return result;
   }
 
  private:
-  bool aborted() {
-    if (aborted_) return true;
-    if (node_limit_ != 0 && stats_.nodes_expanded >= node_limit_) {
-      aborted_ = true;
-    } else if (time_limit_ > 0.0 && (++tick_ & 0x3FF) == 0 &&
-               timer_.seconds() > time_limit_) {
-      aborted_ = true;
-    }
-    return aborted_;
-  }
-
   void descend() {
-    if (aborted()) return;
+    if (control_.should_stop()) return;
     if (eval_.full()) {
       ++stats_.complete_plans;
       const double cost = eval_.complete_cost();
       if (cost < rho_) {
         rho_ = cost;
         best_ = eval_.plan();
-        ++stats_.incumbent_updates;
+        control_.note_incumbent(best_, rho_);
       }
       return;
     }
@@ -73,7 +60,7 @@ class Enumeration {
       descend();
       placed_[u] = 0;
       eval_.pop();
-      if (aborted_) return;
+      if (control_.stopped()) return;
     }
   }
 
@@ -81,15 +68,11 @@ class Enumeration {
   const constraints::Precedence_graph* precedence_;
   bool bound_;
   Partial_plan_evaluator eval_;
-  std::uint64_t node_limit_;
-  double time_limit_;
-  Timer timer_;
-  std::uint64_t tick_ = 0;
-  bool aborted_ = false;
   std::vector<char> placed_;
   double rho_ = std::numeric_limits<double>::infinity();
   Plan best_;
   Search_stats stats_;
+  Search_control control_;  // binds stats_: keep it declared after
 };
 
 }  // namespace

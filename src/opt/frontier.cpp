@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "quest/common/error.hpp"
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -42,8 +42,9 @@ Result Frontier_optimizer::optimize(const Request& request) {
   QUEST_EXPECTS(n <= max_services,
                 "frontier search is limited to max_services services");
   const auto policy = request.policy;
-  Timer timer;
+  Result result;
   Search_stats stats;
+  Search_control control(request, stats);
 
   // Selectivity product per subset, built lazily would cost a popcount
   // walk; precompute like the DP (cheap relative to the map).
@@ -87,22 +88,10 @@ Result Frontier_optimizer::optimize(const Request& request) {
     frontier.push({0.0, mask, static_cast<std::uint8_t>(a), false});
   }
 
-  Result result;
-  bool aborted = false;
   while (!frontier.empty()) {
+    if (control.should_stop()) break;
     const Entry entry = frontier.top();
     frontier.pop();
-    if (request.node_limit != 0 &&
-        stats.nodes_expanded >= request.node_limit) {
-      aborted = true;
-      break;
-    }
-    if (request.time_limit_seconds > 0.0 &&
-        (stats.nodes_expanded & 0x3FF) == 0 &&
-        timer.seconds() > request.time_limit_seconds) {
-      aborted = true;
-      break;
-    }
 
     if (entry.goal) {
       // First closed goal = optimum: every other frontier entry already
@@ -118,8 +107,10 @@ Result Frontier_optimizer::optimize(const Request& request) {
       }
       result.plan = Plan(std::move(order));
       result.cost = entry.priority;
-      result.proven_optimal = true;
-      break;
+      control.note_final_incumbent(result.plan, result.cost);
+      result.stats = stats;
+      control.finish(result, true);
+      return result;
     }
 
     const auto key = state_key(entry.mask, entry.last);
@@ -170,12 +161,10 @@ Result Frontier_optimizer::optimize(const Request& request) {
     }
   }
 
-  QUEST_ASSERT(result.plan.size() == n || aborted,
+  QUEST_ASSERT(control.stopped(),
                "frontier search must reach a goal state");
-  result.hit_limit = aborted;
-  if (aborted) result.proven_optimal = false;
   result.stats = stats;
-  result.elapsed_seconds = timer.seconds();
+  control.finish(result, false);
   return result;
 }
 

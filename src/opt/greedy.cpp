@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "quest/common/error.hpp"
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -19,15 +19,19 @@ Result Greedy_optimizer::optimize(const Request& request) {
   const auto& instance = *request.instance;
   const auto* precedence = request.precedence;
   const std::size_t n = instance.size();
-  Timer timer;
+  Result result;
   Search_stats stats;
+  Search_control control(request, stats);
 
   model::Partial_plan_evaluator eval(instance, request.policy);
   std::vector<char> placed(n, 0);
 
   if (n == 1) {
-    eval.append(0);
-  } else {
+    if (!control.should_stop()) {
+      eval.append(0);
+      ++stats.nodes_expanded;
+    }
+  } else if (!control.should_stop()) {
     // Cheapest feasible pair by the position-0 stage term.
     double best_term = std::numeric_limits<double>::infinity();
     Service_id best_a = model::invalid_service;
@@ -61,7 +65,7 @@ Result Greedy_optimizer::optimize(const Request& request) {
     placed[best_b] = 1;
     stats.nodes_expanded += 2;
 
-    while (!eval.full()) {
+    while (!eval.full() && !control.should_stop()) {
       Service_id next = model::invalid_service;
       double next_t = std::numeric_limits<double>::infinity();
       for (Service_id u = 0; u < n; ++u) {
@@ -81,12 +85,15 @@ Result Greedy_optimizer::optimize(const Request& request) {
     }
   }
 
-  Result result;
   result.plan = eval.plan();
-  result.cost = eval.complete_cost();
+  if (eval.full()) {
+    result.cost = eval.complete_cost();
+    ++stats.complete_plans;
+    control.note_incumbent(result.plan, result.cost);
+  }
+  // else: stopped mid-construction — partial plan, infinite cost.
   result.stats = stats;
-  ++result.stats.complete_plans;
-  result.elapsed_seconds = timer.seconds();
+  control.finish(result, false);
   return result;
 }
 
@@ -95,7 +102,9 @@ Result Uniform_comm_optimizer::optimize(const Request& request) {
   const auto& instance = *request.instance;
   const auto* precedence = request.precedence;
   const std::size_t n = instance.size();
-  Timer timer;
+  Result result;
+  Search_stats stats;
+  Search_control control(request, stats);
 
   // Mean off-diagonal transfer cost: the "flat network" the centralized
   // optimizer believes in.
@@ -121,7 +130,7 @@ Result Uniform_comm_optimizer::optimize(const Request& request) {
   std::vector<Service_id> order;
   order.reserve(n);
   std::vector<char> placed(n, 0);
-  while (order.size() < n) {
+  while (order.size() < n && !control.should_stop()) {
     Service_id next = model::invalid_service;
     for (Service_id u = 0; u < n; ++u) {
       if (placed[u]) continue;
@@ -132,17 +141,24 @@ Result Uniform_comm_optimizer::optimize(const Request& request) {
                  "no feasible service to schedule");
     order.push_back(next);
     placed[next] = 1;
+    ++stats.nodes_expanded;
   }
 
-  Result result;
+  const bool complete = order.size() == n;
   result.plan = Plan(std::move(order));
-  result.cost = model::bottleneck_cost(instance, result.plan, request.policy);
-  result.stats.complete_plans = 1;
-  // Optimal only in the uniform special case it was designed for.
-  result.proven_optimal = instance.uniform_transfer() &&
-                          instance.all_selective() &&
-                          (precedence == nullptr || precedence->unconstrained());
-  result.elapsed_seconds = timer.seconds();
+  bool claim_optimal = false;
+  if (complete) {
+    result.cost =
+        model::bottleneck_cost(instance, result.plan, request.policy);
+    ++stats.complete_plans;
+    control.note_incumbent(result.plan, result.cost);
+    // Optimal only in the uniform special case it was designed for.
+    claim_optimal =
+        instance.uniform_transfer() && instance.all_selective() &&
+        (precedence == nullptr || precedence->unconstrained());
+  }
+  result.stats = stats;
+  control.finish(result, claim_optimal);
   return result;
 }
 

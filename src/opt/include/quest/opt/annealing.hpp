@@ -12,6 +12,7 @@
 namespace quest::opt {
 
 struct Annealing_options {
+  /// Fallback seed; a non-zero Request::seed takes precedence.
   std::uint64_t seed = 1;
   std::size_t iterations = 20'000;
   double initial_temperature = 1.0;  ///< scaled by the seed plan's cost

@@ -14,7 +14,8 @@ namespace quest::opt {
 /// With `bound_with_epsilon` the enumeration prunes branches whose partial
 /// epsilon already reaches the incumbent (Lemma-1-only branch-and-bound);
 /// without it the search visits every ordering — use only for tiny n or
-/// with a node limit.
+/// under a Request budget (it is a well-behaved anytime engine: the best
+/// incumbent streams out and survives an early stop).
 class Exhaustive_optimizer final : public Optimizer {
  public:
   explicit Exhaustive_optimizer(bool bound_with_epsilon = false)

@@ -15,6 +15,7 @@
 namespace quest::opt {
 
 struct Multistart_options {
+  /// Fallback seed; a non-zero Request::seed takes precedence.
   std::uint64_t seed = 1;
   /// Restarts beyond the greedy-seeded first descent.
   std::size_t restarts = 8;

@@ -1,13 +1,15 @@
 // quest/opt/optimizer.hpp
 //
-// The optimizer abstraction shared by the paper's branch-and-bound
+// The anytime optimizer abstraction shared by the paper's branch-and-bound
 // (quest::core) and every baseline (quest::opt): a Request describing the
-// problem and limits, a Result carrying the plan found plus search
-// statistics, and an abstract Optimizer.
+// problem, a unified Budget with cooperative cancellation and incumbent
+// streaming, and a Result carrying the plan found, the reason the search
+// stopped, and search statistics.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -16,6 +18,7 @@
 #include "quest/model/cost.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
+#include "quest/opt/stop_token.hpp"
 
 namespace quest::opt {
 
@@ -53,7 +56,61 @@ struct Search_stats {
     return lemma1_cutoffs + lemma2_closures + lemma3_backjumps +
            lower_bound_prunes;
   }
+
+  /// Work units charged against Budget::node_limit: tree-node expansions
+  /// plus complete-plan evaluations, so heuristics that never expand a
+  /// tree (annealing, random sampling, local search) are budgeted by the
+  /// plans they cost out.
+  std::uint64_t work() const noexcept {
+    return nodes_expanded + complete_plans;
+  }
 };
+
+/// Limits shared by every optimizer; all default to "unlimited".
+struct Budget {
+  /// Stop after this many work units — node expansions plus complete-plan
+  /// evaluations (0 = unlimited). See Search_stats::work().
+  std::uint64_t node_limit = 0;
+  /// Stop after this much wall-clock time (0 = unlimited).
+  double time_limit_seconds = 0.0;
+  /// "Good enough" bound: stop as soon as an incumbent costs at most this
+  /// (0 = disabled; bottleneck costs are non-negative, so 0 never fires).
+  double cost_target = 0.0;
+};
+
+/// Why an optimize() call returned.
+enum class Termination {
+  /// Ran to completion and proved the returned plan optimal.
+  optimal,
+  /// Ran its full schedule without an optimality proof (heuristics, and
+  /// exact engines relaxed by a suboptimality factor).
+  completed,
+  /// The node or wall-clock budget expired; the result holds the best
+  /// incumbent found so far (possibly an incomplete plan with infinite
+  /// cost when the budget died before the first complete plan).
+  budget_exhausted,
+  /// Request::stop asked for cancellation.
+  cancelled,
+  /// An incumbent reached Budget::cost_target.
+  cost_target_reached,
+};
+
+/// True for the reasons that cut a search short (everything except a
+/// natural optimal/completed finish).
+constexpr bool stopped_early(Termination termination) noexcept {
+  return termination != Termination::optimal &&
+         termination != Termination::completed;
+}
+
+/// Stable lower-case identifier ("optimal", "budget-exhausted", ...).
+const char* to_string(Termination termination) noexcept;
+
+/// Streaming callback: invoked whenever the engine's incumbent improves,
+/// with the improving plan, its cost, and the stats at that instant. The
+/// plan reference is only valid during the call — copy to keep. Callbacks
+/// run on the optimize() thread and may call Stop_source::request_stop().
+using Incumbent_callback = std::function<void(
+    const model::Plan& plan, double cost, const Search_stats& stats)>;
 
 /// A problem to optimize. The instance (and optional precedence graph)
 /// must outlive the optimize() call.
@@ -62,11 +119,24 @@ struct Request {
   model::Send_policy policy = model::Send_policy::sequential;
   /// Optional precedence constraints; nullptr means unconstrained.
   const constraints::Precedence_graph* precedence = nullptr;
-  /// Stop after this many node expansions (0 = unlimited).
-  std::uint64_t node_limit = 0;
-  /// Stop after this much wall-clock time (0 = unlimited).
-  double time_limit_seconds = 0.0;
+  /// Limits; all unlimited by default.
+  Budget budget;
+  /// Cooperative cancellation; default token never stops.
+  Stop_token stop;
+  /// Top-level seed for stochastic engines (annealing, multistart, random
+  /// sampling). 0 = defer to the engine's own options; any other value
+  /// overrides them, so one knob reproduces a whole portfolio run.
+  std::uint64_t seed = 0;
+  /// Optional incumbent stream; empty = no streaming.
+  Incumbent_callback on_incumbent;
 };
+
+/// The seed a stochastic engine should draw from: the request's top-level
+/// seed when set, the engine's own options otherwise.
+constexpr std::uint64_t effective_seed(const Request& request,
+                                       std::uint64_t options_seed) noexcept {
+  return request.seed != 0 ? request.seed : options_seed;
+}
 
 /// Outcome of an optimization run.
 struct Result {
@@ -75,8 +145,9 @@ struct Result {
   /// True when the optimizer proved `plan` optimal (exact methods that ran
   /// to completion). Heuristics always report false.
   bool proven_optimal = false;
-  /// True when a limit stopped the search early.
-  bool hit_limit = false;
+  /// Why the run returned. Anything with stopped_early() true means the
+  /// search was cut short and `plan` is the best incumbent at that point.
+  Termination termination = Termination::completed;
   Search_stats stats;
   double elapsed_seconds = 0.0;
 };
@@ -92,7 +163,7 @@ class Optimizer {
 
   /// Solves (or approximates) the given request.
   /// Throws Precondition_error on malformed requests (null instance,
-  /// precedence graph of the wrong size).
+  /// precedence graph of the wrong size, negative limits).
   virtual Result optimize(const Request& request) = 0;
 };
 

@@ -12,6 +12,7 @@
 namespace quest::opt {
 
 struct Random_sampler_options {
+  /// Fallback seed; a non-zero Request::seed takes precedence.
   std::uint64_t seed = 1;
   std::size_t samples = 1000;
 };

@@ -1,0 +1,107 @@
+// quest/opt/registry.hpp
+//
+// A string-configurable optimizer registry: name -> factory with
+// string-keyed options, so an engine can be built from a spec like
+//
+//   "annealing:iterations=50000,seed=7"
+//   "bnb:warm-start=1,subopt=0.1"
+//
+// and drivers (bench harnesses, examples, tests, tools/quest_cli) can
+// enumerate engines instead of hard-coding concrete classes. The class is
+// pure machinery plus the quest::opt baseline registrations; the
+// fully-populated process-wide registry — including the paper's
+// branch-and-bound and the portfolio, which live a layer above — is
+// core::engine_registry() (quest/core/engines.hpp).
+//
+// All spec errors (unknown engine, malformed key=value, unknown option,
+// out-of-range value) throw Precondition_error with actionable messages.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+/// The parsed options of a spec. Factories read typed values with
+/// defaults; value-parse failures throw Precondition_error naming the
+/// engine, the key and the offending text.
+class Spec_options {
+ public:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  Spec_options(std::string engine, Entries entries)
+      : engine_(std::move(engine)), entries_(std::move(entries)) {}
+
+  const std::string& engine() const noexcept { return engine_; }
+  const Entries& entries() const noexcept { return entries_; }
+
+  bool has(std::string_view key) const;
+  std::uint64_t get_uint(std::string_view key, std::uint64_t fallback) const;
+  std::size_t get_size(std::string_view key, std::size_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+  std::string get_string(std::string_view key, std::string fallback) const;
+
+ private:
+  const std::string* find(std::string_view key) const;
+  [[noreturn]] void fail(std::string_view key, std::string_view expected,
+                         std::string_view got) const;
+
+  std::string engine_;
+  Entries entries_;
+};
+
+class Registry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Optimizer>(const Spec_options&)>;
+
+  /// Registers `factory` under `name`. `option_keys` is the complete set
+  /// of keys the factory understands — make() rejects any other key with
+  /// a message listing these. Re-registering a name is API misuse.
+  void add(std::string name, std::string summary,
+           std::vector<std::string> option_keys, Factory factory);
+
+  bool contains(std::string_view name) const;
+  /// Engine names in registration order.
+  std::vector<std::string> names() const;
+  const std::string& summary(std::string_view name) const;
+  const std::vector<std::string>& option_keys(std::string_view name) const;
+
+  /// Parses "name" or "name:key=value,key=value" and builds the engine.
+  std::unique_ptr<Optimizer> make(std::string_view spec) const;
+
+  /// Spec syntax parser, exposed for tests and tools. Throws
+  /// Precondition_error on empty names, options without '=', empty keys
+  /// or values, and duplicate keys.
+  static Spec_options parse_spec(std::string_view spec);
+
+  /// Multi-line human-readable listing ("name — summary (options: ...)").
+  std::string describe() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string summary;
+    std::vector<std::string> option_keys;
+    Factory factory;
+  };
+
+  const Entry* find(std::string_view name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Registers the quest::opt baseline engines (greedy, uniform-opt,
+/// local-search, multistart, annealing, random, exhaustive,
+/// exhaustive-bounded, dp, frontier) into `registry`.
+void register_baseline_optimizers(Registry& registry);
+
+}  // namespace quest::opt

@@ -1,0 +1,78 @@
+// quest/opt/search_control.hpp
+//
+// The one place every optimizer enforces its Request's limits. A
+// Search_control is constructed per optimize() call over the request and
+// the engine's live Search_stats; the engine then
+//
+//   * calls should_stop() once per unit of search work and unwinds when it
+//     returns true (node budget, wall-clock deadline, cancellation), and
+//   * calls note_incumbent() whenever its incumbent improves, which counts
+//     the update, streams the plan to Request::on_incumbent, and arms the
+//     cost-target stop,
+//
+// and finally calls finish() to stamp the Result with the termination
+// reason and elapsed time. Centralizing the checks is what makes every
+// engine — including the heuristics that used to ignore limits — honor
+// budgets identically and report Termination honestly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "quest/common/timer.hpp"
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+class Search_control {
+ public:
+  /// Binds to the engine's live stats so budget checks see every counter
+  /// update without extra bookkeeping. Both references must outlive the
+  /// control (they live on the optimize() stack).
+  Search_control(const Request& request, Search_stats& stats)
+      : request_(request), stats_(stats) {}
+
+  /// True once any stop condition fired; sticky. The stop token and node
+  /// budget are checked on every call; the wall clock is polled on the
+  /// first call and every 256th after (cancellation latency is therefore
+  /// one work unit, deadline latency at most 256).
+  bool should_stop();
+
+  /// Report an improved incumbent: counts it, streams it to the request's
+  /// callback, and stops the search when it reaches the cost target.
+  void note_incumbent(const model::Plan& plan, double cost);
+
+  /// Variant for an engine's natural completion point (the DP's swept
+  /// optimum, frontier's first closed goal): counts and streams, but does
+  /// not arm the cost-target stop — no work is left to skip, so meeting
+  /// the target must not void the optimality proof.
+  void note_final_incumbent(const model::Plan& plan, double cost);
+
+  bool stopped() const noexcept { return stopped_; }
+  Termination reason() const noexcept { return reason_; }
+  double elapsed_seconds() const { return timer_.seconds(); }
+
+  /// The budget left for a sub-engine launched now (composite optimizers:
+  /// multistart's descents, the portfolio's phases). Exhausted dimensions
+  /// come back as the smallest non-zero value, never as "unlimited".
+  Budget remaining_budget() const;
+
+  /// Stamps termination, proven_optimal and elapsed time. `claim_optimal`
+  /// is the engine's own exactness claim; it is voided by any early stop.
+  void finish(Result& result, bool claim_optimal) const;
+
+ private:
+  void stop(Termination reason) noexcept {
+    stopped_ = true;
+    reason_ = reason;
+  }
+
+  const Request& request_;
+  Search_stats& stats_;
+  Timer timer_;
+  std::uint64_t tick_ = 0;
+  bool stopped_ = false;
+  Termination reason_ = Termination::completed;
+};
+
+}  // namespace quest::opt

@@ -1,0 +1,64 @@
+// quest/opt/stop_token.hpp
+//
+// Cooperative cancellation for optimize() calls. A caller keeps a
+// Stop_source, hands its token() to Request::stop, and may request a stop
+// from any thread (or from the request's own incumbent callback); every
+// optimizer polls the token at least once per unit of search work and
+// returns its best incumbent with Termination::cancelled.
+//
+// Deliberately a minimal subset of std::stop_token: shared-flag semantics,
+// no callbacks, copyable on both sides, and a default-constructed token
+// that can never request a stop (so Request needs no null checks).
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace quest::opt {
+
+class Stop_source;
+
+/// Read side of a cancellation flag. Default-constructed tokens never
+/// request a stop; copies share their source's flag. Thread-safe.
+class Stop_token {
+ public:
+  Stop_token() = default;
+
+  /// True once the owning Stop_source requested a stop.
+  bool stop_requested() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source at all.
+  bool stop_possible() const noexcept { return flag_ != nullptr; }
+
+ private:
+  friend class Stop_source;
+  explicit Stop_token(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: owns the flag. request_stop() is sticky — once requested,
+/// every connected token reports it forever.
+class Stop_source {
+ public:
+  Stop_source() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  Stop_token token() const noexcept { return Stop_token(flag_); }
+
+  void request_stop() noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool stop_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace quest::opt

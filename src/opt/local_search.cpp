@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "quest/common/error.hpp"
-#include "quest/common/timer.hpp"
 #include "quest/opt/greedy.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -23,10 +23,31 @@ bool respects(const constraints::Precedence_graph* precedence,
 
 Result Local_search_optimizer::optimize(const Request& request) {
   validate_request(request);
+  Search_stats outer_stats;
+  Search_control control(request, outer_stats);
+
   Greedy_optimizer greedy;
-  const Result seed = greedy.optimize(request);
-  Result result = improve(request, seed.plan);
+  Request greedy_request = request;
+  greedy_request.on_incumbent = nullptr;  // improve() streams the seed
+  const Result seed = greedy.optimize(greedy_request);
+  outer_stats = seed.stats;  // charge the seed's work against the budget
+  if (stopped_early(seed.termination) ||
+      seed.plan.size() != request.instance->size()) {
+    // Budget died during the constructive seed. Its plan (when complete)
+    // was never streamed — the sub-request's callback is nulled — so
+    // deliver the missed incumbent before handing the result back.
+    if (request.on_incumbent &&
+        seed.plan.size() == request.instance->size()) {
+      request.on_incumbent(seed.plan, seed.cost, seed.stats);
+    }
+    return seed;
+  }
+
+  Request sub = request;
+  sub.budget = control.remaining_budget();
+  Result result = improve(sub, seed.plan);
   result.stats.nodes_expanded += seed.stats.nodes_expanded;
+  result.elapsed_seconds = control.elapsed_seconds();
   return result;
 }
 
@@ -39,18 +60,19 @@ Result Local_search_optimizer::improve(const Request& request,
                 "local search needs a complete seed plan");
   QUEST_EXPECTS(respects(precedence, seed.order()),
                 "seed plan violates precedence constraints");
-  Timer timer;
   Search_stats stats;
+  Search_control control(request, stats);
 
   std::vector<Service_id> current = seed.order();
   double current_cost =
       model::bottleneck_cost(instance, Plan(current), request.policy);
   ++stats.complete_plans;
+  control.note_incumbent(Plan(current), current_cost);
   const std::size_t n = current.size();
 
   std::size_t rounds = 0;
   bool improved = true;
-  while (improved &&
+  while (improved && !control.should_stop() &&
          (options_.max_rounds == 0 || rounds < options_.max_rounds)) {
     improved = false;
     ++rounds;
@@ -58,6 +80,7 @@ Result Local_search_optimizer::improve(const Request& request,
     double best_cost = current_cost;
 
     auto consider = [&](std::vector<Service_id>& neighbor) {
+      if (control.should_stop()) return;
       if (!respects(precedence, neighbor)) return;
       const double cost =
           model::bottleneck_cost(instance, Plan(neighbor), request.policy);
@@ -69,7 +92,7 @@ Result Local_search_optimizer::improve(const Request& request,
     };
 
     if (options_.use_swap) {
-      for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t i = 0; i + 1 < n && !control.stopped(); ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
           std::vector<Service_id> neighbor = current;
           std::swap(neighbor[i], neighbor[j]);
@@ -78,7 +101,7 @@ Result Local_search_optimizer::improve(const Request& request,
       }
     }
     if (options_.use_insert) {
-      for (std::size_t from = 0; from < n; ++from) {
+      for (std::size_t from = 0; from < n && !control.stopped(); ++from) {
         for (std::size_t to = 0; to < n; ++to) {
           if (from == to) continue;
           std::vector<Service_id> neighbor = current;
@@ -91,11 +114,12 @@ Result Local_search_optimizer::improve(const Request& request,
       }
     }
 
+    // A best improving move found before a stop is still a valid move.
     if (!best_neighbor.empty()) {
       current = std::move(best_neighbor);
       current_cost = best_cost;
       improved = true;
-      ++stats.incumbent_updates;
+      control.note_incumbent(Plan(current), current_cost);
     }
   }
 
@@ -103,7 +127,7 @@ Result Local_search_optimizer::improve(const Request& request,
   result.plan = Plan(std::move(current));
   result.cost = current_cost;
   result.stats = stats;
-  result.elapsed_seconds = timer.seconds();
+  control.finish(result, false);
   return result;
 }
 

@@ -1,10 +1,11 @@
 #include "quest/opt/multistart.hpp"
 
+#include <optional>
 #include <vector>
 
 #include "quest/common/error.hpp"
 #include "quest/common/rng.hpp"
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -42,28 +43,65 @@ Plan random_feasible_plan(const model::Instance& instance,
 
 Result Multistart_optimizer::optimize(const Request& request) {
   validate_request(request);
-  Timer timer;
-  Rng rng(options_.seed);
+  Search_stats stats;
+  Search_control control(request, stats);
+  Rng rng(effective_seed(request, options_.seed));
   Local_search_optimizer search(options_.local_search);
 
-  // Descent 0: the greedy-seeded polish.
-  Result best = search.optimize(request);
+  // Descents run over sub-requests: same problem and stop token, but the
+  // budget left at launch time, and no direct streaming (improvements are
+  // streamed here, filtered to multistart-level bests).
+  Request sub = request;
+  sub.on_incumbent = nullptr;
 
-  for (std::size_t restart = 0; restart < options_.restarts; ++restart) {
+  // Descent 0: the greedy-seeded polish.
+  sub.budget = control.remaining_budget();
+  Result best = search.optimize(sub);
+  stats.nodes_expanded += best.stats.nodes_expanded;
+  stats.complete_plans += best.stats.complete_plans;
+  if (stopped_early(best.termination) ||
+      best.plan.size() != request.instance->size()) {
+    // Budget died during the first descent: keep its termination reason,
+    // and deliver the incumbent the nulled sub-request callback missed.
+    if (request.on_incumbent &&
+        best.plan.size() == request.instance->size()) {
+      request.on_incumbent(best.plan, best.cost, best.stats);
+    }
+    best.stats = stats;
+    best.elapsed_seconds = control.elapsed_seconds();
+    return best;
+  }
+  control.note_incumbent(best.plan, best.cost);
+
+  // A restart that came back curtailed means the shared budget is gone
+  // (or the caller cancelled): remember why and stop restarting — its
+  // reason must survive into the final result even when this control's
+  // own strided clock poll has not fired yet.
+  std::optional<Termination> curtailed;
+  for (std::size_t restart = 0;
+       restart < options_.restarts && !control.should_stop(); ++restart) {
     const Plan start =
         random_feasible_plan(*request.instance, request.precedence, rng);
-    Result candidate = search.improve(request, start);
-    best.stats.complete_plans += candidate.stats.complete_plans;
-    best.stats.nodes_expanded += candidate.stats.nodes_expanded;
+    sub.budget = control.remaining_budget();
+    Result candidate = search.improve(sub, start);
+    stats.complete_plans += candidate.stats.complete_plans;
+    stats.nodes_expanded += candidate.stats.nodes_expanded;
     if (candidate.cost < best.cost) {
       best.plan = std::move(candidate.plan);
       best.cost = candidate.cost;
-      ++best.stats.incumbent_updates;
+      control.note_incumbent(best.plan, best.cost);
+    }
+    if (stopped_early(candidate.termination)) {
+      curtailed = candidate.termination;
+      break;
     }
   }
 
-  best.proven_optimal = false;
-  best.elapsed_seconds = timer.seconds();
+  best.stats = stats;
+  control.finish(best, false);
+  if (!stopped_early(best.termination) && curtailed) {
+    best.termination = *curtailed;
+  }
   return best;
 }
 

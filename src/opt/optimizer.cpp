@@ -4,6 +4,22 @@
 
 namespace quest::opt {
 
+const char* to_string(Termination termination) noexcept {
+  switch (termination) {
+    case Termination::optimal:
+      return "optimal";
+    case Termination::completed:
+      return "completed";
+    case Termination::budget_exhausted:
+      return "budget-exhausted";
+    case Termination::cancelled:
+      return "cancelled";
+    case Termination::cost_target_reached:
+      return "cost-target-reached";
+  }
+  return "unknown";
+}
+
 void validate_request(const Request& request) {
   QUEST_EXPECTS(request.instance != nullptr,
                 "request.instance must not be null");
@@ -11,8 +27,10 @@ void validate_request(const Request& request) {
     QUEST_EXPECTS(request.precedence->size() == request.instance->size(),
                   "precedence graph size must match the instance");
   }
-  QUEST_EXPECTS(request.time_limit_seconds >= 0.0,
+  QUEST_EXPECTS(request.budget.time_limit_seconds >= 0.0,
                 "time limit must be non-negative");
+  QUEST_EXPECTS(request.budget.cost_target >= 0.0,
+                "cost target must be non-negative");
 }
 
 }  // namespace quest::opt

@@ -5,7 +5,7 @@
 
 #include "quest/common/error.hpp"
 #include "quest/common/rng.hpp"
-#include "quest/common/timer.hpp"
+#include "quest/opt/search_control.hpp"
 
 namespace quest::opt {
 
@@ -48,13 +48,14 @@ std::vector<Service_id> random_feasible_order(
 Result Random_sampler_optimizer::optimize(const Request& request) {
   validate_request(request);
   const auto& instance = *request.instance;
-  Timer timer;
   Search_stats stats;
-  Rng rng(options_.seed);
+  Search_control control(request, stats);
+  Rng rng(effective_seed(request, options_.seed));
 
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<Service_id> best;
-  for (std::size_t s = 0; s < options_.samples; ++s) {
+  for (std::size_t s = 0; s < options_.samples && !control.should_stop();
+       ++s) {
     auto order = random_feasible_order(instance, request.precedence, rng);
     const double cost =
         model::bottleneck_cost(instance, Plan(order), request.policy);
@@ -62,7 +63,7 @@ Result Random_sampler_optimizer::optimize(const Request& request) {
     if (cost < best_cost) {
       best_cost = cost;
       best = std::move(order);
-      ++stats.incumbent_updates;
+      control.note_incumbent(Plan(best), best_cost);
     }
   }
 
@@ -70,7 +71,7 @@ Result Random_sampler_optimizer::optimize(const Request& request) {
   result.plan = Plan(std::move(best));
   result.cost = best_cost;
   result.stats = stats;
-  result.elapsed_seconds = timer.seconds();
+  control.finish(result, false);
   return result;
 }
 

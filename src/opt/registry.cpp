@@ -1,0 +1,321 @@
+#include "quest/opt/registry.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "quest/common/error.hpp"
+#include "quest/opt/annealing.hpp"
+#include "quest/opt/dp.hpp"
+#include "quest/opt/exhaustive.hpp"
+#include "quest/opt/frontier.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/opt/local_search.hpp"
+#include "quest/opt/multistart.hpp"
+#include "quest/opt/random_sampler.hpp"
+
+namespace quest::opt {
+
+namespace {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string joined;
+  for (const auto& item : items) {
+    if (!joined.empty()) joined += ", ";
+    joined += item;
+  }
+  return joined;
+}
+
+}  // namespace
+
+// ---- Spec_options ----------------------------------------------------
+
+const std::string* Spec_options::find(std::string_view key) const {
+  for (const auto& [entry_key, value] : entries_) {
+    if (entry_key == key) return &value;
+  }
+  return nullptr;
+}
+
+void Spec_options::fail(std::string_view key, std::string_view expected,
+                        std::string_view got) const {
+  throw Precondition_error("optimizer '" + engine_ + "' option '" +
+                           std::string(key) + "': expected " +
+                           std::string(expected) + ", got '" +
+                           std::string(got) + "'");
+}
+
+bool Spec_options::has(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+std::uint64_t Spec_options::get_uint(std::string_view key,
+                                     std::uint64_t fallback) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return fallback;
+  std::uint64_t value = 0;
+  const char* end = text->data() + text->size();
+  const auto [ptr, ec] = std::from_chars(text->data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    fail(key, "a non-negative integer", *text);
+  }
+  return value;
+}
+
+std::size_t Spec_options::get_size(std::string_view key,
+                                   std::size_t fallback) const {
+  return static_cast<std::size_t>(get_uint(key, fallback));
+}
+
+double Spec_options::get_double(std::string_view key, double fallback) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  if (text->empty() || end != text->c_str() + text->size()) {
+    fail(key, "a number", *text);
+  }
+  return value;
+}
+
+bool Spec_options::get_bool(std::string_view key, bool fallback) const {
+  const std::string* text = find(key);
+  if (text == nullptr) return fallback;
+  if (*text == "true" || *text == "1" || *text == "yes" || *text == "on") {
+    return true;
+  }
+  if (*text == "false" || *text == "0" || *text == "no" || *text == "off") {
+    return false;
+  }
+  fail(key, "a boolean (true/false/1/0/yes/no/on/off)", *text);
+}
+
+std::string Spec_options::get_string(std::string_view key,
+                                     std::string fallback) const {
+  const std::string* text = find(key);
+  return text != nullptr ? *text : fallback;
+}
+
+// ---- Registry --------------------------------------------------------
+
+void Registry::add(std::string name, std::string summary,
+                   std::vector<std::string> option_keys, Factory factory) {
+  QUEST_EXPECTS(!name.empty(), "registry names must be non-empty");
+  QUEST_EXPECTS(find(name) == nullptr,
+                "optimizer '" + name + "' is already registered");
+  QUEST_EXPECTS(factory != nullptr, "registry factories must be callable");
+  entries_.push_back({std::move(name), std::move(summary),
+                      std::move(option_keys), std::move(factory)});
+}
+
+const Registry::Entry* Registry::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+bool Registry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& entry : entries_) result.push_back(entry.name);
+  return result;
+}
+
+const std::string& Registry::summary(std::string_view name) const {
+  const Entry* entry = find(name);
+  QUEST_EXPECTS(entry != nullptr,
+                "unknown optimizer '" + std::string(name) + "'");
+  return entry->summary;
+}
+
+const std::vector<std::string>& Registry::option_keys(
+    std::string_view name) const {
+  const Entry* entry = find(name);
+  QUEST_EXPECTS(entry != nullptr,
+                "unknown optimizer '" + std::string(name) + "'");
+  return entry->option_keys;
+}
+
+Spec_options Registry::parse_spec(std::string_view spec) {
+  std::string_view name = spec;
+  std::string_view options_text;
+  if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    options_text = spec.substr(colon + 1);
+  }
+  QUEST_EXPECTS(!name.empty(),
+                "optimizer spec '" + std::string(spec) +
+                    "' must start with an engine name "
+                    "('name' or 'name:key=value,key=value')");
+
+  QUEST_EXPECTS(name.size() == spec.size() || !options_text.empty(),
+                "optimizer spec '" + std::string(spec) +
+                    "' has a ':' but no options");
+
+  Spec_options::Entries entries;
+  std::string_view rest = options_text;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view piece =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    QUEST_EXPECTS(comma == std::string_view::npos || !rest.empty(),
+                  "trailing comma in spec '" + std::string(spec) + "'");
+    const auto eq = piece.find('=');
+    QUEST_EXPECTS(eq != std::string_view::npos && eq > 0 &&
+                      eq + 1 < piece.size(),
+                  "malformed option '" + std::string(piece) + "' in spec '" +
+                      std::string(spec) +
+                      "': expected key=value with a non-empty key and value");
+    const std::string key(piece.substr(0, eq));
+    for (const auto& [existing, value] : entries) {
+      QUEST_EXPECTS(existing != key,
+                    "duplicate option '" + key + "' in spec '" +
+                        std::string(spec) + "'");
+    }
+    entries.emplace_back(key, std::string(piece.substr(eq + 1)));
+  }
+  return Spec_options(std::string(name), std::move(entries));
+}
+
+std::unique_ptr<Optimizer> Registry::make(std::string_view spec) const {
+  Spec_options options = parse_spec(spec);
+  const Entry* entry = find(options.engine());
+  if (entry == nullptr) {
+    throw Precondition_error("unknown optimizer '" + options.engine() +
+                             "' (registered: " + join(names()) + ")");
+  }
+  for (const auto& [key, value] : options.entries()) {
+    bool known = false;
+    for (const auto& valid : entry->option_keys) {
+      if (valid == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw Precondition_error(
+          "optimizer '" + entry->name + "' has no option '" + key +
+          "' (valid: " +
+          (entry->option_keys.empty() ? "none" : join(entry->option_keys)) +
+          ")");
+    }
+  }
+  return entry->factory(options);
+}
+
+std::string Registry::describe() const {
+  std::ostringstream out;
+  for (const auto& entry : entries_) {
+    out << "  " << entry.name << " — " << entry.summary;
+    if (!entry.option_keys.empty()) {
+      out << " (options: " << join(entry.option_keys) << ")";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// ---- baseline registrations ------------------------------------------
+
+void register_baseline_optimizers(Registry& registry) {
+  registry.add("greedy",
+               "cheapest-pair + cheapest-successor constructive heuristic",
+               {}, [](const Spec_options&) {
+                 return std::make_unique<Greedy_optimizer>();
+               });
+  registry.add("uniform-opt",
+               "rank-by-gamma centralized baseline (optimal on flat "
+               "networks)",
+               {}, [](const Spec_options&) {
+                 return std::make_unique<Uniform_comm_optimizer>();
+               });
+  registry.add(
+      "local-search", "best-improvement swap/insert descent from greedy",
+      {"swap", "insert", "max-rounds"}, [](const Spec_options& options) {
+        Local_search_options parsed;
+        parsed.use_swap = options.get_bool("swap", parsed.use_swap);
+        parsed.use_insert = options.get_bool("insert", parsed.use_insert);
+        parsed.max_rounds = options.get_size("max-rounds", parsed.max_rounds);
+        QUEST_EXPECTS(parsed.use_swap || parsed.use_insert,
+                      "local-search needs at least one of swap/insert");
+        return std::make_unique<Local_search_optimizer>(parsed);
+      });
+  registry.add(
+      "multistart",
+      "local-search polish from greedy plus random feasible restarts",
+      {"seed", "restarts", "swap", "insert", "max-rounds"},
+      [](const Spec_options& options) {
+        Multistart_options parsed;
+        parsed.seed = options.get_uint("seed", parsed.seed);
+        parsed.restarts = options.get_size("restarts", parsed.restarts);
+        parsed.local_search.use_swap =
+            options.get_bool("swap", parsed.local_search.use_swap);
+        parsed.local_search.use_insert =
+            options.get_bool("insert", parsed.local_search.use_insert);
+        parsed.local_search.max_rounds =
+            options.get_size("max-rounds", parsed.local_search.max_rounds);
+        QUEST_EXPECTS(
+            parsed.local_search.use_swap || parsed.local_search.use_insert,
+            "multistart needs at least one of swap/insert");
+        return std::make_unique<Multistart_optimizer>(parsed);
+      });
+  registry.add(
+      "annealing",
+      "simulated annealing (swap/insert moves, geometric cooling)",
+      {"seed", "iterations", "initial-temp", "cooling", "min-temp"},
+      [](const Spec_options& options) {
+        Annealing_options parsed;
+        parsed.seed = options.get_uint("seed", parsed.seed);
+        parsed.iterations = options.get_size("iterations", parsed.iterations);
+        parsed.initial_temperature =
+            options.get_double("initial-temp", parsed.initial_temperature);
+        parsed.cooling = options.get_double("cooling", parsed.cooling);
+        parsed.min_temperature =
+            options.get_double("min-temp", parsed.min_temperature);
+        QUEST_EXPECTS(parsed.initial_temperature > 0.0,
+                      "annealing initial-temp must be positive");
+        QUEST_EXPECTS(parsed.cooling > 0.0 && parsed.cooling <= 1.0,
+                      "annealing cooling must be in (0, 1]");
+        QUEST_EXPECTS(parsed.min_temperature >= 0.0,
+                      "annealing min-temp must be non-negative");
+        return std::make_unique<Annealing_optimizer>(parsed);
+      });
+  registry.add(
+      "random", "best of K uniformly random feasible orderings",
+      {"seed", "samples"}, [](const Spec_options& options) {
+        Random_sampler_options parsed;
+        parsed.seed = options.get_uint("seed", parsed.seed);
+        parsed.samples = options.get_size("samples", parsed.samples);
+        QUEST_EXPECTS(parsed.samples > 0,
+                      "random sampler needs samples >= 1");
+        return std::make_unique<Random_sampler_optimizer>(parsed);
+      });
+  registry.add("exhaustive", "unpruned DFS over every feasible ordering",
+               {}, [](const Spec_options&) {
+                 return std::make_unique<Exhaustive_optimizer>(false);
+               });
+  registry.add("exhaustive-bounded",
+               "DFS pruned by the epsilon bound (Lemma-1-only search)", {},
+               [](const Spec_options&) {
+                 return std::make_unique<Exhaustive_optimizer>(true);
+               });
+  registry.add("dp", "exact subset DP (Held-Karp style), n <= 22", {},
+               [](const Spec_options&) {
+                 return std::make_unique<Dp_optimizer>();
+               });
+  registry.add("frontier",
+               "exact best-first search over (subset, last) states", {},
+               [](const Spec_options&) {
+                 return std::make_unique<Frontier_optimizer>();
+               });
+}
+
+}  // namespace quest::opt

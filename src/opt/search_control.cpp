@@ -1,0 +1,64 @@
+#include "quest/opt/search_control.hpp"
+
+#include <algorithm>
+
+namespace quest::opt {
+
+bool Search_control::should_stop() {
+  if (stopped_) return true;
+  if (request_.stop.stop_requested()) {
+    stop(Termination::cancelled);
+    return true;
+  }
+  const Budget& budget = request_.budget;
+  if (budget.node_limit != 0 && stats_.work() >= budget.node_limit) {
+    stop(Termination::budget_exhausted);
+    return true;
+  }
+  // Poll the clock on tick 1 (so microscopic limits stop even the
+  // smallest engines) and then every 256 ticks.
+  if (budget.time_limit_seconds > 0.0 && (++tick_ & 0xFF) == 1 &&
+      timer_.seconds() > budget.time_limit_seconds) {
+    stop(Termination::budget_exhausted);
+    return true;
+  }
+  return false;
+}
+
+void Search_control::note_incumbent(const model::Plan& plan, double cost) {
+  note_final_incumbent(plan, cost);
+  if (!stopped_ && request_.budget.cost_target > 0.0 &&
+      cost <= request_.budget.cost_target) {
+    stop(Termination::cost_target_reached);
+  }
+}
+
+void Search_control::note_final_incumbent(const model::Plan& plan,
+                                          double cost) {
+  ++stats_.incumbent_updates;
+  if (request_.on_incumbent) request_.on_incumbent(plan, cost, stats_);
+}
+
+Budget Search_control::remaining_budget() const {
+  Budget remaining = request_.budget;
+  if (remaining.node_limit != 0) {
+    const std::uint64_t used = stats_.work();
+    remaining.node_limit =
+        remaining.node_limit > used ? remaining.node_limit - used : 1;
+  }
+  if (remaining.time_limit_seconds > 0.0) {
+    remaining.time_limit_seconds =
+        std::max(remaining.time_limit_seconds - timer_.seconds(), 1e-9);
+  }
+  return remaining;
+}
+
+void Search_control::finish(Result& result, bool claim_optimal) const {
+  result.proven_optimal = claim_optimal && !stopped_;
+  result.termination = stopped_            ? reason_
+                       : result.proven_optimal ? Termination::optimal
+                                               : Termination::completed;
+  result.elapsed_seconds = timer_.seconds();
+}
+
+}  // namespace quest::opt

@@ -1,0 +1,223 @@
+// The anytime contract: mid-search cancellation via Stop_token returns the
+// best incumbent promptly with Termination::cancelled, incumbents stream
+// while the search runs, and the cost target short-circuits exact search.
+// The hard instances here are bottleneck-TSP reductions (E7): bnb's
+// pruning has no leverage, so the search reliably outlives the test's
+// cancellation points.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "quest/common/timer.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/opt/stop_token.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using core::Bnb_optimizer;
+using opt::Request;
+using opt::Termination;
+
+model::Instance btsp_instance(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  workload::Bottleneck_tsp_spec spec;
+  spec.n = n;
+  return workload::make_bottleneck_tsp(spec, rng);
+}
+
+/// Cancellation latency the driver enforces: once the stop is requested,
+/// the engine must return within this long.
+constexpr double cancel_latency_budget_seconds = 0.05;
+
+TEST(Anytime_test, BnbCancelledFromTheIncumbentCallback) {
+  // Deterministic mid-search cancellation: the callback fires on the
+  // first incumbent (deep inside the search) and requests a stop; bnb
+  // must return exactly that incumbent as Termination::cancelled.
+  const auto instance = btsp_instance(12, 5);
+  opt::Stop_source source;
+  Request request;
+  request.instance = &instance;
+  request.stop = source.token();
+  double first_incumbent = -1.0;
+  request.on_incumbent = [&](const model::Plan&, double cost,
+                             const opt::Search_stats&) {
+    if (first_incumbent < 0.0) first_incumbent = cost;
+    source.request_stop();
+  };
+  Bnb_optimizer bnb;
+  const auto result = bnb.optimize(request);
+  EXPECT_EQ(result.termination, Termination::cancelled);
+  EXPECT_FALSE(result.proven_optimal);
+  ASSERT_TRUE(result.plan.is_permutation_of(instance.size()));
+  EXPECT_TRUE(test::costs_equal(result.cost, first_incumbent));
+  EXPECT_TRUE(test::costs_equal(
+      result.cost, model::bottleneck_cost(instance, result.plan)));
+}
+
+TEST(Anytime_test, AnnealingCancelledFromTheIncumbentCallback) {
+  const auto instance = test::selective_instance(12, 9);
+  opt::Stop_source source;
+  Request request;
+  request.instance = &instance;
+  request.stop = source.token();
+  request.seed = 3;
+  std::atomic<int> incumbents{0};
+  request.on_incumbent = [&](const model::Plan&, double, const
+                             opt::Search_stats&) {
+    ++incumbents;
+    source.request_stop();
+  };
+  const auto result = core::make_optimizer("annealing:iterations=10000000")
+                          ->optimize(request);
+  EXPECT_EQ(result.termination, Termination::cancelled);
+  EXPECT_EQ(incumbents.load(), 1);  // the greedy seed, then the stop bit
+  EXPECT_TRUE(result.plan.is_permutation_of(instance.size()));
+  EXPECT_TRUE(test::costs_equal(
+      result.cost, model::bottleneck_cost(instance, result.plan)));
+}
+
+TEST(Anytime_test, BnbCancelsWithinTheLatencyBudget) {
+  // Wall-clock variant: cancel from another thread mid-flight. The
+  // canceller waits for the first streamed incumbent (so the cancelled
+  // result is guaranteed to carry a complete plan even when a loaded
+  // ctest -j delays the search) plus a beat, then stops the run; the
+  // engine must return within the 50 ms latency budget of that instant.
+  // The safety-net deadline keeps a broken cancellation path from
+  // hanging the suite.
+  const auto instance = btsp_instance(13, 11);
+  opt::Stop_source source;
+  Request request;
+  request.instance = &instance;
+  request.stop = source.token();
+  request.budget.time_limit_seconds = 20.0;  // safety net only
+
+  Timer timer;
+  std::atomic<bool> has_incumbent{false};
+  request.on_incumbent = [&](const model::Plan&, double,
+                             const opt::Search_stats&) {
+    has_incumbent.store(true, std::memory_order_release);
+  };
+  std::atomic<double> cancelled_at{-1.0};
+  std::thread canceller([&] {
+    while (!has_incumbent.load(std::memory_order_acquire) &&
+           timer.seconds() < 10.0) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cancelled_at.store(timer.seconds(), std::memory_order_release);
+    source.request_stop();
+  });
+  Bnb_optimizer bnb;
+  const auto result = bnb.optimize(request);
+  const double elapsed = timer.seconds();
+  canceller.join();
+
+  if (result.termination == Termination::cancelled) {
+    EXPECT_LE(elapsed, cancelled_at.load() + cancel_latency_budget_seconds);
+    EXPECT_TRUE(result.plan.is_permutation_of(instance.size()));
+    EXPECT_TRUE(test::costs_equal(
+        result.cost, model::bottleneck_cost(instance, result.plan)));
+  } else {
+    // The machine solved a 13-service bottleneck TSP before the cancel
+    // landed — legitimate on an extraordinarily fast host.
+    EXPECT_EQ(result.termination, Termination::optimal);
+  }
+}
+
+TEST(Anytime_test, AnnealingCancelsWithinTheLatencyBudget) {
+  const auto instance = test::selective_instance(14, 13);
+  opt::Stop_source source;
+  Request request;
+  request.instance = &instance;
+  request.stop = source.token();
+  request.seed = 5;
+  request.budget.time_limit_seconds = 20.0;  // safety net only
+
+  Timer timer;
+  // Wait for the greedy seed to stream (so a complete incumbent exists
+  // even under load) before cancelling.
+  std::atomic<bool> has_incumbent{false};
+  request.on_incumbent = [&](const model::Plan&, double,
+                             const opt::Search_stats&) {
+    has_incumbent.store(true, std::memory_order_release);
+  };
+  std::atomic<double> cancelled_at{-1.0};
+  std::thread canceller([&] {
+    while (!has_incumbent.load(std::memory_order_acquire) &&
+           timer.seconds() < 10.0) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    cancelled_at.store(timer.seconds(), std::memory_order_release);
+    source.request_stop();
+  });
+  // Enough iterations to outlive the cancel point by orders of magnitude.
+  const auto result = core::make_optimizer("annealing:iterations=200000000")
+                          ->optimize(request);
+  const double elapsed = timer.seconds();
+  canceller.join();
+
+  EXPECT_EQ(result.termination, Termination::cancelled);
+  EXPECT_LE(elapsed, cancelled_at.load() + cancel_latency_budget_seconds);
+  EXPECT_TRUE(result.plan.is_permutation_of(instance.size()));
+}
+
+TEST(Anytime_test, PreCancelledTokenReturnsImmediately) {
+  const auto instance = test::selective_instance(8, 2);
+  opt::Stop_source source;
+  source.request_stop();
+  Request request;
+  request.instance = &instance;
+  request.stop = source.token();
+  Bnb_optimizer bnb;
+  const auto result = bnb.optimize(request);
+  EXPECT_EQ(result.termination, Termination::cancelled);
+  EXPECT_EQ(result.plan.size(), 0u);
+}
+
+TEST(Anytime_test, CostTargetShortCircuitsTheExactSearch) {
+  const auto instance = test::selective_instance(11, 17);
+  Request request;
+  request.instance = &instance;
+  Bnb_optimizer reference;
+  const auto exact = reference.optimize(request);
+  ASSERT_TRUE(exact.proven_optimal);
+
+  // Accept anything within 2x of optimal: the first descent qualifies
+  // almost immediately, so the search must stop far before the proof.
+  request.budget.cost_target = exact.cost * 2.0;
+  Bnb_optimizer satisficer;
+  const auto good_enough = satisficer.optimize(request);
+  if (good_enough.termination == Termination::cost_target_reached) {
+    EXPECT_LE(good_enough.cost, request.budget.cost_target);
+    EXPECT_FALSE(good_enough.proven_optimal);
+    EXPECT_LE(good_enough.stats.nodes_expanded,
+              exact.stats.nodes_expanded);
+  } else {
+    // Degenerate: even the first incumbent was already optimal and above
+    // the target only if costs were zero — accept a clean optimal run.
+    EXPECT_EQ(good_enough.termination, Termination::optimal);
+  }
+
+  // Deadline variant of "good enough": the streamed best under a real
+  // deadline is a valid plan whose cost the result reports faithfully.
+  Request deadline_request;
+  deadline_request.instance = &instance;
+  deadline_request.budget.time_limit_seconds = 0.02;
+  const auto under_deadline = Bnb_optimizer().optimize(deadline_request);
+  if (under_deadline.plan.size() == instance.size()) {
+    EXPECT_TRUE(test::costs_equal(
+        under_deadline.cost,
+        model::bottleneck_cost(instance, under_deadline.plan)));
+  }
+}
+
+}  // namespace
+}  // namespace quest

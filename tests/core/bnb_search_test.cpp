@@ -62,10 +62,10 @@ TEST(Bnb_search, NodeLimitReturnsFeasibleButUnproven) {
   ASSERT_TRUE(optimal.proven_optimal);
 
   // A limit below the length of the first descent guarantees an abort.
-  request.node_limit = 4;
+  request.budget.node_limit = 4;
   Bnb_optimizer limited;
   const auto result = limited.optimize(request);
-  EXPECT_TRUE(result.hit_limit);
+  EXPECT_EQ(result.termination, opt::Termination::budget_exhausted);
   EXPECT_FALSE(result.proven_optimal);
   EXPECT_LE(result.stats.nodes_expanded, 6u);  // limit + one pair seed
   if (result.plan.size() == instance.size()) {
@@ -76,11 +76,12 @@ TEST(Bnb_search, NodeLimitReturnsFeasibleButUnproven) {
 TEST(Bnb_search, TimeLimitIsRespected) {
   const Instance instance = test::selective_instance(14, 31);
   Request request = request_for(instance);
-  request.time_limit_seconds = 1e-6;  // essentially instant
+  request.budget.time_limit_seconds = 1e-6;  // essentially instant
   Bnb_optimizer bnb;
   const auto result = bnb.optimize(request);
   // Tiny budget: either it finished very fast or it aborted cleanly.
-  if (result.hit_limit) {
+  if (opt::stopped_early(result.termination)) {
+    EXPECT_EQ(result.termination, opt::Termination::budget_exhausted);
     EXPECT_FALSE(result.proven_optimal);
   } else {
     EXPECT_TRUE(result.proven_optimal);
@@ -193,7 +194,11 @@ TEST(Bnb_search, RejectsMalformedRequests) {
   EXPECT_THROW(bnb.optimize(request), Precondition_error);
 
   request.precedence = nullptr;
-  request.time_limit_seconds = -1.0;
+  request.budget.time_limit_seconds = -1.0;
+  EXPECT_THROW(bnb.optimize(request), Precondition_error);
+
+  request.budget.time_limit_seconds = 0.0;
+  request.budget.cost_target = -0.5;
   EXPECT_THROW(bnb.optimize(request), Precondition_error);
 }
 

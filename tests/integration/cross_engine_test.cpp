@@ -1,19 +1,17 @@
-// Cross-engine consistency: quest ships four independent exact solvers
-// (branch-and-bound, subset DP, frontier best-first, bounded exhaustive
-// DFS) built on different algorithmic principles. On any shared input
-// they must agree on the optimal cost — the strongest internal-evidence
-// check the suite has, swept across every scenario, topology family,
-// send policy and constraint setting.
+// Cross-engine consistency, driven by the optimizer registry: every
+// registered engine must return a valid plan whose reported cost its plan
+// actually achieves, and all engines that claim proven optimality on a
+// shared input must agree on the optimal cost — the strongest
+// internal-evidence check the suite has, swept across every scenario,
+// topology family, send policy and constraint setting. Hard-coding the
+// engine list is exactly what the registry exists to avoid: a newly
+// registered engine is covered here automatically.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
-#include "quest/core/branch_and_bound.hpp"
-#include "quest/core/portfolio.hpp"
-#include "quest/opt/dp.hpp"
-#include "quest/opt/exhaustive.hpp"
-#include "quest/opt/frontier.hpp"
+#include "quest/core/engines.hpp"
 #include "quest/workload/generators.hpp"
 #include "quest/workload/scenarios.hpp"
 #include "support/helpers.hpp"
@@ -25,42 +23,44 @@ using model::Instance;
 using model::Send_policy;
 using opt::Request;
 
-/// Runs every exact engine on `request` and checks pairwise agreement.
-void expect_all_engines_agree(const Request& request) {
-  std::vector<std::unique_ptr<opt::Optimizer>> engines;
-  engines.push_back(std::make_unique<core::Bnb_optimizer>());
-  {
-    core::Bnb_options lb;
-    lb.enable_lower_bound = true;
-    engines.push_back(std::make_unique<core::Bnb_optimizer>(lb));
-  }
-  engines.push_back(std::make_unique<opt::Dp_optimizer>());
-  engines.push_back(std::make_unique<opt::Frontier_optimizer>());
-  engines.push_back(std::make_unique<opt::Exhaustive_optimizer>(true));
-  engines.push_back(std::make_unique<core::Portfolio_optimizer>());
+/// Runs every registered engine on `request`; checks validity for all and
+/// pairwise cost agreement among the provably exact results.
+void expect_registry_engines_agree(Request request) {
+  // One top-level seed so the stochastic engines are reproducible.
+  request.seed = 20260729;
 
-  double reference = -1.0;
+  double exact_reference = -1.0;
   std::string reference_engine;
-  for (const auto& engine : engines) {
+  int proven = 0;
+  for (const auto& name : core::engine_registry().names()) {
+    const auto engine = core::make_optimizer(name);
     const auto result = engine->optimize(request);
     ASSERT_TRUE(result.plan.is_permutation_of(request.instance->size()))
-        << engine->name();
+        << name;
+    EXPECT_FALSE(opt::stopped_early(result.termination)) << name;
     EXPECT_TRUE(test::costs_equal(
         result.cost, model::bottleneck_cost(*request.instance, result.plan,
                                             request.policy)))
-        << engine->name() << " reports a cost its plan does not achieve";
+        << name << " reports a cost its plan does not achieve";
     if (request.precedence != nullptr) {
-      EXPECT_TRUE(request.precedence->respects(result.plan.order()))
-          << engine->name();
+      EXPECT_TRUE(request.precedence->respects(result.plan.order())) << name;
     }
-    if (reference < 0.0) {
-      reference = result.cost;
-      reference_engine = engine->name();
+    if (!result.proven_optimal) continue;
+    EXPECT_EQ(result.termination, opt::Termination::optimal) << name;
+    ++proven;
+    if (exact_reference < 0.0) {
+      exact_reference = result.cost;
+      reference_engine = name;
     } else {
-      EXPECT_TRUE(test::costs_equal(result.cost, reference))
-          << engine->name() << " disagrees with " << reference_engine;
+      EXPECT_TRUE(test::costs_equal(result.cost, exact_reference))
+          << name << " disagrees with " << reference_engine;
     }
+    // No heuristic may beat a proven optimum — re-checked implicitly by
+    // the agreement above, since every exact engine would be beaten too.
   }
+  // bnb, bnb-lb, dp, frontier, exhaustive, exhaustive-bounded, portfolio
+  // all prove optimality at these sizes.
+  EXPECT_GE(proven, 7);
 }
 
 TEST(Cross_engine, ScenariosBothPolicies) {
@@ -73,7 +73,7 @@ TEST(Cross_engine, ScenariosBothPolicies) {
       request.instance = &scenario.instance;
       request.precedence = &scenario.precedence;
       request.policy = policy;
-      expect_all_engines_agree(request);
+      expect_registry_engines_agree(request);
     }
   }
 }
@@ -93,7 +93,7 @@ TEST(Cross_engine, TopologyFamilies) {
           workload::make_bottleneck_tsp(btsp, rng)}) {
       Request request;
       request.instance = &instance;
-      expect_all_engines_agree(request);
+      expect_registry_engines_agree(request);
     }
   }
 }
@@ -113,7 +113,26 @@ TEST(Cross_engine, ConstrainedSinkAndExpanding) {
     Request request;
     request.instance = &instance;
     request.precedence = &dag;
-    expect_all_engines_agree(request);
+    expect_registry_engines_agree(request);
+  }
+}
+
+// The acceptance sweep of the anytime-API redesign: on a generated
+// 12-service instance the independent exact engines must agree (the same
+// check the quest_cli CI smoke performs end to end).
+TEST(Cross_engine, TwelveServiceExactAgreementViaRegistry) {
+  const Instance instance = test::selective_instance(12, 2026);
+  Request request;
+  request.instance = &instance;
+  double reference = -1.0;
+  for (const char* name : {"bnb", "dp", "frontier"}) {
+    const auto result = core::make_optimizer(name)->optimize(request);
+    ASSERT_TRUE(result.proven_optimal) << name;
+    if (reference < 0.0) {
+      reference = result.cost;
+    } else {
+      EXPECT_TRUE(test::costs_equal(result.cost, reference)) << name;
+    }
   }
 }
 

@@ -140,9 +140,9 @@ TEST(Exhaustive_test, BoundedMatchesUnboundedWithFewerNodes) {
 TEST(Exhaustive_test, NodeLimitAborts) {
   const Instance instance = test::selective_instance(10, 4);
   Request request = request_for(instance);
-  request.node_limit = 100;
+  request.budget.node_limit = 100;
   const auto result = Exhaustive_optimizer().optimize(request);
-  EXPECT_TRUE(result.hit_limit);
+  EXPECT_EQ(result.termination, opt::Termination::budget_exhausted);
   EXPECT_FALSE(result.proven_optimal);
 }
 

@@ -1,0 +1,190 @@
+// Budget and cancellation regressions, per engine. Before the anytime
+// redesign only frontier/exhaustive/bnb checked time limits and nothing
+// else honored node limits; every registered engine must now stop under
+// each budget dimension and report the Termination reason honestly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "quest/core/engines.hpp"
+#include "quest/opt/search_control.hpp"
+#include "quest/opt/stop_token.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using core::make_optimizer;
+using opt::Request;
+using opt::Termination;
+
+Request request_for(const model::Instance& instance) {
+  Request request;
+  request.instance = &instance;
+  request.seed = 7;  // reproducible stochastic engines
+  return request;
+}
+
+// Engines whose full run on a 10-service instance far exceeds 3 work
+// units — every one of them must notice the node budget.
+const char* const kAllEngines[] = {
+    "greedy",     "uniform-opt", "local-search",       "multistart",
+    "annealing",  "random",      "exhaustive",         "exhaustive-bounded",
+    "dp",         "frontier",    "bnb",                "bnb-lb",
+    "portfolio"};
+
+TEST(Budget_test, EveryEngineHonorsTheNodeLimit) {
+  const auto instance = test::selective_instance(10, 21);
+  Request request = request_for(instance);
+  request.budget.node_limit = 3;
+  for (const char* name : kAllEngines) {
+    const auto result = make_optimizer(name)->optimize(request);
+    EXPECT_EQ(result.termination, Termination::budget_exhausted) << name;
+    EXPECT_FALSE(result.proven_optimal) << name;
+    EXPECT_LE(result.stats.work(), 16u)
+        << name << " kept working long past the budget";
+  }
+}
+
+TEST(Budget_test, EveryEngineHonorsTheDeadline) {
+  const auto instance = test::selective_instance(10, 22);
+  Request request = request_for(instance);
+  request.budget.time_limit_seconds = 1e-12;  // expired before the run
+  for (const char* name : kAllEngines) {
+    const auto result = make_optimizer(name)->optimize(request);
+    EXPECT_EQ(result.termination, Termination::budget_exhausted) << name;
+    EXPECT_FALSE(result.proven_optimal) << name;
+  }
+}
+
+TEST(Budget_test, EveryEngineHonorsTheStopToken) {
+  const auto instance = test::selective_instance(10, 23);
+  opt::Stop_source source;
+  source.request_stop();
+  Request request = request_for(instance);
+  request.stop = source.token();
+  for (const char* name : kAllEngines) {
+    const auto result = make_optimizer(name)->optimize(request);
+    EXPECT_EQ(result.termination, Termination::cancelled) << name;
+    EXPECT_FALSE(result.proven_optimal) << name;
+  }
+}
+
+TEST(Budget_test, CostTargetStopsAtTheFirstGoodEnoughIncumbent) {
+  const auto instance = test::selective_instance(10, 24);
+  Request request = request_for(instance);
+  // Any complete plan beats an astronomically large target, so engines
+  // must stop at their very first incumbent. The two engines whose first
+  // incumbent IS their completed proof (the DP's swept optimum and
+  // frontier's first closed goal) keep the stronger "optimal" verdict —
+  // no work was left for the target to skip.
+  request.budget.cost_target = 1e18;
+  for (const char* name : kAllEngines) {
+    const auto result = make_optimizer(name)->optimize(request);
+    if (std::string_view(name) == "dp" ||
+        std::string_view(name) == "frontier") {
+      EXPECT_EQ(result.termination, Termination::optimal) << name;
+      EXPECT_TRUE(result.proven_optimal) << name;
+    } else {
+      EXPECT_EQ(result.termination, Termination::cost_target_reached)
+          << name;
+    }
+    EXPECT_TRUE(result.plan.is_permutation_of(instance.size())) << name;
+    EXPECT_LE(result.cost, 1e18) << name;
+  }
+}
+
+TEST(Budget_test, UnreachableCostTargetDoesNotStopAnyone) {
+  const auto instance = test::selective_instance(8, 25);
+  Request request = request_for(instance);
+  request.budget.cost_target = 1e-12;  // below any real bottleneck cost
+  for (const char* name : kAllEngines) {
+    const auto result = make_optimizer(name)->optimize(request);
+    EXPECT_FALSE(opt::stopped_early(result.termination)) << name;
+    EXPECT_TRUE(result.plan.is_permutation_of(instance.size())) << name;
+  }
+}
+
+TEST(Budget_test, DpReportsHonestlyWhenItHasNoIncumbent) {
+  // The subset DP cannot surface a mid-sweep incumbent; a starved budget
+  // must come back empty-handed but honest, never with a bogus plan.
+  const auto instance = test::selective_instance(12, 26);
+  Request request = request_for(instance);
+  request.budget.node_limit = 5;
+  const auto result = make_optimizer("dp")->optimize(request);
+  EXPECT_EQ(result.termination, Termination::budget_exhausted);
+  EXPECT_EQ(result.plan.size(), 0u);
+  EXPECT_TRUE(std::isinf(result.cost));
+}
+
+TEST(Budget_test, BudgetedHeuristicsStillReturnTheirBestIncumbent) {
+  // Give random sampling enough budget for a handful of samples: it must
+  // stop early *and* hand back the best of what it saw.
+  const auto instance = test::selective_instance(9, 27);
+  Request request = request_for(instance);
+  request.budget.node_limit = 10;
+  const auto result = make_optimizer("random")->optimize(request);
+  EXPECT_EQ(result.termination, Termination::budget_exhausted);
+  EXPECT_TRUE(result.plan.is_permutation_of(9));
+  EXPECT_EQ(result.stats.complete_plans, 10u);
+  EXPECT_TRUE(test::costs_equal(
+      result.cost, model::bottleneck_cost(instance, result.plan)));
+}
+
+TEST(Budget_test, IncumbentCallbackStreamsImprovingCosts) {
+  const auto instance = test::selective_instance(8, 28);
+  Request request = request_for(instance);
+  std::vector<double> streamed;
+  request.on_incumbent = [&](const model::Plan& plan, double cost,
+                             const opt::Search_stats& stats) {
+    EXPECT_TRUE(plan.is_permutation_of(instance.size()));
+    EXPECT_GT(stats.incumbent_updates, 0u);
+    streamed.push_back(cost);
+  };
+  const auto result = make_optimizer("exhaustive")->optimize(request);
+  ASSERT_FALSE(streamed.empty());
+  for (std::size_t i = 1; i < streamed.size(); ++i) {
+    EXPECT_LT(streamed[i], streamed[i - 1]) << "stream must improve";
+  }
+  EXPECT_TRUE(test::costs_equal(streamed.back(), result.cost));
+  EXPECT_EQ(streamed.size(), result.stats.incumbent_updates);
+}
+
+TEST(Budget_test, RemainingBudgetShrinksWithWork) {
+  const auto instance = test::selective_instance(4, 1);
+  Request request = request_for(instance);
+  request.budget.node_limit = 100;
+  opt::Search_stats stats;
+  opt::Search_control control(request, stats);
+  EXPECT_EQ(control.remaining_budget().node_limit, 100u);
+  stats.nodes_expanded = 30;
+  stats.complete_plans = 20;
+  EXPECT_EQ(control.remaining_budget().node_limit, 50u);
+  stats.nodes_expanded = 1000;
+  // Overdrawn: clamps to the smallest non-zero budget, never "unlimited".
+  EXPECT_EQ(control.remaining_budget().node_limit, 1u);
+}
+
+TEST(Stop_token_test, DefaultTokenNeverStops) {
+  opt::Stop_token token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(Stop_token_test, TokensShareTheirSource) {
+  opt::Stop_source source;
+  const opt::Stop_token a = source.token();
+  const opt::Stop_token b = a;  // copies stay connected
+  EXPECT_TRUE(a.stop_possible());
+  EXPECT_FALSE(a.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+}
+
+}  // namespace
+}  // namespace quest

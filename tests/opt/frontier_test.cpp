@@ -118,9 +118,9 @@ TEST(Frontier_test, NodeLimitAborts) {
   const Instance instance = test::selective_instance(12, 9);
   Request request;
   request.instance = &instance;
-  request.node_limit = 3;
+  request.budget.node_limit = 3;
   const auto result = Frontier_optimizer().optimize(request);
-  EXPECT_TRUE(result.hit_limit);
+  EXPECT_EQ(result.termination, opt::Termination::budget_exhausted);
   EXPECT_FALSE(result.proven_optimal);
 }
 

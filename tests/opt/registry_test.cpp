@@ -1,0 +1,156 @@
+// Registry spec parsing and construction: every engine is reachable by
+// its stable name, malformed specs fail loudly with actionable messages,
+// and the top-level Request::seed reproduces stochastic engines from one
+// knob.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "quest/core/engines.hpp"
+#include "quest/opt/random_sampler.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using core::engine_registry;
+using core::make_optimizer;
+using opt::Registry;
+using opt::Request;
+
+std::string thrown_message(const std::string& spec) {
+  try {
+    (void)make_optimizer(spec);
+  } catch (const Precondition_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "spec '" << spec << "' did not throw Precondition_error";
+  return {};
+}
+
+TEST(Registry_test, RoundTripsNameForEveryEngine) {
+  const auto names = engine_registry().names();
+  ASSERT_GE(names.size(), 13u);
+  for (const auto& name : names) {
+    EXPECT_EQ(make_optimizer(name)->name(), name);
+  }
+}
+
+TEST(Registry_test, UnknownNameListsRegisteredEngines) {
+  const std::string message = thrown_message("no-such-engine");
+  EXPECT_NE(message.find("unknown optimizer 'no-such-engine'"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("bnb"), std::string::npos) << message;
+  EXPECT_NE(message.find("annealing"), std::string::npos) << message;
+}
+
+TEST(Registry_test, MalformedSpecsThrow) {
+  // Missing '=', empty key, empty value, empty name, dangling separators.
+  for (const std::string spec :
+       {"annealing:iterations", "annealing:=5", "annealing:seed=",
+        ":seed=1", "annealing:", "annealing:seed=1,", "annealing:,seed=1"}) {
+    EXPECT_THROW((void)make_optimizer(spec), Precondition_error) << spec;
+  }
+}
+
+TEST(Registry_test, DuplicateKeyThrows) {
+  const std::string message = thrown_message("annealing:seed=1,seed=2");
+  EXPECT_NE(message.find("duplicate option 'seed'"), std::string::npos)
+      << message;
+}
+
+TEST(Registry_test, UnknownOptionListsValidKeys) {
+  const std::string message = thrown_message("annealing:foo=1");
+  EXPECT_NE(message.find("has no option 'foo'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("iterations"), std::string::npos) << message;
+
+  // Engines without options say so.
+  const std::string none = thrown_message("greedy:foo=1");
+  EXPECT_NE(none.find("valid: none"), std::string::npos) << none;
+}
+
+TEST(Registry_test, ValueParseFailuresNameEngineAndKey) {
+  const std::string message = thrown_message("annealing:iterations=abc");
+  EXPECT_NE(message.find("optimizer 'annealing' option 'iterations'"),
+            std::string::npos)
+      << message;
+  EXPECT_THROW((void)make_optimizer("random:seed=-3"), Precondition_error);
+  EXPECT_THROW((void)make_optimizer("bnb:subopt=x"), Precondition_error);
+  EXPECT_THROW((void)make_optimizer("bnb:warm-start=maybe"),
+               Precondition_error);
+}
+
+TEST(Registry_test, OutOfRangeValuesThrow) {
+  EXPECT_THROW((void)make_optimizer("annealing:cooling=1.5"),
+               Precondition_error);
+  EXPECT_THROW((void)make_optimizer("annealing:cooling=0"),
+               Precondition_error);
+  EXPECT_THROW((void)make_optimizer("annealing:initial-temp=-1"),
+               Precondition_error);
+  EXPECT_THROW((void)make_optimizer("random:samples=0"), Precondition_error);
+  EXPECT_THROW((void)make_optimizer("bnb:subopt=-0.5"), Precondition_error);
+  EXPECT_THROW((void)make_optimizer("bnb:ebar=weird"), Precondition_error);
+  EXPECT_THROW((void)make_optimizer("local-search:swap=0,insert=0"),
+               Precondition_error);
+}
+
+TEST(Registry_test, OptionsReachTheEngine) {
+  const auto instance = test::selective_instance(8, 11);
+  Request request;
+  request.instance = &instance;
+  const auto result = make_optimizer("random:samples=5")->optimize(request);
+  EXPECT_EQ(result.stats.complete_plans, 5u);
+}
+
+TEST(Registry_test, SpecSeedMatchesOptionsSeed) {
+  const auto instance = test::selective_instance(8, 11);
+  Request request;
+  request.instance = &instance;
+  const auto via_spec =
+      make_optimizer("random:samples=40,seed=9")->optimize(request);
+  opt::Random_sampler_options options;
+  options.samples = 40;
+  options.seed = 9;
+  const auto direct =
+      opt::Random_sampler_optimizer(options).optimize(request);
+  EXPECT_EQ(via_spec.plan, direct.plan);
+  EXPECT_TRUE(test::costs_equal(via_spec.cost, direct.cost));
+}
+
+TEST(Registry_test, RequestSeedOverridesSpecSeed) {
+  const auto instance = test::selective_instance(9, 3);
+  Request request;
+  request.instance = &instance;
+  request.seed = 42;
+  // Different spec seeds, same request seed: identical runs.
+  const auto a =
+      make_optimizer("random:samples=40,seed=1")->optimize(request);
+  const auto b =
+      make_optimizer("random:samples=40,seed=2")->optimize(request);
+  EXPECT_EQ(a.plan, b.plan);
+
+  // Same spec, different request seeds: streams actually diverge (the
+  // sampled plan sets differ; compare the full draw by stats and plan).
+  Request other = request;
+  other.seed = 43;
+  const auto c =
+      make_optimizer("random:samples=40,seed=1")->optimize(other);
+  EXPECT_EQ(a.stats.complete_plans, c.stats.complete_plans);
+  const bool same_draws =
+      a.plan == c.plan &&
+      a.stats.incumbent_updates == c.stats.incumbent_updates;
+  EXPECT_FALSE(same_draws);
+}
+
+TEST(Registry_test, DescribeListsEveryName) {
+  const std::string description = engine_registry().describe();
+  for (const auto& name : engine_registry().names()) {
+    EXPECT_NE(description.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,345 @@
+// quest_cli — the unified end-to-end driver: load an instance JSON (or
+// generate one), run any registered optimizer spec under a budget, print
+// or JSON-dump the result, optionally explain the plan and validate it on
+// the discrete-event simulator and the virtual-clock executor.
+//
+//   quest_cli --list
+//   quest_cli --generate clustered --n 12 --save instance.json
+//   quest_cli --instance instance.json --optimizer bnb --deadline-ms 500
+//   quest_cli --optimizer "annealing:iterations=50000" --seed 7 --stream
+//   quest_cli --generate credit --optimizer portfolio --simulate --json
+//
+// Exit codes: 0 = ran to the reported termination; 1 = quest error
+// (unknown engine, malformed instance, ...); 2 = bad command line.
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "quest/common/cli.hpp"
+#include "quest/common/rng.hpp"
+#include "quest/common/table.hpp"
+#include "quest/common/timer.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/model/explain.hpp"
+#include "quest/runtime/choreography.hpp"
+#include "quest/sim/simulator.hpp"
+#include "quest/workload/generators.hpp"
+#include "quest/workload/scenarios.hpp"
+
+namespace {
+
+using namespace quest;
+
+struct Problem {
+  model::Instance instance;
+  std::optional<constraints::Precedence_graph> precedence;
+};
+
+Problem load_or_generate(const std::string& path, const std::string& family,
+                         std::size_t n, std::uint64_t gen_seed) {
+  if (!path.empty()) {
+    auto document = io::load_instance(path);
+    return {std::move(document.instance), std::move(document.precedence)};
+  }
+  if (family == "credit" || family == "sky" || family == "log") {
+    workload::Scenario scenario = family == "credit"
+                                      ? workload::credit_screening()
+                                  : family == "sky" ? workload::sky_survey()
+                                                    : workload::log_analytics();
+    return {std::move(scenario.instance), std::move(scenario.precedence)};
+  }
+  Rng rng(gen_seed);
+  if (family == "uniform") {
+    workload::Uniform_spec spec;
+    spec.n = n;
+    return {workload::make_uniform(spec, rng), std::nullopt};
+  }
+  if (family == "clustered") {
+    workload::Clustered_spec spec;
+    spec.n = n;
+    return {workload::make_clustered(spec, rng), std::nullopt};
+  }
+  if (family == "euclidean") {
+    workload::Euclidean_spec spec;
+    spec.n = n;
+    return {workload::make_euclidean(spec, rng), std::nullopt};
+  }
+  if (family == "btsp") {
+    workload::Bottleneck_tsp_spec spec;
+    spec.n = n;
+    return {workload::make_bottleneck_tsp(spec, rng), std::nullopt};
+  }
+  throw Parse_error("unknown --generate family '" + family +
+                    "' (uniform, clustered, euclidean, btsp, credit, sky, "
+                    "log)");
+}
+
+model::Send_policy parse_policy(const std::string& text) {
+  if (text == "sequential") return model::Send_policy::sequential;
+  if (text == "overlapped") return model::Send_policy::overlapped;
+  throw Parse_error("--policy must be 'sequential' or 'overlapped', got '" +
+                    text + "'");
+}
+
+io::Json stats_json(const opt::Search_stats& stats) {
+  io::Json json;
+  json.set("nodes_expanded",
+           io::Json(static_cast<double>(stats.nodes_expanded)));
+  json.set("complete_plans",
+           io::Json(static_cast<double>(stats.complete_plans)));
+  json.set("incumbent_updates",
+           io::Json(static_cast<double>(stats.incumbent_updates)));
+  json.set("total_prunes",
+           io::Json(static_cast<double>(stats.total_prunes())));
+  return json;
+}
+
+int run(int argc, char** argv) {
+  Cli cli("quest_cli",
+          "load/generate an instance, optimize under a budget, explain, "
+          "simulate, execute");
+  auto& instance_path =
+      cli.add_string("instance", "", "instance JSON to load");
+  auto& family = cli.add_string(
+      "generate", "uniform",
+      "family when no --instance: uniform|clustered|euclidean|btsp|credit|"
+      "sky|log");
+  auto& n = cli.add_int("n", 12, "generated instance size");
+  auto& gen_seed = cli.add_int("gen-seed", 1, "generator seed");
+  auto& save_path =
+      cli.add_string("save", "", "write the instance JSON here");
+  auto& spec = cli.add_string(
+      "optimizer", "portfolio",
+      "registered spec, e.g. 'bnb' or 'annealing:iterations=50000'");
+  auto& list = cli.add_bool("list", false, "list registered engines, exit");
+  auto& list_names =
+      cli.add_bool("list-names", false, "bare engine names, one per line");
+  auto& deadline_ms =
+      cli.add_double("deadline-ms", 0.0, "wall-clock budget (0 = none)");
+  auto& node_limit =
+      cli.add_int("node-limit", 0, "work-unit budget (0 = none)");
+  auto& cost_target = cli.add_double(
+      "cost-target", 0.0, "stop once an incumbent costs at most this");
+  auto& seed =
+      cli.add_int("seed", 0, "top-level seed for stochastic engines");
+  auto& policy_name =
+      cli.add_string("policy", "sequential", "sequential|overlapped");
+  auto& stream =
+      cli.add_bool("stream", false, "print each improving incumbent");
+  auto& explain = cli.add_bool("explain", false, "per-stage plan breakdown");
+  auto& simulate =
+      cli.add_bool("simulate", false, "discrete-event simulation of the plan");
+  auto& execute = cli.add_bool(
+      "execute", false, "run the plan on the virtual-clock executor");
+  auto& tuples =
+      cli.add_int("tuples", 10'000, "input tuples for simulate/execute");
+  auto& block_size =
+      cli.add_int("block-size", 32, "tuples per transfer block");
+  auto& workers =
+      cli.add_int("workers", 4, "executor worker pool size");
+  auto& json_output =
+      cli.add_bool("json", false, "machine-readable JSON on stdout");
+  cli.parse(argc, argv);
+
+  if (list.value) {
+    std::cout << "registered optimizers:\n"
+              << core::engine_registry().describe();
+    return 0;
+  }
+  if (list_names.value) {
+    for (const auto& name : core::engine_registry().names()) {
+      std::cout << name << '\n';
+    }
+    return 0;
+  }
+
+  // Parse_error, not Precondition_error: these are bad command lines
+  // (exit 2), not library misuse.
+  if (deadline_ms.value < 0.0) {
+    throw Parse_error("--deadline-ms must be non-negative");
+  }
+  if (node_limit.value < 0) {
+    throw Parse_error("--node-limit must be non-negative");
+  }
+  if (seed.value < 0) throw Parse_error("--seed must be non-negative");
+  if (cost_target.value < 0.0) {
+    throw Parse_error("--cost-target must be non-negative");
+  }
+
+  Problem problem =
+      load_or_generate(instance_path.value, family.value,
+                       static_cast<std::size_t>(n.value),
+                       static_cast<std::uint64_t>(gen_seed.value));
+  const model::Instance& instance = problem.instance;
+  const constraints::Precedence_graph* precedence =
+      problem.precedence ? &*problem.precedence : nullptr;
+  if (!save_path.value.empty()) {
+    io::save_instance(save_path.value, instance, precedence);
+  }
+
+  auto optimizer = core::make_optimizer(spec.value);
+
+  opt::Request request;
+  request.instance = &instance;
+  request.precedence = precedence;
+  request.policy = parse_policy(policy_name.value);
+  request.budget.time_limit_seconds = deadline_ms.value / 1e3;
+  request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
+  request.budget.cost_target = cost_target.value;
+  request.seed = static_cast<std::uint64_t>(seed.value);
+
+  struct Incumbent_record {
+    double cost;
+    double elapsed_seconds;
+  };
+  std::vector<Incumbent_record> incumbents;
+  Timer timer;
+  request.on_incumbent = [&](const model::Plan& plan, double cost,
+                             const opt::Search_stats&) {
+    incumbents.push_back({cost, timer.seconds()});
+    if (stream.value) {
+      // In --json mode the stream goes to stderr so stdout stays one
+      // valid JSON document.
+      auto& out = json_output.value ? std::cerr : std::cout;
+      out << "incumbent " << incumbents.size() << ": cost "
+          << Table::num(cost, 6) << " at " << Table::num(timer.millis(), 2)
+          << " ms, plan " << plan.to_string() << '\n';
+    }
+  };
+
+  const opt::Result result = optimizer->optimize(request);
+  const bool complete = result.plan.size() == instance.size();
+
+  std::optional<sim::Sim_result> simulated;
+  if (simulate.value && complete) {
+    sim::Sim_config config;
+    config.input_tuples = static_cast<std::uint64_t>(tuples.value);
+    config.block_size = static_cast<std::uint64_t>(block_size.value);
+    config.policy = request.policy;
+    simulated = sim::simulate(instance, result.plan, config);
+  }
+
+  std::optional<runtime::Runtime_result> executed;
+  if (execute.value && complete) {
+    runtime::Runtime_config config;
+    config.input_tuples = static_cast<std::uint64_t>(tuples.value);
+    config.block_size = static_cast<std::uint64_t>(block_size.value);
+    config.worker_count = static_cast<std::size_t>(workers.value);
+    config.clock_mode = runtime::Clock_mode::virtual_time;
+    executed = runtime::execute(instance, result.plan, config);
+  }
+
+  if (json_output.value) {
+    io::Json doc;
+    io::Json instance_json;
+    instance_json.set("name", io::Json(instance.name()));
+    instance_json.set("services",
+                      io::Json(static_cast<double>(instance.size())));
+    instance_json.set("constrained",
+                      io::Json(precedence != nullptr &&
+                               !precedence->unconstrained()));
+    doc.set("instance", std::move(instance_json));
+    doc.set("optimizer", io::Json(spec.value));
+    doc.set("engine", io::Json(optimizer->name()));
+
+    io::Json result_json;
+    result_json.set("cost", complete ? io::Json(result.cost) : io::Json());
+    result_json.set("termination", io::Json(to_string(result.termination)));
+    result_json.set("proven_optimal", io::Json(result.proven_optimal));
+    result_json.set("complete", io::Json(complete));
+    result_json.set("elapsed_seconds", io::Json(result.elapsed_seconds));
+    result_json.set("plan", io::to_json(result.plan));
+    result_json.set("stats", stats_json(result.stats));
+    doc.set("result", std::move(result_json));
+
+    io::Json incumbents_json{io::Json::Array{}};
+    for (const auto& record : incumbents) {
+      io::Json entry;
+      entry.set("cost", io::Json(record.cost));
+      entry.set("elapsed_seconds", io::Json(record.elapsed_seconds));
+      incumbents_json.push_back(std::move(entry));
+    }
+    doc.set("incumbents", std::move(incumbents_json));
+
+    if (simulated) {
+      io::Json sim_json;
+      sim_json.set("makespan", io::Json(simulated->makespan));
+      sim_json.set("per_tuple_time", io::Json(simulated->per_tuple_time));
+      sim_json.set("predicted_cost", io::Json(simulated->predicted_cost));
+      sim_json.set("tuples_delivered",
+                   io::Json(static_cast<double>(simulated->tuples_delivered)));
+      doc.set("simulation", std::move(sim_json));
+    }
+    if (executed) {
+      io::Json exec_json;
+      exec_json.set("per_tuple_cost_units",
+                    io::Json(executed->per_tuple_cost_units));
+      exec_json.set("predicted_cost", io::Json(executed->predicted_cost));
+      exec_json.set("tuples_delivered",
+                    io::Json(static_cast<double>(executed->tuples_delivered)));
+      doc.set("execution", std::move(exec_json));
+    }
+    std::cout << doc.dump(2) << '\n';
+    return 0;
+  }
+
+  std::cout << "instance: " << instance.name() << " (" << instance.size()
+            << " services"
+            << (precedence != nullptr && !precedence->unconstrained()
+                    ? ", constrained"
+                    : "")
+            << ")\n"
+            << "optimizer: " << spec.value << " -> engine "
+            << optimizer->name() << '\n';
+  if (complete) {
+    std::cout << "plan: " << result.plan.to_string() << '\n'
+              << "cost: " << Table::num(result.cost, 6) << '\n';
+  } else {
+    std::cout << "plan: <incomplete — budget expired before the first "
+                 "complete plan>\n";
+  }
+  std::cout << "termination: " << to_string(result.termination)
+            << (result.proven_optimal ? " (proven optimal)" : "") << '\n'
+            << "work: " << result.stats.nodes_expanded << " nodes, "
+            << result.stats.complete_plans << " plans, "
+            << result.stats.incumbent_updates << " incumbent updates in "
+            << Table::num(result.elapsed_seconds * 1e3, 2) << " ms\n";
+  if (explain.value && complete) {
+    std::cout << '\n'
+              << model::explain_plan(instance, result.plan, request.policy);
+  }
+  if (simulated) {
+    std::cout << "\nsimulation: makespan "
+              << Table::num(simulated->makespan, 2) << ", per-tuple "
+              << Table::num(simulated->per_tuple_time, 6) << " vs predicted "
+              << Table::num(simulated->predicted_cost, 6) << ", delivered "
+              << simulated->tuples_delivered << " tuples\n";
+  }
+  if (executed) {
+    std::cout << "\nexecution (virtual clock, " << workers.value
+              << " workers): per-tuple "
+              << Table::num(executed->per_tuple_cost_units, 6)
+              << " cost units vs predicted "
+              << Table::num(executed->predicted_cost, 6) << ", delivered "
+              << executed->tuples_delivered << " tuples\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const quest::Parse_error& error) {
+    std::cerr << "quest_cli: " << error.what() << '\n';
+    return 2;
+  } catch (const quest::Error& error) {
+    std::cerr << "quest_cli: " << error.what() << '\n';
+    return 1;
+  }
+}
