@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Scripted quest_serve session — the process-level smoke test.
+
+Drives the real binary over its stdin/stdout line-delimited JSON
+protocol and asserts the full serving story:
+
+  register -> optimize under a deadline -> streamed incumbents ->
+  mid-flight cancel (bounded latency) -> repeat request hits the plan
+  cache -> 8 concurrent requests saturate the worker pool -> stats
+  counters agree -> shutdown completes with exit code 0 (all workers
+  joined — a leaked worker would hang the exit and trip the timeout).
+
+Usage: quest_serve_smoke.py /path/to/quest_serve
+
+Registered with ctest (serve/smoke) when Python 3 is available, and run
+by the CI smoke job. Exits non-zero with a readable reason on any
+protocol violation.
+"""
+
+import json
+import queue
+import subprocess
+import sys
+import threading
+import time
+
+WORKERS = 8
+LONG_JOB_SPEC = "annealing:iterations=2000000000"
+
+
+def fail(message, events):
+    print(f"FAIL: {message}", file=sys.stderr)
+    print("--- events seen ---", file=sys.stderr)
+    for event in events[-30:]:
+        print(json.dumps(event), file=sys.stderr)
+    sys.exit(1)
+
+
+def make_instance(n=10):
+    """A deterministic clustered-ish instance, no external tooling."""
+    services = [
+        {
+            "name": f"WS{i}",
+            "cost": 0.5 + 0.13 * ((i * 7) % 5),
+            "selectivity": 0.35 + 0.06 * ((i * 3) % 7),
+        }
+        for i in range(n)
+    ]
+    transfer = [
+        [0.0 if i == j else 0.2 + 0.01 * ((3 * i + 5 * j) % 17) for j in range(n)]
+        for i in range(n)
+    ]
+    return {"name": "smoke", "services": services, "transfer": transfer}
+
+
+class Session:
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary, "--workers", str(WORKERS)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+        self.events = []
+        self.queue = queue.Queue()
+        self.reader = threading.Thread(target=self._read, daemon=True)
+        self.reader.start()
+
+    def _read(self):
+        for line in self.proc.stdout:
+            line = line.strip()
+            if line:
+                self.queue.put(json.loads(line))
+        self.queue.put(None)  # EOF marker
+
+    def send(self, op):
+        self.proc.stdin.write(json.dumps(op) + "\n")
+        self.proc.stdin.flush()
+
+    def wait_for(self, predicate, what, timeout=60.0, history=True):
+        # Events arrive in one stream; a predicate may match something
+        # already drained by an earlier wait (e.g. the cancel ack lands
+        # before the cancelled result). Scan history first — except for
+        # request/response pairs like stats, which want the fresh reply.
+        if history:
+            for event in self.events:
+                if predicate(event):
+                    return event
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                fail(f"timed out waiting for {what}", self.events)
+            try:
+                event = self.queue.get(timeout=remaining)
+            except queue.Empty:
+                fail(f"timed out waiting for {what}", self.events)
+            if event is None:
+                fail(f"stream ended while waiting for {what}", self.events)
+            self.events.append(event)
+            if predicate(event):
+                return event
+
+    def wait_result(self, request_id, timeout=60.0):
+        return self.wait_for(
+            lambda e: e.get("event") == "result" and e.get("id") == request_id,
+            f"result of {request_id}",
+            timeout,
+        )
+
+    def stats(self):
+        self.send({"op": "stats"})
+        return self.wait_for(
+            lambda e: e.get("event") == "stats", "stats", history=False
+        )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    session = Session(sys.argv[1])
+    instance = make_instance()
+
+    # 1. Register an instance; malformed input must not kill the session.
+    session.send({"op": "nonsense"})
+    session.wait_for(lambda e: e.get("event") == "error", "error event")
+    session.send({"op": "register", "name": "prod", "instance": instance})
+    registered = session.wait_for(
+        lambda e: e.get("event") == "registered", "registered event"
+    )
+    assert len(registered["fingerprint"]) == 16, registered
+
+    # 2. Optimize under a deadline, streaming.
+    session.send(
+        {
+            "op": "optimize",
+            "id": "opt1",
+            "instance": "prod",
+            "optimizer": "bnb",
+            "budget": {"deadline_ms": 5000},
+            "stream": True,
+        }
+    )
+    result = session.wait_result("opt1")
+    if not result.get("complete") or result["termination"] not in (
+        "optimal",
+        "completed",
+        "budget-exhausted",
+    ):
+        fail(f"unexpected opt1 result {result}", session.events)
+    order = [e["event"] for e in session.events if e.get("id") == "opt1"]
+    if order[0] != "admitted" or "incumbent" not in order:
+        fail(f"opt1 event order wrong: {order}", session.events)
+
+    # 3. Mid-flight cancel releases the worker promptly.
+    session.send(
+        {
+            "op": "optimize",
+            "id": "slow",
+            "instance": "prod",
+            "optimizer": LONG_JOB_SPEC,
+            "budget": {"deadline_ms": 120000},
+            "stream": True,
+            "cache": False,
+        }
+    )
+    session.wait_for(
+        lambda e: e.get("event") == "incumbent" and e.get("id") == "slow",
+        "slow's first incumbent",
+    )
+    cancel_started = time.monotonic()
+    session.send({"op": "cancel", "id": "slow"})
+    result = session.wait_result("slow")
+    cancel_latency = time.monotonic() - cancel_started
+    if result["termination"] != "cancelled" or not result.get("complete"):
+        fail(f"unexpected cancel result {result}", session.events)
+    # Generous process-level bound (pipe + scheduler on a shared runner);
+    # the in-process 50 ms bound lives in tests/serve/server_test.cpp.
+    if cancel_latency > 5.0:
+        fail(f"cancel took {cancel_latency:.2f}s", session.events)
+    ack = session.wait_for(
+        lambda e: e.get("event") == "cancel-requested", "cancel ack"
+    )
+    assert ack["found"], ack
+
+    # 4. A repeated identical request is served from the plan cache.
+    session.send(
+        {
+            "op": "optimize",
+            "id": "opt2",
+            "instance": "prod",
+            "optimizer": "bnb",
+            "budget": {"deadline_ms": 5000},
+        }
+    )
+    result = session.wait_result("opt2")
+    if not result.get("cached"):
+        fail(f"expected a cache hit, got {result}", session.events)
+
+    # 5. Eight concurrent long-running requests saturate the pool.
+    for job in range(WORKERS):
+        session.send(
+            {
+                "op": "optimize",
+                "id": f"c{job}",
+                "instance": "prod",
+                "optimizer": LONG_JOB_SPEC,
+                "budget": {"deadline_ms": 120000},
+                "cache": False,
+            }
+        )
+    deadline = time.monotonic() + 30.0
+    peak = 0
+    while peak < WORKERS:
+        if time.monotonic() > deadline:
+            fail(f"max_concurrent stuck at {peak}", session.events)
+        peak = session.stats()["max_concurrent"]
+    for job in range(WORKERS):
+        session.send({"op": "cancel", "id": f"c{job}"})
+    for job in range(WORKERS):
+        result = session.wait_result(f"c{job}")
+        if result["termination"] != "cancelled":
+            fail(f"c{job} not cancelled: {result}", session.events)
+
+    # 6. Counters agree with what we observed.
+    stats = session.stats()
+    if stats["max_concurrent"] < WORKERS or stats["cache"]["hits"] < 1:
+        fail(f"stats disagree: {stats}", session.events)
+    if stats["queue_depth"] != 0 or stats["admitted"] != 3 + WORKERS:
+        fail(f"stats disagree: {stats}", session.events)
+
+    # 7. Clean shutdown: both events, exit code 0, workers joined.
+    session.send({"op": "shutdown"})
+    session.wait_for(
+        lambda e: e.get("event") == "shutdown-complete", "shutdown-complete"
+    )
+    try:
+        code = session.proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        session.proc.kill()
+        fail("process did not exit after shutdown (leaked worker?)",
+             session.events)
+    if code != 0:
+        fail(f"exit code {code}: {session.proc.stderr.read()}", session.events)
+
+    print(
+        "quest_serve smoke ok: "
+        f"{stats['completed']:.0f} completed, "
+        f"{stats['cancelled']:.0f} cancelled, "
+        f"cache hits {stats['cache']['hits']:.0f}, "
+        f"max concurrency {stats['max_concurrent']}, "
+        f"throughput {stats['throughput_rps']:.1f} req/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

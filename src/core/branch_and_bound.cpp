@@ -30,6 +30,7 @@ class Search {
       : instance_(*request.instance),
         policy_(request.policy),
         precedence_(request.precedence),
+        warm_plan_(request.warm_start),
         options_(options),
         store_(store),
         eval_(instance_, policy_),
@@ -57,6 +58,15 @@ class Search {
       return result;
     }
 
+    // Request-supplied warm start (validated by validate_request): a
+    // feasible plan's cost is an upper bound on the optimum, so priming
+    // the incumbent with it tightens every prune without voiding the
+    // optimality proof.
+    if (warm_plan_ != nullptr) {
+      ++stats_.complete_plans;
+      offer_incumbent(*warm_plan_,
+                      model::bottleneck_cost(instance_, *warm_plan_, policy_));
+    }
     if (options_.warm_start) greedy_warm_start();
 
     // Seed prefixes: every feasible ordered pair, cheapest first term
@@ -344,6 +354,7 @@ class Search {
   const Instance& instance_;
   Send_policy policy_;
   const Precedence_graph* precedence_;
+  const Plan* warm_plan_;
   const Bnb_options& options_;
   Prefix_store& store_;
 

@@ -1,0 +1,89 @@
+#include "quest/io/fingerprint.hpp"
+
+#include <bit>
+#include <cstddef>
+
+namespace quest::io {
+
+namespace {
+
+constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      state_ ^= (value >> (byte * 8)) & 0xffu;
+      state_ *= fnv_prime;
+    }
+  }
+
+  /// Hashes the exact bit pattern, with all zero representations folded
+  /// together (-0.0 == 0.0 must fingerprint identically — the values
+  /// compare equal through the model API).
+  void mix(double value) noexcept {
+    mix(std::bit_cast<std::uint64_t>(value == 0.0 ? 0.0 : value));
+  }
+
+  std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = fnv_offset;
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const model::Instance& instance,
+                          const constraints::Precedence_graph* precedence) {
+  Fnv1a hash;
+  const std::size_t n = instance.size();
+  hash.mix(static_cast<std::uint64_t>(n));
+  for (const auto& service : instance.services()) {
+    hash.mix(service.cost);
+    hash.mix(service.selectivity);
+  }
+  for (model::Service_id from = 0; from < n; ++from) {
+    for (model::Service_id to = 0; to < n; ++to) {
+      if (from == to) continue;
+      hash.mix(instance.transfer(from, to));
+    }
+  }
+  for (model::Service_id id = 0; id < n; ++id) {
+    hash.mix(instance.sink_transfer(id));
+  }
+  // Precedence edges, in the deterministic (before, after) id order the
+  // graph stores them. An absent or unconstrained graph contributes the
+  // same "zero edges" marker either way.
+  std::uint64_t edges = 0;
+  if (precedence != nullptr) {
+    edges = static_cast<std::uint64_t>(precedence->edge_count());
+  }
+  hash.mix(edges);
+  if (precedence != nullptr && edges > 0) {
+    for (model::Service_id before = 0; before < precedence->size();
+         ++before) {
+      for (model::Service_id after : precedence->successors(before)) {
+        hash.mix(static_cast<std::uint64_t>(before));
+        hash.mix(static_cast<std::uint64_t>(after));
+      }
+    }
+  }
+  return hash.digest();
+}
+
+std::string fingerprint_hex(const model::Instance& instance,
+                            const constraints::Precedence_graph* precedence) {
+  return hex64(fingerprint(instance, precedence));
+}
+
+std::string hex64(std::uint64_t value) {
+  std::string hex(16, '0');
+  static constexpr char digits[] = "0123456789abcdef";
+  for (int nibble = 0; nibble < 16; ++nibble) {
+    hex[15 - nibble] = digits[(value >> (nibble * 4)) & 0xfu];
+  }
+  return hex;
+}
+
+}  // namespace quest::io

@@ -1,0 +1,43 @@
+// quest/io/fingerprint.hpp
+//
+// Stable content fingerprints for problem instances, so the serving layer
+// (quest/serve) can key caches by *what* a client asked to optimize rather
+// than by the name it registered it under. Two instances that compare
+// equal (same services, transfer matrix, sink links and precedence edges)
+// always produce the same fingerprint; any numeric or structural change
+// produces a different one with overwhelming probability.
+//
+// The hash is FNV-1a over the exact IEEE-754 bit patterns of every value —
+// no serialization round-trip, no float formatting, and therefore no
+// dependence on locale or printf precision. Instance names are *excluded*:
+// a re-registered instance with identical content keeps its cache entries.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "quest/constraints/precedence.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest::io {
+
+/// Content hash of an instance plus its (optional) precedence constraints.
+/// Deterministic across processes and platforms with IEEE-754 doubles.
+/// `precedence` may be nullptr (and an unconstrained graph hashes the
+/// same as no graph at all, so the two "no constraints" spellings agree).
+std::uint64_t fingerprint(const model::Instance& instance,
+                          const constraints::Precedence_graph* precedence =
+                              nullptr);
+
+/// The same fingerprint as a fixed-width lower-case hex string, the form
+/// used on the wire by the quest_serve protocol.
+std::string fingerprint_hex(const model::Instance& instance,
+                            const constraints::Precedence_graph* precedence =
+                                nullptr);
+
+/// Fixed-width (16 digit) lower-case hex rendering of a 64-bit value —
+/// the wire form of every fingerprint.
+std::string hex64(std::uint64_t value);
+
+}  // namespace quest::io

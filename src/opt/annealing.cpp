@@ -23,14 +23,17 @@ Result Annealing_optimizer::optimize(const Request& request) {
   Rng rng(effective_seed(request, options_.seed));
 
   // Seed with greedy so annealing never does worse than the constructive
-  // heuristic.
+  // heuristic; a request-supplied warm-start plan competes with (rather
+  // than replaces) that seed, so a poor warm start cannot lower the
+  // engine's floor either.
   Greedy_optimizer greedy;
   Request greedy_request = request;
   greedy_request.on_incumbent = nullptr;  // streamed below as incumbent 0
   const Result seed = greedy.optimize(greedy_request);
   if (stopped_early(seed.termination) || seed.plan.size() != n) {
-    // Budget died during the constructive seed; deliver the incumbent the
-    // nulled sub-request callback missed (when there is one) and return.
+    // Budget died during the constructive seed; deliver the incumbent
+    // the nulled sub-request callback missed (when there is one) and
+    // return.
     if (request.on_incumbent && seed.plan.size() == n) {
       request.on_incumbent(seed.plan, seed.cost, seed.stats);
     }
@@ -40,9 +43,18 @@ Result Annealing_optimizer::optimize(const Request& request) {
   stats.complete_plans = 1;
   std::vector<Service_id> current = seed.plan.order();
   double current_cost = seed.cost;
+  if (request.warm_start != nullptr) {
+    const double warm_cost = model::bottleneck_cost(
+        instance, *request.warm_start, request.policy);
+    ++stats.complete_plans;
+    if (warm_cost < current_cost) {
+      current = request.warm_start->order();
+      current_cost = warm_cost;
+    }
+  }
   std::vector<Service_id> best = current;
   double best_cost = current_cost;
-  control.note_incumbent(seed.plan, best_cost);
+  control.note_incumbent(Plan(best), best_cost);
 
   if (n < 2) {
     Result result;

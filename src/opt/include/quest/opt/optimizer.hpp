@@ -67,6 +67,18 @@ struct Search_stats {
 };
 
 /// Limits shared by every optimizer; all default to "unlimited".
+///
+/// Semantics (enforced uniformly by Search_control, see
+/// quest/opt/search_control.hpp):
+///  * dimensions compose — whichever limit fires first stops the search;
+///  * every stop is *anytime*: the Result still carries the best incumbent
+///    found so far and an honest Termination reason;
+///  * node_limit is exact (checked on every work unit); the wall clock is
+///    polled at least every 256 work units, so deadline overshoot is
+///    bounded by 256 units of engine work;
+///  * composite engines (multistart, portfolio, local-search's seeded
+///    descent) charge sub-engine work against the same budget via
+///    Search_control::remaining_budget().
 struct Budget {
   /// Stop after this many work units — node expansions plus complete-plan
   /// evaluations (0 = unlimited). See Search_stats::work().
@@ -112,8 +124,8 @@ const char* to_string(Termination termination) noexcept;
 using Incumbent_callback = std::function<void(
     const model::Plan& plan, double cost, const Search_stats& stats)>;
 
-/// A problem to optimize. The instance (and optional precedence graph)
-/// must outlive the optimize() call.
+/// A problem to optimize. The instance (and optional precedence graph and
+/// warm-start plan) must outlive the optimize() call.
 struct Request {
   const model::Instance* instance = nullptr;
   model::Send_policy policy = model::Send_policy::sequential;
@@ -129,6 +141,20 @@ struct Request {
   std::uint64_t seed = 0;
   /// Optional incumbent stream; empty = no streaming.
   Incumbent_callback on_incumbent;
+  /// Optional warm start: a known feasible complete plan (e.g. a cached
+  /// incumbent from an earlier run on the same instance — the quest_serve
+  /// plan cache feeds this). Must be a permutation of the instance's
+  /// services respecting `precedence`; validate_request rejects anything
+  /// else. Engines that maintain an incumbent (bnb, bnb-lb, local-search,
+  /// annealing, multistart's first descent — and portfolio, which forwards
+  /// the request to its phases) let this plan *compete with* their own
+  /// constructive seed and start from the cheaper of the two: they never
+  /// return anything costlier than either, a poor warm start cannot
+  /// lower an engine's usual floor, and exact searches prune against the
+  /// warm bound from the first node. Engines with no incumbent to seed
+  /// ignore it. Never voids an optimality proof: the warm plan only
+  /// supplies an upper bound.
+  const model::Plan* warm_start = nullptr;
 };
 
 /// The seed a stochastic engine should draw from: the request's top-level
@@ -154,6 +180,14 @@ struct Result {
 
 /// Abstract optimizer. Implementations must be reusable: optimize() may be
 /// called repeatedly with different requests.
+///
+/// Thread-safety contract: an Optimizer instance is *not* thread-safe —
+/// concurrent optimize() calls on one instance are undefined; build one
+/// engine per thread (they are cheap, and the registry hands out fresh
+/// instances). Distinct instances never share mutable state, so any number
+/// may run in parallel — this is what the quest_serve worker pool relies
+/// on. The Request's Stop_token may be triggered from any thread;
+/// on_incumbent callbacks run on the optimize() thread.
 class Optimizer {
  public:
   virtual ~Optimizer() = default;

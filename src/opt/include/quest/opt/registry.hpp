@@ -58,8 +58,14 @@ class Spec_options {
   Entries entries_;
 };
 
+/// Name -> factory map with spec parsing. Not thread-safe for
+/// concurrent mutation; the process-wide instance
+/// (core::engine_registry()) is built once and then only read, which
+/// any number of threads may do — quest_serve builds engines from it on
+/// every admission.
 class Registry {
  public:
+  /// Builds an engine from its parsed spec options.
   using Factory =
       std::function<std::unique_ptr<Optimizer>(const Spec_options&)>;
 

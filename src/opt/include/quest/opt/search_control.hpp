@@ -24,6 +24,9 @@
 
 namespace quest::opt {
 
+/// Per-optimize() limit enforcement; see the file comment for the
+/// engine-side protocol. Lives on the optimize() stack — one per call,
+/// never shared across threads.
 class Search_control {
  public:
   /// Binds to the engine's live stats so budget checks see every counter

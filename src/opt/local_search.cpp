@@ -43,10 +43,24 @@ Result Local_search_optimizer::optimize(const Request& request) {
     return seed;
   }
 
+  // A warm start competes with the greedy seed rather than replacing
+  // it: the descent polishes whichever is cheaper, so the engine keeps
+  // its never-worse-than-greedy floor even when the caller's plan
+  // (typically a cached incumbent from another engine) is poor.
+  const Plan* start = &seed.plan;
+  if (request.warm_start != nullptr) {
+    const double warm_cost = model::bottleneck_cost(
+        *request.instance, *request.warm_start, request.policy);
+    ++outer_stats.complete_plans;
+    if (warm_cost < seed.cost) start = request.warm_start;
+  }
+
   Request sub = request;
   sub.budget = control.remaining_budget();
-  Result result = improve(sub, seed.plan);
+  Result result = improve(sub, *start);
   result.stats.nodes_expanded += seed.stats.nodes_expanded;
+  // Charge the warm plan's evaluation (improve() counts its own seed).
+  if (request.warm_start != nullptr) ++result.stats.complete_plans;
   result.elapsed_seconds = control.elapsed_seconds();
   return result;
 }

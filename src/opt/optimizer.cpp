@@ -31,6 +31,15 @@ void validate_request(const Request& request) {
                 "time limit must be non-negative");
   QUEST_EXPECTS(request.budget.cost_target >= 0.0,
                 "cost target must be non-negative");
+  if (request.warm_start != nullptr) {
+    QUEST_EXPECTS(
+        request.warm_start->is_permutation_of(request.instance->size()),
+        "warm-start plan must be a complete plan for the instance");
+    QUEST_EXPECTS(request.precedence == nullptr ||
+                      request.precedence->respects(
+                          request.warm_start->order()),
+                  "warm-start plan violates the precedence constraints");
+  }
 }
 
 }  // namespace quest::opt

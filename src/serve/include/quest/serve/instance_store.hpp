@@ -1,0 +1,72 @@
+// quest/serve/instance_store.hpp
+//
+// The shared instance state of the serving layer: clients register an
+// instance once under a name and optimize it many times by reference,
+// instead of shipping the full JSON document with every request.
+//
+// Entries are immutable once stored and handed out as
+// shared_ptr<const Stored_instance>, so an in-flight optimization keeps
+// its instance alive even if the name is re-registered (or the store is
+// destroyed) mid-run.
+//
+// Unlike the Plan_cache, the store is deliberately *unbounded*:
+// registration is an explicit client action creating a named resource,
+// and silently evicting one would break every later optimize-by-name
+// request for it. The trust assumption is that clients register a
+// bounded working set (re-registering a name replaces, it does not
+// grow); admission control for hostile clients is a serving-layer
+// follow-on tracked in the ROADMAP.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quest/constraints/precedence.hpp"
+#include "quest/model/instance.hpp"
+
+namespace quest::serve {
+
+/// An immutable registered instance: the problem, its optional precedence
+/// constraints, and the content fingerprint used to key the plan cache.
+struct Stored_instance {
+  std::string name;
+  model::Instance instance;
+  std::optional<constraints::Precedence_graph> precedence;
+  std::uint64_t fingerprint = 0;
+
+  /// The precedence graph pointer the optimizer Request wants (nullptr
+  /// when unconstrained).
+  const constraints::Precedence_graph* precedence_ptr() const noexcept {
+    return precedence ? &*precedence : nullptr;
+  }
+};
+
+/// Thread-safe name -> instance map. All operations lock; entries are
+/// shared_ptr-owned so get() results stay valid without the lock.
+class Instance_store {
+ public:
+  /// Registers (or atomically replaces) `name`. Returns the stored entry;
+  /// `replaced` (when non-null) reports whether a previous entry existed.
+  std::shared_ptr<const Stored_instance> put(
+      std::string name, model::Instance instance,
+      std::optional<constraints::Precedence_graph> precedence,
+      bool* replaced = nullptr);
+
+  /// Looks up a registered name; nullptr when absent.
+  std::shared_ptr<const Stored_instance> get(const std::string& name) const;
+
+  std::size_t size() const;
+  /// Registered names, in first-registration order.
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const Stored_instance>> entries_;
+};
+
+}  // namespace quest::serve

@@ -1,0 +1,131 @@
+// quest/serve/plan_cache.hpp
+//
+// Cross-request plan memoization for the serving layer, with two tiers:
+//
+//  * exact tier — keyed by (instance fingerprint, send policy, engine
+//    spec, budget class, seed): a repeated identical request is answered
+//    instantly from the cache, without touching a worker's optimizer;
+//  * warm-start tier — keyed by (fingerprint, policy) only: the
+//    best-known plan for the problem, fed into Request::warm_start on a
+//    cache miss so a fresh search starts from the best incumbent any
+//    previous request found.
+//
+// The *budget class* quantizes Budget dimensions into coarse buckets
+// (powers of two of milliseconds / work units), so requests that differ
+// only by scheduling jitter in their deadline share an entry, while a
+// 10x larger budget — which could legitimately find a better plan — maps
+// to a different class and triggers a fresh (warm-started) search.
+// Results that carry an optimality proof are reusable under *any* budget
+// class: optimal is optimal regardless of how much budget was granted.
+//
+// Both tiers are bounded LRU (`capacity` entries each — the daemon must
+// not grow without bound under an endless stream of distinct problems);
+// all operations lock, counters are cumulative. Thread-safe.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quest/model/cost.hpp"
+#include "quest/model/plan.hpp"
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::serve {
+
+/// Identity of a cacheable optimize request.
+struct Cache_key {
+  std::uint64_t fingerprint = 0;
+  model::Send_policy policy = model::Send_policy::sequential;
+  std::string engine_spec;
+  std::string budget_class;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const Cache_key&, const Cache_key&) = default;
+};
+
+/// The coarse budget bucket used in Cache_key ("w:*|t:*|c:0" for an
+/// unlimited budget; each bounded dimension becomes its power-of-two
+/// bucket index, the cost target its exact value).
+std::string budget_class(const opt::Budget& budget);
+
+/// What the cache remembers about a finished run.
+struct Cached_plan {
+  model::Plan plan;
+  double cost = 0.0;
+  opt::Termination termination = opt::Termination::completed;
+  bool proven_optimal = false;
+};
+
+/// The two-tier cache itself. Thread-safe; one instance per Server.
+class Plan_cache {
+ public:
+  /// `capacity` bounds the number of exact-tier entries (>= 1).
+  explicit Plan_cache(std::size_t capacity = 256);
+
+  /// Exact-tier lookup. Counts a lookup, and a hit or miss. A
+  /// proven-optimal entry matches any budget class of the same
+  /// (fingerprint, policy, engine spec, seed).
+  std::optional<Cached_plan> lookup(const Cache_key& key);
+
+  /// Remembers a finished run (complete plans only — the caller must not
+  /// insert incomplete incumbents). Replaces an existing entry for the
+  /// key only when the new result is better (cheaper, or proven optimal
+  /// where the old one was not) — concurrent identical requests may race
+  /// their inserts; evicts the least-recently-used entry beyond capacity.
+  /// Also
+  /// refreshes the warm-start tier when this cost beats the best known.
+  /// Callers must not insert cancelled runs here: replaying a
+  /// client-initiated cancellation to later identical requests would
+  /// poison them — use remember_best() for those.
+  void insert(const Cache_key& key, Cached_plan value);
+
+  /// Warm-start-tier-only update: keeps the plan available as a warm
+  /// start without making it an instant answer. The right call for
+  /// cancelled runs, whose incumbent is real but whose termination is
+  /// an artifact of one client's cancel.
+  void remember_best(std::uint64_t fingerprint, model::Send_policy policy,
+                     Cached_plan value);
+
+  /// Warm-start tier: best-known plan for the problem, regardless of
+  /// which engine/budget produced it. Does not count as a hit or miss.
+  std::optional<Cached_plan> best_known(std::uint64_t fingerprint,
+                                        model::Send_policy policy) const;
+
+  std::size_t size() const;
+  std::uint64_t lookups() const;
+  std::uint64_t hits() const;
+  std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    Cache_key key;
+    Cached_plan value;
+    std::uint64_t last_used = 0;
+  };
+  struct Best_entry {
+    std::uint64_t fingerprint;
+    model::Send_policy policy;
+    Cached_plan value;
+    std::uint64_t last_used = 0;
+  };
+
+  Entry* find_locked(const Cache_key& key);
+  void remember_best_locked(std::uint64_t fingerprint,
+                            model::Send_policy policy,
+                            const Cached_plan& value);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::vector<Best_entry> best_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace quest::serve

@@ -1,0 +1,124 @@
+// quest/serve/protocol.hpp
+//
+// The quest_serve wire protocol: line-delimited JSON, one client *op* per
+// input line, one server *event* per output line. Transport-agnostic —
+// the same codec serves stdin/stdout pipes and socket streams.
+//
+// Client -> server ops (`"op"` selects the variant):
+//
+//   {"op":"register","name":"prod","instance":{...instance document...}}
+//   {"op":"optimize","id":"r1","instance":"prod" | {...inline doc...},
+//    "optimizer":"bnb","budget":{"deadline_ms":500,"node_limit":0,
+//    "cost_target":0},"seed":7,"policy":"sequential","stream":true,
+//    "cache":true,"execute":{"tuples":10000,"block_size":32,"workers":4}}
+//   {"op":"cancel","id":"r1"}
+//   {"op":"stats"}
+//   {"op":"shutdown","drain":true|false}
+//
+// Server -> client events (`"event"` tags the variant):
+//
+//   {"event":"registered","name":...,"services":...,"fingerprint":...,
+//    "replaced":...}
+//   {"event":"admitted","id":...,"queue_depth":...}
+//   {"event":"incumbent","id":...,"cost":...,"elapsed_seconds":...,
+//    "plan":[...]}                          (only when "stream" was true)
+//   {"event":"result","id":...,"termination":...,"cost":...,"plan":[...],
+//    "proven_optimal":...,"cached":...,"warm_started":...,
+//    "elapsed_seconds":...,"stats":{...},"execution":{...}?}
+//   {"event":"cancel-requested","id":...,"found":...}
+//   {"event":"stats", ...counters...}
+//   {"event":"shutting-down","outstanding":...} then
+//   {"event":"shutdown-complete","completed":...}
+//   {"event":"error","message":...,"id":...?}
+//
+// Every malformed line or op yields an "error" event (with the request id
+// when one could be parsed) instead of killing the session.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "quest/io/instance_io.hpp"
+#include "quest/io/json.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::serve {
+
+/// {"op":"register"} — parse the instance document eagerly so malformed
+/// documents fail at registration, not at first use.
+struct Register_op {
+  std::string name;
+  io::Instance_document document;
+};
+
+/// Optional post-optimization execution of the winning plan on the
+/// virtual-clock runtime executor.
+struct Execute_spec {
+  std::uint64_t tuples = 10'000;
+  std::uint64_t block_size = 32;
+  std::size_t workers = 4;
+};
+
+/// {"op":"optimize"} — exactly one of `instance_name` /
+/// `inline_instance` is set.
+struct Optimize_op {
+  std::string id;
+  std::string instance_name;
+  std::optional<io::Instance_document> inline_instance;
+  std::string optimizer = "portfolio";
+  opt::Budget budget;
+  std::uint64_t seed = 0;
+  model::Send_policy policy = model::Send_policy::sequential;
+  bool stream = false;
+  bool cache = true;
+  std::optional<Execute_spec> execute;
+};
+
+/// {"op":"cancel"} — trips the Stop_token of the queued or running
+/// request with this id; a no-op (found:false) for unknown ids.
+struct Cancel_op {
+  std::string id;
+};
+
+/// {"op":"stats"} — ask for a counters snapshot event.
+struct Stats_op {};
+
+/// {"op":"shutdown"} cancels everything still in flight; with
+/// {"drain":true} the server instead finishes every admitted request
+/// before exiting — the right mode for non-interactive piped sessions.
+struct Shutdown_op {
+  bool drain = false;
+};
+
+using Op =
+    std::variant<Register_op, Optimize_op, Cancel_op, Stats_op, Shutdown_op>;
+
+/// Parses one client line. Throws Parse_error on malformed JSON, an
+/// unknown "op", wrong field types, or invalid budgets — the server turns
+/// that into an "error" event.
+Op parse_op(std::string_view line);
+
+/// Event builders (the server's half of the protocol).
+io::Json registered_event(const std::string& name, std::size_t services,
+                          std::uint64_t fingerprint, bool replaced);
+io::Json admitted_event(const std::string& id, std::size_t queue_depth);
+io::Json incumbent_event(const std::string& id, double cost,
+                         double elapsed_seconds, const model::Plan& plan);
+io::Json cancel_event(const std::string& id, bool found);
+io::Json error_event(const std::string& message, const std::string& id = {});
+
+/// The shared "result" event shape — one builder so the cached and
+/// fresh-run paths cannot drift apart. `stats` may be nullptr (cached
+/// results did no search work, so they carry no stats object); the
+/// caller appends any execution report afterwards.
+io::Json result_event(const std::string& id, opt::Termination termination,
+                      const model::Plan& plan, double cost, bool complete,
+                      bool proven_optimal, bool cached, bool warm_started,
+                      double elapsed_seconds,
+                      const opt::Search_stats* stats);
+
+}  // namespace quest::serve

@@ -1,0 +1,179 @@
+// quest/serve/server.hpp
+//
+// The quest serving layer: a long-lived, multi-threaded optimization
+// service around the anytime optimizer API. Clients submit ops (see
+// quest/serve/protocol.hpp); a fixed pool of worker threads drains the
+// admission queue, each job running one registry-built engine under its
+// own per-request Budget and Stop_token; results, streamed incumbents and
+// errors flow back through a single serialized event sink.
+//
+// Request lifecycle:  admit -> optimize -> stream -> cache -> execute
+//
+//  * admit    — the op is validated (instance resolved through the shared
+//               Instance_store, engine spec through core::engine_registry)
+//               and the plan cache is consulted, all on the transport
+//               thread: an identical repeat request is answered right
+//               here, without queueing behind long-running jobs or
+//               occupying a worker. Everything else is queued; an
+//               "admitted" event acknowledges it either way.
+//  * optimize — a worker runs the engine. A "cancel" op for the request id
+//               trips its Stop_token; engines return their best incumbent
+//               within one work unit (see quest/opt/stop_token.hpp), so
+//               cancellation releases the worker promptly.
+//  * stream   — with "stream": true, every improving incumbent is emitted
+//               as it is found.
+//  * cache    — finished plans enter the Plan_cache; an identical request
+//               (same instance fingerprint, engine spec, budget class and
+//               seed) is answered instantly without occupying a worker,
+//               and any repeat request on the same problem warm-starts
+//               from the best plan known so far — its result is floored
+//               at that plan, so a warm-started run never comes back
+//               costlier than what the cache already held.
+//  * execute  — optionally, the winning plan runs on the virtual-clock
+//               runtime executor and the measured per-tuple cost is
+//               attached to the result event.
+//
+// Thread-safety: handle()/handle_line() are meant for one transport
+// thread (they are internally synchronized with the workers, not with
+// each other). The event sink is called under an internal mutex — one
+// event at a time, from transport and worker threads alike — and must not
+// call back into the Server.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "quest/common/timer.hpp"
+#include "quest/io/json.hpp"
+#include "quest/serve/instance_store.hpp"
+#include "quest/serve/plan_cache.hpp"
+#include "quest/serve/protocol.hpp"
+
+namespace quest::serve {
+
+/// Construction-time configuration of a Server.
+struct Server_options {
+  /// Worker threads draining the admission queue (>= 1).
+  std::size_t workers = 4;
+  /// Exact-tier plan cache capacity.
+  std::size_t cache_capacity = 256;
+  /// Master switch for the plan cache (per-request "cache":false opts a
+  /// single request out without disabling the tier).
+  bool enable_cache = true;
+};
+
+/// A snapshot of the server's counters. Throughput — completed requests
+/// per second of server uptime — is the serving layer's first-class
+/// metric, reported on every "stats" event.
+struct Server_stats {
+  std::size_t workers = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::size_t cache_entries = 0;
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  /// High-water mark of concurrently running optimizations; proves the
+  /// pool actually sustained N concurrent requests.
+  std::size_t max_concurrent = 0;
+  std::size_t instances = 0;
+  double uptime_seconds = 0.0;
+  double throughput_rps = 0.0;
+};
+
+/// The serving loop: admission, worker pool, cancellation, cache, event
+/// emission. One instance per process/transport; see the file comment
+/// for the request lifecycle and threading contract.
+class Server {
+ public:
+  /// Receives every outgoing event, one call at a time (internally
+  /// serialized), from transport and worker threads alike. Must not call
+  /// back into the Server.
+  using Event_sink = std::function<void(const io::Json&)>;
+
+  /// Starts `options.workers` worker threads immediately.
+  Server(Server_options options, Event_sink sink);
+  /// Shuts down (cancelling anything in flight) and joins all workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Parses and dispatches one protocol line. Never throws: malformed
+  /// input becomes an "error" event. Returns false once a shutdown op was
+  /// processed (the transport loop should stop reading).
+  bool handle_line(std::string_view line);
+
+  /// Dispatches an already-parsed op (same contract as handle_line).
+  bool handle(Op op);
+
+  /// Stops admitting and joins the workers. With `cancel_in_flight`
+  /// (the default, and what the destructor does) every queued and
+  /// running job is cancelled first — each still gets its "result"
+  /// event, termination "cancelled". With false the workers finish all
+  /// admitted work before exiting (the {"op":"shutdown","drain":true}
+  /// path). Idempotent.
+  void shutdown(bool cancel_in_flight = true);
+
+  Server_stats stats() const;
+
+  /// Introspection for tests and embedding drivers.
+  Instance_store& instances() noexcept { return store_; }
+  Plan_cache& cache() noexcept { return cache_; }
+
+ private:
+  struct Job;
+
+  void handle_register(Register_op op);
+  void handle_optimize(Optimize_op op);
+  void handle_cancel(const Cancel_op& op);
+  void emit_stats();
+
+  void worker_loop();
+  void run_job(Job& job);
+  /// Removes a finished job from active_ (mutex_ must be held) — always
+  /// before its result/error event is emitted, so a client may reuse
+  /// the id as soon as it reads the event.
+  void retire_job_locked(const std::string& id);
+  void emit(const io::Json& event);
+
+  Server_options options_;
+  Event_sink sink_;
+  Instance_store store_;
+  Plan_cache cache_;
+  Timer uptime_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  /// Queued + running jobs by request id (ids are single-use while
+  /// active; reusable after the result event).
+  std::vector<std::shared_ptr<Job>> active_;
+  bool shutting_down_ = false;
+
+  std::uint64_t admitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t failed_ = 0;
+
+  std::atomic<std::size_t> running_{0};
+  std::atomic<std::size_t> max_concurrent_{0};
+
+  std::mutex sink_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace quest::serve

@@ -1,0 +1,52 @@
+#include "quest/serve/instance_store.hpp"
+
+#include <utility>
+
+#include "quest/io/fingerprint.hpp"
+
+namespace quest::serve {
+
+std::shared_ptr<const Stored_instance> Instance_store::put(
+    std::string name, model::Instance instance,
+    std::optional<constraints::Precedence_graph> precedence, bool* replaced) {
+  auto entry = std::make_shared<Stored_instance>(Stored_instance{
+      std::move(name), std::move(instance), std::move(precedence), 0});
+  entry->fingerprint =
+      io::fingerprint(entry->instance, entry->precedence_ptr());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& existing : entries_) {
+    if (existing->name == entry->name) {
+      if (replaced != nullptr) *replaced = true;
+      existing = entry;  // old shared_ptr stays alive with in-flight jobs
+      return entry;
+    }
+  }
+  if (replaced != nullptr) *replaced = false;
+  entries_.push_back(entry);
+  return entry;
+}
+
+std::shared_ptr<const Stored_instance> Instance_store::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry;
+  }
+  return nullptr;
+}
+
+std::size_t Instance_store::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::string> Instance_store::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& entry : entries_) result.push_back(entry->name);
+  return result;
+}
+
+}  // namespace quest::serve

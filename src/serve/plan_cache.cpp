@@ -1,0 +1,167 @@
+#include "quest/serve/plan_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "quest/common/error.hpp"
+#include "quest/io/fingerprint.hpp"
+
+namespace quest::serve {
+
+namespace {
+
+/// Power-of-two bucket of a positive count ("8" covers (128, 256]).
+std::string count_bucket(std::uint64_t value) {
+  if (value == 0) return "*";
+  return std::to_string(std::bit_width(value - 1));
+}
+
+}  // namespace
+
+std::string budget_class(const opt::Budget& budget) {
+  std::string cls = "w:" + count_bucket(budget.node_limit);
+  cls += "|t:";
+  if (budget.time_limit_seconds <= 0.0) {
+    cls += "*";
+  } else {
+    // Bucket by power of two of milliseconds: 400 ms and 510 ms share a
+    // class, 400 ms and 4 s do not.
+    const double ms = budget.time_limit_seconds * 1e3;
+    const int bucket = ms <= 1.0 ? 0 : static_cast<int>(std::ceil(
+                                           std::log2(ms) - 1e-9));
+    cls += std::to_string(bucket);
+  }
+  cls += "|c:";
+  if (budget.cost_target <= 0.0) {
+    cls += "0";
+  } else {
+    // Exact identity via the bit pattern: a different target may make a
+    // cached result invalid, so no two targets may collide.
+    cls += io::hex64(std::bit_cast<std::uint64_t>(budget.cost_target));
+  }
+  return cls;
+}
+
+Plan_cache::Plan_cache(std::size_t capacity) : capacity_(capacity) {
+  QUEST_EXPECTS(capacity >= 1, "plan cache capacity must be >= 1");
+}
+
+Plan_cache::Entry* Plan_cache::find_locked(const Cache_key& key) {
+  for (auto& entry : entries_) {
+    if (entry.key == key) return &entry;
+  }
+  // Optimality is budget-independent: a proven-optimal result for the
+  // same problem, engine and seed answers any budget class.
+  for (auto& entry : entries_) {
+    if (entry.value.proven_optimal &&
+        entry.key.fingerprint == key.fingerprint &&
+        entry.key.policy == key.policy &&
+        entry.key.engine_spec == key.engine_spec &&
+        entry.key.seed == key.seed) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Cached_plan> Plan_cache::lookup(const Cache_key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++lookups_;
+  Entry* entry = find_locked(key);
+  if (entry == nullptr) return std::nullopt;
+  ++hits_;
+  entry->last_used = ++tick_;
+  return entry->value;
+}
+
+void Plan_cache::remember_best_locked(std::uint64_t fingerprint,
+                                      model::Send_policy policy,
+                                      const Cached_plan& value) {
+  for (auto& best : best_) {
+    if (best.fingerprint == fingerprint && best.policy == policy) {
+      if (value.cost < best.value.cost) best.value = value;
+      best.last_used = ++tick_;
+      return;
+    }
+  }
+  if (best_.size() >= capacity_) {
+    auto victim = std::min_element(best_.begin(), best_.end(),
+                                   [](const Best_entry& a,
+                                      const Best_entry& b) {
+                                     return a.last_used < b.last_used;
+                                   });
+    *victim = Best_entry{fingerprint, policy, value, ++tick_};
+    return;
+  }
+  best_.push_back({fingerprint, policy, value, ++tick_});
+}
+
+void Plan_cache::remember_best(std::uint64_t fingerprint,
+                               model::Send_policy policy, Cached_plan value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  remember_best_locked(fingerprint, policy, value);
+}
+
+void Plan_cache::insert(const Cache_key& key, Cached_plan value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  remember_best_locked(key.fingerprint, key.policy, value);
+
+  for (auto& entry : entries_) {
+    if (entry.key == key) {
+      // Two concurrent identical requests can both miss and both finish;
+      // wall-clock-bounded engines are nondeterministic under load, so
+      // keep whichever result is better rather than whichever is later.
+      if (value.cost < entry.value.cost ||
+          (value.proven_optimal && !entry.value.proven_optimal)) {
+        entry.value = std::move(value);
+      }
+      entry.last_used = ++tick_;
+      return;
+    }
+  }
+  if (entries_.size() >= capacity_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+          return a.last_used < b.last_used;
+        });
+    *victim = Entry{key, std::move(value), ++tick_};
+    ++evictions_;
+    return;
+  }
+  entries_.push_back(Entry{key, std::move(value), ++tick_});
+}
+
+std::optional<Cached_plan> Plan_cache::best_known(
+    std::uint64_t fingerprint, model::Send_policy policy) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& best : best_) {
+    if (best.fingerprint == fingerprint && best.policy == policy) {
+      return best.value;  // reads deliberately don't bump the LRU tick:
+    }                     // a problem nobody *solves* anymore may age out
+  }
+  return std::nullopt;
+}
+
+std::size_t Plan_cache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t Plan_cache::lookups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookups_;
+}
+
+std::uint64_t Plan_cache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t Plan_cache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace quest::serve

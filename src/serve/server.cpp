@@ -1,0 +1,493 @@
+#include "quest/serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "quest/common/error.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/io/fingerprint.hpp"
+#include "quest/runtime/choreography.hpp"
+
+namespace quest::serve {
+
+/// One admitted optimize request. Immutable after admission except for
+/// the stop source (tripped by cancel/shutdown) — workers own the rest.
+struct Server::Job {
+  std::string id;
+  std::shared_ptr<const Stored_instance> problem;
+  std::string spec;
+  std::unique_ptr<opt::Optimizer> optimizer;
+  opt::Budget budget;
+  std::uint64_t seed = 0;
+  model::Send_policy policy = model::Send_policy::sequential;
+  bool stream = false;
+  bool use_cache = true;
+  std::optional<Execute_spec> execute;
+  /// Computed once at admission; identifies the request to both cache
+  /// tiers.
+  Cache_key cache_key;
+  opt::Stop_source stop;
+};
+
+namespace {
+
+/// The optional execute stage, shared by the worker path and the
+/// admission-time cache-hit path: run the plan on the virtual-clock
+/// executor and attach the measured report to the result event (or an
+/// "execution_error" — execution failures must not void the
+/// optimization result).
+void append_execution(io::Json& event, const model::Instance& instance,
+                      const model::Plan& plan, const Execute_spec& spec) {
+  runtime::Runtime_config config;
+  config.input_tuples = spec.tuples;
+  config.block_size = spec.block_size;
+  config.worker_count = spec.workers;
+  config.clock_mode = runtime::Clock_mode::virtual_time;
+  try {
+    const runtime::Runtime_result executed =
+        runtime::execute(instance, plan, config);
+    io::Json execution;
+    execution.set("per_tuple_cost_units",
+                  io::Json(executed.per_tuple_cost_units));
+    execution.set("predicted_cost", io::Json(executed.predicted_cost));
+    execution.set("tuples_delivered",
+                  io::Json(static_cast<double>(executed.tuples_delivered)));
+    event.set("execution", std::move(execution));
+  } catch (const std::exception& error) {
+    event.set("execution_error", io::Json(std::string(error.what())));
+  }
+}
+
+}  // namespace
+
+Server::Server(Server_options options, Event_sink sink)
+    : options_(options), sink_(std::move(sink)), cache_(options.cache_capacity) {
+  QUEST_EXPECTS(options_.workers >= 1, "server needs at least one worker");
+  QUEST_EXPECTS(sink_ != nullptr, "server needs an event sink");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::emit(const io::Json& event) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_(event);
+}
+
+bool Server::handle_line(std::string_view line) {
+  const auto content = line.find_first_not_of(" \t\r\n");
+  if (content == std::string_view::npos) return true;  // blank keep-alive
+  try {
+    return handle(parse_op(line));
+  } catch (const std::exception& error) {
+    // quest::Error for protocol violations, but also any std::exception
+    // (bad_alloc from a huge document, ...): a long-lived daemon must
+    // not die because one line was hostile.
+    // Try to salvage the request id so the client can correlate.
+    std::string id;
+    try {
+      const io::Json op = io::Json::parse(line);
+      if (const io::Json* field = op.find("id");
+          field != nullptr && field->is_string()) {
+        id = field->as_string();
+      }
+    } catch (const std::exception&) {
+    }
+    emit(error_event(error.what(), id));
+    return true;
+  }
+}
+
+bool Server::handle(Op op) {
+  if (const auto* request = std::get_if<Shutdown_op>(&op)) {
+    std::size_t outstanding = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      outstanding = active_.size();
+    }
+    io::Json event;
+    event.set("event", io::Json("shutting-down"));
+    event.set("outstanding", io::Json(outstanding));
+    event.set("drain", io::Json(request->drain));
+    emit(event);
+    shutdown(/*cancel_in_flight=*/!request->drain);
+    io::Json done;
+    done.set("event", io::Json("shutdown-complete"));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done.set("completed", io::Json(static_cast<double>(completed_)));
+      done.set("cancelled", io::Json(static_cast<double>(cancelled_)));
+    }
+    emit(done);
+    return false;
+  }
+
+  try {
+    if (auto* reg = std::get_if<Register_op>(&op)) {
+      handle_register(std::move(*reg));
+    } else if (auto* optimize = std::get_if<Optimize_op>(&op)) {
+      handle_optimize(std::move(*optimize));
+    } else if (auto* cancel = std::get_if<Cancel_op>(&op)) {
+      handle_cancel(*cancel);
+    } else {
+      emit_stats();
+    }
+  } catch (const std::exception& error) {
+    emit(error_event(error.what()));
+  }
+  return true;
+}
+
+void Server::handle_register(Register_op op) {
+  bool replaced = false;
+  const auto entry =
+      store_.put(std::move(op.name), std::move(op.document.instance),
+                 std::move(op.document.precedence), &replaced);
+  emit(registered_event(entry->name, entry->instance.size(),
+                        entry->fingerprint, replaced));
+}
+
+void Server::handle_optimize(Optimize_op op) {
+  auto job = std::make_shared<Job>();
+  job->id = std::move(op.id);
+
+  if (op.inline_instance) {
+    auto entry = std::make_shared<Stored_instance>(Stored_instance{
+        {}, std::move(op.inline_instance->instance),
+        std::move(op.inline_instance->precedence), 0});
+    entry->fingerprint =
+        io::fingerprint(entry->instance, entry->precedence_ptr());
+    job->problem = std::move(entry);
+  } else {
+    job->problem = store_.get(op.instance_name);
+    if (job->problem == nullptr) {
+      emit(error_event("unknown instance '" + op.instance_name +
+                           "' (register it first)",
+                       job->id));
+      return;
+    }
+  }
+
+  job->spec = std::move(op.optimizer);
+  job->budget = op.budget;
+  job->seed = op.seed;
+  job->policy = op.policy;
+  job->stream = op.stream;
+  job->use_cache = op.cache && options_.enable_cache;
+  job->execute = op.execute;
+  job->cache_key = Cache_key{job->problem->fingerprint, job->policy,
+                             job->spec, budget_class(job->budget), job->seed};
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      emit(error_event("server is shutting down", job->id));
+      return;
+    }
+    const bool duplicate =
+        std::any_of(active_.begin(), active_.end(),
+                    [&](const auto& other) { return other->id == job->id; });
+    if (duplicate) {
+      emit(error_event("request id '" + job->id + "' is already in flight",
+                       job->id));
+      return;
+    }
+  }
+
+  // Identical repeats are answered at admission, on the transport
+  // thread: a cached request must never queue behind long-running jobs
+  // or occupy a worker.
+  if (job->use_cache) {
+    if (auto cached = cache_.lookup(job->cache_key)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++admitted_;
+        ++completed_;
+      }
+      emit(admitted_event(job->id, 0));
+      io::Json event =
+          result_event(job->id, cached->termination, cached->plan,
+                       cached->cost, /*complete=*/true,
+                       cached->proven_optimal, /*cached=*/true,
+                       /*warm_started=*/false, /*elapsed_seconds=*/0.0,
+                       /*stats=*/nullptr);
+      // Only the *optimization* is cached — a requested execute stage
+      // still runs, on the cached plan (bounded by the protocol's
+      // resource caps, so inline on the transport thread is fine).
+      if (job->execute) {
+        append_execution(event, job->problem->instance, cached->plan,
+                         *job->execute);
+      }
+      emit(event);
+      return;
+    }
+  }
+
+  try {
+    // Build the engine at admission so bad specs fail fast, before the
+    // request occupies a worker — but after the cache lookup, which
+    // answers repeats without paying for an engine at all.
+    job->optimizer = core::make_optimizer(job->spec);
+  } catch (const Error& error) {
+    emit(error_event(error.what(), job->id));
+    return;
+  }
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(job);
+    ++admitted_;
+    depth = queue_.size() + 1;
+  }
+  // Admission is acknowledged before the job becomes runnable, so the
+  // "admitted" event always precedes the request's incumbents/result.
+  emit(admitted_event(job->id, depth));
+  bool stranded = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // An embedder may call shutdown() from another thread between the
+    // admission check above and this push; once the workers are joining,
+    // a queued job would never be popped. Honor the "every admitted
+    // request gets a result" guarantee right here instead.
+    if (shutting_down_) {
+      retire_job_locked(job->id);
+      ++completed_;
+      ++cancelled_;
+      stranded = true;
+    } else {
+      queue_.push_back(job);
+    }
+  }
+  if (stranded) {
+    emit(result_event(job->id, opt::Termination::cancelled, model::Plan(),
+                      /*cost=*/0.0, /*complete=*/false,
+                      /*proven_optimal=*/false, /*cached=*/false,
+                      /*warm_started=*/false, /*elapsed_seconds=*/0.0,
+                      /*stats=*/nullptr));
+    return;
+  }
+  work_available_.notify_one();
+}
+
+void Server::handle_cancel(const Cancel_op& op) {
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& job : active_) {
+      if (job->id == op.id) {
+        job->stop.request_stop();
+        found = true;
+        break;
+      }
+    }
+  }
+  emit(cancel_event(op.id, found));
+}
+
+void Server::emit_stats() {
+  const Server_stats snapshot = stats();
+  io::Json event;
+  event.set("event", io::Json("stats"));
+  event.set("workers", io::Json(snapshot.workers));
+  event.set("admitted", io::Json(static_cast<double>(snapshot.admitted)));
+  event.set("completed", io::Json(static_cast<double>(snapshot.completed)));
+  event.set("cancelled", io::Json(static_cast<double>(snapshot.cancelled)));
+  event.set("failed", io::Json(static_cast<double>(snapshot.failed)));
+  event.set("queue_depth", io::Json(snapshot.queue_depth));
+  event.set("running", io::Json(snapshot.running));
+  event.set("max_concurrent", io::Json(snapshot.max_concurrent));
+  event.set("instances", io::Json(snapshot.instances));
+  io::Json cache;
+  cache.set("lookups", io::Json(static_cast<double>(snapshot.cache_lookups)));
+  cache.set("hits", io::Json(static_cast<double>(snapshot.cache_hits)));
+  cache.set("entries", io::Json(snapshot.cache_entries));
+  event.set("cache", std::move(cache));
+  event.set("uptime_seconds", io::Json(snapshot.uptime_seconds));
+  event.set("throughput_rps", io::Json(snapshot.throughput_rps));
+  emit(event);
+}
+
+Server_stats Server::stats() const {
+  Server_stats snapshot;
+  snapshot.workers = options_.workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.admitted = admitted_;
+    snapshot.completed = completed_;
+    snapshot.cancelled = cancelled_;
+    snapshot.failed = failed_;
+    snapshot.queue_depth = queue_.size();
+  }
+  snapshot.running = running_.load(std::memory_order_relaxed);
+  snapshot.max_concurrent = max_concurrent_.load(std::memory_order_relaxed);
+  snapshot.cache_lookups = cache_.lookups();
+  snapshot.cache_hits = cache_.hits();
+  snapshot.cache_entries = cache_.size();
+  snapshot.instances = store_.size();
+  snapshot.uptime_seconds = uptime_.seconds();
+  snapshot.throughput_rps =
+      snapshot.uptime_seconds > 0.0
+          ? static_cast<double>(snapshot.completed) / snapshot.uptime_seconds
+          : 0.0;
+  return snapshot;
+}
+
+void Server::shutdown(bool cancel_in_flight) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      // Already requested; fall through to join below (idempotent).
+    } else {
+      shutting_down_ = true;
+      // Trip every queued and running job: queued jobs run against a
+      // pre-cancelled token and return immediately, so the queue drains
+      // with a "cancelled" result per admitted request. In drain mode
+      // the workers instead finish all admitted work before exiting.
+      if (cancel_in_flight) {
+        for (const auto& job : active_) job->stop.request_stop();
+      }
+    }
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    // run_job() retires the job from active_ itself, *before* emitting
+    // its result — a client that reads the result may immediately reuse
+    // the id.
+    run_job(*job);
+  }
+}
+
+void Server::retire_job_locked(const std::string& id) {
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](const auto& job) { return job->id == id; }),
+                active_.end());
+}
+
+void Server::run_job(Job& job) {
+  const std::size_t now_running =
+      running_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = max_concurrent_.load(std::memory_order_relaxed);
+  while (now_running > peak &&
+         !max_concurrent_.compare_exchange_weak(peak, now_running,
+                                                std::memory_order_relaxed)) {
+  }
+  struct Running_guard {
+    std::atomic<std::size_t>& counter;
+    ~Running_guard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } guard{running_};
+
+  Timer timer;
+  opt::Request request;
+  request.instance = &job.problem->instance;
+  request.precedence = job.problem->precedence_ptr();
+  request.budget = job.budget;
+  request.seed = job.seed;
+  request.policy = job.policy;
+  request.stop = job.stop.token();
+
+  // Warm-start tier: any earlier result on this problem (whatever engine
+  // or budget produced it) seeds the incumbent.
+  model::Plan warm_plan;
+  double warm_cost = 0.0;
+  bool warm_started = false;
+  if (job.use_cache) {
+    if (auto best = cache_.best_known(job.cache_key.fingerprint,
+                                      job.cache_key.policy)) {
+      warm_plan = std::move(best->plan);
+      warm_cost = best->cost;
+      request.warm_start = &warm_plan;
+      warm_started = true;
+    }
+  }
+
+  if (job.stream) {
+    request.on_incumbent = [&](const model::Plan& plan, double cost,
+                               const opt::Search_stats&) {
+      emit(incumbent_event(job.id, cost, timer.seconds(), plan));
+    };
+  }
+
+  opt::Result result;
+  try {
+    result = job.optimizer->optimize(request);
+  } catch (const std::exception& error) {
+    // quest::Error for engine preconditions, but also bad_alloc & co.
+    // (the DP on a large instance allocates gigabytes): an escaping
+    // exception would std::terminate the daemon from this worker thread.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++failed_;
+      retire_job_locked(job.id);
+    }
+    emit(error_event(error.what(), job.id));
+    return;
+  }
+
+  bool complete = result.plan.size() == job.problem->instance.size();
+  // Warm-started results are floored at the plan the server already
+  // knew: engines with no incumbent to seed (greedy, dp, ...) ignore
+  // Request::warm_start, and a budget-starved run can come back worse —
+  // either way the client must never receive a costlier answer than the
+  // cache held. An optimality proof is unaffected: a proven-optimal
+  // result can't cost more than any known plan, so it is never floored.
+  if (warm_started && (!complete || result.cost > warm_cost)) {
+    result.plan = std::move(warm_plan);
+    result.cost = warm_cost;
+    result.proven_optimal = false;
+    complete = true;
+  }
+  if (complete && job.use_cache) {
+    Cached_plan value{result.plan, result.cost, result.termination,
+                      result.proven_optimal};
+    if (result.termination == opt::Termination::cancelled) {
+      // The incumbent is real, but "cancelled" is one client's decision,
+      // not a property of the problem — replaying it to a later
+      // identical request would rob that request of its full search.
+      // Keep the plan as a warm start only.
+      cache_.remember_best(job.cache_key.fingerprint, job.cache_key.policy,
+                           std::move(value));
+    } else {
+      cache_.insert(job.cache_key, std::move(value));
+    }
+  }
+
+  io::Json event = result_event(job.id, result.termination, result.plan,
+                                result.cost, complete,
+                                result.proven_optimal, /*cached=*/false,
+                                warm_started, result.elapsed_seconds,
+                                &result.stats);
+
+  if (complete && job.execute) {
+    append_execution(event, job.problem->instance, result.plan,
+                     *job.execute);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    if (result.termination == opt::Termination::cancelled) ++cancelled_;
+    retire_job_locked(job.id);
+  }
+  emit(event);
+}
+
+}  // namespace quest::serve

@@ -1,0 +1,126 @@
+// docs/engines.md is a contract: this test parses it and fails when the
+// documented engine list or any engine's option keys drift from
+// core::engine_registry(). The doc's machine-readable structure:
+//
+//   * each engine is a heading line  ## `name`
+//   * each of its options is a table row starting  | `key` |
+//     inside that engine's section.
+//
+// The file path is baked in by CMake (QUEST_ENGINES_DOC), so the test
+// runs from any working directory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quest/core/engines.hpp"
+#include "quest/io/json.hpp"
+
+#ifndef QUEST_ENGINES_DOC
+#error "QUEST_ENGINES_DOC must point at docs/engines.md"
+#endif
+
+namespace quest {
+namespace {
+
+/// First `backticked` token of a line, or empty.
+std::string backticked(const std::string& line) {
+  const auto open = line.find('`');
+  if (open == std::string::npos) return {};
+  const auto close = line.find('`', open + 1);
+  if (close == std::string::npos) return {};
+  return line.substr(open + 1, close - open - 1);
+}
+
+struct Documented_engines {
+  /// Engine -> documented option keys.
+  std::map<std::string, std::set<std::string>> options;
+  /// Engines in heading order.
+  std::vector<std::string> order;
+};
+
+void parse_doc(const std::string& text, Documented_engines& doc) {
+  std::istringstream lines(text);
+  std::string line;
+  std::string current;
+  while (std::getline(lines, line)) {
+    if (line.rfind("## ", 0) == 0) {
+      current = backticked(line);
+      ASSERT_FALSE(current.empty())
+          << "engine heading without a `name`: " << line;
+      ASSERT_EQ(doc.options.count(current), 0u)
+          << "duplicate engine section: " << current;
+      doc.options[current] = {};
+      doc.order.push_back(current);
+      continue;
+    }
+    if (current.empty()) continue;
+    // Option rows: "| `key` | ..." — the header row ("| Option |") and
+    // the separator row have no backticked first cell.
+    if (line.rfind("| `", 0) == 0) {
+      const std::string key = backticked(line);
+      ASSERT_FALSE(key.empty());
+      doc.options[current].insert(key);
+    }
+  }
+}
+
+TEST(Engine_docs_test, DocMatchesTheRegistry) {
+  const std::string text = io::read_file(QUEST_ENGINES_DOC);
+  Documented_engines doc;
+  parse_doc(text, doc);
+
+  const auto& registry = core::engine_registry();
+  const std::vector<std::string> registered = registry.names();
+
+  // Every registered engine is documented; nothing phantom is.
+  const std::set<std::string> documented(doc.order.begin(), doc.order.end());
+  for (const auto& name : registered) {
+    EXPECT_EQ(documented.count(name), 1u)
+        << "engine '" << name
+        << "' is registered but missing from docs/engines.md";
+  }
+  for (const auto& name : doc.order) {
+    EXPECT_TRUE(std::find(registered.begin(), registered.end(), name) !=
+                registered.end())
+        << "docs/engines.md documents '" << name
+        << "', which is not in the registry";
+  }
+
+  // Per engine, the documented option keys match exactly.
+  for (const auto& name : registered) {
+    if (documented.count(name) == 0) continue;  // reported above
+    const auto& keys = registry.option_keys(name);
+    const std::set<std::string> expected(keys.begin(), keys.end());
+    EXPECT_EQ(doc.options.at(name), expected)
+        << "option keys for '" << name
+        << "' drifted between the registry and docs/engines.md";
+  }
+}
+
+TEST(Engine_docs_test, DocOrderFollowsRegistrationOrder) {
+  // Keeps the reference scannable next to `quest_cli --list` output: the
+  // engines appear in the doc in registration order.
+  const std::string text = io::read_file(QUEST_ENGINES_DOC);
+  Documented_engines doc;
+  parse_doc(text, doc);
+
+  const std::vector<std::string> registered =
+      core::engine_registry().names();
+  std::vector<std::string> documented_registered;
+  for (const auto& name : doc.order) {
+    if (std::find(registered.begin(), registered.end(), name) !=
+        registered.end()) {
+      documented_registered.push_back(name);
+    }
+  }
+  EXPECT_EQ(documented_registered, registered);
+}
+
+}  // namespace
+}  // namespace quest

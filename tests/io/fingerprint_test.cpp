@@ -1,0 +1,94 @@
+// Instance fingerprinting: equal content -> equal fingerprint, any
+// numeric or structural perturbation -> different fingerprint, and the
+// precedence spellings "no graph" and "empty graph" agree. The serving
+// layer's plan cache keys on these properties.
+
+#include "quest/io/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quest/constraints/precedence.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/model/instance.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+model::Instance perturbed(const model::Instance& base, std::size_t service,
+                          double delta) {
+  std::vector<model::Service> services = base.services();
+  services[service].cost += delta;
+  return model::Instance(std::move(services), base.transfer_matrix(),
+                         base.sink_transfers(), base.name());
+}
+
+TEST(Fingerprint_test, EqualInstancesAgree) {
+  const auto a = test::selective_instance(9, 42);
+  const auto b = test::selective_instance(9, 42);
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(io::fingerprint(a), io::fingerprint(b));
+  EXPECT_EQ(io::fingerprint_hex(a), io::fingerprint_hex(b));
+}
+
+TEST(Fingerprint_test, NameDoesNotMatter) {
+  const auto base = test::selective_instance(7, 3);
+  const model::Instance renamed(base.services(), base.transfer_matrix(),
+                                base.sink_transfers(), "another-name");
+  EXPECT_EQ(io::fingerprint(base), io::fingerprint(renamed));
+}
+
+TEST(Fingerprint_test, CostPerturbationChangesIt) {
+  const auto base = test::selective_instance(9, 42);
+  EXPECT_NE(io::fingerprint(base), io::fingerprint(perturbed(base, 4, 1e-9)));
+}
+
+TEST(Fingerprint_test, DifferentSeedsDiffer) {
+  EXPECT_NE(io::fingerprint(test::selective_instance(9, 1)),
+            io::fingerprint(test::selective_instance(9, 2)));
+}
+
+TEST(Fingerprint_test, PrecedenceEdgesAreCovered) {
+  const auto instance = test::selective_instance(6, 7);
+  constraints::Precedence_graph empty(instance.size());
+  constraints::Precedence_graph chain(instance.size());
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+
+  // No graph and an unconstrained graph are the same problem.
+  EXPECT_EQ(io::fingerprint(instance, nullptr),
+            io::fingerprint(instance, &empty));
+  // Constraints change the feasible set, so they change the fingerprint.
+  EXPECT_NE(io::fingerprint(instance, nullptr),
+            io::fingerprint(instance, &chain));
+
+  constraints::Precedence_graph reversed(instance.size());
+  reversed.add_edge(1, 0);
+  reversed.add_edge(2, 1);
+  EXPECT_NE(io::fingerprint(instance, &chain),
+            io::fingerprint(instance, &reversed));
+}
+
+TEST(Fingerprint_test, SurvivesAJsonRoundTrip) {
+  // The cache must hit when a client re-sends the same document: the
+  // serialized form must fingerprint identically after parsing.
+  const auto base = test::sink_instance(8, 11);
+  const io::Json document = io::to_json(base);
+  const io::Instance_document parsed =
+      io::instance_from_json(io::Json::parse(document.dump()));
+  EXPECT_EQ(io::fingerprint(base), io::fingerprint(parsed.instance));
+}
+
+TEST(Fingerprint_test, HexFormIsStableWidth) {
+  const auto instance = test::selective_instance(5, 19);
+  const std::string hex = io::fingerprint_hex(instance);
+  EXPECT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,162 @@
+// Request::warm_start: engines that maintain an incumbent seed it from
+// the caller's plan, never return anything costlier, and exact engines
+// keep their optimality proof. validate_request rejects infeasible warm
+// starts before any engine sees them.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quest/constraints/precedence.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/opt/annealing.hpp"
+#include "quest/opt/greedy.hpp"
+#include "quest/opt/local_search.hpp"
+#include "quest/model/cost.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using opt::Request;
+using opt::Termination;
+
+TEST(Warm_start_test, RejectsIncompleteAndInfeasiblePlans) {
+  const auto instance = test::selective_instance(6, 1);
+  Request request;
+  request.instance = &instance;
+
+  const model::Plan partial(std::vector<model::Service_id>{0, 1, 2});
+  request.warm_start = &partial;
+  EXPECT_THROW(opt::validate_request(request), Precondition_error);
+
+  constraints::Precedence_graph precedence(instance.size());
+  precedence.add_edge(5, 0);  // 5 must precede 0
+  const model::Plan violating = model::Plan::identity(instance.size());
+  request.warm_start = &violating;
+  request.precedence = &precedence;
+  EXPECT_THROW(opt::validate_request(request), Precondition_error);
+
+  const model::Plan feasible(
+      std::vector<model::Service_id>{5, 0, 1, 2, 3, 4});
+  request.warm_start = &feasible;
+  EXPECT_NO_THROW(opt::validate_request(request));
+}
+
+TEST(Warm_start_test, BnbKeepsTheProofAndNeverDoesWorse) {
+  const auto instance = test::selective_instance(10, 5);
+  Request cold;
+  cold.instance = &instance;
+  core::Bnb_optimizer reference;
+  const auto exact = reference.optimize(cold);
+  ASSERT_TRUE(exact.proven_optimal);
+
+  // Warm-start from the known optimum: the proof must survive, the cost
+  // must match, and priming the incumbent can only shrink the search.
+  Request warm = cold;
+  warm.warm_start = &exact.plan;
+  core::Bnb_optimizer warmed;
+  const auto result = warmed.optimize(warm);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.termination, Termination::optimal);
+  EXPECT_TRUE(test::costs_equal(result.cost, exact.cost));
+  EXPECT_LE(result.stats.nodes_expanded, exact.stats.nodes_expanded);
+}
+
+TEST(Warm_start_test, BnbSeedsTheIncumbentBeforeSearching) {
+  const auto instance = test::selective_instance(9, 23);
+  Request cold;
+  cold.instance = &instance;
+  const auto exact = core::Bnb_optimizer().optimize(cold);
+  ASSERT_TRUE(exact.proven_optimal);
+
+  // The very first streamed incumbent must be the warm plan itself.
+  Request warm = cold;
+  warm.warm_start = &exact.plan;
+  double first_cost = -1.0;
+  warm.on_incumbent = [&](const model::Plan&, double cost,
+                          const opt::Search_stats&) {
+    if (first_cost < 0.0) first_cost = cost;
+  };
+  const auto result = core::Bnb_optimizer().optimize(warm);
+  EXPECT_TRUE(test::costs_equal(first_cost, exact.cost));
+  EXPECT_TRUE(test::costs_equal(result.cost, exact.cost));
+}
+
+TEST(Warm_start_test, LocalSearchPolishesACheaperWarmPlan) {
+  // When the warm plan beats the greedy seed, the descent starts from
+  // (and streams) the warm plan.
+  const auto instance = test::selective_instance(12, 9);
+  Request cold;
+  cold.instance = &instance;
+  const auto exact = core::Bnb_optimizer().optimize(cold);
+  ASSERT_TRUE(exact.proven_optimal);
+
+  Request warm = cold;
+  warm.warm_start = &exact.plan;
+  double first_cost = -1.0;
+  warm.on_incumbent = [&](const model::Plan&, double cost,
+                          const opt::Search_stats&) {
+    if (first_cost < 0.0) first_cost = cost;
+  };
+  opt::Local_search_optimizer search;
+  const auto result = search.optimize(warm);
+  EXPECT_TRUE(test::costs_equal(first_cost, exact.cost));
+  EXPECT_TRUE(test::costs_equal(result.cost, exact.cost));
+  EXPECT_TRUE(result.plan.is_permutation_of(instance.size()));
+}
+
+TEST(Warm_start_test, PoorWarmStartCannotLowerTheEngineFloor) {
+  // A bad warm plan competes with — never replaces — the greedy seed:
+  // the warm run matches the cold run exactly (same start, and for
+  // annealing the same RNG stream).
+  const auto instance = test::selective_instance(12, 31);
+  const model::Plan bad = model::Plan::identity(instance.size());
+  const double bad_cost = model::bottleneck_cost(instance, bad);
+
+  // Scenario precondition: the identity order really is worse than the
+  // engines' own greedy seed on this instance.
+  Request probe;
+  probe.instance = &instance;
+  const auto greedy = opt::Greedy_optimizer().optimize(probe);
+  ASSERT_LT(greedy.cost, bad_cost);
+
+  for (const char* spec :
+       {"local-search", "annealing:iterations=500"}) {
+    Request cold;
+    cold.instance = &instance;
+    cold.seed = 7;
+    const auto cold_result = core::make_optimizer(spec)->optimize(cold);
+
+    Request warm = cold;
+    warm.warm_start = &bad;
+    const auto warm_result = core::make_optimizer(spec)->optimize(warm);
+    EXPECT_TRUE(test::costs_equal(warm_result.cost, cold_result.cost))
+        << spec;
+    EXPECT_LE(warm_result.cost, bad_cost + 1e-12) << spec;
+  }
+}
+
+TEST(Warm_start_test, FlowsThroughTheRegistryEngines) {
+  // The registry path (what quest_serve uses) must forward warm starts:
+  // portfolio and multistart copy the request into their sub-engines.
+  const auto instance = test::selective_instance(10, 13);
+  Request cold;
+  cold.instance = &instance;
+  const auto exact = core::make_optimizer("bnb")->optimize(cold);
+  ASSERT_TRUE(exact.proven_optimal);
+
+  for (const char* spec : {"portfolio", "multistart:restarts=1",
+                           "local-search", "annealing:iterations=200"}) {
+    Request warm = cold;
+    warm.seed = 3;
+    warm.warm_start = &exact.plan;
+    const auto result = core::make_optimizer(spec)->optimize(warm);
+    EXPECT_LE(result.cost, exact.cost + 1e-12) << spec;
+    EXPECT_TRUE(result.plan.is_permutation_of(instance.size())) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace quest

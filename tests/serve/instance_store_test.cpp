@@ -1,0 +1,70 @@
+// Instance_store: registration, replacement, lookup lifetime, and
+// fingerprint computation.
+
+#include "quest/serve/instance_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quest/io/fingerprint.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using serve::Instance_store;
+
+TEST(Instance_store_test, PutGetRoundTrip) {
+  Instance_store store;
+  bool replaced = true;
+  const auto entry =
+      store.put("prod", test::selective_instance(8, 1), std::nullopt,
+                &replaced);
+  EXPECT_FALSE(replaced);
+  EXPECT_EQ(entry->name, "prod");
+  EXPECT_EQ(entry->fingerprint, io::fingerprint(entry->instance));
+  EXPECT_EQ(entry->precedence_ptr(), nullptr);
+
+  const auto found = store.get("prod");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), entry.get());
+  EXPECT_EQ(store.get("missing"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Instance_store_test, ReplacementKeepsOldEntriesAlive) {
+  Instance_store store;
+  const auto first = store.put("x", test::selective_instance(6, 1),
+                               std::nullopt);
+  bool replaced = false;
+  const auto second =
+      store.put("x", test::selective_instance(6, 2), std::nullopt, &replaced);
+  EXPECT_TRUE(replaced);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get("x").get(), second.get());
+  // The first entry is still usable by an in-flight job holding it.
+  EXPECT_EQ(first->instance.size(), 6u);
+  EXPECT_NE(first->fingerprint, second->fingerprint);
+}
+
+TEST(Instance_store_test, PrecedenceIsStoredAndFingerprinted) {
+  Instance_store store;
+  const auto instance = test::selective_instance(5, 3);
+  constraints::Precedence_graph precedence(instance.size());
+  precedence.add_edge(0, 4);
+  const auto bare = store.put("bare", instance, std::nullopt);
+  const auto constrained = store.put("constrained", instance, precedence);
+  ASSERT_NE(constrained->precedence_ptr(), nullptr);
+  EXPECT_TRUE(constrained->precedence_ptr()->has_edge(0, 4));
+  EXPECT_NE(bare->fingerprint, constrained->fingerprint);
+}
+
+TEST(Instance_store_test, NamesInRegistrationOrder) {
+  Instance_store store;
+  store.put("b", test::selective_instance(4, 1), std::nullopt);
+  store.put("a", test::selective_instance(4, 2), std::nullopt);
+  store.put("b", test::selective_instance(4, 3), std::nullopt);  // replace
+  EXPECT_EQ(store.names(), (std::vector<std::string>{"b", "a"}));
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,191 @@
+// Plan_cache: exact-tier key semantics (fingerprint, policy, spec,
+// budget class, seed), the proven-optimal budget-class exemption, LRU
+// eviction with counters, budget-class quantization, and the warm-start
+// tier.
+
+#include "quest/serve/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace quest {
+namespace {
+
+using serve::Cache_key;
+using serve::Cached_plan;
+using serve::Plan_cache;
+
+Cache_key key(std::uint64_t fingerprint, const std::string& spec,
+              const std::string& budget = "w:*|t:*|c:0",
+              std::uint64_t seed = 0) {
+  return Cache_key{fingerprint, model::Send_policy::sequential, spec, budget,
+                   seed};
+}
+
+Cached_plan plan_of_cost(double cost, bool proven_optimal = false) {
+  return Cached_plan{model::Plan(std::vector<model::Service_id>{0, 1}), cost,
+                     opt::Termination::completed, proven_optimal};
+}
+
+TEST(Budget_class_test, QuantizesDeadlinesAndWorkLimits) {
+  opt::Budget unlimited;
+  EXPECT_EQ(serve::budget_class(unlimited), "w:*|t:*|c:0");
+
+  opt::Budget a, b, c;
+  a.time_limit_seconds = 0.4;   // 400 ms
+  b.time_limit_seconds = 0.51;  // 510 ms — same power-of-two bucket
+  c.time_limit_seconds = 4.0;   // 4 s — a different one
+  EXPECT_EQ(serve::budget_class(a), serve::budget_class(b));
+  EXPECT_NE(serve::budget_class(a), serve::budget_class(c));
+
+  opt::Budget w1, w2, w3;
+  w1.node_limit = 700;
+  w2.node_limit = 1000;  // (512, 1024] with 700
+  w3.node_limit = 100000;
+  EXPECT_EQ(serve::budget_class(w1), serve::budget_class(w2));
+  EXPECT_NE(serve::budget_class(w1), serve::budget_class(w3));
+
+  // Cost targets are exact: the slightest difference changes the class.
+  opt::Budget t1, t2;
+  t1.cost_target = 1.5;
+  t2.cost_target = 1.5 + 1e-12;
+  EXPECT_NE(serve::budget_class(t1), serve::budget_class(t2));
+}
+
+TEST(Plan_cache_test, HitRequiresTheFullKey) {
+  Plan_cache cache(8);
+  cache.insert(key(1, "bnb"), plan_of_cost(2.0));
+
+  EXPECT_TRUE(cache.lookup(key(1, "bnb")).has_value());
+  EXPECT_FALSE(cache.lookup(key(2, "bnb")).has_value());       // fingerprint
+  EXPECT_FALSE(cache.lookup(key(1, "dp")).has_value());        // spec
+  EXPECT_FALSE(cache.lookup(key(1, "bnb", "w:3|t:*|c:0")).has_value());
+  EXPECT_FALSE(cache.lookup(key(1, "bnb", "w:*|t:*|c:0", 7)).has_value());
+
+  Cache_key other_policy = key(1, "bnb");
+  other_policy.policy = model::Send_policy::overlapped;
+  EXPECT_FALSE(cache.lookup(other_policy).has_value());
+
+  EXPECT_EQ(cache.lookups(), 6u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Plan_cache_test, ProvenOptimalMatchesAnyBudgetClass) {
+  Plan_cache cache(8);
+  cache.insert(key(1, "bnb", "w:*|t:9|c:0"), plan_of_cost(2.0, true));
+  // Same problem/engine/seed under a different budget: optimal is optimal.
+  const auto hit = cache.lookup(key(1, "bnb", "w:4|t:*|c:0"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->proven_optimal);
+  // But not across engines or seeds.
+  EXPECT_FALSE(cache.lookup(key(1, "dp", "w:4|t:*|c:0")).has_value());
+  EXPECT_FALSE(
+      cache.lookup(key(1, "bnb", "w:4|t:*|c:0", 5)).has_value());
+}
+
+TEST(Plan_cache_test, NonOptimalEntriesStayInTheirBudgetClass) {
+  Plan_cache cache(8);
+  cache.insert(key(1, "annealing", "w:*|t:9|c:0"), plan_of_cost(2.0, false));
+  EXPECT_FALSE(cache.lookup(key(1, "annealing", "w:*|t:12|c:0")).has_value());
+  EXPECT_TRUE(cache.lookup(key(1, "annealing", "w:*|t:9|c:0")).has_value());
+}
+
+TEST(Plan_cache_test, LruEvictionAtCapacity) {
+  Plan_cache cache(2);
+  cache.insert(key(1, "a"), plan_of_cost(1.0));
+  cache.insert(key(2, "a"), plan_of_cost(2.0));
+  ASSERT_TRUE(cache.lookup(key(1, "a")).has_value());  // 1 is now fresher
+  cache.insert(key(3, "a"), plan_of_cost(3.0));        // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.lookup(key(1, "a")).has_value());
+  EXPECT_FALSE(cache.lookup(key(2, "a")).has_value());
+  EXPECT_TRUE(cache.lookup(key(3, "a")).has_value());
+}
+
+TEST(Plan_cache_test, ReinsertKeepsTheBetterResult) {
+  // Concurrent identical requests may race their inserts (wall-clock
+  // budgets make engines nondeterministic under load): an improvement
+  // replaces the entry, a worse late finisher never clobbers it.
+  Plan_cache cache(4);
+  cache.insert(key(1, "a"), plan_of_cost(5.0));
+  cache.insert(key(1, "a"), plan_of_cost(3.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.lookup(key(1, "a"))->cost, 3.0);
+  cache.insert(key(1, "a"), plan_of_cost(4.5));
+  EXPECT_DOUBLE_EQ(cache.lookup(key(1, "a"))->cost, 3.0);
+  // A proven-optimal result wins over an unproven equal-or-worse one.
+  Cached_plan proven = plan_of_cost(3.0, /*proven_optimal=*/true);
+  cache.insert(key(1, "a"), proven);
+  EXPECT_TRUE(cache.lookup(key(1, "a"))->proven_optimal);
+}
+
+TEST(Plan_cache_test, WarmStartTierTracksTheBestKnownPlan) {
+  Plan_cache cache(8);
+  EXPECT_FALSE(
+      cache.best_known(1, model::Send_policy::sequential).has_value());
+
+  cache.insert(key(1, "annealing"), plan_of_cost(5.0));
+  cache.insert(key(1, "local-search", "w:2|t:*|c:0"), plan_of_cost(3.0));
+  cache.insert(key(1, "random"), plan_of_cost(9.0));  // worse: ignored
+
+  const auto best = cache.best_known(1, model::Send_policy::sequential);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->cost, 3.0);
+  // Tiers are per (fingerprint, policy).
+  EXPECT_FALSE(
+      cache.best_known(1, model::Send_policy::overlapped).has_value());
+  EXPECT_FALSE(
+      cache.best_known(2, model::Send_policy::sequential).has_value());
+}
+
+TEST(Plan_cache_test, WarmStartTierSurvivesExactTierEviction) {
+  // The best-known plan outlives its exact-tier entry: even after "a"'s
+  // result is evicted, new requests still warm-start from it.
+  Plan_cache cache(2);
+  cache.insert(key(1, "a"), plan_of_cost(2.0));
+  cache.insert(key(1, "b"), plan_of_cost(3.0));
+  cache.insert(key(2, "c"), plan_of_cost(4.0));  // evicts key(1, "a")
+  EXPECT_FALSE(cache.lookup(key(1, "a")).has_value());
+  const auto best = cache.best_known(1, model::Send_policy::sequential);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->cost, 2.0);
+}
+
+TEST(Plan_cache_test, RememberBestFeedsOnlyTheWarmTier) {
+  // The path cancelled runs take: the plan becomes a warm start but is
+  // never an instant answer.
+  Plan_cache cache(4);
+  Cached_plan cancelled = plan_of_cost(2.0);
+  cancelled.termination = opt::Termination::cancelled;
+  cache.remember_best(1, model::Send_policy::sequential, cancelled);
+  EXPECT_FALSE(cache.lookup(key(1, "a")).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  const auto best = cache.best_known(1, model::Send_policy::sequential);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->cost, 2.0);
+}
+
+TEST(Plan_cache_test, WarmStartTierIsBounded) {
+  // A daemon fed an endless stream of distinct problems must not grow
+  // without bound: the warm tier holds at most `capacity` problems.
+  Plan_cache cache(2);
+  for (std::uint64_t fingerprint = 1; fingerprint <= 5; ++fingerprint) {
+    cache.remember_best(fingerprint, model::Send_policy::sequential,
+                        plan_of_cost(1.0 * static_cast<double>(fingerprint)));
+  }
+  // The oldest problems aged out; the two newest are warm-startable.
+  EXPECT_FALSE(
+      cache.best_known(1, model::Send_policy::sequential).has_value());
+  EXPECT_FALSE(
+      cache.best_known(3, model::Send_policy::sequential).has_value());
+  EXPECT_TRUE(
+      cache.best_known(4, model::Send_policy::sequential).has_value());
+  EXPECT_TRUE(
+      cache.best_known(5, model::Send_policy::sequential).has_value());
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,160 @@
+// The quest_serve wire protocol codec: op parsing (happy paths, defaults,
+// malformed input diagnostics) and event shapes.
+
+#include "quest/serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "quest/io/instance_io.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using namespace quest::serve;
+
+std::string instance_json(std::size_t n, std::uint64_t seed) {
+  return io::to_json(test::selective_instance(n, seed)).dump();
+}
+
+TEST(Protocol_test, ParsesRegister) {
+  const std::string line = std::string(R"({"op":"register","name":"prod",)") +
+                           R"("instance":)" + instance_json(6, 1) + "}";
+  const Op op = parse_op(line);
+  const auto* reg = std::get_if<Register_op>(&op);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_EQ(reg->name, "prod");
+  EXPECT_EQ(reg->document.instance.size(), 6u);
+}
+
+TEST(Protocol_test, ParsesOptimizeWithDefaults) {
+  const Op op = parse_op(R"({"op":"optimize","id":"r1","instance":"prod"})");
+  const auto* optimize = std::get_if<Optimize_op>(&op);
+  ASSERT_NE(optimize, nullptr);
+  EXPECT_EQ(optimize->id, "r1");
+  EXPECT_EQ(optimize->instance_name, "prod");
+  EXPECT_FALSE(optimize->inline_instance.has_value());
+  EXPECT_EQ(optimize->optimizer, "portfolio");
+  EXPECT_EQ(optimize->budget.node_limit, 0u);
+  EXPECT_EQ(optimize->budget.time_limit_seconds, 0.0);
+  EXPECT_EQ(optimize->seed, 0u);
+  EXPECT_EQ(optimize->policy, model::Send_policy::sequential);
+  EXPECT_FALSE(optimize->stream);
+  EXPECT_TRUE(optimize->cache);
+  EXPECT_FALSE(optimize->execute.has_value());
+}
+
+TEST(Protocol_test, ParsesOptimizeFully) {
+  const std::string line =
+      std::string(R"({"op":"optimize","id":"r2","instance":)") +
+      instance_json(5, 2) +
+      R"(,"optimizer":"annealing:iterations=100","budget":)"
+      R"({"deadline_ms":250,"node_limit":1000,"cost_target":1.5},)"
+      R"("seed":7,"policy":"overlapped","stream":true,"cache":false,)"
+      R"("execute":{"tuples":500,"block_size":16,"workers":2}})";
+  const Op op = parse_op(line);
+  const auto* optimize = std::get_if<Optimize_op>(&op);
+  ASSERT_NE(optimize, nullptr);
+  ASSERT_TRUE(optimize->inline_instance.has_value());
+  EXPECT_EQ(optimize->inline_instance->instance.size(), 5u);
+  EXPECT_EQ(optimize->optimizer, "annealing:iterations=100");
+  EXPECT_DOUBLE_EQ(optimize->budget.time_limit_seconds, 0.25);
+  EXPECT_EQ(optimize->budget.node_limit, 1000u);
+  EXPECT_DOUBLE_EQ(optimize->budget.cost_target, 1.5);
+  EXPECT_EQ(optimize->seed, 7u);
+  EXPECT_EQ(optimize->policy, model::Send_policy::overlapped);
+  EXPECT_TRUE(optimize->stream);
+  EXPECT_FALSE(optimize->cache);
+  ASSERT_TRUE(optimize->execute.has_value());
+  EXPECT_EQ(optimize->execute->tuples, 500u);
+  EXPECT_EQ(optimize->execute->block_size, 16u);
+  EXPECT_EQ(optimize->execute->workers, 2u);
+}
+
+TEST(Protocol_test, ParsesCancelStatsShutdown) {
+  EXPECT_TRUE(std::holds_alternative<Cancel_op>(
+      parse_op(R"({"op":"cancel","id":"r1"})")));
+  EXPECT_TRUE(std::holds_alternative<Stats_op>(parse_op(R"({"op":"stats"})")));
+  const Op plain = parse_op(R"({"op":"shutdown"})");
+  ASSERT_TRUE(std::holds_alternative<Shutdown_op>(plain));
+  EXPECT_FALSE(std::get<Shutdown_op>(plain).drain);
+  const Op drain = parse_op(R"({"op":"shutdown","drain":true})");
+  EXPECT_TRUE(std::get<Shutdown_op>(drain).drain);
+}
+
+TEST(Protocol_test, RejectsMalformedOps) {
+  EXPECT_THROW(parse_op("not json"), Parse_error);
+  EXPECT_THROW(parse_op(R"({"no_op":1})"), Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"frobnicate"})"), Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"register","name":"x"})"), Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"register","name":"","instance":{}})"),
+               Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","instance":"x"})"), Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"","instance":"x"})"),
+               Parse_error);
+  EXPECT_THROW(
+      parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+               R"("budget":{"deadline_ms":-1}})"),
+      Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("policy":"sideways"})"),
+               Parse_error);
+  // Integer fields reject doubles a uint64 cast could not represent —
+  // the cast would otherwise be undefined behavior on client input.
+  EXPECT_THROW(
+      parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+               R"("budget":{"node_limit":1e300}})"),
+      Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("seed":1e19})"),
+               Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("execute":{"tuples":1e300}})"),
+               Parse_error);
+  // Execute-stage resource caps: workers creates OS threads, tuples is
+  // uncancellable executor work.
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("execute":{"workers":200000}})"),
+               Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("execute":{"workers":0}})"),
+               Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("execute":{"tuples":100000000}})"),
+               Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize","id":"r","instance":"x",)"
+                        R"("execute":{"tuples":10,"block_size":20}})"),
+               Parse_error);
+}
+
+TEST(Protocol_test, EventShapes) {
+  const io::Json registered = registered_event("prod", 6, 0xabcdefu, true);
+  EXPECT_EQ(registered.at("event").as_string(), "registered");
+  EXPECT_EQ(registered.at("fingerprint").as_string(), "0000000000abcdef");
+  EXPECT_TRUE(registered.at("replaced").as_bool());
+
+  const io::Json admitted = admitted_event("r1", 3);
+  EXPECT_EQ(admitted.at("event").as_string(), "admitted");
+  EXPECT_EQ(admitted.at("queue_depth").as_number(), 3.0);
+
+  const model::Plan plan(std::vector<model::Service_id>{2, 0, 1});
+  const io::Json incumbent = incumbent_event("r1", 1.5, 0.25, plan);
+  EXPECT_EQ(incumbent.at("event").as_string(), "incumbent");
+  EXPECT_EQ(incumbent.at("plan").as_array().size(), 3u);
+
+  const io::Json cancel = cancel_event("r1", false);
+  EXPECT_EQ(cancel.at("event").as_string(), "cancel-requested");
+  EXPECT_FALSE(cancel.at("found").as_bool());
+
+  const io::Json error = error_event("boom", "r9");
+  EXPECT_EQ(error.at("event").as_string(), "error");
+  EXPECT_EQ(error.at("id").as_string(), "r9");
+  EXPECT_EQ(error.at("message").as_string(), "boom");
+  EXPECT_EQ(error_event("boom").find("id"), nullptr);
+}
+
+}  // namespace
+}  // namespace quest

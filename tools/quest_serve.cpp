@@ -1,0 +1,74 @@
+// quest_serve — the long-lived optimization service: a line-delimited
+// JSON protocol on stdin/stdout over a fixed worker pool, with shared
+// instance registration, per-request budgets, mid-flight cancellation,
+// streamed incumbents, and a cross-request plan cache.
+//
+//   quest_serve --workers 8
+//   echo '{"op":"stats"}' | quest_serve
+//
+// A session (one op per line on stdin, one event per line on stdout):
+//
+//   {"op":"register","name":"prod","instance":{...}}
+//   {"op":"optimize","id":"r1","instance":"prod","optimizer":"bnb",
+//    "budget":{"deadline_ms":500},"stream":true}
+//   {"op":"cancel","id":"r1"}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// The process exits 0 after a shutdown op — or on EOF, which cancels
+// anything still in flight (every admitted request still receives its
+// result event) and shuts down cleanly. Protocol errors never kill the
+// session; they come back as {"event":"error",...} lines.
+
+#include <iostream>
+#include <string>
+
+#include "quest/common/cli.hpp"
+#include "quest/serve/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  try {
+    Cli cli("quest_serve",
+            "serve concurrent optimize requests over line-delimited JSON "
+            "(stdin -> stdout)");
+    auto& workers =
+        cli.add_int("workers", 4, "worker threads draining the queue");
+    auto& cache_capacity =
+        cli.add_int("cache-capacity", 256, "plan cache entries");
+    auto& no_cache =
+        cli.add_bool("no-cache", false, "disable the plan cache entirely");
+    cli.parse(argc, argv);
+    if (workers.value < 1) throw Parse_error("--workers must be >= 1");
+    if (cache_capacity.value < 1) {
+      throw Parse_error("--cache-capacity must be >= 1");
+    }
+
+    serve::Server_options options;
+    options.workers = static_cast<std::size_t>(workers.value);
+    options.cache_capacity = static_cast<std::size_t>(cache_capacity.value);
+    options.enable_cache = !no_cache.value;
+
+    // One event per line, flushed immediately: clients read the stream
+    // interactively, so buffering would deadlock a request/response loop.
+    serve::Server server(options, [](const io::Json& event) {
+      std::cout << event.dump() << std::endl;
+    });
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!server.handle_line(line)) break;  // shutdown op processed
+    }
+    // EOF without a shutdown op: cancel in-flight work and drain. The
+    // destructor would do this too; doing it explicitly makes "clean exit
+    // after EOF" the documented behavior rather than a side effect.
+    server.shutdown();
+    return 0;
+  } catch (const quest::Parse_error& error) {
+    std::cerr << "quest_serve: " << error.what() << '\n';
+    return 2;
+  } catch (const quest::Error& error) {
+    std::cerr << "quest_serve: " << error.what() << '\n';
+    return 1;
+  }
+}
