@@ -53,8 +53,7 @@ template <core::Epsilon_bar_mode mode>
 void BM_epsilon_bar(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto instance = bench_instance(n);
-  const core::Epsilon_bar ebar(instance, model::Send_policy::sequential,
-                               mode);
+  const core::Epsilon_bar ebar(instance, model::Cost_model{}, mode);
   model::Partial_plan_evaluator eval(instance);
   eval.append(0);
   eval.append(1);
@@ -108,6 +107,52 @@ void BM_dp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_dp)->Arg(10)->Arg(14);
+
+// Correlated-model counterparts: the overhead of conditional
+// selectivities on the same hot paths (the independent numbers above are
+// the regression-gated baseline).
+void BM_bottleneck_cost_correlated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  const auto cost_model =
+      model::Cost_model::correlated_seeded(n, 0.5, 7);
+  const auto plan = model::Plan::identity(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::bottleneck_cost(instance, plan, cost_model));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_bottleneck_cost_correlated)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_evaluator_append_pop_correlated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  model::Partial_plan_evaluator eval(
+      instance, model::Cost_model::correlated_seeded(n, 0.5, 7));
+  for (auto _ : state) {
+    for (model::Service_id id = 0; id < n; ++id) eval.append(id);
+    benchmark::DoNotOptimize(eval.epsilon());
+    for (std::size_t i = 0; i < n; ++i) eval.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_evaluator_append_pop_correlated)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_bnb_correlated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = bench_instance(n);
+  opt::Request request;
+  request.instance = &instance;
+  request.model = model::Cost_model::correlated_seeded(n, 0.5, 7);
+  for (auto _ : state) {
+    core::Bnb_optimizer bnb;
+    benchmark::DoNotOptimize(bnb.optimize(request).cost);
+  }
+}
+BENCHMARK(BM_bnb_correlated)->Arg(10)->Arg(12);
 
 void BM_rng_uniform(benchmark::State& state) {
   Rng rng(1);

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs with a tolerance gate.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.25]
+                              [--metric cpu_time] [--filter PREFIX]
+
+Exits 1 when any benchmark present in both files regressed by more than
+the tolerance (current > baseline * (1 + tolerance)); benchmarks that
+exist on only one side are reported but never fail the gate, so adding or
+retiring a benchmark does not break CI. Improvements are reported too.
+
+This closes the PR-2 ROADMAP loop: CI uploads bench_micro's JSON as the
+`bench-micro-baseline` artifact, and subsequent runs download the previous
+baseline and run this gate over the optimizer hot paths.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, metric):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    results = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); compare
+        # the plain measurements only.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        results[name] = float(bench[metric])
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25)")
+    parser.add_argument("--metric", default="cpu_time",
+                        help="benchmark field to compare (default cpu_time)")
+    parser.add_argument("--filter", default="",
+                        help="only compare benchmarks whose name starts "
+                             "with this prefix")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    current = load_benchmarks(args.current, args.metric)
+
+    compared = 0
+    regressions = []
+    for name in sorted(current):
+        if args.filter and not name.startswith(args.filter):
+            continue
+        if name not in baseline:
+            print(f"  new        {name} (no baseline; not gated)")
+            continue
+        old = baseline[name]
+        new = current[name]
+        if old <= 0.0:
+            print(f"  skipped    {name} (non-positive baseline)")
+            continue
+        compared += 1
+        ratio = new / old
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((name, old, new, ratio))
+            print(f"  REGRESSED  {name}: {old:.1f} -> {new:.1f} "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        else:
+            print(f"  ok         {name}: {old:.1f} -> {new:.1f} "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%)")
+    for name in sorted(set(baseline) - set(current)):
+        if args.filter and not name.startswith(args.filter):
+            continue
+        print(f"  retired    {name} (present only in the baseline)")
+
+    if compared == 0:
+        print("no overlapping benchmarks to compare; gate passes vacuously")
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} of {compared} benchmarks regressed "
+              f"beyond {args.tolerance * 100.0:.0f}% on {args.metric}")
+        return 1
+    print(f"\nall {compared} overlapping benchmarks within "
+          f"{args.tolerance * 100.0:.0f}% of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Self-test of check_bench_regression.py (registered as ctest
+bench/regression_gate): the gate must pass within tolerance, fail beyond
+it, ignore added/retired benchmarks and aggregate rows, and pass
+vacuously with no overlap."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def doc(entries):
+    return {"benchmarks": [
+        {"name": name, "cpu_time": value, "run_type": run_type}
+        for name, value, run_type in entries]}
+
+
+def run_gate(baseline, current, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle)
+        with open(cur_path, "w", encoding="utf-8") as handle:
+            json.dump(current, handle)
+        proc = subprocess.run(
+            [sys.executable, GATE, base_path, cur_path, *extra],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+
+def expect(condition, message, output=""):
+    if not condition:
+        print("FAIL:", message)
+        print(output)
+        sys.exit(1)
+
+
+def main():
+    baseline = doc([("BM_a/8", 100.0, "iteration"),
+                    ("BM_b/8", 50.0, "iteration")])
+
+    # Within the 25% tolerance: passes.
+    code, out = run_gate(baseline, doc([("BM_a/8", 120.0, "iteration"),
+                                        ("BM_b/8", 40.0, "iteration")]))
+    expect(code == 0, "within-tolerance run must pass", out)
+
+    # A >25% regression fails and is named.
+    code, out = run_gate(baseline, doc([("BM_a/8", 130.0, "iteration"),
+                                        ("BM_b/8", 50.0, "iteration")]))
+    expect(code == 1, "regression beyond tolerance must fail", out)
+    expect("REGRESSED" in out and "BM_a/8" in out,
+           "the regressed benchmark is reported", out)
+
+    # New and retired benchmarks never gate; aggregates are skipped.
+    code, out = run_gate(
+        doc([("BM_a/8", 100.0, "iteration"),
+             ("BM_gone", 10.0, "iteration")]),
+        doc([("BM_a/8", 100.0, "iteration"),
+             ("BM_new", 99999.0, "iteration"),
+             ("BM_a/8_mean", 99999.0, "aggregate")]))
+    expect(code == 0, "added/retired benchmarks must not gate", out)
+    expect("new" in out and "retired" in out, "membership changes reported",
+           out)
+
+    # No overlap at all: vacuous pass.
+    code, out = run_gate(doc([("BM_x", 1.0, "iteration")]),
+                         doc([("BM_y", 1.0, "iteration")]))
+    expect(code == 0, "no overlap must pass vacuously", out)
+
+    # Non-positive baselines are skipped, not compared: an all-zero
+    # (truncated) baseline must take the honest vacuous-pass path.
+    code, out = run_gate(doc([("BM_a/8", 0.0, "iteration")]),
+                         doc([("BM_a/8", 100.0, "iteration")]))
+    expect(code == 0 and "vacuous" in out,
+           "all-skipped comparison is a vacuous pass, not a real one", out)
+
+    # A tighter tolerance flips the verdict.
+    code, out = run_gate(baseline, doc([("BM_a/8", 110.0, "iteration"),
+                                        ("BM_b/8", 50.0, "iteration")]),
+                         "--tolerance", "0.05")
+    expect(code == 1, "tolerance is honored", out)
+
+    print("check_bench_regression self-test: all cases passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+// quest/common/hash.hpp
+//
+// FNV-1a content hashing over 64-bit words and IEEE-754 bit patterns,
+// plus fixed-width hex rendering. The single definition behind both
+// io::fingerprint (instance identity) and model::Cost_model::key()
+// (cost-model identity): cache correctness in the serving layer rides on
+// these two never diverging in how they fold doubles.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace quest {
+
+/// Incremental FNV-1a over 64-bit values and doubles.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      state_ ^= (value >> (byte * 8)) & 0xffu;
+      state_ *= prime;
+    }
+  }
+
+  /// Hashes the exact bit pattern, with all zero representations folded
+  /// together (-0.0 == 0.0 must hash identically — the values compare
+  /// equal through the model API).
+  void mix(double value) noexcept {
+    mix(std::bit_cast<std::uint64_t>(value == 0.0 ? 0.0 : value));
+  }
+
+  std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  static constexpr std::uint64_t offset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+  std::uint64_t state_ = offset;
+};
+
+/// 16-hex-digit rendering of a 64-bit value ("00ab4f...").
+inline std::string hex64(std::uint64_t value) {
+  std::string hex(16, '0');
+  constexpr char digits[] = "0123456789abcdef";
+  for (int nibble = 0; nibble < 16; ++nibble) {
+    hex[15 - nibble] = digits[(value >> (nibble * 4)) & 0xfu];
+  }
+  return hex;
+}
+
+}  // namespace quest

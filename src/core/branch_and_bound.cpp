@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -12,6 +13,7 @@
 namespace quest::core {
 
 using constraints::Precedence_graph;
+using model::Cost_model;
 using model::Instance;
 using model::Partial_plan_evaluator;
 using model::Plan;
@@ -28,20 +30,36 @@ class Search {
   Search(const opt::Request& request, const Bnb_options& options,
          Prefix_store& store)
       : instance_(*request.instance),
-        policy_(request.policy),
+        model_(request.model),
+        policy_(request.model.policy()),
         precedence_(request.precedence),
         warm_plan_(request.warm_start),
         options_(options),
         store_(store),
-        eval_(instance_, policy_),
-        ebar_(instance_, policy_, options.ebar_mode),
-        lower_(instance_, policy_),
+        eval_(instance_, model_),
         relax_(1.0 + options.suboptimality),
         placed_(instance_.size(), 0),
         scratch_(instance_.size() + 1),
         control_(request, stats_) {
     QUEST_EXPECTS(options.suboptimality >= 0.0,
                   "suboptimality must be non-negative");
+    // The measures need sound attainable-selectivity bounds from the cost
+    // model; when none exist the search falls back to Lemma-2-disabled,
+    // lower-bound-disabled operation (Lemma 1/3 stay exact regardless).
+    // Lemma-2 closure needs sound attainable-selectivity *upper* bounds
+    // from the cost model; when they overflow the search falls back to
+    // closure-disabled operation. The admissible lower bound only needs
+    // the always-finite lower bounds, so it survives the fallback
+    // (Lemma 1/3 stay exact regardless).
+    auto bounds = model_.selectivity_bounds(instance_);
+    closure_on_ =
+        options.enable_closure && bounds.has_value() && bounds->hi_sound;
+    lower_bound_on_ = options.enable_lower_bound && bounds.has_value();
+    if (lower_bound_on_) lower_.emplace(instance_, policy_, *bounds);
+    if (closure_on_) {
+      ebar_.emplace(instance_, policy_, std::move(*bounds),
+                    options.ebar_mode);
+    }
   }
 
   opt::Result run() {
@@ -50,7 +68,7 @@ class Search {
 
     if (n == 1) {
       result.plan = Plan::identity(1);
-      result.cost = model::bottleneck_cost(instance_, result.plan, policy_);
+      result.cost = model::bottleneck_cost(instance_, result.plan, model_);
       ++stats_.complete_plans;
       control_.note_final_incumbent(result.plan, result.cost);
       result.stats = stats_;
@@ -65,7 +83,7 @@ class Search {
     if (warm_plan_ != nullptr) {
       ++stats_.complete_plans;
       offer_incumbent(*warm_plan_,
-                      model::bottleneck_cost(instance_, *warm_plan_, policy_));
+                      model::bottleneck_cost(instance_, *warm_plan_, model_));
     }
     if (options_.warm_start) greedy_warm_start();
 
@@ -254,28 +272,28 @@ class Search {
     }
 
     auto& remaining = scratch_remaining_;
-    if (options_.enable_closure || options_.enable_lower_bound) {
+    if (closure_on_ || lower_bound_on_) {
       remaining.clear();
       for (Service_id u = 0; u < instance_.size(); ++u) {
         if (!placed_[u]) remaining.push_back(u);
       }
     }
 
-    if (options_.enable_lower_bound) {
+    if (lower_bound_on_) {
       // quest extension: admissible lower bound on the undetermined terms
       // (see core::Lower_bound). A Lemma-1-style prune with a view of the
       // future, not just the past.
       const double bound =
-          std::max(eval_.epsilon(), lower_.evaluate(eval_, remaining));
+          std::max(eval_.epsilon(), lower_->evaluate(eval_, remaining));
       if (bound * relax_ >= rho_) {
         ++stats_.lower_bound_prunes;
         return k - 1;
       }
     }
 
-    if (options_.enable_closure) {
+    if (closure_on_) {
       ++stats_.ebar_evaluations;
-      const double ebar = ebar_.evaluate(eval_, remaining);
+      const double ebar = ebar_->evaluate(eval_, remaining);
       if (eval_.epsilon() >= ebar) {
         // Lemma 2: the ordering of the remaining services cannot affect
         // the bottleneck cost; every completion costs exactly epsilon.
@@ -285,7 +303,7 @@ class Search {
           ++stats_.complete_plans;
           offer_incumbent(
               certificate,
-              model::bottleneck_cost(instance_, certificate, policy_));
+              model::bottleneck_cost(instance_, certificate, model_));
         }
         return backjump_target(k);
       }
@@ -352,6 +370,7 @@ class Search {
   };
 
   const Instance& instance_;
+  const Cost_model& model_;
   Send_policy policy_;
   const Precedence_graph* precedence_;
   const Plan* warm_plan_;
@@ -359,8 +378,10 @@ class Search {
   Prefix_store& store_;
 
   Partial_plan_evaluator eval_;
-  Epsilon_bar ebar_;
-  Lower_bound lower_;
+  std::optional<Epsilon_bar> ebar_;
+  std::optional<Lower_bound> lower_;
+  bool closure_on_ = false;
+  bool lower_bound_on_ = false;
   double relax_;
 
   std::vector<char> placed_;

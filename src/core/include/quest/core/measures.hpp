@@ -9,17 +9,23 @@
 // upper-bounds every stage term a completion of C can still create:
 //
 //  * the *dangling* term of s_{k-1}, whose successor is not fixed yet:
-//      P_{k-1} * term(c, sigma, max_{u in R} t(s_{k-1}, u))
+//      P_{k-1} * term(c, sigma(s_{k-1} | prefix), max_{u in R} t(s_{k-1}, u))
 //  * the term of each u in R, wherever it lands:
-//      P_k * A_u * term(c_u, sigma_u, T_u)
-//    with P_k the selectivity product of all of C, T_u the largest transfer
-//    out of u into R \ {u} or the sink, and A_u an amplification factor that
-//    is 1 when all selectivities are <= 1 and otherwise
-//    prod_{w in R \ {u}} max(1, sigma_w) — the paper's "slightly modified"
-//    computation for expanding services.
+//      P_k * A_u * term(c_u, hi_u, T_u)
+//    with P_k the conditional-selectivity product of all of C, T_u the
+//    largest transfer out of u into R \ {u} or the sink, hi_u the cost
+//    model's upper bound on the conditional selectivity u can attain
+//    (sigma_u itself under independence), and A_u an amplification factor
+//    that is 1 when every hi is <= 1 and otherwise
+//    prod_{w in R \ {u}} max(1, hi_w) — the paper's "slightly modified"
+//    computation for expanding services, generalized to model-provided
+//    bounds.
 //
 // Lemma 2 then reads: if epsilon >= epsilon-bar, every completion of C
-// costs exactly epsilon.
+// costs exactly epsilon. Both measures require the cost model to provide
+// sound selectivity bounds (Cost_model::selectivity_bounds); when it
+// cannot, callers must search without them (branch-and-bound falls back
+// to Lemma-2-disabled search automatically).
 
 #pragma once
 
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
 #include "quest/model/instance.hpp"
 
 namespace quest::core {
@@ -42,15 +49,23 @@ enum class Epsilon_bar_mode {
 };
 
 /// Stateless-per-call evaluator for epsilon-bar. Construct once per
-/// instance; evaluate() per search node.
+/// instance; evaluate() per search node. Precondition: the model provides
+/// sound selectivity bounds for the instance.
 class Epsilon_bar {
  public:
-  Epsilon_bar(const model::Instance& instance, model::Send_policy policy,
+  Epsilon_bar(const model::Instance& instance, const model::Cost_model& model,
               Epsilon_bar_mode mode);
+
+  /// As above with the model's bounds already computed — the
+  /// branch-and-bound computes them once per optimize() call and shares
+  /// them between the gate, this measure and Lower_bound. Precondition:
+  /// `bounds.hi_sound`.
+  Epsilon_bar(const model::Instance& instance, model::Send_policy policy,
+              model::Selectivity_bounds bounds, Epsilon_bar_mode mode);
 
   /// Upper bound over every not-yet-determined stage term for the partial
   /// plan held by `eval`. `remaining` must list exactly the services not in
-  /// the plan and be non-empty.
+  /// the plan and be non-empty; `eval` must use the same cost model.
   double evaluate(const model::Partial_plan_evaluator& eval,
                   std::span<const model::Service_id> remaining) const;
 
@@ -60,26 +75,37 @@ class Epsilon_bar {
   const model::Instance* instance_;
   model::Send_policy policy_;
   Epsilon_bar_mode mode_;
-  /// loose mode: term(c_u, sigma_u, max_global_transfer_out_of_u).
+  /// Upper bounds on the attainable conditional selectivities.
+  std::vector<double> sigma_hi_;
+  /// True when every sigma_hi_ entry is <= 1 (no amplification possible).
+  bool all_hi_selective_;
+  /// loose mode: term(c_u, hi_u, max_global_transfer_out_of_u).
   std::vector<double> loose_term_bound_;
 };
 
 /// quest extension (not part of the paper's description): an *admissible
 /// lower bound* on the stage terms a completion of the partial plan must
-/// still create. Mirrors Epsilon_bar with every max replaced by a min:
+/// still create. Mirrors Epsilon_bar with every max replaced by a min and
+/// the model's attainable-selectivity lower bounds in place of the upper
+/// ones:
 ///
 ///  * the dangling term of the last placed service is at least
-///      P_{k-1} * term(c, sigma, min_{u in R} t(last, u));
+///      P_{k-1} * term(c, sigma(last | prefix), min_{u in R} t(last, u));
 ///  * the term of each unplaced u is at least
-///      P_k * (prod_{w in R \ {u}} min(1, sigma_w))
-///          * term(c_u, sigma_u, min(min_{v in R \ {u}} t(u, v), sink_u)).
+///      P_k * (prod_{w in R \ {u}} min(1, lo_w))
+///          * term(c_u, lo_u, min(min_{v in R \ {u}} t(u, v), sink_u)).
 ///
 /// Joining this with epsilon tightens Lemma-1 pruning — decisive in the
 /// sigma > 1 regime where epsilon alone stays small while the selectivity
 /// product (and therefore every future term) must grow. Ablated in E11.
 class Lower_bound {
  public:
-  Lower_bound(const model::Instance& instance, model::Send_policy policy);
+  Lower_bound(const model::Instance& instance,
+              const model::Cost_model& model);
+
+  /// Precomputed-bounds flavor; see the Epsilon_bar counterpart.
+  Lower_bound(const model::Instance& instance, model::Send_policy policy,
+              const model::Selectivity_bounds& bounds);
 
   /// Greatest provable lower bound over the not-yet-determined stage terms
   /// of any completion. Preconditions as Epsilon_bar::evaluate.
@@ -89,6 +115,8 @@ class Lower_bound {
  private:
   const model::Instance* instance_;
   model::Send_policy policy_;
+  /// Lower bounds on the attainable conditional selectivities.
+  std::vector<double> sigma_lo_;
 };
 
 }  // namespace quest::core

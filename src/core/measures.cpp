@@ -2,20 +2,38 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "quest/common/error.hpp"
 
 namespace quest::core {
 
+using model::Cost_model;
 using model::Instance;
 using model::Partial_plan_evaluator;
-using model::Send_policy;
 using model::Service_id;
 using model::stage_term;
 
-Epsilon_bar::Epsilon_bar(const Instance& instance, Send_policy policy,
+Epsilon_bar::Epsilon_bar(const Instance& instance, const Cost_model& model,
+                         Epsilon_bar_mode mode)
+    : Epsilon_bar(instance, model.policy(),
+                  [&] {
+                    auto bounds = model.selectivity_bounds(instance);
+                    QUEST_EXPECTS(
+                        bounds.has_value() && bounds->hi_sound,
+                        "epsilon-bar needs sound selectivity upper bounds "
+                        "from the cost model (search with Lemma 2 "
+                        "disabled instead)");
+                    return std::move(*bounds);
+                  }(),
+                  mode) {}
+
+Epsilon_bar::Epsilon_bar(const Instance& instance, model::Send_policy policy,
+                         model::Selectivity_bounds bounds,
                          Epsilon_bar_mode mode)
     : instance_(&instance), policy_(policy), mode_(mode) {
+  sigma_hi_ = std::move(bounds.hi);
+  all_hi_selective_ = bounds.all_hi_selective;
   if (mode_ == Epsilon_bar_mode::loose) {
     const std::size_t n = instance.size();
     loose_term_bound_.resize(n);
@@ -23,7 +41,7 @@ Epsilon_bar::Epsilon_bar(const Instance& instance, Send_policy policy,
       const double t_max = instance.max_outgoing_transfer(
           u, [](Service_id) { return true; });
       const auto& s = instance.service(u);
-      loose_term_bound_[u] = stage_term(s.cost, s.selectivity, t_max, policy_);
+      loose_term_bound_[u] = stage_term(s.cost, sigma_hi_[u], t_max, policy_);
     }
   }
 }
@@ -36,8 +54,9 @@ double Epsilon_bar::evaluate(
                 "epsilon-bar is defined while services remain");
   const Instance& instance = *instance_;
 
-  // Dangling term of the current last service: its successor will be drawn
-  // from `remaining`, so the worst case is the costliest outgoing link.
+  // Dangling term of the current last service: its conditional selectivity
+  // is already determined by the prefix; its successor will be drawn from
+  // `remaining`, so the worst case is the costliest outgoing link.
   const Service_id last = eval.last();
   const auto& last_service = instance.service(last);
   double t_dangling = 0.0;
@@ -45,12 +64,12 @@ double Epsilon_bar::evaluate(
     t_dangling = std::max(t_dangling, instance.transfer(last, u));
   }
   double bound = eval.product_before_last() *
-                 stage_term(last_service.cost, last_service.selectivity,
+                 stage_term(last_service.cost, eval.last_selectivity(),
                             t_dangling, policy_);
 
-  // Amplification product over the remaining set (only > 1 when expanding
-  // services exist — the paper's sigma > 1 modification).
-  const bool selective = instance.all_selective();
+  // Amplification product over the remaining set (only > 1 when some
+  // service can still expand the stream — the paper's sigma > 1
+  // modification, via the model's attainable upper bounds).
   const double product_through = eval.product_through();
 
   for (std::size_t i = 0; i < remaining.size(); ++i) {
@@ -67,19 +86,19 @@ double Epsilon_bar::evaluate(
       for (const Service_id v : remaining) {
         if (v != u) t_max = std::max(t_max, instance.transfer(u, v));
       }
-      term_bound = stage_term(s.cost, s.selectivity, t_max, policy_);
+      term_bound = stage_term(s.cost, sigma_hi_[u], t_max, policy_);
     }
 
     double amplification = 1.0;
-    if (!selective) {
+    if (!all_hi_selective_) {
       if (mode_ == Epsilon_bar_mode::loose) {
         // Sound but looser: include u's own factor.
         for (const Service_id w : remaining) {
-          amplification *= std::max(1.0, instance.selectivity(w));
+          amplification *= std::max(1.0, sigma_hi_[w]);
         }
       } else {
         for (const Service_id w : remaining) {
-          if (w != u) amplification *= std::max(1.0, instance.selectivity(w));
+          if (w != u) amplification *= std::max(1.0, sigma_hi_[w]);
         }
       }
     }
@@ -89,8 +108,20 @@ double Epsilon_bar::evaluate(
   return bound;
 }
 
-Lower_bound::Lower_bound(const Instance& instance, Send_policy policy)
-    : instance_(&instance), policy_(policy) {}
+Lower_bound::Lower_bound(const Instance& instance, const Cost_model& model)
+    : instance_(&instance), policy_(model.policy()) {
+  // Only the lower bounds are needed, and those are always finite —
+  // admissible pruning survives even when the upper bounds overflow.
+  auto bounds = model.selectivity_bounds(instance);
+  QUEST_EXPECTS(bounds.has_value(),
+                "the admissible lower bound needs selectivity bounds from "
+                "the cost model");
+  sigma_lo_ = std::move(bounds->lo);
+}
+
+Lower_bound::Lower_bound(const Instance& instance, model::Send_policy policy,
+                         const model::Selectivity_bounds& bounds)
+    : instance_(&instance), policy_(policy), sigma_lo_(bounds.lo) {}
 
 double Lower_bound::evaluate(
     const Partial_plan_evaluator& eval,
@@ -101,7 +132,7 @@ double Lower_bound::evaluate(
   const Instance& instance = *instance_;
 
   // Dangling term: the last placed service must forward to something in
-  // the remaining set.
+  // the remaining set; its conditional selectivity is already fixed.
   const Service_id last = eval.last();
   const auto& last_service = instance.service(last);
   double t_dangling = std::numeric_limits<double>::infinity();
@@ -109,14 +140,14 @@ double Lower_bound::evaluate(
     t_dangling = std::min(t_dangling, instance.transfer(last, u));
   }
   double bound = eval.product_before_last() *
-                 stage_term(last_service.cost, last_service.selectivity,
+                 stage_term(last_service.cost, eval.last_selectivity(),
                             t_dangling, policy_);
 
   // Smallest possible selectivity attenuation between the plan's end and
-  // any later position: only sub-unit selectivities can shrink a product.
-  // Computed exactly per candidate (no division) so floating-point
-  // rounding can never overstate the bound — admissibility is what keeps
-  // the search exact.
+  // any later position: only sub-unit conditional selectivities can shrink
+  // a product, and lo_w bounds each from below. Computed exactly per
+  // candidate (no division) so floating-point rounding can never overstate
+  // the bound — admissibility is what keeps the search exact.
   const double product_through = eval.product_through();
   for (const Service_id u : remaining) {
     const auto& s = instance.service(u);
@@ -125,11 +156,11 @@ double Lower_bound::evaluate(
     for (const Service_id v : remaining) {
       if (v == u) continue;
       t_min = std::min(t_min, instance.transfer(u, v));
-      shrink *= std::min(1.0, instance.selectivity(v));
+      shrink *= std::min(1.0, sigma_lo_[v]);
     }
     bound = std::max(bound,
                      product_through * shrink *
-                         stage_term(s.cost, s.selectivity, t_min, policy_));
+                         stage_term(s.cost, sigma_lo_[u], t_min, policy_));
   }
   return bound;
 }

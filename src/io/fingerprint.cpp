@@ -1,38 +1,10 @@
 #include "quest/io/fingerprint.hpp"
 
-#include <bit>
 #include <cstddef>
 
+#include "quest/common/hash.hpp"
+
 namespace quest::io {
-
-namespace {
-
-constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
-
-class Fnv1a {
- public:
-  void mix(std::uint64_t value) noexcept {
-    for (int byte = 0; byte < 8; ++byte) {
-      state_ ^= (value >> (byte * 8)) & 0xffu;
-      state_ *= fnv_prime;
-    }
-  }
-
-  /// Hashes the exact bit pattern, with all zero representations folded
-  /// together (-0.0 == 0.0 must fingerprint identically — the values
-  /// compare equal through the model API).
-  void mix(double value) noexcept {
-    mix(std::bit_cast<std::uint64_t>(value == 0.0 ? 0.0 : value));
-  }
-
-  std::uint64_t digest() const noexcept { return state_; }
-
- private:
-  std::uint64_t state_ = fnv_offset;
-};
-
-}  // namespace
 
 std::uint64_t fingerprint(const model::Instance& instance,
                           const constraints::Precedence_graph* precedence) {
@@ -77,13 +49,6 @@ std::string fingerprint_hex(const model::Instance& instance,
   return hex64(fingerprint(instance, precedence));
 }
 
-std::string hex64(std::uint64_t value) {
-  std::string hex(16, '0');
-  static constexpr char digits[] = "0123456789abcdef";
-  for (int nibble = 0; nibble < 16; ++nibble) {
-    hex[15 - nibble] = digits[(value >> (nibble * 4)) & 0xfu];
-  }
-  return hex;
-}
+std::string hex64(std::uint64_t value) { return quest::hex64(value); }
 
 }  // namespace quest::io

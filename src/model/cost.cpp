@@ -1,55 +1,74 @@
 #include "quest/model/cost.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "quest/common/error.hpp"
 
 namespace quest::model {
 
 double bottleneck_cost(const Instance& instance, const Plan& plan,
-                       Send_policy policy) {
+                       const Cost_model& model) {
   QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
                 "bottleneck_cost requires a complete plan");
-  const std::size_t n = plan.size();
+  model.validate_for(instance);
+  const Send_policy policy = model.policy();
+  const bool independent = model.is_independent();
+  const auto& order = plan.order();
+  const std::size_t n = order.size();
   double product = 1.0;
   double worst = 0.0;
   for (std::size_t p = 0; p < n; ++p) {
-    const Service_id id = plan[p];
+    const Service_id id = order[p];
     const Service& s = instance.service(id);
-    const double transfer = p + 1 < n ? instance.transfer(id, plan[p + 1])
+    const double sigma =
+        independent ? s.selectivity
+                    : model.conditional_selectivity(
+                          instance, id, std::span(order.data(), p));
+    const double transfer = p + 1 < n ? instance.transfer(id, order[p + 1])
                                       : instance.sink_transfer(id);
-    worst = std::max(
-        worst, product * stage_term(s.cost, s.selectivity, transfer, policy));
-    product *= s.selectivity;
+    worst = std::max(worst,
+                     product * stage_term(s.cost, sigma, transfer, policy));
+    product *= sigma;
   }
   return worst;
 }
 
 double partial_epsilon(const Instance& instance, const Plan& plan,
-                       Send_policy policy) {
-  Partial_plan_evaluator eval(instance, policy);
+                       const Cost_model& model) {
+  Partial_plan_evaluator eval(instance, model);
   for (const Service_id id : plan) eval.append(id);
   return eval.epsilon();
 }
 
 Cost_breakdown cost_breakdown(const Instance& instance, const Plan& plan,
-                              Send_policy policy) {
+                              const Cost_model& model) {
   QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
                 "cost_breakdown requires a complete plan");
+  model.validate_for(instance);
+  const Send_policy policy = model.policy();
+  const bool independent = model.is_independent();
   Cost_breakdown result;
-  const std::size_t n = plan.size();
+  const auto& order = plan.order();
+  const std::size_t n = order.size();
   result.stage_costs.resize(n);
   result.input_fractions.resize(n);
+  result.stage_selectivities.resize(n);
   double product = 1.0;
   for (std::size_t p = 0; p < n; ++p) {
-    const Service_id id = plan[p];
+    const Service_id id = order[p];
     const Service& s = instance.service(id);
-    const double transfer = p + 1 < n ? instance.transfer(id, plan[p + 1])
+    const double sigma =
+        independent ? s.selectivity
+                    : model.conditional_selectivity(
+                          instance, id, std::span(order.data(), p));
+    const double transfer = p + 1 < n ? instance.transfer(id, order[p + 1])
                                       : instance.sink_transfer(id);
     result.input_fractions[p] = product;
+    result.stage_selectivities[p] = sigma;
     result.stage_costs[p] =
-        product * stage_term(s.cost, s.selectivity, transfer, policy);
-    product *= s.selectivity;
+        product * stage_term(s.cost, sigma, transfer, policy);
+    product *= sigma;
   }
   const auto it =
       std::max_element(result.stage_costs.begin(), result.stage_costs.end());
@@ -60,10 +79,12 @@ Cost_breakdown cost_breakdown(const Instance& instance, const Plan& plan,
 }
 
 Partial_plan_evaluator::Partial_plan_evaluator(const Instance& instance,
-                                               Send_policy policy)
+                                               Cost_model model)
     : instance_(&instance),
-      policy_(policy),
+      model_(std::move(model)),
+      gamma_(model_.interaction()),
       in_plan_(instance.size(), 0) {
+  model_.validate_for(instance);
   frames_.reserve(instance.size());
   order_.reserve(instance.size());
 }
@@ -75,6 +96,14 @@ void Partial_plan_evaluator::append(Service_id id) {
   Frame frame;
   frame.id = id;
   frame.bottleneck_pos = 0;
+  frame.sigma = s.selectivity;
+  if (gamma_ != nullptr) {
+    // sigma(id | plan set): symmetric factors, so plan order is
+    // irrelevant; recomputed fresh to stay drift-free under pop().
+    for (const Service_id w : order_) {
+      frame.sigma *= gamma_->at_unchecked(w, id);
+    }
+  }
   if (frames_.empty()) {
     frame.product_before = 1.0;
     frame.epsilon_after = 0.0;
@@ -86,8 +115,8 @@ void Partial_plan_evaluator::append(Service_id id) {
     const Service& last_service = instance_->service(prev.id);
     const double fixed =
         prev.product_before *
-        stage_term(last_service.cost, last_service.selectivity,
-                   instance_->transfer(prev.id, id), policy_);
+        stage_term(last_service.cost, prev.sigma,
+                   instance_->transfer(prev.id, id), model_.policy());
     if (fixed > prev.epsilon_after) {
       frame.epsilon_after = fixed;
       frame.bottleneck_pos = frames_.size() - 1;
@@ -97,7 +126,7 @@ void Partial_plan_evaluator::append(Service_id id) {
       frame.bottleneck_pos = prev.bottleneck_pos;
     }
   }
-  frame.product_through = frame.product_before * s.selectivity;
+  frame.product_through = frame.product_before * frame.sigma;
   frames_.push_back(frame);
   order_.push_back(id);
   in_plan_[id] = 1;
@@ -127,6 +156,12 @@ double Partial_plan_evaluator::product_before_last() const {
   return frames_.back().product_before;
 }
 
+double Partial_plan_evaluator::last_selectivity() const {
+  QUEST_EXPECTS(!frames_.empty(),
+                "last_selectivity() on an empty partial plan");
+  return frames_.back().sigma;
+}
+
 std::size_t Partial_plan_evaluator::bottleneck_position() const {
   QUEST_EXPECTS(frames_.size() >= 2,
                 "bottleneck_position() needs at least one determined term");
@@ -141,8 +176,8 @@ double Partial_plan_evaluator::term_if_appended(Service_id next) const {
   const Frame& top = frames_.back();
   const Service& last_service = instance_->service(top.id);
   return top.product_before *
-         stage_term(last_service.cost, last_service.selectivity,
-                    instance_->transfer(top.id, next), policy_);
+         stage_term(last_service.cost, top.sigma,
+                    instance_->transfer(top.id, next), model_.policy());
 }
 
 double Partial_plan_evaluator::complete_cost() const {
@@ -151,8 +186,8 @@ double Partial_plan_evaluator::complete_cost() const {
   const Service& last_service = instance_->service(top.id);
   const double final_term =
       top.product_before *
-      stage_term(last_service.cost, last_service.selectivity,
-                 instance_->sink_transfer(top.id), policy_);
+      stage_term(last_service.cost, top.sigma,
+                 instance_->sink_transfer(top.id), model_.policy());
   return std::max(top.epsilon_after, final_term);
 }
 

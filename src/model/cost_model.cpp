@@ -1,0 +1,375 @@
+#include "quest/model/cost_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <charconv>
+#include <cstdlib>
+
+#include "quest/common/error.hpp"
+#include "quest/common/hash.hpp"
+#include "quest/common/rng.hpp"
+
+namespace quest::model {
+
+namespace {
+
+/// Shortest round-trip decimal of a double ("0.5", "4", "1e-06"):
+/// distinct values always format distinctly, so distinct models can
+/// never collide on Cost_model::key() — the plan cache's
+/// never-cross-serve invariant rides on this.
+std::string fmt_double(double value) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  QUEST_ASSERT(ec == std::errc{}, "double formatting cannot fail");
+  return std::string(buffer, end);
+}
+
+/// FNV-1a content hash of a double sequence (shared Fnv1a: zero folded
+/// so -0.0 and 0.0 key identically, matching operator==).
+std::uint64_t hash_doubles(std::span<const double> values) {
+  Fnv1a hash;
+  for (const double value : values) hash.mix(value);
+  return hash.digest();
+}
+
+void validate_clamps(double clamp_lo, double clamp_hi) {
+  QUEST_EXPECTS(std::isfinite(clamp_lo) && std::isfinite(clamp_hi),
+                "correlation clamps must be finite");
+  QUEST_EXPECTS(clamp_lo >= 0.0 && clamp_lo <= clamp_hi,
+                "correlation clamps must satisfy 0 <= clamp-lo <= clamp-hi");
+}
+
+}  // namespace
+
+const char* to_string(Send_policy policy) noexcept {
+  return policy == Send_policy::sequential ? "sequential" : "overlapped";
+}
+
+Send_policy parse_send_policy(std::string_view text) {
+  if (text == "sequential") return Send_policy::sequential;
+  if (text == "overlapped") return Send_policy::overlapped;
+  throw Parse_error("policy must be 'sequential' or 'overlapped', got '" +
+                    std::string(text) + "'");
+}
+
+const char* to_string(Selectivity_structure structure) noexcept {
+  return structure == Selectivity_structure::independent ? "independent"
+                                                         : "correlated";
+}
+
+Cost_model Cost_model::independent(Send_policy policy) {
+  Cost_model model;
+  model.policy_ = policy;
+  return model;
+}
+
+Cost_model Cost_model::correlated(Matrix<double> gamma, Send_policy policy,
+                                  double clamp_lo, double clamp_hi) {
+  validate_clamps(clamp_lo, clamp_hi);
+  const std::size_t n = gamma.rows();
+  QUEST_EXPECTS(gamma.cols() == n && n >= 1,
+                "correlation matrix must be square and non-empty");
+  for (const double value : gamma.data()) {
+    QUEST_EXPECTS(std::isfinite(value) && value >= 0.0,
+                  "correlation factors must be finite and non-negative");
+  }
+  // Symmetrize and clamp: only the unordered pair {w, u} matters, which
+  // is what keeps prefix-set selectivity products order-independent.
+  for (std::size_t i = 0; i < n; ++i) {
+    gamma(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double factor = std::clamp(0.5 * (gamma(i, j) + gamma(j, i)),
+                                       clamp_lo, clamp_hi);
+      gamma(i, j) = factor;
+      gamma(j, i) = factor;
+    }
+  }
+  auto payload = std::make_shared<Correlation>();
+  payload->clamp_lo = clamp_lo;
+  payload->clamp_hi = clamp_hi;
+  payload->params = "matrix=" + hex64(hash_doubles(gamma.data()));
+  payload->gamma = std::move(gamma);
+  Cost_model model;
+  model.policy_ = policy;
+  model.correlation_ = std::move(payload);
+  return model;
+}
+
+Cost_model Cost_model::correlated_seeded(std::size_t n, double strength,
+                                         std::uint64_t seed,
+                                         Send_policy policy, double clamp_lo,
+                                         double clamp_hi) {
+  QUEST_EXPECTS(n >= 1, "correlated_seeded needs n >= 1");
+  QUEST_EXPECTS(std::isfinite(strength) && strength >= 0.0,
+                "correlation strength must be finite and non-negative");
+  validate_clamps(clamp_lo, clamp_hi);
+  Matrix<double> gamma = Matrix<double>::square(n, 1.0);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double factor =
+          std::clamp(std::exp(strength * rng.uniform(-1.0, 1.0)), clamp_lo,
+                     clamp_hi);
+      gamma(i, j) = factor;
+      gamma(j, i) = factor;
+    }
+  }
+  auto payload = std::make_shared<Correlation>();
+  payload->gamma = std::move(gamma);
+  payload->clamp_lo = clamp_lo;
+  payload->clamp_hi = clamp_hi;
+  payload->params =
+      "strength=" + fmt_double(strength) + ",seed=" + std::to_string(seed);
+  Cost_model model;
+  model.policy_ = policy;
+  model.correlation_ = std::move(payload);
+  return model;
+}
+
+Cost_model Cost_model::with_policy(Send_policy policy) const {
+  Cost_model model = *this;
+  model.policy_ = policy;
+  return model;
+}
+
+const Matrix<double>* Cost_model::interaction() const noexcept {
+  return correlation_ == nullptr ? nullptr : &correlation_->gamma;
+}
+
+double Cost_model::conditional_selectivity(
+    const Instance& instance, Service_id u,
+    std::span<const Service_id> placed) const {
+  double sigma = instance.selectivity(u);
+  if (correlation_ != nullptr) {
+    const Matrix<double>& gamma = correlation_->gamma;
+    for (const Service_id w : placed) {
+      sigma *= gamma.at_unchecked(w, u);
+    }
+  }
+  return sigma;
+}
+
+double Cost_model::conditional_selectivity(const Instance& instance,
+                                           Service_id u,
+                                           std::uint64_t placed_mask) const {
+  double sigma = instance.selectivity(u);
+  if (correlation_ != nullptr) {
+    const Matrix<double>& gamma = correlation_->gamma;
+    for (std::uint64_t bits = placed_mask; bits != 0; bits &= bits - 1) {
+      sigma *= gamma.at_unchecked(
+          static_cast<std::size_t>(std::countr_zero(bits)), u);
+    }
+  }
+  return sigma;
+}
+
+std::vector<double> Cost_model::stage_selectivities(const Instance& instance,
+                                                    const Plan& plan) const {
+  std::vector<double> result;
+  result.reserve(plan.size());
+  const auto& order = plan.order();
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    result.push_back(conditional_selectivity(
+        instance, order[p], std::span(order.data(), p)));
+  }
+  return result;
+}
+
+std::optional<Selectivity_bounds> Cost_model::selectivity_bounds(
+    const Instance& instance) const {
+  validate_for(instance);
+  const std::size_t n = instance.size();
+  Selectivity_bounds bounds;
+  bounds.lo.resize(n);
+  bounds.hi.resize(n);
+  for (Service_id u = 0; u < n; ++u) {
+    double lo = instance.selectivity(u);
+    double hi = lo;
+    if (correlation_ != nullptr) {
+      const Matrix<double>& gamma = correlation_->gamma;
+      for (Service_id w = 0; w < n; ++w) {
+        if (w == u) continue;
+        const double factor = gamma.at_unchecked(w, u);
+        hi *= std::max(1.0, factor);
+        lo *= std::min(1.0, factor);
+      }
+    }
+    bounds.lo[u] = lo;
+    bounds.hi[u] = hi;
+    if (!std::isfinite(hi)) bounds.hi_sound = false;
+    if (hi > 1.0) bounds.all_hi_selective = false;
+  }
+  return bounds;
+}
+
+void Cost_model::validate_for(const Instance& instance) const {
+  if (correlation_ == nullptr) return;
+  QUEST_EXPECTS(correlation_->gamma.rows() == instance.size(),
+                "cost model's correlation matrix is sized for " +
+                    std::to_string(correlation_->gamma.rows()) +
+                    " services, instance has " +
+                    std::to_string(instance.size()));
+}
+
+std::string Cost_model::key() const {
+  std::string key = to_string(policy_);
+  key += '/';
+  if (correlation_ == nullptr) {
+    key += "independent";
+  } else {
+    key += "correlated:" + correlation_->params +
+           ",clamp-lo=" + fmt_double(correlation_->clamp_lo) +
+           ",clamp-hi=" + fmt_double(correlation_->clamp_hi);
+  }
+  return key;
+}
+
+bool operator==(const Cost_model& a, const Cost_model& b) {
+  if (a.policy_ != b.policy_) return false;
+  if ((a.correlation_ == nullptr) != (b.correlation_ == nullptr)) {
+    return false;
+  }
+  if (a.correlation_ == nullptr || a.correlation_ == b.correlation_) {
+    return true;
+  }
+  return a.correlation_->clamp_lo == b.correlation_->clamp_lo &&
+         a.correlation_->clamp_hi == b.correlation_->clamp_hi &&
+         a.correlation_->gamma == b.correlation_->gamma;
+}
+
+// ---- Cost_model_spec -------------------------------------------------
+
+Cost_model Cost_model_spec::bind(std::size_t n) const {
+  if (structure == Selectivity_structure::independent) {
+    return Cost_model::independent(policy);
+  }
+  return Cost_model::correlated_seeded(n, strength, seed, policy, clamp_lo,
+                                       clamp_hi);
+}
+
+std::string Cost_model_spec::to_string() const {
+  if (structure == Selectivity_structure::independent) return "independent";
+  return "correlated:strength=" + fmt_double(strength) +
+         ",seed=" + std::to_string(seed) +
+         ",clamp-lo=" + fmt_double(clamp_lo) +
+         ",clamp-hi=" + fmt_double(clamp_hi);
+}
+
+const std::vector<std::string>& Cost_model_spec::structure_names() {
+  static const std::vector<std::string> names = {"independent",
+                                                 "correlated"};
+  return names;
+}
+
+const std::vector<std::string>& Cost_model_spec::option_keys() {
+  static const std::vector<std::string> keys = {"strength", "seed",
+                                                "clamp-lo", "clamp-hi"};
+  return keys;
+}
+
+namespace {
+
+double parse_double_value(std::string_view key, std::string_view text) {
+  const std::string buffer(text);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (buffer.empty() || end != buffer.c_str() + buffer.size() ||
+      !std::isfinite(value)) {
+    throw Parse_error("cost model option '" + std::string(key) +
+                      "': expected a finite number, got '" + buffer + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_uint_value(std::string_view key, std::string_view text) {
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw Parse_error("cost model option '" + std::string(key) +
+                      "': expected a non-negative integer, got '" +
+                      std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Cost_model_spec parse_cost_model_spec(std::string_view model_text,
+                                      std::string_view policy_text) {
+  Cost_model_spec spec;
+  spec.policy = parse_send_policy(policy_text);
+
+  std::string_view name = model_text;
+  std::string_view options_text;
+  if (const auto colon = model_text.find(':');
+      colon != std::string_view::npos) {
+    name = model_text.substr(0, colon);
+    options_text = model_text.substr(colon + 1);
+    if (options_text.empty()) {
+      throw Parse_error("cost model spec '" + std::string(model_text) +
+                        "' has a ':' but no options");
+    }
+  }
+  if (name == "independent") {
+    if (!options_text.empty()) {
+      throw Parse_error("the independent cost model takes no options");
+    }
+    return spec;
+  }
+  if (name != "correlated") {
+    throw Parse_error("unknown cost model '" + std::string(name) +
+                      "' (expected independent or correlated)");
+  }
+  spec.structure = Selectivity_structure::correlated;
+
+  std::string_view rest = options_text;
+  std::vector<std::string> seen;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view piece =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (comma != std::string_view::npos && rest.empty()) {
+      throw Parse_error("trailing comma in cost model spec '" +
+                        std::string(model_text) + "'");
+    }
+    const auto eq = piece.find('=');
+    if (eq == std::string_view::npos || eq == 0 ||
+        eq + 1 >= piece.size()) {
+      throw Parse_error("malformed cost model option '" +
+                        std::string(piece) + "': expected key=value");
+    }
+    const std::string key(piece.substr(0, eq));
+    const std::string_view value = piece.substr(eq + 1);
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      throw Parse_error("duplicate cost model option '" + key + "'");
+    }
+    seen.push_back(key);
+    if (key == "strength") {
+      spec.strength = parse_double_value(key, value);
+      if (spec.strength < 0.0) {
+        throw Parse_error("cost model strength must be non-negative");
+      }
+    } else if (key == "seed") {
+      spec.seed = parse_uint_value(key, value);
+    } else if (key == "clamp-lo") {
+      spec.clamp_lo = parse_double_value(key, value);
+    } else if (key == "clamp-hi") {
+      spec.clamp_hi = parse_double_value(key, value);
+    } else {
+      throw Parse_error("cost model has no option '" + key +
+                        "' (valid: strength, seed, clamp-lo, clamp-hi)");
+    }
+  }
+  if (spec.clamp_lo < 0.0 || spec.clamp_lo > spec.clamp_hi) {
+    throw Parse_error(
+        "cost model clamps must satisfy 0 <= clamp-lo <= clamp-hi");
+  }
+  return spec;
+}
+
+}  // namespace quest::model

@@ -9,8 +9,8 @@
 namespace quest::model {
 
 std::string explain_plan(const Instance& instance, const Plan& plan,
-                         Send_policy policy) {
-  const auto breakdown = cost_breakdown(instance, plan, policy);
+                         const Cost_model& model) {
+  const auto breakdown = cost_breakdown(instance, plan, model);
   Table table("plan: " + plan.to_string(instance) + "  (bottleneck cost " +
               Table::num(breakdown.cost, 3) + ")");
   table.set_header({"pos", "service", "tuples in", "c", "sigma", "t-out",
@@ -23,7 +23,8 @@ std::string explain_plan(const Instance& instance, const Plan& plan,
     table.add_row({std::to_string(p),
                    s.name.empty() ? "WS" + std::to_string(plan[p]) : s.name,
                    Table::num(breakdown.input_fractions[p], 3),
-                   Table::num(s.cost, 2), Table::num(s.selectivity, 2),
+                   Table::num(s.cost, 2),
+                   Table::num(breakdown.stage_selectivities[p], 2),
                    Table::num(t_out, 2),
                    Table::num(breakdown.stage_costs[p], 3),
                    p == breakdown.bottleneck_position ? "<- bottleneck"
@@ -31,9 +32,14 @@ std::string explain_plan(const Instance& instance, const Plan& plan,
   }
   table.add_footnote("tuples in = expected tuples reaching the stage per "
                      "input tuple; stage cost = tuples-in x " +
-                     std::string(policy == Send_policy::sequential
+                     std::string(model.policy() == Send_policy::sequential
                                      ? "(c + sigma*t)"
                                      : "max(c, sigma*t)"));
+  table.add_footnote("cost model: " + model.key() +
+                     (model.is_independent()
+                          ? ""
+                          : "; sigma shows the conditional selectivity "
+                            "given the stages before it"));
   std::ostringstream out;
   out << table;
   return out.str();
@@ -41,7 +47,7 @@ std::string explain_plan(const Instance& instance, const Plan& plan,
 
 std::string compare_plans(const Instance& instance,
                           const std::vector<Labeled_plan>& plans,
-                          Send_policy policy) {
+                          const Cost_model& model) {
   QUEST_EXPECTS(!plans.empty(), "compare_plans needs at least one plan");
   struct Row {
     const Labeled_plan* entry;
@@ -51,7 +57,7 @@ std::string compare_plans(const Instance& instance,
   std::vector<Row> rows;
   rows.reserve(plans.size());
   for (const auto& entry : plans) {
-    const auto breakdown = cost_breakdown(instance, entry.plan, policy);
+    const auto breakdown = cost_breakdown(instance, entry.plan, model);
     rows.push_back({&entry, breakdown.cost, breakdown.bottleneck_position});
   }
   std::stable_sort(rows.begin(), rows.end(),

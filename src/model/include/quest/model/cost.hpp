@@ -1,13 +1,17 @@
 // quest/model/cost.hpp
 //
 // The bottleneck cost metric of the paper (Eq. 1) and an incremental
-// evaluator for partial plans, the workhorse of every optimizer.
+// evaluator for partial plans, the workhorse of every optimizer. All
+// entry points evaluate through a Cost_model (quest/model/cost_model.hpp):
+// the send policy plus the selectivity structure.
 //
 // For a complete plan S = (s_0, ..., s_{n-1}):
 //
 //   cost(S) = max_i  P_i * term(c_i, sigma_i, t_i)
 //
-// where P_i is the product of the selectivities of the services before s_i
+// where sigma_i = sigma(s_i | {s_0..s_{i-1}}) is the model's conditional
+// selectivity (just sigma_{s_i} under the independent structure), P_i is
+// the product of the conditional selectivities of the services before s_i
 // (the average number of tuples reaching s_i per input tuple), t_i is the
 // transfer cost from s_i to its successor (the sink link for the last
 // service, zero by default), and term() depends on the send policy:
@@ -20,26 +24,24 @@
 //
 // For a *partial* plan only the terms of services that already have a
 // successor are determined; their maximum is the paper's measure epsilon,
-// which is non-decreasing under extension (Lemma 1).
+// which is non-decreasing under extension (Lemma 1) for every cost model
+// (the model's conditional selectivities are non-negative by
+// construction, so stage terms are non-negative).
 
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "quest/model/cost_model.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
 
 namespace quest::model {
 
-/// How a single-service stage combines processing and forwarding cost.
-enum class Send_policy {
-  sequential,  ///< c + sigma * t — the paper's single-threaded services
-  overlapped,  ///< max(c, sigma * t) — multi-threaded relaxation
-};
-
 /// Per-tuple time spent at one stage, before attenuation by upstream
-/// selectivities.
+/// selectivities. `selectivity` is the stage's conditional selectivity
+/// under the active cost model.
 constexpr double stage_term(double cost, double selectivity, double transfer,
                             Send_policy policy) noexcept {
   const double send = selectivity * transfer;
@@ -47,16 +49,17 @@ constexpr double stage_term(double cost, double selectivity, double transfer,
                                            : (cost > send ? cost : send);
 }
 
-/// Bottleneck cost (Eq. 1) of a complete plan.
-/// Precondition: `plan` is a permutation of the instance's services.
+/// Bottleneck cost (Eq. 1) of a complete plan under `model`.
+/// Precondition: `plan` is a permutation of the instance's services and
+/// `model` fits the instance (Cost_model::validate_for).
 double bottleneck_cost(const Instance& instance, const Plan& plan,
-                       Send_policy policy = Send_policy::sequential);
+                       const Cost_model& model = {});
 
 /// Fully-determined-terms maximum (the paper's epsilon) of a partial plan:
 /// the max over all services that already have a successor. Zero for plans
 /// of size < 2. Precondition: `plan` holds distinct, in-range services.
 double partial_epsilon(const Instance& instance, const Plan& plan,
-                       Send_policy policy = Send_policy::sequential);
+                       const Cost_model& model = {});
 
 /// Detailed per-stage view of a complete plan's cost.
 struct Cost_breakdown {
@@ -64,6 +67,9 @@ struct Cost_breakdown {
   std::vector<double> stage_costs;
   /// Expected tuples reaching each position per input tuple (P_i).
   std::vector<double> input_fractions;
+  /// Conditional selectivity at each position under the cost model
+  /// (equal to the services' base selectivities when independent).
+  std::vector<double> stage_selectivities;
   /// Plan position of the (first) bottleneck stage.
   std::size_t bottleneck_position = 0;
   /// The bottleneck cost itself.
@@ -72,15 +78,16 @@ struct Cost_breakdown {
 
 /// Computes the full breakdown; same preconditions as bottleneck_cost.
 Cost_breakdown cost_breakdown(const Instance& instance, const Plan& plan,
-                              Send_policy policy = Send_policy::sequential);
+                              const Cost_model& model = {});
 
 /// Incremental evaluator for growing/shrinking a partial plan, O(1) per
-/// append/pop. Used by branch-and-bound and exhaustive search; exposed
+/// append/pop under the independent structure and O(plan size) under the
+/// correlated one. Used by branch-and-bound and exhaustive search; exposed
 /// publicly because heuristics and tests benefit from it too.
 class Partial_plan_evaluator {
  public:
   explicit Partial_plan_evaluator(const Instance& instance,
-                                  Send_policy policy = Send_policy::sequential);
+                                  Cost_model model = {});
 
   /// Appends a service. Precondition: not already in the plan.
   void append(Service_id id);
@@ -101,7 +108,7 @@ class Partial_plan_evaluator {
     return frames_.empty() ? 0.0 : frames_.back().epsilon_after;
   }
 
-  /// Product of the selectivities of every service in the plan
+  /// Product of the conditional selectivities of every service in the plan
   /// (P_{k+1}: the input fraction any immediately-appended service sees).
   double product_through() const noexcept {
     return frames_.empty() ? 1.0 : frames_.back().product_through;
@@ -109,6 +116,10 @@ class Partial_plan_evaluator {
 
   /// Input fraction of the last service in the plan (P_k).
   double product_before_last() const;
+
+  /// Conditional selectivity of the last service given the services
+  /// before it — the sigma its stage term uses. Precondition: non-empty.
+  double last_selectivity() const;
 
   /// Plan position of the (earliest) stage achieving epsilon — the
   /// bottleneck service among the determined terms. Defined for size >= 2;
@@ -129,19 +140,23 @@ class Partial_plan_evaluator {
   const std::vector<Service_id>& order() const noexcept { return order_; }
 
   const Instance& instance() const noexcept { return *instance_; }
-  Send_policy policy() const noexcept { return policy_; }
+  const Cost_model& cost_model() const noexcept { return model_; }
+  Send_policy policy() const noexcept { return model_.policy(); }
 
  private:
   struct Frame {
     Service_id id;
+    double sigma;            ///< sigma(id | services before it)
     double product_before;   ///< P_k for this service
-    double product_through;  ///< P_k * sigma_k
+    double product_through;  ///< P_k * sigma
     double epsilon_after;    ///< epsilon including this append's fixed term
     std::size_t bottleneck_pos;  ///< earliest argmax position of epsilon
   };
 
   const Instance* instance_;
-  Send_policy policy_;
+  Cost_model model_;
+  /// Cached correlation matrix (nullptr = independent fast path).
+  const Matrix<double>* gamma_;
   std::vector<Frame> frames_;
   std::vector<Service_id> order_;
   std::vector<char> in_plan_;

@@ -1,0 +1,226 @@
+// quest/model/cost_model.hpp
+//
+// The cost model of an optimization request as a first-class value: the
+// send policy (how a stage combines processing and forwarding time)
+// bundled with a *selectivity structure* (how the selectivity of a service
+// depends on the services applied before it).
+//
+// Structures:
+//
+//   independent — the paper's Eq. 1 assumption: sigma(u | S) == sigma_u
+//     regardless of the prefix set S. The zero-overhead fast path; every
+//     evaluator produces bit-identical results to the historical
+//     Send_policy-parameterized API.
+//
+//   correlated — conditional selectivity backed by a pairwise interaction
+//     matrix gamma:  sigma(u | S) = sigma_u * prod_{w in S} gamma(w, u).
+//     gamma is symmetrized and clamped into [clamp_lo, clamp_hi] at
+//     construction; gamma(w, u) > 1 means w's filter makes u pass *more*
+//     tuples (positive correlation of the predicates), < 1 means u's
+//     filtering is partially subsumed by w. The clamp keeps every factor
+//     non-negative and finite, so stage terms stay non-negative and the
+//     partial-plan epsilon remains monotone under extension — Lemma 1, and
+//     with it the branch-and-bound's pruning, survives unchanged.
+//
+// Symmetry matters: with gamma(w, u) == gamma(u, w) the selectivity
+// product of a prefix *set* is independent of the order within the set
+// (each unordered pair contributes its factor exactly once), which is what
+// keeps the subset-DP and frontier-search recurrences valid and lets every
+// engine agree on correlated instances.
+//
+// For the search bounds (epsilon-bar / Lemma 2, and the admissible lower
+// bound), the model provides per-service bounds on the conditional
+// selectivity any prefix can attain (selectivity_bounds). When no sound
+// finite *upper* bound exists — products overflowing to infinity — the
+// bounds report hi_sound == false and engines fall back to
+// Lemma-2-disabled search; the always-finite lower bounds keep
+// admissible pruning alive.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "quest/common/matrix.hpp"
+#include "quest/model/instance.hpp"
+#include "quest/model/plan.hpp"
+
+namespace quest::model {
+
+/// How a single-service stage combines processing and forwarding cost.
+enum class Send_policy {
+  sequential,  ///< c + sigma * t — the paper's single-threaded services
+  overlapped,  ///< max(c, sigma * t) — multi-threaded relaxation
+};
+
+/// "sequential" / "overlapped".
+const char* to_string(Send_policy policy) noexcept;
+
+/// Parses "sequential" / "overlapped"; throws Parse_error otherwise.
+Send_policy parse_send_policy(std::string_view text);
+
+/// How service selectivities compose along a plan prefix.
+enum class Selectivity_structure {
+  independent,
+  correlated,
+};
+
+/// "independent" / "correlated".
+const char* to_string(Selectivity_structure structure) noexcept;
+
+/// Per-service bounds on the conditional selectivity attainable under any
+/// prefix set (see Cost_model::selectivity_bounds). The lower bounds are
+/// always finite (shrinking factors only); the upper bounds can overflow
+/// to infinity under extreme amplification, in which case `hi_sound` is
+/// false and only the lower bounds may be used.
+struct Selectivity_bounds {
+  std::vector<double> lo;  ///< admissible lower bounds (always finite)
+  std::vector<double> hi;  ///< upper bounds; sound only when hi_sound
+  /// True when every `hi` entry is finite — Lemma-2 closure (Epsilon_bar)
+  /// requires this; the admissible lower bound does not.
+  bool hi_sound = true;
+  /// True when every upper bound is <= 1: no completion can ever amplify
+  /// the tuple stream, the generalization of Instance::all_selective().
+  bool all_hi_selective = true;
+};
+
+/// The first-class cost model: send policy + selectivity structure.
+/// A cheap value type (an enum plus a shared immutable correlation
+/// payload); copy freely, including into every opt::Request.
+class Cost_model {
+ public:
+  /// Bounds applied to the interaction factors at construction.
+  static constexpr double default_clamp_lo = 0.25;
+  static constexpr double default_clamp_hi = 4.0;
+
+  /// Independent Eq. 1 model with the sequential policy.
+  Cost_model() = default;
+
+  static Cost_model independent(
+      Send_policy policy = Send_policy::sequential);
+
+  /// Correlated model from an explicit pairwise interaction matrix.
+  /// `gamma` must be square with finite, non-negative entries; it is
+  /// symmetrized (averaged with its transpose), its off-diagonal entries
+  /// clamped into [clamp_lo, clamp_hi], and its diagonal forced to 1.
+  static Cost_model correlated(Matrix<double> gamma,
+                               Send_policy policy = Send_policy::sequential,
+                               double clamp_lo = default_clamp_lo,
+                               double clamp_hi = default_clamp_hi);
+
+  /// Correlated model with a seeded random interaction matrix for an
+  /// n-service instance: off-diagonal factors exp(strength * U[-1, 1]),
+  /// then clamped. strength 0 reproduces independent selectivities while
+  /// exercising the correlated code path.
+  static Cost_model correlated_seeded(
+      std::size_t n, double strength, std::uint64_t seed,
+      Send_policy policy = Send_policy::sequential,
+      double clamp_lo = default_clamp_lo,
+      double clamp_hi = default_clamp_hi);
+
+  Send_policy policy() const noexcept { return policy_; }
+  /// Same selectivity structure under a different send policy.
+  Cost_model with_policy(Send_policy policy) const;
+
+  Selectivity_structure structure() const noexcept {
+    return correlation_ == nullptr ? Selectivity_structure::independent
+                                   : Selectivity_structure::correlated;
+  }
+  bool is_independent() const noexcept { return correlation_ == nullptr; }
+
+  /// The clamped symmetric interaction matrix; nullptr for independent.
+  const Matrix<double>* interaction() const noexcept;
+
+  /// sigma(u | placed): the conditional selectivity of `u` given the set
+  /// of already-applied services. `placed` must hold distinct in-range ids
+  /// not containing `u`; order is irrelevant (symmetric gamma).
+  double conditional_selectivity(const Instance& instance, Service_id u,
+                                 std::span<const Service_id> placed) const;
+
+  /// Mask flavor for the subset engines (bit i set = service i placed).
+  double conditional_selectivity(const Instance& instance, Service_id u,
+                                 std::uint64_t placed_mask) const;
+
+  /// Conditional selectivity of each position of `plan` (partial plans
+  /// allowed) given the services before it.
+  std::vector<double> stage_selectivities(const Instance& instance,
+                                          const Plan& plan) const;
+
+  /// Per-service bounds on the attainable conditional selectivity.
+  /// When the upper-bound products overflow, the bounds come back with
+  /// `hi_sound == false`: Lemma-2 closure must then be disabled, while
+  /// the (always finite) lower bounds remain usable for admissible
+  /// pruning. nullopt is reserved for structures that cannot bound
+  /// selectivities at all; both built-ins always return bounds.
+  std::optional<Selectivity_bounds> selectivity_bounds(
+      const Instance& instance) const;
+
+  /// Throws Precondition_error when the model cannot evaluate `instance`
+  /// (a correlated interaction matrix sized for a different instance).
+  void validate_for(const Instance& instance) const;
+
+  /// Canonical identity string, e.g. "sequential/independent" or
+  /// "overlapped/correlated:strength=0.5,seed=7,clamp-lo=0.25,clamp-hi=4".
+  /// Equal models have equal keys; explicit-matrix models embed a content
+  /// hash. Plan caches must never serve a plan across different keys.
+  std::string key() const;
+
+  /// Semantic equality: same policy, structure, clamps and interaction.
+  friend bool operator==(const Cost_model& a, const Cost_model& b);
+
+ private:
+  struct Correlation {
+    Matrix<double> gamma;  ///< symmetric, clamped, unit diagonal
+    double clamp_lo = default_clamp_lo;
+    double clamp_hi = default_clamp_hi;
+    /// "strength=...,seed=..." or "matrix=<hash>", without clamps.
+    std::string params;
+  };
+
+  Send_policy policy_ = Send_policy::sequential;
+  std::shared_ptr<const Correlation> correlation_;
+};
+
+/// Instance-agnostic textual description of a cost model — what travels
+/// on the wire (quest_serve's "model" / "policy" fields), on command
+/// lines (quest_cli --model / --policy), and in engine specs (the shared
+/// model= / policy= registry keys). bind(n) builds the Cost_model for an
+/// n-service instance.
+struct Cost_model_spec {
+  Send_policy policy = Send_policy::sequential;
+  Selectivity_structure structure = Selectivity_structure::independent;
+  double strength = 0.5;
+  std::uint64_t seed = 1;
+  double clamp_lo = Cost_model::default_clamp_lo;
+  double clamp_hi = Cost_model::default_clamp_hi;
+
+  Cost_model bind(std::size_t n) const;
+
+  /// Canonical spec text (without the policy): "independent" or
+  /// "correlated:strength=...,seed=...,clamp-lo=...,clamp-hi=...".
+  std::string to_string() const;
+
+  /// The documented structure names ("independent", "correlated").
+  static const std::vector<std::string>& structure_names();
+  /// The documented correlated option keys ("strength", "seed",
+  /// "clamp-lo", "clamp-hi").
+  static const std::vector<std::string>& option_keys();
+
+  friend bool operator==(const Cost_model_spec&,
+                         const Cost_model_spec&) = default;
+};
+
+/// Parses "independent" or "correlated[:key=value,...]" plus a policy
+/// name into a spec. Grammar mirrors the optimizer registry
+/// ("name[:key=value,key=value]"); unknown structures, unknown keys,
+/// malformed pairs and out-of-range values throw Parse_error.
+Cost_model_spec parse_cost_model_spec(std::string_view model_text,
+                                      std::string_view policy_text =
+                                          "sequential");
+
+}  // namespace quest::model

@@ -2,7 +2,8 @@
 //
 // Human-readable plan reports: where the time goes, which stage is the
 // bottleneck, and how candidate plans compare. Built on cost_breakdown;
-// used by the examples and handy at any debugging session.
+// used by the examples and handy at any debugging session. All reports
+// evaluate through a Cost_model and name it in their footnotes.
 
 #pragma once
 
@@ -19,9 +20,10 @@ namespace quest::model {
 ///   | pos | service | in-frac | c | sigma | t-out | stage cost |  |
 ///   ...                                              4.500  <- bottleneck
 ///
-/// Preconditions as bottleneck_cost.
+/// The sigma column shows the *conditional* selectivity at that position
+/// under the model. Preconditions as bottleneck_cost.
 std::string explain_plan(const Instance& instance, const Plan& plan,
-                         Send_policy policy = Send_policy::sequential);
+                         const Cost_model& model = {});
 
 /// One row per plan, best (lowest cost) first:
 /// label, cost, ratio to best, bottleneck service.
@@ -32,6 +34,6 @@ struct Labeled_plan {
 
 std::string compare_plans(const Instance& instance,
                           const std::vector<Labeled_plan>& plans,
-                          Send_policy policy = Send_policy::sequential);
+                          const Cost_model& model = {});
 
 }  // namespace quest::model

@@ -45,7 +45,7 @@ Result Annealing_optimizer::optimize(const Request& request) {
   double current_cost = seed.cost;
   if (request.warm_start != nullptr) {
     const double warm_cost = model::bottleneck_cost(
-        instance, *request.warm_start, request.policy);
+        instance, *request.warm_start, request.model);
     ++stats.complete_plans;
     if (warm_cost < current_cost) {
       current = request.warm_start->order();
@@ -91,7 +91,7 @@ Result Annealing_optimizer::optimize(const Request& request) {
       continue;
     }
     const double cost =
-        model::bottleneck_cost(instance, Plan(neighbor), request.policy);
+        model::bottleneck_cost(instance, Plan(neighbor), request.model);
     ++stats.complete_plans;
     const double delta = cost - current_cost;
     if (delta <= 0.0 ||

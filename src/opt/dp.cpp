@@ -20,7 +20,9 @@ Result Dp_optimizer::optimize(const Request& request) {
   const std::size_t n = instance.size();
   QUEST_EXPECTS(n <= max_services,
                 "subset DP is limited to max_services services");
-  const auto policy = request.policy;
+  const auto& cost_model = request.model;
+  const auto policy = cost_model.policy();
+  const bool independent = cost_model.is_independent();
   const auto* precedence = request.precedence;
   Result result;
   Search_stats stats;
@@ -29,13 +31,21 @@ Result Dp_optimizer::optimize(const Request& request) {
   const std::size_t full = std::size_t{1} << n;
   constexpr double inf = std::numeric_limits<double>::infinity();
 
-  // Selectivity product of every subset (prod[S] = prod_{w in S} sigma_w).
+  // Conditional-selectivity product of every subset. Under the
+  // independent structure this is prod_{w in S} sigma_w; under a
+  // correlated model the symmetric interaction matrix makes the product
+  // a set function, so P(S) = P(S \ {low}) * sigma(low | S \ {low}) is
+  // well-defined regardless of insertion order.
   std::vector<double> prod(full);
   prod[0] = 1.0;
   for (std::size_t mask = 1; mask < full; ++mask) {
     const int low = std::countr_zero(mask);
-    prod[mask] = prod[mask & (mask - 1)] *
-                 instance.selectivity(static_cast<Service_id>(low));
+    const std::size_t rest = mask & (mask - 1);
+    const double sigma =
+        independent ? instance.selectivity(static_cast<Service_id>(low))
+                    : cost_model.conditional_selectivity(
+                          instance, static_cast<Service_id>(low), rest);
+    prod[mask] = prod[rest] * sigma;
   }
 
   // Precedence: predecessor masks; u is addable to S iff pred_mask[u] ⊆ S.
@@ -65,6 +75,10 @@ Result Dp_optimizer::optimize(const Request& request) {
       ++stats.nodes_expanded;
       const std::size_t without_j = mask & ~(std::size_t{1} << j);
       const auto& sj = instance.service(static_cast<Service_id>(j));
+      const double sigma_j =
+          independent ? sj.selectivity
+                      : cost_model.conditional_selectivity(
+                            instance, static_cast<Service_id>(j), without_j);
       for (std::size_t u = 0; u < n; ++u) {
         const std::size_t bit = std::size_t{1} << u;
         if (mask & bit) continue;
@@ -72,7 +86,7 @@ Result Dp_optimizer::optimize(const Request& request) {
         // Appending u fixes j's stage term.
         const double fixed =
             prod[without_j] *
-            stage_term(sj.cost, sj.selectivity,
+            stage_term(sj.cost, sigma_j,
                        instance.transfer(static_cast<Service_id>(j),
                                          static_cast<Service_id>(u)),
                        policy);
@@ -103,9 +117,13 @@ Result Dp_optimizer::optimize(const Request& request) {
     if (current == inf) continue;
     const auto& sj = instance.service(static_cast<Service_id>(j));
     const std::size_t without_j = all & ~(std::size_t{1} << j);
+    const double sigma_j =
+        independent ? sj.selectivity
+                    : cost_model.conditional_selectivity(
+                          instance, static_cast<Service_id>(j), without_j);
     const double final_term =
         prod[without_j] *
-        stage_term(sj.cost, sj.selectivity,
+        stage_term(sj.cost, sigma_j,
                    instance.sink_transfer(static_cast<Service_id>(j)),
                    policy);
     const double cost = std::max(current, final_term);

@@ -19,7 +19,7 @@ class Enumeration {
       : instance_(*request.instance),
         precedence_(request.precedence),
         bound_(bound),
-        eval_(instance_, request.policy),
+        eval_(instance_, request.model),
         placed_(instance_.size(), 0),
         control_(request, stats_) {}
 

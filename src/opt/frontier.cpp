@@ -41,7 +41,9 @@ Result Frontier_optimizer::optimize(const Request& request) {
   const std::size_t n = instance.size();
   QUEST_EXPECTS(n <= max_services,
                 "frontier search is limited to max_services services");
-  const auto policy = request.policy;
+  const auto& cost_model = request.model;
+  const auto policy = cost_model.policy();
+  const bool independent = cost_model.is_independent();
   Result result;
   Search_stats stats;
   Search_control control(request, stats);
@@ -59,16 +61,23 @@ Result Frontier_optimizer::optimize(const Request& request) {
     }
   }
 
-  // Product of selectivities over a mask, memoized sparsely.
+  // Conditional-selectivity product over a mask, memoized sparsely.
+  // Well-defined as a set function for both structures (the correlated
+  // interaction matrix is symmetric).
   std::unordered_map<std::uint64_t, double> product_cache;
   product_cache.reserve(1024);
   auto product_of = [&](std::uint64_t mask) {
     const auto cached = product_cache.find(mask);
     if (cached != product_cache.end()) return cached->second;
     double product = 1.0;
+    std::uint64_t built = 0;
     for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
-      product *= instance.selectivity(
-          static_cast<Service_id>(std::countr_zero(bits)));
+      const auto low = static_cast<Service_id>(std::countr_zero(bits));
+      product *= independent
+                     ? instance.selectivity(low)
+                     : cost_model.conditional_selectivity(instance, low,
+                                                          built);
+      built |= bits & (0 - bits);
     }
     product_cache.emplace(mask, product);
     return product;
@@ -125,11 +134,16 @@ Result Frontier_optimizer::optimize(const Request& request) {
     const std::uint64_t without_last =
         entry.mask & ~(std::uint64_t{1} << entry.last);
     const double product_before_last = product_of(without_last);
+    const double sigma_last =
+        independent ? last_service.selectivity
+                    : cost_model.conditional_selectivity(
+                          instance, static_cast<Service_id>(entry.last),
+                          without_last);
 
     if (entry.mask == full) {
       const double final_term =
           product_before_last *
-          stage_term(last_service.cost, last_service.selectivity,
+          stage_term(last_service.cost, sigma_last,
                      instance.sink_transfer(
                          static_cast<Service_id>(entry.last)),
                      policy);
@@ -145,7 +159,7 @@ Result Frontier_optimizer::optimize(const Request& request) {
       if ((pred_mask[u] & entry.mask) != pred_mask[u]) continue;
       const double fixed =
           product_before_last *
-          stage_term(last_service.cost, last_service.selectivity,
+          stage_term(last_service.cost, sigma_last,
                      instance.transfer(static_cast<Service_id>(entry.last),
                                        static_cast<Service_id>(u)),
                      policy);

@@ -23,7 +23,7 @@ Result Greedy_optimizer::optimize(const Request& request) {
   Search_stats stats;
   Search_control control(request, stats);
 
-  model::Partial_plan_evaluator eval(instance, request.policy);
+  model::Partial_plan_evaluator eval(instance, request.model);
   std::vector<char> placed(n, 0);
 
   if (n == 1) {
@@ -49,7 +49,7 @@ Result Greedy_optimizer::optimize(const Request& request) {
         }
         const double term =
             stage_term(sa.cost, sa.selectivity, instance.transfer(a, b),
-                       request.policy);
+                       request.model.policy());
         if (term < best_term) {
           best_term = term;
           best_a = a;
@@ -122,7 +122,8 @@ Result Uniform_comm_optimizer::optimize(const Request& request) {
   std::vector<double> gamma(n);
   for (Service_id u = 0; u < n; ++u) {
     const auto& s = instance.service(u);
-    gamma[u] = stage_term(s.cost, s.selectivity, t_bar, request.policy);
+    gamma[u] = stage_term(s.cost, s.selectivity, t_bar,
+                          request.model.policy());
   }
 
   // Ascending gamma; under precedence constraints, repeatedly emit the
@@ -149,12 +150,13 @@ Result Uniform_comm_optimizer::optimize(const Request& request) {
   bool claim_optimal = false;
   if (complete) {
     result.cost =
-        model::bottleneck_cost(instance, result.plan, request.policy);
+        model::bottleneck_cost(instance, result.plan, request.model);
     ++stats.complete_plans;
     control.note_incumbent(result.plan, result.cost);
     // Optimal only in the uniform special case it was designed for.
     claim_optimal =
         instance.uniform_transfer() && instance.all_selective() &&
+        request.model.is_independent() &&
         (precedence == nullptr || precedence->unconstrained());
   }
   result.stats = stats;

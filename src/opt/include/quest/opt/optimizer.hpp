@@ -16,6 +16,7 @@
 
 #include "quest/constraints/precedence.hpp"
 #include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
 #include "quest/opt/stop_token.hpp"
@@ -128,7 +129,11 @@ using Incumbent_callback = std::function<void(
 /// warm-start plan) must outlive the optimize() call.
 struct Request {
   const model::Instance* instance = nullptr;
-  model::Send_policy policy = model::Send_policy::sequential;
+  /// The cost model to optimize under: send policy + selectivity
+  /// structure (quest/model/cost_model.hpp). Defaults to the paper's
+  /// independent Eq. 1 model with the sequential policy. A correlated
+  /// model must be sized for `instance` (validate_request checks).
+  model::Cost_model model;
   /// Optional precedence constraints; nullptr means unconstrained.
   const constraints::Precedence_graph* precedence = nullptr;
   /// Limits; all unlimited by default.

@@ -82,6 +82,15 @@ class Registry {
   const std::vector<std::string>& option_keys(std::string_view name) const;
 
   /// Parses "name" or "name:key=value,key=value" and builds the engine.
+  ///
+  /// Beyond the engine's own keys, every spec accepts the *shared*
+  /// cost-model keys (shared_option_keys): `policy=` overrides the send
+  /// policy of the request the engine runs, and `model=` (with the
+  /// flattened `model-strength=`, `model-seed=`, `model-clamp-lo=`,
+  /// `model-clamp-hi=` parameters) overrides the whole selectivity
+  /// structure. An engine built from such a spec rebinds
+  /// Request::model before optimizing; serving layers must fold the same
+  /// override into their cache keys (see spec_model_override).
   std::unique_ptr<Optimizer> make(std::string_view spec) const;
 
   /// Spec syntax parser, exposed for tests and tools. Throws
@@ -91,6 +100,11 @@ class Registry {
 
   /// Multi-line human-readable listing ("name — summary (options: ...)").
   std::string describe() const;
+
+  /// The cost-model override keys every engine spec accepts: "policy",
+  /// "model", "model-strength", "model-seed", "model-clamp-lo",
+  /// "model-clamp-hi".
+  static const std::vector<std::string>& shared_option_keys();
 
  private:
   struct Entry {
@@ -104,6 +118,16 @@ class Registry {
 
   std::vector<Entry> entries_;
 };
+
+/// The effective cost model an engine built from `spec` will run under:
+/// `base` (typically the request's model) overridden by the spec's shared
+/// cost-model keys, bound for an n-service instance. Returns `base`
+/// unchanged when the spec carries no shared keys. Serving layers use
+/// this so cache keys always reflect the model that actually evaluated
+/// the plans. Throws Precondition_error on malformed specs or values.
+model::Cost_model spec_model_override(std::string_view spec,
+                                      const model::Cost_model& base,
+                                      std::size_t n);
 
 /// Registers the quest::opt baseline engines (greedy, uniform-opt,
 /// local-search, multistart, annealing, random, exhaustive,

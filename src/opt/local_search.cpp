@@ -50,7 +50,7 @@ Result Local_search_optimizer::optimize(const Request& request) {
   const Plan* start = &seed.plan;
   if (request.warm_start != nullptr) {
     const double warm_cost = model::bottleneck_cost(
-        *request.instance, *request.warm_start, request.policy);
+        *request.instance, *request.warm_start, request.model);
     ++outer_stats.complete_plans;
     if (warm_cost < seed.cost) start = request.warm_start;
   }
@@ -79,7 +79,7 @@ Result Local_search_optimizer::improve(const Request& request,
 
   std::vector<Service_id> current = seed.order();
   double current_cost =
-      model::bottleneck_cost(instance, Plan(current), request.policy);
+      model::bottleneck_cost(instance, Plan(current), request.model);
   ++stats.complete_plans;
   control.note_incumbent(Plan(current), current_cost);
   const std::size_t n = current.size();
@@ -97,7 +97,7 @@ Result Local_search_optimizer::improve(const Request& request,
       if (control.should_stop()) return;
       if (!respects(precedence, neighbor)) return;
       const double cost =
-          model::bottleneck_cost(instance, Plan(neighbor), request.policy);
+          model::bottleneck_cost(instance, Plan(neighbor), request.model);
       ++stats.complete_plans;
       if (cost < best_cost) {
         best_cost = cost;

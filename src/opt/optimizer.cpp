@@ -23,6 +23,7 @@ const char* to_string(Termination termination) noexcept {
 void validate_request(const Request& request) {
   QUEST_EXPECTS(request.instance != nullptr,
                 "request.instance must not be null");
+  request.model.validate_for(*request.instance);
   if (request.precedence != nullptr) {
     QUEST_EXPECTS(request.precedence->size() == request.instance->size(),
                   "precedence graph size must match the instance");

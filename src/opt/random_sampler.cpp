@@ -58,7 +58,7 @@ Result Random_sampler_optimizer::optimize(const Request& request) {
        ++s) {
     auto order = random_feasible_order(instance, request.precedence, rng);
     const double cost =
-        model::bottleneck_cost(instance, Plan(order), request.policy);
+        model::bottleneck_cost(instance, Plan(order), request.model);
     ++stats.complete_plans;
     if (cost < best_cost) {
       best_cost = cost;

@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "quest/common/error.hpp"
 #include "quest/opt/annealing.hpp"
@@ -26,6 +28,102 @@ std::string join(const std::vector<std::string>& items) {
   }
   return joined;
 }
+
+/// The shared cost-model keys of an engine spec, parsed.
+struct Shared_model_keys {
+  std::optional<model::Send_policy> policy;
+  bool has_model = false;
+  model::Cost_model_spec spec;  ///< policy field filled at apply time
+};
+
+bool is_shared_key(std::string_view key) {
+  for (const auto& shared : Registry::shared_option_keys()) {
+    if (shared == key) return true;
+  }
+  return false;
+}
+
+Shared_model_keys parse_shared_keys(const Spec_options& options) {
+  Shared_model_keys parsed;
+  // One grammar, one parser: reassemble the flattened model-* keys into
+  // the canonical cost-model spec text and defer every value check to
+  // model::parse_cost_model_spec — the same rules quest_cli --model and
+  // the serve protocol apply. Parse_error becomes the registry's usual
+  // Precondition_error, prefixed with the engine for context.
+  const bool has_params =
+      options.has("model-strength") || options.has("model-seed") ||
+      options.has("model-clamp-lo") || options.has("model-clamp-hi");
+  std::string model_text = options.get_string("model", "independent");
+  if (model_text == "correlated") {
+    std::string suffix;
+    for (const auto& [shared, own] :
+         {std::pair<const char*, const char*>{"model-strength", "strength"},
+          {"model-seed", "seed"},
+          {"model-clamp-lo", "clamp-lo"},
+          {"model-clamp-hi", "clamp-hi"}}) {
+      if (!options.has(shared)) continue;
+      suffix += suffix.empty() ? ":" : ",";
+      suffix += std::string(own) + "=" + options.get_string(shared, "");
+    }
+    model_text += suffix;
+  } else {
+    QUEST_EXPECTS(!has_params,
+                  "optimizer '" + options.engine() +
+                      "' spec uses model-* keys without model=correlated");
+  }
+  try {
+    const model::Cost_model_spec spec = model::parse_cost_model_spec(
+        model_text, options.get_string("policy", "sequential"));
+    if (options.has("policy")) parsed.policy = spec.policy;
+    if (options.has("model")) {
+      parsed.has_model = true;
+      parsed.spec = spec;
+    }
+  } catch (const Parse_error& error) {
+    throw Precondition_error("optimizer '" + options.engine() +
+                             "' cost-model override: " + error.what());
+  }
+  return parsed;
+}
+
+model::Cost_model apply_override(const Shared_model_keys& keys,
+                                 const model::Cost_model& base,
+                                 std::size_t n) {
+  if (keys.has_model) {
+    model::Cost_model_spec spec = keys.spec;
+    spec.policy = keys.policy.value_or(base.policy());
+    return spec.bind(n);
+  }
+  if (keys.policy.has_value()) return base.with_policy(*keys.policy);
+  return base;
+}
+
+/// Rebinds Request::model before delegating — how a spec-level
+/// `policy=` / `model=` override reaches the engine.
+class Model_override_optimizer final : public Optimizer {
+ public:
+  Model_override_optimizer(std::unique_ptr<Optimizer> inner,
+                           Shared_model_keys keys)
+      : inner_(std::move(inner)), keys_(std::move(keys)) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  Result optimize(const Request& request) override {
+    // The base model may be anything — a full model= override replaces
+    // it — so validation belongs to the inner engine, on the *bound*
+    // request. Only the instance itself is needed here.
+    QUEST_EXPECTS(request.instance != nullptr,
+                  "request.instance must not be null");
+    Request bound = request;
+    bound.model =
+        apply_override(keys_, request.model, request.instance->size());
+    return inner_->optimize(bound);
+  }
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  Shared_model_keys keys_;
+};
 
 }  // namespace
 
@@ -192,7 +290,13 @@ std::unique_ptr<Optimizer> Registry::make(std::string_view spec) const {
     throw Precondition_error("unknown optimizer '" + options.engine() +
                              "' (registered: " + join(names()) + ")");
   }
+  Spec_options::Entries engine_entries;
+  Spec_options::Entries shared_entries;
   for (const auto& [key, value] : options.entries()) {
+    if (is_shared_key(key)) {
+      shared_entries.emplace_back(key, value);
+      continue;
+    }
     bool known = false;
     for (const auto& valid : entry->option_keys) {
       if (valid == key) {
@@ -205,10 +309,41 @@ std::unique_ptr<Optimizer> Registry::make(std::string_view spec) const {
           "optimizer '" + entry->name + "' has no option '" + key +
           "' (valid: " +
           (entry->option_keys.empty() ? "none" : join(entry->option_keys)) +
+          "; every engine also accepts " + join(shared_option_keys()) +
           ")");
     }
+    engine_entries.emplace_back(key, value);
   }
-  return entry->factory(options);
+  auto built = entry->factory(
+      Spec_options(options.engine(), std::move(engine_entries)));
+  if (!shared_entries.empty()) {
+    Shared_model_keys keys = parse_shared_keys(
+        Spec_options(options.engine(), std::move(shared_entries)));
+    built = std::make_unique<Model_override_optimizer>(std::move(built),
+                                                       std::move(keys));
+  }
+  return built;
+}
+
+const std::vector<std::string>& Registry::shared_option_keys() {
+  static const std::vector<std::string> keys = {
+      "policy",        "model",          "model-strength",
+      "model-seed",    "model-clamp-lo", "model-clamp-hi"};
+  return keys;
+}
+
+model::Cost_model spec_model_override(std::string_view spec,
+                                      const model::Cost_model& base,
+                                      std::size_t n) {
+  const Spec_options options = Registry::parse_spec(spec);
+  Spec_options::Entries shared_entries;
+  for (const auto& [key, value] : options.entries()) {
+    if (is_shared_key(key)) shared_entries.emplace_back(key, value);
+  }
+  if (shared_entries.empty()) return base;
+  const Shared_model_keys keys = parse_shared_keys(
+      Spec_options(options.engine(), std::move(shared_entries)));
+  return apply_override(keys, base, n);
 }
 
 std::string Registry::describe() const {

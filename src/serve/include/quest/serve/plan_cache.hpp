@@ -2,13 +2,19 @@
 //
 // Cross-request plan memoization for the serving layer, with two tiers:
 //
-//  * exact tier — keyed by (instance fingerprint, send policy, engine
+//  * exact tier — keyed by (instance fingerprint, cost-model key, engine
 //    spec, budget class, seed): a repeated identical request is answered
 //    instantly from the cache, without touching a worker's optimizer;
-//  * warm-start tier — keyed by (fingerprint, policy) only: the
+//  * warm-start tier — keyed by (fingerprint, cost-model key) only: the
 //    best-known plan for the problem, fed into Request::warm_start on a
 //    cache miss so a fresh search starts from the best incumbent any
 //    previous request found.
+//
+// The cost-model key is Cost_model::key() — send policy plus selectivity
+// structure. Costs are not comparable across models, so neither tier may
+// ever serve a plan across differing keys: an "optimal" plan under the
+// independent model is just a candidate under a correlated one, and a
+// warm start from the wrong model would silently skew the search floor.
 //
 // The *budget class* quantizes Budget dimensions into coarse buckets
 // (powers of two of milliseconds / work units), so requests that differ
@@ -30,7 +36,7 @@
 #include <string>
 #include <vector>
 
-#include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
 #include "quest/model/plan.hpp"
 #include "quest/opt/optimizer.hpp"
 
@@ -39,7 +45,8 @@ namespace quest::serve {
 /// Identity of a cacheable optimize request.
 struct Cache_key {
   std::uint64_t fingerprint = 0;
-  model::Send_policy policy = model::Send_policy::sequential;
+  /// Cost_model::key() of the model the request optimizes under.
+  std::string model_key = model::Cost_model().key();
   std::string engine_spec;
   std::string budget_class;
   std::uint64_t seed = 0;
@@ -68,7 +75,7 @@ class Plan_cache {
 
   /// Exact-tier lookup. Counts a lookup, and a hit or miss. A
   /// proven-optimal entry matches any budget class of the same
-  /// (fingerprint, policy, engine spec, seed).
+  /// (fingerprint, model key, engine spec, seed).
   std::optional<Cached_plan> lookup(const Cache_key& key);
 
   /// Remembers a finished run (complete plans only — the caller must not
@@ -87,13 +94,13 @@ class Plan_cache {
   /// start without making it an instant answer. The right call for
   /// cancelled runs, whose incumbent is real but whose termination is
   /// an artifact of one client's cancel.
-  void remember_best(std::uint64_t fingerprint, model::Send_policy policy,
-                     Cached_plan value);
+  void remember_best(std::uint64_t fingerprint,
+                     const std::string& model_key, Cached_plan value);
 
   /// Warm-start tier: best-known plan for the problem, regardless of
   /// which engine/budget produced it. Does not count as a hit or miss.
-  std::optional<Cached_plan> best_known(std::uint64_t fingerprint,
-                                        model::Send_policy policy) const;
+  std::optional<Cached_plan> best_known(
+      std::uint64_t fingerprint, const std::string& model_key) const;
 
   std::size_t size() const;
   std::uint64_t lookups() const;
@@ -108,14 +115,14 @@ class Plan_cache {
   };
   struct Best_entry {
     std::uint64_t fingerprint;
-    model::Send_policy policy;
+    std::string model_key;
     Cached_plan value;
     std::uint64_t last_used = 0;
   };
 
   Entry* find_locked(const Cache_key& key);
   void remember_best_locked(std::uint64_t fingerprint,
-                            model::Send_policy policy,
+                            const std::string& model_key,
                             const Cached_plan& value);
 
   mutable std::mutex mutex_;

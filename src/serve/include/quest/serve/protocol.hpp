@@ -9,8 +9,10 @@
 //   {"op":"register","name":"prod","instance":{...instance document...}}
 //   {"op":"optimize","id":"r1","instance":"prod" | {...inline doc...},
 //    "optimizer":"bnb","budget":{"deadline_ms":500,"node_limit":0,
-//    "cost_target":0},"seed":7,"policy":"sequential","stream":true,
-//    "cache":true,"execute":{"tuples":10000,"block_size":32,"workers":4}}
+//    "cost_target":0},"seed":7,"policy":"sequential",
+//    "model":"independent" | "correlated:strength=0.5,seed=7",
+//    "stream":true,"cache":true,
+//    "execute":{"tuples":10000,"block_size":32,"workers":4}}
 //   {"op":"cancel","id":"r1"}
 //   {"op":"stats"}
 //   {"op":"shutdown","drain":true|false}
@@ -43,7 +45,7 @@
 
 #include "quest/io/instance_io.hpp"
 #include "quest/io/json.hpp"
-#include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
 #include "quest/opt/optimizer.hpp"
 
 namespace quest::serve {
@@ -72,7 +74,10 @@ struct Optimize_op {
   std::string optimizer = "portfolio";
   opt::Budget budget;
   std::uint64_t seed = 0;
-  model::Send_policy policy = model::Send_policy::sequential;
+  /// The cost model of the request ("policy" + "model" fields), parsed
+  /// eagerly so malformed specs fail at the protocol boundary; the server
+  /// binds it to the resolved instance's size.
+  model::Cost_model_spec model;
   bool stream = false;
   bool cache = true;
   std::optional<Execute_spec> execute;
@@ -118,7 +123,7 @@ io::Json error_event(const std::string& message, const std::string& id = {});
 io::Json result_event(const std::string& id, opt::Termination termination,
                       const model::Plan& plan, double cost, bool complete,
                       bool proven_optimal, bool cached, bool warm_started,
-                      double elapsed_seconds,
+                      const std::string& model_key, double elapsed_seconds,
                       const opt::Search_stats* stats);
 
 }  // namespace quest::serve

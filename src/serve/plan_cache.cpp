@@ -57,7 +57,7 @@ Plan_cache::Entry* Plan_cache::find_locked(const Cache_key& key) {
   for (auto& entry : entries_) {
     if (entry.value.proven_optimal &&
         entry.key.fingerprint == key.fingerprint &&
-        entry.key.policy == key.policy &&
+        entry.key.model_key == key.model_key &&
         entry.key.engine_spec == key.engine_spec &&
         entry.key.seed == key.seed) {
       return &entry;
@@ -77,10 +77,10 @@ std::optional<Cached_plan> Plan_cache::lookup(const Cache_key& key) {
 }
 
 void Plan_cache::remember_best_locked(std::uint64_t fingerprint,
-                                      model::Send_policy policy,
+                                      const std::string& model_key,
                                       const Cached_plan& value) {
   for (auto& best : best_) {
-    if (best.fingerprint == fingerprint && best.policy == policy) {
+    if (best.fingerprint == fingerprint && best.model_key == model_key) {
       if (value.cost < best.value.cost) best.value = value;
       best.last_used = ++tick_;
       return;
@@ -92,21 +92,22 @@ void Plan_cache::remember_best_locked(std::uint64_t fingerprint,
                                       const Best_entry& b) {
                                      return a.last_used < b.last_used;
                                    });
-    *victim = Best_entry{fingerprint, policy, value, ++tick_};
+    *victim = Best_entry{fingerprint, model_key, value, ++tick_};
     return;
   }
-  best_.push_back({fingerprint, policy, value, ++tick_});
+  best_.push_back({fingerprint, model_key, value, ++tick_});
 }
 
 void Plan_cache::remember_best(std::uint64_t fingerprint,
-                               model::Send_policy policy, Cached_plan value) {
+                               const std::string& model_key,
+                               Cached_plan value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  remember_best_locked(fingerprint, policy, value);
+  remember_best_locked(fingerprint, model_key, value);
 }
 
 void Plan_cache::insert(const Cache_key& key, Cached_plan value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  remember_best_locked(key.fingerprint, key.policy, value);
+  remember_best_locked(key.fingerprint, key.model_key, value);
 
   for (auto& entry : entries_) {
     if (entry.key == key) {
@@ -134,10 +135,10 @@ void Plan_cache::insert(const Cache_key& key, Cached_plan value) {
 }
 
 std::optional<Cached_plan> Plan_cache::best_known(
-    std::uint64_t fingerprint, model::Send_policy policy) const {
+    std::uint64_t fingerprint, const std::string& model_key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& best : best_) {
-    if (best.fingerprint == fingerprint && best.policy == policy) {
+    if (best.fingerprint == fingerprint && best.model_key == model_key) {
       return best.value;  // reads deliberately don't bump the LRU tick:
     }                     // a problem nobody *solves* anymore may age out
   }

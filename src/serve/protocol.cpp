@@ -57,13 +57,6 @@ opt::Budget parse_budget(const io::Json& op) {
   return budget;
 }
 
-model::Send_policy parse_policy(const std::string& text) {
-  if (text == "sequential") return model::Send_policy::sequential;
-  if (text == "overlapped") return model::Send_policy::overlapped;
-  throw Parse_error("policy must be 'sequential' or 'overlapped', got '" +
-                    text + "'");
-}
-
 Optimize_op parse_optimize(const io::Json& op) {
   Optimize_op parsed;
   parsed.id = op.at("id").as_string();
@@ -79,7 +72,9 @@ Optimize_op parse_optimize(const io::Json& op) {
   parsed.optimizer = string_field(op, "optimizer", "portfolio");
   parsed.budget = parse_budget(op);
   parsed.seed = uint_field(op, "seed", 0);
-  parsed.policy = parse_policy(string_field(op, "policy", "sequential"));
+  parsed.model = model::parse_cost_model_spec(
+      string_field(op, "model", "independent"),
+      string_field(op, "policy", "sequential"));
   parsed.stream = bool_field(op, "stream", false);
   parsed.cache = bool_field(op, "cache", true);
   if (const io::Json* execute = op.find("execute"); execute != nullptr) {
@@ -182,7 +177,7 @@ io::Json error_event(const std::string& message, const std::string& id) {
 io::Json result_event(const std::string& id, opt::Termination termination,
                       const model::Plan& plan, double cost, bool complete,
                       bool proven_optimal, bool cached, bool warm_started,
-                      double elapsed_seconds,
+                      const std::string& model_key, double elapsed_seconds,
                       const opt::Search_stats* stats) {
   io::Json event;
   event.set("event", io::Json("result"));
@@ -194,6 +189,7 @@ io::Json result_event(const std::string& id, opt::Termination termination,
   event.set("complete", io::Json(complete));
   event.set("cached", io::Json(cached));
   event.set("warm_started", io::Json(warm_started));
+  event.set("model", io::Json(model_key));
   event.set("elapsed_seconds", io::Json(elapsed_seconds));
   if (stats != nullptr) {
     io::Json stats_json;

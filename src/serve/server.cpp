@@ -19,7 +19,11 @@ struct Server::Job {
   std::unique_ptr<opt::Optimizer> optimizer;
   opt::Budget budget;
   std::uint64_t seed = 0;
-  model::Send_policy policy = model::Send_policy::sequential;
+  /// The effective cost model: the op's "policy"/"model" fields bound to
+  /// the resolved instance, then overridden by any shared model keys in
+  /// the engine spec — exactly what the engine will evaluate under, so
+  /// the cache key can never disagree with the search.
+  model::Cost_model model;
   bool stream = false;
   bool use_cache = true;
   std::optional<Execute_spec> execute;
@@ -174,11 +178,17 @@ void Server::handle_optimize(Optimize_op op) {
   job->spec = std::move(op.optimizer);
   job->budget = op.budget;
   job->seed = op.seed;
-  job->policy = op.policy;
   job->stream = op.stream;
   job->use_cache = op.cache && options_.enable_cache;
   job->execute = op.execute;
-  job->cache_key = Cache_key{job->problem->fingerprint, job->policy,
+  try {
+    const std::size_t n = job->problem->instance.size();
+    job->model = opt::spec_model_override(job->spec, op.model.bind(n), n);
+  } catch (const Error& error) {
+    emit(error_event(error.what(), job->id));
+    return;
+  }
+  job->cache_key = Cache_key{job->problem->fingerprint, job->model.key(),
                              job->spec, budget_class(job->budget), job->seed};
 
   {
@@ -212,8 +222,8 @@ void Server::handle_optimize(Optimize_op op) {
           result_event(job->id, cached->termination, cached->plan,
                        cached->cost, /*complete=*/true,
                        cached->proven_optimal, /*cached=*/true,
-                       /*warm_started=*/false, /*elapsed_seconds=*/0.0,
-                       /*stats=*/nullptr);
+                       /*warm_started=*/false, job->model.key(),
+                       /*elapsed_seconds=*/0.0, /*stats=*/nullptr);
       // Only the *optimization* is cached — a requested execute stage
       // still runs, on the cached plan (bounded by the protocol's
       // resource caps, so inline on the transport thread is fine).
@@ -266,8 +276,8 @@ void Server::handle_optimize(Optimize_op op) {
     emit(result_event(job->id, opt::Termination::cancelled, model::Plan(),
                       /*cost=*/0.0, /*complete=*/false,
                       /*proven_optimal=*/false, /*cached=*/false,
-                      /*warm_started=*/false, /*elapsed_seconds=*/0.0,
-                      /*stats=*/nullptr));
+                      /*warm_started=*/false, job->model.key(),
+                      /*elapsed_seconds=*/0.0, /*stats=*/nullptr));
     return;
   }
   work_available_.notify_one();
@@ -401,7 +411,7 @@ void Server::run_job(Job& job) {
   request.precedence = job.problem->precedence_ptr();
   request.budget = job.budget;
   request.seed = job.seed;
-  request.policy = job.policy;
+  request.model = job.model;
   request.stop = job.stop.token();
 
   // Warm-start tier: any earlier result on this problem (whatever engine
@@ -411,7 +421,7 @@ void Server::run_job(Job& job) {
   bool warm_started = false;
   if (job.use_cache) {
     if (auto best = cache_.best_known(job.cache_key.fingerprint,
-                                      job.cache_key.policy)) {
+                                      job.cache_key.model_key)) {
       warm_plan = std::move(best->plan);
       warm_cost = best->cost;
       request.warm_start = &warm_plan;
@@ -463,8 +473,8 @@ void Server::run_job(Job& job) {
       // not a property of the problem — replaying it to a later
       // identical request would rob that request of its full search.
       // Keep the plan as a warm start only.
-      cache_.remember_best(job.cache_key.fingerprint, job.cache_key.policy,
-                           std::move(value));
+      cache_.remember_best(job.cache_key.fingerprint,
+                           job.cache_key.model_key, std::move(value));
     } else {
       cache_.insert(job.cache_key, std::move(value));
     }
@@ -473,8 +483,8 @@ void Server::run_job(Job& job) {
   io::Json event = result_event(job.id, result.termination, result.plan,
                                 result.cost, complete,
                                 result.proven_optimal, /*cached=*/false,
-                                warm_started, result.elapsed_seconds,
-                                &result.stats);
+                                warm_started, job.model.key(),
+                                result.elapsed_seconds, &result.stats);
 
   if (complete && job.execute) {
     append_execution(event, job.problem->instance, result.plan,

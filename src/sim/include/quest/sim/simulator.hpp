@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
 
@@ -41,7 +42,11 @@ struct Sim_config {
   /// b * t_{i,j} time (the paper: t is "the cost to transmit a block
   /// divided by the number of tuples it contains").
   std::uint64_t block_size = 32;
-  model::Send_policy policy = model::Send_policy::sequential;
+  /// Cost model the execution follows: the send policy shapes how a
+  /// service interleaves processing and block shipping, and a correlated
+  /// selectivity structure makes each service emit at its *conditional*
+  /// selectivity given the stages before it in the plan.
+  model::Cost_model model;
   Selectivity_mode selectivity_mode = Selectivity_mode::deterministic;
   /// Relative jitter on per-tuple processing times (0 = deterministic).
   double cost_jitter = 0.0;

@@ -51,7 +51,10 @@ class Simulation {
  public:
   Simulation(const Instance& instance, const Plan& plan,
              const Sim_config& config)
-      : instance_(instance), config_(config), rng_(config.seed) {
+      : instance_(instance),
+        config_(config),
+        policy_(config.model.policy()),
+        rng_(config.seed) {
     QUEST_EXPECTS(plan.is_permutation_of(instance.size()),
                   "simulate requires a complete plan");
     QUEST_EXPECTS(config.input_tuples >= 1, "need at least one input tuple");
@@ -60,18 +63,25 @@ class Simulation {
                   "cost jitter must be in [0, 1)");
     QUEST_EXPECTS(config.per_block_overhead >= 0.0,
                   "per-block overhead must be non-negative");
+    // Before stage_selectivities touches the correlation matrix: a
+    // mis-sized model must fail loudly, not index out of bounds.
+    config.model.validate_for(instance);
     const std::size_t n = plan.size();
     nodes_.resize(n);
     wake_armed_.assign(n, 0);
+    // Per-position conditional selectivities: the plan is fixed, so a
+    // correlated model resolves to one effective sigma per stage.
+    const std::vector<double> sigmas =
+        config.model.stage_selectivities(instance, plan);
     for (std::size_t p = 0; p < n; ++p) {
       const auto& s = instance.service(plan[p]);
       nodes_[p].cost = s.cost;
-      nodes_[p].selectivity = s.selectivity;
+      nodes_[p].selectivity = sigmas[p];
       nodes_[p].transfer_out = p + 1 < n
                                    ? instance.transfer(plan[p], plan[p + 1])
                                    : instance.sink_transfer(plan[p]);
     }
-    predicted_ = model::bottleneck_cost(instance, plan, config.policy);
+    predicted_ = model::bottleneck_cost(instance, plan, config.model);
   }
 
   Sim_result run() {
@@ -103,7 +113,7 @@ class Simulation {
     for (std::size_t p = 0; p < nodes_.size(); ++p) {
       Service_metrics metrics = nodes_[p].metrics;
       const double busy =
-          config_.policy == Send_policy::sequential
+          policy_ == Send_policy::sequential
               ? metrics.processing_time + metrics.send_time
               : std::max(metrics.processing_time, metrics.send_time);
       metrics.utilization = makespan_ > 0.0 ? busy / makespan_ : 0.0;
@@ -157,10 +167,10 @@ class Simulation {
       double eos_time = now;
       if (node.out_buffer > 0) {
         send_block(position, now);
-        eos_time = config_.policy == Send_policy::sequential
+        eos_time = policy_ == Send_policy::sequential
                        ? node.busy_until
                        : node.channel_until;
-      } else if (config_.policy == Send_policy::overlapped) {
+      } else if (policy_ == Send_policy::overlapped) {
         eos_time = std::max(now, node.channel_until);
       }
       node.done = true;
@@ -193,7 +203,7 @@ class Simulation {
     const double duration = config_.per_block_overhead +
                             static_cast<double>(block) * node.transfer_out;
     double arrival;
-    if (config_.policy == Send_policy::sequential) {
+    if (policy_ == Send_policy::sequential) {
       // The single service thread ships the block itself.
       node.busy_until = std::max(node.busy_until, start) + duration;
       arrival = node.busy_until;
@@ -221,6 +231,7 @@ class Simulation {
 
   const Instance& instance_;
   Sim_config config_;
+  Send_policy policy_ = Send_policy::sequential;
   Rng rng_;
   std::vector<Node> nodes_;
   std::vector<char> wake_armed_;

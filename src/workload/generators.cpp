@@ -161,6 +161,54 @@ Instance make_bottleneck_tsp(const Bottleneck_tsp_spec& spec, Rng& rng) {
                   "bottleneck-tsp");
 }
 
+Instance make_heavy_tailed(const Heavy_tail_spec& spec, Rng& rng) {
+  QUEST_EXPECTS(spec.n >= 1, "generator needs n >= 1");
+  QUEST_EXPECTS(spec.pareto_alpha > 0.0, "pareto alpha must be positive");
+  QUEST_EXPECTS(spec.lognormal_sigma >= 0.0,
+                "lognormal sigma must be non-negative");
+  QUEST_EXPECTS(spec.selectivity_scale > 0.0 &&
+                    spec.selectivity_scale <= spec.selectivity_cap,
+                "invalid selectivity scale/cap");
+  QUEST_EXPECTS(spec.cost_scale > 0.0 && spec.cost_scale <= spec.cost_cap,
+                "invalid cost scale/cap");
+  QUEST_EXPECTS(spec.transfer_min >= 0.0 &&
+                    spec.transfer_min <= spec.transfer_max,
+                "invalid transfer range");
+
+  // One draw >= `scale`, median `scale * 2^(1/alpha)` for Pareto and
+  // exactly `scale` for lognormal; both capped.
+  auto draw = [&](double scale, double cap) {
+    double value;
+    if (spec.tail == Tail_family::pareto) {
+      // Inverse CDF with u in (0, 1]: scale * u^(-1/alpha).
+      const double u = 1.0 - rng.uniform();
+      value = scale * std::pow(u, -1.0 / spec.pareto_alpha);
+    } else {
+      value = scale * rng.lognormal(0.0, spec.lognormal_sigma);
+    }
+    return std::min(value, cap);
+  };
+
+  std::vector<Service> services(spec.n);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    services[i].cost = draw(spec.cost_scale, spec.cost_cap);
+    services[i].selectivity =
+        draw(spec.selectivity_scale, spec.selectivity_cap);
+    services[i].name = "WS" + std::to_string(i);
+  }
+  Matrix<double> transfer = Matrix<double>::square(spec.n, 0.0);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = 0; j < spec.n; ++j) {
+      if (i != j) {
+        transfer(i, j) = rng.uniform(spec.transfer_min, spec.transfer_max);
+      }
+    }
+  }
+  return Instance(std::move(services), std::move(transfer), {},
+                  spec.tail == Tail_family::pareto ? "heavy-pareto"
+                                                   : "heavy-lognormal");
+}
+
 constraints::Precedence_graph make_random_dag(std::size_t n, double density,
                                               Rng& rng) {
   QUEST_EXPECTS(density >= 0.0 && density <= 1.0,

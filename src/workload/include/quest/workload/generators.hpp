@@ -98,6 +98,38 @@ struct Bottleneck_tsp_spec {
 model::Instance make_bottleneck_tsp(const Bottleneck_tsp_spec& spec,
                                     Rng& rng);
 
+/// Heavy-tailed selectivity and cost regime: most services are cheap,
+/// near-transparent filters while a few are extreme — the distributional
+/// shape real service catalogs show, and the stress test for Eq. 1's
+/// independence assumption when combined with a correlated cost model
+/// (the "new workloads" ROADMAP item). Draws are capped so instances stay
+/// finite-cost and the branch-and-bound's bounds stay meaningful.
+enum class Tail_family {
+  pareto,     ///< x_min * U^(-1/alpha): alpha <= 2 has infinite variance
+  lognormal,  ///< exp(Normal(mu, s)): moderate tail, always finite moments
+};
+
+struct Heavy_tail_spec {
+  std::size_t n = 12;
+  Tail_family tail = Tail_family::pareto;
+  /// Pareto shape; smaller = heavier tail (1.5 is very heavy).
+  double pareto_alpha = 1.5;
+  /// Lognormal log-scale sigma (mu is chosen so the median is `scale`).
+  double lognormal_sigma = 1.0;
+  /// Median-ish scale and hard cap of the selectivity draws. With
+  /// cap > 1, occasional expanding services appear.
+  double selectivity_scale = 0.2;
+  double selectivity_cap = 3.0;
+  /// Scale and cap of the per-tuple cost draws.
+  double cost_scale = 1.0;
+  double cost_cap = 50.0;
+  /// Transfer costs stay uniform: the tail lives in the services.
+  double transfer_min = 0.1;
+  double transfer_max = 5.0;
+};
+
+model::Instance make_heavy_tailed(const Heavy_tail_spec& spec, Rng& rng);
+
 /// Random DAG over n services: for every pair i < j under a random
 /// relabeling, edge with probability `density`. density 0 = unconstrained;
 /// 1 = a total order (one feasible plan).

@@ -24,7 +24,7 @@ Request request_for(const Instance& instance,
                     Send_policy policy = Send_policy::sequential) {
   Request request;
   request.instance = &instance;
-  request.policy = policy;
+  request.model = model::Cost_model::independent(policy);
   return request;
 }
 
@@ -41,7 +41,7 @@ void expect_matches_exhaustive(const Instance& instance,
       << "instance " << instance.name() << ", plan " << got.plan.to_string();
   // The returned plan must actually achieve the reported cost.
   EXPECT_TRUE(test::costs_equal(
-      got.cost, model::bottleneck_cost(instance, got.plan, request.policy)));
+      got.cost, model::bottleneck_cost(instance, got.plan, request.model)));
 }
 
 // ---- parameterized sweep over sizes and seeds --------------------------
@@ -308,6 +308,57 @@ TEST(Bnb_edge_cases, TotalOrderPrecedenceLeavesOnePlan) {
   EXPECT_TRUE(test::costs_equal(
       result.cost,
       model::bottleneck_cost(instance, model::Plan::identity(6))));
+}
+
+// When the cost model cannot provide sound selectivity *upper* bounds
+// (here the attainable-product bounds overflow to infinity), the search
+// must fall back to Lemma-2-disabled operation — still exact via
+// Lemma 1/3, with the admissible lower bound surviving on the
+// always-finite lower bounds.
+TEST(Bnb_fallback, UnsoundBoundsDisableClosureButStayExact) {
+  const std::size_t n = 6;
+  const Instance instance = test::selective_instance(n, 42);
+  Matrix<double> gamma = Matrix<double>::square(n, 1.0);
+  // Two enormous (finite) interactions onto service 1: any bound over
+  // all prefixes multiplies them and overflows, but real plans that keep
+  // service 1 early stay finite, so an optimum exists.
+  gamma(0, 1) = gamma(1, 0) = 1e200;
+  gamma(2, 1) = gamma(1, 2) = 1e200;
+  const auto cost_model = model::Cost_model::correlated(
+      std::move(gamma), Send_policy::sequential, 0.0, 1e300);
+  const auto bounds = cost_model.selectivity_bounds(instance);
+  ASSERT_TRUE(bounds.has_value());
+  ASSERT_FALSE(bounds->hi_sound);
+
+  Request request;
+  request.instance = &instance;
+  request.model = cost_model;
+
+  Bnb_options with_everything;
+  with_everything.enable_closure = true;
+  with_everything.enable_lower_bound = true;
+  Bnb_optimizer bnb(with_everything);
+  opt::Exhaustive_optimizer exhaustive;
+  const auto got = bnb.optimize(request);
+  const auto want = exhaustive.optimize(request);
+  ASSERT_TRUE(want.proven_optimal);
+  EXPECT_TRUE(got.proven_optimal);
+  EXPECT_TRUE(test::costs_equal(got.cost, want.cost));
+  // The fallback really was taken: no closure could have fired — but
+  // the admissible lower bound (finite lo products) stays available.
+  EXPECT_EQ(got.stats.lemma2_closures, 0u);
+  EXPECT_EQ(got.stats.ebar_evaluations, 0u);
+}
+
+// Correlated models flow through the same exactness sweep: bnb (all
+// pruning on) against exhaustive ground truth.
+TEST_P(Bnb_matches_exhaustive, CorrelatedModel) {
+  const auto [n, seed] = GetParam();
+  const Instance instance = test::selective_instance(n, seed);
+  Request request = request_for(instance);
+  request.model =
+      model::Cost_model::correlated_seeded(n, 0.7, seed * 3 + 1);
+  expect_matches_exhaustive(instance, request);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 
 #include "quest/core/engines.hpp"
 #include "quest/io/json.hpp"
+#include "quest/model/cost_model.hpp"
 
 #ifndef QUEST_ENGINES_DOC
 #error "QUEST_ENGINES_DOC must point at docs/engines.md"
@@ -101,6 +102,48 @@ TEST(Engine_docs_test, DocMatchesTheRegistry) {
         << "option keys for '" << name
         << "' drifted between the registry and docs/engines.md";
   }
+}
+
+TEST(Engine_docs_test, CostModelSectionMatchesTheLibrary) {
+  // The "### Cost models" intro section documents three machine-checkable
+  // vocabularies: the selectivity structures, the correlated spec options
+  // (model::Cost_model_spec), and the shared engine-spec override keys
+  // (opt::Registry::shared_option_keys). Their backticked table rows must
+  // be exactly the library's sets — no phantom keys, nothing undocumented.
+  const std::string text = io::read_file(QUEST_ENGINES_DOC);
+  std::istringstream lines(text);
+  std::string line;
+  bool in_section = false;
+  std::set<std::string> documented;
+  while (std::getline(lines, line)) {
+    if (line.rfind("### Cost models", 0) == 0) {
+      in_section = true;
+      continue;
+    }
+    if (line.rfind("## ", 0) == 0) in_section = false;  // engines begin
+    if (!in_section) continue;
+    if (line.rfind("| `", 0) == 0) {
+      const std::string key = backticked(line);
+      ASSERT_FALSE(key.empty());
+      documented.insert(key);
+    }
+  }
+  ASSERT_FALSE(documented.empty())
+      << "docs/engines.md is missing the '### Cost models' section";
+
+  std::set<std::string> expected;
+  for (const auto& name : model::Cost_model_spec::structure_names()) {
+    expected.insert(name);
+  }
+  for (const auto& key : model::Cost_model_spec::option_keys()) {
+    expected.insert(key);
+  }
+  for (const auto& key : opt::Registry::shared_option_keys()) {
+    expected.insert(key);
+  }
+  EXPECT_EQ(documented, expected)
+      << "cost-model vocabulary drifted between the library and "
+         "docs/engines.md";
 }
 
 TEST(Engine_docs_test, DocOrderFollowsRegistrationOrder) {

@@ -47,7 +47,7 @@ TEST(Lemma2, AllCompletionsCostEpsilonAfterClosure) {
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     const std::size_t n = 7;
     const Instance instance = test::selective_instance(n, seed);
-    const Epsilon_bar ebar(instance, model::Send_policy::sequential,
+    const Epsilon_bar ebar(instance, model::Cost_model{},
                            Epsilon_bar_mode::exact);
     Rng rng(seed * 131);
     for (int trial = 0; trial < 30; ++trial) {

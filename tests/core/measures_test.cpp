@@ -25,7 +25,18 @@ struct Param {
   std::uint64_t seed;
   Send_policy policy;
   bool expanding;
+  /// Run the property under a correlated cost model too: the measures
+  /// must stay sound for any structure with sound selectivity bounds.
+  bool correlated = false;
 };
+
+model::Cost_model make_model(const Param& param, std::size_t n) {
+  return param.correlated
+             ? model::Cost_model::correlated_seeded(n, 0.6,
+                                                    param.seed * 11 + 3,
+                                                    param.policy)
+             : model::Cost_model::independent(param.policy);
+}
 
 class Epsilon_bar_property : public ::testing::TestWithParam<Param> {};
 
@@ -38,6 +49,7 @@ TEST_P(Epsilon_bar_property, BoundsEveryUndeterminedTerm) {
   const Instance instance =
       param.expanding ? test::expanding_instance(n, param.seed)
                       : test::sink_instance(n, param.seed);
+  const model::Cost_model cost_model = make_model(param, n);
   Rng rng(param.seed * 31 + 7);
 
   for (int trial = 0; trial < 40; ++trial) {
@@ -45,7 +57,7 @@ TEST_P(Epsilon_bar_property, BoundsEveryUndeterminedTerm) {
     const std::size_t prefix_len =
         2 + static_cast<std::size_t>(rng.uniform_int(n - 2));  // [2, n-1]
 
-    Partial_plan_evaluator eval(instance, param.policy);
+    Partial_plan_evaluator eval(instance, cost_model);
     for (std::size_t p = 0; p < prefix_len; ++p) {
       eval.append(static_cast<Service_id>(order[p]));
     }
@@ -56,7 +68,7 @@ TEST_P(Epsilon_bar_property, BoundsEveryUndeterminedTerm) {
 
     for (const auto mode :
          {Epsilon_bar_mode::exact, Epsilon_bar_mode::loose}) {
-      const Epsilon_bar ebar(instance, param.policy, mode);
+      const Epsilon_bar ebar(instance, cost_model, mode);
       const double bound = ebar.evaluate(eval, remaining);
 
       // Complete the plan in the sampled order and compare each stage term
@@ -66,7 +78,7 @@ TEST_P(Epsilon_bar_property, BoundsEveryUndeterminedTerm) {
         full.append(static_cast<Service_id>(id));
       }
       const auto breakdown =
-          model::cost_breakdown(instance, full, param.policy);
+          model::cost_breakdown(instance, full, cost_model);
       for (std::size_t p = prefix_len - 1; p < n; ++p) {
         EXPECT_LE(breakdown.stage_costs[p],
                   bound * (1.0 + test::cost_tolerance) + 1e-12)
@@ -84,15 +96,16 @@ TEST_P(Epsilon_bar_property, ExactAtMostLoose) {
   const Instance instance =
       param.expanding ? test::expanding_instance(n, param.seed)
                       : test::selective_instance(n, param.seed);
+  const model::Cost_model cost_model = make_model(param, n);
   Rng rng(param.seed);
-  const Epsilon_bar exact(instance, param.policy, Epsilon_bar_mode::exact);
-  const Epsilon_bar loose(instance, param.policy, Epsilon_bar_mode::loose);
+  const Epsilon_bar exact(instance, cost_model, Epsilon_bar_mode::exact);
+  const Epsilon_bar loose(instance, cost_model, Epsilon_bar_mode::loose);
 
   for (int trial = 0; trial < 25; ++trial) {
     const auto order = rng.permutation(n);
     const std::size_t prefix_len =
         2 + static_cast<std::size_t>(rng.uniform_int(n - 2));
-    Partial_plan_evaluator eval(instance, param.policy);
+    Partial_plan_evaluator eval(instance, cost_model);
     for (std::size_t p = 0; p < prefix_len; ++p) {
       eval.append(static_cast<Service_id>(order[p]));
     }
@@ -112,12 +125,17 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{5, Send_policy::overlapped, false},
                       Param{6, Send_policy::overlapped, true},
                       Param{7, Send_policy::sequential, false},
-                      Param{8, Send_policy::sequential, true}),
+                      Param{8, Send_policy::sequential, true},
+                      Param{9, Send_policy::sequential, false, true},
+                      Param{10, Send_policy::sequential, true, true},
+                      Param{11, Send_policy::overlapped, false, true},
+                      Param{12, Send_policy::overlapped, true, true}),
     [](const auto& param_info) {
       return "seed" + std::to_string(param_info.param.seed) +
              (param_info.param.policy == Send_policy::overlapped ? "_ovl"
                                                                  : "_seq") +
-             (param_info.param.expanding ? "_exp" : "_sel");
+             (param_info.param.expanding ? "_exp" : "_sel") +
+             (param_info.param.correlated ? "_corr" : "");
     });
 
 /// Admissibility of the quest-extension lower bound: no completion of the
@@ -128,14 +146,15 @@ TEST_P(Epsilon_bar_property, LowerBoundIsAdmissible) {
   const Instance instance =
       param.expanding ? test::expanding_instance(n, param.seed)
                       : test::sink_instance(n, param.seed);
-  const core::Lower_bound lower(instance, param.policy);
+  const model::Cost_model cost_model = make_model(param, n);
+  const core::Lower_bound lower(instance, cost_model);
   Rng rng(param.seed * 53 + 1);
 
   for (int trial = 0; trial < 40; ++trial) {
     const auto order = rng.permutation(n);
     const std::size_t prefix_len =
         2 + static_cast<std::size_t>(rng.uniform_int(n - 2));
-    Partial_plan_evaluator eval(instance, param.policy);
+    Partial_plan_evaluator eval(instance, cost_model);
     for (std::size_t p = 0; p < prefix_len; ++p) {
       eval.append(static_cast<Service_id>(order[p]));
     }
@@ -149,18 +168,19 @@ TEST_P(Epsilon_bar_property, LowerBoundIsAdmissible) {
     for (const std::size_t id : order) {
       full.append(static_cast<Service_id>(id));
     }
-    const double cost = model::bottleneck_cost(instance, full, param.policy);
+    const double cost =
+        model::bottleneck_cost(instance, full, cost_model);
     EXPECT_GE(cost, bound * (1.0 - test::cost_tolerance) - 1e-12)
         << "trial " << trial;
     // The lower bound never exceeds the upper bound.
-    const Epsilon_bar ebar(instance, param.policy, Epsilon_bar_mode::exact);
+    const Epsilon_bar ebar(instance, cost_model, Epsilon_bar_mode::exact);
     EXPECT_LE(bound, ebar.evaluate(eval, remaining) * (1.0 + 1e-12));
   }
 }
 
 TEST(Epsilon_bar_test, RequiresNonEmptyPlanAndRemaining) {
   const Instance instance = test::selective_instance(4, 1);
-  const Epsilon_bar ebar(instance, Send_policy::sequential,
+  const Epsilon_bar ebar(instance, model::Cost_model{},
                          Epsilon_bar_mode::exact);
   Partial_plan_evaluator eval(instance);
   const std::vector<Service_id> remaining{2, 3};

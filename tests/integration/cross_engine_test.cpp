@@ -40,7 +40,7 @@ void expect_registry_engines_agree(Request request) {
     EXPECT_FALSE(opt::stopped_early(result.termination)) << name;
     EXPECT_TRUE(test::costs_equal(
         result.cost, model::bottleneck_cost(*request.instance, result.plan,
-                                            request.policy)))
+                                            request.model)))
         << name << " reports a cost its plan does not achieve";
     if (request.precedence != nullptr) {
       EXPECT_TRUE(request.precedence->respects(result.plan.order())) << name;
@@ -72,7 +72,7 @@ TEST(Cross_engine, ScenariosBothPolicies) {
       Request request;
       request.instance = &scenario.instance;
       request.precedence = &scenario.precedence;
-      request.policy = policy;
+      request.model = model::Cost_model::independent(policy);
       expect_registry_engines_agree(request);
     }
   }
@@ -134,6 +134,62 @@ TEST(Cross_engine, TwelveServiceExactAgreementViaRegistry) {
       EXPECT_TRUE(test::costs_equal(result.cost, reference)) << name;
     }
   }
+}
+
+// Acceptance sweep of the Cost_model redesign: under a correlated
+// model, the independent-engine trio (bnb, dp, exhaustive — plus
+// frontier) must agree on the optimal cost across >= 20 randomized
+// instances, and the optimum must genuinely differ from the
+// independent-model optimum often enough to prove the model is not a
+// no-op.
+TEST(Cross_engine, CorrelatedModelExactAgreement) {
+  int divergences = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::size_t n = 7;
+    const Instance instance = test::selective_instance(n, seed * 17 + 5);
+    const auto cost_model = model::Cost_model::correlated_seeded(
+        n, 0.8, seed * 101 + 13,
+        seed % 2 == 0 ? Send_policy::overlapped : Send_policy::sequential);
+
+    Request request;
+    request.instance = &instance;
+    request.model = cost_model;
+
+    double reference = -1.0;
+    model::Plan reference_plan;
+    for (const char* name : {"bnb", "bnb-lb", "dp", "exhaustive",
+                             "frontier"}) {
+      const auto result = core::make_optimizer(name)->optimize(request);
+      ASSERT_TRUE(result.proven_optimal) << name << " seed " << seed;
+      ASSERT_TRUE(result.plan.is_permutation_of(n)) << name;
+      EXPECT_TRUE(test::costs_equal(
+          result.cost,
+          model::bottleneck_cost(instance, result.plan, cost_model)))
+          << name << " seed " << seed;
+      if (reference < 0.0) {
+        reference = result.cost;
+        reference_plan = result.plan;
+      } else {
+        EXPECT_TRUE(test::costs_equal(result.cost, reference))
+            << name << " seed " << seed;
+      }
+    }
+
+    // Compare against the same instance under independence: either the
+    // optimal plan or its cost should differ for a strong correlation.
+    Request independent_request;
+    independent_request.instance = &instance;
+    independent_request.model =
+        model::Cost_model::independent(cost_model.policy());
+    const auto independent =
+        core::make_optimizer("exhaustive")->optimize(independent_request);
+    if (!(reference_plan == independent.plan) ||
+        !test::costs_equal(reference, independent.cost)) {
+      ++divergences;
+    }
+  }
+  EXPECT_GE(divergences, 5)
+      << "a strength-0.8 correlation should reshape most optima";
 }
 
 }  // namespace

@@ -1,0 +1,292 @@
+// The Cost_model value type: construction invariants (symmetrization,
+// clamping), set-order independence of conditional selectivities,
+// soundness of the attainable-selectivity bounds, key/equality semantics,
+// spec parsing, and independent-model backward compatibility (every
+// evaluator must be bit-identical to the model-free call).
+
+#include "quest/model/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "quest/model/cost.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using model::Cost_model;
+using model::Cost_model_spec;
+using model::Instance;
+using model::Plan;
+using model::Selectivity_structure;
+using model::Send_policy;
+using model::Service_id;
+
+TEST(Cost_model_test, DefaultIsIndependentSequential) {
+  const Cost_model cost_model;
+  EXPECT_TRUE(cost_model.is_independent());
+  EXPECT_EQ(cost_model.policy(), Send_policy::sequential);
+  EXPECT_EQ(cost_model.structure(), Selectivity_structure::independent);
+  EXPECT_EQ(cost_model.key(), "sequential/independent");
+  EXPECT_EQ(cost_model.interaction(), nullptr);
+}
+
+TEST(Cost_model_test, IndependentModelIsBitIdenticalToModelFreeCalls) {
+  const Instance instance = test::sink_instance(7, 3);
+  const Plan plan = Plan::identity(7);
+  // Exact double equality, not tolerance: the independent path must be
+  // the *same arithmetic* as the defaulted (model-free) calls.
+  EXPECT_EQ(model::bottleneck_cost(
+                instance, plan,
+                Cost_model::independent(Send_policy::sequential)),
+            model::bottleneck_cost(instance, plan));
+  for (const auto policy :
+       {Send_policy::sequential, Send_policy::overlapped}) {
+    const auto explicit_model = Cost_model::independent(policy);
+    const auto breakdown =
+        model::cost_breakdown(instance, plan, explicit_model);
+    for (std::size_t p = 0; p < 7; ++p) {
+      EXPECT_EQ(breakdown.stage_selectivities[p],
+                instance.selectivity(plan[p]));
+    }
+    // The incremental evaluator, the free function and the breakdown all
+    // produce the identical double.
+    model::Partial_plan_evaluator eval(instance, explicit_model);
+    for (const auto id : plan) eval.append(id);
+    EXPECT_EQ(eval.complete_cost(),
+              model::bottleneck_cost(instance, plan, explicit_model));
+    EXPECT_EQ(breakdown.cost,
+              model::bottleneck_cost(instance, plan, explicit_model));
+  }
+}
+
+TEST(Cost_model_test, CorrelatedMatrixIsSymmetrizedAndClamped) {
+  Matrix<double> gamma = Matrix<double>::square(3, 1.0);
+  gamma(0, 1) = 9.0;  // above the default clamp-hi of 4
+  gamma(1, 0) = 1.0;  // asymmetric on purpose: average is 5, clamped to 4
+  gamma(0, 2) = 0.1;  // average with 1.0 -> 0.55
+  const auto cost_model = Cost_model::correlated(std::move(gamma));
+  const Matrix<double>& stored = *cost_model.interaction();
+  EXPECT_DOUBLE_EQ(stored(0, 1), Cost_model::default_clamp_hi);
+  EXPECT_DOUBLE_EQ(stored(1, 0), Cost_model::default_clamp_hi);
+  EXPECT_DOUBLE_EQ(stored(0, 2), 0.55);
+  EXPECT_DOUBLE_EQ(stored(2, 0), 0.55);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(stored(i, i), 1.0);
+}
+
+TEST(Cost_model_test, RejectsInvalidConstruction) {
+  EXPECT_THROW(Cost_model::correlated(Matrix<double>(2, 3, 1.0)),
+               Precondition_error);
+  Matrix<double> negative = Matrix<double>::square(2, -1.0);
+  EXPECT_THROW(Cost_model::correlated(std::move(negative)),
+               Precondition_error);
+  EXPECT_THROW(Cost_model::correlated_seeded(0, 0.5, 1),
+               Precondition_error);
+  EXPECT_THROW(Cost_model::correlated_seeded(4, -0.5, 1),
+               Precondition_error);
+  EXPECT_THROW(
+      Cost_model::correlated_seeded(4, 0.5, 1, Send_policy::sequential,
+                                    2.0, 1.0),  // lo > hi
+      Precondition_error);
+}
+
+TEST(Cost_model_test, ConditionalSelectivityDependsOnlyOnTheSet) {
+  const std::size_t n = 8;
+  const Instance instance = test::selective_instance(n, 11);
+  const auto cost_model = Cost_model::correlated_seeded(n, 0.7, 5);
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto perm = rng.permutation(n);
+    const std::size_t k = 1 + rng.uniform_int(n - 1);
+    std::vector<Service_id> placed;
+    for (std::size_t i = 0; i < k; ++i) {
+      placed.push_back(static_cast<Service_id>(perm[i]));
+    }
+    const Service_id u = static_cast<Service_id>(perm[k]);
+    const double direct =
+        cost_model.conditional_selectivity(instance, u, placed);
+    // Any permutation of the same set yields the same value (within FP
+    // association tolerance), and the mask overload agrees.
+    std::vector<Service_id> shuffled = placed;
+    rng.shuffle(shuffled);
+    EXPECT_TRUE(test::costs_equal(
+        direct, cost_model.conditional_selectivity(instance, u, shuffled)));
+    std::uint64_t mask = 0;
+    for (const Service_id w : placed) mask |= std::uint64_t{1} << w;
+    EXPECT_TRUE(test::costs_equal(
+        direct, cost_model.conditional_selectivity(instance, u, mask)));
+  }
+}
+
+TEST(Cost_model_test, PrefixProductIsOrderIndependent) {
+  // The property the subset DP relies on: the product of conditional
+  // selectivities over a set does not depend on the placement order.
+  const std::size_t n = 7;
+  const Instance instance = test::selective_instance(n, 4);
+  const auto cost_model = Cost_model::correlated_seeded(n, 1.0, 17);
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto order = rng.permutation(n);
+    auto reordered = order;
+    rng.shuffle(reordered);
+    auto product_along = [&](const std::vector<std::size_t>& sequence) {
+      double product = 1.0;
+      std::vector<Service_id> placed;
+      for (const std::size_t id : sequence) {
+        product *= cost_model.conditional_selectivity(
+            instance, static_cast<Service_id>(id), placed);
+        placed.push_back(static_cast<Service_id>(id));
+      }
+      return product;
+    };
+    EXPECT_TRUE(
+        test::costs_equal(product_along(order), product_along(reordered)));
+  }
+}
+
+TEST(Cost_model_test, SelectivityBoundsAreSound) {
+  const std::size_t n = 8;
+  const Instance instance = test::expanding_instance(n, 21);
+  const auto cost_model = Cost_model::correlated_seeded(n, 0.9, 2);
+  const auto bounds = cost_model.selectivity_bounds(instance);
+  ASSERT_TRUE(bounds.has_value());
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto perm = rng.permutation(n);
+    const std::size_t k = rng.uniform_int(n);
+    std::vector<Service_id> placed;
+    for (std::size_t i = 0; i < k; ++i) {
+      placed.push_back(static_cast<Service_id>(perm[i]));
+    }
+    const Service_id u = static_cast<Service_id>(perm[k]);
+    const double sigma =
+        cost_model.conditional_selectivity(instance, u, placed);
+    EXPECT_LE(sigma, bounds->hi[u] * (1.0 + test::cost_tolerance));
+    EXPECT_GE(sigma, bounds->lo[u] * (1.0 - test::cost_tolerance));
+  }
+}
+
+TEST(Cost_model_test, OverflowingBoundsAreReportedUnsound) {
+  // 40 services with huge mutual amplification: the hi products overflow
+  // to infinity, so the model must flag the upper bounds unsound — while
+  // the lower bounds stay finite and usable for admissible pruning.
+  const std::size_t n = 40;
+  Matrix<double> gamma = Matrix<double>::square(n, 1e300);
+  const auto cost_model = Cost_model::correlated(
+      std::move(gamma), Send_policy::sequential, 0.0, 1e300);
+  Rng rng(1);
+  workload::Uniform_spec spec;
+  spec.n = n;
+  const Instance instance = workload::make_uniform(spec, rng);
+  const auto bounds = cost_model.selectivity_bounds(instance);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_FALSE(bounds->hi_sound);
+  for (std::size_t u = 0; u < n; ++u) {
+    EXPECT_TRUE(std::isfinite(bounds->lo[u]));
+  }
+}
+
+TEST(Cost_model_test, ValidateForRejectsSizeMismatch) {
+  const Instance instance = test::selective_instance(5, 1);
+  const auto cost_model = Cost_model::correlated_seeded(6, 0.5, 1);
+  EXPECT_THROW(cost_model.validate_for(instance), Precondition_error);
+  EXPECT_THROW(model::Partial_plan_evaluator(instance, cost_model),
+               Precondition_error);
+}
+
+TEST(Cost_model_test, KeysAndEqualityTrackParameters) {
+  const auto a = Cost_model::correlated_seeded(6, 0.5, 7);
+  const auto b = Cost_model::correlated_seeded(6, 0.5, 7);
+  const auto c = Cost_model::correlated_seeded(6, 0.5, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.key(), Cost_model().key());
+  EXPECT_NE(a.key(), a.with_policy(Send_policy::overlapped).key());
+  EXPECT_EQ(a.with_policy(Send_policy::overlapped).structure(),
+            Selectivity_structure::correlated);
+  // Explicit matrices key by content hash.
+  Matrix<double> g1 = Matrix<double>::square(3, 1.0);
+  g1(0, 1) = g1(1, 0) = 2.0;
+  Matrix<double> g2 = g1;
+  const auto m1 = Cost_model::correlated(std::move(g1));
+  const auto m2 = Cost_model::correlated(std::move(g2));
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(m1.key(), m2.key());
+}
+
+TEST(Cost_model_spec_test, ParsesAndBinds) {
+  const auto independent = model::parse_cost_model_spec("independent");
+  EXPECT_EQ(independent.structure, Selectivity_structure::independent);
+  EXPECT_EQ(independent.policy, Send_policy::sequential);
+  EXPECT_TRUE(independent.bind(5).is_independent());
+
+  const auto correlated = model::parse_cost_model_spec(
+      "correlated:strength=0.75,seed=42,clamp-lo=0.5,clamp-hi=2",
+      "overlapped");
+  EXPECT_EQ(correlated.structure, Selectivity_structure::correlated);
+  EXPECT_EQ(correlated.policy, Send_policy::overlapped);
+  EXPECT_DOUBLE_EQ(correlated.strength, 0.75);
+  EXPECT_EQ(correlated.seed, 42u);
+  const auto bound = correlated.bind(6);
+  EXPECT_FALSE(bound.is_independent());
+  EXPECT_EQ(bound, Cost_model::correlated_seeded(
+                       6, 0.75, 42, Send_policy::overlapped, 0.5, 2.0));
+  // Canonical round trip.
+  EXPECT_EQ(model::parse_cost_model_spec(correlated.to_string(),
+                                         "overlapped"),
+            correlated);
+}
+
+TEST(Cost_model_spec_test, RejectsMalformedSpecs) {
+  EXPECT_THROW(model::parse_cost_model_spec("gaussian"), Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("independent:strength=1"),
+               Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("correlated:"), Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("correlated:strength"),
+               Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("correlated:widgets=2"),
+               Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("correlated:strength=-1"),
+               Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("correlated:strength=1,"),
+               Parse_error);
+  EXPECT_THROW(
+      model::parse_cost_model_spec("correlated:strength=1,strength=2"),
+      Parse_error);
+  EXPECT_THROW(
+      model::parse_cost_model_spec("correlated:clamp-lo=3,clamp-hi=2"),
+      Parse_error);
+  EXPECT_THROW(model::parse_cost_model_spec("independent", "async"),
+               Parse_error);
+}
+
+TEST(Cost_model_test, StageSelectivitiesFollowThePlan) {
+  const std::size_t n = 5;
+  const Instance instance = test::selective_instance(n, 8);
+  const auto cost_model = Cost_model::correlated_seeded(n, 0.6, 3);
+  const Plan plan({3, 0, 4, 1, 2});
+  const auto sigmas = cost_model.stage_selectivities(instance, plan);
+  ASSERT_EQ(sigmas.size(), n);
+  EXPECT_DOUBLE_EQ(sigmas[0], instance.selectivity(3));
+  std::vector<Service_id> placed;
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_DOUBLE_EQ(sigmas[p], cost_model.conditional_selectivity(
+                                    instance, plan[p], placed));
+    placed.push_back(plan[p]);
+  }
+  // And the evaluator agrees with bottleneck_cost through the model.
+  model::Partial_plan_evaluator eval(instance, cost_model);
+  for (const Service_id id : plan) eval.append(id);
+  EXPECT_TRUE(test::costs_equal(
+      eval.complete_cost(),
+      model::bottleneck_cost(instance, plan, cost_model)));
+}
+
+}  // namespace
+}  // namespace quest

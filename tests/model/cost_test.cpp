@@ -42,11 +42,15 @@ TEST(Bottleneck_cost_test, HandComputedOverlapped) {
   const Instance instance = two_service_instance();
   // a->b: max(max(1, 0.5*2), 0.5 * max(10, 0)) = 5.
   EXPECT_DOUBLE_EQ(
-      model::bottleneck_cost(instance, Plan({0, 1}), Send_policy::overlapped),
+      model::bottleneck_cost(
+          instance, Plan({0, 1}),
+          model::Cost_model::independent(Send_policy::overlapped)),
       5.0);
   // b->a: max(max(10, 0.5*4), 0.5*max(1,0)) = 10.
   EXPECT_DOUBLE_EQ(
-      model::bottleneck_cost(instance, Plan({1, 0}), Send_policy::overlapped),
+      model::bottleneck_cost(
+          instance, Plan({1, 0}),
+          model::Cost_model::independent(Send_policy::overlapped)),
       10.0);
 }
 

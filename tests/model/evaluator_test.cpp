@@ -23,7 +23,8 @@ TEST(Evaluator_test, MatchesRecomputationUnderFuzzedMutation) {
     const Instance instance = test::sink_instance(n, seed);
     for (const auto policy :
          {Send_policy::sequential, Send_policy::overlapped}) {
-      Partial_plan_evaluator eval(instance, policy);
+      const model::Cost_model cost_model = model::Cost_model::independent(policy);
+      Partial_plan_evaluator eval(instance, cost_model);
       Rng rng(seed * 977);
       std::vector<Service_id> mirror;
       for (int step = 0; step < 400; ++step) {
@@ -44,7 +45,7 @@ TEST(Evaluator_test, MatchesRecomputationUnderFuzzedMutation) {
         ASSERT_EQ(eval.size(), mirror.size());
         EXPECT_TRUE(test::costs_equal(
             eval.epsilon(),
-            model::partial_epsilon(instance, Plan(mirror), policy)));
+            model::partial_epsilon(instance, Plan(mirror), cost_model)));
         double product = 1.0;
         for (const Service_id id : mirror) {
           product *= instance.selectivity(id);
@@ -53,7 +54,7 @@ TEST(Evaluator_test, MatchesRecomputationUnderFuzzedMutation) {
         if (eval.full()) {
           EXPECT_TRUE(test::costs_equal(
               eval.complete_cost(),
-              model::bottleneck_cost(instance, Plan(mirror), policy)));
+              model::bottleneck_cost(instance, Plan(mirror), cost_model)));
         }
       }
     }

@@ -66,7 +66,8 @@ TEST(Explain_test, ComparisonRequiresPlans) {
 TEST(Explain_test, OverlappedPolicyIsLabelled) {
   const Instance instance = two_site_instance();
   const std::string report = model::explain_plan(
-      instance, Plan({0, 1, 2}), model::Send_policy::overlapped);
+      instance, Plan({0, 1, 2}),
+      model::Cost_model::independent(model::Send_policy::overlapped));
   EXPECT_NE(report.find("max(c, sigma*t)"), std::string::npos);
 }
 

@@ -61,7 +61,7 @@ TEST_P(Dp_matches_exhaustive, Overlapped) {
   const Instance instance = test::selective_instance(n, seed);
   Request request;
   request.instance = &instance;
-  request.policy = Send_policy::overlapped;
+  request.model = model::Cost_model::independent(Send_policy::overlapped);
   const auto got = Dp_optimizer().optimize(request);
   const auto want = Exhaustive_optimizer().optimize(request);
   EXPECT_TRUE(test::costs_equal(got.cost, want.cost));

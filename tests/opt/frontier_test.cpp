@@ -62,7 +62,8 @@ TEST_P(Frontier_matches_exact, Overlapped) {
   const Instance instance = test::selective_instance(n, seed);
   Request request;
   request.instance = &instance;
-  request.policy = model::Send_policy::overlapped;
+  request.model =
+      model::Cost_model::independent(model::Send_policy::overlapped);
   const auto got = Frontier_optimizer().optimize(request);
   const auto want = Exhaustive_optimizer().optimize(request);
   EXPECT_TRUE(test::costs_equal(got.cost, want.cost));

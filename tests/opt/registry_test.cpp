@@ -152,5 +152,82 @@ TEST(Registry_test, DescribeListsEveryName) {
   }
 }
 
+// ---- shared cost-model spec keys -------------------------------------
+
+TEST(Registry_test, SharedPolicyKeyOverridesTheRequestPolicy) {
+  const auto instance = test::selective_instance(7, 5);
+  Request request;
+  request.instance = &instance;
+
+  const auto sequential = make_optimizer("bnb")->optimize(request);
+  const auto overlapped =
+      make_optimizer("bnb:policy=overlapped")->optimize(request);
+  ASSERT_TRUE(sequential.proven_optimal);
+  ASSERT_TRUE(overlapped.proven_optimal);
+  EXPECT_TRUE(test::costs_equal(
+      overlapped.cost,
+      model::bottleneck_cost(
+          instance, overlapped.plan,
+          model::Cost_model::independent(model::Send_policy::overlapped))));
+  // And it agrees with setting the model on the request directly.
+  Request explicit_request = request;
+  explicit_request.model =
+      model::Cost_model::independent(model::Send_policy::overlapped);
+  const auto direct = make_optimizer("bnb")->optimize(explicit_request);
+  EXPECT_TRUE(test::costs_equal(direct.cost, overlapped.cost));
+}
+
+TEST(Registry_test, SharedModelKeysBuildTheCorrelatedModel) {
+  const std::size_t n = 7;
+  const auto instance = test::selective_instance(n, 6);
+  Request request;
+  request.instance = &instance;
+
+  const auto via_spec =
+      make_optimizer("bnb:model=correlated,model-strength=0.6,model-seed=4")
+          ->optimize(request);
+  Request direct_request = request;
+  direct_request.model = model::Cost_model::correlated_seeded(n, 0.6, 4);
+  const auto direct = make_optimizer("bnb")->optimize(direct_request);
+  ASSERT_TRUE(via_spec.proven_optimal);
+  EXPECT_TRUE(test::costs_equal(via_spec.cost, direct.cost));
+  EXPECT_EQ(via_spec.plan, direct.plan);
+  // A policy-only override keeps the request's correlated structure.
+  const auto polarity =
+      make_optimizer("dp:policy=overlapped")->optimize(direct_request);
+  EXPECT_TRUE(test::costs_equal(
+      polarity.cost,
+      model::bottleneck_cost(
+          instance, polarity.plan,
+          direct_request.model.with_policy(model::Send_policy::overlapped))));
+  // spec_model_override reports the same effective model the engine used.
+  EXPECT_EQ(opt::spec_model_override(
+                "bnb:model=correlated,model-strength=0.6,model-seed=4",
+                model::Cost_model{}, n),
+            direct_request.model);
+  EXPECT_EQ(opt::spec_model_override("bnb", direct_request.model, n),
+            direct_request.model);
+}
+
+TEST(Registry_test, SharedKeyMisuseThrows) {
+  EXPECT_NE(thrown_message("bnb:policy=async").find("policy"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("bnb:model=gaussian").find("model"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("bnb:model-strength=0.5")
+                .find("model=correlated"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("bnb:model=independent,model-seed=3")
+                .find("model-* keys without model=correlated"),
+            std::string::npos);
+  EXPECT_NE(
+      thrown_message("bnb:model=correlated,model-strength=-2")
+          .find("non-negative"),
+      std::string::npos);
+  // Unknown keys still list the engine's own options plus the shared set.
+  EXPECT_NE(thrown_message("greedy:widgets=1").find("policy"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace quest

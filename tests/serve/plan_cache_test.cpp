@@ -1,7 +1,8 @@
-// Plan_cache: exact-tier key semantics (fingerprint, policy, spec,
-// budget class, seed), the proven-optimal budget-class exemption, LRU
-// eviction with counters, budget-class quantization, and the warm-start
-// tier.
+// Plan_cache: exact-tier key semantics (fingerprint, cost-model key,
+// spec, budget class, seed), the proven-optimal budget-class exemption,
+// LRU eviction with counters, budget-class quantization, the warm-start
+// tier, and — critically — that neither tier ever serves a plan across
+// differing cost models or send policies.
 
 #include "quest/serve/plan_cache.hpp"
 
@@ -17,11 +18,14 @@ using serve::Cache_key;
 using serve::Cached_plan;
 using serve::Plan_cache;
 
+const std::string sequential_key = model::Cost_model().key();
+const std::string overlapped_key =
+    model::Cost_model::independent(model::Send_policy::overlapped).key();
+
 Cache_key key(std::uint64_t fingerprint, const std::string& spec,
               const std::string& budget = "w:*|t:*|c:0",
               std::uint64_t seed = 0) {
-  return Cache_key{fingerprint, model::Send_policy::sequential, spec, budget,
-                   seed};
+  return Cache_key{fingerprint, sequential_key, spec, budget, seed};
 }
 
 Cached_plan plan_of_cost(double cost, bool proven_optimal = false) {
@@ -65,7 +69,7 @@ TEST(Plan_cache_test, HitRequiresTheFullKey) {
   EXPECT_FALSE(cache.lookup(key(1, "bnb", "w:*|t:*|c:0", 7)).has_value());
 
   Cache_key other_policy = key(1, "bnb");
-  other_policy.policy = model::Send_policy::overlapped;
+  other_policy.model_key = overlapped_key;
   EXPECT_FALSE(cache.lookup(other_policy).has_value());
 
   EXPECT_EQ(cache.lookups(), 6u);
@@ -125,20 +129,20 @@ TEST(Plan_cache_test, ReinsertKeepsTheBetterResult) {
 TEST(Plan_cache_test, WarmStartTierTracksTheBestKnownPlan) {
   Plan_cache cache(8);
   EXPECT_FALSE(
-      cache.best_known(1, model::Send_policy::sequential).has_value());
+      cache.best_known(1, sequential_key).has_value());
 
   cache.insert(key(1, "annealing"), plan_of_cost(5.0));
   cache.insert(key(1, "local-search", "w:2|t:*|c:0"), plan_of_cost(3.0));
   cache.insert(key(1, "random"), plan_of_cost(9.0));  // worse: ignored
 
-  const auto best = cache.best_known(1, model::Send_policy::sequential);
+  const auto best = cache.best_known(1, sequential_key);
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(best->cost, 3.0);
-  // Tiers are per (fingerprint, policy).
+  // Tiers are per (fingerprint, model key).
   EXPECT_FALSE(
-      cache.best_known(1, model::Send_policy::overlapped).has_value());
+      cache.best_known(1, overlapped_key).has_value());
   EXPECT_FALSE(
-      cache.best_known(2, model::Send_policy::sequential).has_value());
+      cache.best_known(2, sequential_key).has_value());
 }
 
 TEST(Plan_cache_test, WarmStartTierSurvivesExactTierEviction) {
@@ -149,7 +153,7 @@ TEST(Plan_cache_test, WarmStartTierSurvivesExactTierEviction) {
   cache.insert(key(1, "b"), plan_of_cost(3.0));
   cache.insert(key(2, "c"), plan_of_cost(4.0));  // evicts key(1, "a")
   EXPECT_FALSE(cache.lookup(key(1, "a")).has_value());
-  const auto best = cache.best_known(1, model::Send_policy::sequential);
+  const auto best = cache.best_known(1, sequential_key);
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(best->cost, 2.0);
 }
@@ -160,10 +164,10 @@ TEST(Plan_cache_test, RememberBestFeedsOnlyTheWarmTier) {
   Plan_cache cache(4);
   Cached_plan cancelled = plan_of_cost(2.0);
   cancelled.termination = opt::Termination::cancelled;
-  cache.remember_best(1, model::Send_policy::sequential, cancelled);
+  cache.remember_best(1, sequential_key, cancelled);
   EXPECT_FALSE(cache.lookup(key(1, "a")).has_value());
   EXPECT_EQ(cache.size(), 0u);
-  const auto best = cache.best_known(1, model::Send_policy::sequential);
+  const auto best = cache.best_known(1, sequential_key);
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(best->cost, 2.0);
 }
@@ -173,18 +177,68 @@ TEST(Plan_cache_test, WarmStartTierIsBounded) {
   // without bound: the warm tier holds at most `capacity` problems.
   Plan_cache cache(2);
   for (std::uint64_t fingerprint = 1; fingerprint <= 5; ++fingerprint) {
-    cache.remember_best(fingerprint, model::Send_policy::sequential,
+    cache.remember_best(fingerprint, sequential_key,
                         plan_of_cost(1.0 * static_cast<double>(fingerprint)));
   }
   // The oldest problems aged out; the two newest are warm-startable.
   EXPECT_FALSE(
-      cache.best_known(1, model::Send_policy::sequential).has_value());
+      cache.best_known(1, sequential_key).has_value());
   EXPECT_FALSE(
-      cache.best_known(3, model::Send_policy::sequential).has_value());
+      cache.best_known(3, sequential_key).has_value());
   EXPECT_TRUE(
-      cache.best_known(4, model::Send_policy::sequential).has_value());
+      cache.best_known(4, sequential_key).has_value());
   EXPECT_TRUE(
-      cache.best_known(5, model::Send_policy::sequential).has_value());
+      cache.best_known(5, sequential_key).has_value());
+}
+
+// The cross-model contamination regression (cost-model redesign): a
+// plan cached under one cost model must be invisible — in both tiers —
+// to requests under any other model, even for the same instance, engine,
+// budget class and seed. Costs are not comparable across models.
+TEST(Plan_cache_test, ExactTierRefusesHitsAcrossCostModels) {
+  Plan_cache cache(8);
+  const auto correlated =
+      model::Cost_model::correlated_seeded(6, 0.5, 7);
+  const auto correlated_other_seed =
+      model::Cost_model::correlated_seeded(6, 0.5, 8);
+
+  Cache_key independent_key = key(1, "bnb");
+  Cache_key correlated_key = key(1, "bnb");
+  correlated_key.model_key = correlated.key();
+
+  cache.insert(independent_key, plan_of_cost(2.0, /*proven_optimal=*/true));
+  cache.insert(correlated_key, plan_of_cost(3.0, /*proven_optimal=*/true));
+
+  // Each model sees exactly its own entry (proven-optimal entries are
+  // budget-exempt but never model-exempt).
+  EXPECT_DOUBLE_EQ(cache.lookup(independent_key)->cost, 2.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(correlated_key)->cost, 3.0);
+
+  Cache_key other = key(1, "bnb");
+  other.model_key = correlated_other_seed.key();
+  EXPECT_FALSE(cache.lookup(other).has_value());
+  other.model_key = overlapped_key;
+  EXPECT_FALSE(cache.lookup(other).has_value());
+}
+
+TEST(Plan_cache_test, WarmStartTierRefusesHitsAcrossCostModels) {
+  Plan_cache cache(8);
+  const std::string correlated_key =
+      model::Cost_model::correlated_seeded(6, 0.5, 7).key();
+
+  cache.remember_best(1, sequential_key, plan_of_cost(2.0));
+  cache.remember_best(1, correlated_key, plan_of_cost(5.0));
+
+  // Neither model's warm start leaks into the other, and the cheaper
+  // independent plan never masquerades as a correlated incumbent.
+  EXPECT_DOUBLE_EQ(cache.best_known(1, sequential_key)->cost, 2.0);
+  EXPECT_DOUBLE_EQ(cache.best_known(1, correlated_key)->cost, 5.0);
+  EXPECT_FALSE(cache.best_known(1, overlapped_key).has_value());
+
+  // Distinct correlation parameters are distinct models.
+  const std::string other_strength =
+      model::Cost_model::correlated_seeded(6, 0.9, 7).key();
+  EXPECT_FALSE(cache.best_known(1, other_strength).has_value());
 }
 
 }  // namespace

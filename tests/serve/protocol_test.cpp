@@ -41,7 +41,9 @@ TEST(Protocol_test, ParsesOptimizeWithDefaults) {
   EXPECT_EQ(optimize->budget.node_limit, 0u);
   EXPECT_EQ(optimize->budget.time_limit_seconds, 0.0);
   EXPECT_EQ(optimize->seed, 0u);
-  EXPECT_EQ(optimize->policy, model::Send_policy::sequential);
+  EXPECT_EQ(optimize->model.policy, model::Send_policy::sequential);
+  EXPECT_EQ(optimize->model.structure,
+            model::Selectivity_structure::independent);
   EXPECT_FALSE(optimize->stream);
   EXPECT_TRUE(optimize->cache);
   EXPECT_FALSE(optimize->execute.has_value());
@@ -65,7 +67,7 @@ TEST(Protocol_test, ParsesOptimizeFully) {
   EXPECT_EQ(optimize->budget.node_limit, 1000u);
   EXPECT_DOUBLE_EQ(optimize->budget.cost_target, 1.5);
   EXPECT_EQ(optimize->seed, 7u);
-  EXPECT_EQ(optimize->policy, model::Send_policy::overlapped);
+  EXPECT_EQ(optimize->model.policy, model::Send_policy::overlapped);
   EXPECT_TRUE(optimize->stream);
   EXPECT_FALSE(optimize->cache);
   ASSERT_TRUE(optimize->execute.has_value());

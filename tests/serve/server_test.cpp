@@ -589,5 +589,97 @@ TEST(Server_test, DrainShutdownFinishesAdmittedWork) {
   EXPECT_EQ(results, 3);
 }
 
+// Acceptance round trip of the Cost_model redesign at the serving layer:
+// a correlated instance travels register -> optimize -> cache-hit intact,
+// the result names the model it was computed under, and neither cache
+// tier ever crosses models — an identical request under the independent
+// model (or a different correlation seed) misses and re-optimizes.
+TEST(Server_test, CorrelatedModelRoundTripsWithoutCrossModelCacheHits) {
+  Event_log log;
+  Server_options options;
+  options.workers = 2;
+  Server server(options, std::ref(log));
+
+  const std::size_t n = 8;
+  const auto instance = test::selective_instance(n, 77);
+  server.handle(register_op("prod", instance));
+
+  const auto correlated_spec =
+      model::parse_cost_model_spec("correlated:strength=0.8,seed=5");
+  Optimize_op correlated = optimize_op("c1", "prod", "bnb");
+  correlated.model = correlated_spec;
+  server.handle(std::move(correlated));
+  const io::Json first = log.wait_result("c1");
+  ASSERT_TRUE(first.is_object());
+  EXPECT_EQ(first.at("termination").as_string(), "optimal");
+  EXPECT_FALSE(first.at("cached").as_bool());
+  const std::string model_key = first.at("model").as_string();
+  EXPECT_EQ(model_key, correlated_spec.bind(n).key());
+
+  // The reported cost matches a direct correlated run, not the
+  // independent one.
+  opt::Request request;
+  request.instance = &instance;
+  request.model = correlated_spec.bind(n);
+  const auto reference = core::make_optimizer("bnb")->optimize(request);
+  EXPECT_TRUE(
+      test::costs_equal(first.at("cost").as_number(), reference.cost));
+
+  // Identical repeat: served from the exact tier, same model key.
+  Optimize_op repeat = optimize_op("c2", "prod", "bnb");
+  repeat.model = correlated_spec;
+  server.handle(std::move(repeat));
+  const io::Json second = log.wait_result("c2");
+  EXPECT_TRUE(second.at("cached").as_bool());
+  EXPECT_EQ(second.at("model").as_string(), model_key);
+  EXPECT_TRUE(test::costs_equal(second.at("cost").as_number(),
+                                first.at("cost").as_number()));
+
+  // Same instance/engine under the independent model: a miss (fresh,
+  // uncached run) with its own model key.
+  server.handle(optimize_op("i1", "prod", "bnb"));
+  const io::Json independent = log.wait_result("i1");
+  EXPECT_FALSE(independent.at("cached").as_bool());
+  EXPECT_EQ(independent.at("model").as_string(),
+            model::Cost_model().key());
+
+  // A different correlation seed is a different model: also a miss.
+  Optimize_op other = optimize_op("c3", "prod", "bnb");
+  other.model = model::parse_cost_model_spec("correlated:strength=0.8,seed=6");
+  server.handle(std::move(other));
+  const io::Json third = log.wait_result("c3");
+  EXPECT_FALSE(third.at("cached").as_bool());
+  EXPECT_NE(third.at("model").as_string(), model_key);
+}
+
+// A spec-level override (shared model= keys in the optimizer spec) must
+// reach both the engine and the cache key — the admission path folds it
+// into the job's model so a cached plan can never cross models.
+TEST(Server_test, SpecLevelModelOverrideReachesTheCacheKey) {
+  Event_log log;
+  Server server(Server_options{}, std::ref(log));
+  const std::size_t n = 7;
+  const auto instance = test::selective_instance(n, 13);
+  server.handle(register_op("prod", instance));
+
+  server.handle(optimize_op(
+      "s1", "prod", "bnb:model=correlated,model-strength=0.7,model-seed=9"));
+  const io::Json result = log.wait_result("s1");
+  ASSERT_TRUE(result.is_object());
+  const auto expected = model::Cost_model::correlated_seeded(n, 0.7, 9);
+  EXPECT_EQ(result.at("model").as_string(), expected.key());
+
+  // The plain-spec request with an op-level correlated model of the same
+  // parameters hits the entry only when the *effective* models agree...
+  Optimize_op same_model = optimize_op(
+      "s2", "prod", "bnb:model=correlated,model-strength=0.7,model-seed=9");
+  server.handle(std::move(same_model));
+  EXPECT_TRUE(log.wait_result("s2").at("cached").as_bool());
+
+  // ...and the bare "bnb" spec (independent model) never does.
+  server.handle(optimize_op("s3", "prod", "bnb"));
+  EXPECT_FALSE(log.wait_result("s3").at("cached").as_bool());
+}
+
 }  // namespace
 }  // namespace quest

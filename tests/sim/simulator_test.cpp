@@ -51,7 +51,7 @@ TEST(Simulator_test, OverlappedPolicyConvergesToo) {
   const Plan plan = Plan::identity(6);
   Sim_config config;
   config.input_tuples = 20'000;
-  config.policy = Send_policy::overlapped;
+  config.model = model::Cost_model::independent(Send_policy::overlapped);
   const auto result = simulate(instance, plan, config);
   EXPECT_NEAR(result.per_tuple_time / result.predicted_cost, 1.0, 0.08);
 }

@@ -151,6 +151,57 @@ TEST(Generators_test, BottleneckTspShape) {
   }
 }
 
+TEST(Generators_test, HeavyTailedShapes) {
+  for (const auto family :
+       {wl::Tail_family::pareto, wl::Tail_family::lognormal}) {
+    Rng rng(91);
+    wl::Heavy_tail_spec spec;
+    spec.n = 64;
+    spec.tail = family;
+    const auto instance = wl::make_heavy_tailed(spec, rng);
+    ASSERT_EQ(instance.size(), 64u);
+    double max_cost = 0.0, max_sigma = 0.0;
+    for (const auto& service : instance.services()) {
+      EXPECT_GT(service.cost, 0.0);
+      EXPECT_LE(service.cost, spec.cost_cap);
+      EXPECT_GT(service.selectivity, 0.0);
+      EXPECT_LE(service.selectivity, spec.selectivity_cap);
+      max_cost = std::max(max_cost, service.cost);
+      max_sigma = std::max(max_sigma, service.selectivity);
+    }
+    // Heavy tails: across 64 draws the extremes dwarf the scale.
+    EXPECT_GT(max_cost, 4.0 * spec.cost_scale);
+    EXPECT_GT(max_sigma, 2.0 * spec.selectivity_scale);
+    for (std::size_t i = 0; i < spec.n; ++i) {
+      for (std::size_t j = 0; j < spec.n; ++j) {
+        if (i == j) continue;
+        EXPECT_GE(instance.transfer(i, j), spec.transfer_min);
+        EXPECT_LE(instance.transfer(i, j), spec.transfer_max);
+      }
+    }
+  }
+}
+
+TEST(Generators_test, HeavyTailedIsDeterministicPerSeed) {
+  wl::Heavy_tail_spec spec;
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(wl::make_heavy_tailed(spec, a), wl::make_heavy_tailed(spec, b));
+  Rng fresh(7);
+  EXPECT_FALSE(wl::make_heavy_tailed(spec, fresh) ==
+               wl::make_heavy_tailed(spec, c));
+}
+
+TEST(Generators_test, HeavyTailSpecValidation) {
+  Rng rng(3);
+  wl::Heavy_tail_spec bad_alpha;
+  bad_alpha.pareto_alpha = 0.0;
+  EXPECT_THROW(wl::make_heavy_tailed(bad_alpha, rng), Precondition_error);
+  wl::Heavy_tail_spec bad_cap;
+  bad_cap.selectivity_scale = 2.0;
+  bad_cap.selectivity_cap = 1.0;
+  EXPECT_THROW(wl::make_heavy_tailed(bad_cap, rng), Precondition_error);
+}
+
 TEST(Generators_test, SpecValidation) {
   Rng rng(8);
   wl::Uniform_spec bad_range;

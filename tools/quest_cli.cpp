@@ -73,16 +73,17 @@ Problem load_or_generate(const std::string& path, const std::string& family,
     spec.n = n;
     return {workload::make_bottleneck_tsp(spec, rng), std::nullopt};
   }
+  if (family == "heavy" || family == "heavy-lognormal") {
+    workload::Heavy_tail_spec spec;
+    spec.n = n;
+    if (family == "heavy-lognormal") {
+      spec.tail = workload::Tail_family::lognormal;
+    }
+    return {workload::make_heavy_tailed(spec, rng), std::nullopt};
+  }
   throw Parse_error("unknown --generate family '" + family +
-                    "' (uniform, clustered, euclidean, btsp, credit, sky, "
-                    "log)");
-}
-
-model::Send_policy parse_policy(const std::string& text) {
-  if (text == "sequential") return model::Send_policy::sequential;
-  if (text == "overlapped") return model::Send_policy::overlapped;
-  throw Parse_error("--policy must be 'sequential' or 'overlapped', got '" +
-                    text + "'");
+                    "' (uniform, clustered, euclidean, btsp, heavy, "
+                    "heavy-lognormal, credit, sky, log)");
 }
 
 io::Json stats_json(const opt::Search_stats& stats) {
@@ -106,8 +107,8 @@ int run(int argc, char** argv) {
       cli.add_string("instance", "", "instance JSON to load");
   auto& family = cli.add_string(
       "generate", "uniform",
-      "family when no --instance: uniform|clustered|euclidean|btsp|credit|"
-      "sky|log");
+      "family when no --instance: uniform|clustered|euclidean|btsp|heavy|"
+      "heavy-lognormal|credit|sky|log");
   auto& n = cli.add_int("n", 12, "generated instance size");
   auto& gen_seed = cli.add_int("gen-seed", 1, "generator seed");
   auto& save_path =
@@ -127,7 +128,12 @@ int run(int argc, char** argv) {
   auto& seed =
       cli.add_int("seed", 0, "top-level seed for stochastic engines");
   auto& policy_name =
-      cli.add_string("policy", "sequential", "sequential|overlapped");
+      cli.add_string("policy", "sequential",
+                     "send policy: sequential|overlapped");
+  auto& model_name = cli.add_string(
+      "model", "independent",
+      "cost model: independent | "
+      "correlated[:strength=...,seed=...,clamp-lo=...,clamp-hi=...]");
   auto& stream =
       cli.add_bool("stream", false, "print each improving incumbent");
   auto& explain = cli.add_bool("explain", false, "per-stage plan breakdown");
@@ -170,6 +176,9 @@ int run(int argc, char** argv) {
     throw Parse_error("--cost-target must be non-negative");
   }
 
+  const model::Cost_model_spec model_spec =
+      model::parse_cost_model_spec(model_name.value, policy_name.value);
+
   Problem problem =
       load_or_generate(instance_path.value, family.value,
                        static_cast<std::size_t>(n.value),
@@ -183,10 +192,16 @@ int run(int argc, char** argv) {
 
   auto optimizer = core::make_optimizer(spec.value);
 
+  // The effective cost model: --model/--policy, overridden by any shared
+  // model keys inside the --optimizer spec (which the built engine also
+  // applies) — what explain/simulate must evaluate under too.
+  const model::Cost_model cost_model = opt::spec_model_override(
+      spec.value, model_spec.bind(instance.size()), instance.size());
+
   opt::Request request;
   request.instance = &instance;
   request.precedence = precedence;
-  request.policy = parse_policy(policy_name.value);
+  request.model = cost_model;
   request.budget.time_limit_seconds = deadline_ms.value / 1e3;
   request.budget.node_limit = static_cast<std::uint64_t>(node_limit.value);
   request.budget.cost_target = cost_target.value;
@@ -219,7 +234,7 @@ int run(int argc, char** argv) {
     sim::Sim_config config;
     config.input_tuples = static_cast<std::uint64_t>(tuples.value);
     config.block_size = static_cast<std::uint64_t>(block_size.value);
-    config.policy = request.policy;
+    config.model = cost_model;
     simulated = sim::simulate(instance, result.plan, config);
   }
 
@@ -245,6 +260,7 @@ int run(int argc, char** argv) {
     doc.set("instance", std::move(instance_json));
     doc.set("optimizer", io::Json(spec.value));
     doc.set("engine", io::Json(optimizer->name()));
+    doc.set("cost_model", io::Json(cost_model.key()));
 
     io::Json result_json;
     result_json.set("cost", complete ? io::Json(result.cost) : io::Json());
@@ -294,7 +310,8 @@ int run(int argc, char** argv) {
                     : "")
             << ")\n"
             << "optimizer: " << spec.value << " -> engine "
-            << optimizer->name() << '\n';
+            << optimizer->name() << '\n'
+            << "cost model: " << cost_model.key() << '\n';
   if (complete) {
     std::cout << "plan: " << result.plan.to_string() << '\n'
               << "cost: " << Table::num(result.cost, 6) << '\n';
@@ -310,7 +327,7 @@ int run(int argc, char** argv) {
             << Table::num(result.elapsed_seconds * 1e3, 2) << " ms\n";
   if (explain.value && complete) {
     std::cout << '\n'
-              << model::explain_plan(instance, result.plan, request.policy);
+              << model::explain_plan(instance, result.plan, cost_model);
   }
   if (simulated) {
     std::cout << "\nsimulation: makespan "
