@@ -1,0 +1,125 @@
+// bench_par: speedup-vs-threads sweep for the deterministic parallel
+// branch-and-bound (bnb-par) against the sequential bnb on
+// pruning-resistant bottleneck-TSP instances (the E7 hard regime — on
+// selective uniform instances the lemmas close the search in
+// microseconds and there is nothing to parallelize).
+//
+// Every timed run is also a correctness check: all engines and all
+// thread counts must return the same optimal cost, and every bnb-par run
+// the same canonical plan. `--json` emits the machine-readable document
+// the BENCH_*.json trajectory records are built from.
+
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "quest/common/cli.hpp"
+#include "quest/common/error.hpp"
+#include "quest/common/stats.hpp"
+#include "quest/common/table.hpp"
+#include "quest/io/json.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quest;
+  Cli cli("bench_par",
+          "bnb-par speedup vs worker threads on bottleneck-TSP instances");
+  auto& reps = cli.add_int("reps", 7, "timed repetitions (median reported)");
+  auto& gen_seed = cli.add_int("gen-seed", 3, "instance generator seed");
+  auto& json_output =
+      cli.add_bool("json", false, "machine-readable JSON on stdout");
+  cli.parse(argc, argv);
+  if (reps.value < 1) throw Parse_error("--reps must be >= 1");
+
+  const std::vector<std::size_t> sizes{12, 16, 20};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  if (!json_output.value) {
+    bench::banner("PAR",
+                  "median optimize() wall time, sequential bnb vs "
+                  "bnb-par at 1/2/4/8 workers; identical cost and plan "
+                  "asserted on every run");
+  }
+
+  io::Json doc;
+  doc.set("bench", io::Json(std::string("bench_par")));
+  doc.set("family", io::Json(std::string("btsp")));
+  doc.set("reps", io::Json(static_cast<double>(reps.value)));
+  doc.set("hardware_concurrency",
+          io::Json(static_cast<double>(std::thread::hardware_concurrency())));
+  io::Json sweeps{io::Json::Array{}};
+
+  Table table("bnb-par speedup (median of " + std::to_string(reps.value) +
+              ", bottleneck-TSP)");
+  table.set_header({"n", "bnb ms", "par1 ms", "par2 ms", "par4 ms",
+                    "par8 ms", "speedup@8"});
+
+  for (const std::size_t n : sizes) {
+    Rng rng(static_cast<std::uint64_t>(gen_seed.value));
+    workload::Bottleneck_tsp_spec spec;
+    spec.n = n;
+    const auto instance = workload::make_bottleneck_tsp(spec, rng);
+    opt::Request request;
+    request.instance = &instance;
+
+    auto median_ms = [&](opt::Optimizer& engine, opt::Result& out) {
+      Sample_stats stats;
+      for (std::int64_t rep = 0; rep < reps.value; ++rep) {
+        stats.add(bench::timed_ms(engine, request, out));
+      }
+      return stats.median();
+    };
+
+    opt::Result reference;
+    auto bnb = core::make_optimizer("bnb");
+    const double bnb_ms = median_ms(*bnb, reference);
+    QUEST_EXPECTS(reference.proven_optimal, "bnb must prove optimality");
+
+    io::Json sweep;
+    sweep.set("n", io::Json(n));
+    sweep.set("optimal_cost", io::Json(reference.cost));
+    sweep.set("bnb_ms", io::Json(bnb_ms));
+    io::Json per_threads{io::Json::Array{}};
+
+    std::vector<std::string> row{std::to_string(n), Table::num(bnb_ms, 3)};
+    double par8_ms = bnb_ms;
+    model::Plan canonical;
+    for (const std::size_t threads : thread_counts) {
+      auto par =
+          core::make_optimizer("bnb-par:threads=" + std::to_string(threads));
+      opt::Result result;
+      const double ms = median_ms(*par, result);
+      QUEST_EXPECTS(result.proven_optimal, "bnb-par must prove optimality");
+      QUEST_EXPECTS(result.cost == reference.cost,
+                    "bnb-par cost must equal bnb's optimum bit-for-bit");
+      if (canonical.size() == 0) {
+        canonical = result.plan;
+      } else {
+        QUEST_EXPECTS(canonical.order() == result.plan.order(),
+                      "bnb-par plan must be identical at every thread count");
+      }
+      if (threads == 8) par8_ms = ms;
+      row.push_back(Table::num(ms, 3));
+      io::Json point;
+      point.set("threads", io::Json(threads));
+      point.set("median_ms", io::Json(ms));
+      point.set("speedup_vs_bnb", io::Json(ms > 0.0 ? bnb_ms / ms : 0.0));
+      per_threads.push_back(std::move(point));
+    }
+    row.push_back(Table::num(par8_ms > 0.0 ? bnb_ms / par8_ms : 0.0, 2));
+    table.add_row(row);
+    sweep.set("threads", std::move(per_threads));
+    sweeps.push_back(std::move(sweep));
+  }
+
+  doc.set("sweeps", std::move(sweeps));
+  if (json_output.value) {
+    std::cout << doc.dump(2) << '\n';
+  } else {
+    std::cout << table << '\n';
+  }
+  return 0;
+}

@@ -1,400 +1,15 @@
 #include "quest/core/branch_and_bound.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <optional>
-#include <span>
-#include <tuple>
 #include <vector>
 
 #include "quest/common/error.hpp"
+#include "quest/core/bounds.hpp"
+#include "quest/core/search_driver.hpp"
 #include "quest/opt/search_control.hpp"
 
 namespace quest::core {
 
-using constraints::Precedence_graph;
-using model::Cost_model;
-using model::Instance;
-using model::Partial_plan_evaluator;
 using model::Plan;
-using model::Send_policy;
-using model::Service_id;
-using model::stage_term;
-
-namespace {
-
-/// One DFS over the pair-seeded search tree. A fresh Search is built per
-/// optimize() call; all scratch state lives here.
-class Search {
- public:
-  Search(const opt::Request& request, const Bnb_options& options,
-         Prefix_store& store)
-      : instance_(*request.instance),
-        model_(request.model),
-        policy_(request.model.policy()),
-        precedence_(request.precedence),
-        warm_plan_(request.warm_start),
-        options_(options),
-        store_(store),
-        eval_(instance_, model_),
-        relax_(1.0 + options.suboptimality),
-        placed_(instance_.size(), 0),
-        scratch_(instance_.size() + 1),
-        control_(request, stats_) {
-    QUEST_EXPECTS(options.suboptimality >= 0.0,
-                  "suboptimality must be non-negative");
-    // The measures need sound attainable-selectivity bounds from the cost
-    // model; when none exist the search falls back to Lemma-2-disabled,
-    // lower-bound-disabled operation (Lemma 1/3 stay exact regardless).
-    // Lemma-2 closure needs sound attainable-selectivity *upper* bounds
-    // from the cost model; when they overflow the search falls back to
-    // closure-disabled operation. The admissible lower bound only needs
-    // the always-finite lower bounds, so it survives the fallback
-    // (Lemma 1/3 stay exact regardless).
-    auto bounds = model_.selectivity_bounds(instance_);
-    closure_on_ =
-        options.enable_closure && bounds.has_value() && bounds->hi_sound;
-    lower_bound_on_ = options.enable_lower_bound && bounds.has_value();
-    if (lower_bound_on_) lower_.emplace(instance_, policy_, *bounds);
-    if (closure_on_) {
-      ebar_.emplace(instance_, policy_, std::move(*bounds),
-                    options.ebar_mode);
-    }
-  }
-
-  opt::Result run() {
-    const std::size_t n = instance_.size();
-    opt::Result result;
-
-    if (n == 1) {
-      result.plan = Plan::identity(1);
-      result.cost = model::bottleneck_cost(instance_, result.plan, model_);
-      ++stats_.complete_plans;
-      control_.note_final_incumbent(result.plan, result.cost);
-      result.stats = stats_;
-      control_.finish(result, true);
-      return result;
-    }
-
-    // Request-supplied warm start (validated by validate_request): a
-    // feasible plan's cost is an upper bound on the optimum, so priming
-    // the incumbent with it tightens every prune without voiding the
-    // optimality proof.
-    if (warm_plan_ != nullptr) {
-      ++stats_.complete_plans;
-      offer_incumbent(*warm_plan_,
-                      model::bottleneck_cost(instance_, *warm_plan_, model_));
-    }
-    if (options_.warm_start) greedy_warm_start();
-
-    // Seed prefixes: every feasible ordered pair, cheapest first term
-    // first. The first term is the plan's position-0 stage cost, a lower
-    // bound (Lemma 1) on any plan starting with that pair.
-    struct Pair_seed {
-      double first_term;
-      Service_id a;
-      Service_id b;
-    };
-    std::vector<Pair_seed> pairs;
-    pairs.reserve(n * (n - 1));
-    for (Service_id a = 0; a < n; ++a) {
-      if (precedence_ && !precedence_->predecessors(a).empty()) continue;
-      const auto& sa = instance_.service(a);
-      for (Service_id b = 0; b < n; ++b) {
-        if (b == a) continue;
-        if (precedence_) {
-          const auto& preds = precedence_->predecessors(b);
-          const bool ok = std::all_of(preds.begin(), preds.end(),
-                                      [a](Service_id p) { return p == a; });
-          if (!ok) continue;
-        }
-        pairs.push_back({stage_term(sa.cost, sa.selectivity,
-                                    instance_.transfer(a, b), policy_),
-                         a, b});
-      }
-    }
-    std::sort(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
-      return std::tie(x.first_term, x.a, x.b) <
-             std::tie(y.first_term, y.a, y.b);
-    });
-    stats_.pairs_total = pairs.size();
-
-    std::vector<char> closed_leader(n, 0);
-    for (const Pair_seed& pair : pairs) {
-      if (control_.should_stop()) break;
-      // Lemma-1 global exit: the list is sorted, so no remaining pair can
-      // start a plan cheaper than the incumbent (relaxed by the
-      // suboptimality factor when bounded-suboptimal search is on).
-      if (pair.first_term * relax_ >= rho_) break;
-      // Lemma 3 at the root: a back-jump to depth 0 established that every
-      // successor of this leader yields cost >= rho.
-      if (closed_leader[pair.a]) {
-        ++stats_.lemma3_siblings_skipped;
-        continue;
-      }
-      ++stats_.pairs_explored;
-      append(pair.a);
-      append(pair.b);
-      stats_.nodes_expanded += 2;
-      const std::size_t target = expand();
-      pop();
-      pop();
-      if (control_.stopped()) break;
-      if (target == 0) closed_leader[pair.a] = 1;
-    }
-
-    QUEST_ASSERT(best_.size() == n || control_.stopped(),
-                 "branch-and-bound must visit at least one complete plan");
-    result.plan = best_;
-    result.cost = rho_;
-    result.stats = stats_;
-    control_.finish(result, options_.suboptimality == 0.0);
-    return result;
-  }
-
- private:
-  // ---- plan mutation ------------------------------------------------
-
-  void append(Service_id id) {
-    eval_.append(id);
-    placed_[id] = 1;
-  }
-  void pop() {
-    placed_[eval_.last()] = 0;
-    eval_.pop();
-  }
-
-  bool feasible(Service_id id) const {
-    return !placed_[id] &&
-           (!precedence_ || precedence_->feasible_next(id, placed_));
-  }
-
-  // ---- incumbent handling ---------------------------------------------
-
-  void offer_incumbent(const Plan& plan, double cost) {
-    if (cost < rho_) {
-      rho_ = cost;
-      best_ = plan;
-      control_.note_incumbent(best_, rho_);
-    }
-  }
-
-  /// Completes the current partial plan with any precedence-feasible
-  /// ordering of the remaining services (smallest id first) and returns it.
-  Plan feasible_completion() const {
-    std::vector<Service_id> order = eval_.order();
-    std::vector<char> placed = placed_;
-    const std::size_t n = instance_.size();
-    while (order.size() < n) {
-      bool appended = false;
-      for (Service_id u = 0; u < n; ++u) {
-        if (placed[u]) continue;
-        if (precedence_ && !precedence_->feasible_next(u, placed)) continue;
-        order.push_back(u);
-        placed[u] = 1;
-        appended = true;
-        break;
-      }
-      QUEST_ASSERT(appended, "precedence graph admits no completion");
-    }
-    return Plan(std::move(order));
-  }
-
-  void greedy_warm_start() {
-    // Cheapest-successor descent: exactly the search's first path, run
-    // ahead of time so sorted-pair enumeration can cut earlier.
-    const std::size_t n = instance_.size();
-    double best_first = std::numeric_limits<double>::infinity();
-    Service_id best_a = model::invalid_service;
-    Service_id best_b = model::invalid_service;
-    for (Service_id a = 0; a < n; ++a) {
-      if (precedence_ && !precedence_->predecessors(a).empty()) continue;
-      const auto& sa = instance_.service(a);
-      for (Service_id b = 0; b < n; ++b) {
-        if (b == a) continue;
-        if (precedence_) {
-          const auto& preds = precedence_->predecessors(b);
-          const bool ok = std::all_of(preds.begin(), preds.end(),
-                                      [a](Service_id p) { return p == a; });
-          if (!ok) continue;
-        }
-        const double term = stage_term(sa.cost, sa.selectivity,
-                                       instance_.transfer(a, b), policy_);
-        if (term < best_first) {
-          best_first = term;
-          best_a = a;
-          best_b = b;
-        }
-      }
-    }
-    if (best_a == model::invalid_service) return;
-    append(best_a);
-    append(best_b);
-    while (!eval_.full()) {
-      Service_id next = model::invalid_service;
-      double next_t = std::numeric_limits<double>::infinity();
-      for (Service_id u = 0; u < n; ++u) {
-        if (!feasible(u)) continue;
-        const double t = instance_.transfer(eval_.last(), u);
-        if (t < next_t) {
-          next_t = t;
-          next = u;
-        }
-      }
-      QUEST_ASSERT(next != model::invalid_service,
-                   "greedy descent found no feasible successor");
-      append(next);
-    }
-    offer_incumbent(eval_.plan(), eval_.complete_cost());
-    while (!eval_.empty()) pop();
-  }
-
-  // ---- the DFS ---------------------------------------------------------
-
-  /// Expands the node for the current partial plan (size >= 2). Returns
-  /// the plan size at which sibling iteration resumes: invocations whose
-  /// plan is larger unwind ("the plan is pruned up to, without including,
-  /// the bottleneck service"); the invocation at that size continues with
-  /// its next sibling.
-  std::size_t expand() {
-    if (control_.should_stop()) return 0;
-    const std::size_t k = eval_.size();
-
-    if (eval_.full()) {
-      ++stats_.complete_plans;
-      const double cost = eval_.complete_cost();
-      offer_incumbent(eval_.plan(), cost);
-      // Lemma-3 back-jump driven by the complete plan's bottleneck: every
-      // untried successor of the bottleneck service is costlier (children
-      // are expanded cheapest-first), so every such plan costs >= rho.
-      if (cost > eval_.epsilon()) return k - 1;  // bottleneck is the sink term
-      return backjump_target(k);
-    }
-
-    auto& remaining = scratch_remaining_;
-    if (closure_on_ || lower_bound_on_) {
-      remaining.clear();
-      for (Service_id u = 0; u < instance_.size(); ++u) {
-        if (!placed_[u]) remaining.push_back(u);
-      }
-    }
-
-    if (lower_bound_on_) {
-      // quest extension: admissible lower bound on the undetermined terms
-      // (see core::Lower_bound). A Lemma-1-style prune with a view of the
-      // future, not just the past.
-      const double bound =
-          std::max(eval_.epsilon(), lower_->evaluate(eval_, remaining));
-      if (bound * relax_ >= rho_) {
-        ++stats_.lower_bound_prunes;
-        return k - 1;
-      }
-    }
-
-    if (closure_on_) {
-      ++stats_.ebar_evaluations;
-      const double ebar = ebar_->evaluate(eval_, remaining);
-      if (eval_.epsilon() >= ebar) {
-        // Lemma 2: the ordering of the remaining services cannot affect
-        // the bottleneck cost; every completion costs exactly epsilon.
-        ++stats_.lemma2_closures;
-        if (eval_.epsilon() < rho_) {
-          const Plan certificate = feasible_completion();
-          ++stats_.complete_plans;
-          offer_incumbent(
-              certificate,
-              model::bottleneck_cost(instance_, certificate, model_));
-        }
-        return backjump_target(k);
-      }
-    }
-
-    // Children: precedence-feasible remaining services, cheapest transfer
-    // from the current last service first (the paper's expansion policy —
-    // Lemma 3's correctness depends on this order).
-    auto& candidates = scratch_[k];
-    candidates.clear();
-    const Service_id last = eval_.last();
-    for (Service_id u = 0; u < instance_.size(); ++u) {
-      if (feasible(u)) candidates.push_back({instance_.transfer(last, u), u});
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& x, const Candidate& y) {
-                return std::tie(x.transfer, x.id) < std::tie(y.transfer, y.id);
-              });
-
-    const double eps = eval_.epsilon();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (control_.should_stop()) return 0;
-      const Candidate& candidate = candidates[i];
-      // Lemma 1: the term this append would fix is non-decreasing along
-      // the sorted sibling list; once it reaches rho, nothing that starts
-      // here (or with any later sibling) can improve (by more than the
-      // suboptimality factor, when relaxation is on).
-      if (std::max(eps, eval_.term_if_appended(candidate.id)) * relax_ >=
-          rho_) {
-        ++stats_.lemma1_cutoffs;
-        stats_.lemma1_children_skipped += candidates.size() - i;
-        break;
-      }
-      append(candidate.id);
-      ++stats_.nodes_expanded;
-      const std::size_t target = expand();
-      pop();
-      if (target < k) {
-        stats_.lemma3_siblings_skipped += candidates.size() - i - 1;
-        return target;
-      }
-    }
-    return k - 1;
-  }
-
-  /// Implements the Lemma-3 unwind for the current plan: records the
-  /// prefix up to and including the bottleneck service in V and returns
-  /// the bottleneck's position (the size at which the search resumes).
-  std::size_t backjump_target(std::size_t k) {
-    const std::size_t bottleneck = eval_.bottleneck_position();
-    QUEST_ASSERT(bottleneck + 2 <= k, "bottleneck must have a successor");
-    if (!options_.enable_backjump) return k - 1;
-    if (options_.record_pruned_prefixes) {
-      const auto& order = eval_.order();
-      store_.record(std::span(order.data(), bottleneck + 1));
-    }
-    ++stats_.lemma3_backjumps;
-    return bottleneck;
-  }
-
-  struct Candidate {
-    double transfer;
-    Service_id id;
-  };
-
-  const Instance& instance_;
-  const Cost_model& model_;
-  Send_policy policy_;
-  const Precedence_graph* precedence_;
-  const Plan* warm_plan_;
-  const Bnb_options& options_;
-  Prefix_store& store_;
-
-  Partial_plan_evaluator eval_;
-  std::optional<Epsilon_bar> ebar_;
-  std::optional<Lower_bound> lower_;
-  bool closure_on_ = false;
-  bool lower_bound_on_ = false;
-  double relax_;
-
-  std::vector<char> placed_;
-  std::vector<std::vector<Candidate>> scratch_;
-  std::vector<Service_id> scratch_remaining_;
-
-  double rho_ = std::numeric_limits<double>::infinity();
-  Plan best_;
-  opt::Search_stats stats_;
-  opt::Search_control control_;  // binds stats_: keep it declared after
-};
-
-}  // namespace
 
 Bnb_optimizer::Bnb_optimizer(Bnb_options options)
     : options_(options), store_(options.prefix_store_capacity) {}
@@ -413,9 +28,84 @@ std::string Bnb_optimizer::name() const {
 
 opt::Result Bnb_optimizer::optimize(const opt::Request& request) {
   opt::validate_request(request);
+  QUEST_EXPECTS(options_.suboptimality >= 0.0,
+                "suboptimality must be non-negative");
   store_.clear();
-  Search search(request, options_, store_);
-  return search.run();
+  const auto& instance = *request.instance;
+  const std::size_t n = instance.size();
+
+  opt::Result result;
+  opt::Search_stats stats;
+  opt::Search_control control(request, stats);
+
+  if (n == 1) {
+    result.plan = Plan::identity(1);
+    result.cost = model::bottleneck_cost(instance, result.plan, request.model);
+    ++stats.complete_plans;
+    control.note_final_incumbent(result.plan, result.cost);
+    result.stats = stats;
+    control.finish(result, true);
+    return result;
+  }
+
+  Bound_config bound_config;
+  bound_config.ebar_mode = options_.ebar_mode;
+  bound_config.enable_closure = options_.enable_closure;
+  bound_config.enable_lower_bound = options_.enable_lower_bound;
+  const Bound_provider bounds(instance, request.model, bound_config);
+
+  Driver_config config;
+  config.relax = 1.0 + options_.suboptimality;
+  config.enable_backjump = options_.enable_backjump;
+  config.record_pruned_prefixes = options_.record_pruned_prefixes;
+
+  Local_incumbent incumbent(control);
+  Search_driver<Local_incumbent, opt::Search_control> driver(
+      instance, request.model, request.precedence, config, bounds, incumbent,
+      control, stats, &store_);
+
+  // Request-supplied warm start (validated by validate_request): a
+  // feasible plan's cost is an upper bound on the optimum, so priming
+  // the incumbent with it tightens every prune without voiding the
+  // optimality proof.
+  if (request.warm_start != nullptr) {
+    ++stats.complete_plans;
+    incumbent.offer(request.warm_start->order(),
+                    model::bottleneck_cost(instance, *request.warm_start,
+                                           request.model));
+  }
+
+  const std::vector<Pair_seed> pairs = build_pair_seeds(
+      instance, request.model.policy(), request.precedence);
+  if (options_.warm_start) driver.greedy_warm_start(pairs);
+  stats.pairs_total = pairs.size();
+
+  std::vector<char> closed_leader(n, 0);
+  for (const Pair_seed& pair : pairs) {
+    if (control.should_stop()) break;
+    // Lemma-1 global exit: the list is sorted, so no remaining pair can
+    // start a plan cheaper than the incumbent (relaxed by the
+    // suboptimality factor when bounded-suboptimal search is on).
+    if (pair.first_term * config.relax >= incumbent.rho()) break;
+    // Lemma 3 at the root: a back-jump to depth 0 established that every
+    // successor of this leader yields cost >= rho.
+    if (closed_leader[pair.a]) {
+      ++stats.lemma3_siblings_skipped;
+      continue;
+    }
+    ++stats.pairs_explored;
+    const std::size_t target = driver.run_pair(pair);
+    if (control.stopped()) break;
+    if (target == 0) closed_leader[pair.a] = 1;
+  }
+
+  QUEST_ASSERT(incumbent.best().size() == n || control.stopped(),
+               "branch-and-bound must visit at least one complete plan");
+  result.plan = incumbent.best();
+  result.cost = incumbent.cost();
+  result.stats = stats;
+  control.finish(result, options_.suboptimality == 0.0);
+  return result;
 }
 
 }  // namespace quest::core

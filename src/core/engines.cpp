@@ -1,6 +1,7 @@
 #include "quest/core/engines.hpp"
 
 #include "quest/common/error.hpp"
+#include "quest/core/bnb_par.hpp"
 #include "quest/core/branch_and_bound.hpp"
 #include "quest/core/portfolio.hpp"
 
@@ -46,6 +47,19 @@ void register_core_optimizers(opt::Registry& registry) {
       [](const opt::Spec_options& options) {
         return std::make_unique<Bnb_optimizer>(
             bnb_options_from(options, true));
+      });
+  registry.add(
+      "bnb-par",
+      "deterministic parallel branch-and-bound (K workers, shared "
+      "incumbent, canonical plan)",
+      {"threads", "ebar", "closure", "backjump", "warm-start", "lower-bound"},
+      [](const opt::Spec_options& options) {
+        Bnb_par_options parsed;
+        parsed.search = bnb_options_from(options, false);
+        parsed.threads = options.get_size("threads", 0);
+        QUEST_EXPECTS(parsed.threads <= 256,
+                      "bnb-par option threads must be at most 256");
+        return std::make_unique<Bnb_par_optimizer>(parsed);
       });
   registry.add(
       "portfolio",

@@ -1,0 +1,74 @@
+// quest/core/bnb_par.hpp
+//
+// The deterministic parallel branch-and-bound: K workers run the same
+// search kernel the sequential bnb uses (quest/core/search_driver.hpp)
+// over per-worker deques of root pair-seed subtrees with work stealing,
+// pruning against one shared atomic incumbent.
+//
+// Determinism contract (for runs that complete — not cancelled, not
+// budget-stopped):
+//
+//  * The returned cost is the exact optimum, identical across runs and
+//    thread counts. Every prune compares a sound bound against the
+//    current incumbent rho, and rho >= optimum at all times, so no
+//    interleaving can prune the optimum away; per-plan costs are
+//    bit-deterministic (the evaluator and bottleneck_cost multiply in
+//    the same order), so the minimum is one well-defined double.
+//
+//  * The returned plan is run-to-run stable regardless of interleaving:
+//    after the parallel phase proves the optimal cost C, a sequential
+//    canonical-reconstruction DFS (ascending service id, sound
+//    equality-admitting pruning against C) rebuilds the
+//    lexicographically smallest plan of cost C. The reconstruction is
+//    bounded by a perfect incumbent from its first node — in practice a
+//    small fraction of the search itself.
+//
+// Runs cut short return the shared incumbent at that point: the cost is
+// still a valid upper bound and the plan complete whenever an incumbent
+// existed, but neither is canonical.
+//
+// Unlike the sequential engines, Request::on_incumbent fires from
+// whichever worker thread won the incumbent race (serialized, costs
+// monotonically improving) — callbacks must be thread-compatible.
+
+#pragma once
+
+#include <cstddef>
+
+#include "quest/core/branch_and_bound.hpp"
+
+namespace quest::core {
+
+/// Tuning for the parallel engine.
+struct Bnb_par_options {
+  /// Ablation switches shared with the sequential driver. suboptimality
+  /// must stay 0: relaxed pruning makes the final cost depend on worker
+  /// interleaving, which would void the determinism contract.
+  Bnb_options search;
+  /// Worker count; 0 resolves to the hardware concurrency at optimize()
+  /// time.
+  std::size_t threads = 0;
+};
+
+/// The parallel optimizer. Reusable across optimize() calls; not
+/// thread-safe itself (one instance per calling thread) — it spawns and
+/// joins its own workers inside optimize().
+class Bnb_par_optimizer final : public opt::Optimizer {
+ public:
+  explicit Bnb_par_optimizer(Bnb_par_options options = {});
+
+  std::string name() const override;
+  opt::Result optimize(const opt::Request& request) override;
+
+  const Bnb_par_options& options() const noexcept { return options_; }
+
+  /// The worker count optimize() will actually run: options().threads,
+  /// or the hardware concurrency when that is 0. Also reported in
+  /// Result::stats.engine_threads.
+  std::size_t effective_threads() const;
+
+ private:
+  Bnb_par_options options_;
+};
+
+}  // namespace quest::core

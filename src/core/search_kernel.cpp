@@ -1,0 +1,40 @@
+#include "quest/core/search_kernel.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace quest::core {
+
+std::vector<Pair_seed> build_pair_seeds(
+    const model::Instance& instance, model::Send_policy policy,
+    const constraints::Precedence_graph* precedence) {
+  const std::size_t n = instance.size();
+  std::vector<Pair_seed> pairs;
+  if (n < 2) return pairs;
+  pairs.reserve(n * (n - 1));
+  for (model::Service_id a = 0; a < n; ++a) {
+    if (precedence && !precedence->predecessors(a).empty()) continue;
+    const auto& sa = instance.service(a);
+    for (model::Service_id b = 0; b < n; ++b) {
+      if (b == a) continue;
+      if (precedence) {
+        const auto& preds = precedence->predecessors(b);
+        const bool ok =
+            std::all_of(preds.begin(), preds.end(),
+                        [a](model::Service_id p) { return p == a; });
+        if (!ok) continue;
+      }
+      pairs.push_back({model::stage_term(sa.cost, sa.selectivity,
+                                         instance.transfer(a, b), policy),
+                       a, b});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair_seed& x, const Pair_seed& y) {
+              return std::tie(x.first_term, x.a, x.b) <
+                     std::tie(y.first_term, y.a, y.b);
+            });
+  return pairs;
+}
+
+}  // namespace quest::core

@@ -83,7 +83,7 @@ Partial_plan_evaluator::Partial_plan_evaluator(const Instance& instance,
     : instance_(&instance),
       model_(std::move(model)),
       gamma_(model_.interaction()),
-      in_plan_(instance.size(), 0) {
+      in_plan_(instance.size()) {
   model_.validate_for(instance);
   frames_.reserve(instance.size());
   order_.reserve(instance.size());
@@ -91,7 +91,7 @@ Partial_plan_evaluator::Partial_plan_evaluator(const Instance& instance,
 
 void Partial_plan_evaluator::append(Service_id id) {
   QUEST_EXPECTS(id < instance_->size(), "service id out of range");
-  QUEST_EXPECTS(!in_plan_[id], "service already in the partial plan");
+  QUEST_EXPECTS(!in_plan_.test(id), "service already in the partial plan");
   const Service& s = instance_->service(id);
   Frame frame;
   frame.id = id;
@@ -129,12 +129,12 @@ void Partial_plan_evaluator::append(Service_id id) {
   frame.product_through = frame.product_before * frame.sigma;
   frames_.push_back(frame);
   order_.push_back(id);
-  in_plan_[id] = 1;
+  in_plan_.set(id);
 }
 
 void Partial_plan_evaluator::pop() {
   QUEST_EXPECTS(!frames_.empty(), "pop() on an empty partial plan");
-  in_plan_[frames_.back().id] = 0;
+  in_plan_.reset(frames_.back().id);
   frames_.pop_back();
   order_.pop_back();
 }
@@ -142,7 +142,7 @@ void Partial_plan_evaluator::pop() {
 void Partial_plan_evaluator::clear() {
   frames_.clear();
   order_.clear();
-  std::fill(in_plan_.begin(), in_plan_.end(), 0);
+  in_plan_.clear();
 }
 
 Service_id Partial_plan_evaluator::last() const {
@@ -172,7 +172,7 @@ double Partial_plan_evaluator::term_if_appended(Service_id next) const {
   QUEST_EXPECTS(!frames_.empty(),
                 "term_if_appended() on an empty partial plan");
   QUEST_EXPECTS(next < instance_->size(), "service id out of range");
-  QUEST_EXPECTS(!in_plan_[next], "candidate already in the partial plan");
+  QUEST_EXPECTS(!in_plan_.test(next), "candidate already in the partial plan");
   const Frame& top = frames_.back();
   const Service& last_service = instance_->service(top.id);
   return top.product_before *

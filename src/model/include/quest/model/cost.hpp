@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "quest/common/bitset64.hpp"
 #include "quest/model/cost_model.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
@@ -99,7 +100,7 @@ class Partial_plan_evaluator {
   std::size_t size() const noexcept { return frames_.size(); }
   bool empty() const noexcept { return frames_.empty(); }
   bool full() const noexcept { return frames_.size() == instance_->size(); }
-  bool contains(Service_id id) const { return in_plan_[id]; }
+  bool contains(Service_id id) const { return in_plan_.test(id); }
   Service_id last() const;
 
   /// The paper's epsilon: max over fully-determined stage terms.
@@ -139,6 +140,10 @@ class Partial_plan_evaluator {
   Plan plan() const;
   const std::vector<Service_id>& order() const noexcept { return order_; }
 
+  /// Bitmask view of the plan set (bits 0..63; the subset engines and the
+  /// search kernel consume this on n <= 64 instances).
+  std::uint64_t placed_word() const noexcept { return in_plan_.word(); }
+
   const Instance& instance() const noexcept { return *instance_; }
   const Cost_model& cost_model() const noexcept { return model_; }
   Send_policy policy() const noexcept { return model_.policy(); }
@@ -159,7 +164,9 @@ class Partial_plan_evaluator {
   const Matrix<double>* gamma_;
   std::vector<Frame> frames_;
   std::vector<Service_id> order_;
-  std::vector<char> in_plan_;
+  /// Membership of order_ as a bitmask (single-word fast path for
+  /// n <= 64; overflow words keep arbitrary-n callers working).
+  Member_mask in_plan_;
 };
 
 }  // namespace quest::model

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "quest/common/bitset64.hpp"
 #include "quest/common/error.hpp"
 #include "quest/model/instance.hpp"
 
@@ -30,10 +31,10 @@ Service_id Plan::back() const {
 
 bool Plan::is_permutation_of(std::size_t n) const {
   if (order_.size() != n) return false;
-  std::vector<bool> seen(n, false);
+  Member_mask seen(n);
   for (const Service_id id : order_) {
-    if (id >= n || seen[id]) return false;
-    seen[id] = true;
+    if (id >= n || seen.test(id)) return false;
+    seen.set(id);
   }
   return true;
 }

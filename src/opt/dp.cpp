@@ -1,10 +1,10 @@
 #include "quest/opt/dp.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <limits>
 #include <vector>
 
+#include "quest/common/bitset64.hpp"
 #include "quest/common/error.hpp"
 #include "quest/opt/search_control.hpp"
 
@@ -28,7 +28,7 @@ Result Dp_optimizer::optimize(const Request& request) {
   Search_stats stats;
   Search_control control(request, stats);
 
-  const std::size_t full = std::size_t{1} << n;
+  const std::size_t full = bit64(n);
   constexpr double inf = std::numeric_limits<double>::infinity();
 
   // Conditional-selectivity product of every subset. Under the
@@ -39,8 +39,8 @@ Result Dp_optimizer::optimize(const Request& request) {
   std::vector<double> prod(full);
   prod[0] = 1.0;
   for (std::size_t mask = 1; mask < full; ++mask) {
-    const int low = std::countr_zero(mask);
-    const std::size_t rest = mask & (mask - 1);
+    const std::size_t low = lowest_bit(mask);
+    const std::size_t rest = drop_lowest(mask);
     const double sigma =
         independent ? instance.selectivity(static_cast<Service_id>(low))
                     : cost_model.conditional_selectivity(
@@ -53,7 +53,7 @@ Result Dp_optimizer::optimize(const Request& request) {
   if (precedence != nullptr) {
     for (Service_id v = 0; v < n; ++v) {
       for (const Service_id p : precedence->predecessors(v)) {
-        pred_mask[v] |= std::size_t{1} << p;
+        pred_mask[v] |= bit64(p);
       }
     }
   }
@@ -64,7 +64,7 @@ Result Dp_optimizer::optimize(const Request& request) {
 
   for (Service_id a = 0; a < n; ++a) {
     if (pred_mask[a] != 0) continue;
-    g[at(std::size_t{1} << a, a)] = 0.0;  // no determined terms yet
+    g[at(bit64(a), a)] = 0.0;  // no determined terms yet
   }
 
   for (std::size_t mask = 1; mask < full; ++mask) {
@@ -73,16 +73,15 @@ Result Dp_optimizer::optimize(const Request& request) {
       const double current = g[at(mask, j)];
       if (current == inf) continue;
       ++stats.nodes_expanded;
-      const std::size_t without_j = mask & ~(std::size_t{1} << j);
+      const std::size_t without_j = without_bit(mask, j);
       const auto& sj = instance.service(static_cast<Service_id>(j));
       const double sigma_j =
           independent ? sj.selectivity
                       : cost_model.conditional_selectivity(
                             instance, static_cast<Service_id>(j), without_j);
       for (std::size_t u = 0; u < n; ++u) {
-        const std::size_t bit = std::size_t{1} << u;
-        if (mask & bit) continue;
-        if ((pred_mask[u] & mask) != pred_mask[u]) continue;
+        if (has_bit(mask, u)) continue;
+        if (!contains_all(mask, pred_mask[u])) continue;
         // Appending u fixes j's stage term.
         const double fixed =
             prod[without_j] *
@@ -91,10 +90,10 @@ Result Dp_optimizer::optimize(const Request& request) {
                                          static_cast<Service_id>(u)),
                        policy);
         const double value = std::max(current, fixed);
-        auto& slot = g[at(mask | bit, u)];
+        auto& slot = g[at(with_bit(mask, u), u)];
         if (value < slot) {
           slot = value;
-          parent[at(mask | bit, u)] = static_cast<std::uint8_t>(j);
+          parent[at(with_bit(mask, u), u)] = static_cast<std::uint8_t>(j);
         }
       }
     }
@@ -116,7 +115,7 @@ Result Dp_optimizer::optimize(const Request& request) {
     const double current = g[at(all, j)];
     if (current == inf) continue;
     const auto& sj = instance.service(static_cast<Service_id>(j));
-    const std::size_t without_j = all & ~(std::size_t{1} << j);
+    const std::size_t without_j = without_bit(all, j);
     const double sigma_j =
         independent ? sj.selectivity
                     : cost_model.conditional_selectivity(
@@ -142,7 +141,7 @@ Result Dp_optimizer::optimize(const Request& request) {
   for (std::size_t position = n; position-- > 0;) {
     order[position] = static_cast<Service_id>(j);
     const std::uint8_t p = parent[at(mask, j)];
-    mask &= ~(std::size_t{1} << j);
+    mask = without_bit(mask, j);
     j = p;
   }
 

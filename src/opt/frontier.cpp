@@ -1,11 +1,11 @@
 #include "quest/opt/frontier.hpp"
 
-#include <bit>
 #include <limits>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "quest/common/bitset64.hpp"
 #include "quest/common/error.hpp"
 #include "quest/opt/search_control.hpp"
 
@@ -50,13 +50,13 @@ Result Frontier_optimizer::optimize(const Request& request) {
 
   // Selectivity product per subset, built lazily would cost a popcount
   // walk; precompute like the DP (cheap relative to the map).
-  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+  const std::uint64_t full = full_mask64(n);
 
   std::vector<std::uint64_t> pred_mask(n, 0);
   if (request.precedence != nullptr) {
     for (Service_id v = 0; v < n; ++v) {
       for (const Service_id p : request.precedence->predecessors(v)) {
-        pred_mask[v] |= std::uint64_t{1} << p;
+        pred_mask[v] |= bit64(p);
       }
     }
   }
@@ -71,13 +71,13 @@ Result Frontier_optimizer::optimize(const Request& request) {
     if (cached != product_cache.end()) return cached->second;
     double product = 1.0;
     std::uint64_t built = 0;
-    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
-      const auto low = static_cast<Service_id>(std::countr_zero(bits));
+    for (std::uint64_t bits = mask; bits != 0; bits = drop_lowest(bits)) {
+      const auto low = static_cast<Service_id>(lowest_bit(bits));
       product *= independent
                      ? instance.selectivity(low)
                      : cost_model.conditional_selectivity(instance, low,
                                                           built);
-      built |= bits & (0 - bits);
+      built = with_bit(built, low);
     }
     product_cache.emplace(mask, product);
     return product;
@@ -90,7 +90,7 @@ Result Frontier_optimizer::optimize(const Request& request) {
 
   for (Service_id a = 0; a < n; ++a) {
     if (pred_mask[a] != 0) continue;
-    const std::uint64_t mask = std::uint64_t{1} << a;
+    const std::uint64_t mask = bit64(a);
     best[state_key(mask, a)] = 0.0;
     // Even a single-service state flows through the full-mask branch so
     // the sink term is accounted for before the goal is closed.
@@ -111,7 +111,7 @@ Result Frontier_optimizer::optimize(const Request& request) {
       for (std::size_t position = n; position-- > 0;) {
         order[position] = static_cast<Service_id>(last);
         const std::uint8_t p = parent[state_key(mask, last)];
-        mask &= ~(std::uint64_t{1} << last);
+        mask = without_bit(mask, last);
         last = p;
       }
       result.plan = Plan(std::move(order));
@@ -132,7 +132,7 @@ Result Frontier_optimizer::optimize(const Request& request) {
     const auto& last_service =
         instance.service(static_cast<Service_id>(entry.last));
     const std::uint64_t without_last =
-        entry.mask & ~(std::uint64_t{1} << entry.last);
+        without_bit(entry.mask, entry.last);
     const double product_before_last = product_of(without_last);
     const double sigma_last =
         independent ? last_service.selectivity
@@ -154,9 +154,8 @@ Result Frontier_optimizer::optimize(const Request& request) {
     }
 
     for (std::size_t u = 0; u < n; ++u) {
-      const std::uint64_t bit = std::uint64_t{1} << u;
-      if (entry.mask & bit) continue;
-      if ((pred_mask[u] & entry.mask) != pred_mask[u]) continue;
+      if (has_bit(entry.mask, u)) continue;
+      if (!contains_all(entry.mask, pred_mask[u])) continue;
       const double fixed =
           product_before_last *
           stage_term(last_service.cost, sigma_last,
@@ -164,13 +163,13 @@ Result Frontier_optimizer::optimize(const Request& request) {
                                        static_cast<Service_id>(u)),
                      policy);
       const double value = std::max(entry.priority, fixed);
-      const auto child_key = state_key(entry.mask | bit, u);
+      const auto child_key = state_key(with_bit(entry.mask, u), u);
       const auto slot = best.find(child_key);
       if (slot == best.end() || value < slot->second) {
         best[child_key] = value;
         parent[child_key] = entry.last;
-        frontier.push({value, entry.mask | bit, static_cast<std::uint8_t>(u),
-                       false});
+        frontier.push({value, with_bit(entry.mask, u),
+                       static_cast<std::uint8_t>(u), false});
       }
     }
   }

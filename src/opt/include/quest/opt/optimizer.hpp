@@ -51,6 +51,10 @@ struct Search_stats {
   /// quest extension: subtrees pruned by the admissible lower bound on
   /// undetermined terms (Bnb_options::enable_lower_bound).
   std::uint64_t lower_bound_prunes = 0;
+  /// Worker threads the engine actually ran (bnb-par). 0 means a
+  /// single-threaded engine — the field doubles as a "was this parallel"
+  /// flag for tooling (quest_cli --json, quest_serve result events).
+  std::uint64_t engine_threads = 0;
 
   /// Sum of every prune-style counter; a coarse "work avoided" indicator.
   std::uint64_t total_prunes() const noexcept {

@@ -1,0 +1,169 @@
+// quest/opt/parallel_control.hpp
+//
+// The thread-safe extension of the Search_control contract for K-worker
+// engines (core's bnb-par). The same three duties — budget enforcement,
+// cancellation, incumbent streaming — split across two pieces:
+//
+//   * Shared_search_control: one per optimize() call, shared by every
+//     worker. Owns the wall clock, the summed work counter, the sticky
+//     first-stop-reason, and the serialized incumbent stream (the
+//     request's on_incumbent callback fires under a mutex, in
+//     monotonically improving order, from whichever worker won the
+//     incumbent race — unlike the sequential engines, NOT necessarily
+//     the optimize() thread).
+//
+//   * Worker_control: one per worker, satisfying the search kernel's
+//     Control concept. Checks the shared stop flag and the request's
+//     stop token on every call — cancellation latency stays one work
+//     unit, same as sequential — and flushes this worker's work counter
+//     into the shared sum periodically, so the node budget is enforced
+//     within K * 64 units rather than exactly (the price of not
+//     serializing every counter bump).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "quest/common/timer.hpp"
+#include "quest/opt/optimizer.hpp"
+
+namespace quest::opt {
+
+/// Shared half; see the file comment. All methods are thread-safe.
+class Shared_search_control {
+ public:
+  explicit Shared_search_control(const Request& request)
+      : request_(request) {}
+
+  const Request& request() const noexcept { return request_; }
+
+  /// Sticky stop: the first reason wins, later calls are no-ops.
+  void request_stop(Termination reason) noexcept {
+    int expected = -1;
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_acq_rel);
+  }
+
+  bool stopped() const noexcept {
+    return reason_.load(std::memory_order_acquire) >= 0;
+  }
+
+  /// The winning stop reason; meaningless unless stopped().
+  Termination reason() const noexcept {
+    const int raw = reason_.load(std::memory_order_acquire);
+    return raw >= 0 ? static_cast<Termination>(raw)
+                    : Termination::completed;
+  }
+
+  /// Adds `delta` flushed work units to the shared sum and trips the
+  /// node budget when the sum reaches it.
+  void charge_work(std::uint64_t delta) noexcept {
+    const std::uint64_t total =
+        work_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (request_.budget.node_limit != 0 &&
+        total >= request_.budget.node_limit) {
+      request_stop(Termination::budget_exhausted);
+    }
+  }
+
+  /// Polls the wall-clock deadline (called periodically by workers).
+  void poll_deadline() noexcept {
+    if (request_.budget.time_limit_seconds > 0.0 &&
+        timer_.seconds() > request_.budget.time_limit_seconds) {
+      request_stop(Termination::budget_exhausted);
+    }
+  }
+
+  /// Serialized incumbent accounting: counts the update, streams the
+  /// plan to the request's callback, and arms the cost-target stop.
+  /// Callers guarantee monotonically improving costs (the parallel
+  /// incumbent's publication lock provides this).
+  void note_incumbent(const model::Plan& plan, double cost) {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    ++stream_stats_.incumbent_updates;
+    if (request_.on_incumbent) {
+      request_.on_incumbent(plan, cost, stream_stats_);
+    }
+    if (!stopped() && request_.budget.cost_target > 0.0 &&
+        cost <= request_.budget.cost_target) {
+      request_stop(Termination::cost_target_reached);
+    }
+  }
+
+  /// Incumbent-update count accumulated by note_incumbent. Only safe to
+  /// read after every worker has joined.
+  std::uint64_t incumbent_updates() const noexcept {
+    return stream_stats_.incumbent_updates;
+  }
+
+  double elapsed_seconds() const { return timer_.seconds(); }
+
+ private:
+  const Request& request_;
+  Timer timer_;
+  std::atomic<std::uint64_t> work_{0};
+  /// -1 = running; otherwise the int value of the winning Termination.
+  std::atomic<int> reason_{-1};
+  std::mutex stream_mutex_;
+  /// Guarded by stream_mutex_. Streamed callbacks see only the incumbent
+  /// counter here — per-worker search counters are merged after the join,
+  /// not on the stream path.
+  Search_stats stream_stats_;
+};
+
+/// Per-worker half, satisfying the search kernel's Control concept.
+/// Binds the worker's private Search_stats (for work flushing); lives on
+/// the worker's stack.
+class Worker_control {
+ public:
+  Worker_control(Shared_search_control& shared, Search_stats& stats)
+      : shared_(&shared), stats_(&stats) {}
+
+  /// True once any stop condition fired anywhere; sticky per worker.
+  bool should_stop() {
+    if (stopped_) return true;
+    if (shared_->stopped()) {
+      stopped_ = true;
+      return true;
+    }
+    if (shared_->request().stop.stop_requested()) {
+      shared_->request_stop(Termination::cancelled);
+      stopped_ = true;
+      return true;
+    }
+    const std::uint64_t tick = ++tick_;
+    if ((tick & 0x3F) == 1) {
+      flush_work();
+      if ((tick & 0xFF) == 1) shared_->poll_deadline();
+      if (shared_->stopped()) {
+        stopped_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Charges work performed since the last flush to the shared budget.
+  /// Workers call this once more when they exit so no work goes
+  /// unaccounted.
+  void flush_work() {
+    const std::uint64_t work = stats_->work();
+    if (work > flushed_) {
+      shared_->charge_work(work - flushed_);
+      flushed_ = work;
+    }
+  }
+
+  bool stopped() const noexcept { return stopped_; }
+
+ private:
+  Shared_search_control* shared_;
+  Search_stats* stats_;
+  std::uint64_t flushed_ = 0;
+  std::uint64_t tick_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace quest::opt

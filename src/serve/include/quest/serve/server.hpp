@@ -70,6 +70,14 @@ struct Server_options {
   /// Master switch for the plan cache (per-request "cache":false opts a
   /// single request out without disabling the tier).
   bool enable_cache = true;
+  /// Nested-parallelism cap: the most worker threads any single job's
+  /// engine may spawn (bnb-par), so total parallelism stays within
+  /// `workers * engine_threads`. 0 = auto: hardware concurrency divided
+  /// by the request workers, floored at 1 — the pool and the engines
+  /// together never oversubscribe the machine. Enforced at admission by
+  /// rewriting the job's `threads=` option (before the cache key is
+  /// computed, so cached entries reflect the capped configuration).
+  std::size_t engine_threads = 0;
 };
 
 /// A snapshot of the server's counters. Throughput — completed requests
@@ -90,6 +98,10 @@ struct Server_stats {
   /// pool actually sustained N concurrent requests.
   std::size_t max_concurrent = 0;
   std::size_t instances = 0;
+  /// The resolved per-job engine-thread cap (Server_options::engine_threads
+  /// with 0 resolved against the hardware) — load tests read this off the
+  /// stats event to verify the nested-parallelism cap.
+  std::size_t engine_threads = 0;
   double uptime_seconds = 0.0;
   double throughput_rps = 0.0;
 };
@@ -141,6 +153,9 @@ class Server {
   void handle_optimize(Optimize_op op);
   void handle_cancel(const Cancel_op& op);
   void emit_stats();
+  /// The per-job engine-thread cap (options_.engine_threads, 0 resolved
+  /// to hardware / workers, floored at 1).
+  std::size_t engine_thread_cap() const;
 
   void worker_loop();
   void run_job(Job& job);

@@ -201,6 +201,8 @@ io::Json result_event(const std::string& id, opt::Termination termination,
                    io::Json(static_cast<double>(stats->incumbent_updates)));
     stats_json.set("total_prunes",
                    io::Json(static_cast<double>(stats->total_prunes())));
+    stats_json.set("engine_threads",
+                   io::Json(static_cast<double>(stats->engine_threads)));
     event.set("stats", std::move(stats_json));
   }
   return event;

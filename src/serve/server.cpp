@@ -1,10 +1,12 @@
 #include "quest/serve/server.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "quest/common/error.hpp"
 #include "quest/core/engines.hpp"
+#include "quest/opt/registry.hpp"
 #include "quest/io/fingerprint.hpp"
 #include "quest/runtime/choreography.hpp"
 
@@ -60,6 +62,41 @@ void append_execution(io::Json& event, const model::Instance& instance,
   } catch (const std::exception& error) {
     event.set("execution_error", io::Json(std::string(error.what())));
   }
+}
+
+/// Rewrites a bnb-par spec so its `threads=` option is explicit and at
+/// most `cap` (0 and absent resolve to the hardware concurrency first).
+/// Non-parallel engines pass through untouched. Making the capped count
+/// explicit in the spec string means the cache key, the engine build,
+/// and the result stats all see the same effective configuration.
+std::string cap_engine_threads_in_spec(const std::string& spec,
+                                       std::size_t cap) {
+  const opt::Spec_options options = opt::Registry::parse_spec(spec);
+  if (options.engine() != "bnb-par") return spec;
+  std::size_t requested = options.get_size("threads", 0);
+  if (requested == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    requested = hardware == 0 ? 1 : hardware;
+  }
+  const std::size_t effective = std::min(requested, cap);
+  std::string rebuilt = options.engine();
+  char separator = ':';
+  bool replaced = false;
+  for (const auto& [key, value] : options.entries()) {
+    rebuilt += separator;
+    separator = ',';
+    if (key == "threads") {
+      rebuilt += "threads=" + std::to_string(effective);
+      replaced = true;
+    } else {
+      rebuilt += key + "=" + value;
+    }
+  }
+  if (!replaced) {
+    rebuilt += separator;
+    rebuilt += "threads=" + std::to_string(effective);
+  }
+  return rebuilt;
 }
 
 }  // namespace
@@ -182,6 +219,10 @@ void Server::handle_optimize(Optimize_op op) {
   job->use_cache = op.cache && options_.enable_cache;
   job->execute = op.execute;
   try {
+    // Nested-parallelism cap, before the cache key and the engine build:
+    // a parallel engine may use at most engine_thread_cap() threads, so
+    // `workers * cap` bounds the process's total search parallelism.
+    job->spec = cap_engine_threads_in_spec(job->spec, engine_thread_cap());
     const std::size_t n = job->problem->instance.size();
     job->model = opt::spec_model_override(job->spec, op.model.bind(n), n);
   } catch (const Error& error) {
@@ -311,6 +352,7 @@ void Server::emit_stats() {
   event.set("running", io::Json(snapshot.running));
   event.set("max_concurrent", io::Json(snapshot.max_concurrent));
   event.set("instances", io::Json(snapshot.instances));
+  event.set("engine_threads", io::Json(snapshot.engine_threads));
   io::Json cache;
   cache.set("lookups", io::Json(static_cast<double>(snapshot.cache_lookups)));
   cache.set("hits", io::Json(static_cast<double>(snapshot.cache_hits)));
@@ -338,12 +380,20 @@ Server_stats Server::stats() const {
   snapshot.cache_hits = cache_.hits();
   snapshot.cache_entries = cache_.size();
   snapshot.instances = store_.size();
+  snapshot.engine_threads = engine_thread_cap();
   snapshot.uptime_seconds = uptime_.seconds();
   snapshot.throughput_rps =
       snapshot.uptime_seconds > 0.0
           ? static_cast<double>(snapshot.completed) / snapshot.uptime_seconds
           : 0.0;
   return snapshot;
+}
+
+std::size_t Server::engine_thread_cap() const {
+  if (options_.engine_threads != 0) return options_.engine_threads;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::size_t budget = hardware == 0 ? 1 : hardware;
+  return std::max<std::size_t>(1, budget / options_.workers);
 }
 
 void Server::shutdown(bool cancel_in_flight) {

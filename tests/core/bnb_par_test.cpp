@@ -1,0 +1,230 @@
+// The parallel engine's contract (quest/core/bnb_par.hpp): the same
+// optimal cost as the sequential exact engines under every cost model,
+// a run-to-run stable canonical plan regardless of thread count or
+// interleaving, and the sequential engines' 50 ms cancellation latency
+// even with eight workers in flight.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "quest/common/timer.hpp"
+#include "quest/core/bnb_par.hpp"
+#include "quest/core/branch_and_bound.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/opt/dp.hpp"
+#include "quest/opt/exhaustive.hpp"
+#include "quest/opt/stop_token.hpp"
+#include "quest/workload/generators.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using core::Bnb_optimizer;
+using core::Bnb_par_optimizer;
+using core::Bnb_par_options;
+using opt::Request;
+using opt::Termination;
+
+model::Instance btsp_instance(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  workload::Bottleneck_tsp_spec spec;
+  spec.n = n;
+  return workload::make_bottleneck_tsp(spec, rng);
+}
+
+opt::Result run_par(const model::Instance& instance, std::size_t threads,
+                    model::Cost_model cost_model = {}) {
+  Bnb_par_options options;
+  options.threads = threads;
+  Bnb_par_optimizer par(options);
+  Request request;
+  request.instance = &instance;
+  request.model = cost_model;
+  return par.optimize(request);
+}
+
+/// Same latency budget anytime_test enforces for the sequential engines.
+constexpr double cancel_latency_budget_seconds = 0.05;
+
+TEST(Bnb_par_test, MatchesSequentialOptimaOnIndependentModels) {
+  // 20 seeds; every exact engine must land on one optimal cost, and the
+  // parallel engine must match it at 1 and at 4 workers.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto instance = test::selective_instance(9, seed);
+    Request request;
+    request.instance = &instance;
+    const auto bnb = Bnb_optimizer().optimize(request);
+    const auto dp = opt::Dp_optimizer().optimize(request);
+    const auto exhaustive = opt::Exhaustive_optimizer().optimize(request);
+    EXPECT_TRUE(test::costs_equal(bnb.cost, dp.cost)) << "seed " << seed;
+    EXPECT_TRUE(test::costs_equal(bnb.cost, exhaustive.cost))
+        << "seed " << seed;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const auto par = run_par(instance, threads);
+      EXPECT_TRUE(par.proven_optimal) << "seed " << seed;
+      EXPECT_TRUE(par.plan.is_permutation_of(instance.size()));
+      EXPECT_TRUE(test::costs_equal(par.cost, bnb.cost))
+          << "seed " << seed << ", threads " << threads;
+      EXPECT_TRUE(test::costs_equal(
+          par.cost, model::bottleneck_cost(instance, par.plan)));
+      EXPECT_EQ(par.stats.engine_threads, threads);
+    }
+  }
+}
+
+TEST(Bnb_par_test, MatchesSequentialOptimaOnCorrelatedModels) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto instance = test::selective_instance(9, seed);
+    const auto cost_model =
+        model::Cost_model::correlated_seeded(9, 0.7, seed * 3 + 1);
+    Request request;
+    request.instance = &instance;
+    request.model = cost_model;
+    const auto bnb = Bnb_optimizer().optimize(request);
+    const auto dp = opt::Dp_optimizer().optimize(request);
+    const auto exhaustive = opt::Exhaustive_optimizer().optimize(request);
+    EXPECT_TRUE(test::costs_equal(bnb.cost, dp.cost)) << "seed " << seed;
+    EXPECT_TRUE(test::costs_equal(bnb.cost, exhaustive.cost))
+        << "seed " << seed;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const auto par = run_par(instance, threads, cost_model);
+      EXPECT_TRUE(par.proven_optimal) << "seed " << seed;
+      EXPECT_TRUE(test::costs_equal(par.cost, bnb.cost))
+          << "seed " << seed << ", threads " << threads;
+      EXPECT_TRUE(test::costs_equal(
+          par.cost, model::bottleneck_cost(instance, par.plan, cost_model)));
+    }
+  }
+}
+
+TEST(Bnb_par_test, PlanIsDeterministicAcrossRunsAtEightThreads) {
+  // Ten repetitions at eight workers: interleavings differ wildly from
+  // run to run, the returned plan must not.
+  for (std::uint64_t seed : {3u, 17u}) {
+    const auto instance = test::selective_instance(12, seed);
+    const auto reference = run_par(instance, 8);
+    ASSERT_TRUE(reference.proven_optimal);
+    for (int rep = 1; rep < 10; ++rep) {
+      const auto repeat = run_par(instance, 8);
+      EXPECT_EQ(repeat.plan.order(), reference.plan.order())
+          << "seed " << seed << ", rep " << rep;
+      EXPECT_EQ(repeat.cost, reference.cost) << "bit-identical, not just ~=";
+    }
+  }
+}
+
+TEST(Bnb_par_test, PlanIsIndependentOfThreadCount) {
+  // The canonical reconstruction never sees the worker count, so 1, 2, 4
+  // and 8 threads must return the identical plan, not just equal costs.
+  const auto instance = test::selective_instance(12, 29);
+  const auto reference = run_par(instance, 1);
+  ASSERT_TRUE(reference.proven_optimal);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const auto par = run_par(instance, threads);
+    EXPECT_EQ(par.plan.order(), reference.plan.order())
+        << "threads " << threads;
+    EXPECT_EQ(par.cost, reference.cost);
+  }
+}
+
+TEST(Bnb_par_test, RegistrySpecRoundTrip) {
+  const auto instance = test::selective_instance(10, 7);
+  Request request;
+  request.instance = &instance;
+  const auto seq = Bnb_optimizer().optimize(request);
+  const auto par = core::make_optimizer("bnb-par:threads=3");
+  EXPECT_EQ(par->name(), "bnb-par");
+  const auto result = par->optimize(request);
+  EXPECT_TRUE(test::costs_equal(result.cost, seq.cost));
+  EXPECT_EQ(result.stats.engine_threads, 3u);
+  EXPECT_THROW(core::make_optimizer("bnb-par:threads=257"), Error);
+  EXPECT_THROW(core::make_optimizer("bnb-par:subopt=0.5"), Error);
+}
+
+TEST(Bnb_par_test, CancelsWithinTheLatencyBudgetAtEightThreads) {
+  // Mirror of anytime_test's sequential latency check: cancel from
+  // another thread mid-flight on a pruning-resistant bottleneck-TSP
+  // instance; with eight workers in flight the engine must still join
+  // them all and return within the 50 ms budget.
+  const auto instance = btsp_instance(13, 11);
+  opt::Stop_source source;
+  Request request;
+  request.instance = &instance;
+  request.stop = source.token();
+  request.budget.time_limit_seconds = 20.0;  // safety net only
+
+  Timer timer;
+  std::atomic<bool> has_incumbent{false};
+  request.on_incumbent = [&](const model::Plan&, double,
+                             const opt::Search_stats&) {
+    has_incumbent.store(true, std::memory_order_release);
+  };
+  std::atomic<double> cancelled_at{-1.0};
+  std::thread canceller([&] {
+    while (!has_incumbent.load(std::memory_order_acquire) &&
+           timer.seconds() < 10.0) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cancelled_at.store(timer.seconds(), std::memory_order_release);
+    source.request_stop();
+  });
+  Bnb_par_options options;
+  options.threads = 8;
+  Bnb_par_optimizer par(options);
+  const auto result = par.optimize(request);
+  const double elapsed = timer.seconds();
+  canceller.join();
+
+  if (result.termination == Termination::cancelled) {
+    EXPECT_LE(elapsed, cancelled_at.load() + cancel_latency_budget_seconds);
+    EXPECT_FALSE(result.proven_optimal);
+    EXPECT_TRUE(result.plan.is_permutation_of(instance.size()));
+    EXPECT_TRUE(test::costs_equal(
+        result.cost, model::bottleneck_cost(instance, result.plan)));
+  } else {
+    // Eight workers solved a 13-service bottleneck TSP before the cancel
+    // landed — legitimate on a fast host.
+    EXPECT_EQ(result.termination, Termination::optimal);
+  }
+}
+
+TEST(Bnb_par_test, CostTargetStopsTheParallelSearch) {
+  const auto instance = btsp_instance(12, 5);
+  // A greedy-reachable target: the warm start satisfies it immediately.
+  Request probe;
+  probe.instance = &instance;
+  const auto optimal = Bnb_optimizer().optimize(probe);
+  Request request;
+  request.instance = &instance;
+  request.budget.cost_target = optimal.cost * 100.0;
+  Bnb_par_options options;
+  options.threads = 4;
+  const auto result = Bnb_par_optimizer(options).optimize(request);
+  if (result.termination == Termination::cost_target_reached) {
+    EXPECT_FALSE(result.proven_optimal);
+    EXPECT_TRUE(result.plan.is_permutation_of(instance.size()));
+    EXPECT_LE(result.cost, request.budget.cost_target);
+  } else {
+    // The whole search can finish before any worker observes the stop.
+    EXPECT_EQ(result.termination, Termination::optimal);
+  }
+}
+
+TEST(Bnb_par_test, SingleServiceShortCircuit) {
+  const auto instance = test::selective_instance(1, 4);
+  const auto result = run_par(instance, 8);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.plan.size(), 1u);
+  EXPECT_EQ(result.stats.engine_threads, 1u);
+}
+
+}  // namespace
+}  // namespace quest

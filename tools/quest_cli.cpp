@@ -96,6 +96,12 @@ io::Json stats_json(const opt::Search_stats& stats) {
            io::Json(static_cast<double>(stats.incumbent_updates)));
   json.set("total_prunes",
            io::Json(static_cast<double>(stats.total_prunes())));
+  // Only parallel engines set this; omitting the zero keeps sequential
+  // output stable for byte-level comparisons.
+  if (stats.engine_threads != 0) {
+    json.set("engine_threads",
+             io::Json(static_cast<double>(stats.engine_threads)));
+  }
   return json;
 }
 

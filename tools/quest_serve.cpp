@@ -38,16 +38,23 @@ int main(int argc, char** argv) {
         cli.add_int("cache-capacity", 256, "plan cache entries");
     auto& no_cache =
         cli.add_bool("no-cache", false, "disable the plan cache entirely");
+    auto& engine_threads = cli.add_int(
+        "engine-threads", 0,
+        "per-job thread cap for parallel engines (0 = hardware / workers)");
     cli.parse(argc, argv);
     if (workers.value < 1) throw Parse_error("--workers must be >= 1");
     if (cache_capacity.value < 1) {
       throw Parse_error("--cache-capacity must be >= 1");
+    }
+    if (engine_threads.value < 0) {
+      throw Parse_error("--engine-threads must be >= 0");
     }
 
     serve::Server_options options;
     options.workers = static_cast<std::size_t>(workers.value);
     options.cache_capacity = static_cast<std::size_t>(cache_capacity.value);
     options.enable_cache = !no_cache.value;
+    options.engine_threads = static_cast<std::size_t>(engine_threads.value);
 
     // One event per line, flushed immediately: clients read the stream
     // interactively, so buffering would deadlock a request/response loop.
