@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""Load generator for quest_serve's TCP transport.
+
+Spawns the binary with `--tcp-port 0`, reads the `{"event":"listening",
+"port":N}` line it prints on stdout, then fans out N concurrent socket
+connections each issuing R optimize requests (cache off, varied seeds)
+and measures per-request latency end to end. Reports throughput and
+latency percentiles as JSON on stdout:
+
+  {"connections":256,"requests_per_connection":8,"total_requests":2048,
+   "req_per_s":...,"p50_ms":...,"p99_ms":...,"errors":0,"overloaded":0}
+
+With --smoke it additionally asserts protocol invariants (every request
+gets exactly one result, results are well-formed, no connection dies)
+and runs a dedicated load-shed phase against a second server instance
+started with --workers 1 --queue-cap 1, asserting that typed
+`overloaded` errors are emitted and that the server survives. Exits
+non-zero with a readable reason on any violation.
+
+Usage:
+  loadgen.py --binary build/tools/quest_serve --connections 256 --requests 8
+  loadgen.py --binary ... --connections 16 --requests 4 --smoke   # ctest
+
+Used by ctest (serve/tcp_smoke) and the CI smoke job; BENCH_7.json is a
+recorded run of the 256-connection profile.
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+LONG_JOB_SPEC = "annealing:iterations=2000000000"
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def make_instance(n=8):
+    """Deterministic instance, same shape as quest_serve_smoke.py."""
+    services = [
+        {
+            "name": f"WS{i}",
+            "cost": 0.5 + 0.13 * ((i * 7) % 5),
+            "selectivity": 0.35 + 0.06 * ((i * 3) % 7),
+        }
+        for i in range(n)
+    ]
+    transfer = [
+        [0.0 if i == j else 0.2 + 0.01 * ((3 * i + 5 * j) % 17) for j in range(n)]
+        for i in range(n)
+    ]
+    return {"name": "loadgen", "services": services, "transfer": transfer}
+
+
+class Server:
+    """A quest_serve process in TCP mode; context-manages its lifetime."""
+
+    def __init__(self, binary, extra_flags=()):
+        self.proc = subprocess.Popen(
+            [binary, "--tcp-port", "0", *extra_flags],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+        line = self.proc.stdout.readline()
+        try:
+            event = json.loads(line)
+            assert event["event"] == "listening"
+            self.port = int(event["port"])
+        except Exception:
+            self.proc.kill()
+            fail(f"no listening line from server, got {line!r}")
+
+    def shutdown(self, timeout=30.0):
+        """Ask one connection to issue shutdown; expect clean exit 0."""
+        try:
+            with Client(self.port) as client:
+                client.send({"op": "shutdown"})
+        except OSError:
+            pass  # already gone — the exit code below is the real check
+        try:
+            code = self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("server did not exit after shutdown op")
+        if code != 0:
+            sys.stderr.write(self.proc.stderr.read() or "")
+            fail(f"server exited with code {code}")
+
+    def kill(self):
+        self.proc.kill()
+        self.proc.wait()
+
+
+class Client:
+    """One blocking line-delimited JSON connection."""
+
+    def __init__(self, port, timeout=60.0):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+        self.sock.settimeout(timeout)
+        self.buffer = b""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def send(self, op):
+        self.sock.sendall((json.dumps(op) + "\n").encode())
+
+    def read_event(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed by server")
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return json.loads(line)
+
+    def wait_for(self, predicate, what):
+        while True:
+            event = self.read_event()
+            if predicate(event):
+                return event
+
+    def wait_result(self, request_id):
+        return self.wait_for(
+            lambda e: e.get("event") == "result" and e.get("id") == request_id,
+            f"result of {request_id}",
+        )
+
+
+def run_connection(port, connection, requests, instance_name, results, errors):
+    """One client: register once via name, then R optimize round-trips."""
+    latencies = []
+    try:
+        with Client(port) as client:
+            for r in range(requests):
+                request_id = f"c{connection}/{r}"
+                started = time.monotonic()
+                client.send(
+                    {
+                        "op": "optimize",
+                        "id": request_id,
+                        "instance": instance_name,
+                        "optimizer": "bnb",
+                        "budget": {"deadline_ms": 30000},
+                        "seed": connection * 1009 + r,
+                        "cache": False,
+                    }
+                )
+                result = client.wait_result(request_id)
+                latencies.append(time.monotonic() - started)
+                if not result.get("complete") or "cost" not in result:
+                    errors.append(f"{request_id}: malformed result {result}")
+                    return
+    except (OSError, EOFError, ValueError) as exc:
+        errors.append(f"connection {connection}: {exc!r}")
+        return
+    results[connection] = latencies
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def throughput_phase(args):
+    server = Server(
+        args.binary,
+        (
+            "--max-connections", str(max(args.connections + 8, 64)),
+            "--queue-cap", str(max(4 * args.connections, 1024)),
+        ),
+    )
+    with Client(server.port) as registrar:
+        registrar.send(
+            {"op": "register", "name": "load", "instance": make_instance()}
+        )
+        registered = registrar.wait_for(
+            lambda e: e.get("event") == "registered", "registered"
+        )
+        assert registered.get("services") == 8, registered
+
+    results = {}
+    errors = []
+    threads = [
+        threading.Thread(
+            target=run_connection,
+            args=(server.port, c, args.requests, "load", results, errors),
+        )
+        for c in range(args.connections)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+
+    server.shutdown()
+
+    if args.smoke and errors:
+        fail("; ".join(errors[:5]))
+    latencies = sorted(l for ls in results.values() for l in ls)
+    total = args.connections * args.requests
+    if args.smoke and len(latencies) != total:
+        fail(f"expected {total} results, got {len(latencies)}")
+    return {
+        "connections": args.connections,
+        "requests_per_connection": args.requests,
+        "total_requests": total,
+        "completed": len(latencies),
+        "elapsed_s": round(elapsed, 3),
+        "req_per_s": round(len(latencies) / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "errors": len(errors),
+    }
+
+
+def shed_phase(binary):
+    """--workers 1 --queue-cap 1: a hog + one queued job force the third
+    concurrent request to shed with a typed `overloaded` error."""
+    server = Server(binary, ("--workers", "1", "--queue-cap", "1"))
+    with Client(server.port) as client:
+        client.send(
+            {"op": "register", "name": "shed", "instance": make_instance()}
+        )
+        client.wait_for(lambda e: e.get("event") == "registered", "registered")
+        # Occupy the single worker; the incumbent proves it is running.
+        client.send(
+            {
+                "op": "optimize",
+                "id": "hog",
+                "instance": "shed",
+                "optimizer": LONG_JOB_SPEC,
+                "budget": {"deadline_ms": 60000},
+                "stream": True,
+                "cache": False,
+            }
+        )
+        client.wait_for(
+            lambda e: e.get("event") == "incumbent" and e.get("id") == "hog",
+            "hog incumbent",
+        )
+        # Fill the queue slot.
+        client.send(
+            {
+                "op": "optimize",
+                "id": "queued",
+                "instance": "shed",
+                "optimizer": LONG_JOB_SPEC,
+                "budget": {"deadline_ms": 60000},
+                "cache": False,
+            }
+        )
+        client.wait_for(
+            lambda e: e.get("event") == "admitted" and e.get("id") == "queued",
+            "queued admitted",
+        )
+        # Overflow: must shed with the typed error, not hang or crash.
+        client.send(
+            {
+                "op": "optimize",
+                "id": "extra",
+                "instance": "shed",
+                "optimizer": LONG_JOB_SPEC,
+                "budget": {"deadline_ms": 60000},
+                "cache": False,
+            }
+        )
+        shed = client.wait_for(
+            lambda e: e.get("event") == "error" and e.get("id") == "extra",
+            "shed error",
+        )
+        if shed.get("code") != "overloaded":
+            fail(f"expected code=overloaded, got {shed}")
+        if shed.get("queue_cap") != 1:
+            fail(f"expected queue_cap=1 in shed event, got {shed}")
+        # The session survives shedding: cancel both and collect results.
+        for request_id in ("hog", "queued"):
+            client.send({"op": "cancel", "id": request_id})
+            result = client.wait_result(request_id)
+            if result.get("termination") != "cancelled":
+                fail(f"expected {request_id} cancelled, got {result}")
+        client.send({"op": "stats"})
+        stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
+        if stats.get("shed") != 1 or stats.get("queue_cap") != 1:
+            fail(f"stats disagree with the shed: {stats}")
+    server.shutdown()
+    return {"shed_errors": 1, "queue_cap": 1}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, help="quest_serve path")
+    parser.add_argument("--connections", type=int, default=256)
+    parser.add_argument("--requests", type=int, default=8)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="assert protocol invariants and run the load-shed phase",
+    )
+    args = parser.parse_args()
+
+    report = throughput_phase(args)
+    if args.smoke:
+        report["shed"] = shed_phase(args.binary)
+        report["smoke"] = "pass"
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

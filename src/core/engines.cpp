@@ -65,7 +65,8 @@ void register_core_optimizers(opt::Registry& registry) {
       "portfolio",
       "heuristic incumbent + profile-dispatched exact engine under the "
       "budget",
-      {"hard-exact-limit", "subopt"}, [](const opt::Spec_options& options) {
+      {"hard-exact-limit", "subopt", "threads"},
+      [](const opt::Spec_options& options) {
         Portfolio_options parsed;
         parsed.hard_exact_size_limit =
             options.get_size("hard-exact-limit", parsed.hard_exact_size_limit);
@@ -73,6 +74,9 @@ void register_core_optimizers(opt::Registry& registry) {
             options.get_double("subopt", parsed.suboptimality);
         QUEST_EXPECTS(parsed.suboptimality >= 0.0,
                       "portfolio option subopt must be non-negative");
+        parsed.exact_threads = options.get_size("threads", 0);
+        QUEST_EXPECTS(parsed.exact_threads <= 256,
+                      "portfolio option threads must be at most 256");
         return std::make_unique<Portfolio_optimizer>(parsed);
       });
 }

@@ -26,6 +26,14 @@ struct Portfolio_options {
   /// Accept this relative suboptimality to cut the exact search's cost
   /// (forwarded to Bnb_options::suboptimality).
   double suboptimality = 0.0;
+  /// Threads for the exact phase. >= 2 dispatches the bnb/bnb-lb phase
+  /// to the parallel engine (bnb-par, with lower-bound=1 standing in
+  /// for bnb-lb); 0 or 1 keeps the sequential engines. Exact searches
+  /// only — a suboptimality > 0.0 forces the sequential engines, which
+  /// are the ones that honor the relaxation. A server embedding caps
+  /// this at admission (Server_options::engine_threads), so the nested
+  /// parallelism of `workers` concurrent portfolios stays bounded.
+  std::size_t exact_threads = 0;
 };
 
 class Portfolio_optimizer final : public opt::Optimizer {

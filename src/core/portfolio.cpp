@@ -79,9 +79,19 @@ opt::Result Portfolio_optimizer::optimize(const opt::Request& request) {
   if (engine != "heuristic-only") {
     std::string spec = engine;
     if (engine == "bnb" || engine == "bnb-lb") {
-      spec += ":warm-start=1";
-      if (options_.suboptimality > 0.0) {
-        spec += ",subopt=" + std::to_string(options_.suboptimality);
+      // Parallel exact phase: bnb-par subsumes both sequential
+      // branch-and-bound variants (lower-bound=1 is the bnb-lb
+      // configuration) but proves optimality only — a suboptimality
+      // relaxation stays on the sequential engines that honor it.
+      if (options_.exact_threads >= 2 && options_.suboptimality == 0.0) {
+        spec = "bnb-par:threads=" + std::to_string(options_.exact_threads) +
+               ",warm-start=1";
+        if (engine == "bnb-lb") spec += ",lower-bound=1";
+      } else {
+        spec += ":warm-start=1";
+        if (options_.suboptimality > 0.0) {
+          spec += ",subopt=" + std::to_string(options_.suboptimality);
+        }
       }
     }
     const auto exact_engine = engine_registry().make(spec);

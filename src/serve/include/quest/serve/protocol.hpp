@@ -13,6 +13,8 @@
 //    "model":"independent" | "correlated:strength=0.5,seed=7",
 //    "stream":true,"cache":true,
 //    "execute":{"tuples":10000,"block_size":32,"workers":4}}
+//   {"op":"optimize_batch","id":"b1","requests":[{...optimize fields,
+//    "id" optional (defaults to "b1/0","b1/1",...)...},...]}
 //   {"op":"cancel","id":"r1"}
 //   {"op":"stats"}
 //   {"op":"shutdown","drain":true|false}
@@ -28,13 +30,22 @@
 //    "proven_optimal":...,"cached":...,"warm_started":...,
 //    "elapsed_seconds":...,"stats":{...},"execution":{...}?}
 //   {"event":"cancel-requested","id":...,"found":...}
+//   {"event":"batch-admitted","id":...,"count":...}
 //   {"event":"stats", ...counters...}
 //   {"event":"shutting-down","outstanding":...} then
 //   {"event":"shutdown-complete","completed":...}
-//   {"event":"error","message":...,"id":...?}
+//   {"event":"error","code":...?,"id":...?,"message":...}
 //
 // Every malformed line or op yields an "error" event (with the request id
-// when one could be parsed) instead of killing the session.
+// when one could be parsed) instead of killing the session. Errors that
+// clients are expected to branch on carry a machine-readable "code":
+//
+//   "parse"         malformed JSON / unknown op / bad field types
+//   "line-overflow" a request line exceeded the transport's size cap
+//   "overloaded"    load shed: the admission queue (or the transport's
+//                   connection limit) is full — retry later, with backoff
+//
+// Human-readable "message" text is never a contract; "code" is.
 
 #pragma once
 
@@ -42,6 +53,7 @@
 #include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "quest/io/instance_io.hpp"
 #include "quest/io/json.hpp"
@@ -83,6 +95,16 @@ struct Optimize_op {
   std::optional<Execute_spec> execute;
 };
 
+/// {"op":"optimize_batch"} — many optimize requests in one line (e.g.
+/// re-optimizing a whole workload after a cost-model change). Elements
+/// are full optimize ops; an element without an "id" gets
+/// "<batch id>/<index>". Each element is admitted (or load-shed)
+/// individually and produces its own admitted/result events.
+struct Batch_op {
+  std::string id;
+  std::vector<Optimize_op> requests;
+};
+
 /// {"op":"cancel"} — trips the Stop_token of the queued or running
 /// request with this id; a no-op (found:false) for unknown ids.
 struct Cancel_op {
@@ -99,12 +121,16 @@ struct Shutdown_op {
   bool drain = false;
 };
 
-using Op =
-    std::variant<Register_op, Optimize_op, Cancel_op, Stats_op, Shutdown_op>;
+using Op = std::variant<Register_op, Optimize_op, Batch_op, Cancel_op,
+                        Stats_op, Shutdown_op>;
+
+/// The most elements one optimize_batch may carry — a parse-time cap so
+/// a single hostile line cannot admit unbounded work.
+inline constexpr std::size_t k_max_batch_requests = 1024;
 
 /// Parses one client line. Throws Parse_error on malformed JSON, an
 /// unknown "op", wrong field types, or invalid budgets — the server turns
-/// that into an "error" event.
+/// that into a typed "error" event (code "parse").
 Op parse_op(std::string_view line);
 
 /// Event builders (the server's half of the protocol).
@@ -114,7 +140,15 @@ io::Json admitted_event(const std::string& id, std::size_t queue_depth);
 io::Json incumbent_event(const std::string& id, double cost,
                          double elapsed_seconds, const model::Plan& plan);
 io::Json cancel_event(const std::string& id, bool found);
-io::Json error_event(const std::string& message, const std::string& id = {});
+io::Json batch_event(const std::string& id, std::size_t count);
+/// `code` is the machine-readable error class (see the file comment);
+/// empty omits the field — existing untyped emitters stay byte-stable.
+io::Json error_event(const std::string& message, const std::string& id = {},
+                     const std::string& code = {});
+/// The load-shed reply: a typed "overloaded" error carrying the queue
+/// state so clients can implement informed backoff.
+io::Json overloaded_event(const std::string& id, std::size_t queue_depth,
+                          std::size_t queue_cap);
 
 /// The shared "result" event shape — one builder so the cached and
 /// fresh-run paths cannot drift apart. `stats` may be nullptr (cached

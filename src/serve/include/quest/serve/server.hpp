@@ -33,11 +33,25 @@
 //               runtime executor and the measured per-tuple cost is
 //               attached to the result event.
 //
+// Multi-client serving: the Server is the *service core* of the layered
+// stack (transport -> session -> codec -> service; see
+// quest/serve/transport.hpp). Each connected client is a Client_session
+// opened with its own event sink; events for ops submitted through a
+// session flow to that session's sink, and request ids are scoped per
+// session so independent clients may both use "r1". The single-sink
+// constructor keeps the embedded/stdio form working unchanged — it is a
+// server with exactly one pre-opened session.
+//
+// Overload behavior: with Server_options::queue_cap > 0 the admission
+// queue is bounded; an optimize op that would exceed it is load-shed
+// with a typed "overloaded" error instead of queueing unboundedly
+// (cache hits still answer instantly — they never queue).
+//
 // Thread-safety: handle()/handle_line() are meant for one transport
 // thread (they are internally synchronized with the workers, not with
-// each other). The event sink is called under an internal mutex — one
-// event at a time, from transport and worker threads alike — and must not
-// call back into the Server.
+// each other). Event sinks are called under an internal mutex — one
+// event at a time across all sessions, from transport and worker
+// threads alike — and must not call back into the Server.
 
 #pragma once
 
@@ -78,6 +92,11 @@ struct Server_options {
   /// rewriting the job's `threads=` option (before the cache key is
   /// computed, so cached entries reflect the capped configuration).
   std::size_t engine_threads = 0;
+  /// Bounded admission queue: an optimize op that would push the queue
+  /// past this depth is load-shed with a typed "overloaded" error.
+  /// 0 = unbounded (the legacy single-pipe behavior, where the one
+  /// client is its own backpressure).
+  std::size_t queue_cap = 0;
 };
 
 /// A snapshot of the server's counters. Throughput — completed requests
@@ -89,6 +108,12 @@ struct Server_stats {
   std::uint64_t completed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
+  /// Requests load-shed at admission (typed "overloaded" errors) —
+  /// nonzero proves the bounded queue actually refused work.
+  std::uint64_t shed = 0;
+  std::size_t queue_cap = 0;
+  /// Currently open client sessions (1 for the single-sink form).
+  std::size_t sessions = 0;
   std::uint64_t cache_lookups = 0;
   std::uint64_t cache_hits = 0;
   std::size_t cache_entries = 0;
@@ -116,20 +141,47 @@ class Server {
   /// back into the Server.
   using Event_sink = std::function<void(const io::Json&)>;
 
-  /// Starts `options.workers` worker threads immediately.
+  /// One connected client. Treat as opaque: obtain from open_session(),
+  /// pass to handle()/handle_line(), release with close_session().
+  struct Client_session {
+    std::uint64_t id = 0;
+    Event_sink sink;
+    /// Cleared by close_session(); a closed session's events are
+    /// dropped instead of reaching a sink whose transport is gone.
+    std::atomic<bool> open{true};
+  };
+  using Session_ptr = std::shared_ptr<Client_session>;
+
+  /// Starts `options.workers` worker threads immediately, with one
+  /// pre-opened session around `sink` (the single-client/stdio form).
   Server(Server_options options, Event_sink sink);
+  /// Multi-client form: no default session; every client arrives via
+  /// open_session().
+  explicit Server(Server_options options);
   /// Shuts down (cancelling anything in flight) and joins all workers.
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Parses and dispatches one protocol line. Never throws: malformed
-  /// input becomes an "error" event. Returns false once a shutdown op was
-  /// processed (the transport loop should stop reading).
-  bool handle_line(std::string_view line);
+  /// Opens a client session whose events flow to `sink`. Request ids
+  /// are scoped to the session.
+  Session_ptr open_session(Event_sink sink);
+  /// Drops a client: cancels its queued and running jobs (workers free
+  /// up promptly) and suppresses its further events. Idempotent.
+  void close_session(const Session_ptr& session);
+
+  /// Parses and dispatches one protocol line for one session. Never
+  /// throws: malformed input becomes a typed "error" event. Returns
+  /// false once a shutdown op was processed (the transport loop should
+  /// stop reading).
+  bool handle_line(const Session_ptr& session, std::string_view line);
 
   /// Dispatches an already-parsed op (same contract as handle_line).
+  bool handle(const Session_ptr& session, Op op);
+
+  /// Single-client conveniences: the constructor-opened session.
+  bool handle_line(std::string_view line);
   bool handle(Op op);
 
   /// Stops admitting and joins the workers. With `cancel_in_flight`
@@ -149,10 +201,11 @@ class Server {
  private:
   struct Job;
 
-  void handle_register(Register_op op);
-  void handle_optimize(Optimize_op op);
-  void handle_cancel(const Cancel_op& op);
-  void emit_stats();
+  void handle_register(const Session_ptr& session, Register_op op);
+  void handle_optimize(const Session_ptr& session, Optimize_op op);
+  void handle_batch(const Session_ptr& session, Batch_op op);
+  void handle_cancel(const Session_ptr& session, const Cancel_op& op);
+  void emit_stats(const Session_ptr& session);
   /// The per-job engine-thread cap (options_.engine_threads, 0 resolved
   /// to hardware / workers, floored at 1).
   std::size_t engine_thread_cap() const;
@@ -162,11 +215,13 @@ class Server {
   /// Removes a finished job from active_ (mutex_ must be held) — always
   /// before its result/error event is emitted, so a client may reuse
   /// the id as soon as it reads the event.
-  void retire_job_locked(const std::string& id);
-  void emit(const io::Json& event);
+  void retire_job_locked(const Job& job);
+  /// Serialized event emission to one session's sink; dropped when the
+  /// session was closed (its transport connection is gone).
+  void emit(const Client_session& session, const io::Json& event);
 
   Server_options options_;
-  Event_sink sink_;
+  Session_ptr default_session_;
   Instance_store store_;
   Plan_cache cache_;
   Timer uptime_;
@@ -183,6 +238,9 @@ class Server {
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::size_t sessions_ = 0;
+  std::uint64_t next_session_id_ = 1;
 
   std::atomic<std::size_t> running_{0};
   std::atomic<std::size_t> max_concurrent_{0};

@@ -1,0 +1,100 @@
+// quest/serve/tcp_transport.hpp
+//
+// The connection-scale transport: a single event-loop thread multiplexes
+// up to `max_connections` non-blocking TCP sockets with epoll (poll(2)
+// on non-Linux builds). Design points:
+//
+//  * One loop thread owns all sockets and connection state; worker
+//    threads never touch a file descriptor. send() appends to the
+//    connection's outbound buffer under a mutex and wakes the loop
+//    through a self-pipe, so results stream out without a thread per
+//    connection.
+//  * Write-side backpressure: a connection whose outbound buffer
+//    exceeds `write_buffer_cap` stops being *read* until the buffer
+//    drains below half the cap. A slow or stalled reader therefore
+//    cannot pump new requests into the server while its results pile
+//    up — memory per connection stays bounded by what is already in
+//    flight, and the admission queue sheds the rest.
+//  * Accepting past `max_connections` writes a single typed
+//    "overloaded" error line and closes — refusal is explicit, not a
+//    silent RST.
+//  * stop() finishes with a bounded flush pass so events emitted just
+//    before shutdown ("shutdown-complete") still reach their clients.
+//
+// Thread contract: identical to Transport (run()/handlers on the loop
+// thread, send()/close()/stop()/stats() from anywhere).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "quest/serve/transport.hpp"
+
+namespace quest::serve {
+
+struct Tcp_options {
+  /// Bind address; loopback by default (the service speaks plain TCP
+  /// with no auth — exposing it wider is an explicit decision).
+  std::string bind_address = "127.0.0.1";
+  /// Listen port; 0 binds an ephemeral port, readable via port().
+  std::uint16_t port = 0;
+  /// Accept cap: connection attempts beyond this are refused with a
+  /// typed "overloaded" error line.
+  std::size_t max_connections = 1024;
+  /// Backpressure threshold: stop reading a connection whose outbound
+  /// buffer exceeds this many bytes; resume below half of it.
+  std::size_t write_buffer_cap = 1 << 20;
+  /// Bytes per read() call.
+  std::size_t read_chunk = 64 * 1024;
+  /// When > 0, pins SO_SNDBUF on accepted sockets. The default (0)
+  /// leaves kernel autotuning on; tests pin it so the write-side
+  /// backpressure path engages deterministically.
+  int send_buffer_bytes = 0;
+  /// How long stop() keeps flushing pending outbound bytes before
+  /// closing connections that will not drain.
+  double flush_timeout_seconds = 5.0;
+};
+
+/// Loop-lifetime counters, for tests and the load harness. Monotonic
+/// except `connections` (currently open).
+struct Tcp_stats {
+  std::uint64_t accepted = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Times a connection's reads were paused by the write-buffer cap —
+  /// nonzero proves backpressure actually engaged.
+  std::uint64_t reads_paused = 0;
+  std::size_t connections = 0;
+  std::size_t max_connections_seen = 0;
+};
+
+class Tcp_transport final : public Transport {
+ public:
+  /// Binds and listens immediately; throws quest::Error when the
+  /// socket/bind/listen fails (address in use, bad address, ...).
+  explicit Tcp_transport(Tcp_options options);
+  ~Tcp_transport() override;
+
+  Tcp_transport(const Tcp_transport&) = delete;
+  Tcp_transport& operator=(const Tcp_transport&) = delete;
+
+  /// The actually bound port (resolves an ephemeral request).
+  std::uint16_t port() const noexcept;
+
+  void run(const Handlers& handlers) override;
+  void stop() override;
+  bool send(Connection_id connection, std::string_view line) override;
+  void close(Connection_id connection) override;
+
+  Tcp_stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace quest::serve

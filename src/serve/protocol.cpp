@@ -57,9 +57,16 @@ opt::Budget parse_budget(const io::Json& op) {
   return budget;
 }
 
-Optimize_op parse_optimize(const io::Json& op) {
+/// Parses one optimize op. `default_id` is the batch-element fallback;
+/// empty means the "id" field is mandatory (the top-level op form).
+Optimize_op parse_optimize(const io::Json& op,
+                           const std::string& default_id = {}) {
   Optimize_op parsed;
-  parsed.id = op.at("id").as_string();
+  if (const io::Json* id = op.find("id"); id != nullptr) {
+    parsed.id = id->as_string();
+  } else {
+    parsed.id = default_id;
+  }
   if (parsed.id.empty()) {
     throw Parse_error("optimize op needs a non-empty 'id'");
   }
@@ -114,6 +121,27 @@ Op parse_op(std::string_view line) {
                        io::instance_from_json(op.at("instance"))};
   }
   if (kind == "optimize") return parse_optimize(op);
+  if (kind == "optimize_batch") {
+    Batch_op parsed;
+    parsed.id = op.at("id").as_string();
+    if (parsed.id.empty()) {
+      throw Parse_error("optimize_batch op needs a non-empty 'id'");
+    }
+    const io::Json::Array& requests = op.at("requests").as_array();
+    if (requests.empty()) {
+      throw Parse_error("optimize_batch needs at least one request");
+    }
+    if (requests.size() > k_max_batch_requests) {
+      throw Parse_error("optimize_batch is capped at " +
+                        std::to_string(k_max_batch_requests) + " requests");
+    }
+    parsed.requests.reserve(requests.size());
+    for (std::size_t index = 0; index < requests.size(); ++index) {
+      parsed.requests.push_back(parse_optimize(
+          requests[index], parsed.id + "/" + std::to_string(index)));
+    }
+    return parsed;
+  }
   if (kind == "cancel") {
     Cancel_op parsed;
     parsed.id = op.at("id").as_string();
@@ -123,9 +151,9 @@ Op parse_op(std::string_view line) {
   if (kind == "shutdown") {
     return Shutdown_op{bool_field(op, "drain", false)};
   }
-  throw Parse_error(
-      "unknown op '" + kind +
-      "' (expected register, optimize, cancel, stats, or shutdown)");
+  throw Parse_error("unknown op '" + kind +
+                    "' (expected register, optimize, optimize_batch, "
+                    "cancel, stats, or shutdown)");
 }
 
 io::Json registered_event(const std::string& name, std::size_t services,
@@ -166,11 +194,33 @@ io::Json cancel_event(const std::string& id, bool found) {
   return event;
 }
 
-io::Json error_event(const std::string& message, const std::string& id) {
+io::Json batch_event(const std::string& id, std::size_t count) {
+  io::Json event;
+  event.set("event", io::Json("batch-admitted"));
+  event.set("id", io::Json(id));
+  event.set("count", io::Json(count));
+  return event;
+}
+
+io::Json error_event(const std::string& message, const std::string& id,
+                     const std::string& code) {
   io::Json event;
   event.set("event", io::Json("error"));
+  if (!code.empty()) event.set("code", io::Json(code));
   if (!id.empty()) event.set("id", io::Json(id));
   event.set("message", io::Json(message));
+  return event;
+}
+
+io::Json overloaded_event(const std::string& id, std::size_t queue_depth,
+                          std::size_t queue_cap) {
+  io::Json event = error_event(
+      "server overloaded: admission queue is full (" +
+          std::to_string(queue_depth) + "/" + std::to_string(queue_cap) +
+          " queued); retry later",
+      id, "overloaded");
+  event.set("queue_depth", io::Json(queue_depth));
+  event.set("queue_cap", io::Json(queue_cap));
   return event;
 }
 

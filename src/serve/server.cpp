@@ -16,6 +16,10 @@ namespace quest::serve {
 /// the stop source (tripped by cancel/shutdown) — workers own the rest.
 struct Server::Job {
   std::string id;
+  /// The session that submitted the request: its sink receives the
+  /// job's events, its id scopes the request id, and closing it cancels
+  /// the job.
+  Session_ptr session;
   std::shared_ptr<const Stored_instance> problem;
   std::string spec;
   std::unique_ptr<opt::Optimizer> optimizer;
@@ -64,16 +68,21 @@ void append_execution(io::Json& event, const model::Instance& instance,
   }
 }
 
-/// Rewrites a bnb-par spec so its `threads=` option is explicit and at
-/// most `cap` (0 and absent resolve to the hardware concurrency first).
-/// Non-parallel engines pass through untouched. Making the capped count
-/// explicit in the spec string means the cache key, the engine build,
-/// and the result stats all see the same effective configuration.
+/// Rewrites a spec that carries a `threads=` option (bnb-par itself, or
+/// a portfolio dispatching to it) so the count is explicit and at most
+/// `cap`. For bnb-par, 0 and absent resolve to the hardware concurrency
+/// first; for portfolio, 0/1 means "sequential exact phase" and passes
+/// through untouched. Other engines pass through. Making the capped
+/// count explicit in the spec string means the cache key, the engine
+/// build, and the result stats all see the same effective configuration.
 std::string cap_engine_threads_in_spec(const std::string& spec,
                                        std::size_t cap) {
   const opt::Spec_options options = opt::Registry::parse_spec(spec);
-  if (options.engine() != "bnb-par") return spec;
+  const bool parallel_engine = options.engine() == "bnb-par";
+  const bool portfolio = options.engine() == "portfolio";
+  if (!parallel_engine && !portfolio) return spec;
   std::size_t requested = options.get_size("threads", 0);
+  if (portfolio && requested <= 1) return spec;  // sequential exact phase
   if (requested == 0) {
     const unsigned hardware = std::thread::hardware_concurrency();
     requested = hardware == 0 ? 1 : hardware;
@@ -101,28 +110,65 @@ std::string cap_engine_threads_in_spec(const std::string& spec,
 
 }  // namespace
 
-Server::Server(Server_options options, Event_sink sink)
-    : options_(options), sink_(std::move(sink)), cache_(options.cache_capacity) {
+Server::Server(Server_options options)
+    : options_(options), cache_(options.cache_capacity) {
   QUEST_EXPECTS(options_.workers >= 1, "server needs at least one worker");
-  QUEST_EXPECTS(sink_ != nullptr, "server needs an event sink");
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
+Server::Server(Server_options options, Event_sink sink) : Server(options) {
+  QUEST_EXPECTS(sink != nullptr, "server needs an event sink");
+  default_session_ = open_session(std::move(sink));
+}
+
 Server::~Server() { shutdown(); }
 
-void Server::emit(const io::Json& event) {
+Server::Session_ptr Server::open_session(Event_sink sink) {
+  QUEST_EXPECTS(sink != nullptr, "session needs an event sink");
+  auto session = std::make_shared<Client_session>();
+  session->sink = std::move(sink);
+  std::lock_guard<std::mutex> lock(mutex_);
+  session->id = next_session_id_++;
+  ++sessions_;
+  return session;
+}
+
+void Server::close_session(const Session_ptr& session) {
+  if (session == nullptr) return;
+  {
+    // Under sink_mutex_ so that once close_session returns, no event
+    // can still be entering this session's sink from a worker.
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    if (!session->open.exchange(false)) return;  // idempotent
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  --sessions_;
+  // Free the workers: a vanished client's jobs have no reader anyway.
+  for (const auto& job : active_) {
+    if (job->session == session) job->stop.request_stop();
+  }
+}
+
+void Server::emit(const Client_session& session, const io::Json& event) {
   std::lock_guard<std::mutex> lock(sink_mutex_);
-  sink_(event);
+  if (session.open.load(std::memory_order_relaxed)) session.sink(event);
 }
 
 bool Server::handle_line(std::string_view line) {
+  return handle_line(default_session_, line);
+}
+
+bool Server::handle(Op op) { return handle(default_session_, std::move(op)); }
+
+bool Server::handle_line(const Session_ptr& session, std::string_view line) {
+  QUEST_EXPECTS(session != nullptr, "handle_line needs a session");
   const auto content = line.find_first_not_of(" \t\r\n");
   if (content == std::string_view::npos) return true;  // blank keep-alive
   try {
-    return handle(parse_op(line));
+    return handle(session, parse_op(line));
   } catch (const std::exception& error) {
     // quest::Error for protocol violations, but also any std::exception
     // (bad_alloc from a huge document, ...): a long-lived daemon must
@@ -137,12 +183,13 @@ bool Server::handle_line(std::string_view line) {
       }
     } catch (const std::exception&) {
     }
-    emit(error_event(error.what(), id));
+    emit(*session, error_event(error.what(), id, "parse"));
     return true;
   }
 }
 
-bool Server::handle(Op op) {
+bool Server::handle(const Session_ptr& session, Op op) {
+  QUEST_EXPECTS(session != nullptr, "handle needs a session");
   if (const auto* request = std::get_if<Shutdown_op>(&op)) {
     std::size_t outstanding = 0;
     {
@@ -153,7 +200,7 @@ bool Server::handle(Op op) {
     event.set("event", io::Json("shutting-down"));
     event.set("outstanding", io::Json(outstanding));
     event.set("drain", io::Json(request->drain));
-    emit(event);
+    emit(*session, event);
     shutdown(/*cancel_in_flight=*/!request->drain);
     io::Json done;
     done.set("event", io::Json("shutdown-complete"));
@@ -162,38 +209,50 @@ bool Server::handle(Op op) {
       done.set("completed", io::Json(static_cast<double>(completed_)));
       done.set("cancelled", io::Json(static_cast<double>(cancelled_)));
     }
-    emit(done);
+    emit(*session, done);
     return false;
   }
 
   try {
     if (auto* reg = std::get_if<Register_op>(&op)) {
-      handle_register(std::move(*reg));
+      handle_register(session, std::move(*reg));
     } else if (auto* optimize = std::get_if<Optimize_op>(&op)) {
-      handle_optimize(std::move(*optimize));
+      handle_optimize(session, std::move(*optimize));
+    } else if (auto* batch = std::get_if<Batch_op>(&op)) {
+      handle_batch(session, std::move(*batch));
     } else if (auto* cancel = std::get_if<Cancel_op>(&op)) {
-      handle_cancel(*cancel);
+      handle_cancel(session, *cancel);
     } else {
-      emit_stats();
+      emit_stats(session);
     }
   } catch (const std::exception& error) {
-    emit(error_event(error.what()));
+    emit(*session, error_event(error.what()));
   }
   return true;
 }
 
-void Server::handle_register(Register_op op) {
+void Server::handle_register(const Session_ptr& session, Register_op op) {
   bool replaced = false;
   const auto entry =
       store_.put(std::move(op.name), std::move(op.document.instance),
                  std::move(op.document.precedence), &replaced);
-  emit(registered_event(entry->name, entry->instance.size(),
-                        entry->fingerprint, replaced));
+  emit(*session, registered_event(entry->name, entry->instance.size(),
+                                  entry->fingerprint, replaced));
 }
 
-void Server::handle_optimize(Optimize_op op) {
+void Server::handle_batch(const Session_ptr& session, Batch_op op) {
+  // The batch ack first, then each element admits (or sheds)
+  // individually — a half-admitted batch is visible as such.
+  emit(*session, batch_event(op.id, op.requests.size()));
+  for (Optimize_op& element : op.requests) {
+    handle_optimize(session, std::move(element));
+  }
+}
+
+void Server::handle_optimize(const Session_ptr& session, Optimize_op op) {
   auto job = std::make_shared<Job>();
   job->id = std::move(op.id);
+  job->session = session;
 
   if (op.inline_instance) {
     auto entry = std::make_shared<Stored_instance>(Stored_instance{
@@ -205,9 +264,9 @@ void Server::handle_optimize(Optimize_op op) {
   } else {
     job->problem = store_.get(op.instance_name);
     if (job->problem == nullptr) {
-      emit(error_event("unknown instance '" + op.instance_name +
-                           "' (register it first)",
-                       job->id));
+      emit(*session, error_event("unknown instance '" + op.instance_name +
+                                     "' (register it first)",
+                                 job->id));
       return;
     }
   }
@@ -226,7 +285,7 @@ void Server::handle_optimize(Optimize_op op) {
     const std::size_t n = job->problem->instance.size();
     job->model = opt::spec_model_override(job->spec, op.model.bind(n), n);
   } catch (const Error& error) {
-    emit(error_event(error.what(), job->id));
+    emit(*session, error_event(error.what(), job->id));
     return;
   }
   job->cache_key = Cache_key{job->problem->fingerprint, job->model.key(),
@@ -235,15 +294,17 @@ void Server::handle_optimize(Optimize_op op) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) {
-      emit(error_event("server is shutting down", job->id));
+      emit(*session, error_event("server is shutting down", job->id));
       return;
     }
     const bool duplicate =
-        std::any_of(active_.begin(), active_.end(),
-                    [&](const auto& other) { return other->id == job->id; });
+        std::any_of(active_.begin(), active_.end(), [&](const auto& other) {
+          return other->session->id == session->id && other->id == job->id;
+        });
     if (duplicate) {
-      emit(error_event("request id '" + job->id + "' is already in flight",
-                       job->id));
+      emit(*session, error_event(
+                         "request id '" + job->id + "' is already in flight",
+                         job->id));
       return;
     }
   }
@@ -258,7 +319,7 @@ void Server::handle_optimize(Optimize_op op) {
         ++admitted_;
         ++completed_;
       }
-      emit(admitted_event(job->id, 0));
+      emit(*session, admitted_event(job->id, 0));
       io::Json event =
           result_event(job->id, cached->termination, cached->plan,
                        cached->cost, /*complete=*/true,
@@ -272,7 +333,28 @@ void Server::handle_optimize(Optimize_op op) {
         append_execution(event, job->problem->instance, cached->plan,
                          *job->execute);
       }
-      emit(event);
+      emit(*session, event);
+      return;
+    }
+  }
+
+  // Load shedding, after the cache had its chance to answer for free:
+  // a bounded queue that refuses with a typed error is how overload
+  // stays a client-visible, recoverable condition rather than an
+  // unbounded memory/latency spiral.
+  if (options_.queue_cap > 0) {
+    bool shed = false;
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      depth = queue_.size();
+      if (depth >= options_.queue_cap) {
+        ++shed_;
+        shed = true;
+      }
+    }
+    if (shed) {
+      emit(*session, overloaded_event(job->id, depth, options_.queue_cap));
       return;
     }
   }
@@ -283,7 +365,7 @@ void Server::handle_optimize(Optimize_op op) {
     // answers repeats without paying for an engine at all.
     job->optimizer = core::make_optimizer(job->spec);
   } catch (const Error& error) {
-    emit(error_event(error.what(), job->id));
+    emit(*session, error_event(error.what(), job->id));
     return;
   }
 
@@ -296,7 +378,7 @@ void Server::handle_optimize(Optimize_op op) {
   }
   // Admission is acknowledged before the job becomes runnable, so the
   // "admitted" event always precedes the request's incumbents/result.
-  emit(admitted_event(job->id, depth));
+  emit(*session, admitted_event(job->id, depth));
   bool stranded = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -305,7 +387,7 @@ void Server::handle_optimize(Optimize_op op) {
     // a queued job would never be popped. Honor the "every admitted
     // request gets a result" guarantee right here instead.
     if (shutting_down_) {
-      retire_job_locked(job->id);
+      retire_job_locked(*job);
       ++completed_;
       ++cancelled_;
       stranded = true;
@@ -314,7 +396,8 @@ void Server::handle_optimize(Optimize_op op) {
     }
   }
   if (stranded) {
-    emit(result_event(job->id, opt::Termination::cancelled, model::Plan(),
+    emit(*session,
+         result_event(job->id, opt::Termination::cancelled, model::Plan(),
                       /*cost=*/0.0, /*complete=*/false,
                       /*proven_optimal=*/false, /*cached=*/false,
                       /*warm_started=*/false, job->model.key(),
@@ -324,22 +407,22 @@ void Server::handle_optimize(Optimize_op op) {
   work_available_.notify_one();
 }
 
-void Server::handle_cancel(const Cancel_op& op) {
+void Server::handle_cancel(const Session_ptr& session, const Cancel_op& op) {
   bool found = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& job : active_) {
-      if (job->id == op.id) {
+      if (job->session->id == session->id && job->id == op.id) {
         job->stop.request_stop();
         found = true;
         break;
       }
     }
   }
-  emit(cancel_event(op.id, found));
+  emit(*session, cancel_event(op.id, found));
 }
 
-void Server::emit_stats() {
+void Server::emit_stats(const Session_ptr& session) {
   const Server_stats snapshot = stats();
   io::Json event;
   event.set("event", io::Json("stats"));
@@ -353,6 +436,13 @@ void Server::emit_stats() {
   event.set("max_concurrent", io::Json(snapshot.max_concurrent));
   event.set("instances", io::Json(snapshot.instances));
   event.set("engine_threads", io::Json(snapshot.engine_threads));
+  if (snapshot.queue_cap > 0) {
+    // Admission-control counters only exist for bounded queues; the
+    // legacy unbounded configuration keeps its event shape unchanged.
+    event.set("queue_cap", io::Json(snapshot.queue_cap));
+    event.set("shed", io::Json(static_cast<double>(snapshot.shed)));
+    event.set("sessions", io::Json(snapshot.sessions));
+  }
   io::Json cache;
   cache.set("lookups", io::Json(static_cast<double>(snapshot.cache_lookups)));
   cache.set("hits", io::Json(static_cast<double>(snapshot.cache_hits)));
@@ -360,18 +450,21 @@ void Server::emit_stats() {
   event.set("cache", std::move(cache));
   event.set("uptime_seconds", io::Json(snapshot.uptime_seconds));
   event.set("throughput_rps", io::Json(snapshot.throughput_rps));
-  emit(event);
+  emit(*session, event);
 }
 
 Server_stats Server::stats() const {
   Server_stats snapshot;
   snapshot.workers = options_.workers;
+  snapshot.queue_cap = options_.queue_cap;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot.admitted = admitted_;
     snapshot.completed = completed_;
     snapshot.cancelled = cancelled_;
     snapshot.failed = failed_;
+    snapshot.shed = shed_;
+    snapshot.sessions = sessions_;
     snapshot.queue_depth = queue_.size();
   }
   snapshot.running = running_.load(std::memory_order_relaxed);
@@ -436,9 +529,13 @@ void Server::worker_loop() {
   }
 }
 
-void Server::retire_job_locked(const std::string& id) {
+void Server::retire_job_locked(const Job& job) {
   active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [&](const auto& job) { return job->id == id; }),
+                               [&](const auto& other) {
+                                 return other->session->id ==
+                                            job.session->id &&
+                                        other->id == job.id;
+                               }),
                 active_.end());
 }
 
@@ -482,7 +579,7 @@ void Server::run_job(Job& job) {
   if (job.stream) {
     request.on_incumbent = [&](const model::Plan& plan, double cost,
                                const opt::Search_stats&) {
-      emit(incumbent_event(job.id, cost, timer.seconds(), plan));
+      emit(*job.session, incumbent_event(job.id, cost, timer.seconds(), plan));
     };
   }
 
@@ -496,9 +593,9 @@ void Server::run_job(Job& job) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++failed_;
-      retire_job_locked(job.id);
+      retire_job_locked(job);
     }
-    emit(error_event(error.what(), job.id));
+    emit(*job.session, error_event(error.what(), job.id));
     return;
   }
 
@@ -545,9 +642,9 @@ void Server::run_job(Job& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++completed_;
     if (result.termination == opt::Termination::cancelled) ++cancelled_;
-    retire_job_locked(job.id);
+    retire_job_locked(job);
   }
-  emit(event);
+  emit(*job.session, event);
 }
 
 }  // namespace quest::serve

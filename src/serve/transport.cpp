@@ -1,0 +1,38 @@
+#include "quest/serve/transport.hpp"
+
+#include <iostream>
+#include <string>
+
+namespace quest::serve {
+
+void Stdio_transport::run(const Handlers& handlers) {
+  if (handlers.on_open) handlers.on_open(0);
+  std::string line;
+  while (!stopped_.load(std::memory_order_relaxed) &&
+         !closed_.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
+    // Re-attach the newline getline consumed: the session layer frames
+    // uniformly over raw bytes, whatever the transport.
+    line += '\n';
+    if (handlers.on_data) handlers.on_data(0, line);
+  }
+  if (handlers.on_close) handlers.on_close(0);
+}
+
+bool Stdio_transport::send(Connection_id connection, std::string_view line) {
+  if (connection != 0 || closed_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  // One event per line, flushed immediately — byte-identical to the
+  // original quest_serve stdout loop.
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::cout << line << std::endl;
+  return true;
+}
+
+void Stdio_transport::close(Connection_id connection) {
+  if (connection != 0) return;
+  closed_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace quest::serve

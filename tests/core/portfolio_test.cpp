@@ -86,6 +86,43 @@ TEST(Portfolio_test, SuboptimalityForwardedToTheSearch) {
   EXPECT_LE(result.cost, optimal.cost * 1.25 * (1.0 + test::cost_tolerance));
 }
 
+TEST(Portfolio_test, ParallelExactPhaseStaysOptimalOnEveryRegime) {
+  // threads >= 2 swaps the exact phase onto bnb-par (lower-bound=1 for
+  // the bnb-lb dispatch); the result must stay bit-for-bit optimal and
+  // report the parallel engine's thread count.
+  core::Portfolio_options options;
+  options.exact_threads = 4;
+  Portfolio_optimizer parallel(options);
+  opt::Exhaustive_optimizer exhaustive;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const auto& instance : {test::selective_instance(9, seed),
+                                 test::expanding_instance(9, seed)}) {
+      const auto request = request_for(instance);
+      const auto got = parallel.optimize(request);
+      const auto want = exhaustive.optimize(request);
+      EXPECT_TRUE(test::costs_equal(got.cost, want.cost)) << "seed " << seed;
+      EXPECT_TRUE(got.proven_optimal);
+      EXPECT_EQ(got.stats.engine_threads, 4u);
+    }
+  }
+}
+
+TEST(Portfolio_test, SuboptimalityKeepsTheSequentialExactPhase) {
+  // The relaxation is a sequential-engine contract; asking for both
+  // threads and subopt must not silently drop the relaxation.
+  core::Portfolio_options options;
+  options.exact_threads = 4;
+  options.suboptimality = 0.25;
+  Portfolio_optimizer relaxed(options);
+  const Instance instance = test::selective_instance(9, 7);
+  const auto result = relaxed.optimize(request_for(instance));
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_NE(result.stats.engine_threads, 4u);
+  opt::Exhaustive_optimizer exhaustive;
+  const auto optimal = exhaustive.optimize(request_for(instance));
+  EXPECT_LE(result.cost, optimal.cost * 1.25 * (1.0 + test::cost_tolerance));
+}
+
 TEST(Portfolio_test, RespectsPrecedenceAcrossPhases) {
   const auto scenario = workload::sky_survey();
   Request request;

@@ -132,6 +132,60 @@ TEST(Protocol_test, RejectsMalformedOps) {
                Parse_error);
 }
 
+TEST(Protocol_test, ParsesOptimizeBatch) {
+  const Op op = parse_op(
+      R"({"op":"optimize_batch","id":"b1","requests":[)"
+      R"({"instance":"prod"},)"
+      R"({"id":"named","instance":"prod","optimizer":"dp","seed":4},)"
+      R"({"instance":"other"}]})");
+  const auto* batch = std::get_if<Batch_op>(&op);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->id, "b1");
+  ASSERT_EQ(batch->requests.size(), 3u);
+  // Elements without an id get "<batch>/<index>"; explicit ids win.
+  EXPECT_EQ(batch->requests[0].id, "b1/0");
+  EXPECT_EQ(batch->requests[1].id, "named");
+  EXPECT_EQ(batch->requests[1].optimizer, "dp");
+  EXPECT_EQ(batch->requests[1].seed, 4u);
+  EXPECT_EQ(batch->requests[2].id, "b1/2");
+  EXPECT_EQ(batch->requests[2].instance_name, "other");
+}
+
+TEST(Protocol_test, RejectsMalformedBatches) {
+  EXPECT_THROW(parse_op(R"({"op":"optimize_batch","requests":[]})"),
+               Parse_error);
+  EXPECT_THROW(parse_op(R"({"op":"optimize_batch","id":"b","requests":[]})"),
+               Parse_error);
+  EXPECT_THROW(
+      parse_op(R"({"op":"optimize_batch","id":"","requests":[{"instance":"x"}]})"),
+      Parse_error);
+  // One malformed element poisons the whole batch at parse time.
+  EXPECT_THROW(parse_op(R"({"op":"optimize_batch","id":"b","requests":)"
+                        R"([{"instance":"x"},{"no_instance":1}]})"),
+               Parse_error);
+  // The element cap bounds the work a single hostile line can admit.
+  std::string oversized = R"({"op":"optimize_batch","id":"b","requests":[)";
+  for (std::size_t i = 0; i <= k_max_batch_requests; ++i) {
+    if (i != 0) oversized += ",";
+    oversized += R"({"instance":"x"})";
+  }
+  oversized += "]}";
+  EXPECT_THROW(parse_op(oversized), Parse_error);
+}
+
+TEST(Protocol_test, TruncatedOpsAreParseErrorsNotCrashes) {
+  // Every prefix of a valid op line must fail cleanly with Parse_error —
+  // the typed "parse" path a session survives — never crash or succeed.
+  const std::string line =
+      R"({"op":"optimize","id":"r1","instance":"prod","optimizer":"bnb",)"
+      R"("budget":{"deadline_ms":250},"seed":7,"stream":true})";
+  for (std::size_t cut = 0; cut < line.size(); ++cut) {
+    EXPECT_THROW(parse_op(line.substr(0, cut)), Parse_error)
+        << "prefix length " << cut;
+  }
+  EXPECT_TRUE(std::holds_alternative<Optimize_op>(parse_op(line)));
+}
+
 TEST(Protocol_test, EventShapes) {
   const io::Json registered = registered_event("prod", 6, 0xabcdefu, true);
   EXPECT_EQ(registered.at("event").as_string(), "registered");
@@ -156,6 +210,22 @@ TEST(Protocol_test, EventShapes) {
   EXPECT_EQ(error.at("id").as_string(), "r9");
   EXPECT_EQ(error.at("message").as_string(), "boom");
   EXPECT_EQ(error_event("boom").find("id"), nullptr);
+  // Untyped errors stay byte-stable: no "code" field unless one is set.
+  EXPECT_EQ(error.find("code"), nullptr);
+  EXPECT_EQ(error_event("boom", "r9", "parse").at("code").as_string(),
+            "parse");
+
+  const io::Json batch = batch_event("b1", 12);
+  EXPECT_EQ(batch.at("event").as_string(), "batch-admitted");
+  EXPECT_EQ(batch.at("id").as_string(), "b1");
+  EXPECT_EQ(batch.at("count").as_number(), 12.0);
+
+  const io::Json overloaded = overloaded_event("r7", 64, 64);
+  EXPECT_EQ(overloaded.at("event").as_string(), "error");
+  EXPECT_EQ(overloaded.at("code").as_string(), "overloaded");
+  EXPECT_EQ(overloaded.at("id").as_string(), "r7");
+  EXPECT_EQ(overloaded.at("queue_depth").as_number(), 64.0);
+  EXPECT_EQ(overloaded.at("queue_cap").as_number(), 64.0);
 }
 
 }  // namespace

@@ -652,6 +652,76 @@ TEST(Server_test, CorrelatedModelRoundTripsWithoutCrossModelCacheHits) {
   EXPECT_NE(third.at("model").as_string(), model_key);
 }
 
+// The nested-parallelism cap applies to portfolio specs too: a
+// requested thread count above Server_options::engine_threads is
+// rewritten down at admission, before the cache key — so two requests
+// whose effective configurations coincide share one cache entry.
+TEST(Server_test, PortfolioThreadRequestsAreCappedAtAdmission) {
+  Event_log log;
+  Server_options options;
+  options.workers = 1;
+  options.engine_threads = 1;  // cap every engine to one thread
+  Server server(options, std::ref(log));
+  server.handle(register_op("prod", test::selective_instance(9, 53)));
+
+  server.handle(optimize_op("wide", "prod", "portfolio:threads=8"));
+  const io::Json wide = log.wait_result("wide");
+  ASSERT_TRUE(wide.is_object());
+  EXPECT_EQ(wide.at("termination").as_string(), "optimal");
+  // The capped run is sequential: bnb-par never spun up 8 workers.
+  EXPECT_NE(wide.at("stats").at("engine_threads").as_number(), 8.0);
+
+  // "portfolio:threads=1" is the same effective spec — a cache hit
+  // proves the rewrite happened before the key was computed.
+  server.handle(optimize_op("narrow", "prod", "portfolio:threads=1"));
+  const io::Json narrow = log.wait_result("narrow");
+  ASSERT_TRUE(narrow.is_object());
+  EXPECT_TRUE(narrow.at("cached").as_bool());
+}
+
+// The bounded admission queue sheds with a typed "overloaded" error and
+// counts the refusal; unbounded (queue_cap = 0) keeps legacy behavior.
+TEST(Server_test, BoundedQueueShedsOverloadWithATypedError) {
+  Event_log log;
+  Server_options options;
+  options.workers = 1;
+  options.queue_cap = 1;
+  Server server(options, std::ref(log));
+  server.handle(register_op("prod", test::selective_instance(12, 59)));
+
+  // Occupy the worker (incumbent proves it left the queue), fill the
+  // one queue slot, then overload.
+  Optimize_op hog = long_running_op("hog", "prod");
+  hog.stream = true;
+  server.handle(std::move(hog));
+  log.wait_for([](const io::Json& event) {
+    return event.at("event").as_string() == "incumbent";
+  });
+  server.handle(long_running_op("queued", "prod"));
+  log.wait_for([](const io::Json& event) {
+    const io::Json* id = event.find("id");
+    return event.at("event").as_string() == "admitted" && id != nullptr &&
+           id->as_string() == "queued";
+  });
+
+  server.handle(long_running_op("extra", "prod"));
+  const io::Json shed = log.wait_for([](const io::Json& event) {
+    const io::Json* id = event.find("id");
+    return event.at("event").as_string() == "error" && id != nullptr &&
+           id->as_string() == "extra";
+  });
+  EXPECT_EQ(shed.at("code").as_string(), "overloaded");
+  EXPECT_EQ(shed.at("queue_depth").as_number(), 1.0);
+  EXPECT_EQ(shed.at("queue_cap").as_number(), 1.0);
+  EXPECT_EQ(server.stats().shed, 1u);
+  EXPECT_EQ(server.stats().admitted, 2u);  // the shed op never admitted
+
+  for (const char* id : {"hog", "queued"}) {
+    server.handle(Cancel_op{id});
+    log.wait_result(id);
+  }
+}
+
 // A spec-level override (shared model= keys in the optimizer spec) must
 // reach both the engine and the cache key — the admission path folds it
 // into the job's model so a cached plan can never cross models.

@@ -1,0 +1,261 @@
+// The session layer in isolation, over a scripted in-memory transport:
+// line reassembly across arbitrary chunk boundaries, the per-line size
+// cap (typed "line-overflow" error, discard-until-newline recovery,
+// session survives), per-connection request-id scoping, disconnect
+// cancelling a client's in-flight work, and a shutdown op ending the
+// serve loop.
+
+#include "quest/serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "quest/common/timer.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/serve/protocol.hpp"
+#include "quest/serve/server.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using namespace quest::serve;
+
+/// A transport whose run() plays a pre-recorded script of connection
+/// events and whose outbound lines are captured per connection. send()
+/// stays thread-safe: Server workers deliver results asynchronously,
+/// possibly after run() returned.
+class Fake_transport final : public Transport {
+ public:
+  void script_open(Connection_id id) { script_.push_back({Kind::open, id, {}}); }
+  void script_data(Connection_id id, std::string bytes) {
+    script_.push_back({Kind::data, id, std::move(bytes)});
+  }
+  void script_close(Connection_id id) {
+    script_.push_back({Kind::close, id, {}});
+  }
+
+  void run(const Handlers& handlers) override {
+    for (const Step& step : script_) {
+      if (stopped_.load()) break;
+      switch (step.kind) {
+        case Kind::open:
+          if (handlers.on_open) handlers.on_open(step.id);
+          break;
+        case Kind::data:
+          if (handlers.on_data) handlers.on_data(step.id, step.bytes);
+          break;
+        case Kind::close:
+          if (handlers.on_close) handlers.on_close(step.id);
+          break;
+      }
+    }
+  }
+
+  void stop() override { stopped_.store(true); }
+
+  bool send(Connection_id connection, std::string_view line) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sent_[connection].emplace_back(line);
+    return true;
+  }
+
+  void close(Connection_id) override {}
+
+  bool stopped() const { return stopped_.load(); }
+
+  std::vector<std::string> sent(Connection_id connection) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = sent_.find(connection);
+    return found == sent_.end() ? std::vector<std::string>{} : found->second;
+  }
+
+  /// Polls until connection `connection` has at least `count` outbound
+  /// lines (workers deliver asynchronously).
+  bool wait_for_lines(Connection_id connection, std::size_t count,
+                      double timeout_seconds = 20.0) const {
+    Timer timer;
+    while (timer.seconds() < timeout_seconds) {
+      if (sent(connection).size() >= count) return true;
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+ private:
+  enum class Kind { open, data, close };
+  struct Step {
+    Kind kind;
+    Connection_id id;
+    std::string bytes;
+  };
+
+  std::vector<Step> script_;
+  std::atomic<bool> stopped_{false};
+  mutable std::mutex mutex_;
+  std::map<Connection_id, std::vector<std::string>> sent_;
+};
+
+std::string event_kind(const std::string& line) {
+  return io::Json::parse(line).at("event").as_string();
+}
+
+std::string error_code(const std::string& line) {
+  const io::Json event = io::Json::parse(line);
+  const io::Json* code = event.find("code");
+  return code == nullptr ? std::string() : code->as_string();
+}
+
+std::string register_line(const std::string& name, std::size_t n,
+                          std::uint64_t seed) {
+  return std::string(R"({"op":"register","name":")") + name +
+         R"(","instance":)" +
+         io::to_json(test::selective_instance(n, seed)).dump() + "}\n";
+}
+
+TEST(Session_test, ReassemblesLinesAcrossArbitraryChunkBoundaries) {
+  Fake_transport transport;
+  transport.script_open(1);
+  // One stats op split byte-by-byte, then two ops arriving in a single
+  // chunk — framing must be independent of chunking.
+  const std::string stats = "{\"op\":\"stats\"}\n";
+  for (const char byte : stats) {
+    transport.script_data(1, std::string(1, byte));
+  }
+  transport.script_data(1, stats + stats);
+  transport.script_close(1);
+
+  Server server(Server_options{});
+  Session_manager sessions(server, transport, Session_options{});
+  EXPECT_FALSE(sessions.serve());  // transport ran out; no shutdown op
+
+  const auto lines = transport.sent(1);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(event_kind(line), "stats");
+  }
+}
+
+TEST(Session_test, OversizedLineIsShedTypedAndTheSessionSurvives) {
+  Fake_transport transport;
+  transport.script_open(1);
+  // The oversized line arrives in two chunks: the first alone already
+  // exceeds the cap (discard mode engages before the newline is seen),
+  // the second carries the tail plus a valid op that must still work.
+  Session_options options;
+  options.max_line_bytes = 64;
+  transport.script_data(1, std::string(100, 'x'));
+  transport.script_data(1, std::string(50, 'x') + "\n{\"op\":\"stats\"}\n");
+  // A complete-but-oversized line in one chunk takes the other path.
+  transport.script_data(1, std::string(200, 'y') + "\n");
+  transport.script_data(1, "{\"op\":\"stats\"}\n");
+  transport.script_close(1);
+
+  Server server(Server_options{});
+  Session_manager sessions(server, transport, options);
+  sessions.serve();
+
+  const auto lines = transport.sent(1);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(event_kind(lines[0]), "error");
+  EXPECT_EQ(error_code(lines[0]), "line-overflow");
+  EXPECT_EQ(event_kind(lines[1]), "stats");
+  EXPECT_EQ(event_kind(lines[2]), "error");
+  EXPECT_EQ(error_code(lines[2]), "line-overflow");
+  EXPECT_EQ(event_kind(lines[3]), "stats");
+}
+
+TEST(Session_test, RequestIdsAreScopedPerConnection) {
+  Fake_transport transport;
+  // Both connections register their own instance and run request "r1" —
+  // with per-session id scoping neither sees "already in flight", and
+  // each result reports its own connection's problem size.
+  transport.script_open(1);
+  transport.script_open(2);
+  transport.script_data(1, register_line("a", 6, 3));
+  transport.script_data(2, register_line("b", 8, 4));
+  transport.script_data(
+      1, R"({"op":"optimize","id":"r1","instance":"a","optimizer":"bnb"})"
+         "\n");
+  transport.script_data(
+      2, R"({"op":"optimize","id":"r1","instance":"b","optimizer":"bnb"})"
+         "\n");
+
+  Server server(Server_options{});
+  Session_manager sessions(server, transport, Session_options{});
+  sessions.serve();
+
+  // registered + admitted + result per connection.
+  ASSERT_TRUE(transport.wait_for_lines(1, 3));
+  ASSERT_TRUE(transport.wait_for_lines(2, 3));
+  for (const Connection_id connection : {Connection_id{1}, Connection_id{2}}) {
+    bool saw_result = false;
+    for (const std::string& line : transport.sent(connection)) {
+      const io::Json event = io::Json::parse(line);
+      EXPECT_NE(event.at("event").as_string(), "error") << line;
+      if (event.at("event").as_string() == "result") {
+        saw_result = true;
+        EXPECT_EQ(event.at("id").as_string(), "r1");
+        EXPECT_EQ(event.at("plan").as_array().size(),
+                  connection == 1 ? 6u : 8u);
+      }
+    }
+    EXPECT_TRUE(saw_result) << "connection " << connection;
+  }
+  server.shutdown();
+}
+
+TEST(Session_test, DisconnectCancelsTheClientsInFlightWork) {
+  Fake_transport transport;
+  transport.script_open(1);
+  transport.script_data(1, register_line("prod", 12, 5));
+  transport.script_data(
+      1, R"({"op":"optimize","id":"gone","instance":"prod",)"
+         R"("optimizer":"annealing:iterations=2000000000",)"
+         R"("budget":{"deadline_ms":60000},"cache":false})"
+         "\n");
+  transport.script_close(1);
+
+  Server server(Server_options{});
+  Session_manager sessions(server, transport, Session_options{});
+  sessions.serve();
+
+  // The close cancelled the job: the worker frees up without any client
+  // reading the result (the event is suppressed, not wedged).
+  Timer timer;
+  while (server.stats().completed < 1 && timer.seconds() < 20.0) {
+    std::this_thread::yield();
+  }
+  const Server_stats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.sessions, 0u);
+  server.shutdown();
+}
+
+TEST(Session_test, ShutdownOpStopsTheTransportAndEndsServe) {
+  Fake_transport transport;
+  transport.script_open(1);
+  transport.script_data(1, "{\"op\":\"shutdown\"}\n");
+  // Anything scripted after the shutdown must never be processed.
+  transport.script_data(1, "{\"op\":\"stats\"}\n");
+
+  Server server(Server_options{});
+  Session_manager sessions(server, transport, Session_options{});
+  EXPECT_TRUE(sessions.serve());
+  EXPECT_TRUE(transport.stopped());
+
+  const auto lines = transport.sent(1);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(event_kind(lines[0]), "shutting-down");
+  EXPECT_EQ(event_kind(lines[1]), "shutdown-complete");
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,0 +1,465 @@
+// The TCP transport end to end, over real loopback sockets: the full
+// stack (Tcp_transport event loop -> Session_manager -> Server) serves
+// connect/optimize/result, streaming + cancellation, concurrent clients
+// with colliding request ids, write-side backpressure (reads pause when
+// a client stops draining), load shedding at the admission queue and at
+// the connection limit (both as typed "overloaded" errors), oversized
+// and malformed lines, optimize_batch, and a clean network shutdown.
+
+#include "quest/serve/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "quest/common/timer.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/io/json.hpp"
+#include "quest/serve/server.hpp"
+#include "quest/serve/session.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using namespace quest::serve;
+
+/// Blocking line-oriented test client over one loopback socket.
+class Client {
+ public:
+  explicit Client(std::uint16_t port, int receive_buffer_bytes = 0) {
+    connect_to(port, receive_buffer_bytes);
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  void send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t count =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(count, 0) << std::strerror(errno);
+      sent += static_cast<std::size_t>(count);
+    }
+  }
+
+  /// Reads one newline-terminated line; empty string on EOF/timeout
+  /// (with a test failure on timeout).
+  std::string read_line(double timeout_seconds = 30.0) {
+    Timer timer;
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      const double remaining = timeout_seconds - timer.seconds();
+      if (remaining <= 0.0) {
+        ADD_FAILURE() << "timed out reading a line";
+        return {};
+      }
+      pollfd waiter{fd_, POLLIN, 0};
+      const int ready =
+          ::poll(&waiter, 1, static_cast<int>(remaining * 1000) + 1);
+      if (ready <= 0) continue;
+      char chunk[4096];
+      const ssize_t count = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (count == 0) return {};  // EOF
+      if (count < 0) {
+        if (errno == EINTR) continue;
+        ADD_FAILURE() << "recv: " << std::strerror(errno);
+        return {};
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(count));
+    }
+  }
+
+  /// Reads events until one matches `event` kind (optionally a specific
+  /// request id); fails and returns null on timeout/EOF.
+  io::Json wait_event(const std::string& event, const std::string& id = {},
+                      double timeout_seconds = 30.0) {
+    Timer timer;
+    while (timer.seconds() < timeout_seconds) {
+      const std::string line =
+          read_line(timeout_seconds - timer.seconds());
+      if (line.empty()) break;
+      const io::Json parsed = io::Json::parse(line);
+      if (parsed.at("event").as_string() != event) continue;
+      if (!id.empty()) {
+        const io::Json* event_id = parsed.find("id");
+        if (event_id == nullptr || event_id->as_string() != id) continue;
+      }
+      return parsed;
+    }
+    ADD_FAILURE() << "no '" << event << "' event arrived";
+    return io::Json();
+  }
+
+  bool at_eof(double timeout_seconds = 10.0) {
+    Timer timer;
+    while (timer.seconds() < timeout_seconds) {
+      pollfd waiter{fd_, POLLIN, 0};
+      if (::poll(&waiter, 1, 100) <= 0) continue;
+      char chunk[4096];
+      const ssize_t count = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (count == 0) return true;
+      if (count < 0 && errno != EINTR) return true;
+      if (count > 0) buffer_.append(chunk, static_cast<std::size_t>(count));
+    }
+    return false;
+  }
+
+ private:
+  // ASSERT macros return values and so cannot live in the constructor.
+  void connect_to(std::uint16_t port, int receive_buffer_bytes) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0) << std::strerror(errno);
+    if (receive_buffer_bytes > 0) {
+      // Before connect, so the advertised window is actually small —
+      // the backpressure test needs the kernel pipes to fill up.
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &receive_buffer_bytes,
+                   sizeof(receive_buffer_bytes));
+    }
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)),
+              0)
+        << std::strerror(errno);
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One full serving stack on an ephemeral loopback port, the transport
+/// loop on its own thread — what quest_serve --tcp-port 0 builds.
+class Stack {
+ public:
+  explicit Stack(Server_options server_options = {},
+                 Tcp_options tcp_options = {},
+                 Session_options session_options = {})
+      : transport_(std::move(tcp_options)),
+        server_(server_options),
+        sessions_(server_, transport_, session_options),
+        loop_([this] { shutdown_served_ = sessions_.serve(); }) {}
+
+  ~Stack() { stop(); }
+
+  std::uint16_t port() const { return transport_.port(); }
+  Tcp_transport& transport() { return transport_; }
+  Server& server() { return server_; }
+
+  void stop() {
+    if (!loop_.joinable()) return;
+    transport_.stop();
+    loop_.join();
+    server_.shutdown();
+  }
+
+  /// Joins the loop without forcing a stop — for tests where a client's
+  /// shutdown op ends the serve.
+  bool wait_shutdown_served() {
+    if (loop_.joinable()) loop_.join();
+    return shutdown_served_;
+  }
+
+ private:
+  Tcp_transport transport_;
+  Server server_;
+  Session_manager sessions_;
+  bool shutdown_served_ = false;
+  std::thread loop_;
+};
+
+std::string register_line(const std::string& name, std::size_t n,
+                          std::uint64_t seed) {
+  return std::string(R"({"op":"register","name":")") + name +
+         R"(","instance":)" +
+         io::to_json(test::selective_instance(n, seed)).dump() + "}";
+}
+
+constexpr const char* k_long_job =
+    R"("optimizer":"annealing:iterations=2000000000",)"
+    R"("budget":{"deadline_ms":60000},"cache":false)";
+
+TEST(Tcp_transport_test, ConnectOptimizeResultOverARealSocket) {
+  Stack stack;
+  Client client(stack.port());
+  client.send_line(register_line("prod", 10, 3));
+  const io::Json registered = client.wait_event("registered");
+  ASSERT_TRUE(registered.is_object());
+  EXPECT_EQ(registered.at("services").as_number(), 10.0);
+
+  client.send_line(
+      R"({"op":"optimize","id":"r1","instance":"prod","optimizer":"bnb"})");
+  const io::Json admitted = client.wait_event("admitted", "r1");
+  ASSERT_TRUE(admitted.is_object());
+  const io::Json result = client.wait_event("result", "r1");
+  ASSERT_TRUE(result.is_object());
+  EXPECT_EQ(result.at("termination").as_string(), "optimal");
+  EXPECT_EQ(result.at("plan").as_array().size(), 10u);
+}
+
+TEST(Tcp_transport_test, StreamedIncumbentsAndCancellation) {
+  Stack stack;
+  Client client(stack.port());
+  client.send_line(register_line("prod", 12, 7));
+  client.wait_event("registered");
+
+  client.send_line(std::string(R"({"op":"optimize","id":"slow",)") +
+                   R"("instance":"prod","stream":true,)" + k_long_job + "}");
+  ASSERT_TRUE(client.wait_event("incumbent", "slow").is_object());
+
+  client.send_line(R"({"op":"cancel","id":"slow"})");
+  const io::Json result = client.wait_event("result", "slow");
+  ASSERT_TRUE(result.is_object());
+  EXPECT_EQ(result.at("termination").as_string(), "cancelled");
+  EXPECT_TRUE(result.at("complete").as_bool());  // best incumbent
+}
+
+TEST(Tcp_transport_test, ConcurrentClientsWithCollidingIdsGetTheirOwnResults) {
+  Server_options options;
+  options.workers = 4;
+  Stack stack(options);
+
+  // Eight clients, every one calling its request "r1" on its own
+  // instance size — per-session id scoping plus correct event fan-out
+  // means each client reads exactly its own plan back.
+  constexpr int k_clients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int index = 0; index < k_clients; ++index) {
+    threads.emplace_back([&, index] {
+      const std::size_t n = 6 + static_cast<std::size_t>(index);
+      Client client(stack.port());
+      const std::string name = "i" + std::to_string(index);
+      client.send_line(register_line(name, n, 100 + index));
+      client.wait_event("registered");
+      client.send_line(std::string(R"({"op":"optimize","id":"r1",)") +
+                       R"("instance":")" + name +
+                       R"(","optimizer":"bnb","cache":false})");
+      const io::Json result = client.wait_event("result", "r1");
+      if (!result.is_object() ||
+          result.at("plan").as_array().size() != n ||
+          result.at("termination").as_string() != "optimal") {
+        ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(stack.server().stats().completed,
+            static_cast<std::uint64_t>(k_clients));
+}
+
+TEST(Tcp_transport_test, BackpressurePausesReadsUntilTheClientDrains) {
+  Tcp_options tcp;
+  tcp.write_buffer_cap = 2048;   // a few stats replies fill it
+  tcp.send_buffer_bytes = 4096;  // pin the kernel pipe small
+  Stack stack(Server_options{}, tcp);
+  Client client(stack.port(), /*receive_buffer_bytes=*/4096);
+
+  // Burst stats ops without reading a single reply: the replies
+  // overflow the pinned kernel buffers into the transport's outbound
+  // buffer, blow past the cap, and the transport stops reading us.
+  constexpr int k_ops = 300;
+  std::string burst;
+  for (int index = 0; index < k_ops; ++index) {
+    burst += "{\"op\":\"stats\"}\n";
+  }
+  client.send_raw(burst);
+
+  Timer timer;
+  while (stack.transport().stats().reads_paused == 0 &&
+         timer.seconds() < 20.0) {
+    std::this_thread::yield();
+  }
+  EXPECT_GT(stack.transport().stats().reads_paused, 0u);
+
+  // Drain: every single reply must still arrive, in order.
+  for (int index = 0; index < k_ops; ++index) {
+    const std::string line = client.read_line();
+    ASSERT_FALSE(line.empty()) << "reply " << index;
+    EXPECT_EQ(io::Json::parse(line).at("event").as_string(), "stats");
+  }
+}
+
+TEST(Tcp_transport_test, AdmissionQueueOverloadIsShedWithATypedError) {
+  Server_options options;
+  options.workers = 1;
+  options.queue_cap = 1;
+  Stack stack(options);
+  Client client(stack.port());
+  client.send_line(register_line("prod", 12, 9));
+  client.wait_event("registered");
+
+  // One running + one queued fills the stack; the third must shed.
+  // Sequenced via events so the outcome is deterministic: the streamed
+  // incumbent proves "a" occupies the worker (not the queue) before "b"
+  // is queued, and "b"'s admitted ack precedes "c".
+  client.send_line(std::string(R"({"op":"optimize","id":"a",)") +
+                   R"("instance":"prod","stream":true,)" + k_long_job + "}");
+  ASSERT_TRUE(client.wait_event("incumbent", "a").is_object());
+  client.send_line(std::string(R"({"op":"optimize","id":"b",)") +
+                   R"("instance":"prod",)" + k_long_job + "}");
+  ASSERT_TRUE(client.wait_event("admitted", "b").is_object());
+  client.send_line(std::string(R"({"op":"optimize","id":"c",)") +
+                   R"("instance":"prod",)" + k_long_job + "}");
+  const io::Json shed = client.wait_event("error", "c");
+  ASSERT_TRUE(shed.is_object());
+  EXPECT_EQ(shed.at("code").as_string(), "overloaded");
+  EXPECT_EQ(shed.at("queue_cap").as_number(), 1.0);
+
+  // The bounded-queue counters appear on the stats event.
+  client.send_line(R"({"op":"stats"})");
+  const io::Json stats = client.wait_event("stats");
+  ASSERT_TRUE(stats.is_object());
+  EXPECT_EQ(stats.at("shed").as_number(), 1.0);
+  EXPECT_EQ(stats.at("queue_cap").as_number(), 1.0);
+  EXPECT_EQ(stats.at("sessions").as_number(), 1.0);
+
+  for (const char* id : {"a", "b"}) {
+    client.send_line(std::string(R"({"op":"cancel","id":")") + id + "\"}");
+    client.wait_event("result", id);
+  }
+}
+
+TEST(Tcp_transport_test, ConnectionLimitRefusesWithATypedErrorLine) {
+  Tcp_options tcp;
+  tcp.max_connections = 2;
+  Stack stack(Server_options{}, tcp);
+
+  Client first(stack.port());
+  Client second(stack.port());
+  // Both are live; prove it before the refusal case.
+  first.send_line(R"({"op":"stats"})");
+  ASSERT_TRUE(first.wait_event("stats").is_object());
+
+  Client refused(stack.port());
+  const std::string line = refused.read_line();
+  ASSERT_FALSE(line.empty());
+  const io::Json error = io::Json::parse(line);
+  EXPECT_EQ(error.at("event").as_string(), "error");
+  EXPECT_EQ(error.at("code").as_string(), "overloaded");
+  EXPECT_TRUE(refused.at_eof());
+  EXPECT_EQ(stack.transport().stats().refused, 1u);
+
+  // The refusal freed nothing: the two real connections still serve.
+  second.send_line(R"({"op":"stats"})");
+  EXPECT_TRUE(second.wait_event("stats").is_object());
+}
+
+TEST(Tcp_transport_test, MalformedAndOversizedLinesGetTypedErrors) {
+  Session_options session;
+  session.max_line_bytes = 256;
+  Stack stack(Server_options{}, Tcp_options{}, session);
+  Client client(stack.port());
+
+  client.send_line("this is not json");
+  const io::Json parse_error = client.wait_event("error");
+  ASSERT_TRUE(parse_error.is_object());
+  EXPECT_EQ(parse_error.at("code").as_string(), "parse");
+
+  client.send_line(std::string(1000, 'x'));
+  const io::Json overflow = client.wait_event("error");
+  ASSERT_TRUE(overflow.is_object());
+  EXPECT_EQ(overflow.at("code").as_string(), "line-overflow");
+
+  // Truncated JSON (a valid op cut mid-way) is a parse error, and the
+  // session keeps serving afterwards.
+  client.send_line(R"({"op":"optimize","id":"t1","inst)");
+  EXPECT_EQ(client.wait_event("error").at("code").as_string(), "parse");
+  client.send_line(R"({"op":"stats"})");
+  EXPECT_TRUE(client.wait_event("stats").is_object());
+}
+
+TEST(Tcp_transport_test, OptimizeBatchFansOutPerElementResults) {
+  Stack stack;
+  Client client(stack.port());
+  client.send_line(register_line("prod", 9, 21));
+  client.wait_event("registered");
+
+  client.send_line(
+      R"({"op":"optimize_batch","id":"b1","requests":[)"
+      R"({"instance":"prod","optimizer":"bnb","cache":false},)"
+      R"({"instance":"prod","optimizer":"dp","cache":false},)"
+      R"({"id":"named","instance":"prod","optimizer":"greedy","cache":false}]})");
+  const io::Json batch = client.wait_event("batch-admitted", "b1");
+  ASSERT_TRUE(batch.is_object());
+  EXPECT_EQ(batch.at("count").as_number(), 3.0);
+  // The elements run on parallel workers, so results arrive in any
+  // order; collect all three and compare the id set.
+  std::set<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    const io::Json result = client.wait_event("result");
+    ASSERT_TRUE(result.is_object());
+    ids.insert(result.at("id").as_string());
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"b1/0", "b1/1", "named"}));
+}
+
+TEST(Tcp_transport_test, DisconnectCancelsThatClientsInFlightWork) {
+  Server_options options;
+  options.workers = 1;
+  Stack stack(options);
+  {
+    Client doomed(stack.port());
+    doomed.send_line(register_line("prod", 12, 31));
+    doomed.wait_event("registered");
+    doomed.send_line(std::string(R"({"op":"optimize","id":"gone",)") +
+                     R"("instance":"prod",)" + k_long_job + "}");
+    doomed.wait_event("admitted", "gone");
+  }  // socket closes here
+
+  // The disconnect cancels the job and frees the only worker — a new
+  // client's request completes promptly.
+  Client next(stack.port());
+  Timer timer;
+  while (stack.server().stats().completed < 1 && timer.seconds() < 20.0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(stack.server().stats().cancelled, 1u);
+  next.send_line(register_line("other", 8, 33));
+  next.wait_event("registered");
+  next.send_line(
+      R"({"op":"optimize","id":"fresh","instance":"other","optimizer":"bnb"})");
+  EXPECT_TRUE(next.wait_event("result", "fresh").is_object());
+}
+
+TEST(Tcp_transport_test, ShutdownOpDrainsFinalEventsToTheClient) {
+  Stack stack;
+  Client client(stack.port());
+  client.send_line(R"({"op":"shutdown"})");
+  // The bounded flush on stop() must deliver both shutdown events
+  // before the connection closes.
+  ASSERT_TRUE(client.wait_event("shutting-down").is_object());
+  ASSERT_TRUE(client.wait_event("shutdown-complete").is_object());
+  EXPECT_TRUE(client.at_eof());
+  EXPECT_TRUE(stack.wait_shutdown_served());
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,37 +1,52 @@
 // quest_serve — the long-lived optimization service: a line-delimited
-// JSON protocol on stdin/stdout over a fixed worker pool, with shared
-// instance registration, per-request budgets, mid-flight cancellation,
-// streamed incumbents, and a cross-request plan cache.
+// JSON protocol over a fixed worker pool, with shared instance
+// registration, per-request budgets, mid-flight cancellation, streamed
+// incumbents, and a cross-request plan cache.
 //
-//   quest_serve --workers 8
-//   echo '{"op":"stats"}' | quest_serve
+// Two transports (see quest/serve/transport.hpp for the stack layering):
 //
-// A session (one op per line on stdin, one event per line on stdout):
+//   quest_serve --workers 8                 # stdin/stdout pipe (default)
+//   quest_serve --tcp-port 7333             # TCP, many concurrent clients
+//   quest_serve --tcp-port 0                # TCP on an ephemeral port
+//
+// A session (one op per line in, one event per line out):
 //
 //   {"op":"register","name":"prod","instance":{...}}
 //   {"op":"optimize","id":"r1","instance":"prod","optimizer":"bnb",
 //    "budget":{"deadline_ms":500},"stream":true}
+//   {"op":"optimize_batch","id":"b1","requests":[{...},{...}]}
 //   {"op":"cancel","id":"r1"}
 //   {"op":"stats"}
 //   {"op":"shutdown"}
 //
-// The process exits 0 after a shutdown op — or on EOF, which cancels
-// anything still in flight (every admitted request still receives its
-// result event) and shuts down cleanly. Protocol errors never kill the
-// session; they come back as {"event":"error",...} lines.
+// In TCP mode the first stdout line is {"event":"listening","port":N}
+// (N is the bound port — useful with --tcp-port 0), request ids are
+// scoped per connection, a disconnect cancels that client's in-flight
+// work, and overload is load-shed with typed "overloaded" errors: at
+// the connection limit (--max-connections) and at the admission queue
+// cap (--queue-cap). The process exits 0 after any client's shutdown op.
+//
+// In stdio mode the process exits 0 after a shutdown op — or on EOF,
+// which cancels anything still in flight (every admitted request still
+// receives its result event) and shuts down cleanly. Protocol errors
+// never kill the session; they come back as {"event":"error",...} lines.
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "quest/common/cli.hpp"
 #include "quest/serve/server.hpp"
+#include "quest/serve/session.hpp"
+#include "quest/serve/tcp_transport.hpp"
+#include "quest/serve/transport.hpp"
 
 int main(int argc, char** argv) {
   using namespace quest;
   try {
     Cli cli("quest_serve",
             "serve concurrent optimize requests over line-delimited JSON "
-            "(stdin -> stdout)");
+            "(stdin -> stdout, or TCP with --tcp-port)");
     auto& workers =
         cli.add_int("workers", 4, "worker threads draining the queue");
     auto& cache_capacity =
@@ -41,6 +56,29 @@ int main(int argc, char** argv) {
     auto& engine_threads = cli.add_int(
         "engine-threads", 0,
         "per-job thread cap for parallel engines (0 = hardware / workers)");
+    auto& tcp_port = cli.add_int(
+        "tcp-port", -1,
+        "serve TCP on this port instead of stdin/stdout (0 = ephemeral; "
+        "the bound port is announced as a \"listening\" event)");
+    auto& bind_address =
+        cli.add_string("bind", "127.0.0.1", "TCP listen address");
+    auto& max_connections = cli.add_int(
+        "max-connections", 1024,
+        "TCP connection limit; excess connects are refused with a typed "
+        "\"overloaded\" error");
+    auto& queue_cap = cli.add_int(
+        "queue-cap", -1,
+        "admission queue bound; deeper optimize requests are load-shed "
+        "with a typed \"overloaded\" error (0 = unbounded, -1 = auto: "
+        "unbounded for stdio, 1024 for TCP)");
+    auto& max_line_bytes = cli.add_int(
+        "max-line-bytes", 1 << 20,
+        "longest accepted request line; longer lines get a typed "
+        "\"line-overflow\" error");
+    auto& write_buffer_bytes = cli.add_int(
+        "write-buffer-bytes", 1 << 20,
+        "per-connection outbound buffer cap; a connection above it stops "
+        "being read until the client drains (backpressure)");
     cli.parse(argc, argv);
     if (workers.value < 1) throw Parse_error("--workers must be >= 1");
     if (cache_capacity.value < 1) {
@@ -49,26 +87,67 @@ int main(int argc, char** argv) {
     if (engine_threads.value < 0) {
       throw Parse_error("--engine-threads must be >= 0");
     }
+    if (tcp_port.value < -1 || tcp_port.value > 65535) {
+      throw Parse_error("--tcp-port must be in [0, 65535] (or -1 for stdio)");
+    }
+    if (max_connections.value < 1) {
+      throw Parse_error("--max-connections must be >= 1");
+    }
+    if (queue_cap.value < -1) {
+      throw Parse_error("--queue-cap must be >= 0 (or -1 for auto)");
+    }
+    if (max_line_bytes.value < 2) {
+      throw Parse_error("--max-line-bytes must be >= 2");
+    }
+    if (write_buffer_bytes.value < 1024) {
+      throw Parse_error("--write-buffer-bytes must be >= 1024");
+    }
+    const bool tcp = tcp_port.value >= 0;
 
     serve::Server_options options;
     options.workers = static_cast<std::size_t>(workers.value);
     options.cache_capacity = static_cast<std::size_t>(cache_capacity.value);
     options.enable_cache = !no_cache.value;
     options.engine_threads = static_cast<std::size_t>(engine_threads.value);
+    // Auto queue cap: the single stdio pipe is its own backpressure
+    // (unbounded keeps the original behavior, and its event stream,
+    // unchanged); a socket fan-in needs a bound to stay load-shedding
+    // rather than memory-ballooning.
+    options.queue_cap = queue_cap.value >= 0
+                            ? static_cast<std::size_t>(queue_cap.value)
+                            : (tcp ? 1024 : 0);
 
-    // One event per line, flushed immediately: clients read the stream
-    // interactively, so buffering would deadlock a request/response loop.
-    serve::Server server(options, [](const io::Json& event) {
-      std::cout << event.dump() << std::endl;
-    });
+    serve::Session_options session_options;
+    session_options.max_line_bytes =
+        static_cast<std::size_t>(max_line_bytes.value);
+    session_options.close_session_on_disconnect = tcp;
 
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      if (!server.handle_line(line)) break;  // shutdown op processed
+    std::unique_ptr<serve::Transport> transport;
+    if (tcp) {
+      serve::Tcp_options tcp_options;
+      tcp_options.bind_address = bind_address.value;
+      tcp_options.port = static_cast<std::uint16_t>(tcp_port.value);
+      tcp_options.max_connections =
+          static_cast<std::size_t>(max_connections.value);
+      tcp_options.write_buffer_cap =
+          static_cast<std::size_t>(write_buffer_bytes.value);
+      auto tcp_transport = std::make_unique<serve::Tcp_transport>(tcp_options);
+      io::Json listening;
+      listening.set("event", io::Json("listening"));
+      listening.set("port", io::Json(tcp_transport->port()));
+      std::cout << listening.dump() << std::endl;
+      transport = std::move(tcp_transport);
+    } else {
+      transport = std::make_unique<serve::Stdio_transport>();
     }
-    // EOF without a shutdown op: cancel in-flight work and drain. The
-    // destructor would do this too; doing it explicitly makes "clean exit
-    // after EOF" the documented behavior rather than a side effect.
+
+    serve::Server server(options);
+    serve::Session_manager sessions(server, *transport, session_options);
+    sessions.serve();
+    // Transport gone (shutdown op, or stdio EOF): cancel in-flight work
+    // and drain. After a shutdown op this is a no-op (already drained);
+    // on EOF it makes "clean exit" the documented behavior rather than a
+    // side effect.
     server.shutdown();
     return 0;
   } catch (const quest::Parse_error& error) {
