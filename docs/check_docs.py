@@ -34,6 +34,10 @@ DOCUMENTED_HEADERS = [
     "src/serve/include/quest/serve/plan_cache.hpp",
     "src/serve/include/quest/serve/protocol.hpp",
     "src/serve/include/quest/serve/server.hpp",
+    "src/store/include/quest/store/router.hpp",
+    "src/store/include/quest/store/shard_map.hpp",
+    "src/store/include/quest/store/snapshot.hpp",
+    "src/store/include/quest/store/snapshot_writer.hpp",
 ]
 
 MARKDOWN_LINK = re.compile(r"\]\(([^)#\s]+)(#[^)\s]*)?\)")

@@ -17,19 +17,41 @@ started with --workers 1 --queue-cap 1, asserting that typed
 `overloaded` errors are emitted and that the server survives. Exits
 non-zero with a readable reason on any violation.
 
+Two exclusive modes replace the throughput run when selected:
+
+  --persist      durability smoke: start quest_serve with a snapshot
+                 path, optimize with the cache on, wait for the write-
+                 behind snapshot to land on disk, kill -9 the process,
+                 restart it on the same path, and assert the warm boot
+                 restores the instance and serves every repeated request
+                 from the exact cache tier at the identical cost.
+  --router K     sharded smoke: K quest_serve backends behind
+                 quest_router (--router-binary). Registers instances
+                 with distinct fingerprints through the router, checks
+                 merged stats report the fleet shape, kill -9s one
+                 backend, and asserts its shard sheds with typed
+                 `overloaded` errors while the survivors keep serving.
+
 Usage:
   loadgen.py --binary build/tools/quest_serve --connections 256 --requests 8
   loadgen.py --binary ... --connections 16 --requests 4 --smoke   # ctest
+  loadgen.py --binary ... --persist --smoke                       # ctest
+  loadgen.py --binary ... --router-binary build/tools/quest_router \\
+             --router 2 --smoke                                   # ctest
 
-Used by ctest (serve/tcp_smoke) and the CI smoke job; BENCH_7.json is a
-recorded run of the 256-connection profile.
+Used by ctest (serve/tcp_smoke, serve/persist_smoke, serve/router_smoke)
+and the CI smoke job; BENCH_7.json is a recorded run of the
+256-connection profile.
 """
 
 import argparse
 import json
+import os
+import shutil
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 
@@ -309,6 +331,214 @@ def shed_phase(binary):
     return {"shed_errors": 1, "queue_cap": 1}
 
 
+def wait_for_snapshot(path, min_exact, deadline_s=60.0):
+    """Block until the snapshot on disk holds >= min_exact exact-tier
+    records (and at least one instance), so a kill -9 afterwards cannot
+    outrun the write-behind flush. Returns the record census."""
+    deadline = time.monotonic() + deadline_s
+    census = {}
+    while time.monotonic() < deadline:
+        census = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    record = json.loads(line)
+                    kind = record.get("type", "header")
+                    census[kind] = census.get(kind, 0) + 1
+        except (OSError, ValueError):
+            census = {}  # mid-rename or mid-line; retry
+        if census.get("exact", 0) >= min_exact and census.get("instance", 0) >= 1:
+            return census
+        time.sleep(0.05)
+    fail(f"snapshot at {path} never reached {min_exact} exact records: {census}")
+
+
+def persist_phase(args):
+    """Kill -9 a loaded server; a restart on the same --snapshot-path must
+    warm-boot the instance store and serve repeats from the exact tier."""
+    tmpdir = tempfile.mkdtemp(prefix="quest_persist_smoke_")
+    snapshot = os.path.join(tmpdir, "state.qsnap")
+    flags = ("--snapshot-path", snapshot, "--snapshot-interval-ms", "50")
+    repeats = 4
+
+    server = Server(args.binary, flags)
+    costs = {}
+    with Client(server.port) as client:
+        client.send(
+            {"op": "register", "name": "persist", "instance": make_instance()}
+        )
+        client.wait_for(lambda e: e.get("event") == "registered", "registered")
+        for r in range(repeats):
+            request_id = f"persist/{r}"
+            client.send(
+                {
+                    "op": "optimize",
+                    "id": request_id,
+                    "instance": "persist",
+                    "optimizer": "bnb",
+                    "budget": {"deadline_ms": 30000},
+                    "seed": r,
+                    "cache": True,
+                }
+            )
+            result = client.wait_result(request_id)
+            if not result.get("complete") or result.get("cached"):
+                fail(f"{request_id}: expected a fresh complete result, got {result}")
+            costs[r] = result["cost"]
+        census = wait_for_snapshot(snapshot, min_exact=repeats)
+        client.send({"op": "stats"})
+        stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
+        if stats.get("snapshot_writes", 0) < 1:
+            fail(f"stats report no snapshot writes despite on-disk state: {stats}")
+    server.kill()  # kill -9: no drain, no final flush
+
+    server = Server(args.binary, flags)
+    try:
+        with Client(server.port) as client:
+            client.send({"op": "stats"})
+            stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
+            warm = stats.get("warm_boot_entries", 0)
+            if warm < repeats + 1:  # instance + exact entries at minimum
+                fail(f"warm boot restored too little: {stats}")
+            if stats.get("stale_refused", 0) != 0:
+                fail(f"clean snapshot had refused records: {stats}")
+            # The instance survives by name — no re-register — and every
+            # repeated request is an exact-tier hit at the identical cost.
+            for r in range(repeats):
+                request_id = f"warm/{r}"
+                client.send(
+                    {
+                        "op": "optimize",
+                        "id": request_id,
+                        "instance": "persist",
+                        "optimizer": "bnb",
+                        "budget": {"deadline_ms": 30000},
+                        "seed": r,
+                        "cache": True,
+                    }
+                )
+                result = client.wait_result(request_id)
+                if not result.get("cached"):
+                    fail(f"{request_id}: expected an exact-tier hit, got {result}")
+                if result["cost"] != costs[r]:
+                    fail(
+                        f"{request_id}: cost drifted across restart "
+                        f"({result['cost']!r} != {costs[r]!r})"
+                    )
+        server.shutdown()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return {
+        "mode": "persist",
+        "snapshot_records": census,
+        "warm_boot_entries": int(warm),
+        "exact_hits_after_restart": repeats,
+    }
+
+
+def router_phase(args):
+    """K backends behind quest_router: fan registrations across shards,
+    merge stats, then kill -9 one backend and assert typed shedding."""
+    shards = args.router
+    backends = [Server(args.binary) for _ in range(shards)]
+    router = Server(
+        args.router_binary,
+        ("--backends", ",".join(f"127.0.0.1:{b.port}" for b in backends)),
+    )
+
+    def spread_instance(i):
+        # Same shape, perturbed first-service cost: distinct fingerprints
+        # so consistent hashing actually spreads the keys.
+        instance = make_instance(6)
+        instance["services"][0]["cost"] += 0.001 * (i + 1)
+        return instance
+
+    names = [f"spread{i}" for i in range(12)]
+    with Client(router.port) as client:
+        for i, name in enumerate(names):
+            client.send(
+                {"op": "register", "name": name, "instance": spread_instance(i)}
+            )
+            client.wait_for(
+                lambda e: e.get("event") == "registered", "registered"
+            )
+        for name in names:
+            request_id = f"route/{name}"
+            client.send(
+                {
+                    "op": "optimize",
+                    "id": request_id,
+                    "instance": name,
+                    "optimizer": "bnb",
+                    "budget": {"deadline_ms": 30000},
+                    "cache": True,
+                }
+            )
+            result = client.wait_result(request_id)
+            if not result.get("complete"):
+                fail(f"{request_id}: incomplete result through router: {result}")
+        client.send({"op": "stats"})
+        stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
+        if stats.get("shards") != shards or stats.get("shards_live") != shards:
+            fail(f"merged stats disagree with the fleet: {stats}")
+        if stats.get("admitted", 0) < len(names):
+            fail(f"merged admitted counter lost requests: {stats}")
+
+    backends[0].kill()  # kill -9 one shard
+
+    survived = shed = 0
+    with Client(router.port) as client:
+        for name in names:
+            request_id = f"after/{name}"
+            client.send(
+                {
+                    "op": "optimize",
+                    "id": request_id,
+                    "instance": name,
+                    "optimizer": "bnb",
+                    "budget": {"deadline_ms": 30000},
+                    "cache": True,
+                }
+            )
+            event = client.wait_for(
+                lambda e: e.get("id") == request_id
+                and e.get("event") in ("result", "error"),
+                f"outcome of {request_id}",
+            )
+            if event["event"] == "result":
+                survived += 1
+            else:
+                if event.get("code") != "overloaded":
+                    fail(f"{request_id}: untyped shed error: {event}")
+                shed += 1
+        if shed < 1 or survived < 1:
+            fail(
+                f"expected a mix of survivals and sheds with one dead shard, "
+                f"got survived={survived} shed={shed}"
+            )
+        client.send({"op": "stats"})
+        stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
+        if stats.get("shards_live") != shards - 1:
+            fail(f"merged stats missed the dead shard: {stats}")
+
+    router.shutdown()
+    for backend in backends[1:]:
+        try:
+            code = backend.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            backend.kill()
+            fail("backend did not exit after fleet shutdown")
+        if code != 0:
+            fail(f"backend exited with code {code} after fleet shutdown")
+    return {
+        "mode": "router",
+        "shards": shards,
+        "routed": len(names),
+        "survived_after_kill": survived,
+        "shed_after_kill": shed,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", required=True, help="quest_serve path")
@@ -319,11 +549,34 @@ def main():
         action="store_true",
         help="assert protocol invariants and run the load-shed phase",
     )
+    parser.add_argument(
+        "--persist",
+        action="store_true",
+        help="run the kill -9 / warm-boot durability smoke instead",
+    )
+    parser.add_argument(
+        "--router",
+        type=int,
+        default=0,
+        metavar="K",
+        help="run the K-shard router smoke instead (needs --router-binary)",
+    )
+    parser.add_argument("--router-binary", help="quest_router path")
     args = parser.parse_args()
 
-    report = throughput_phase(args)
+    if args.persist:
+        report = persist_phase(args)
+    elif args.router:
+        if not args.router_binary:
+            fail("--router requires --router-binary")
+        if args.router < 1:
+            fail("--router needs at least one shard")
+        report = router_phase(args)
+    else:
+        report = throughput_phase(args)
+        if args.smoke:
+            report["shed"] = shed_phase(args.binary)
     if args.smoke:
-        report["shed"] = shed_phase(args.binary)
         report["smoke"] = "pass"
     print(json.dumps(report, indent=2))
     return 0

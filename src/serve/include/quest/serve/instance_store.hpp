@@ -64,9 +64,21 @@ class Instance_store {
   /// Registered names, in first-registration order.
   std::vector<std::string> names() const;
 
+  /// All entries in first-registration order — the export side of the
+  /// snapshot subsystem (quest/store/snapshot.hpp). The shared_ptrs keep
+  /// the instances alive while a snapshot writer serializes them without
+  /// holding the store's lock.
+  std::vector<std::shared_ptr<const Stored_instance>> entries() const;
+
+  /// Monotonic change counter, bumped on every put(). The snapshot
+  /// writer's dirty tracking compares this against the version it last
+  /// persisted, so an idle store is never rewritten.
+  std::uint64_t version() const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<const Stored_instance>> entries_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace quest::serve

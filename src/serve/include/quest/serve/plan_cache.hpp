@@ -107,6 +107,29 @@ class Plan_cache {
   std::uint64_t hits() const;
   std::uint64_t evictions() const;
 
+  /// One warm-start-tier entry as exported by snapshot().
+  struct Warm_entry {
+    std::uint64_t fingerprint = 0;
+    std::string model_key;
+    Cached_plan value;
+  };
+  /// Both tiers, in least-recently-used-first order, for the snapshot
+  /// subsystem (quest/store/snapshot.hpp): re-inserting in this order
+  /// through insert()/remember_best() reproduces the cache's contents
+  /// with the most recently used entries last (so they would be evicted
+  /// last again).
+  struct Contents {
+    std::vector<std::pair<Cache_key, Cached_plan>> exact;
+    std::vector<Warm_entry> warm;
+  };
+  Contents contents() const;
+
+  /// Monotonic change counter, bumped on every insert()/remember_best().
+  /// The snapshot writer's dirty tracking compares this against the
+  /// version it last persisted. Lookups don't count: LRU recency is not
+  /// worth a disk write.
+  std::uint64_t version() const;
+
  private:
   struct Entry {
     Cache_key key;
@@ -130,6 +153,7 @@ class Plan_cache {
   std::vector<Best_entry> best_;
   std::size_t capacity_;
   std::uint64_t tick_ = 0;
+  std::uint64_t version_ = 0;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t evictions_ = 0;

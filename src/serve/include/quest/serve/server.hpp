@@ -75,6 +75,24 @@
 
 namespace quest::serve {
 
+/// Durability counters shared between the serving core and the snapshot
+/// subsystem (quest::store). The store layer sits *above* serve in the
+/// module graph, so the Server cannot name its types; instead the two
+/// sides share this plain bundle of atomics — the snapshot loader and
+/// write-behind writer bump them, the Server reports them on its "stats"
+/// event. All counters are cumulative since process start.
+struct Durability_counters {
+  /// Snapshot files written (periodic flushes + the shutdown flush).
+  std::atomic<std::uint64_t> snapshot_writes{0};
+  /// Total bytes across those writes.
+  std::atomic<std::uint64_t> snapshot_bytes{0};
+  /// Entries restored at warm boot (instances + exact + warm-start tier).
+  std::atomic<std::uint64_t> warm_boot_entries{0};
+  /// Snapshot records refused on load: bad checksum, truncated JSON,
+  /// mismatched fingerprint or Cost_model::key(), bumped format version.
+  std::atomic<std::uint64_t> stale_refused{0};
+};
+
 /// Construction-time configuration of a Server.
 struct Server_options {
   /// Worker threads draining the admission queue (>= 1).
@@ -97,6 +115,10 @@ struct Server_options {
   /// 0 = unbounded (the legacy single-pipe behavior, where the one
   /// client is its own backpressure).
   std::size_t queue_cap = 0;
+  /// Durability counters to report on "stats" events; nullptr (the
+  /// default) means no snapshot subsystem is attached and the stats
+  /// event keeps its legacy shape (no durability fields at all).
+  std::shared_ptr<const Durability_counters> durability;
 };
 
 /// A snapshot of the server's counters. Throughput — completed requests
@@ -129,6 +151,14 @@ struct Server_stats {
   std::size_t engine_threads = 0;
   double uptime_seconds = 0.0;
   double throughput_rps = 0.0;
+  /// True when a snapshot subsystem is attached
+  /// (Server_options::durability); the counters below are only
+  /// meaningful — and only emitted on the stats event — when set.
+  bool durability = false;
+  std::uint64_t snapshot_writes = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t warm_boot_entries = 0;
+  std::uint64_t stale_refused = 0;
 };
 
 /// The serving loop: admission, worker pool, cancellation, cache, event

@@ -15,6 +15,7 @@ std::shared_ptr<const Stored_instance> Instance_store::put(
       io::fingerprint(entry->instance, entry->precedence_ptr());
 
   std::lock_guard<std::mutex> lock(mutex_);
+  ++version_;
   for (auto& existing : entries_) {
     if (existing->name == entry->name) {
       if (replaced != nullptr) *replaced = true;
@@ -47,6 +48,17 @@ std::vector<std::string> Instance_store::names() const {
   result.reserve(entries_.size());
   for (const auto& entry : entries_) result.push_back(entry->name);
   return result;
+}
+
+std::vector<std::shared_ptr<const Stored_instance>> Instance_store::entries()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::uint64_t Instance_store::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
 }
 
 }  // namespace quest::serve

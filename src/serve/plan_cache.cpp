@@ -102,11 +102,13 @@ void Plan_cache::remember_best(std::uint64_t fingerprint,
                                const std::string& model_key,
                                Cached_plan value) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ++version_;
   remember_best_locked(fingerprint, model_key, value);
 }
 
 void Plan_cache::insert(const Cache_key& key, Cached_plan value) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ++version_;
   remember_best_locked(key.fingerprint, key.model_key, value);
 
   for (auto& entry : entries_) {
@@ -163,6 +165,43 @@ std::uint64_t Plan_cache::hits() const {
 std::uint64_t Plan_cache::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+Plan_cache::Contents Plan_cache::contents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // LRU-first order: re-inserting the export sequentially reproduces the
+  // relative recency of every entry.
+  std::vector<const Entry*> exact_order;
+  exact_order.reserve(entries_.size());
+  for (const auto& entry : entries_) exact_order.push_back(&entry);
+  std::sort(exact_order.begin(), exact_order.end(),
+            [](const Entry* a, const Entry* b) {
+              return a->last_used < b->last_used;
+            });
+  std::vector<const Best_entry*> warm_order;
+  warm_order.reserve(best_.size());
+  for (const auto& best : best_) warm_order.push_back(&best);
+  std::sort(warm_order.begin(), warm_order.end(),
+            [](const Best_entry* a, const Best_entry* b) {
+              return a->last_used < b->last_used;
+            });
+
+  Contents contents;
+  contents.exact.reserve(exact_order.size());
+  for (const Entry* entry : exact_order) {
+    contents.exact.emplace_back(entry->key, entry->value);
+  }
+  contents.warm.reserve(warm_order.size());
+  for (const Best_entry* best : warm_order) {
+    contents.warm.push_back(
+        Warm_entry{best->fingerprint, best->model_key, best->value});
+  }
+  return contents;
+}
+
+std::uint64_t Plan_cache::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
 }
 
 }  // namespace quest::serve

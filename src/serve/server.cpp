@@ -448,6 +448,19 @@ void Server::emit_stats(const Session_ptr& session) {
   cache.set("hits", io::Json(static_cast<double>(snapshot.cache_hits)));
   cache.set("entries", io::Json(snapshot.cache_entries));
   event.set("cache", std::move(cache));
+  if (snapshot.durability) {
+    // Durability counters only exist when a snapshot subsystem is
+    // attached (quest_serve --snapshot-path); without one the event
+    // keeps its legacy shape byte for byte.
+    event.set("snapshot_writes",
+              io::Json(static_cast<double>(snapshot.snapshot_writes)));
+    event.set("snapshot_bytes",
+              io::Json(static_cast<double>(snapshot.snapshot_bytes)));
+    event.set("warm_boot_entries",
+              io::Json(static_cast<double>(snapshot.warm_boot_entries)));
+    event.set("stale_refused",
+              io::Json(static_cast<double>(snapshot.stale_refused)));
+  }
   event.set("uptime_seconds", io::Json(snapshot.uptime_seconds));
   event.set("throughput_rps", io::Json(snapshot.throughput_rps));
   emit(*session, event);
@@ -474,6 +487,18 @@ Server_stats Server::stats() const {
   snapshot.cache_entries = cache_.size();
   snapshot.instances = store_.size();
   snapshot.engine_threads = engine_thread_cap();
+  if (options_.durability != nullptr) {
+    const Durability_counters& durability = *options_.durability;
+    snapshot.durability = true;
+    snapshot.snapshot_writes =
+        durability.snapshot_writes.load(std::memory_order_relaxed);
+    snapshot.snapshot_bytes =
+        durability.snapshot_bytes.load(std::memory_order_relaxed);
+    snapshot.warm_boot_entries =
+        durability.warm_boot_entries.load(std::memory_order_relaxed);
+    snapshot.stale_refused =
+        durability.stale_refused.load(std::memory_order_relaxed);
+  }
   snapshot.uptime_seconds = uptime_.seconds();
   snapshot.throughput_rps =
       snapshot.uptime_seconds > 0.0

@@ -1,0 +1,187 @@
+// quest/store/router.hpp
+//
+// The fingerprint-sharding front of a quest_serve fleet. A Router speaks
+// the ordinary quest_serve wire protocol to its clients over any
+// serve::Transport, and forwards each op to the backend that *owns* the
+// instance it concerns, where ownership is the consistent-hash mapping of
+// the instance's content fingerprint (quest/store/shard_map.hpp). Because
+// backends key their plan caches and snapshots by the same fingerprint,
+// routing by it means every repeat request for an instance lands on the
+// backend holding that instance's warm (and persisted) cache — the router
+// is what makes K independent durable stores behave like one.
+//
+// The router is deliberately thin:
+//
+//  * register — parses the instance document just far enough to compute
+//    its fingerprint, remembers name -> fingerprint, and forwards the raw
+//    line to the owning shard. Validation beyond that is the backend's
+//    job; its events stream back verbatim.
+//  * optimize — resolves the target (registered name, or an inline
+//    document fingerprinted on the spot), records id -> shard so a later
+//    cancel can follow, and forwards the raw line. optimize_batch is
+//    split into individual optimize forwards (elements may hash to
+//    different shards); the router emits the batch-admitted event itself.
+//  * cancel — forwarded to the shard that took the id; unknown ids get
+//    the same found:false event a single server would emit.
+//  * stats — fanned out to every reachable backend; the per-shard events
+//    are intercepted and merged into one (counters summed, uptime maxed)
+//    carrying "shards" / "shards_live" so callers can see fleet health.
+//  * shutdown — forwarded to every reachable backend; the router waits
+//    for their connections to close, then emits a single merged
+//    shutting-down / shutdown-complete pair and stops its transport.
+//
+// Failure semantics: a backend that is down (unreachable at connect time,
+// or whose connection drops mid-flight) sheds with the protocol's typed
+// "overloaded" error — for the op being forwarded, and for every id still
+// routed at a link that dies. The router reconnects lazily on the next op
+// for that shard, so a restarted backend (warm-booting from its snapshot)
+// heals without router intervention.
+//
+// Threading: client bytes arrive on the transport's loop thread, which
+// also owns all routing decisions and backend writes. Each live backend
+// connection has one reader thread forwarding its event lines to the
+// owning client; per-client shared state (id routes, stats merges) is the
+// only loop/reader overlap and sits behind a per-client mutex.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "quest/io/json.hpp"
+#include "quest/serve/transport.hpp"
+#include "quest/store/shard_map.hpp"
+
+namespace quest::store {
+
+/// Configuration of a Router.
+struct Router_options {
+  /// Backend addresses, "host:port", one per shard; index = shard id.
+  std::vector<std::string> backends;
+  /// Consistent-hash ring points per shard (Shard_map).
+  std::size_t replicas = 64;
+  /// Inbound line cap, mirroring the session layer's overflow handling.
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+/// The sharding proxy. Construct with a listening transport, then
+/// serve(); returns true when a client shutdown op ended the run (the
+/// shutdown was forwarded to the fleet first).
+class Router {
+ public:
+  /// Requires at least one backend. Backends are *not* contacted here —
+  /// connections are opened lazily per client, per shard, on first use.
+  Router(Router_options options, serve::Transport& transport);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Runs the transport loop until stop()/shutdown. Call once.
+  bool serve();
+
+ private:
+  struct Client;
+
+  /// One client's connection to one backend shard, with a reader thread
+  /// pumping backend event lines back to that client.
+  struct Link {
+    std::size_t shard = 0;
+    int fd = -1;
+    std::shared_ptr<Client> client;
+    std::thread reader;
+    /// Set (once) by the reader on EOF/error; link_for replaces a down
+    /// link with a fresh connection attempt.
+    std::atomic<bool> down{false};
+    /// Guarded by client->mutex: this link owes a stats event to the
+    /// merge in flight.
+    bool merge_member = false;
+  };
+
+  /// One front-side client connection and everything routed for it.
+  struct Client {
+    serve::Connection_id id = 0;
+    std::string inbuf;
+    bool discarding = false;
+    /// Indexed by shard; null until first use, reset on reconnect.
+    /// Loop thread only.
+    std::vector<std::shared_ptr<Link>> links;
+
+    std::mutex mutex;
+    /// Request id -> owning shard, for cancel routing and for failing
+    /// in-flight ids when a link dies. Cleaned on cancel, link death,
+    /// and (best effort) observed result events.
+    std::unordered_map<std::string, std::size_t> routes;
+    /// Stats merge in flight: how many links still owe an event, and
+    /// the events collected so far.
+    std::size_t merge_pending = 0;
+    std::vector<io::Json> merge_events;
+    /// Shutdown forwarded: readers swallow the per-backend shutdown
+    /// events and accumulate their counters here instead.
+    bool closing = false;
+    double shutdown_outstanding = 0;
+    double shutdown_completed = 0;
+  };
+
+  void on_open(serve::Connection_id id);
+  void on_data(serve::Connection_id id, std::string_view chunk);
+  void on_close(serve::Connection_id id);
+
+  /// Routes one complete client line; false ends the serve loop.
+  bool handle_line(const std::shared_ptr<Client>& client,
+                   std::string_view line);
+  void route_optimize(const std::shared_ptr<Client>& client,
+                      const io::Json& doc, const std::string& id,
+                      std::string_view line);
+  void handle_stats(const std::shared_ptr<Client>& client,
+                    std::string_view line);
+  bool handle_shutdown(const std::shared_ptr<Client>& client,
+                       std::string_view line);
+
+  /// Live link to `shard`, connecting (or reconnecting a dead link)
+  /// as needed; nullptr when the backend is unreachable.
+  std::shared_ptr<Link> link_for(const std::shared_ptr<Client>& client,
+                                 std::size_t shard);
+  bool forward(const std::shared_ptr<Client>& client, std::size_t shard,
+               std::string_view line);
+  void shed(const std::shared_ptr<Client>& client, const std::string& id,
+            std::size_t shard);
+  void teardown_links(const std::shared_ptr<Client>& client);
+
+  void reader_loop(std::shared_ptr<Link> link);
+  void handle_backend_line(const std::shared_ptr<Link>& link,
+                           std::string_view line);
+  void link_down(const std::shared_ptr<Link>& link);
+  /// Completes the stats merge; caller holds client->mutex.
+  void finish_merge_locked(Client& client);
+
+  Router_options options_;
+  serve::Transport& transport_;
+  Shard_map map_;
+  /// Loop thread only.
+  std::unordered_map<serve::Connection_id, std::shared_ptr<Client>> clients_;
+  /// Registered name -> instance fingerprint. Loop thread only. Names
+  /// registered before a router restart are unknown to the new router;
+  /// clients re-register (or send inline documents) after a router
+  /// restart — backends dedupe by fingerprint, so re-registration is
+  /// idempotent and cache-preserving.
+  std::unordered_map<std::string, std::uint64_t> names_;
+  bool shutdown_requested_ = false;
+};
+
+/// Builds the merged fleet stats event: numeric counters summed
+/// ("uptime_seconds" maxed), the nested "cache" object summed fieldwise,
+/// plus "shards" (fleet size) and "shards_live" (events merged). Exposed
+/// for tests.
+io::Json merge_stats_events(const std::vector<io::Json>& events,
+                            std::size_t shards);
+
+}  // namespace quest::store

@@ -1,0 +1,55 @@
+// quest/store/shard_map.hpp
+//
+// Consistent hashing of instance fingerprints onto K shards — the
+// partitioning function behind quest_router. Each shard contributes
+// `replicas` pseudo-random points to a 64-bit hash ring; a fingerprint
+// is owned by the shard whose point follows the fingerprint's own hash
+// (wrapping at the top of the ring).
+//
+// The property that matters operationally: growing the fleet from K to
+// K+1 shards only moves the keys the new shard's points capture
+// (~1/(K+1) of the space); every other fingerprint keeps its owner, and
+// with it its backend's warm cache. A modulo mapping would reshuffle
+// nearly everything and turn every resize into a fleet-wide cold boot.
+//
+// Ring points and key hashes both derive from the shared FNV-1a
+// (quest/common/hash.hpp), so the mapping is deterministic across
+// processes — the router and any external tooling agree on ownership
+// without coordination.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quest::store {
+
+/// The fingerprint -> shard mapping. Immutable after construction;
+/// cheap to copy; safe to share across threads.
+class Shard_map {
+ public:
+  /// `shards` >= 1 backends, each with `replicas` >= 1 ring points.
+  /// 64 points per shard keeps the expected load imbalance within a few
+  /// percent at smoke-test fleet sizes.
+  explicit Shard_map(std::size_t shards, std::size_t replicas = 64);
+
+  /// Owner of `fingerprint`, in [0, shards()).
+  std::size_t shard_of(std::uint64_t fingerprint) const noexcept;
+
+  std::size_t shards() const noexcept { return shards_; }
+  std::size_t replicas() const noexcept { return replicas_; }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t shard;
+  };
+
+  std::size_t shards_;
+  std::size_t replicas_;
+  /// Sorted by position; shard_of binary-searches the successor point.
+  std::vector<Point> ring_;
+};
+
+}  // namespace quest::store

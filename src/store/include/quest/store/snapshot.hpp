@@ -1,0 +1,124 @@
+// quest/store/snapshot.hpp
+//
+// The durable-state layer's snapshot format: one JSONL file holding the
+// serving layer's register-once/optimize-many state — the Instance_store
+// plus both tiers of the Plan_cache — so a restarted quest_serve warm
+// boots with every exact plan and warm-start seed it had before.
+//
+// File shape (one JSON object per line):
+//
+//   {"quest_snapshot":true,"format_version":1,"crc":"<hex16>"}
+//   {"type":"instance","name":...,"fingerprint":"<hex16>","doc":{...},
+//    "crc":"<hex16>"}
+//   {"type":"exact","fingerprint":...,"model_key":...,"engine_spec":...,
+//    "budget_class":...,"seed":"<hex16>","plan":[...],
+//    "cost_bits":"<hex16>","termination":...,"proven_optimal":...,
+//    "crc":"<hex16>"}
+//   {"type":"warm","fingerprint":...,"model_key":...,"plan":[...],
+//    "cost_bits":"<hex16>","termination":...,"proven_optimal":...,
+//    "crc":"<hex16>"}
+//
+// Costs and seeds are stored as 16-digit hex renderings of their exact
+// 64-bit patterns, so a warm-booted cache serves *byte-identical* results
+// (no float-formatting round trip on the values that key or answer
+// requests).
+//
+// Trust model: a snapshot is an unauthenticated local file that may be
+// stale (written by an older build), torn (the process died mid-write —
+// prevented by the atomic rename in write_snapshot, but a copied or
+// hand-edited file can still be truncated), or corrupt. Load therefore
+// REFUSES rather than trusts, entry by entry:
+//
+//   * the header line must parse, checksum, and carry the exact
+//     k_snapshot_format_version — otherwise every following record is
+//     refused (a bumped format is a different contract, not a partially
+//     readable one);
+//   * each record must checksum (FNV-1a over the record line minus its
+//     "crc" field) — truncation and bit flips are refused per record;
+//   * instance records must re-parse and re-fingerprint to the stored
+//     fingerprint — an instance that hashes differently under this build
+//     would silently mis-key every cache entry pointing at it;
+//   * cache records must carry a Cost_model::key() that this build
+//     *reproduces*: the key is re-parsed as a cost-model spec, re-bound,
+//     and re-keyed — if the library's key schema or model semantics
+//     changed (or the record was written under a model this build cannot
+//     restate, e.g. an explicit-matrix model), the entry is refused,
+//     because its plan and cost are not comparable under this build's
+//     models;
+//   * plans must be complete permutations matching the instance size
+//     known for their fingerprint (when the snapshot or store knows it).
+//
+// Every refusal increments Load_report::stale_refused and is otherwise
+// silent: warm boot is an optimization, and a cold cache is always
+// correct. Nothing in load_snapshot ever throws on bad file contents.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "quest/serve/instance_store.hpp"
+#include "quest/serve/plan_cache.hpp"
+
+namespace quest::store {
+
+/// The on-disk format generation. Bump on any incompatible change to the
+/// record shapes above; a loader refuses snapshots from any other
+/// generation wholesale.
+inline constexpr int k_snapshot_format_version = 1;
+
+/// What write_snapshot produced.
+struct Write_report {
+  /// Records written (header + instances + exact + warm entries).
+  std::size_t records = 0;
+  /// Size of the snapshot file in bytes.
+  std::size_t bytes = 0;
+};
+
+/// Serializes the store and both cache tiers to `path`, atomically: the
+/// file is written to `path + ".tmp"` and renamed into place, so a
+/// concurrent reader (or a crash mid-write) sees either the previous
+/// snapshot or the new one, never a torn file. Throws quest::Parse_error
+/// on I/O failure (unwritable directory, rename failure).
+Write_report write_snapshot(const std::string& path,
+                            const serve::Instance_store& store,
+                            const serve::Plan_cache& cache);
+
+/// What load_snapshot restored (and refused).
+struct Load_report {
+  /// False when `path` did not exist — a cold boot, not an error.
+  bool file_found = false;
+  /// False when the header line was missing, corrupt, or of a different
+  /// format version; every data record is then refused.
+  bool header_ok = false;
+  std::size_t instances_loaded = 0;
+  std::size_t exact_loaded = 0;
+  std::size_t warm_loaded = 0;
+  /// Records refused by the rules in the file comment.
+  std::size_t stale_refused = 0;
+
+  /// Entries restored across all three sections.
+  std::size_t loaded() const noexcept {
+    return instances_loaded + exact_loaded + warm_loaded;
+  }
+};
+
+/// Restores a snapshot into `store` and `cache` (on top of whatever they
+/// already hold — warm boot runs on empty ones). Never throws on bad
+/// file contents: anything unreadable or stale is refused per record and
+/// counted in the report. A missing file returns file_found == false.
+Load_report load_snapshot(const std::string& path,
+                          serve::Instance_store& store,
+                          serve::Plan_cache& cache);
+
+/// True when this build reproduces `model_key` exactly: the key parses
+/// as "<policy>/<cost-model spec>" and re-binding that spec for an
+/// n-service instance yields the same Cost_model::key(). The per-record
+/// staleness test for cache entries (exposed for tests).
+bool model_key_reproducible(const std::string& model_key, std::size_t n);
+
+/// FNV-1a over the bytes of `text`, the per-record checksum (exposed for
+/// tests that forge records).
+std::uint64_t snapshot_checksum(std::string_view text);
+
+}  // namespace quest::store

@@ -1,0 +1,114 @@
+// quest/store/snapshot_writer.hpp
+//
+// Write-behind persistence for the serving layer's durable state: a
+// single background thread that periodically snapshots the
+// Instance_store and Plan_cache (quest/store/snapshot.hpp) when — and
+// only when — they changed since the last write.
+//
+// Dirty tracking rides on the monotonic version counters both containers
+// expose (Instance_store::version, Plan_cache::version): a flush cycle
+// reads the versions *before* serializing, writes the snapshot, and
+// records those pre-write versions as clean. A mutation racing the write
+// bumps the live counter past the recorded one, so the next cycle
+// rewrites — a change can be persisted one interval late, never lost
+// while the process lives.
+//
+// stop() (and the destructor) performs a final flush, so a clean
+// shutdown — including quest_serve's SIGTERM/SIGINT path — always leaves
+// the latest state on disk. Write failures (full disk, unwritable
+// directory) are counted and remembered (last_error()), never thrown
+// from the background thread: persistence must not take the serving
+// process down.
+//
+// Counters: when constructed with a serve::Durability_counters bundle,
+// every successful write bumps snapshot_writes/snapshot_bytes — the
+// same counters the Server reports on its "stats" event, which is how
+// load tests prove persistence actually engaged.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "quest/serve/instance_store.hpp"
+#include "quest/serve/plan_cache.hpp"
+#include "quest/serve/server.hpp"
+
+namespace quest::store {
+
+/// Configuration of a Snapshot_writer.
+struct Snapshot_writer_options {
+  /// Snapshot file path (written atomically via rename).
+  std::string path;
+  /// Dirty-check cadence. Each cycle writes only when the store or
+  /// cache version moved since the last successful write.
+  std::chrono::milliseconds interval{5000};
+};
+
+/// The write-behind thread. The store and cache must outlive the writer.
+/// All public methods are thread-safe.
+class Snapshot_writer {
+ public:
+  /// Starts the background thread. The state as of construction counts
+  /// as clean only if `path` already reflects it — callers that warm
+  /// boot from `path` first get exactly that for free; otherwise the
+  /// first interval writes the initial snapshot (versions start dirty
+  /// whenever either container is non-empty and unsnapshotted — the
+  /// constructor simply records the current versions after a warm boot,
+  /// so pass freshly booted containers).
+  Snapshot_writer(Snapshot_writer_options options,
+                  const serve::Instance_store& store,
+                  const serve::Plan_cache& cache,
+                  std::shared_ptr<serve::Durability_counters> counters =
+                      nullptr);
+  /// stop()s.
+  ~Snapshot_writer();
+
+  Snapshot_writer(const Snapshot_writer&) = delete;
+  Snapshot_writer& operator=(const Snapshot_writer&) = delete;
+
+  /// Synchronous flush: writes now when dirty (or when `force`), on the
+  /// calling thread. Returns true when a snapshot was written.
+  bool flush(bool force = false);
+
+  /// Stops the background thread and performs a final flush. Idempotent.
+  void stop();
+
+  /// Successful writes so far.
+  std::uint64_t writes() const;
+  /// Failed writes so far (full disk, unwritable path, ...).
+  std::uint64_t failures() const;
+  /// Human-readable reason of the most recent failure; empty when none.
+  std::string last_error() const;
+
+ private:
+  void loop();
+  bool flush_locked(bool force);
+
+  Snapshot_writer_options options_;
+  const serve::Instance_store& store_;
+  const serve::Plan_cache& cache_;
+  std::shared_ptr<serve::Durability_counters> counters_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  /// Versions covered by the last successful write; ~0 = never written,
+  /// so the first dirty check fires whenever either container moved off
+  /// its constructed state.
+  std::uint64_t clean_store_version_ = 0;
+  std::uint64_t clean_cache_version_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t failures_ = 0;
+  std::string last_error_;
+
+  std::thread thread_;
+};
+
+}  // namespace quest::store

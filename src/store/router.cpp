@@ -1,0 +1,686 @@
+#include "quest/store/router.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "quest/common/error.hpp"
+#include "quest/io/fingerprint.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/serve/protocol.hpp"
+
+namespace quest::store {
+
+namespace {
+
+/// Connects to "host:port" (blocking); -1 when unreachable.
+int connect_backend(const std::string& address) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return -1;
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port = address.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &results) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    fd = ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  return fd;
+}
+
+/// Writes one framed line; false on any write error (the caller treats
+/// the link as dead). MSG_NOSIGNAL keeps a closed backend from raising
+/// SIGPIPE into the process.
+bool send_line(int fd, std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t offset = 0;
+  while (offset < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + offset,
+                             framed.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort id extraction from a backend "result" line, so the
+/// router can retire that id's route entry. Result events always start
+/// {"event":"result","id":"..." (the builder's field order is fixed);
+/// anything else returns empty and the entry stays until cancel or
+/// client disconnect — bounded either way.
+std::string result_event_id(std::string_view line) {
+  constexpr std::string_view prefix = "{\"event\":\"result\",\"id\":\"";
+  if (line.substr(0, prefix.size()) != prefix) return {};
+  const auto rest = line.substr(prefix.size());
+  std::string id;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == '\\') return {};  // escaped id: punt, keep the entry
+    if (rest[i] == '"') return id;
+    id.push_back(rest[i]);
+  }
+  return {};
+}
+
+}  // namespace
+
+io::Json merge_stats_events(const std::vector<io::Json>& events,
+                            std::size_t shards) {
+  std::vector<std::string> order;
+  std::map<std::string, double> sums;
+  std::vector<std::string> cache_order;
+  std::map<std::string, double> cache_sums;
+  bool saw_cache = false;
+
+  for (const io::Json& event : events) {
+    if (!event.is_object()) continue;
+    for (const auto& [key, value] : event.as_object()) {
+      if (key == "event") continue;
+      if (key == "cache" && value.is_object()) {
+        saw_cache = true;
+        for (const auto& [cache_key, cache_value] : value.as_object()) {
+          if (!cache_value.is_number()) continue;
+          if (cache_sums.find(cache_key) == cache_sums.end()) {
+            cache_order.push_back(cache_key);
+          }
+          cache_sums[cache_key] += cache_value.as_number();
+        }
+        continue;
+      }
+      if (!value.is_number()) continue;
+      if (sums.find(key) == sums.end()) order.push_back(key);
+      if (key == "uptime_seconds") {
+        sums[key] = std::max(sums[key], value.as_number());
+      } else {
+        sums[key] += value.as_number();
+      }
+    }
+  }
+
+  io::Json merged;
+  merged.set("event", "stats");
+  merged.set("shards", static_cast<double>(shards));
+  merged.set("shards_live", static_cast<double>(events.size()));
+  for (const std::string& key : order) merged.set(key, sums[key]);
+  if (saw_cache) {
+    io::Json cache;
+    for (const std::string& key : cache_order) cache.set(key, cache_sums[key]);
+    merged.set("cache", std::move(cache));
+  }
+  return merged;
+}
+
+Router::Router(Router_options options, serve::Transport& transport)
+    : options_(std::move(options)),
+      transport_(transport),
+      map_(std::max<std::size_t>(options_.backends.size(), 1),
+           options_.replicas) {
+  QUEST_EXPECTS(!options_.backends.empty(),
+                "router needs at least one backend");
+  QUEST_EXPECTS(options_.max_line_bytes >= 2,
+                "max_line_bytes must hold at least a tiny op");
+}
+
+Router::~Router() {
+  // Transport callbacks have stopped by the time a Router dies; tear
+  // down whatever links on_close did not get to.
+  for (auto& [id, client] : clients_) teardown_links(client);
+  clients_.clear();
+}
+
+bool Router::serve() {
+  serve::Transport::Handlers handlers;
+  handlers.on_open = [this](serve::Connection_id id) { on_open(id); };
+  handlers.on_data = [this](serve::Connection_id id,
+                            std::string_view chunk) { on_data(id, chunk); };
+  handlers.on_close = [this](serve::Connection_id id) { on_close(id); };
+  transport_.run(handlers);
+  return shutdown_requested_;
+}
+
+void Router::on_open(serve::Connection_id id) {
+  auto client = std::make_shared<Client>();
+  client->id = id;
+  client->links.resize(options_.backends.size());
+  clients_.emplace(id, std::move(client));
+}
+
+void Router::on_data(serve::Connection_id id, std::string_view chunk) {
+  const auto found = clients_.find(id);
+  if (found == clients_.end()) return;
+  const std::shared_ptr<Client> client = found->second;
+
+  if (client->discarding) {
+    const auto newline = chunk.find('\n');
+    if (newline == std::string_view::npos) return;
+    client->discarding = false;
+    chunk.remove_prefix(newline + 1);
+  }
+  client->inbuf.append(chunk);
+
+  std::size_t start = 0;
+  for (;;) {
+    const auto newline = client->inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    const std::string_view line(client->inbuf.data() + start,
+                                newline - start);
+    start = newline + 1;
+    if (line.size() > options_.max_line_bytes) {
+      transport_.send(
+          id, serve::error_event("request line exceeds " +
+                                     std::to_string(options_.max_line_bytes) +
+                                     " bytes and was discarded",
+                                 {}, "line-overflow")
+                  .dump());
+      continue;
+    }
+    if (!handle_line(client, line)) {
+      // Shutdown: the fleet has been told, the transport is stopping,
+      // and `client` may be torn down by on_close — leave now.
+      return;
+    }
+  }
+  client->inbuf.erase(0, start);
+
+  if (client->inbuf.size() > options_.max_line_bytes) {
+    transport_.send(
+        id, serve::error_event("request line exceeds " +
+                                   std::to_string(options_.max_line_bytes) +
+                                   " bytes and was discarded",
+                               {}, "line-overflow")
+                .dump());
+    client->inbuf.clear();
+    client->inbuf.shrink_to_fit();
+    client->discarding = true;
+  }
+}
+
+void Router::on_close(serve::Connection_id id) {
+  const auto found = clients_.find(id);
+  if (found == clients_.end()) return;
+  teardown_links(found->second);
+  clients_.erase(found);
+}
+
+void Router::teardown_links(const std::shared_ptr<Client>& client) {
+  // Two passes: shut every socket down first so all readers unblock at
+  // once, then join and close.
+  for (const auto& link : client->links) {
+    if (link != nullptr) ::shutdown(link->fd, SHUT_RDWR);
+  }
+  for (auto& link : client->links) {
+    if (link == nullptr) continue;
+    if (link->reader.joinable()) link->reader.join();
+    ::close(link->fd);
+    link.reset();
+  }
+}
+
+bool Router::handle_line(const std::shared_ptr<Client>& client,
+                         std::string_view line) {
+  io::Json doc;
+  std::string op;
+  try {
+    doc = io::Json::parse(line);
+    op = doc.at("op").as_string();
+  } catch (const std::exception& error) {
+    transport_.send(client->id,
+                    serve::error_event(error.what(), {}, "parse").dump());
+    return true;
+  }
+
+  if (op == "register") {
+    std::string name;
+    std::uint64_t print = 0;
+    try {
+      name = doc.at("name").as_string();
+      const io::Instance_document document =
+          io::instance_from_json(doc.at("instance"));
+      print = io::fingerprint(
+          document.instance,
+          document.precedence ? &*document.precedence : nullptr);
+    } catch (const std::exception& error) {
+      transport_.send(client->id,
+                      serve::error_event(error.what(), {}, "parse").dump());
+      return true;
+    }
+    const std::size_t shard = map_.shard_of(print);
+    if (!forward(client, shard, line)) {
+      shed(client, {}, shard);
+      return true;
+    }
+    names_[name] = print;
+    return true;
+  }
+
+  if (op == "optimize") {
+    std::string id;
+    if (const io::Json* field = doc.find("id");
+        field != nullptr && field->is_string()) {
+      id = field->as_string();
+    }
+    route_optimize(client, doc, id, line);
+    return true;
+  }
+
+  if (op == "optimize_batch") {
+    std::string id;
+    if (const io::Json* field = doc.find("id");
+        field != nullptr && field->is_string()) {
+      id = field->as_string();
+    }
+    const io::Json* requests = doc.find("requests");
+    if (requests == nullptr || !requests->is_array()) {
+      transport_.send(
+          client->id,
+          serve::error_event("optimize_batch needs a \"requests\" array", id,
+                             "parse")
+              .dump());
+      return true;
+    }
+    const auto& elements = requests->as_array();
+    if (elements.size() > serve::k_max_batch_requests) {
+      transport_.send(
+          client->id,
+          serve::error_event(
+              "optimize_batch exceeds " +
+                  std::to_string(serve::k_max_batch_requests) + " requests",
+              id, "parse")
+              .dump());
+      return true;
+    }
+    transport_.send(client->id,
+                    serve::batch_event(id, elements.size()).dump());
+    for (std::size_t index = 0; index < elements.size(); ++index) {
+      const io::Json& element = elements[index];
+      if (!element.is_object()) {
+        transport_.send(client->id,
+                        serve::error_event("batch element " +
+                                               std::to_string(index) +
+                                               " is not an object",
+                                           id, "parse")
+                            .dump());
+        continue;
+      }
+      // Rebuild the element as a standalone optimize op: elements may
+      // hash to different shards, so the batch cannot be forwarded
+      // whole. Field order is preserved; "op"/"id" land up front.
+      std::string sub_id = id + "/" + std::to_string(index);
+      if (const io::Json* field = element.find("id");
+          field != nullptr && field->is_string()) {
+        sub_id = field->as_string();
+      }
+      io::Json forward_op;
+      forward_op.set("op", "optimize");
+      forward_op.set("id", sub_id);
+      for (const auto& [key, value] : element.as_object()) {
+        if (key == "op" || key == "id") continue;
+        forward_op.set(key, value);
+      }
+      route_optimize(client, forward_op, sub_id, forward_op.dump());
+    }
+    return true;
+  }
+
+  if (op == "cancel") {
+    std::string id;
+    try {
+      id = doc.at("id").as_string();
+    } catch (const std::exception& error) {
+      transport_.send(client->id,
+                      serve::error_event(error.what(), {}, "parse").dump());
+      return true;
+    }
+    std::size_t shard = 0;
+    bool routed = false;
+    {
+      std::lock_guard<std::mutex> lock(client->mutex);
+      const auto route = client->routes.find(id);
+      if (route != client->routes.end()) {
+        shard = route->second;
+        routed = true;
+        client->routes.erase(route);
+      }
+    }
+    if (!routed) {
+      transport_.send(client->id, serve::cancel_event(id, false).dump());
+      return true;
+    }
+    if (!forward(client, shard, line)) shed(client, id, shard);
+    return true;
+  }
+
+  if (op == "stats") {
+    handle_stats(client, line);
+    return true;
+  }
+
+  if (op == "shutdown") {
+    return handle_shutdown(client, line);
+  }
+
+  transport_.send(
+      client->id,
+      serve::error_event("unknown op \"" + op + "\"", {}, "parse").dump());
+  return true;
+}
+
+void Router::route_optimize(const std::shared_ptr<Client>& client,
+                            const io::Json& doc, const std::string& id,
+                            std::string_view line) {
+  const io::Json* instance = doc.find("instance");
+  if (instance == nullptr) {
+    transport_.send(
+        client->id,
+        serve::error_event("optimize needs an \"instance\"", id, "parse")
+            .dump());
+    return;
+  }
+  std::uint64_t print = 0;
+  if (instance->is_string()) {
+    const auto found = names_.find(instance->as_string());
+    if (found == names_.end()) {
+      transport_.send(
+          client->id,
+          serve::error_event("unknown instance \"" + instance->as_string() +
+                                 "\" — register it through this router first",
+                             id, "parse")
+              .dump());
+      return;
+    }
+    print = found->second;
+  } else {
+    try {
+      const io::Instance_document document = io::instance_from_json(*instance);
+      print = io::fingerprint(
+          document.instance,
+          document.precedence ? &*document.precedence : nullptr);
+    } catch (const std::exception& error) {
+      transport_.send(client->id,
+                      serve::error_event(error.what(), id, "parse").dump());
+      return;
+    }
+  }
+  const std::size_t shard = map_.shard_of(print);
+  if (!id.empty()) {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    client->routes[id] = shard;
+  }
+  if (!forward(client, shard, line)) {
+    if (!id.empty()) {
+      std::lock_guard<std::mutex> lock(client->mutex);
+      client->routes.erase(id);
+    }
+    shed(client, id, shard);
+  }
+}
+
+void Router::handle_stats(const std::shared_ptr<Client>& client,
+                          std::string_view line) {
+  std::vector<std::shared_ptr<Link>> members;
+  for (std::size_t shard = 0; shard < options_.backends.size(); ++shard) {
+    if (auto link = link_for(client, shard)) members.push_back(link);
+  }
+  if (members.empty()) {
+    transport_.send(client->id,
+                    serve::error_event("all backend shards are unreachable",
+                                       {}, "overloaded")
+                        .dump());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    if (client->merge_pending > 0) {
+      transport_.send(
+          client->id,
+          serve::error_event("a stats merge is already in flight; retry", {})
+              .dump());
+      return;
+    }
+    client->merge_pending = members.size();
+    client->merge_events.clear();
+    for (const auto& member : members) member->merge_member = true;
+  }
+  for (const auto& member : members) {
+    if (!send_line(member->fd, line)) {
+      // The reader's EOF path retires this link's share of the merge.
+      ::shutdown(member->fd, SHUT_RDWR);
+    }
+  }
+}
+
+bool Router::handle_shutdown(const std::shared_ptr<Client>& client,
+                             std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    client->closing = true;
+  }
+  for (std::size_t shard = 0; shard < options_.backends.size(); ++shard) {
+    const auto link = link_for(client, shard);
+    if (link == nullptr) continue;
+    if (!send_line(link->fd, line)) ::shutdown(link->fd, SHUT_RDWR);
+  }
+  // Backends exit after their shutdown-complete; readers see EOF and
+  // return. Joining here (readers keep forwarding drain-mode results
+  // while we wait) bounds the wait by the fleet's own drain time.
+  teardown_links(client);
+
+  double outstanding = 0;
+  double completed = 0;
+  {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    outstanding = client->shutdown_outstanding;
+    completed = client->shutdown_completed;
+  }
+  io::Json down;
+  down.set("event", "shutting-down");
+  down.set("outstanding", outstanding);
+  transport_.send(client->id, down.dump());
+  io::Json done;
+  done.set("event", "shutdown-complete");
+  done.set("completed", completed);
+  transport_.send(client->id, done.dump());
+
+  shutdown_requested_ = true;
+  transport_.stop();
+  return false;
+}
+
+std::shared_ptr<Router::Link> Router::link_for(
+    const std::shared_ptr<Client>& client, std::size_t shard) {
+  auto& slot = client->links[shard];
+  if (slot != nullptr && !slot->down.load(std::memory_order_acquire)) {
+    return slot;
+  }
+  if (slot != nullptr) {
+    // Dead link: its reader has exited (down is set on the way out);
+    // reap it and try a fresh connection — this is the heal path after
+    // a backend restart.
+    if (slot->reader.joinable()) slot->reader.join();
+    ::close(slot->fd);
+    slot.reset();
+  }
+  const int fd = connect_backend(options_.backends[shard]);
+  if (fd < 0) return nullptr;
+  auto link = std::make_shared<Link>();
+  link->shard = shard;
+  link->fd = fd;
+  link->client = client;
+  link->reader = std::thread([this, link] { reader_loop(link); });
+  slot = link;
+  return link;
+}
+
+bool Router::forward(const std::shared_ptr<Client>& client, std::size_t shard,
+                     std::string_view line) {
+  const auto link = link_for(client, shard);
+  if (link == nullptr) return false;
+  if (!send_line(link->fd, line)) {
+    ::shutdown(link->fd, SHUT_RDWR);
+    return false;
+  }
+  return true;
+}
+
+void Router::shed(const std::shared_ptr<Client>& client, const std::string& id,
+                  std::size_t shard) {
+  transport_.send(
+      client->id,
+      serve::error_event("backend shard " + std::to_string(shard) + " (" +
+                             options_.backends[shard] +
+                             ") is unavailable; retry later",
+                         id, "overloaded")
+          .dump());
+}
+
+void Router::reader_loop(std::shared_ptr<Link> link) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(link->fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const auto newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string_view line(buffer.data() + start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      handle_backend_line(link, line);
+    }
+    buffer.erase(0, start);
+  }
+  link_down(link);
+}
+
+void Router::handle_backend_line(const std::shared_ptr<Link>& link,
+                                 std::string_view line) {
+  const std::shared_ptr<Client>& client = link->client;
+  {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    if (link->merge_member || client->closing) {
+      // Only now is parsing worth it: this line may be a stats event
+      // owed to a merge, or a per-backend shutdown event to fold into
+      // the single pair the router emits.
+      try {
+        io::Json event = io::Json::parse(line);
+        const io::Json* tag = event.find("event");
+        const std::string kind =
+            tag != nullptr && tag->is_string() ? tag->as_string() : "";
+        if (link->merge_member && kind == "stats") {
+          link->merge_member = false;
+          client->merge_events.push_back(std::move(event));
+          if (client->merge_events.size() >= client->merge_pending) {
+            finish_merge_locked(*client);
+          }
+          return;
+        }
+        if (client->closing &&
+            (kind == "shutting-down" || kind == "shutdown-complete")) {
+          const char* field =
+              kind == "shutting-down" ? "outstanding" : "completed";
+          double count = 0;
+          if (const io::Json* value = event.find(field);
+              value != nullptr && value->is_number()) {
+            count = value->as_number();
+          }
+          (kind == "shutting-down" ? client->shutdown_outstanding
+                                   : client->shutdown_completed) += count;
+          return;
+        }
+      } catch (const std::exception&) {
+        // Unparseable backend line: forward verbatim below.
+      }
+    }
+  }
+  const std::string finished = result_event_id(line);
+  if (!finished.empty()) {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    client->routes.erase(finished);
+  }
+  transport_.send(client->id, line);
+}
+
+void Router::link_down(const std::shared_ptr<Link>& link) {
+  if (link->down.exchange(true, std::memory_order_acq_rel)) return;
+  const std::shared_ptr<Client>& client = link->client;
+  std::vector<std::string> failed;
+  {
+    std::lock_guard<std::mutex> lock(client->mutex);
+    for (auto route = client->routes.begin();
+         route != client->routes.end();) {
+      if (route->second == link->shard) {
+        failed.push_back(route->first);
+        route = client->routes.erase(route);
+      } else {
+        ++route;
+      }
+    }
+    if (link->merge_member) {
+      link->merge_member = false;
+      if (client->merge_pending > 0) --client->merge_pending;
+      if (client->merge_pending == 0) {
+        client->merge_events.clear();
+        transport_.send(client->id,
+                        serve::error_event(
+                            "all backend shards dropped during stats merge",
+                            {}, "overloaded")
+                            .dump());
+      } else if (client->merge_events.size() >= client->merge_pending) {
+        finish_merge_locked(*client);
+      }
+    }
+  }
+  for (const std::string& id : failed) {
+    transport_.send(
+        client->id,
+        serve::error_event("backend shard " + std::to_string(link->shard) +
+                               " (" + options_.backends[link->shard] +
+                               ") dropped; request abandoned — retry later",
+                           id, "overloaded")
+            .dump());
+  }
+}
+
+void Router::finish_merge_locked(Client& client) {
+  const io::Json merged =
+      merge_stats_events(client.merge_events, options_.backends.size());
+  client.merge_pending = 0;
+  client.merge_events.clear();
+  transport_.send(client.id, merged.dump());
+}
+
+}  // namespace quest::store

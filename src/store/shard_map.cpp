@@ -1,0 +1,59 @@
+#include "quest/store/shard_map.hpp"
+
+#include <algorithm>
+
+#include "quest/common/error.hpp"
+#include "quest/common/hash.hpp"
+
+namespace quest::store {
+
+namespace {
+
+std::uint64_t ring_point(std::uint64_t shard, std::uint64_t replica) {
+  Fnv1a hash;
+  hash.mix(shard);
+  hash.mix(replica);
+  return hash.digest();
+}
+
+std::uint64_t key_position(std::uint64_t fingerprint) {
+  // One extra mixing round decorrelates the ring positions from raw
+  // fingerprint structure (fingerprints are themselves FNV digests, but
+  // external callers may feed arbitrary 64-bit keys).
+  Fnv1a hash;
+  hash.mix(fingerprint);
+  return hash.digest();
+}
+
+}  // namespace
+
+Shard_map::Shard_map(std::size_t shards, std::size_t replicas)
+    : shards_(shards), replicas_(replicas) {
+  QUEST_EXPECTS(shards >= 1, "shard map needs at least one shard");
+  QUEST_EXPECTS(replicas >= 1, "shard map needs at least one replica");
+  ring_.reserve(shards * replicas);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      ring_.push_back(Point{ring_point(shard, replica),
+                            static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    // Position ties (vanishingly rare) break by shard id so the mapping
+    // stays independent of construction order.
+    return a.position != b.position ? a.position < b.position
+                                    : a.shard < b.shard;
+  });
+}
+
+std::size_t Shard_map::shard_of(std::uint64_t fingerprint) const noexcept {
+  const std::uint64_t position = key_position(fingerprint);
+  const auto successor = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Point& point, std::uint64_t key) {
+        return point.position < key;
+      });
+  return successor != ring_.end() ? successor->shard : ring_.front().shard;
+}
+
+}  // namespace quest::store

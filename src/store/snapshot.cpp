@@ -1,0 +1,426 @@
+#include "quest/store/snapshot.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/hash.hpp"
+#include "quest/io/fingerprint.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/io/json.hpp"
+#include "quest/model/cost_model.hpp"
+
+namespace quest::store {
+
+namespace {
+
+/// Renders a record line: dump the payload, checksum those exact bytes,
+/// then re-dump with "crc" appended last. The loader strips the trailing
+/// "crc" field and re-hashes, so writer and loader agree on the covered
+/// bytes by construction.
+std::string sealed_line(io::Json record) {
+  const std::uint64_t crc = snapshot_checksum(record.dump());
+  record.set("crc", io::Json(hex64(crc)));
+  return record.dump();
+}
+
+/// The payload a record's crc covers: the record minus its "crc" field.
+/// Returns false when there is no "crc" field to strip.
+bool unsealed_payload(const io::Json& record, std::string& payload,
+                      std::uint64_t& stored_crc) {
+  if (!record.is_object()) return false;
+  const io::Json* crc = record.find("crc");
+  if (crc == nullptr || !crc->is_string() || crc->as_string().size() != 16) {
+    return false;
+  }
+  std::uint64_t parsed = 0;
+  for (const char c : crc->as_string()) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    parsed = (parsed << 4) | static_cast<std::uint64_t>(digit);
+  }
+  stored_crc = parsed;
+  io::Json stripped;
+  for (const auto& [key, value] : record.as_object()) {
+    if (key == "crc") continue;
+    stripped.set(key, value);
+  }
+  payload = stripped.dump();
+  return true;
+}
+
+/// Strict 16-digit lower-case hex (the hex64 wire form) -> u64.
+bool parse_hex64(const std::string& text, std::uint64_t& value) {
+  if (text.size() != 16) return false;
+  std::uint64_t parsed = 0;
+  for (const char c : text) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    parsed = (parsed << 4) | static_cast<std::uint64_t>(digit);
+  }
+  value = parsed;
+  return true;
+}
+
+const char* const k_termination_names[] = {
+    "optimal", "completed", "budget-exhausted", "cancelled",
+    "cost-target-reached"};
+const opt::Termination k_terminations[] = {
+    opt::Termination::optimal, opt::Termination::completed,
+    opt::Termination::budget_exhausted, opt::Termination::cancelled,
+    opt::Termination::cost_target_reached};
+
+bool parse_termination(const std::string& text, opt::Termination& result) {
+  for (std::size_t i = 0; i < std::size(k_terminations); ++i) {
+    if (text == k_termination_names[i]) {
+      result = k_terminations[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+io::Json header_record() {
+  io::Json header;
+  header.set("quest_snapshot", io::Json(true));
+  header.set("format_version", io::Json(k_snapshot_format_version));
+  return header;
+}
+
+io::Json plan_to_json(const model::Plan& plan) {
+  io::Json array;
+  for (const model::Service_id id : plan) {
+    array.push_back(io::Json(static_cast<std::size_t>(id)));
+  }
+  return array;
+}
+
+/// Shared fields of exact and warm records (everything but the key).
+void set_plan_fields(io::Json& record, const serve::Cached_plan& value) {
+  record.set("plan", plan_to_json(value.plan));
+  record.set("cost_bits",
+             io::Json(hex64(std::bit_cast<std::uint64_t>(value.cost))));
+  record.set("termination", io::Json(opt::to_string(value.termination)));
+  record.set("proven_optimal", io::Json(value.proven_optimal));
+}
+
+/// Parses and validates the shared plan fields of a cache record.
+/// `instance_sizes` maps fingerprints whose instance is known (from this
+/// snapshot or the pre-existing store) to their service count.
+bool read_plan_fields(
+    const io::Json& record, std::uint64_t fingerprint,
+    const std::unordered_map<std::uint64_t, std::size_t>& instance_sizes,
+    serve::Cached_plan& value) {
+  const io::Json* plan_field = record.find("plan");
+  const io::Json* cost_field = record.find("cost_bits");
+  const io::Json* termination_field = record.find("termination");
+  const io::Json* optimal_field = record.find("proven_optimal");
+  if (plan_field == nullptr || !plan_field->is_array() ||
+      cost_field == nullptr || !cost_field->is_string() ||
+      termination_field == nullptr || !termination_field->is_string() ||
+      optimal_field == nullptr || !optimal_field->is_bool()) {
+    return false;
+  }
+
+  std::vector<model::Service_id> order;
+  order.reserve(plan_field->as_array().size());
+  for (const io::Json& element : plan_field->as_array()) {
+    if (!element.is_number()) return false;
+    const double number = element.as_number();
+    if (number < 0.0 || number != std::floor(number)) return false;
+    order.push_back(static_cast<model::Service_id>(number));
+  }
+  model::Plan plan(std::move(order));
+  // Only complete plans are cacheable; and when the instance behind this
+  // fingerprint is known, the plan must be sized for it.
+  if (plan.empty() || !plan.is_permutation_of(plan.size())) return false;
+  if (const auto known = instance_sizes.find(fingerprint);
+      known != instance_sizes.end() && plan.size() != known->second) {
+    return false;
+  }
+
+  std::uint64_t cost_bits = 0;
+  if (!parse_hex64(cost_field->as_string(), cost_bits)) return false;
+  const double cost = std::bit_cast<double>(cost_bits);
+  if (!std::isfinite(cost) || cost < 0.0) return false;
+
+  opt::Termination termination = opt::Termination::completed;
+  if (!parse_termination(termination_field->as_string(), termination)) {
+    return false;
+  }
+
+  value.plan = std::move(plan);
+  value.cost = cost;
+  value.termination = termination;
+  value.proven_optimal = optimal_field->as_bool();
+  return true;
+}
+
+/// Plain string field accessor; empty optional-style via bool return.
+bool get_string(const io::Json& record, std::string_view key,
+                std::string& out) {
+  const io::Json* field = record.find(key);
+  if (field == nullptr || !field->is_string()) return false;
+  out = field->as_string();
+  return true;
+}
+
+bool get_hex64(const io::Json& record, std::string_view key,
+               std::uint64_t& out) {
+  std::string text;
+  return get_string(record, key, text) && parse_hex64(text, out);
+}
+
+}  // namespace
+
+std::uint64_t snapshot_checksum(std::string_view text) {
+  // FNV-1a over raw bytes (common/hash.hpp folds 8-byte words; records
+  // are text, so the byte-wise classic form is the natural fit here).
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    state ^= static_cast<unsigned char>(c);
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+bool model_key_reproducible(const std::string& model_key, std::size_t n) {
+  const auto slash = model_key.find('/');
+  if (slash == std::string::npos || n == 0) return false;
+  try {
+    const model::Cost_model_spec spec = model::parse_cost_model_spec(
+        std::string_view(model_key).substr(slash + 1),
+        std::string_view(model_key).substr(0, slash));
+    return spec.bind(n).key() == model_key;
+  } catch (const Error&) {
+    // Unparseable key: written by a different build's key schema, or a
+    // model the wire grammar cannot restate (explicit-matrix models).
+    return false;
+  }
+}
+
+Write_report write_snapshot(const std::string& path,
+                            const serve::Instance_store& store,
+                            const serve::Plan_cache& cache) {
+  Write_report report;
+  std::string contents;
+  const auto append = [&](std::string line) {
+    contents += line;
+    contents += '\n';
+    ++report.records;
+  };
+
+  append(sealed_line(header_record()));
+
+  // Instances first: the loader learns fingerprint -> size from them
+  // before it validates the cache records that reference them.
+  for (const auto& entry : store.entries()) {
+    io::Json record;
+    record.set("type", io::Json("instance"));
+    record.set("name", io::Json(entry->name));
+    record.set("fingerprint", io::Json(hex64(entry->fingerprint)));
+    record.set("doc",
+               io::to_json(entry->instance, entry->precedence_ptr()));
+    append(sealed_line(std::move(record)));
+  }
+
+  const serve::Plan_cache::Contents contents_export = cache.contents();
+  for (const auto& [key, value] : contents_export.exact) {
+    io::Json record;
+    record.set("type", io::Json("exact"));
+    record.set("fingerprint", io::Json(hex64(key.fingerprint)));
+    record.set("model_key", io::Json(key.model_key));
+    record.set("engine_spec", io::Json(key.engine_spec));
+    record.set("budget_class", io::Json(key.budget_class));
+    record.set("seed", io::Json(hex64(key.seed)));
+    set_plan_fields(record, value);
+    append(sealed_line(std::move(record)));
+  }
+  for (const auto& warm : contents_export.warm) {
+    io::Json record;
+    record.set("type", io::Json("warm"));
+    record.set("fingerprint", io::Json(hex64(warm.fingerprint)));
+    record.set("model_key", io::Json(warm.model_key));
+    set_plan_fields(record, warm.value);
+    append(sealed_line(std::move(record)));
+  }
+
+  // Atomic rename-into-place: a crash between write and rename leaves
+  // the previous snapshot intact; readers never see a torn file.
+  const std::string temp = path + ".tmp";
+  io::write_file(temp, contents);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw Parse_error("cannot rename snapshot into place: " + path);
+  }
+  report.bytes = contents.size();
+  return report;
+}
+
+Load_report load_snapshot(const std::string& path,
+                          serve::Instance_store& store,
+                          serve::Plan_cache& cache) {
+  Load_report report;
+
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return report;  // cold boot — not an error
+  report.file_found = true;
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    lines.push_back(std::move(line));
+  }
+
+  // A record is admissible only if it parses, checksums, and re-derives
+  // (fingerprint, model key, plan shape) under this build. This lambda
+  // covers the parse + checksum stage shared by header and records.
+  const auto checked_record = [](const std::string& text,
+                                 io::Json& record) -> bool {
+    try {
+      record = io::Json::parse(text);
+    } catch (const Error&) {
+      return false;  // truncated or corrupt JSON
+    }
+    std::string payload;
+    std::uint64_t stored_crc = 0;
+    if (!unsealed_payload(record, payload, stored_crc)) return false;
+    return snapshot_checksum(payload) == stored_crc;
+  };
+
+  // Header: anything less than a bit-exact, current-version header
+  // refuses the entire file, record by record.
+  {
+    io::Json header;
+    bool ok = !lines.empty() && checked_record(lines.front(), header);
+    if (ok) {
+      const io::Json* magic = header.find("quest_snapshot");
+      const io::Json* version = header.find("format_version");
+      ok = magic != nullptr && magic->is_bool() && magic->as_bool() &&
+           version != nullptr && version->is_number() &&
+           version->as_number() ==
+               static_cast<double>(k_snapshot_format_version);
+    }
+    if (!ok) {
+      report.stale_refused += lines.empty() ? 1 : lines.size();
+      return report;
+    }
+    report.header_ok = true;
+  }
+
+  // Fingerprint -> service count for every instance this process can
+  // see, so cache records are validated against real instance sizes.
+  std::unordered_map<std::uint64_t, std::size_t> instance_sizes;
+  for (const auto& entry : store.entries()) {
+    instance_sizes.emplace(entry->fingerprint, entry->instance.size());
+  }
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    io::Json record;
+    if (!checked_record(lines[i], record)) {
+      ++report.stale_refused;
+      continue;
+    }
+    std::string type;
+    if (!get_string(record, "type", type)) {
+      ++report.stale_refused;
+      continue;
+    }
+
+    if (type == "instance") {
+      std::string name;
+      std::uint64_t stored_fingerprint = 0;
+      const io::Json* doc = record.find("doc");
+      if (!get_string(record, "name", name) || name.empty() ||
+          !get_hex64(record, "fingerprint", stored_fingerprint) ||
+          doc == nullptr) {
+        ++report.stale_refused;
+        continue;
+      }
+      try {
+        io::Instance_document document = io::instance_from_json(*doc);
+        const std::uint64_t derived = io::fingerprint(
+            document.instance,
+            document.precedence ? &*document.precedence : nullptr);
+        if (derived != stored_fingerprint) {
+          // This build hashes the instance differently: every cache
+          // entry keyed by the stored fingerprint would be mis-keyed.
+          ++report.stale_refused;
+          continue;
+        }
+        instance_sizes.emplace(derived, document.instance.size());
+        store.put(std::move(name), std::move(document.instance),
+                  std::move(document.precedence));
+        ++report.instances_loaded;
+      } catch (const std::exception&) {
+        ++report.stale_refused;  // malformed instance document
+      }
+      continue;
+    }
+
+    if (type == "exact" || type == "warm") {
+      std::uint64_t fingerprint = 0;
+      std::string model_key;
+      serve::Cached_plan value;
+      if (!get_hex64(record, "fingerprint", fingerprint) ||
+          !get_string(record, "model_key", model_key) ||
+          !read_plan_fields(record, fingerprint, instance_sizes, value) ||
+          !model_key_reproducible(model_key, value.plan.size())) {
+        ++report.stale_refused;
+        continue;
+      }
+      if (type == "warm") {
+        cache.remember_best(fingerprint, model_key, std::move(value));
+        ++report.warm_loaded;
+        continue;
+      }
+      serve::Cache_key key;
+      key.fingerprint = fingerprint;
+      key.model_key = std::move(model_key);
+      if (!get_string(record, "engine_spec", key.engine_spec) ||
+          key.engine_spec.empty() ||
+          !get_string(record, "budget_class", key.budget_class) ||
+          key.budget_class.empty() ||
+          !get_hex64(record, "seed", key.seed)) {
+        ++report.stale_refused;
+        continue;
+      }
+      // A cancelled termination never belongs in the exact tier (the
+      // write side keeps those warm-only); refuse rather than replay
+      // one client's cancellation to future requests.
+      if (value.termination == opt::Termination::cancelled) {
+        ++report.stale_refused;
+        continue;
+      }
+      cache.insert(key, std::move(value));
+      ++report.exact_loaded;
+      continue;
+    }
+
+    ++report.stale_refused;  // unknown record type
+  }
+  return report;
+}
+
+}  // namespace quest::store

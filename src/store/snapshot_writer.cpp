@@ -1,0 +1,105 @@
+#include "quest/store/snapshot_writer.hpp"
+
+#include <utility>
+
+#include "quest/common/error.hpp"
+#include "quest/store/snapshot.hpp"
+
+namespace quest::store {
+
+Snapshot_writer::Snapshot_writer(
+    Snapshot_writer_options options, const serve::Instance_store& store,
+    const serve::Plan_cache& cache,
+    std::shared_ptr<serve::Durability_counters> counters)
+    : options_(std::move(options)),
+      store_(store),
+      cache_(cache),
+      counters_(std::move(counters)),
+      // The construction-time state counts as clean: the canonical
+      // sequence is "load_snapshot, then attach the writer", and
+      // rewriting what was just read would double every boot's I/O.
+      // Anything that mutates after this line marks dirty.
+      clean_store_version_(store.version()),
+      clean_cache_version_(cache.version()) {
+  QUEST_EXPECTS(!options_.path.empty(), "snapshot writer needs a path");
+  QUEST_EXPECTS(options_.interval.count() > 0,
+                "snapshot interval must be positive");
+  thread_ = std::thread([this] { loop(); });
+}
+
+Snapshot_writer::~Snapshot_writer() { stop(); }
+
+void Snapshot_writer::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, options_.interval,
+                   [this] { return stopping_; });
+    if (stopping_) break;
+    flush_locked(/*force=*/false);
+  }
+}
+
+bool Snapshot_writer::flush_locked(bool force) {
+  // Versions are read *before* serializing: a mutation racing the write
+  // bumps the live counter past these, so the next cycle re-persists it.
+  const std::uint64_t store_version = store_.version();
+  const std::uint64_t cache_version = cache_.version();
+  const bool dirty = store_version != clean_store_version_ ||
+                     cache_version != clean_cache_version_;
+  if (!dirty && !force) return false;
+  try {
+    const Write_report report =
+        write_snapshot(options_.path, store_, cache_);
+    clean_store_version_ = store_version;
+    clean_cache_version_ = cache_version;
+    ++writes_;
+    last_error_.clear();
+    if (counters_ != nullptr) {
+      counters_->snapshot_writes.fetch_add(1, std::memory_order_relaxed);
+      counters_->snapshot_bytes.fetch_add(report.bytes,
+                                          std::memory_order_relaxed);
+    }
+    return true;
+  } catch (const std::exception& error) {
+    ++failures_;
+    last_error_ = error.what();
+    return false;
+  }
+}
+
+bool Snapshot_writer::flush(bool force) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flush_locked(force);
+}
+
+void Snapshot_writer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+  // The final flush: whatever changed since the last periodic write
+  // reaches disk before the process exits.
+  flush_locked(/*force=*/false);
+}
+
+std::uint64_t Snapshot_writer::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+std::uint64_t Snapshot_writer::failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+std::string Snapshot_writer::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+}  // namespace quest::store

@@ -1,0 +1,101 @@
+// Shard_map: deterministic cross-process ownership, bounded imbalance at
+// smoke-scale fleets, and the consistent-hashing contract — growing K to
+// K+1 only moves keys onto the new shard, never between old ones.
+
+#include "quest/store/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quest/common/error.hpp"
+#include "quest/common/hash.hpp"
+
+namespace quest {
+namespace {
+
+using store::Shard_map;
+
+std::vector<std::uint64_t> sample_keys(std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Fingerprint-like keys: hashed, not sequential.
+    Fnv1a hash;
+    hash.mix(std::uint64_t{0x9e3779b97f4a7c15ull});
+    hash.mix(static_cast<std::uint64_t>(i));
+    keys.push_back(hash.digest());
+  }
+  return keys;
+}
+
+TEST(Shard_map_test, OwnershipIsDeterministicAndInRange) {
+  const Shard_map a(4), b(4);
+  for (const std::uint64_t key : sample_keys(512)) {
+    const std::size_t shard = a.shard_of(key);
+    EXPECT_LT(shard, 4u);
+    // Two independently constructed maps (a router restart, an external
+    // tool) agree on every owner.
+    EXPECT_EQ(shard, b.shard_of(key));
+  }
+  EXPECT_EQ(a.shards(), 4u);
+  EXPECT_EQ(a.replicas(), 64u);
+}
+
+TEST(Shard_map_test, SingleShardOwnsEverything) {
+  const Shard_map map(1);
+  for (const std::uint64_t key : sample_keys(64)) {
+    EXPECT_EQ(map.shard_of(key), 0u);
+  }
+}
+
+TEST(Shard_map_test, LoadSpreadsAcrossShards) {
+  const Shard_map map(4);
+  std::vector<std::size_t> owned(4, 0);
+  const auto keys = sample_keys(8192);
+  for (const std::uint64_t key : keys) ++owned[map.shard_of(key)];
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    // 64 ring points per shard keep the imbalance moderate; a degenerate
+    // mapping (one shard starved or hogging) fails loudly here.
+    EXPECT_GT(owned[shard], keys.size() / 20) << "shard " << shard;
+    EXPECT_LT(owned[shard], keys.size() / 2) << "shard " << shard;
+  }
+}
+
+TEST(Shard_map_test, GrowthOnlyMovesKeysToTheNewShard) {
+  const Shard_map before(4), after(5);
+  std::size_t moved = 0;
+  const auto keys = sample_keys(4096);
+  for (const std::uint64_t key : keys) {
+    const std::size_t old_owner = before.shard_of(key);
+    const std::size_t new_owner = after.shard_of(key);
+    if (new_owner != old_owner) {
+      // The consistent-hashing contract: a key never migrates between
+      // pre-existing shards — resizing cannot shuffle warm caches among
+      // survivors.
+      EXPECT_EQ(new_owner, 4u) << "key moved between old shards";
+      ++moved;
+    }
+  }
+  // Roughly 1/5 of the space lands on the new shard.
+  EXPECT_GT(moved, keys.size() / 20);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(Shard_map_test, MoreReplicasSmoothTheSplit) {
+  // Not a statistical assertion — just that replica count is honored
+  // and alternate values still produce a total mapping.
+  const Shard_map map(3, 128);
+  EXPECT_EQ(map.replicas(), 128u);
+  for (const std::uint64_t key : sample_keys(64)) {
+    EXPECT_LT(map.shard_of(key), 3u);
+  }
+}
+
+TEST(Shard_map_test, RejectsEmptyConfigurations) {
+  EXPECT_THROW(Shard_map(0), Error);
+  EXPECT_THROW(Shard_map(2, 0), Error);
+}
+
+}  // namespace
+}  // namespace quest

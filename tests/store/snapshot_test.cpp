@@ -1,0 +1,362 @@
+// Snapshot format: round trip of the instance store plus both plan-cache
+// tiers (byte-identical on rewrite), and the refusal rules — bumped
+// format version, truncated and bit-flipped records, tampered model keys
+// and fingerprints, cancelled exact-tier entries — each refused entry by
+// entry without aborting the load.
+
+#include "quest/store/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "quest/io/fingerprint.hpp"
+#include "quest/io/json.hpp"
+#include "quest/model/cost_model.hpp"
+#include "quest/serve/instance_store.hpp"
+#include "quest/serve/plan_cache.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using serve::Cache_key;
+using serve::Cached_plan;
+using serve::Instance_store;
+using serve::Plan_cache;
+
+std::string temp_path(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "quest_snapshot_test_" + name + ".qsnap";
+  std::remove(path.c_str());  // stale files from earlier runs
+  return path;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  for (const auto& line : lines) file << line << '\n';
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(file), {});
+}
+
+/// Replaces one field of a record and recomputes its crc — a forgery
+/// that passes the checksum, to prove the *semantic* refusal rules fire.
+std::string reseal_with(const std::string& line, const std::string& field,
+                        io::Json replacement) {
+  const io::Json record = io::Json::parse(line);
+  io::Json rebuilt;
+  for (const auto& [key, value] : record.as_object()) {
+    if (key == "crc") continue;
+    rebuilt.set(key, key == field ? replacement : value);
+  }
+  rebuilt.set("crc",
+              io::Json(io::hex64(store::snapshot_checksum(rebuilt.dump()))));
+  return rebuilt.dump();
+}
+
+std::size_t line_of_type(const std::vector<std::string>& lines,
+                         const std::string& type) {
+  const std::string tag = "\"type\":\"" + type + "\"";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find(tag) != std::string::npos) return i;
+  }
+  ADD_FAILURE() << "no record of type " << type;
+  return 0;
+}
+
+const std::string sequential_key = model::Cost_model().key();
+
+std::string correlated_key(std::size_t n) {
+  return model::parse_cost_model_spec("correlated:strength=0.5,seed=7",
+                                      "sequential")
+      .bind(n)
+      .key();
+}
+
+/// A store (6- and 5-service instances) and a cache holding two exact
+/// entries (with warm shadows) plus one explicitly-warm cancelled entry.
+struct Fixture {
+  Instance_store store;
+  Plan_cache cache;
+  std::uint64_t alpha = 0;
+  std::uint64_t beta = 0;
+  Cache_key optimal_key;
+  Cache_key budget_key;
+
+  Fixture() {
+    alpha = store.put("alpha", test::selective_instance(6, 1), std::nullopt)
+                ->fingerprint;
+    beta = store.put("beta", test::selective_instance(5, 2), std::nullopt)
+               ->fingerprint;
+    optimal_key =
+        Cache_key{alpha, sequential_key, "bnb", "w:*|t:*|c:0", 3};
+    cache.insert(optimal_key,
+                 Cached_plan{model::Plan({2, 0, 1, 3, 4, 5}), 1.0 / 3.0,
+                             opt::Termination::optimal, true});
+    budget_key =
+        Cache_key{alpha, correlated_key(6), "portfolio", "w:*|t:13|c:0", 0};
+    cache.insert(budget_key,
+                 Cached_plan{model::Plan({0, 1, 2, 3, 4, 5}),
+                             2.718281828459045,
+                             opt::Termination::budget_exhausted, false});
+    cache.remember_best(beta, sequential_key,
+                        Cached_plan{model::Plan({4, 3, 2, 1, 0}), 0.125,
+                                    opt::Termination::cancelled, false});
+  }
+};
+
+// 1 header + 2 instances + 2 exact + 3 warm (each insert() shadows into
+// the warm tier; remember_best adds the third).
+constexpr std::size_t k_fixture_records = 8;
+
+TEST(Snapshot_test, RoundTripIsByteIdenticalAndServesExactHits) {
+  Fixture fixture;
+  const std::string path = temp_path("roundtrip");
+  const store::Write_report written =
+      store::write_snapshot(path, fixture.store, fixture.cache);
+  EXPECT_EQ(written.records, k_fixture_records);
+  EXPECT_GT(written.bytes, 0u);
+  EXPECT_EQ(written.bytes, read_all(path).size());
+
+  Instance_store restored_store;
+  Plan_cache restored_cache;
+  const store::Load_report loaded =
+      store::load_snapshot(path, restored_store, restored_cache);
+  EXPECT_TRUE(loaded.file_found);
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_EQ(loaded.instances_loaded, 2u);
+  EXPECT_EQ(loaded.exact_loaded, 2u);
+  EXPECT_EQ(loaded.warm_loaded, 3u);
+  EXPECT_EQ(loaded.stale_refused, 0u);
+  EXPECT_EQ(loaded.loaded(), 7u);
+
+  // Rewriting the restored state reproduces the snapshot byte for byte:
+  // nothing was lost, reformatted, or reordered across the boot.
+  const std::string path2 = temp_path("roundtrip2");
+  store::write_snapshot(path2, restored_store, restored_cache);
+  EXPECT_EQ(read_all(path), read_all(path2));
+
+  const auto alpha = restored_store.get("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->fingerprint, fixture.alpha);
+  EXPECT_EQ(alpha->instance.size(), 6u);
+  ASSERT_NE(restored_store.get("beta"), nullptr);
+
+  // The exact tier answers with bit-identical costs and plans.
+  const auto optimal = restored_cache.lookup(fixture.optimal_key);
+  ASSERT_TRUE(optimal.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(optimal->cost),
+            std::bit_cast<std::uint64_t>(1.0 / 3.0));
+  EXPECT_EQ(optimal->plan.order(),
+            (std::vector<model::Service_id>{2, 0, 1, 3, 4, 5}));
+  EXPECT_EQ(optimal->termination, opt::Termination::optimal);
+  EXPECT_TRUE(optimal->proven_optimal);
+
+  const auto budget = restored_cache.lookup(fixture.budget_key);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(budget->cost),
+            std::bit_cast<std::uint64_t>(2.718281828459045));
+  EXPECT_FALSE(budget->proven_optimal);
+
+  // The cancelled run came back warm-tier-only, as it went in.
+  const auto best = restored_cache.best_known(fixture.beta, sequential_key);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(best->cost),
+            std::bit_cast<std::uint64_t>(0.125));
+  EXPECT_EQ(best->termination, opt::Termination::cancelled);
+}
+
+TEST(Snapshot_test, MissingFileIsAColdBootNotAnError) {
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(
+      temp_path("never_written"), store, cache);
+  EXPECT_FALSE(report.file_found);
+  EXPECT_FALSE(report.header_ok);
+  EXPECT_EQ(report.loaded(), 0u);
+  EXPECT_EQ(report.stale_refused, 0u);
+}
+
+TEST(Snapshot_test, BumpedFormatVersionRefusesEveryRecord) {
+  Fixture fixture;
+  const std::string path = temp_path("bumped");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  auto lines = read_lines(path);
+  // A well-formed, correctly-checksummed header of the *next* format
+  // generation: the version check alone must refuse the file.
+  lines[0] = reseal_with(lines[0], "format_version",
+                         io::Json(store::k_snapshot_format_version + 1));
+  write_lines(path, lines);
+
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(path, store, cache);
+  EXPECT_TRUE(report.file_found);
+  EXPECT_FALSE(report.header_ok);
+  EXPECT_EQ(report.loaded(), 0u);
+  EXPECT_EQ(report.stale_refused, lines.size());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Snapshot_test, TruncatedRecordIsRefusedAloneWithoutCrashing) {
+  Fixture fixture;
+  const std::string path = temp_path("truncated");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  std::string contents = read_all(path);
+  // Chop mid-record: the final line loses its tail (and its newline).
+  contents.resize(contents.size() - 15);
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file << contents;
+  }
+
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(path, store, cache);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.stale_refused, 1u);
+  EXPECT_EQ(report.instances_loaded, 2u);
+  EXPECT_EQ(report.exact_loaded, 2u);
+  EXPECT_EQ(report.warm_loaded, 2u);  // the chopped record was warm
+}
+
+TEST(Snapshot_test, BitFlippedRecordFailsItsChecksum) {
+  Fixture fixture;
+  const std::string path = temp_path("bitflip");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  auto lines = read_lines(path);
+  const std::size_t target = line_of_type(lines, "instance");
+  // Still valid JSON, one character off: only the checksum catches it.
+  const auto at = lines[target].find("\"name\":\"alpha\"");
+  ASSERT_NE(at, std::string::npos);
+  lines[target][at + 13] = 'b';  // alpha -> alphb
+  write_lines(path, lines);
+
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(path, store, cache);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.stale_refused, 1u);
+  EXPECT_EQ(report.instances_loaded, 1u);
+  EXPECT_EQ(store.get("alpha"), nullptr);
+  ASSERT_NE(store.get("beta"), nullptr);
+  // Cache records referencing the refused instance still load: their
+  // plans cannot be size-checked, but they are intact and well-keyed.
+  EXPECT_EQ(report.exact_loaded, 2u);
+}
+
+TEST(Snapshot_test, UnreproducibleModelKeyIsRefusedDespiteValidCrc) {
+  Fixture fixture;
+  const std::string path = temp_path("modelkey");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  auto lines = read_lines(path);
+  const std::size_t target = line_of_type(lines, "exact");
+  // The forged record checksums perfectly — only the key-reproduction
+  // rule (a changed Cost_model::key() schema) can refuse it.
+  lines[target] = reseal_with(lines[target], "model_key",
+                              io::Json("sequential/independent-v9"));
+  write_lines(path, lines);
+
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(path, store, cache);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.stale_refused, 1u);
+  EXPECT_EQ(report.exact_loaded, 1u);
+  EXPECT_EQ(report.instances_loaded, 2u);
+  EXPECT_EQ(report.warm_loaded, 3u);
+}
+
+TEST(Snapshot_test, MismatchedInstanceFingerprintIsRefused) {
+  Fixture fixture;
+  const std::string path = temp_path("fingerprint");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  auto lines = read_lines(path);
+  const std::size_t target = line_of_type(lines, "instance");
+  lines[target] = reseal_with(lines[target], "fingerprint",
+                              io::Json(io::hex64(fixture.alpha ^ 1)));
+  write_lines(path, lines);
+
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(path, store, cache);
+  EXPECT_EQ(report.stale_refused, 1u);
+  EXPECT_EQ(report.instances_loaded, 1u);
+  EXPECT_EQ(store.get("alpha"), nullptr);
+}
+
+TEST(Snapshot_test, CancelledExactRecordIsRefused) {
+  Fixture fixture;
+  const std::string path = temp_path("cancelled");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  auto lines = read_lines(path);
+  const std::size_t target = line_of_type(lines, "exact");
+  lines[target] =
+      reseal_with(lines[target], "termination", io::Json("cancelled"));
+  write_lines(path, lines);
+
+  Instance_store store;
+  Plan_cache cache;
+  const store::Load_report report = store::load_snapshot(path, store, cache);
+  EXPECT_EQ(report.stale_refused, 1u);
+  EXPECT_EQ(report.exact_loaded, 1u);
+  // Cancelled entries remain legal in the warm tier (the fixture's
+  // remember_best entry), just never as instant exact answers.
+  EXPECT_EQ(report.warm_loaded, 3u);
+}
+
+TEST(Snapshot_test, LoadingTwiceIsIdempotent) {
+  Fixture fixture;
+  const std::string path = temp_path("idempotent");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+
+  Instance_store store;
+  Plan_cache cache;
+  store::load_snapshot(path, store, cache);
+  const store::Load_report again = store::load_snapshot(path, store, cache);
+  EXPECT_EQ(again.stale_refused, 0u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  const auto hit = cache.lookup(fixture.optimal_key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->proven_optimal);
+}
+
+TEST(Snapshot_test, ModelKeyReproducibility) {
+  EXPECT_TRUE(store::model_key_reproducible(sequential_key, 5));
+  EXPECT_TRUE(store::model_key_reproducible(correlated_key(6), 6));
+  EXPECT_FALSE(store::model_key_reproducible("garbage", 5));
+  EXPECT_FALSE(store::model_key_reproducible("", 5));
+  EXPECT_FALSE(store::model_key_reproducible(sequential_key, 0));
+  EXPECT_FALSE(store::model_key_reproducible("bogus/independent", 5));
+  // Explicit-matrix models cannot be restated from their key: refused.
+  EXPECT_FALSE(
+      store::model_key_reproducible("sequential/matrix=deadbeef", 5));
+}
+
+TEST(Snapshot_test, ChecksumIsTheClassicByteWiseFnv1a) {
+  EXPECT_EQ(store::snapshot_checksum(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(store::snapshot_checksum("a"), store::snapshot_checksum("b"));
+  EXPECT_EQ(store::snapshot_checksum("quest"),
+            store::snapshot_checksum("quest"));
+}
+
+}  // namespace
+}  // namespace quest

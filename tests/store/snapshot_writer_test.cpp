@@ -1,0 +1,152 @@
+// Snapshot_writer: version-based dirty tracking (no rewrite of clean
+// state, warm-booted state counts as clean), synchronous and periodic
+// flushes, the final flush on stop(), durability counters, and write
+// failures that are counted rather than thrown.
+
+#include "quest/store/snapshot_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "quest/store/snapshot.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using store::Snapshot_writer;
+using store::Snapshot_writer_options;
+
+std::string temp_path(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "quest_snapshot_writer_test_" + name + ".qsnap";
+  std::remove(path.c_str());  // stale files from earlier runs
+  return path;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).is_open();
+}
+
+Snapshot_writer_options slow_options(const std::string& path) {
+  Snapshot_writer_options options;
+  options.path = path;
+  // Effectively never fires on its own: these tests drive flush()/stop()
+  // explicitly and must not race the background cadence.
+  options.interval = std::chrono::hours(1);
+  return options;
+}
+
+TEST(Snapshot_writer_test, CleanStateIsNeverRewritten) {
+  serve::Instance_store store;
+  serve::Plan_cache cache;
+  const std::string path = temp_path("clean");
+  auto counters = std::make_shared<serve::Durability_counters>();
+  Snapshot_writer writer(slow_options(path), store, cache, counters);
+
+  EXPECT_FALSE(writer.flush());
+  EXPECT_FALSE(file_exists(path));
+
+  store.put("prod", test::selective_instance(6, 1), std::nullopt);
+  EXPECT_TRUE(writer.flush());
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(writer.writes(), 1u);
+  EXPECT_EQ(counters->snapshot_writes.load(), 1u);
+  EXPECT_GT(counters->snapshot_bytes.load(), 0u);
+
+  // Same state again: dirty tracking says no.
+  EXPECT_FALSE(writer.flush());
+  EXPECT_EQ(writer.writes(), 1u);
+  // Unless forced.
+  EXPECT_TRUE(writer.flush(/*force=*/true));
+  EXPECT_EQ(writer.writes(), 2u);
+}
+
+TEST(Snapshot_writer_test, WarmBootedStateCountsAsClean) {
+  serve::Instance_store seed_store;
+  serve::Plan_cache seed_cache;
+  seed_store.put("prod", test::selective_instance(5, 3), std::nullopt);
+  const std::string path = temp_path("warmboot");
+  store::write_snapshot(path, seed_store, seed_cache);
+
+  serve::Instance_store store;
+  serve::Plan_cache cache;
+  store::load_snapshot(path, store, cache);
+  // The canonical boot sequence: load, then attach the writer. What was
+  // just read back must not trigger an immediate rewrite.
+  Snapshot_writer writer(slow_options(path), store, cache);
+  EXPECT_FALSE(writer.flush());
+  EXPECT_EQ(writer.writes(), 0u);
+}
+
+TEST(Snapshot_writer_test, PeriodicFlushPicksUpMutations) {
+  serve::Instance_store store;
+  serve::Plan_cache cache;
+  const std::string path = temp_path("periodic");
+  Snapshot_writer_options options;
+  options.path = path;
+  options.interval = std::chrono::milliseconds(10);
+  Snapshot_writer writer(options, store, cache);
+
+  store.put("prod", test::selective_instance(6, 2), std::nullopt);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (writer.writes() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(writer.writes(), 1u);
+
+  serve::Instance_store restored;
+  serve::Plan_cache restored_cache;
+  const store::Load_report report =
+      store::load_snapshot(path, restored, restored_cache);
+  EXPECT_EQ(report.instances_loaded, 1u);
+  EXPECT_NE(restored.get("prod"), nullptr);
+}
+
+TEST(Snapshot_writer_test, StopFlushesTheFinalState) {
+  serve::Instance_store store;
+  serve::Plan_cache cache;
+  const std::string path = temp_path("stop");
+  Snapshot_writer writer(slow_options(path), store, cache);
+
+  store.put("prod", test::selective_instance(6, 4), std::nullopt);
+  writer.stop();
+  EXPECT_EQ(writer.writes(), 1u);
+  EXPECT_TRUE(file_exists(path));
+  writer.stop();  // idempotent
+  EXPECT_EQ(writer.writes(), 1u);
+
+  serve::Instance_store restored;
+  serve::Plan_cache restored_cache;
+  store::load_snapshot(path, restored, restored_cache);
+  EXPECT_NE(restored.get("prod"), nullptr);
+}
+
+TEST(Snapshot_writer_test, WriteFailuresAreCountedNotThrown) {
+  serve::Instance_store store;
+  serve::Plan_cache cache;
+  Snapshot_writer_options options;
+  options.path = "/nonexistent-quest-dir/state.qsnap";
+  options.interval = std::chrono::hours(1);
+  Snapshot_writer writer(options, store, cache);
+
+  store.put("prod", test::selective_instance(4, 5), std::nullopt);
+  EXPECT_FALSE(writer.flush());
+  EXPECT_GE(writer.failures(), 1u);
+  EXPECT_FALSE(writer.last_error().empty());
+  EXPECT_EQ(writer.writes(), 0u);
+  // The dirty state stays dirty: a later (still failing) flush retries.
+  EXPECT_FALSE(writer.flush());
+  EXPECT_GE(writer.failures(), 2u);
+}
+
+}  // namespace
+}  // namespace quest

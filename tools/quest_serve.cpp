@@ -30,16 +30,52 @@
 // which cancels anything still in flight (every admitted request still
 // receives its result event) and shuts down cleanly. Protocol errors
 // never kill the session; they come back as {"event":"error",...} lines.
+//
+// Durable state (quest/store): with --snapshot-path the process warm
+// boots — restores the instance store and both plan-cache tiers from the
+// snapshot (refusing stale or corrupt records entry by entry) *before*
+// the transport accepts — then snapshots write-behind every
+// --snapshot-interval-ms while serving, and flushes a final snapshot on
+// shutdown. The stats event grows durability counters (snapshot_writes,
+// snapshot_bytes, warm_boot_entries, stale_refused) when persistence is
+// on.
+//
+// SIGTERM and SIGINT trigger the same graceful path as a shutdown op:
+// stop accepting, cancel/drain in-flight work (every admitted request
+// still gets its result), flush the final snapshot, exit 0.
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "quest/common/cli.hpp"
 #include "quest/serve/server.hpp"
 #include "quest/serve/session.hpp"
 #include "quest/serve/tcp_transport.hpp"
 #include "quest/serve/transport.hpp"
+#include "quest/store/snapshot.hpp"
+#include "quest/store/snapshot_writer.hpp"
+
+namespace {
+
+// Self-pipe: the handler does the only async-signal-safe thing (one
+// write); a watcher thread turns the byte into a transport stop on an
+// ordinary thread. Installed without SA_RESTART so stdio's blocking
+// stdin read returns with EINTR instead of resuming.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_terminate_signal(int) {
+  const char byte = 's';
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace quest;
@@ -79,6 +115,15 @@ int main(int argc, char** argv) {
         "write-buffer-bytes", 1 << 20,
         "per-connection outbound buffer cap; a connection above it stops "
         "being read until the client drains (backpressure)");
+    auto& snapshot_path = cli.add_string(
+        "snapshot-path", "",
+        "durable state file: warm boot from it before accepting, snapshot "
+        "to it write-behind while serving, flush it on shutdown (empty = "
+        "no persistence)");
+    auto& snapshot_interval_ms = cli.add_int(
+        "snapshot-interval-ms", 5000,
+        "write-behind snapshot cadence; changed state reaches disk within "
+        "one interval (and always on clean shutdown)");
     cli.parse(argc, argv);
     if (workers.value < 1) throw Parse_error("--workers must be >= 1");
     if (cache_capacity.value < 1) {
@@ -102,7 +147,11 @@ int main(int argc, char** argv) {
     if (write_buffer_bytes.value < 1024) {
       throw Parse_error("--write-buffer-bytes must be >= 1024");
     }
+    if (snapshot_interval_ms.value < 1) {
+      throw Parse_error("--snapshot-interval-ms must be >= 1");
+    }
     const bool tcp = tcp_port.value >= 0;
+    const bool persist = !snapshot_path.value.empty();
 
     serve::Server_options options;
     options.workers = static_cast<std::size_t>(workers.value);
@@ -116,6 +165,32 @@ int main(int argc, char** argv) {
     options.queue_cap = queue_cap.value >= 0
                             ? static_cast<std::size_t>(queue_cap.value)
                             : (tcp ? 1024 : 0);
+    std::shared_ptr<serve::Durability_counters> counters;
+    if (persist) {
+      counters = std::make_shared<serve::Durability_counters>();
+      options.durability = counters;
+    }
+
+    serve::Server server(options);
+
+    // Warm boot + write-behind attach happen before the transport exists,
+    // so the first accepted request already sees the restored store and
+    // cache tiers.
+    std::unique_ptr<store::Snapshot_writer> writer;
+    if (persist) {
+      const store::Load_report report = store::load_snapshot(
+          snapshot_path.value, server.instances(), server.cache());
+      counters->warm_boot_entries.fetch_add(report.loaded(),
+                                            std::memory_order_relaxed);
+      counters->stale_refused.fetch_add(report.stale_refused,
+                                        std::memory_order_relaxed);
+      store::Snapshot_writer_options writer_options;
+      writer_options.path = snapshot_path.value;
+      writer_options.interval =
+          std::chrono::milliseconds(snapshot_interval_ms.value);
+      writer = std::make_unique<store::Snapshot_writer>(
+          writer_options, server.instances(), server.cache(), counters);
+    }
 
     serve::Session_options session_options;
     session_options.max_line_bytes =
@@ -141,14 +216,40 @@ int main(int argc, char** argv) {
       transport = std::make_unique<serve::Stdio_transport>();
     }
 
-    serve::Server server(options);
+    if (::pipe(g_signal_pipe) != 0) {
+      throw Error("quest_serve: cannot create the signal pipe");
+    }
+    struct sigaction action {};
+    action.sa_handler = on_terminate_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    std::thread signal_watcher([&transport] {
+      for (;;) {
+        char byte = 0;
+        const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0 || byte == 'q') break;
+        transport->stop();
+      }
+    });
+
     serve::Session_manager sessions(server, *transport, session_options);
     sessions.serve();
-    // Transport gone (shutdown op, or stdio EOF): cancel in-flight work
-    // and drain. After a shutdown op this is a no-op (already drained);
-    // on EOF it makes "clean exit" the documented behavior rather than a
-    // side effect.
+    {
+      const char quit = 'q';
+      (void)!::write(g_signal_pipe[1], &quit, 1);
+    }
+    signal_watcher.join();
+    // Transport gone (shutdown op, SIGTERM/SIGINT, or stdio EOF): cancel
+    // in-flight work and drain. After a shutdown op this is a no-op
+    // (already drained); on EOF it makes "clean exit" the documented
+    // behavior rather than a side effect.
     server.shutdown();
+    // Final flush: the post-drain state (results just cached, instances
+    // just registered) reaches disk before exit.
+    if (writer != nullptr) writer->stop();
     return 0;
   } catch (const quest::Parse_error& error) {
     std::cerr << "quest_serve: " << error.what() << '\n';
