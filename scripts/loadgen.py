@@ -386,10 +386,21 @@ def persist_phase(args):
                 fail(f"{request_id}: expected a fresh complete result, got {result}")
             costs[r] = result["cost"]
         census = wait_for_snapshot(snapshot, min_exact=repeats)
-        client.send({"op": "stats"})
-        stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
-        if stats.get("snapshot_writes", 0) < 1:
-            fail(f"stats report no snapshot writes despite on-disk state: {stats}")
+        # The file census and the stats counter are updated on different
+        # sides of the snapshot write (rename vs. post-write accounting),
+        # so poll the stats event instead of racing a one-shot check.
+        deadline = time.monotonic() + 30.0
+        while True:
+            client.send({"op": "stats"})
+            stats = client.wait_for(lambda e: e.get("event") == "stats", "stats")
+            if stats.get("snapshot_writes", 0) >= 1:
+                break
+            if time.monotonic() >= deadline:
+                fail(
+                    "stats never reported a snapshot write despite "
+                    f"on-disk state: {stats}"
+                )
+            time.sleep(0.05)
     server.kill()  # kill -9: no drain, no final flush
 
     server = Server(args.binary, flags)

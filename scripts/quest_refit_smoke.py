@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Scripted quest_serve session for the adaptive loop (adapt/refit_smoke).
+
+Drives the real binary over its stdin/stdout protocol and asserts the
+observe -> refit -> re-optimize story end to end:
+
+  register -> optimize under the default model (fresh result) ->
+  20 observe ops whose per-stage tuple counts are synthesized from a
+  hidden *correlated* truth -> refit (independence falsified, fitted
+  matrix model emitted, warm tier seeded under the fitted key) ->
+  optimize under the fitted model: exact-tier MISS (new model key) but
+  warm-tier HIT -> repeat: exact-tier hit -> clean shutdown.
+
+Usage: quest_refit_smoke.py /path/to/quest_serve
+"""
+
+import json
+import queue
+import random
+import subprocess
+import sys
+import threading
+import time
+
+N = 8
+RUNS = 20
+TUPLES = 200_000
+# Hidden pairwise interaction factors the server never sees directly:
+# services 0/1 overlap strongly (gamma 2.2), 2/3 are near-disjoint
+# filters (gamma 0.45), everything else is independent.
+HIDDEN_GAMMA = {(0, 1): 2.2, (2, 3): 0.45}
+
+
+def fail(message, events):
+    print(f"FAIL: {message}", file=sys.stderr)
+    print("--- events seen ---", file=sys.stderr)
+    for event in events[-30:]:
+        print(json.dumps(event), file=sys.stderr)
+    sys.exit(1)
+
+
+def make_instance():
+    services = [
+        {
+            "name": f"WS{i}",
+            "cost": 0.5 + 0.13 * ((i * 7) % 5),
+            "selectivity": 0.35 + 0.06 * ((i * 3) % 7),
+        }
+        for i in range(N)
+    ]
+    transfer = [
+        [0.0 if i == j else 0.2 + 0.01 * ((3 * i + 5 * j) % 17) for j in range(N)]
+        for i in range(N)
+    ]
+    return {"name": "adaptive", "services": services, "transfer": transfer}
+
+
+def gamma(u, w):
+    return HIDDEN_GAMMA.get((min(u, w), max(u, w)), 1.0)
+
+
+def synthesize_observation(plan, selectivities):
+    """Per-stage tuple counts of one execution under the hidden truth."""
+    tuples_in, tuples_out = [], []
+    current = TUPLES
+    for position, u in enumerate(plan):
+        sigma = selectivities[u]
+        for w in plan[:position]:
+            sigma *= gamma(u, w)
+        tuples_in.append(current)
+        current = int(round(current * sigma))
+        tuples_out.append(current)
+    return tuples_in, tuples_out
+
+
+class Session:
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary, "--workers", "2"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+        self.events = []
+        self.queue = queue.Queue()
+        threading.Thread(target=self._read, daemon=True).start()
+
+    def _read(self):
+        for line in self.proc.stdout:
+            line = line.strip()
+            if line:
+                self.queue.put(json.loads(line))
+        self.queue.put(None)
+
+    def send(self, op):
+        self.proc.stdin.write(json.dumps(op) + "\n")
+        self.proc.stdin.flush()
+
+    def wait_for(self, predicate, what, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                fail(f"timed out waiting for {what}", self.events)
+            try:
+                event = self.queue.get(timeout=remaining)
+            except queue.Empty:
+                fail(f"timed out waiting for {what}", self.events)
+            if event is None:
+                fail(f"server exited while waiting for {what}", self.events)
+            self.events.append(event)
+            if event.get("event") == "error" and "error" not in what:
+                fail(f"unexpected error while waiting for {what}: {event}", self.events)
+            if predicate(event):
+                return event
+
+    def wait_result(self, request_id, timeout=60.0):
+        return self.wait_for(
+            lambda e: e.get("event") == "result" and e.get("id") == request_id,
+            f"result of {request_id}",
+            timeout,
+        )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    session = Session(sys.argv[1])
+    instance = make_instance()
+    selectivities = [s["selectivity"] for s in instance["services"]]
+
+    session.send({"op": "register", "name": "adaptive", "instance": instance})
+    session.wait_for(lambda e: e.get("event") == "registered", "registered")
+
+    # Cold optimize under the default (independent) model: fresh result.
+    session.send(
+        {
+            "op": "optimize",
+            "id": "cold",
+            "instance": "adaptive",
+            "optimizer": "bnb",
+            "budget": {"deadline_ms": 30000},
+            "cache": True,
+        }
+    )
+    cold = session.wait_result("cold")
+    if not cold.get("complete") or cold.get("cached") or cold.get("warm_started"):
+        fail(f"cold optimize should be a fresh complete result: {cold}", session.events)
+
+    # Observe RUNS synthetic executions of random plans under the hidden
+    # correlated truth. Deterministic seed: this script IS the replay.
+    rng = random.Random(7)
+    observed = None
+    for _ in range(RUNS):
+        plan = rng.sample(range(N), N)
+        tuples_in, tuples_out = synthesize_observation(plan, selectivities)
+        session.send(
+            {
+                "op": "observe",
+                "instance": "adaptive",
+                "plan": plan,
+                "tuples_in": tuples_in,
+                "tuples_out": tuples_out,
+            }
+        )
+        observed = session.wait_for(
+            lambda e: e.get("event") == "observed", "observed event"
+        )
+    if observed.get("runs") != RUNS:
+        fail(f"expected {RUNS} recorded runs: {observed}", session.events)
+
+    # Refit: independence must be falsified (hidden gammas 2.2 / 0.45),
+    # the fitted model must re-enter through the spec grammar, and the
+    # warm tier must be seeded under the fitted key.
+    session.send(
+        {
+            "op": "refit",
+            "instance": "adaptive",
+            "policy": "sequential",
+            "objective": "mean",
+            "min_samples": 4,
+        }
+    )
+    refit = session.wait_for(lambda e: e.get("event") == "refit", "refit event")
+    if not refit.get("falsified"):
+        fail(f"correlated truth must falsify independence: {refit}", session.events)
+    fitted_model = refit.get("model", "")
+    if not fitted_model.startswith("correlated:matrix="):
+        fail(f"fitted model should be an explicit matrix spec: {refit}", session.events)
+    if not refit.get("warm_seeded"):
+        fail(f"refit should seed the warm tier: {refit}", session.events)
+
+    # First optimize under the fitted model: the model key is new, so the
+    # exact tier must miss — but the refit seeded the warm tier, so the
+    # request must warm-start.
+    session.send(
+        {
+            "op": "optimize",
+            "id": "refit-warm",
+            "instance": "adaptive",
+            "optimizer": "bnb",
+            "model": fitted_model,
+            "policy": "sequential",
+            "budget": {"deadline_ms": 30000},
+            "cache": True,
+        }
+    )
+    warm = session.wait_result("refit-warm")
+    if not warm.get("complete"):
+        fail(f"optimize under the fitted model did not complete: {warm}", session.events)
+    if warm.get("cached"):
+        fail(f"fitted model key must MISS the exact tier: {warm}", session.events)
+    if not warm.get("warm_started"):
+        fail(f"fitted model key must HIT the warm tier: {warm}", session.events)
+    if warm.get("model") != refit.get("model_key"):
+        fail(
+            f"result model key {warm.get('model')} != fitted key "
+            f"{refit.get('model_key')}",
+            session.events,
+        )
+
+    # Same request again: now the exact tier serves it.
+    session.send(
+        {
+            "op": "optimize",
+            "id": "refit-exact",
+            "instance": "adaptive",
+            "optimizer": "bnb",
+            "model": fitted_model,
+            "policy": "sequential",
+            "budget": {"deadline_ms": 30000},
+            "cache": True,
+        }
+    )
+    exact = session.wait_result("refit-exact")
+    if not exact.get("cached"):
+        fail(f"repeat under the fitted model must hit the exact tier: {exact}", session.events)
+    if exact.get("cost") != warm.get("cost"):
+        fail(
+            f"exact-tier cost {exact.get('cost')} != first result "
+            f"{warm.get('cost')}",
+            session.events,
+        )
+
+    session.send({"op": "shutdown"})
+    code = session.proc.wait(timeout=60)
+    if code != 0:
+        fail(f"shutdown exit code {code}", session.events)
+    print(
+        "refit smoke OK: observe -> refit (falsified, warm seeded) -> "
+        "exact miss + warm hit -> exact hit"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+// quest/adapt/model_fitter.hpp
+//
+// Turns an Observation_log into a fitted model::Cost_model_spec — the
+// estimation half of the adaptive loop. Per service, the fitter solves
+// the ridge-regularized least-squares problem whose normal equations the
+// log accumulated,
+//
+//   log sigma_obs(u | S) = log sigma_u + sum_{w in S} log gamma(w, u),
+//
+// with a *confidence gate* per regressor: the pairwise column (w, u)
+// enters the solve only when u was observed both with and without w in
+// its prefix at least `min_pair_samples` times each — otherwise the
+// column is unidentifiable and gamma(w, u) is pinned to 1. The two
+// directed estimates of a pair are averaged in log space (the model's
+// gamma is symmetric), clamped to the model's factor range, and emitted
+// through the existing spec grammar as an explicit `matrix=` correlated
+// model — never by touching the instance's marginal selectivities, so
+// instance fingerprints (and with them both plan-cache tiers) survive a
+// refit unchanged.
+//
+// `independent` is declared statistically falsified when some
+// well-sampled pair's symmetrized |log gamma| exceeds the falsification
+// threshold; on truly independent draws the estimates concentrate at 0
+// and the flag stays off (property-tested in
+// tests/adapt/fitter_property_test.cpp).
+//
+// The cost side estimates a per-service lognormal tail by method of
+// moments (sigma^2 = log(1 + var/mean^2)) and converts it into the
+// mean-relative p95/p99 multipliers of the cost profile. A tail too
+// heavy for a sound multiplier (sigma beyond `max_cost_sigma`) is capped
+// and flagged — the quantile bound degrades gracefully instead of going
+// unsound.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quest/adapt/observation_log.hpp"
+#include "quest/model/cost_model.hpp"
+
+namespace quest::adapt {
+
+struct Fit_options {
+  /// A pairwise column needs this many samples with the pair present AND
+  /// this many with it absent before it is identifiable.
+  std::uint64_t min_pair_samples = 8;
+  /// A service needs this many stage observations before its marginal
+  /// estimate is reported as sampled.
+  std::uint64_t min_marginal_samples = 8;
+  /// Tikhonov ridge added to the normal-equation diagonal.
+  double ridge = 1e-9;
+  /// |log gamma| on a well-sampled pair above this falsifies
+  /// `independent`. exp(0.1) ~ 1.105 — a 10% interaction.
+  double falsify_log_threshold = 0.1;
+  /// Factor clamps of the emitted matrix; defaults match the correlated
+  /// structure's defaults.
+  double clamp_lo = 0.25;
+  double clamp_hi = 4.0;
+  /// Lognormal tail sigmas beyond this are capped (and flagged) before
+  /// the quantile multiplier is formed.
+  double max_cost_sigma = 2.0;
+};
+
+struct Fit_report {
+  std::size_t size = 0;
+
+  /// exp(intercept): the fitted marginal selectivity of each service;
+  /// meaningful only where `marginal_sampled`.
+  std::vector<double> marginal;
+  std::vector<std::uint8_t> marginal_sampled;
+
+  /// Symmetrized, clamped interaction factors (n x n row-major, diagonal
+  /// 1); exactly 1 where the pair never passed a gate.
+  std::vector<double> gamma;
+  std::vector<std::uint8_t> pair_sampled;  ///< n x n, symmetric
+
+  bool independent_falsified = false;
+  /// Largest |log gamma| over sampled pairs (pre-clamp).
+  double max_abs_log_gamma = 0.0;
+
+  /// Per-service realized cost mean and fitted lognormal tail sigma
+  /// (0 where fewer than 2 cost samples exist).
+  std::vector<double> cost_mean;
+  std::vector<double> cost_tail_sigma;
+  bool cost_sigma_capped = false;
+
+  std::uint64_t runs = 0;
+
+  double gamma_at(model::Service_id u, model::Service_id w) const {
+    return gamma[u * size + w];
+  }
+  bool pair_sampled_at(model::Service_id u, model::Service_id w) const {
+    return pair_sampled[u * size + w] != 0;
+  }
+};
+
+class Model_fitter {
+ public:
+  explicit Model_fitter(Fit_options options = {});
+
+  Fit_report fit(const Observation_log& log) const;
+
+  /// The fitted model, expressed through the spec grammar: an explicit
+  /// `matrix=` correlated spec when `independent` was falsified, plain
+  /// `independent` otherwise; under a quantile objective, per-service
+  /// `cost-scale=` multipliers derived from the fitted tails. bind(n)
+  /// of the result is the re-optimization model, and its key() round-
+  /// trips through parse_cost_model_spec (snapshot-reproducible).
+  model::Cost_model_spec to_spec(const Fit_report& report,
+                                 model::Send_policy policy,
+                                 model::Objective objective) const;
+
+  const Fit_options& options() const noexcept { return options_; }
+
+ private:
+  Fit_options options_;
+};
+
+}  // namespace quest::adapt

@@ -1,0 +1,112 @@
+// quest/adapt/observation_log.hpp
+//
+// Streaming execution observations for the adaptive loop (ISSUE 9 /
+// ROADMAP "Adaptive cost models"). Executions — the virtual-clock
+// executor, the discrete-event simulator, or a real deployment — report
+// per-stage tuple counts and per-service cost moments; the log folds them
+// into sufficient statistics for Model_fitter without retaining a single
+// tuple.
+//
+// The statistic behind the selectivity side: under the correlated
+// structure, a stage observation of service u behind the prefix set S
+// satisfies
+//
+//   log sigma_obs(u | S) = log sigma_u + sum_{w in S} log gamma(w, u)
+//
+// which is linear in the unknowns (log sigma_u, log gamma(., u)). The log
+// therefore accumulates, per service, the normal equations of that
+// regression — an (n+1)x(n+1) Gram matrix and right-hand side — plus the
+// co-occurrence counts the fitter's confidence gates read. Memory is
+// O(n^3) doubles total and independent of how many runs are recorded.
+//
+// The cost side keeps per-service first and second moments of realized
+// per-tuple costs (model units), enough for the fitter's lognormal
+// method-of-moments tail estimate.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quest/model/instance.hpp"
+#include "quest/model/plan.hpp"
+
+namespace quest::adapt {
+
+/// Per-service realized-cost moments, in model cost units.
+struct Cost_stats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sq_sum = 0.0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Population variance; 0 until two samples exist.
+  double variance() const noexcept;
+};
+
+class Observation_log {
+ public:
+  /// A log for instances of `service_count` services. All recorded plans
+  /// must be permutations over the same service set; the log does not
+  /// check that they refer to the same instance (callers key logs by
+  /// fingerprint).
+  explicit Observation_log(std::size_t service_count);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Records one executed plan: `tuples_in[p]` / `tuples_out[p]` are the
+  /// tuples consumed / produced by plan position p (runtime::
+  /// Runtime_result::tuples_in/out, sim::Service_metrics likewise). The
+  /// plan may be a prefix of a permutation; positions with zero tuples in
+  /// or out are skipped (the log-ratio is undefined there).
+  void record_run(const model::Plan& plan,
+                  std::span<const std::uint64_t> tuples_in,
+                  std::span<const std::uint64_t> tuples_out);
+
+  /// Folds `count` per-tuple cost samples of service `u` with the given
+  /// sum and sum of squares into the cost moments.
+  void record_cost(model::Service_id u, std::uint64_t count, double sum,
+                   double sq_sum);
+
+  /// Merges another log over the same service set (shard aggregation).
+  void merge(const Observation_log& other);
+
+  /// Stage observations recorded for `u` (runs where u consumed and
+  /// produced tuples).
+  std::uint64_t stage_samples(model::Service_id u) const;
+
+  /// Of u's stage observations, how many had `w` in the prefix.
+  std::uint64_t pair_samples(model::Service_id u,
+                             model::Service_id w) const;
+
+  /// Normal equations of u's log-selectivity regression: an
+  /// (n+1) x (n+1) row-major Gram matrix over the regressor vector
+  /// (1, [0 in S], ..., [n-1 in S]) and the matching A^T b with
+  /// b = log sigma_obs. Column/row u is structurally zero (u is never in
+  /// its own prefix).
+  std::span<const double> normal_matrix(model::Service_id u) const;
+  std::span<const double> normal_rhs(model::Service_id u) const;
+
+  const Cost_stats& cost_stats(model::Service_id u) const;
+
+  /// Total record_run calls folded in (including merged logs).
+  std::uint64_t runs() const noexcept { return runs_; }
+
+ private:
+  std::size_t n_;
+  std::size_t stride_;  ///< n_ + 1 regressors (intercept first)
+  /// Per service: Gram matrix (stride_^2, row-major) and RHS (stride_).
+  std::vector<double> gram_;
+  std::vector<double> rhs_;
+  std::vector<std::uint64_t> stage_samples_;
+  /// Row-major n_ x n_ co-occurrence counts; [u][w] = samples of u with
+  /// w placed before it.
+  std::vector<std::uint64_t> pair_samples_;
+  std::vector<Cost_stats> cost_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace quest::adapt

@@ -1,0 +1,215 @@
+#include "quest/adapt/model_fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "quest/common/error.hpp"
+
+namespace quest::adapt {
+
+using model::Service_id;
+
+namespace {
+
+/// Solves the dense symmetric positive-definite system `a x = b` in
+/// place (Gaussian elimination with partial pivoting; `a` is row-major
+/// k x k). The ridge on the diagonal keeps the gated systems regular.
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b,
+                                std::size_t k) {
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::fabs(a[row * k + col]) > std::fabs(a[pivot * k + col])) {
+        pivot = row;
+      }
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j) {
+        std::swap(a[col * k + j], a[pivot * k + j]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * k + col];
+    QUEST_ASSERT(diag != 0.0, "ridge-regularized system became singular");
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = a[row * k + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < k; ++j) {
+        a[row * k + j] -= factor * a[col * k + j];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(k, 0.0);
+  for (std::size_t row = k; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t j = row + 1; j < k; ++j) {
+      acc -= a[row * k + j] * x[j];
+    }
+    x[row] = acc / a[row * k + row];
+  }
+  return x;
+}
+
+constexpr double k_z_p95 = 1.6448536269514722;
+constexpr double k_z_p99 = 2.3263478740408408;
+
+}  // namespace
+
+Model_fitter::Model_fitter(Fit_options options) : options_(options) {
+  QUEST_EXPECTS(options_.ridge > 0.0, "fitter ridge must be positive");
+  QUEST_EXPECTS(options_.falsify_log_threshold > 0.0,
+                "falsification threshold must be positive");
+  QUEST_EXPECTS(options_.clamp_lo > 0.0 &&
+                    options_.clamp_hi >= options_.clamp_lo,
+                "fitter clamps must satisfy 0 < lo <= hi");
+  QUEST_EXPECTS(options_.max_cost_sigma > 0.0,
+                "max cost sigma must be positive");
+}
+
+Fit_report Model_fitter::fit(const Observation_log& log) const {
+  const std::size_t n = log.size();
+  const std::size_t stride = n + 1;
+
+  Fit_report report;
+  report.size = n;
+  report.runs = log.runs();
+  report.marginal.assign(n, 0.0);
+  report.marginal_sampled.assign(n, 0);
+  report.gamma.assign(n * n, 1.0);
+  report.pair_sampled.assign(n * n, 0);
+  report.cost_mean.assign(n, 0.0);
+  report.cost_tail_sigma.assign(n, 0.0);
+
+  // Directed estimates: log_gamma_dir[u * n + w] is log gamma(w, u) from
+  // u's regression, meaningful only where dir_sampled.
+  std::vector<double> log_gamma_dir(n * n, 0.0);
+  std::vector<std::uint8_t> dir_sampled(n * n, 0);
+
+  for (Service_id u = 0; u < n; ++u) {
+    const std::uint64_t samples = log.stage_samples(u);
+    if (samples == 0) continue;
+
+    // Gate the columns: regressor w is identifiable for u only when u
+    // was seen both with and without w enough times.
+    std::vector<std::size_t> columns;  // indices into the full regressors
+    columns.push_back(0);              // intercept
+    for (Service_id w = 0; w < n; ++w) {
+      if (w == u) continue;
+      const std::uint64_t with = log.pair_samples(u, w);
+      if (with >= options_.min_pair_samples &&
+          samples - with >= options_.min_pair_samples) {
+        columns.push_back(1 + w);
+      }
+    }
+
+    const std::size_t k = columns.size();
+    const auto gram = log.normal_matrix(u);
+    const auto rhs = log.normal_rhs(u);
+    std::vector<double> a(k * k);
+    std::vector<double> b(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      b[i] = rhs[columns[i]];
+      for (std::size_t j = 0; j < k; ++j) {
+        a[i * k + j] = gram[columns[i] * stride + columns[j]];
+      }
+      a[i * k + i] += options_.ridge;
+    }
+    const std::vector<double> x = solve_dense(std::move(a), std::move(b), k);
+
+    if (samples >= options_.min_marginal_samples) {
+      report.marginal[u] = std::exp(x[0]);
+      report.marginal_sampled[u] = 1;
+    }
+    for (std::size_t i = 1; i < k; ++i) {
+      const Service_id w = static_cast<Service_id>(columns[i] - 1);
+      log_gamma_dir[u * n + w] = x[i];
+      dir_sampled[u * n + w] = 1;
+    }
+  }
+
+  // Symmetrize in log space (the model's gamma is symmetric), clamp, and
+  // test the falsification threshold on the well-sampled pairs.
+  for (Service_id u = 0; u < n; ++u) {
+    for (Service_id w = u + 1; w < n; ++w) {
+      const bool uw = dir_sampled[u * n + w] != 0;
+      const bool wu = dir_sampled[w * n + u] != 0;
+      if (!uw && !wu) continue;
+      double log_gamma;
+      if (uw && wu) {
+        log_gamma =
+            0.5 * (log_gamma_dir[u * n + w] + log_gamma_dir[w * n + u]);
+      } else {
+        log_gamma = uw ? log_gamma_dir[u * n + w] : log_gamma_dir[w * n + u];
+      }
+      report.max_abs_log_gamma =
+          std::max(report.max_abs_log_gamma, std::fabs(log_gamma));
+      if (std::fabs(log_gamma) > options_.falsify_log_threshold) {
+        report.independent_falsified = true;
+      }
+      const double gamma = std::clamp(std::exp(log_gamma),
+                                      options_.clamp_lo, options_.clamp_hi);
+      report.gamma[u * n + w] = gamma;
+      report.gamma[w * n + u] = gamma;
+      report.pair_sampled[u * n + w] = 1;
+      report.pair_sampled[w * n + u] = 1;
+    }
+  }
+
+  // Cost tails: lognormal method of moments per service.
+  for (Service_id u = 0; u < n; ++u) {
+    const Cost_stats& stats = log.cost_stats(u);
+    report.cost_mean[u] = stats.mean();
+    if (stats.count < 2 || stats.mean() <= 0.0) continue;
+    const double ratio = stats.variance() / (stats.mean() * stats.mean());
+    double sigma = std::sqrt(std::log1p(ratio));
+    if (sigma > options_.max_cost_sigma) {
+      sigma = options_.max_cost_sigma;
+      report.cost_sigma_capped = true;
+    }
+    report.cost_tail_sigma[u] = sigma;
+  }
+
+  return report;
+}
+
+model::Cost_model_spec Model_fitter::to_spec(const Fit_report& report,
+                                             model::Send_policy policy,
+                                             model::Objective objective) const {
+  const std::size_t n = report.size;
+  QUEST_EXPECTS(n >= 1, "to_spec needs a non-empty fit report");
+
+  model::Cost_model_spec spec;
+  spec.policy = policy;
+  if (report.independent_falsified) {
+    spec.structure = model::Selectivity_structure::correlated;
+    spec.clamp_lo = options_.clamp_lo;
+    spec.clamp_hi = options_.clamp_hi;
+    spec.matrix.reserve(n * (n - 1) / 2);
+    for (Service_id u = 0; u < n; ++u) {
+      for (Service_id w = u + 1; w < n; ++w) {
+        spec.matrix.push_back(report.gamma_at(u, w));
+      }
+    }
+  } else {
+    spec.structure = model::Selectivity_structure::independent;
+  }
+
+  spec.objective = objective;
+  if (objective != model::Objective::mean) {
+    const double z =
+        objective == model::Objective::p95 ? k_z_p95 : k_z_p99;
+    spec.cost_scale.reserve(n);
+    for (Service_id u = 0; u < n; ++u) {
+      const double s = report.cost_tail_sigma[u];
+      // Mean-relative lognormal quantile multiplier, floored at 1 so the
+      // quantile objective never undercuts the mean bound.
+      spec.cost_scale.push_back(
+          std::max(1.0, std::exp(s * z - 0.5 * s * s)));
+    }
+  }
+  return spec;
+}
+
+}  // namespace quest::adapt

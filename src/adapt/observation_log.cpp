@@ -1,0 +1,121 @@
+#include "quest/adapt/observation_log.hpp"
+
+#include <cmath>
+
+#include "quest/common/error.hpp"
+
+namespace quest::adapt {
+
+using model::Plan;
+using model::Service_id;
+
+double Cost_stats::variance() const noexcept {
+  if (count < 2) return 0.0;
+  const double m = mean();
+  const double v = sq_sum / static_cast<double>(count) - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+Observation_log::Observation_log(std::size_t service_count)
+    : n_(service_count), stride_(service_count + 1) {
+  QUEST_EXPECTS(service_count >= 1,
+                "an observation log needs at least one service");
+  gram_.assign(n_ * stride_ * stride_, 0.0);
+  rhs_.assign(n_ * stride_, 0.0);
+  stage_samples_.assign(n_, 0);
+  pair_samples_.assign(n_ * n_, 0);
+  cost_.assign(n_, Cost_stats{});
+}
+
+void Observation_log::record_run(const Plan& plan,
+                                 std::span<const std::uint64_t> tuples_in,
+                                 std::span<const std::uint64_t> tuples_out) {
+  QUEST_EXPECTS(plan.size() <= n_ && tuples_in.size() == plan.size() &&
+                    tuples_out.size() == plan.size(),
+                "record_run: per-stage counts must match the plan length");
+  ++runs_;
+  // Regressor scratch: (1, [w placed]); rebuilt incrementally as the
+  // prefix grows position by position.
+  std::vector<double> x(stride_, 0.0);
+  x[0] = 1.0;
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    const Service_id u = plan[p];
+    QUEST_EXPECTS(u < n_, "record_run: service id out of range");
+    QUEST_EXPECTS(x[1 + u] == 0.0, "record_run: plan repeats a service");
+    if (tuples_in[p] > 0 && tuples_out[p] > 0) {
+      const double y = std::log(static_cast<double>(tuples_out[p]) /
+                                static_cast<double>(tuples_in[p]));
+      double* gram = gram_.data() + u * stride_ * stride_;
+      double* rhs = rhs_.data() + u * stride_;
+      for (std::size_t i = 0; i < stride_; ++i) {
+        if (x[i] == 0.0) continue;
+        rhs[i] += y;
+        for (std::size_t j = 0; j < stride_; ++j) {
+          if (x[j] != 0.0) gram[i * stride_ + j] += 1.0;
+        }
+      }
+      ++stage_samples_[u];
+      for (std::size_t q = 0; q < p; ++q) {
+        ++pair_samples_[u * n_ + plan[q]];
+      }
+    }
+    x[1 + u] = 1.0;
+  }
+}
+
+void Observation_log::record_cost(Service_id u, std::uint64_t count,
+                                  double sum, double sq_sum) {
+  QUEST_EXPECTS(u < n_, "record_cost: service id out of range");
+  QUEST_EXPECTS(std::isfinite(sum) && std::isfinite(sq_sum) &&
+                    sum >= 0.0 && sq_sum >= 0.0,
+                "record_cost: moments must be finite and non-negative");
+  cost_[u].count += count;
+  cost_[u].sum += sum;
+  cost_[u].sq_sum += sq_sum;
+}
+
+void Observation_log::merge(const Observation_log& other) {
+  QUEST_EXPECTS(other.n_ == n_,
+                "merge: logs cover different service counts");
+  for (std::size_t i = 0; i < gram_.size(); ++i) gram_[i] += other.gram_[i];
+  for (std::size_t i = 0; i < rhs_.size(); ++i) rhs_[i] += other.rhs_[i];
+  for (std::size_t i = 0; i < n_; ++i) {
+    stage_samples_[i] += other.stage_samples_[i];
+    cost_[i].count += other.cost_[i].count;
+    cost_[i].sum += other.cost_[i].sum;
+    cost_[i].sq_sum += other.cost_[i].sq_sum;
+  }
+  for (std::size_t i = 0; i < pair_samples_.size(); ++i) {
+    pair_samples_[i] += other.pair_samples_[i];
+  }
+  runs_ += other.runs_;
+}
+
+std::uint64_t Observation_log::stage_samples(Service_id u) const {
+  QUEST_EXPECTS(u < n_, "stage_samples: service id out of range");
+  return stage_samples_[u];
+}
+
+std::uint64_t Observation_log::pair_samples(Service_id u,
+                                            Service_id w) const {
+  QUEST_EXPECTS(u < n_ && w < n_,
+                "pair_samples: service id out of range");
+  return pair_samples_[u * n_ + w];
+}
+
+std::span<const double> Observation_log::normal_matrix(Service_id u) const {
+  QUEST_EXPECTS(u < n_, "normal_matrix: service id out of range");
+  return {gram_.data() + u * stride_ * stride_, stride_ * stride_};
+}
+
+std::span<const double> Observation_log::normal_rhs(Service_id u) const {
+  QUEST_EXPECTS(u < n_, "normal_rhs: service id out of range");
+  return {rhs_.data() + u * stride_, stride_};
+}
+
+const Cost_stats& Observation_log::cost_stats(Service_id u) const {
+  QUEST_EXPECTS(u < n_, "cost_stats: service id out of range");
+  return cost_[u];
+}
+
+}  // namespace quest::adapt

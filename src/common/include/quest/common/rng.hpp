@@ -138,6 +138,15 @@ class Rng {
     return std::exp(normal(mu, sigma));
   }
 
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (inverse CDF);
+  /// mean x_m * alpha / (alpha - 1) when alpha > 1, infinite otherwise.
+  double pareto(double scale, double alpha) {
+    QUEST_EXPECTS(scale > 0.0, "pareto scale must be positive");
+    QUEST_EXPECTS(alpha > 0.0, "pareto shape must be positive");
+    // 1 - uniform() is in (0, 1], so the power is finite.
+    return scale * std::pow(1.0 - uniform(), -1.0 / alpha);
+  }
+
   /// Zipf-distributed rank in [0, n) with exponent `s` >= 0 (s = 0 is
   /// uniform). Uses inverse-CDF over precomputable weights; O(n) per draw,
   /// intended for modest n (workload shaping, not inner loops).

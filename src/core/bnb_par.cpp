@@ -323,7 +323,7 @@ opt::Result Bnb_par_optimizer::optimize(const opt::Request& request) {
                                            request.model));
   }
   const std::vector<Pair_seed> pairs = build_pair_seeds(
-      instance, request.model.policy(), request.precedence);
+      instance, request.model, request.precedence);
   if (options_.search.warm_start) {
     opt::Worker_control main_control(shared, main_stats);
     Search_driver<Shared_incumbent, opt::Worker_control> main_driver(

@@ -15,9 +15,9 @@ Bound_provider::Bound_provider(const model::Instance& instance,
   const bool closure_on =
       config.enable_closure && bounds.has_value() && bounds->hi_sound;
   const bool lower_on = config.enable_lower_bound && bounds.has_value();
-  if (lower_on) lower_.emplace(instance, model.policy(), *bounds);
+  if (lower_on) lower_.emplace(instance, model, *bounds);
   if (closure_on) {
-    ebar_.emplace(instance, model.policy(), std::move(*bounds),
+    ebar_.emplace(instance, model, std::move(*bounds),
                   config.ebar_mode);
   }
 }

@@ -76,7 +76,7 @@ opt::Result Bnb_optimizer::optimize(const opt::Request& request) {
   }
 
   const std::vector<Pair_seed> pairs = build_pair_seeds(
-      instance, request.model.policy(), request.precedence);
+      instance, request.model, request.precedence);
   if (options_.warm_start) driver.greedy_warm_start(pairs);
   stats.pairs_total = pairs.size();
 

@@ -60,7 +60,8 @@ class Epsilon_bar {
   /// branch-and-bound computes them once per optimize() call and shares
   /// them between the gate, this measure and Lower_bound. Precondition:
   /// `bounds.hi_sound`.
-  Epsilon_bar(const model::Instance& instance, model::Send_policy policy,
+  Epsilon_bar(const model::Instance& instance,
+              const model::Cost_model& model,
               model::Selectivity_bounds bounds, Epsilon_bar_mode mode);
 
   /// Upper bound over every not-yet-determined stage term for the partial
@@ -77,6 +78,9 @@ class Epsilon_bar {
   Epsilon_bar_mode mode_;
   /// Upper bounds on the attainable conditional selectivities.
   std::vector<double> sigma_hi_;
+  /// Per-service effective costs under the model's objective (equal to
+  /// the instance costs under the mean objective).
+  std::vector<double> cost_;
   /// True when every sigma_hi_ entry is <= 1 (no amplification possible).
   bool all_hi_selective_;
   /// loose mode: term(c_u, hi_u, max_global_transfer_out_of_u).
@@ -104,7 +108,8 @@ class Lower_bound {
               const model::Cost_model& model);
 
   /// Precomputed-bounds flavor; see the Epsilon_bar counterpart.
-  Lower_bound(const model::Instance& instance, model::Send_policy policy,
+  Lower_bound(const model::Instance& instance,
+              const model::Cost_model& model,
               const model::Selectivity_bounds& bounds);
 
   /// Greatest provable lower bound over the not-yet-determined stage terms
@@ -117,6 +122,8 @@ class Lower_bound {
   model::Send_policy policy_;
   /// Lower bounds on the attainable conditional selectivities.
   std::vector<double> sigma_lo_;
+  /// Per-service effective costs under the model's objective.
+  std::vector<double> cost_;
 };
 
 }  // namespace quest::core

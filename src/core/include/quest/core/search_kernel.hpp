@@ -34,7 +34,7 @@ struct Pair_seed {
 /// pair loop (sorted, so Lemma 1 turns into a global exit) and the
 /// parallel task distribution consume. Empty for instances of size < 2.
 std::vector<Pair_seed> build_pair_seeds(
-    const model::Instance& instance, model::Send_policy policy,
+    const model::Instance& instance, const model::Cost_model& model,
     const constraints::Precedence_graph* precedence);
 
 /// A not-yet-expanded child during node expansion, keyed by the transfer

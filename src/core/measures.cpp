@@ -16,7 +16,7 @@ using model::stage_term;
 
 Epsilon_bar::Epsilon_bar(const Instance& instance, const Cost_model& model,
                          Epsilon_bar_mode mode)
-    : Epsilon_bar(instance, model.policy(),
+    : Epsilon_bar(instance, model,
                   [&] {
                     auto bounds = model.selectivity_bounds(instance);
                     QUEST_EXPECTS(
@@ -28,20 +28,24 @@ Epsilon_bar::Epsilon_bar(const Instance& instance, const Cost_model& model,
                   }(),
                   mode) {}
 
-Epsilon_bar::Epsilon_bar(const Instance& instance, model::Send_policy policy,
+Epsilon_bar::Epsilon_bar(const Instance& instance, const Cost_model& model,
                          model::Selectivity_bounds bounds,
                          Epsilon_bar_mode mode)
-    : instance_(&instance), policy_(policy), mode_(mode) {
+    : instance_(&instance), policy_(model.policy()), mode_(mode) {
   sigma_hi_ = std::move(bounds.hi);
   all_hi_selective_ = bounds.all_hi_selective;
+  const std::size_t n = instance.size();
+  cost_.resize(n);
+  for (Service_id u = 0; u < n; ++u) {
+    cost_[u] = model.effective_cost(instance, u);
+  }
   if (mode_ == Epsilon_bar_mode::loose) {
-    const std::size_t n = instance.size();
     loose_term_bound_.resize(n);
     for (Service_id u = 0; u < n; ++u) {
       const double t_max = instance.max_outgoing_transfer(
           u, [](Service_id) { return true; });
-      const auto& s = instance.service(u);
-      loose_term_bound_[u] = stage_term(s.cost, sigma_hi_[u], t_max, policy_);
+      loose_term_bound_[u] = stage_term(cost_[u], sigma_hi_[u], t_max,
+                                        policy_);
     }
   }
 }
@@ -58,13 +62,12 @@ double Epsilon_bar::evaluate(
   // is already determined by the prefix; its successor will be drawn from
   // `remaining`, so the worst case is the costliest outgoing link.
   const Service_id last = eval.last();
-  const auto& last_service = instance.service(last);
   double t_dangling = 0.0;
   for (const Service_id u : remaining) {
     t_dangling = std::max(t_dangling, instance.transfer(last, u));
   }
   double bound = eval.product_before_last() *
-                 stage_term(last_service.cost, eval.last_selectivity(),
+                 stage_term(cost_[last], eval.last_selectivity(),
                             t_dangling, policy_);
 
   // Amplification product over the remaining set (only > 1 when some
@@ -74,7 +77,6 @@ double Epsilon_bar::evaluate(
 
   for (std::size_t i = 0; i < remaining.size(); ++i) {
     const Service_id u = remaining[i];
-    const auto& s = instance.service(u);
 
     double term_bound;
     if (mode_ == Epsilon_bar_mode::loose) {
@@ -86,7 +88,7 @@ double Epsilon_bar::evaluate(
       for (const Service_id v : remaining) {
         if (v != u) t_max = std::max(t_max, instance.transfer(u, v));
       }
-      term_bound = stage_term(s.cost, sigma_hi_[u], t_max, policy_);
+      term_bound = stage_term(cost_[u], sigma_hi_[u], t_max, policy_);
     }
 
     double amplification = 1.0;
@@ -117,11 +119,20 @@ Lower_bound::Lower_bound(const Instance& instance, const Cost_model& model)
                 "the admissible lower bound needs selectivity bounds from "
                 "the cost model");
   sigma_lo_ = std::move(bounds->lo);
+  cost_.resize(instance.size());
+  for (Service_id u = 0; u < instance.size(); ++u) {
+    cost_[u] = model.effective_cost(instance, u);
+  }
 }
 
-Lower_bound::Lower_bound(const Instance& instance, model::Send_policy policy,
+Lower_bound::Lower_bound(const Instance& instance, const Cost_model& model,
                          const model::Selectivity_bounds& bounds)
-    : instance_(&instance), policy_(policy), sigma_lo_(bounds.lo) {}
+    : instance_(&instance), policy_(model.policy()), sigma_lo_(bounds.lo) {
+  cost_.resize(instance.size());
+  for (Service_id u = 0; u < instance.size(); ++u) {
+    cost_[u] = model.effective_cost(instance, u);
+  }
+}
 
 double Lower_bound::evaluate(
     const Partial_plan_evaluator& eval,
@@ -134,13 +145,12 @@ double Lower_bound::evaluate(
   // Dangling term: the last placed service must forward to something in
   // the remaining set; its conditional selectivity is already fixed.
   const Service_id last = eval.last();
-  const auto& last_service = instance.service(last);
   double t_dangling = std::numeric_limits<double>::infinity();
   for (const Service_id u : remaining) {
     t_dangling = std::min(t_dangling, instance.transfer(last, u));
   }
   double bound = eval.product_before_last() *
-                 stage_term(last_service.cost, eval.last_selectivity(),
+                 stage_term(cost_[last], eval.last_selectivity(),
                             t_dangling, policy_);
 
   // Smallest possible selectivity attenuation between the plan's end and
@@ -150,7 +160,6 @@ double Lower_bound::evaluate(
   // the bound — admissibility is what keeps the search exact.
   const double product_through = eval.product_through();
   for (const Service_id u : remaining) {
-    const auto& s = instance.service(u);
     double t_min = instance.sink_transfer(u);  // u may be placed last
     double shrink = 1.0;
     for (const Service_id v : remaining) {
@@ -160,7 +169,7 @@ double Lower_bound::evaluate(
     }
     bound = std::max(bound,
                      product_through * shrink *
-                         stage_term(s.cost, sigma_lo_[u], t_min, policy_));
+                         stage_term(cost_[u], sigma_lo_[u], t_min, policy_));
   }
   return bound;
 }

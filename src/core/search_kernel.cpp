@@ -6,8 +6,9 @@
 namespace quest::core {
 
 std::vector<Pair_seed> build_pair_seeds(
-    const model::Instance& instance, model::Send_policy policy,
+    const model::Instance& instance, const model::Cost_model& model,
     const constraints::Precedence_graph* precedence) {
+  const model::Send_policy policy = model.policy();
   const std::size_t n = instance.size();
   std::vector<Pair_seed> pairs;
   if (n < 2) return pairs;
@@ -24,7 +25,8 @@ std::vector<Pair_seed> build_pair_seeds(
                         [a](model::Service_id p) { return p == a; });
         if (!ok) continue;
       }
-      pairs.push_back({model::stage_term(sa.cost, sa.selectivity,
+      pairs.push_back({model::stage_term(model.effective_cost(instance, a),
+                                         sa.selectivity,
                                          instance.transfer(a, b), policy),
                        a, b});
     }

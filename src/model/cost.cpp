@@ -14,6 +14,7 @@ double bottleneck_cost(const Instance& instance, const Plan& plan,
   model.validate_for(instance);
   const Send_policy policy = model.policy();
   const bool independent = model.is_independent();
+  const bool scaled = model.has_cost_profile();
   const auto& order = plan.order();
   const std::size_t n = order.size();
   double product = 1.0;
@@ -25,10 +26,11 @@ double bottleneck_cost(const Instance& instance, const Plan& plan,
         independent ? s.selectivity
                     : model.conditional_selectivity(
                           instance, id, std::span(order.data(), p));
+    const double cost = scaled ? s.cost * model.cost_scale(id) : s.cost;
     const double transfer = p + 1 < n ? instance.transfer(id, order[p + 1])
                                       : instance.sink_transfer(id);
     worst = std::max(worst,
-                     product * stage_term(s.cost, sigma, transfer, policy));
+                     product * stage_term(cost, sigma, transfer, policy));
     product *= sigma;
   }
   return worst;
@@ -48,6 +50,7 @@ Cost_breakdown cost_breakdown(const Instance& instance, const Plan& plan,
   model.validate_for(instance);
   const Send_policy policy = model.policy();
   const bool independent = model.is_independent();
+  const bool scaled = model.has_cost_profile();
   Cost_breakdown result;
   const auto& order = plan.order();
   const std::size_t n = order.size();
@@ -64,10 +67,11 @@ Cost_breakdown cost_breakdown(const Instance& instance, const Plan& plan,
                           instance, id, std::span(order.data(), p));
     const double transfer = p + 1 < n ? instance.transfer(id, order[p + 1])
                                       : instance.sink_transfer(id);
+    const double cost = scaled ? s.cost * model.cost_scale(id) : s.cost;
     result.input_fractions[p] = product;
     result.stage_selectivities[p] = sigma;
     result.stage_costs[p] =
-        product * stage_term(s.cost, sigma, transfer, policy);
+        product * stage_term(cost, sigma, transfer, policy);
     product *= sigma;
   }
   const auto it =
@@ -112,10 +116,9 @@ void Partial_plan_evaluator::append(Service_id id) {
     frame.product_before = prev.product_through;
     // Appending fixes the previous last service's successor, determining
     // its stage term.
-    const Service& last_service = instance_->service(prev.id);
     const double fixed =
         prev.product_before *
-        stage_term(last_service.cost, prev.sigma,
+        stage_term(model_.effective_cost(*instance_, prev.id), prev.sigma,
                    instance_->transfer(prev.id, id), model_.policy());
     if (fixed > prev.epsilon_after) {
       frame.epsilon_after = fixed;
@@ -174,19 +177,17 @@ double Partial_plan_evaluator::term_if_appended(Service_id next) const {
   QUEST_EXPECTS(next < instance_->size(), "service id out of range");
   QUEST_EXPECTS(!in_plan_.test(next), "candidate already in the partial plan");
   const Frame& top = frames_.back();
-  const Service& last_service = instance_->service(top.id);
   return top.product_before *
-         stage_term(last_service.cost, top.sigma,
+         stage_term(model_.effective_cost(*instance_, top.id), top.sigma,
                     instance_->transfer(top.id, next), model_.policy());
 }
 
 double Partial_plan_evaluator::complete_cost() const {
   QUEST_EXPECTS(full(), "complete_cost() requires a full plan");
   const Frame& top = frames_.back();
-  const Service& last_service = instance_->service(top.id);
   const double final_term =
       top.product_before *
-      stage_term(last_service.cost, top.sigma,
+      stage_term(model_.effective_cost(*instance_, top.id), top.sigma,
                  instance_->sink_transfer(top.id), model_.policy());
   return std::max(top.epsilon_after, final_term);
 }

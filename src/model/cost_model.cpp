@@ -41,6 +41,27 @@ void validate_clamps(double clamp_lo, double clamp_hi) {
                 "correlation clamps must satisfy 0 <= clamp-lo <= clamp-hi");
 }
 
+/// Standard normal quantiles for the supported tail objectives.
+constexpr double k_z_p95 = 1.6448536269514722;
+constexpr double k_z_p99 = 2.3263478740408408;
+
+/// Mean-relative q-quantile of the tail family: the factor that turns a
+/// service's mean cost into its q-quantile cost. Floored at 1 so a
+/// quantile objective never prices a service below its mean (for very
+/// heavy lognormal tails the mean exceeds the q-quantile).
+double quantile_scale(Objective objective, Cost_tail tail, double param) {
+  const double q = objective == Objective::p95 ? 0.95 : 0.99;
+  if (tail == Cost_tail::pareto) {
+    // Pareto(alpha, x_min): mean alpha*x_min/(alpha-1), quantile
+    // x_min*(1-q)^(-1/alpha); the ratio is alpha-only.
+    return std::max(
+        1.0, (param - 1.0) / param * std::pow(1.0 - q, -1.0 / param));
+  }
+  const double z = objective == Objective::p95 ? k_z_p95 : k_z_p99;
+  // Lognormal(mu, s): mean exp(mu + s^2/2), quantile exp(mu + s*z_q).
+  return std::max(1.0, std::exp(param * z - 0.5 * param * param));
+}
+
 }  // namespace
 
 const char* to_string(Send_policy policy) noexcept {
@@ -57,6 +78,36 @@ Send_policy parse_send_policy(std::string_view text) {
 const char* to_string(Selectivity_structure structure) noexcept {
   return structure == Selectivity_structure::independent ? "independent"
                                                          : "correlated";
+}
+
+const char* to_string(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::p95:
+      return "p95";
+    case Objective::p99:
+      return "p99";
+    default:
+      return "mean";
+  }
+}
+
+Objective parse_objective(std::string_view text) {
+  if (text == "mean") return Objective::mean;
+  if (text == "p95") return Objective::p95;
+  if (text == "p99") return Objective::p99;
+  throw Parse_error("objective must be 'mean', 'p95' or 'p99', got '" +
+                    std::string(text) + "'");
+}
+
+const char* to_string(Cost_tail tail) noexcept {
+  switch (tail) {
+    case Cost_tail::pareto:
+      return "pareto";
+    case Cost_tail::lognormal:
+      return "lognormal";
+    default:
+      return "none";
+  }
 }
 
 Cost_model Cost_model::independent(Send_policy policy) {
@@ -134,6 +185,57 @@ Cost_model Cost_model::with_policy(Send_policy policy) const {
   return model;
 }
 
+Cost_model Cost_model::with_cost_tail(Objective objective, Cost_tail tail,
+                                      double param) const {
+  QUEST_EXPECTS(objective != Objective::mean,
+                "a cost tail needs a quantile objective (p95/p99)");
+  QUEST_EXPECTS(tail != Cost_tail::none,
+                "with_cost_tail needs a tail family (pareto/lognormal)");
+  QUEST_EXPECTS(std::isfinite(param), "cost tail parameter must be finite");
+  if (tail == Cost_tail::pareto) {
+    QUEST_EXPECTS(param > 1.0,
+                  "Pareto cost-alpha must exceed 1: below that the mean is "
+                  "infinite and no sound quantile-to-mean scale exists");
+  } else {
+    QUEST_EXPECTS(param > 0.0, "lognormal cost-sigma must be positive");
+  }
+  auto profile = std::make_shared<Cost_profile>();
+  profile->objective = objective;
+  profile->scales = {quantile_scale(objective, tail, param)};
+  profile->params = std::string("objective=") + to_string(objective) +
+                    ",cost-tail=" + to_string(tail) +
+                    (tail == Cost_tail::pareto ? ",cost-alpha=" :
+                                                 ",cost-sigma=") +
+                    fmt_double(param);
+  Cost_model model = *this;
+  model.profile_ = std::move(profile);
+  return model;
+}
+
+Cost_model Cost_model::with_cost_scales(Objective objective,
+                                        std::vector<double> scales) const {
+  QUEST_EXPECTS(objective != Objective::mean,
+                "explicit cost scales need a quantile objective (p95/p99)");
+  QUEST_EXPECTS(!scales.empty(),
+                "cost scales need one entry (uniform) or one per service");
+  for (const double scale : scales) {
+    QUEST_EXPECTS(std::isfinite(scale) && scale > 0.0,
+                  "cost scales must be finite and positive");
+  }
+  auto profile = std::make_shared<Cost_profile>();
+  profile->objective = objective;
+  profile->params = std::string("objective=") + to_string(objective) +
+                    ",cost-scale=";
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    if (i != 0) profile->params += '|';
+    profile->params += fmt_double(scales[i]);
+  }
+  profile->scales = std::move(scales);
+  Cost_model model = *this;
+  model.profile_ = std::move(profile);
+  return model;
+}
+
 const Matrix<double>* Cost_model::interaction() const noexcept {
   return correlation_ == nullptr ? nullptr : &correlation_->gamma;
 }
@@ -205,12 +307,20 @@ std::optional<Selectivity_bounds> Cost_model::selectivity_bounds(
 }
 
 void Cost_model::validate_for(const Instance& instance) const {
-  if (correlation_ == nullptr) return;
-  QUEST_EXPECTS(correlation_->gamma.rows() == instance.size(),
-                "cost model's correlation matrix is sized for " +
-                    std::to_string(correlation_->gamma.rows()) +
-                    " services, instance has " +
-                    std::to_string(instance.size()));
+  if (correlation_ != nullptr) {
+    QUEST_EXPECTS(correlation_->gamma.rows() == instance.size(),
+                  "cost model's correlation matrix is sized for " +
+                      std::to_string(correlation_->gamma.rows()) +
+                      " services, instance has " +
+                      std::to_string(instance.size()));
+  }
+  if (profile_ != nullptr && profile_->scales.size() != 1) {
+    QUEST_EXPECTS(profile_->scales.size() == instance.size(),
+                  "cost model's cost scales are sized for " +
+                      std::to_string(profile_->scales.size()) +
+                      " services, instance has " +
+                      std::to_string(instance.size()));
+  }
 }
 
 std::string Cost_model::key() const {
@@ -218,16 +328,24 @@ std::string Cost_model::key() const {
   key += '/';
   if (correlation_ == nullptr) {
     key += "independent";
+    if (profile_ != nullptr) key += ':' + profile_->params;
   } else {
     key += "correlated:" + correlation_->params +
            ",clamp-lo=" + fmt_double(correlation_->clamp_lo) +
            ",clamp-hi=" + fmt_double(correlation_->clamp_hi);
+    if (profile_ != nullptr) key += ',' + profile_->params;
   }
   return key;
 }
 
 bool operator==(const Cost_model& a, const Cost_model& b) {
   if (a.policy_ != b.policy_) return false;
+  if ((a.profile_ == nullptr) != (b.profile_ == nullptr)) return false;
+  if (a.profile_ != nullptr && a.profile_ != b.profile_ &&
+      (a.profile_->objective != b.profile_->objective ||
+       a.profile_->scales != b.profile_->scales)) {
+    return false;
+  }
   if ((a.correlation_ == nullptr) != (b.correlation_ == nullptr)) {
     return false;
   }
@@ -241,20 +359,90 @@ bool operator==(const Cost_model& a, const Cost_model& b) {
 
 // ---- Cost_model_spec -------------------------------------------------
 
-Cost_model Cost_model_spec::bind(std::size_t n) const {
-  if (structure == Selectivity_structure::independent) {
-    return Cost_model::independent(policy);
+namespace {
+
+std::string join_scales(const std::vector<double>& values) {
+  std::string joined;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) joined += '|';
+    joined += fmt_double(values[i]);
   }
-  return Cost_model::correlated_seeded(n, strength, seed, policy, clamp_lo,
-                                       clamp_hi);
+  return joined;
+}
+
+/// The objective-key suffix of a spec's canonical text; empty for mean.
+std::string objective_suffix(const Cost_model_spec& spec) {
+  if (spec.objective == Objective::mean) return {};
+  std::string suffix =
+      std::string("objective=") + to_string(spec.objective);
+  if (!spec.cost_scale.empty()) {
+    suffix += ",cost-scale=" + join_scales(spec.cost_scale);
+    return suffix;
+  }
+  suffix += std::string(",cost-tail=") + to_string(spec.cost_tail);
+  suffix += spec.cost_tail == Cost_tail::pareto
+                ? ",cost-alpha=" + fmt_double(spec.cost_alpha)
+                : ",cost-sigma=" + fmt_double(spec.cost_sigma);
+  return suffix;
+}
+
+}  // namespace
+
+Cost_model Cost_model_spec::bind(std::size_t n) const {
+  Cost_model model;
+  if (structure == Selectivity_structure::independent) {
+    model = Cost_model::independent(policy);
+  } else if (!matrix.empty()) {
+    const std::size_t expected = n * (n - 1) / 2;
+    if (matrix.size() != expected) {
+      throw Parse_error(
+          "cost model matrix holds " + std::to_string(matrix.size()) +
+          " upper-triangle entries; a " + std::to_string(n) +
+          "-service instance needs " + std::to_string(expected));
+    }
+    Matrix<double> gamma = Matrix<double>::square(n, 1.0);
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        gamma(i, j) = matrix[at];
+        gamma(j, i) = matrix[at];
+        ++at;
+      }
+    }
+    model = Cost_model::correlated(std::move(gamma), policy, clamp_lo,
+                                   clamp_hi);
+  } else {
+    model = Cost_model::correlated_seeded(n, strength, seed, policy,
+                                          clamp_lo, clamp_hi);
+  }
+  if (objective == Objective::mean) return model;
+  if (!cost_scale.empty()) {
+    if (cost_scale.size() != 1 && cost_scale.size() != n) {
+      throw Parse_error(
+          "cost-scale holds " + std::to_string(cost_scale.size()) +
+          " entries; expected 1 (uniform) or " + std::to_string(n) +
+          " (one per service)");
+    }
+    return model.with_cost_scales(objective, cost_scale);
+  }
+  return model.with_cost_tail(
+      objective, cost_tail,
+      cost_tail == Cost_tail::pareto ? cost_alpha : cost_sigma);
 }
 
 std::string Cost_model_spec::to_string() const {
-  if (structure == Selectivity_structure::independent) return "independent";
-  return "correlated:strength=" + fmt_double(strength) +
-         ",seed=" + std::to_string(seed) +
-         ",clamp-lo=" + fmt_double(clamp_lo) +
-         ",clamp-hi=" + fmt_double(clamp_hi);
+  const std::string suffix = objective_suffix(*this);
+  if (structure == Selectivity_structure::independent) {
+    return suffix.empty() ? "independent" : "independent:" + suffix;
+  }
+  std::string text = "correlated:";
+  text += matrix.empty() ? "strength=" + fmt_double(strength) +
+                               ",seed=" + std::to_string(seed)
+                         : "matrix=" + join_scales(matrix);
+  text += ",clamp-lo=" + fmt_double(clamp_lo) +
+          ",clamp-hi=" + fmt_double(clamp_hi);
+  if (!suffix.empty()) text += ',' + suffix;
+  return text;
 }
 
 const std::vector<std::string>& Cost_model_spec::structure_names() {
@@ -264,8 +452,9 @@ const std::vector<std::string>& Cost_model_spec::structure_names() {
 }
 
 const std::vector<std::string>& Cost_model_spec::option_keys() {
-  static const std::vector<std::string> keys = {"strength", "seed",
-                                                "clamp-lo", "clamp-hi"};
+  static const std::vector<std::string> keys = {
+      "strength",  "seed",       "clamp-lo",   "clamp-hi",  "matrix",
+      "objective", "cost-tail",  "cost-alpha", "cost-sigma", "cost-scale"};
   return keys;
 }
 
@@ -295,6 +484,22 @@ std::uint64_t parse_uint_value(std::string_view key, std::string_view text) {
   return value;
 }
 
+/// '|'-separated finite doubles ("0.8|1.25|1"); at least one entry.
+std::vector<double> parse_double_list(std::string_view key,
+                                      std::string_view text) {
+  std::vector<double> values;
+  std::string_view rest = text;
+  for (;;) {
+    const auto bar = rest.find('|');
+    const std::string_view piece =
+        bar == std::string_view::npos ? rest : rest.substr(0, bar);
+    values.push_back(parse_double_value(key, piece));
+    if (bar == std::string_view::npos) break;
+    rest = rest.substr(bar + 1);
+  }
+  return values;
+}
+
 }  // namespace
 
 Cost_model_spec parse_cost_model_spec(std::string_view model_text,
@@ -314,19 +519,21 @@ Cost_model_spec parse_cost_model_spec(std::string_view model_text,
     }
   }
   if (name == "independent") {
-    if (!options_text.empty()) {
-      throw Parse_error("the independent cost model takes no options");
-    }
-    return spec;
-  }
-  if (name != "correlated") {
+    spec.structure = Selectivity_structure::independent;
+  } else if (name == "correlated") {
+    spec.structure = Selectivity_structure::correlated;
+  } else {
     throw Parse_error("unknown cost model '" + std::string(name) +
                       "' (expected independent or correlated)");
   }
-  spec.structure = Selectivity_structure::correlated;
+  const bool independent =
+      spec.structure == Selectivity_structure::independent;
 
   std::string_view rest = options_text;
   std::vector<std::string> seen;
+  const auto saw = [&seen](std::string_view key) {
+    return std::find(seen.begin(), seen.end(), key) != seen.end();
+  };
   while (!rest.empty()) {
     const auto comma = rest.find(',');
     const std::string_view piece =
@@ -345,10 +552,19 @@ Cost_model_spec parse_cost_model_spec(std::string_view model_text,
     }
     const std::string key(piece.substr(0, eq));
     const std::string_view value = piece.substr(eq + 1);
-    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+    if (saw(key)) {
       throw Parse_error("duplicate cost model option '" + key + "'");
     }
     seen.push_back(key);
+    const bool structure_key = key == "strength" || key == "seed" ||
+                               key == "clamp-lo" || key == "clamp-hi" ||
+                               key == "matrix";
+    if (independent && structure_key) {
+      throw Parse_error("the independent cost model takes only objective "
+                        "options (objective, cost-tail, cost-alpha, "
+                        "cost-sigma, cost-scale), not '" +
+                        key + "'");
+    }
     if (key == "strength") {
       spec.strength = parse_double_value(key, value);
       if (spec.strength < 0.0) {
@@ -360,14 +576,91 @@ Cost_model_spec parse_cost_model_spec(std::string_view model_text,
       spec.clamp_lo = parse_double_value(key, value);
     } else if (key == "clamp-hi") {
       spec.clamp_hi = parse_double_value(key, value);
+    } else if (key == "matrix") {
+      spec.matrix = parse_double_list(key, value);
+      for (const double factor : spec.matrix) {
+        if (factor < 0.0) {
+          throw Parse_error(
+              "cost model matrix factors must be non-negative");
+        }
+      }
+    } else if (key == "objective") {
+      spec.objective = parse_objective(value);
+    } else if (key == "cost-tail") {
+      if (value == "pareto") {
+        spec.cost_tail = Cost_tail::pareto;
+      } else if (value == "lognormal") {
+        spec.cost_tail = Cost_tail::lognormal;
+      } else {
+        throw Parse_error("cost-tail must be 'pareto' or 'lognormal', "
+                          "got '" + std::string(value) + "'");
+      }
+    } else if (key == "cost-alpha") {
+      spec.cost_alpha = parse_double_value(key, value);
+    } else if (key == "cost-sigma") {
+      spec.cost_sigma = parse_double_value(key, value);
+    } else if (key == "cost-scale") {
+      spec.cost_scale = parse_double_list(key, value);
+      for (const double scale : spec.cost_scale) {
+        if (scale <= 0.0) {
+          throw Parse_error("cost-scale entries must be positive");
+        }
+      }
     } else {
       throw Parse_error("cost model has no option '" + key +
-                        "' (valid: strength, seed, clamp-lo, clamp-hi)");
+                        "' (valid: strength, seed, clamp-lo, clamp-hi, "
+                        "matrix, objective, cost-tail, cost-alpha, "
+                        "cost-sigma, cost-scale)");
     }
   }
   if (spec.clamp_lo < 0.0 || spec.clamp_lo > spec.clamp_hi) {
     throw Parse_error(
         "cost model clamps must satisfy 0 <= clamp-lo <= clamp-hi");
+  }
+  if (!spec.matrix.empty() && (saw("strength") || saw("seed"))) {
+    throw Parse_error(
+        "cost model matrix= replaces the seeded matrix; it cannot be "
+        "combined with strength= or seed=");
+  }
+
+  // Objective grammar: mean admits no distribution keys; a quantile
+  // objective needs exactly one source of scales (a tail family or
+  // explicit scales), and tail parameters must match their family.
+  if (spec.objective == Objective::mean) {
+    for (const char* key :
+         {"cost-tail", "cost-alpha", "cost-sigma", "cost-scale"}) {
+      if (saw(key)) {
+        throw Parse_error(std::string("cost model option '") + key +
+                          "' needs objective=p95 or objective=p99");
+      }
+    }
+    return spec;
+  }
+  if (saw("cost-tail") && saw("cost-scale")) {
+    throw Parse_error(
+        "a quantile objective takes either cost-tail or cost-scale, "
+        "not both");
+  }
+  if (!saw("cost-tail") && !saw("cost-scale")) {
+    throw Parse_error("objective=" + std::string(to_string(spec.objective)) +
+                      " needs a cost distribution: cost-tail=pareto|"
+                      "lognormal (with cost-alpha/cost-sigma) or an "
+                      "explicit cost-scale=");
+  }
+  if (saw("cost-alpha") && spec.cost_tail != Cost_tail::pareto) {
+    throw Parse_error("cost-alpha applies only with cost-tail=pareto");
+  }
+  if (saw("cost-sigma") && spec.cost_tail != Cost_tail::lognormal) {
+    throw Parse_error("cost-sigma applies only with cost-tail=lognormal");
+  }
+  if (spec.cost_tail == Cost_tail::pareto && spec.cost_alpha <= 1.0) {
+    throw Parse_error(
+        "Pareto cost-alpha must exceed 1: at or below 1 the mean cost is "
+        "infinite, so no sound quantile bound exists (cap the fitted "
+        "alpha above 1 or switch to cost-scale=)");
+  }
+  if (spec.cost_tail == Cost_tail::lognormal && spec.cost_sigma <= 0.0) {
+    throw Parse_error("lognormal cost-sigma must be positive");
   }
   return spec;
 }

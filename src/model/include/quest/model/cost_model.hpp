@@ -73,6 +73,34 @@ enum class Selectivity_structure {
 /// "independent" / "correlated".
 const char* to_string(Selectivity_structure structure) noexcept;
 
+/// What the optimizer minimizes when per-service costs are distributions
+/// rather than constants. `mean` is the paper's Eq. 1 (expected per-tuple
+/// cost); the quantile objectives replace each service's mean cost with
+/// its tail quantile, a per-service constant factor — prefix-independent,
+/// so every bound and lemma evaluates unchanged on the scaled costs.
+enum class Objective {
+  mean,
+  p95,
+  p99,
+};
+
+/// "mean" / "p95" / "p99".
+const char* to_string(Objective objective) noexcept;
+
+/// Parses "mean" / "p95" / "p99"; throws Parse_error otherwise.
+Objective parse_objective(std::string_view text);
+
+/// Tail family of a per-service cost distribution whose quantile the
+/// model scales by (matching the workload generators' families).
+enum class Cost_tail {
+  none,       ///< constant costs — no distribution attached
+  pareto,     ///< Pareto(alpha) around the service's mean cost
+  lognormal,  ///< lognormal with log-space sigma around the mean cost
+};
+
+/// "none" / "pareto" / "lognormal".
+const char* to_string(Cost_tail tail) noexcept;
+
 /// Per-service bounds on the conditional selectivity attainable under any
 /// prefix set (see Cost_model::selectivity_bounds). The lower bounds are
 /// always finite (shrinking factors only); the upper bounds can overflow
@@ -126,6 +154,44 @@ class Cost_model {
   Send_policy policy() const noexcept { return policy_; }
   /// Same selectivity structure under a different send policy.
   Cost_model with_policy(Send_policy policy) const;
+
+  /// Same model optimizing a tail quantile of per-service cost
+  /// distributions: every service's cost is scaled by the mean-relative
+  /// q-quantile of the tail family (q = 0.95 or 0.99). `objective` must
+  /// be p95/p99 and `tail` pareto/lognormal; `param` is Pareto's alpha
+  /// (must exceed 1 — below that the mean is infinite and no sound
+  /// quantile-to-mean scale exists) or the lognormal log-space sigma
+  /// (must be positive). The scale is floored at 1: a quantile objective
+  /// never prices a service below its mean.
+  Cost_model with_cost_tail(Objective objective, Cost_tail tail,
+                            double param) const;
+
+  /// Same model under explicit per-service cost scales (e.g. fitted
+  /// quantile/mean ratios). `scales` holds one entry (uniform) or one per
+  /// service, each finite and positive; `objective` must be p95/p99.
+  Cost_model with_cost_scales(Objective objective,
+                              std::vector<double> scales) const;
+
+  /// The active objective; `mean` when no cost profile is attached.
+  Objective objective() const noexcept {
+    return profile_ == nullptr ? Objective::mean : profile_->objective;
+  }
+  bool has_cost_profile() const noexcept { return profile_ != nullptr; }
+
+  /// The multiplicative cost scale of service `u` (1 under `mean`).
+  double cost_scale(Service_id u) const noexcept {
+    if (profile_ == nullptr) return 1.0;
+    const auto& scales = profile_->scales;
+    return scales.size() == 1 ? scales.front() : scales[u];
+  }
+
+  /// The cost the active objective charges for service `u`: the
+  /// instance's (mean) cost times the profile scale. Every evaluator and
+  /// bound reads costs through this — the scales are prefix-independent
+  /// constants, so Lemmas 1-3 and both bounds stay sound unchanged.
+  double effective_cost(const Instance& instance, Service_id u) const {
+    return instance.service(u).cost * cost_scale(u);
+  }
 
   Selectivity_structure structure() const noexcept {
     return correlation_ == nullptr ? Selectivity_structure::independent
@@ -182,8 +248,18 @@ class Cost_model {
     std::string params;
   };
 
+  struct Cost_profile {
+    Objective objective = Objective::mean;
+    /// One entry (uniform) or one per service; finite and positive.
+    std::vector<double> scales;
+    /// Canonical spec fragment, e.g. "objective=p95,cost-tail=pareto,
+    /// cost-alpha=2.5" or "objective=p99,cost-scale=1.5|2".
+    std::string params;
+  };
+
   Send_policy policy_ = Send_policy::sequential;
   std::shared_ptr<const Correlation> correlation_;
+  std::shared_ptr<const Cost_profile> profile_;
 };
 
 /// Instance-agnostic textual description of a cost model — what travels
@@ -198,17 +274,33 @@ struct Cost_model_spec {
   std::uint64_t seed = 1;
   double clamp_lo = Cost_model::default_clamp_lo;
   double clamp_hi = Cost_model::default_clamp_hi;
+  /// Explicit interaction matrix as its strict upper triangle in row-major
+  /// order ('|'-separated on the wire); empty = seeded random matrix. This
+  /// is how fitted models travel through the spec grammar. bind(n)
+  /// requires exactly n*(n-1)/2 entries.
+  std::vector<double> matrix;
+  /// Objective over per-service cost distributions (valid on both
+  /// structures); p95/p99 need exactly one of cost-tail or cost-scale.
+  Objective objective = Objective::mean;
+  Cost_tail cost_tail = Cost_tail::none;
+  double cost_alpha = 2.0;  ///< Pareto tail index (cost-tail=pareto)
+  double cost_sigma = 1.0;  ///< log-space sigma (cost-tail=lognormal)
+  /// Explicit per-service cost scales ('|'-separated): one entry
+  /// (uniform) or one per service; empty = derive from cost-tail.
+  std::vector<double> cost_scale;
 
   Cost_model bind(std::size_t n) const;
 
   /// Canonical spec text (without the policy): "independent" or
-  /// "correlated:strength=...,seed=...,clamp-lo=...,clamp-hi=...".
+  /// "correlated:strength=...,seed=...,clamp-lo=...,clamp-hi=...", plus
+  /// the objective keys when an objective other than mean is set.
   std::string to_string() const;
 
   /// The documented structure names ("independent", "correlated").
   static const std::vector<std::string>& structure_names();
-  /// The documented correlated option keys ("strength", "seed",
-  /// "clamp-lo", "clamp-hi").
+  /// The documented option keys ("strength", "seed", "clamp-lo",
+  /// "clamp-hi", "matrix", "objective", "cost-tail", "cost-alpha",
+  /// "cost-sigma", "cost-scale").
   static const std::vector<std::string>& option_keys();
 
   friend bool operator==(const Cost_model_spec&,
@@ -218,7 +310,9 @@ struct Cost_model_spec {
 /// Parses "independent" or "correlated[:key=value,...]" plus a policy
 /// name into a spec. Grammar mirrors the optimizer registry
 /// ("name[:key=value,key=value]"); unknown structures, unknown keys,
-/// malformed pairs and out-of-range values throw Parse_error.
+/// malformed pairs and out-of-range values throw Parse_error. The
+/// independent structure accepts only the objective keys ("objective",
+/// "cost-tail", "cost-alpha", "cost-sigma", "cost-scale").
 Cost_model_spec parse_cost_model_spec(std::string_view model_text,
                                       std::string_view policy_text =
                                           "sequential");

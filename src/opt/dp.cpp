@@ -85,7 +85,9 @@ Result Dp_optimizer::optimize(const Request& request) {
         // Appending u fixes j's stage term.
         const double fixed =
             prod[without_j] *
-            stage_term(sj.cost, sigma_j,
+            stage_term(cost_model.effective_cost(
+                           instance, static_cast<Service_id>(j)),
+                       sigma_j,
                        instance.transfer(static_cast<Service_id>(j),
                                          static_cast<Service_id>(u)),
                        policy);
@@ -122,7 +124,9 @@ Result Dp_optimizer::optimize(const Request& request) {
                           instance, static_cast<Service_id>(j), without_j);
     const double final_term =
         prod[without_j] *
-        stage_term(sj.cost, sigma_j,
+        stage_term(cost_model.effective_cost(
+                       instance, static_cast<Service_id>(j)),
+                   sigma_j,
                    instance.sink_transfer(static_cast<Service_id>(j)),
                    policy);
     const double cost = std::max(current, final_term);

@@ -143,7 +143,9 @@ Result Frontier_optimizer::optimize(const Request& request) {
     if (entry.mask == full) {
       const double final_term =
           product_before_last *
-          stage_term(last_service.cost, sigma_last,
+          stage_term(cost_model.effective_cost(
+                         instance, static_cast<Service_id>(entry.last)),
+                     sigma_last,
                      instance.sink_transfer(
                          static_cast<Service_id>(entry.last)),
                      policy);
@@ -158,7 +160,9 @@ Result Frontier_optimizer::optimize(const Request& request) {
       if (!contains_all(entry.mask, pred_mask[u])) continue;
       const double fixed =
           product_before_last *
-          stage_term(last_service.cost, sigma_last,
+          stage_term(cost_model.effective_cost(
+                         instance, static_cast<Service_id>(entry.last)),
+                     sigma_last,
                      instance.transfer(static_cast<Service_id>(entry.last),
                                        static_cast<Service_id>(u)),
                      policy);

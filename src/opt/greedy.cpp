@@ -48,7 +48,8 @@ Result Greedy_optimizer::optimize(const Request& request) {
           if (!ok) continue;
         }
         const double term =
-            stage_term(sa.cost, sa.selectivity, instance.transfer(a, b),
+            stage_term(request.model.effective_cost(instance, a),
+                       sa.selectivity, instance.transfer(a, b),
                        request.model.policy());
         if (term < best_term) {
           best_term = term;
@@ -122,7 +123,8 @@ Result Uniform_comm_optimizer::optimize(const Request& request) {
   std::vector<double> gamma(n);
   for (Service_id u = 0; u < n; ++u) {
     const auto& s = instance.service(u);
-    gamma[u] = stage_term(s.cost, s.selectivity, t_bar,
+    gamma[u] = stage_term(request.model.effective_cost(instance, u),
+                          s.selectivity, t_bar,
                           request.model.policy());
   }
 

@@ -50,27 +50,46 @@ Shared_model_keys parse_shared_keys(const Spec_options& options) {
   // model::parse_cost_model_spec — the same rules quest_cli --model and
   // the serve protocol apply. Parse_error becomes the registry's usual
   // Precondition_error, prefixed with the engine for context.
-  const bool has_params =
+  const bool has_structure_params =
       options.has("model-strength") || options.has("model-seed") ||
-      options.has("model-clamp-lo") || options.has("model-clamp-hi");
+      options.has("model-clamp-lo") || options.has("model-clamp-hi") ||
+      options.has("model-matrix");
+  const bool has_profile_params =
+      options.has("model-objective") || options.has("model-cost-tail") ||
+      options.has("model-cost-alpha") || options.has("model-cost-sigma") ||
+      options.has("model-cost-scale");
   std::string model_text = options.get_string("model", "independent");
+  std::string suffix;
+  const auto append_option = [&](const char* shared, const char* own) {
+    if (!options.has(shared)) return;
+    suffix += suffix.empty() ? ":" : ",";
+    suffix += std::string(own) + "=" + options.get_string(shared, "");
+  };
   if (model_text == "correlated") {
-    std::string suffix;
-    for (const auto& [shared, own] :
-         {std::pair<const char*, const char*>{"model-strength", "strength"},
-          {"model-seed", "seed"},
-          {"model-clamp-lo", "clamp-lo"},
-          {"model-clamp-hi", "clamp-hi"}}) {
-      if (!options.has(shared)) continue;
-      suffix += suffix.empty() ? ":" : ",";
-      suffix += std::string(own) + "=" + options.get_string(shared, "");
-    }
-    model_text += suffix;
+    append_option("model-strength", "strength");
+    append_option("model-seed", "seed");
+    append_option("model-clamp-lo", "clamp-lo");
+    append_option("model-clamp-hi", "clamp-hi");
+    append_option("model-matrix", "matrix");
   } else {
-    QUEST_EXPECTS(!has_params,
+    QUEST_EXPECTS(!has_structure_params,
                   "optimizer '" + options.engine() +
-                      "' spec uses model-* keys without model=correlated");
+                      "' spec uses correlated-only model-* keys without "
+                      "model=correlated");
   }
+  // The cost-profile keys apply to either structure, but only make sense
+  // as part of an explicit model override — without model= they would
+  // silently replace the request's model with a default-built one.
+  QUEST_EXPECTS(!has_profile_params || options.has("model"),
+                "optimizer '" + options.engine() +
+                    "' spec uses model-objective/model-cost-* keys "
+                    "without model=");
+  append_option("model-objective", "objective");
+  append_option("model-cost-tail", "cost-tail");
+  append_option("model-cost-alpha", "cost-alpha");
+  append_option("model-cost-sigma", "cost-sigma");
+  append_option("model-cost-scale", "cost-scale");
+  model_text += suffix;
   try {
     const model::Cost_model_spec spec = model::parse_cost_model_spec(
         model_text, options.get_string("policy", "sequential"));
@@ -327,8 +346,10 @@ std::unique_ptr<Optimizer> Registry::make(std::string_view spec) const {
 
 const std::vector<std::string>& Registry::shared_option_keys() {
   static const std::vector<std::string> keys = {
-      "policy",        "model",          "model-strength",
-      "model-seed",    "model-clamp-lo", "model-clamp-hi"};
+      "policy",           "model",           "model-strength",
+      "model-seed",       "model-clamp-lo",  "model-clamp-hi",
+      "model-matrix",     "model-objective", "model-cost-tail",
+      "model-cost-alpha", "model-cost-sigma", "model-cost-scale"};
   return keys;
 }
 

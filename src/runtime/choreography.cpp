@@ -24,6 +24,7 @@ Runtime_result execute(const model::Instance& instance,
   QUEST_EXPECTS(config.time_scale_us > 0.0, "time scale must be positive");
   QUEST_EXPECTS(config.queue_capacity_blocks >= 1,
                 "queue capacity must be >= 1");
+  config.model.validate_for(instance);
 
   const auto clock = make_execution_clock(config.clock_mode);
   return run_batched(instance, plan, config, *clock);

@@ -55,6 +55,7 @@ struct Service_task {
   double acc = 0.0;          ///< deterministic selectivity accumulator
   std::uint64_t out_buffer = 0;
   double busy_us = 0.0;
+  std::uint64_t tuples_in = 0;
   std::uint64_t tuples_out = 0;
 };
 
@@ -186,6 +187,7 @@ class Engine {
       if (task.timeline_us < block.ready_us) {
         task.timeline_us = block.ready_us;
       }
+      task.tuples_in += block.count;
       for (std::uint64_t i = 0; i < block.count; ++i) {
         work(task, task.cost_us);
         task.acc += task.selectivity;
@@ -230,11 +232,15 @@ Runtime_result run_batched(const Instance& instance, const Plan& plan,
                            const Runtime_config& config,
                            Execution_clock& clock) {
   const std::size_t n = plan.size();
+  // Conditional selectivity of each stage given the services before it —
+  // equal to the marginal under the default independent model.
+  const std::vector<double> stage_sigma =
+      config.model.stage_selectivities(instance, plan);
   std::vector<Service_task> tasks(n);
   for (std::size_t p = 0; p < n; ++p) {
     const auto& s = instance.service(plan[p]);
     tasks[p].cost_us = s.cost * config.time_scale_us;
-    tasks[p].selectivity = s.selectivity;
+    tasks[p].selectivity = stage_sigma[p];
     const double t = p + 1 < n ? instance.transfer(plan[p], plan[p + 1])
                                : instance.sink_transfer(plan[p]);
     tasks[p].transfer_us = t * config.time_scale_us;
@@ -252,12 +258,17 @@ Runtime_result run_batched(const Instance& instance, const Plan& plan,
   result.per_tuple_cost_units =
       run_us /
       (static_cast<double>(config.input_tuples) * config.time_scale_us);
-  result.predicted_cost = model::bottleneck_cost(instance, plan);
+  result.predicted_cost =
+      model::bottleneck_cost(instance, plan, config.model);
   result.tuples_delivered = engine.delivered();
   result.busy_fraction.reserve(n);
+  result.tuples_in.reserve(n);
+  result.tuples_out.reserve(n);
   for (const auto& task : engine.tasks()) {
     result.busy_fraction.push_back(run_us > 0.0 ? task.busy_us / run_us
                                                 : 0.0);
+    result.tuples_in.push_back(task.tuples_in);
+    result.tuples_out.push_back(task.tuples_out);
   }
   return result;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
 #include "quest/model/instance.hpp"
 #include "quest/model/plan.hpp"
 #include "quest/runtime/clock.hpp"
@@ -62,6 +63,13 @@ struct Runtime_config {
   std::size_t worker_count = 0;
   /// Which clock drives the run (see quest/runtime/clock.hpp).
   Clock_mode clock_mode = Clock_mode::real;
+  /// The world the tuples actually live in. Under a correlated model each
+  /// stage thins at its *conditional* selectivity given the services
+  /// before it (Cost_model::stage_selectivities), so executions exhibit
+  /// the correlations the adaptive loop is meant to recover; the default
+  /// independent model reproduces the historical behavior bit for bit.
+  /// `predicted_cost` is evaluated under this model too.
+  model::Cost_model model;
 };
 
 struct Runtime_result {
@@ -79,6 +87,12 @@ struct Runtime_result {
   std::uint64_t tuples_delivered = 0;
   /// Per plan position: busy fraction of the run.
   std::vector<double> busy_fraction;
+  /// Per plan position: tuples consumed / produced by the stage — the
+  /// observable the adaptive loop feeds to adapt::Observation_log
+  /// (tuples_out[p] / tuples_in[p] estimates the stage's conditional
+  /// selectivity).
+  std::vector<std::uint64_t> tuples_in;
+  std::vector<std::uint64_t> tuples_out;
 };
 
 /// Executes `plan` on the batched executor with the clock selected by

@@ -16,6 +16,12 @@
 //   {"op":"optimize_batch","id":"b1","requests":[{...optimize fields,
 //    "id" optional (defaults to "b1/0","b1/1",...)...},...]}
 //   {"op":"cancel","id":"r1"}
+//   {"op":"observe","instance":"prod" | {...inline doc...},
+//    "plan":[...], "tuples_in":[...], "tuples_out":[...],
+//    "cost_count":[...]?,"cost_sum":[...]?,"cost_sq_sum":[...]?}
+//   {"op":"refit","instance":"prod" | {...inline doc...},
+//    "policy":"sequential","objective":"mean"|"p95"|"p99",
+//    "min_samples":8?}
 //   {"op":"stats"}
 //   {"op":"shutdown","drain":true|false}
 //
@@ -30,6 +36,10 @@
 //    "proven_optimal":...,"cached":...,"warm_started":...,
 //    "elapsed_seconds":...,"stats":{...},"execution":{...}?}
 //   {"event":"cancel-requested","id":...,"found":...}
+//   {"event":"observed","fingerprint":...,"runs":...,"plans":...}
+//   {"event":"refit","fingerprint":...,"model":...,"model_key":...,
+//    "falsified":...,"runs":...,"max_abs_log_gamma":...,
+//    "warm_seeded":...,"warm_cost":...?}
 //   {"event":"batch-admitted","id":...,"count":...}
 //   {"event":"stats", ...counters...}
 //   {"event":"shutting-down","outstanding":...} then
@@ -111,6 +121,36 @@ struct Cancel_op {
   std::string id;
 };
 
+/// {"op":"observe"} — fold one execution's per-stage tuple counts (and
+/// optional per-service cost moments) into the server's observation log
+/// for the instance; the streaming substrate of the adaptive loop (see
+/// quest/adapt/observation_log.hpp). `tuples_in`/`tuples_out` are per
+/// plan position; the cost arrays, when present, are per service id and
+/// all of length n.
+struct Observe_op {
+  std::string instance_name;
+  std::optional<io::Instance_document> inline_instance;
+  model::Plan plan;
+  std::vector<std::uint64_t> tuples_in;
+  std::vector<std::uint64_t> tuples_out;
+  std::vector<std::uint64_t> cost_count;
+  std::vector<double> cost_sum;
+  std::vector<double> cost_sq_sum;
+};
+
+/// {"op":"refit"} — fit a cost model from the instance's observation log
+/// (adapt::Model_fitter) and seed the warm-start cache tier under the
+/// fitted model's key, so the first optimize under the fitted model is
+/// an exact-tier miss that warm-starts from the best observed plan.
+struct Refit_op {
+  std::string instance_name;
+  std::optional<io::Instance_document> inline_instance;
+  model::Send_policy policy = model::Send_policy::sequential;
+  model::Objective objective = model::Objective::mean;
+  /// 0 keeps the fitter's default confidence gates.
+  std::uint64_t min_samples = 0;
+};
+
 /// {"op":"stats"} — ask for a counters snapshot event.
 struct Stats_op {};
 
@@ -122,7 +162,7 @@ struct Shutdown_op {
 };
 
 using Op = std::variant<Register_op, Optimize_op, Batch_op, Cancel_op,
-                        Stats_op, Shutdown_op>;
+                        Observe_op, Refit_op, Stats_op, Shutdown_op>;
 
 /// The most elements one optimize_batch may carry — a parse-time cap so
 /// a single hostile line cannot admit unbounded work.
@@ -140,6 +180,8 @@ io::Json admitted_event(const std::string& id, std::size_t queue_depth);
 io::Json incumbent_event(const std::string& id, double cost,
                          double elapsed_seconds, const model::Plan& plan);
 io::Json cancel_event(const std::string& id, bool found);
+io::Json observed_event(std::uint64_t fingerprint, std::uint64_t runs,
+                        std::size_t plans);
 io::Json batch_event(const std::string& id, std::size_t count);
 /// `code` is the machine-readable error class (see the file comment);
 /// empty omits the field — existing untyped emitters stay byte-stable.

@@ -65,8 +65,10 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "quest/adapt/observation_log.hpp"
 #include "quest/common/timer.hpp"
 #include "quest/io/json.hpp"
 #include "quest/serve/instance_store.hpp"
@@ -235,6 +237,15 @@ class Server {
   void handle_optimize(const Session_ptr& session, Optimize_op op);
   void handle_batch(const Session_ptr& session, Batch_op op);
   void handle_cancel(const Session_ptr& session, const Cancel_op& op);
+  void handle_observe(const Session_ptr& session, Observe_op op);
+  void handle_refit(const Session_ptr& session, const Refit_op& op);
+  /// Resolves the instance reference shared by optimize/observe/refit:
+  /// a registered name or an inline document (fingerprinted on the
+  /// spot). nullptr + an emitted error event for unknown names.
+  std::shared_ptr<const Stored_instance> resolve_instance(
+      const Session_ptr& session, const std::string& name,
+      std::optional<io::Instance_document>& inline_doc,
+      const std::string& request_id);
   void emit_stats(const Session_ptr& session);
   /// The per-job engine-thread cap (options_.engine_threads, 0 resolved
   /// to hardware / workers, floored at 1).
@@ -255,6 +266,17 @@ class Server {
   Instance_store store_;
   Plan_cache cache_;
   Timer uptime_;
+
+  /// Per-fingerprint adaptive-loop state: the streaming observation log
+  /// plus the distinct complete plans observed so far — re-costed at
+  /// refit time to seed the warm-start tier under the fitted model's
+  /// key (the exact tier misses on the new key; the warm tier hits).
+  struct Adapt_state {
+    adapt::Observation_log log;
+    std::vector<model::Plan> plans;
+  };
+  mutable std::mutex adapt_mutex_;
+  std::unordered_map<std::uint64_t, Adapt_state> adapt_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

@@ -107,6 +107,100 @@ Optimize_op parse_optimize(const io::Json& op,
   return parsed;
 }
 
+std::vector<std::uint64_t> uint_array(const io::Json& op,
+                                      std::string_view key,
+                                      bool required) {
+  const io::Json* field = op.find(key);
+  if (field == nullptr) {
+    if (required) {
+      throw Parse_error("observe op needs array field '" +
+                        std::string(key) + "'");
+    }
+    return {};
+  }
+  const io::Json::Array& array = field->as_array();
+  std::vector<std::uint64_t> values;
+  values.reserve(array.size());
+  for (const io::Json& element : array) {
+    const double value = element.as_number();
+    if (value < 0.0 || value > 1e18) {
+      throw Parse_error("field '" + std::string(key) +
+                        "' entries must be in [0, 1e18]");
+    }
+    values.push_back(static_cast<std::uint64_t>(value));
+  }
+  return values;
+}
+
+std::vector<double> number_array(const io::Json& op, std::string_view key) {
+  const io::Json* field = op.find(key);
+  if (field == nullptr) return {};
+  const io::Json::Array& array = field->as_array();
+  std::vector<double> values;
+  values.reserve(array.size());
+  for (const io::Json& element : array) {
+    const double value = element.as_number();
+    if (value < 0.0) {
+      throw Parse_error("field '" + std::string(key) +
+                        "' entries must be non-negative");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+/// Resolves the shared "instance" field shape (name or inline doc) of
+/// the observe/refit ops.
+void parse_instance_ref(const io::Json& op, std::string& name,
+                        std::optional<io::Instance_document>& inline_doc) {
+  const io::Json& instance = op.at("instance");
+  if (instance.is_string()) {
+    name = instance.as_string();
+  } else {
+    inline_doc = io::instance_from_json(instance);
+  }
+}
+
+Observe_op parse_observe(const io::Json& op) {
+  Observe_op parsed;
+  parse_instance_ref(op, parsed.instance_name, parsed.inline_instance);
+  const io::Json::Array& plan = op.at("plan").as_array();
+  for (const io::Json& element : plan) {
+    const double value = element.as_number();
+    if (value < 0.0 || value > 1e6) {
+      throw Parse_error("observe plan entries must be service ids");
+    }
+    parsed.plan.append(static_cast<model::Service_id>(value));
+  }
+  parsed.tuples_in = uint_array(op, "tuples_in", /*required=*/true);
+  parsed.tuples_out = uint_array(op, "tuples_out", /*required=*/true);
+  if (parsed.tuples_in.size() != parsed.plan.size() ||
+      parsed.tuples_out.size() != parsed.plan.size()) {
+    throw Parse_error(
+        "observe tuples_in/tuples_out must match the plan length");
+  }
+  parsed.cost_count = uint_array(op, "cost_count", /*required=*/false);
+  parsed.cost_sum = number_array(op, "cost_sum");
+  parsed.cost_sq_sum = number_array(op, "cost_sq_sum");
+  if (parsed.cost_count.size() != parsed.cost_sum.size() ||
+      parsed.cost_count.size() != parsed.cost_sq_sum.size()) {
+    throw Parse_error(
+        "observe cost_count/cost_sum/cost_sq_sum must have equal length");
+  }
+  return parsed;
+}
+
+Refit_op parse_refit(const io::Json& op) {
+  Refit_op parsed;
+  parse_instance_ref(op, parsed.instance_name, parsed.inline_instance);
+  parsed.policy =
+      model::parse_send_policy(string_field(op, "policy", "sequential"));
+  parsed.objective =
+      model::parse_objective(string_field(op, "objective", "mean"));
+  parsed.min_samples = uint_field(op, "min_samples", 0);
+  return parsed;
+}
+
 }  // namespace
 
 Op parse_op(std::string_view line) {
@@ -147,13 +241,15 @@ Op parse_op(std::string_view line) {
     parsed.id = op.at("id").as_string();
     return parsed;
   }
+  if (kind == "observe") return parse_observe(op);
+  if (kind == "refit") return parse_refit(op);
   if (kind == "stats") return Stats_op{};
   if (kind == "shutdown") {
     return Shutdown_op{bool_field(op, "drain", false)};
   }
   throw Parse_error("unknown op '" + kind +
                     "' (expected register, optimize, optimize_batch, "
-                    "cancel, stats, or shutdown)");
+                    "cancel, observe, refit, stats, or shutdown)");
 }
 
 io::Json registered_event(const std::string& name, std::size_t services,
@@ -191,6 +287,16 @@ io::Json cancel_event(const std::string& id, bool found) {
   event.set("event", io::Json("cancel-requested"));
   event.set("id", io::Json(id));
   event.set("found", io::Json(found));
+  return event;
+}
+
+io::Json observed_event(std::uint64_t fingerprint, std::uint64_t runs,
+                        std::size_t plans) {
+  io::Json event;
+  event.set("event", io::Json("observed"));
+  event.set("fingerprint", io::Json(io::hex64(fingerprint)));
+  event.set("runs", io::Json(static_cast<double>(runs)));
+  event.set("plans", io::Json(plans));
   return event;
 }
 

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "quest/adapt/model_fitter.hpp"
 #include "quest/common/error.hpp"
 #include "quest/core/engines.hpp"
 #include "quest/opt/registry.hpp"
@@ -222,6 +223,10 @@ bool Server::handle(const Session_ptr& session, Op op) {
       handle_batch(session, std::move(*batch));
     } else if (auto* cancel = std::get_if<Cancel_op>(&op)) {
       handle_cancel(session, *cancel);
+    } else if (auto* observe = std::get_if<Observe_op>(&op)) {
+      handle_observe(session, std::move(*observe));
+    } else if (auto* refit = std::get_if<Refit_op>(&op)) {
+      handle_refit(session, *refit);
     } else {
       emit_stats(session);
     }
@@ -249,27 +254,34 @@ void Server::handle_batch(const Session_ptr& session, Batch_op op) {
   }
 }
 
+std::shared_ptr<const Stored_instance> Server::resolve_instance(
+    const Session_ptr& session, const std::string& name,
+    std::optional<io::Instance_document>& inline_doc,
+    const std::string& request_id) {
+  if (inline_doc) {
+    auto entry = std::make_shared<Stored_instance>(
+        Stored_instance{{}, std::move(inline_doc->instance),
+                        std::move(inline_doc->precedence), 0});
+    entry->fingerprint =
+        io::fingerprint(entry->instance, entry->precedence_ptr());
+    return entry;
+  }
+  auto problem = store_.get(name);
+  if (problem == nullptr) {
+    emit(*session, error_event(
+                       "unknown instance '" + name + "' (register it first)",
+                       request_id));
+  }
+  return problem;
+}
+
 void Server::handle_optimize(const Session_ptr& session, Optimize_op op) {
   auto job = std::make_shared<Job>();
   job->id = std::move(op.id);
   job->session = session;
-
-  if (op.inline_instance) {
-    auto entry = std::make_shared<Stored_instance>(Stored_instance{
-        {}, std::move(op.inline_instance->instance),
-        std::move(op.inline_instance->precedence), 0});
-    entry->fingerprint =
-        io::fingerprint(entry->instance, entry->precedence_ptr());
-    job->problem = std::move(entry);
-  } else {
-    job->problem = store_.get(op.instance_name);
-    if (job->problem == nullptr) {
-      emit(*session, error_event("unknown instance '" + op.instance_name +
-                                     "' (register it first)",
-                                 job->id));
-      return;
-    }
-  }
+  job->problem = resolve_instance(session, op.instance_name,
+                                  op.inline_instance, job->id);
+  if (job->problem == nullptr) return;
 
   job->spec = std::move(op.optimizer);
   job->budget = op.budget;
@@ -405,6 +417,129 @@ void Server::handle_optimize(const Session_ptr& session, Optimize_op op) {
     return;
   }
   work_available_.notify_one();
+}
+
+void Server::handle_observe(const Session_ptr& session, Observe_op op) {
+  const auto problem =
+      resolve_instance(session, op.instance_name, op.inline_instance, {});
+  if (problem == nullptr) return;
+  const std::size_t n = problem->instance.size();
+  for (const model::Service_id u : op.plan) {
+    if (u >= n) {
+      emit(*session, error_event("observe plan refers to service " +
+                                 std::to_string(u) + " of an instance with " +
+                                 std::to_string(n) + " services"));
+      return;
+    }
+  }
+  if (!op.cost_count.empty() && op.cost_count.size() != n) {
+    emit(*session,
+         error_event("observe cost arrays must have one entry per service"));
+    return;
+  }
+  std::uint64_t runs = 0;
+  std::size_t plans = 0;
+  {
+    std::lock_guard<std::mutex> lock(adapt_mutex_);
+    auto [it, inserted] = adapt_.try_emplace(
+        problem->fingerprint, Adapt_state{adapt::Observation_log(n), {}});
+    Adapt_state& state = it->second;
+    state.log.record_run(op.plan, op.tuples_in, op.tuples_out);
+    for (std::size_t u = 0; u < op.cost_count.size(); ++u) {
+      state.log.record_cost(static_cast<model::Service_id>(u),
+                            op.cost_count[u], op.cost_sum[u],
+                            op.cost_sq_sum[u]);
+    }
+    // Remember the plan for refit-time warm seeding: complete plans
+    // only, deduplicated, bounded (the log itself is O(n^3) regardless).
+    constexpr std::size_t k_max_observed_plans = 64;
+    if (op.plan.is_permutation_of(n) &&
+        state.plans.size() < k_max_observed_plans &&
+        std::find(state.plans.begin(), state.plans.end(), op.plan) ==
+            state.plans.end()) {
+      state.plans.push_back(op.plan);
+    }
+    runs = state.log.runs();
+    plans = state.plans.size();
+  }
+  emit(*session, observed_event(problem->fingerprint, runs, plans));
+}
+
+void Server::handle_refit(const Session_ptr& session, const Refit_op& op) {
+  auto inline_doc = op.inline_instance;
+  const auto problem =
+      resolve_instance(session, op.instance_name, inline_doc, {});
+  if (problem == nullptr) return;
+  const std::size_t n = problem->instance.size();
+
+  adapt::Fit_options options;
+  if (op.min_samples > 0) {
+    options.min_pair_samples = op.min_samples;
+    options.min_marginal_samples = op.min_samples;
+  }
+  // Fit on a copy: the log is tiny (O(n^3)) and copying keeps the
+  // adapt lock out of the dense solve.
+  std::optional<adapt::Observation_log> log;
+  std::vector<model::Plan> plans;
+  {
+    std::lock_guard<std::mutex> lock(adapt_mutex_);
+    const auto it = adapt_.find(problem->fingerprint);
+    if (it != adapt_.end() && it->second.log.size() == n) {
+      log.emplace(it->second.log);
+      plans = it->second.plans;
+    }
+  }
+  if (!log.has_value() || log->runs() == 0) {
+    emit(*session,
+         error_event("refit: no observations recorded for this instance "
+                     "(send observe ops first)"));
+    return;
+  }
+
+  const adapt::Model_fitter fitter(options);
+  const adapt::Fit_report report = fitter.fit(*log);
+  const model::Cost_model_spec spec =
+      fitter.to_spec(report, op.policy, op.objective);
+  const model::Cost_model fitted = spec.bind(n);
+  const std::string fitted_key = fitted.key();
+
+  // Bridge the cache tiers: the fitted key has never been optimized
+  // under, so the exact tier will miss — but re-costing the observed
+  // plans under the fitted model gives the warm tier a sound floor,
+  // and the first optimize under the fitted model warm-starts from it.
+  bool warm_seeded = false;
+  double warm_cost = 0.0;
+  if (options_.enable_cache) {
+    model::Plan best_plan;
+    for (const model::Plan& plan : plans) {
+      const double cost =
+          model::bottleneck_cost(problem->instance, plan, fitted);
+      if (!warm_seeded || cost < warm_cost) {
+        warm_seeded = true;
+        warm_cost = cost;
+        best_plan = plan;
+      }
+    }
+    if (warm_seeded) {
+      cache_.remember_best(problem->fingerprint, fitted_key,
+                           Cached_plan{std::move(best_plan), warm_cost,
+                                       opt::Termination::completed,
+                                       /*proven_optimal=*/false});
+    }
+  }
+
+  io::Json event;
+  event.set("event", io::Json("refit"));
+  event.set("fingerprint", io::Json(io::hex64(problem->fingerprint)));
+  event.set("model", io::Json(spec.to_string()));
+  event.set("model_key", io::Json(fitted_key));
+  event.set("falsified", io::Json(report.independent_falsified));
+  event.set("max_abs_log_gamma", io::Json(report.max_abs_log_gamma));
+  event.set("runs", io::Json(static_cast<double>(report.runs)));
+  event.set("cost_sigma_capped", io::Json(report.cost_sigma_capped));
+  event.set("warm_seeded", io::Json(warm_seeded));
+  if (warm_seeded) event.set("warm_cost", io::Json(warm_cost));
+  emit(*session, event);
 }
 
 void Server::handle_cancel(const Session_ptr& session, const Cancel_op& op) {

@@ -35,6 +35,13 @@ enum class Selectivity_mode {
   stochastic,
 };
 
+/// Shape of the per-tuple processing-cost noise, multiplied onto the
+/// service's mean cost as a unit-mean draw — the heavy-tailed world the
+/// quantile objectives (objective=p95/p99) and the adaptive fitter's
+/// cost-tail estimates are about. `none` keeps costs deterministic
+/// (modulo cost_jitter).
+enum class Cost_noise { none, lognormal, pareto };
+
 struct Sim_config {
   /// Tuples fed to the first service (all available at time zero).
   std::uint64_t input_tuples = 10'000;
@@ -50,6 +57,12 @@ struct Sim_config {
   Selectivity_mode selectivity_mode = Selectivity_mode::deterministic;
   /// Relative jitter on per-tuple processing times (0 = deterministic).
   double cost_jitter = 0.0;
+  /// Per-tuple cost-noise multiplier (unit mean, so Eq. 1's mean
+  /// prediction is unchanged): lognormal uses `cost_noise_param` as the
+  /// log-scale sigma (> 0), pareto as the shape alpha (> 1 — the mean
+  /// must exist for the multiplier to be normalizable).
+  Cost_noise cost_noise = Cost_noise::none;
+  double cost_noise_param = 1.0;
   /// Fixed per-block cost (handshake/latency) added on top of the
   /// per-tuple transfer time; makes the block-size trade-off of E9 real:
   /// effective per-tuple transfer is t + overhead / block_size.
@@ -64,6 +77,11 @@ struct Service_metrics {
   std::uint64_t blocks_sent = 0;
   /// Time spent processing tuples.
   double processing_time = 0.0;
+  /// First and second moments of the realized per-tuple processing costs
+  /// (model units) — what adapt::Observation_log ingests to estimate a
+  /// service's cost distribution without retaining tuples.
+  double cost_sum = 0.0;
+  double cost_sq_sum = 0.0;
   /// Time spent shipping blocks (occupies the service under the
   /// sequential policy, a separate channel under overlapped).
   double send_time = 0.0;

@@ -63,6 +63,13 @@ class Simulation {
                   "cost jitter must be in [0, 1)");
     QUEST_EXPECTS(config.per_block_overhead >= 0.0,
                   "per-block overhead must be non-negative");
+    if (config.cost_noise == Cost_noise::lognormal) {
+      QUEST_EXPECTS(config.cost_noise_param > 0.0,
+                    "lognormal cost-noise sigma must be positive");
+    } else if (config.cost_noise == Cost_noise::pareto) {
+      QUEST_EXPECTS(config.cost_noise_param > 1.0,
+                    "pareto cost-noise alpha must exceed 1 (finite mean)");
+    }
     // Before stage_selectivities touches the correlation matrix: a
     // mis-sized model must fail loudly, not index out of bounds.
     config.model.validate_for(instance);
@@ -149,7 +156,10 @@ class Simulation {
         dt *= rng_.uniform(1.0 - config_.cost_jitter,
                            1.0 + config_.cost_jitter);
       }
+      dt *= cost_noise_multiplier();
       node.metrics.processing_time += dt;
+      node.metrics.cost_sum += dt;
+      node.metrics.cost_sq_sum += dt * dt;
       node.busy_until = now + dt;
       const std::uint64_t outputs = emit(node);
       node.out_buffer += outputs;
@@ -180,6 +190,23 @@ class Simulation {
         makespan_ = std::max(makespan_, eos_time);
       }
     }
+  }
+
+  /// Unit-mean multiplicative noise on one tuple's processing cost.
+  double cost_noise_multiplier() {
+    switch (config_.cost_noise) {
+      case Cost_noise::none:
+        return 1.0;
+      case Cost_noise::lognormal: {
+        const double s = config_.cost_noise_param;
+        return rng_.lognormal(-0.5 * s * s, s);
+      }
+      case Cost_noise::pareto: {
+        const double alpha = config_.cost_noise_param;
+        return rng_.pareto((alpha - 1.0) / alpha, alpha);
+      }
+    }
+    return 1.0;
   }
 
   std::uint64_t emit(Node& node) {

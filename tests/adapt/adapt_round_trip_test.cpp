@@ -1,0 +1,112 @@
+// The tentpole acceptance test for the adaptive loop, end to end on the
+// real virtual-clock executor: a hidden correlated model drives
+// executions, the observation log sees only per-stage tuple counts, the
+// fitter reconstructs a model, and re-optimizing under the fit must land
+// within 5% of the plan an oracle holding the hidden model would pick —
+// over 20 seeds. The falsification flag must also be right in both
+// directions: correlated truths trip it, independent truths never do.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "quest/adapt/model_fitter.hpp"
+#include "quest/adapt/observation_log.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
+#include "quest/runtime/choreography.hpp"
+#include "support/generators.hpp"
+#include "support/helpers.hpp"
+
+namespace quest::adapt {
+namespace {
+
+using model::Cost_model;
+using model::Instance;
+using model::Plan;
+
+constexpr std::size_t k_seeds = 20;
+constexpr std::size_t k_runs = 30;
+constexpr std::uint64_t k_tuples = 8'000;
+
+/// Executes `runs` random plans of `instance` on the virtual-clock
+/// executor under `hidden` and returns the resulting observation log.
+Observation_log observe_executions(const Instance& instance,
+                                   const Cost_model& hidden,
+                                   std::size_t runs, Rng& rng) {
+  Observation_log log(instance.size());
+  runtime::Runtime_config config;
+  config.input_tuples = k_tuples;
+  config.clock_mode = runtime::Clock_mode::virtual_time;
+  config.model = hidden;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const Plan plan = test::gen_plan(rng, instance.size());
+    const runtime::Runtime_result result =
+        runtime::execute(instance, plan, config);
+    log.record_run(plan, result.tuples_in, result.tuples_out);
+  }
+  return log;
+}
+
+double optimal_cost_under(const Instance& instance, const Cost_model& model,
+                          Plan* plan_out = nullptr) {
+  opt::Request request;
+  request.instance = &instance;
+  request.model = model;
+  const opt::Result result = core::make_optimizer("bnb")->optimize(request);
+  EXPECT_TRUE(result.proven_optimal);
+  if (plan_out != nullptr) *plan_out = result.plan;
+  return result.cost;
+}
+
+TEST(Adapt_round_trip, fitted_replan_is_within_5_percent_of_oracle) {
+  for (std::uint64_t seed = 1; seed <= k_seeds; ++seed) {
+    Rng rng(seed * 7919);
+    const Instance instance = test::gen_instance(rng, 7, 0.4, 0.9);
+    const Cost_model hidden = Cost_model::correlated_seeded(
+        instance.size(), rng.uniform(0.6, 1.0), rng());
+
+    Observation_log log = observe_executions(instance, hidden, k_runs, rng);
+    const Model_fitter fitter;
+    const Fit_report report = fitter.fit(log);
+    EXPECT_TRUE(report.independent_falsified)
+        << "seed " << seed << ": a strength>=0.6 correlated truth must "
+        << "falsify independence (max |log gamma| = "
+        << report.max_abs_log_gamma << ")";
+
+    const Cost_model fitted =
+        fitter.to_spec(report, hidden.policy(), model::Objective::mean)
+            .bind(instance.size());
+
+    Plan fitted_plan;
+    optimal_cost_under(instance, fitted, &fitted_plan);
+    const double fitted_true_cost =
+        model::bottleneck_cost(instance, fitted_plan, hidden);
+    const double oracle_cost = optimal_cost_under(instance, hidden);
+
+    EXPECT_LE(fitted_true_cost, 1.05 * oracle_cost)
+        << "seed " << seed << ": plan optimized under the fitted model "
+        << "costs " << fitted_true_cost << " under the hidden truth; the "
+        << "oracle achieves " << oracle_cost;
+  }
+}
+
+TEST(Adapt_round_trip, independent_truth_is_never_falsified) {
+  for (std::uint64_t seed = 1; seed <= k_seeds; ++seed) {
+    Rng rng(seed * 104729);
+    const Instance instance = test::gen_instance(rng, 7, 0.4, 0.9);
+    const Cost_model hidden =
+        Cost_model::independent(test::gen_policy(rng));
+
+    Observation_log log = observe_executions(instance, hidden, k_runs, rng);
+    const Fit_report report = Model_fitter().fit(log);
+    EXPECT_FALSE(report.independent_falsified)
+        << "seed " << seed << ": max |log gamma| = "
+        << report.max_abs_log_gamma;
+  }
+}
+
+}  // namespace
+}  // namespace quest::adapt

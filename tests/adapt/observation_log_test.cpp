@@ -1,0 +1,120 @@
+// Unit tests of adapt::Observation_log: the streaming sufficient
+// statistics are exactly the normal equations of the per-service
+// log-selectivity regression, so small hand-computable cases pin every
+// accumulator — Gram entries, right-hand sides, sample and co-occurrence
+// counts, cost moments — and the merge operation is the plain sum.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quest/adapt/observation_log.hpp"
+#include "quest/common/error.hpp"
+#include "quest/model/plan.hpp"
+
+namespace quest::adapt {
+namespace {
+
+using model::Plan;
+
+Plan make_plan(std::vector<model::Service_id> order) {
+  return Plan(std::move(order));
+}
+
+TEST(Observation_log, rejects_empty_service_set) {
+  EXPECT_THROW(Observation_log(0), Precondition_error);
+}
+
+TEST(Observation_log, accumulates_normal_equations_of_one_run) {
+  Observation_log log(2);
+  const std::vector<std::uint64_t> in{100, 50};
+  const std::vector<std::uint64_t> out{50, 10};
+  log.record_run(make_plan({0, 1}), in, out);
+
+  EXPECT_EQ(log.runs(), 1u);
+  EXPECT_EQ(log.stage_samples(0), 1u);
+  EXPECT_EQ(log.stage_samples(1), 1u);
+  // Service 1 ran behind {0}; service 0 ran on an empty prefix.
+  EXPECT_EQ(log.pair_samples(1, 0), 1u);
+  EXPECT_EQ(log.pair_samples(0, 1), 0u);
+
+  // Service 0: regressors (1, 0, 0), y = log 0.5.
+  const auto rhs0 = log.normal_rhs(0);
+  EXPECT_DOUBLE_EQ(rhs0[0], std::log(0.5));
+  EXPECT_DOUBLE_EQ(rhs0[1], 0.0);
+  EXPECT_DOUBLE_EQ(rhs0[2], 0.0);
+  const auto gram0 = log.normal_matrix(0);
+  EXPECT_DOUBLE_EQ(gram0[0], 1.0);  // intercept x intercept
+
+  // Service 1: regressors (1, [0 placed] = 1, 0), y = log 0.2.
+  const auto rhs1 = log.normal_rhs(1);
+  EXPECT_DOUBLE_EQ(rhs1[0], std::log(0.2));
+  EXPECT_DOUBLE_EQ(rhs1[1], std::log(0.2));
+  EXPECT_DOUBLE_EQ(rhs1[2], 0.0);
+  const auto gram1 = log.normal_matrix(1);
+  const std::size_t stride = 3;
+  EXPECT_DOUBLE_EQ(gram1[0 * stride + 0], 1.0);
+  EXPECT_DOUBLE_EQ(gram1[0 * stride + 1], 1.0);
+  EXPECT_DOUBLE_EQ(gram1[1 * stride + 1], 1.0);
+  // Row/column of service 1 itself is structurally zero.
+  EXPECT_DOUBLE_EQ(gram1[2 * stride + 2], 0.0);
+}
+
+TEST(Observation_log, skips_stages_without_tuple_flow) {
+  Observation_log log(3);
+  // Stage 1 produced nothing, so stage 2 consumed nothing: only stage 0
+  // and stage 1... stage 1 has out == 0 -> skipped too. Only stage 0
+  // yields a sample.
+  log.record_run(make_plan({0, 1, 2}), std::vector<std::uint64_t>{10, 5, 0},
+                 std::vector<std::uint64_t>{5, 0, 0});
+  EXPECT_EQ(log.stage_samples(0), 1u);
+  EXPECT_EQ(log.stage_samples(1), 0u);
+  EXPECT_EQ(log.stage_samples(2), 0u);
+  EXPECT_EQ(log.pair_samples(1, 0), 0u);
+}
+
+TEST(Observation_log, rejects_malformed_runs) {
+  Observation_log log(2);
+  const std::vector<std::uint64_t> two{10, 10};
+  const std::vector<std::uint64_t> one{10};
+  EXPECT_THROW(log.record_run(make_plan({0, 1}), one, two),
+               Precondition_error);
+  EXPECT_THROW(log.record_run(make_plan({0, 0}), two, two),
+               Precondition_error);
+}
+
+TEST(Observation_log, cost_moments_accumulate) {
+  Observation_log log(2);
+  log.record_cost(1, 2, 6.0, 20.0);
+  log.record_cost(1, 2, 6.0, 20.0);
+  const Cost_stats& stats = log.cost_stats(1);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  // E[x^2] - mean^2 = 10 - 9.
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.0);
+  EXPECT_THROW(log.record_cost(0, 1, -1.0, 1.0), Precondition_error);
+}
+
+TEST(Observation_log, merge_sums_every_statistic) {
+  Observation_log a(2);
+  Observation_log b(2);
+  const std::vector<std::uint64_t> in{100, 50};
+  const std::vector<std::uint64_t> out{50, 10};
+  a.record_run(make_plan({0, 1}), in, out);
+  b.record_run(make_plan({0, 1}), in, out);
+  b.record_cost(0, 1, 2.0, 4.0);
+  a.merge(b);
+
+  EXPECT_EQ(a.runs(), 2u);
+  EXPECT_EQ(a.stage_samples(0), 2u);
+  EXPECT_EQ(a.pair_samples(1, 0), 2u);
+  EXPECT_DOUBLE_EQ(a.normal_rhs(1)[0], 2.0 * std::log(0.2));
+  EXPECT_EQ(a.cost_stats(0).count, 1u);
+
+  Observation_log wrong_size(3);
+  EXPECT_THROW(a.merge(wrong_size), Precondition_error);
+}
+
+}  // namespace
+}  // namespace quest::adapt

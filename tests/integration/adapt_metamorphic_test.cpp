@@ -1,0 +1,120 @@
+// Metamorphic checks of the adaptive loop against the engine stack:
+// a *fitted* model is just another Cost_model, so every exact engine must
+// agree on its optimum, and warm-starting a re-optimization from a plan
+// cached under an earlier model must never end worse than optimizing
+// cold under the same fitted model. Both properties are swept over 20
+// seeded fit round trips — the models the engines see here carry the
+// estimation noise of a real refit, not hand-picked matrices.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quest/adapt/model_fitter.hpp"
+#include "quest/adapt/observation_log.hpp"
+#include "quest/core/engines.hpp"
+#include "quest/model/cost.hpp"
+#include "quest/model/cost_model.hpp"
+#include "support/generators.hpp"
+#include "support/helpers.hpp"
+#include "support/synthetic_runs.hpp"
+
+namespace quest {
+namespace {
+
+using model::Cost_model;
+using model::Instance;
+using model::Plan;
+
+constexpr std::size_t k_seeds = 20;
+
+/// A fitted model produced the way the serving loop produces one:
+/// synthesize executions under a hidden correlated truth, fit, bind.
+Cost_model fit_model(const Instance& instance, Rng& rng) {
+  const Cost_model hidden = Cost_model::correlated_seeded(
+      instance.size(), rng.uniform(0.4, 1.0), rng());
+  adapt::Observation_log log(instance.size());
+  Rng plan_rng(rng());
+  test::synthesize_runs(log, instance, hidden, 40, 1'000'000, plan_rng);
+  const adapt::Model_fitter fitter;
+  return fitter.to_spec(fitter.fit(log), hidden.policy(),
+                        model::Objective::mean)
+      .bind(instance.size());
+}
+
+TEST(Adapt_metamorphic, exact_engines_agree_on_fitted_models) {
+  const std::vector<std::string> engines{"bnb", "bnb-par", "dp",
+                                         "frontier"};
+  for (std::uint64_t seed = 1; seed <= k_seeds; ++seed) {
+    Rng rng(seed * 6151);
+    const Instance instance = test::gen_instance(rng, 8, 0.2, 0.95);
+    opt::Request request;
+    request.instance = &instance;
+    request.model = fit_model(instance, rng);
+    request.seed = seed;
+
+    double reference = -1.0;
+    for (const std::string& name : engines) {
+      const opt::Result result =
+          core::make_optimizer(name)->optimize(request);
+      ASSERT_TRUE(result.plan.is_permutation_of(instance.size()))
+          << name << " seed " << seed;
+      ASSERT_TRUE(result.proven_optimal) << name << " seed " << seed;
+      EXPECT_TRUE(test::costs_equal(
+          result.cost,
+          model::bottleneck_cost(instance, result.plan, request.model)))
+          << name << " seed " << seed
+          << " reports a cost its plan does not achieve";
+      if (reference < 0.0) {
+        reference = result.cost;
+      } else {
+        EXPECT_TRUE(test::costs_equal(result.cost, reference))
+            << name << " disagrees with " << engines.front() << " on seed "
+            << seed;
+      }
+    }
+  }
+}
+
+TEST(Adapt_metamorphic, warm_started_refit_never_loses_to_cold) {
+  // The warm plan is what the serving tier would hand over: the optimum
+  // of the *previous* (independent) model, cached before the refit.
+  for (std::uint64_t seed = 1; seed <= k_seeds; ++seed) {
+    Rng rng(seed * 9173);
+    const Instance instance = test::gen_instance(rng, 9, 0.2, 0.95);
+    const Cost_model fitted = fit_model(instance, rng);
+
+    opt::Request stale;
+    stale.instance = &instance;
+    stale.model = Cost_model::independent(fitted.policy());
+    stale.seed = seed;
+    const Plan warm_plan =
+        core::make_optimizer("local-search")->optimize(stale).plan;
+
+    for (const char* const name : {"bnb", "local-search"}) {
+      opt::Request request;
+      request.instance = &instance;
+      request.model = fitted;
+      request.seed = seed;
+      const double cold =
+          core::make_optimizer(name)->optimize(request).cost;
+      request.warm_start = &warm_plan;
+      const double warm =
+          core::make_optimizer(name)->optimize(request).cost;
+      EXPECT_LE(warm, cold * (1.0 + test::cost_tolerance))
+          << name << " seed " << seed
+          << ": warm-started result lost to the cold run";
+      EXPECT_LE(warm,
+                model::bottleneck_cost(instance, warm_plan, fitted) *
+                    (1.0 + test::cost_tolerance))
+          << name << " seed " << seed
+          << ": result worse than its own warm start";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quest

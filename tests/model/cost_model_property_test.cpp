@@ -1,0 +1,198 @@
+// Property tests of the Cost_model invariants the engines lean on
+// (tests/support/property.hpp): pairwise interaction symmetry, factor
+// clamping, order-independence of conditional selectivities (the property
+// that makes subset DP and frontier search valid under the correlated
+// structure), spec/key round trips through the public grammar, and the
+// quantile cost profile's >= 1 scale floor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quest/model/cost_model.hpp"
+#include "quest/model/instance.hpp"
+#include "support/generators.hpp"
+#include "support/property.hpp"
+
+namespace quest::model {
+namespace {
+
+using test::Property_config;
+
+/// A random bound correlated model (seeded or explicit-matrix form) plus
+/// the instance it is sized for.
+struct Model_case {
+  Instance instance;
+  Cost_model model;
+  std::uint64_t seed = 0;
+};
+
+Model_case gen_model_case(Rng& rng) {
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  Model_case c{test::gen_instance(rng, n, 0.05, 0.95),
+               Cost_model::independent(), rng()};
+  if (rng.bernoulli(0.5)) {
+    c.model = Cost_model::correlated_seeded(n, rng.uniform(0.1, 1.5),
+                                            rng(), test::gen_policy(rng));
+  } else {
+    c.model = test::gen_matrix_spec(rng, n, 0.8).bind(n);
+  }
+  return c;
+}
+
+TEST(Cost_model_property, pairwise_interaction_is_symmetric) {
+  test::check_property<Model_case>(
+      "gamma(u,w) == gamma(w,u), observed through conditionals",
+      Property_config{}, gen_model_case,
+      [](const Model_case& c) -> ::testing::AssertionResult {
+        Rng rng(c.seed);
+        const std::size_t n = c.instance.size();
+        const auto u = static_cast<Service_id>(rng.uniform_int(n));
+        auto w = static_cast<Service_id>(rng.uniform_int(n));
+        if (w == u) w = static_cast<Service_id>((w + 1) % n);
+        const std::vector<Service_id> behind_w{w};
+        const std::vector<Service_id> behind_u{u};
+        const std::vector<Service_id> empty;
+        const double ratio_u =
+            c.model.conditional_selectivity(c.instance, u, behind_w) /
+            c.model.conditional_selectivity(c.instance, u, empty);
+        const double ratio_w =
+            c.model.conditional_selectivity(c.instance, w, behind_u) /
+            c.model.conditional_selectivity(c.instance, w, empty);
+        return QUEST_PROP(std::fabs(ratio_u - ratio_w) <=
+                          1e-12 * std::max(ratio_u, ratio_w))
+               << "u=" << u << " w=" << w << ": " << ratio_u << " vs "
+               << ratio_w;
+      });
+}
+
+TEST(Cost_model_property, prefix_factors_respect_the_clamp) {
+  test::check_property<Model_case>(
+      "sigma(u|S)/sigma_u stays inside [lo^|S|, hi^|S|]",
+      Property_config{}, gen_model_case,
+      [](const Model_case& c) -> ::testing::AssertionResult {
+        Rng rng(c.seed);
+        const std::size_t n = c.instance.size();
+        const Plan plan = test::gen_plan(rng, n);
+        const std::vector<double> sigma =
+            c.model.stage_selectivities(c.instance, plan);
+        for (std::size_t p = 0; p < n; ++p) {
+          const double marginal =
+              c.instance.service(plan[p]).selectivity;
+          const double ratio = sigma[p] / marginal;
+          const double lo =
+              std::pow(Cost_model::default_clamp_lo, double(p));
+          const double hi =
+              std::pow(Cost_model::default_clamp_hi, double(p));
+          auto ok = QUEST_PROP(ratio >= lo * (1 - 1e-12) &&
+                               ratio <= hi * (1 + 1e-12));
+          if (!ok) return ok << "position " << p << " ratio " << ratio;
+        }
+        return ::testing::AssertionSuccess();
+      });
+}
+
+TEST(Cost_model_property, conditionals_are_prefix_order_independent) {
+  test::check_property<Model_case>(
+      "sigma(u|S) does not depend on the order S was placed in",
+      Property_config{}, gen_model_case,
+      [](const Model_case& c) -> ::testing::AssertionResult {
+        Rng rng(c.seed);
+        const std::size_t n = c.instance.size();
+        const auto u = static_cast<Service_id>(rng.uniform_int(n));
+        std::vector<Service_id> placed;
+        for (Service_id s = 0; s < n; ++s) {
+          if (s != u && rng.bernoulli(0.5)) placed.push_back(s);
+        }
+        const double before =
+            c.model.conditional_selectivity(c.instance, u, placed);
+        rng.shuffle(placed);
+        const double after =
+            c.model.conditional_selectivity(c.instance, u, placed);
+        // Tolerate reassociation of the factor product, nothing more.
+        return QUEST_PROP(std::fabs(before - after) <=
+                          1e-12 * std::max(before, after))
+               << "u=" << u << ": " << before << " vs " << after
+               << " over a " << placed.size() << "-service prefix";
+      });
+}
+
+TEST(Cost_model_property, spec_key_round_trips_through_the_grammar) {
+  test::check_property<std::uint64_t>(
+      "parse(to_string(spec)).bind(n).key() == spec.bind(n).key()",
+      Property_config{},
+      [](Rng& rng) { return rng(); },
+      [](const std::uint64_t& seed) -> ::testing::AssertionResult {
+        Rng rng(seed);
+        const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+        Cost_model_spec spec;
+        switch (rng.uniform_int(std::uint64_t{3})) {
+          case 0: spec.policy = test::gen_policy(rng); break;
+          case 1: spec = test::gen_correlated_spec(rng); break;
+          default: spec = test::gen_matrix_spec(rng, n, 0.7); break;
+        }
+        // Half the cases attach a quantile cost profile.
+        if (rng.bernoulli(0.5)) {
+          spec.objective =
+              rng.bernoulli(0.5) ? Objective::p95 : Objective::p99;
+          if (rng.bernoulli(0.5)) {
+            spec.cost_tail = rng.bernoulli(0.5) ? Cost_tail::pareto
+                                                : Cost_tail::lognormal;
+            spec.cost_alpha = rng.uniform(1.1, 4.0);
+            spec.cost_sigma = rng.uniform(0.1, 2.0);
+          } else {
+            spec.cost_scale.assign(n, 0.0);
+            for (double& scale : spec.cost_scale) {
+              scale = rng.uniform(1.0, 3.0);
+            }
+          }
+        }
+        const Cost_model bound = spec.bind(n);
+        const Cost_model_spec reparsed = parse_cost_model_spec(
+            spec.to_string(), to_string(spec.policy));
+        const std::string key = bound.key();
+        const std::string reparsed_key = reparsed.bind(n).key();
+        auto ok = QUEST_PROP(key == reparsed_key);
+        if (!ok) return ok << key << " vs " << reparsed_key;
+        // Equal keys must mean semantically equal models.
+        return QUEST_PROP(bound == reparsed.bind(n)) << "key " << key;
+      });
+}
+
+TEST(Cost_model_property, quantile_scales_never_undercut_the_mean) {
+  test::check_property<std::uint64_t>(
+      "cost_scale(u) >= 1 under every quantile profile",
+      Property_config{},
+      [](Rng& rng) { return rng(); },
+      [](const std::uint64_t& seed) -> ::testing::AssertionResult {
+        Rng rng(seed);
+        const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+        Rng instance_rng(rng());
+        const Instance instance =
+            test::gen_instance(instance_rng, n, 0.1, 0.9);
+        const Objective objective =
+            rng.bernoulli(0.5) ? Objective::p95 : Objective::p99;
+        const Cost_model base = Cost_model::independent(test::gen_policy(rng));
+        const Cost_model scaled =
+            rng.bernoulli(0.5)
+                ? base.with_cost_tail(objective, Cost_tail::pareto,
+                                      rng.uniform(1.1, 5.0))
+                : base.with_cost_tail(objective, Cost_tail::lognormal,
+                                      rng.uniform(0.05, 2.0));
+        for (Service_id u = 0; u < n; ++u) {
+          auto ok = QUEST_PROP(scaled.cost_scale(u) >= 1.0 &&
+                               scaled.effective_cost(instance, u) >=
+                                   instance.service(u).cost);
+          if (!ok) return ok << "service " << u << " scale "
+                             << scaled.cost_scale(u);
+        }
+        return ::testing::AssertionSuccess();
+      });
+}
+
+}  // namespace
+}  // namespace quest::model

@@ -10,9 +10,12 @@
 
 #include <bit>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "quest/common/rng.hpp"
 
 #include "quest/io/fingerprint.hpp"
 #include "quest/io/json.hpp"
@@ -356,6 +359,132 @@ TEST(Snapshot_test, ChecksumIsTheClassicByteWiseFnv1a) {
   EXPECT_NE(store::snapshot_checksum("a"), store::snapshot_checksum("b"));
   EXPECT_EQ(store::snapshot_checksum("quest"),
             store::snapshot_checksum("quest"));
+}
+
+// ---------------------------------------------------------------------
+// Byte-mutation fuzzing. The contract under corruption: load_snapshot
+// never crashes or throws, and any mutation is either *visible* (header
+// rejected or stale_refused bumped) or the load is byte-for-byte the
+// pristine snapshot — silently accepting altered content is the one
+// forbidden outcome.
+
+/// Writes `bytes` to `path`, loads it, and enforces the fuzz contract.
+/// `pristine` is the unmutated snapshot for the silent-acceptance check.
+void expect_visible_or_intact(const std::string& path,
+                              const std::string& bytes,
+                              const std::string& pristine,
+                              const std::string& what) {
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file << bytes;
+  }
+  Instance_store store;
+  Plan_cache cache;
+  store::Load_report report;
+  ASSERT_NO_THROW(report = store::load_snapshot(path, store, cache))
+      << what;
+  ASSERT_TRUE(report.file_found) << what;
+  if (!report.header_ok || report.stale_refused > 0) return;  // visible
+  // The load claims to be clean: re-serializing what it restored must
+  // reproduce the pristine snapshot exactly.
+  const std::string reserialized_path = path + ".reserialized";
+  store::write_snapshot(reserialized_path, store, cache);
+  EXPECT_EQ(read_all(reserialized_path), pristine)
+      << what << ": mutated snapshot loaded cleanly but restored "
+      << "different content (silent acceptance)";
+  std::remove(reserialized_path.c_str());
+}
+
+TEST(Snapshot_fuzz, EverySingleByteFlipIsRefusedOrHarmless) {
+  Fixture fixture;
+  const std::string path = temp_path("byteflip_fuzz");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  const std::string pristine = read_all(path);
+  ASSERT_FALSE(pristine.empty());
+
+  for (std::size_t at = 0; at < pristine.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = pristine;
+      mutated[at] = static_cast<char>(
+          static_cast<unsigned char>(mutated[at]) ^ (1u << bit));
+      expect_visible_or_intact(
+          path, mutated, pristine,
+          "flip of bit " + std::to_string(bit) + " at byte " +
+              std::to_string(at));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(Snapshot_fuzz, SeededStructuralMutationsNeverCrashTheLoader) {
+  Fixture fixture;
+  const std::string path = temp_path("structural_fuzz");
+  store::write_snapshot(path, fixture.store, fixture.cache);
+  const std::string pristine = read_all(path);
+
+  // Deterministic seed so CI replays bit-for-bit; reseed to explore.
+  Rng rng(0x5eeded5eededull);
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = pristine;
+    switch (rng.uniform_int(std::uint64_t{5})) {
+      case 0:  // truncate at an arbitrary byte
+        mutated.resize(rng.uniform_int(mutated.size() + 1));
+        break;
+      case 1:  // overwrite a byte with an arbitrary value
+        mutated[rng.uniform_int(mutated.size())] =
+            static_cast<char>(rng.uniform_int(std::uint64_t{256}));
+        break;
+      case 2:  // duplicate a byte range
+        {
+          const std::size_t from = rng.uniform_int(mutated.size());
+          const std::size_t len =
+              rng.uniform_int(mutated.size() - from) + 1;
+          mutated.insert(from, mutated.substr(from, len));
+        }
+        break;
+      case 3:  // delete a byte range
+        {
+          const std::size_t from = rng.uniform_int(mutated.size());
+          const std::size_t len =
+              rng.uniform_int(mutated.size() - from) + 1;
+          mutated.erase(from, len);
+        }
+        break;
+      default:  // splice the file onto itself at a random cut
+        mutated = mutated.substr(rng.uniform_int(mutated.size())) +
+                  mutated.substr(0, rng.uniform_int(mutated.size()));
+        break;
+    }
+    expect_visible_or_intact(path, mutated, pristine,
+                             "structural mutation round " +
+                                 std::to_string(round));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(Snapshot_fuzz, CheckedInCorpusIsRefusedWithoutCrashing) {
+  // Adversarial inputs that once looked plausible to a JSONL loader:
+  // every file in the corpus must load without crashing and without
+  // restoring a single record (none carries a valid sealed header).
+  const std::filesystem::path corpus(QUEST_SNAPSHOT_CORPUS);
+  ASSERT_TRUE(std::filesystem::is_directory(corpus));
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    Instance_store store;
+    Plan_cache cache;
+    store::Load_report report;
+    ASSERT_NO_THROW(
+        report = store::load_snapshot(entry.path().string(), store, cache))
+        << entry.path();
+    EXPECT_TRUE(report.file_found) << entry.path();
+    EXPECT_FALSE(report.header_ok) << entry.path();
+    EXPECT_EQ(report.loaded(), 0u) << entry.path();
+    EXPECT_EQ(store.size(), 0u) << entry.path();
+    EXPECT_EQ(cache.size(), 0u) << entry.path();
+  }
+  EXPECT_GE(files, 8u) << "snapshot fuzz corpus went missing";
 }
 
 }  // namespace

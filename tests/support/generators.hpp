@@ -1,0 +1,101 @@
+// tests/support/generators.hpp
+//
+// Domain generators for the property harness (tests/support/property.hpp):
+// random instances, plans, and cost-model specs drawn from a quest::Rng,
+// plus shrinkers where a simpler case exists. Kept at the model layer so
+// any test target can include this without extra link dependencies.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "quest/common/rng.hpp"
+#include "quest/model/cost_model.hpp"
+#include "quest/model/instance.hpp"
+#include "quest/model/plan.hpp"
+#include "quest/workload/generators.hpp"
+
+namespace quest::test {
+
+/// Uniform random instance with n services, selectivities in
+/// [sigma_lo, sigma_hi] (pass sigma_hi > 1 for expanding services).
+inline model::Instance gen_instance(Rng& rng, std::size_t n,
+                                    double sigma_lo = 0.05,
+                                    double sigma_hi = 0.95) {
+  workload::Uniform_spec spec;
+  spec.n = n;
+  spec.selectivity_min = sigma_lo;
+  spec.selectivity_max = sigma_hi;
+  Rng gen_rng(rng());
+  return workload::make_uniform(spec, gen_rng);
+}
+
+/// Random complete plan over [0, n).
+inline model::Plan gen_plan(Rng& rng, std::size_t n) {
+  std::vector<model::Service_id> order;
+  order.reserve(n);
+  for (const std::size_t id : rng.permutation(n)) {
+    order.push_back(static_cast<model::Service_id>(id));
+  }
+  return model::Plan(std::move(order));
+}
+
+/// Random send policy.
+inline model::Send_policy gen_policy(Rng& rng) {
+  return rng.bernoulli(0.5) ? model::Send_policy::sequential
+                            : model::Send_policy::overlapped;
+}
+
+/// Random seeded correlated model spec (strength/seed form).
+inline model::Cost_model_spec gen_correlated_spec(Rng& rng) {
+  model::Cost_model_spec spec;
+  spec.policy = gen_policy(rng);
+  spec.structure = model::Selectivity_structure::correlated;
+  spec.strength = rng.uniform(0.1, 1.0);
+  spec.seed = rng();
+  return spec;
+}
+
+/// Random explicit-matrix correlated model spec for n services: each
+/// pairwise factor is lognormal around 1, clamped by the spec's range.
+inline model::Cost_model_spec gen_matrix_spec(Rng& rng, std::size_t n,
+                                              double log_spread = 0.6) {
+  model::Cost_model_spec spec;
+  spec.policy = gen_policy(rng);
+  spec.structure = model::Selectivity_structure::correlated;
+  spec.matrix.reserve(n * (n - 1) / 2);
+  for (std::size_t k = 0; k < n * (n - 1) / 2; ++k) {
+    double gamma = rng.lognormal(0.0, log_spread);
+    gamma = std::clamp(gamma, spec.clamp_lo, spec.clamp_hi);
+    spec.matrix.push_back(gamma);
+  }
+  return spec;
+}
+
+/// Shrinks an explicit-matrix spec by pulling factors halfway toward 1
+/// (the independent model) — the minimal counterexample shows which
+/// interactions actually matter.
+inline std::vector<model::Cost_model_spec> shrink_matrix_spec(
+    const model::Cost_model_spec& spec) {
+  std::vector<model::Cost_model_spec> out;
+  bool any = false;
+  model::Cost_model_spec half = spec;
+  for (double& gamma : half.matrix) {
+    if (gamma != 1.0) {
+      gamma = 1.0 + 0.5 * (gamma - 1.0);
+      any = true;
+    }
+  }
+  if (any) out.push_back(std::move(half));
+  for (std::size_t k = 0; k < spec.matrix.size(); ++k) {
+    if (spec.matrix[k] == 1.0) continue;
+    model::Cost_model_spec one = spec;
+    one.matrix[k] = 1.0;
+    out.push_back(std::move(one));
+  }
+  return out;
+}
+
+}  // namespace quest::test

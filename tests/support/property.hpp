@@ -1,0 +1,178 @@
+// tests/support/property.hpp
+//
+// A small property-based testing harness for the quest suite. A property
+// is checked across many generated cases (200 by default), each driven by
+// a deterministically derived per-case seed, so CI runs are reproducible
+// bit-for-bit while `QUEST_PROPERTY_SEED=<n>` re-points the whole run at
+// a fresh region of the case space for exploration.
+//
+// When a case fails, the harness greedily shrinks it: the caller-supplied
+// shrinker proposes simpler candidates, the first candidate that still
+// fails becomes the new counterexample, and the loop repeats until no
+// candidate fails (a local minimum) or the shrink budget runs out. The
+// failure report carries the law's name, the case index, both seeds, and
+// the original and shrunk failure messages — everything needed to paste a
+// one-line reproduction.
+//
+// Usage:
+//
+//   check_property<int>("abs is non-negative", {},
+//       [](Rng& rng) { return int(rng.uniform_int(-100, 100)); },
+//       [](const int& v) { return shrink_toward(v, 0); },
+//       [](const int& v) { return QUEST_PROP(std::abs(v) >= 0)
+//                                 << "v = " << v; });
+//
+// Properties return ::testing::AssertionResult; the QUEST_PROP macro
+// builds one from a boolean and lets the property stream the evidence.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "quest/common/rng.hpp"
+
+// Builds an AssertionResult from `condition`, pre-seeded with the failed
+// expression text; stream the counterexample's data after it.
+#define QUEST_PROP(condition)                                      \
+  (::quest::test::make_prop_result((condition), #condition))
+
+namespace quest::test {
+
+inline ::testing::AssertionResult make_prop_result(bool ok,
+                                                   const char* text) {
+  if (ok) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "violated: " << text << "; ";
+}
+
+/// The run seed: fixed default for deterministic CI, overridable through
+/// the QUEST_PROPERTY_SEED environment variable (decimal).
+inline std::uint64_t property_seed(
+    std::uint64_t fallback = 0x9e3779b97f4a7c15ull) {
+  if (const char* env = std::getenv("QUEST_PROPERTY_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return static_cast<std::uint64_t>(parsed);
+    }
+    ADD_FAILURE() << "QUEST_PROPERTY_SEED is not a decimal integer: "
+                  << env;
+  }
+  return fallback;
+}
+
+struct Property_config {
+  /// Generated cases per law. The issue's floor is 200.
+  std::size_t cases = 200;
+  /// Run seed; per-case seeds are derived from it with splitmix64.
+  std::uint64_t seed = property_seed();
+  /// Total prop evaluations spent shrinking one counterexample.
+  std::size_t max_shrinks = 500;
+};
+
+/// Independent per-case seed: one splitmix64 stream position per index.
+inline std::uint64_t case_seed(std::uint64_t run_seed, std::size_t index) {
+  std::uint64_t state = run_seed + 0x632be59bd9b4e019ull * (index + 1);
+  return splitmix64(state);
+}
+
+/// No-op shrinker for values with no meaningful simpler form.
+template <typename T>
+std::vector<T> no_shrink(const T&) {
+  return {};
+}
+
+/// Candidates for an integral value, bisecting toward `target`.
+template <typename Int>
+std::vector<Int> shrink_toward(Int value, Int target) {
+  std::vector<Int> out;
+  if (value == target) return out;
+  out.push_back(target);
+  Int current = value;
+  while (true) {
+    const Int mid = current + (target - current) / 2;
+    if (mid == current || mid == target) break;
+    out.push_back(mid);
+    current = mid;
+  }
+  return out;
+}
+
+/// Candidates for a vector: drop halves, then drop single elements.
+template <typename T>
+std::vector<std::vector<T>> shrink_vector(const std::vector<T>& value) {
+  std::vector<std::vector<T>> out;
+  const std::size_t n = value.size();
+  if (n == 0) return out;
+  out.emplace_back();  // the empty vector first — maximal simplification
+  if (n >= 2) {
+    out.emplace_back(value.begin(), value.begin() + n / 2);
+    out.emplace_back(value.begin() + n / 2, value.end());
+  }
+  for (std::size_t skip = 0; skip < n; ++skip) {
+    std::vector<T> shorter;
+    shorter.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != skip) shorter.push_back(value[i]);
+    }
+    out.push_back(std::move(shorter));
+  }
+  return out;
+}
+
+/// Checks `prop` over `config.cases` generated values. `gen` maps an Rng
+/// to a value, `shrink` maps a failing value to simpler candidates, and
+/// `prop` returns an AssertionResult (use QUEST_PROP). Reports the first
+/// counterexample (shrunk as far as the budget allows) and stops.
+template <typename T, typename Gen, typename Shrink, typename Prop>
+void check_property(const std::string& law, const Property_config& config,
+                    Gen&& gen, Shrink&& shrink, Prop&& prop) {
+  for (std::size_t index = 0; index < config.cases; ++index) {
+    const std::uint64_t seed = case_seed(config.seed, index);
+    Rng rng(seed);
+    T value = gen(rng);
+    ::testing::AssertionResult first = prop(value);
+    if (first) continue;
+
+    const std::string original_message = first.message();
+    std::string shrunk_message = original_message;
+    std::size_t spent = 0;
+    bool progressed = true;
+    while (progressed && spent < config.max_shrinks) {
+      progressed = false;
+      for (T& candidate : shrink(value)) {
+        if (spent >= config.max_shrinks) break;
+        ++spent;
+        ::testing::AssertionResult result = prop(candidate);
+        if (!result) {
+          value = std::move(candidate);
+          shrunk_message = result.message();
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    ADD_FAILURE() << "property \"" << law << "\" falsified at case "
+                  << index << " of " << config.cases << "\n  run seed "
+                  << config.seed << " (QUEST_PROPERTY_SEED), case seed "
+                  << seed << "\n  original:  " << original_message
+                  << "\n  shrunk (" << spent
+                  << " evaluations): " << shrunk_message;
+    return;
+  }
+}
+
+/// check_property without a shrinker.
+template <typename T, typename Gen, typename Prop>
+void check_property(const std::string& law, const Property_config& config,
+                    Gen&& gen, Prop&& prop) {
+  check_property<T>(law, config, std::forward<Gen>(gen), no_shrink<T>,
+                    std::forward<Prop>(prop));
+}
+
+}  // namespace quest::test

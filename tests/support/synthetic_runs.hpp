@@ -1,0 +1,72 @@
+// tests/support/synthetic_runs.hpp
+//
+// Synthetic execution traces for the adaptive-loop tests: propagate tuple
+// counts through a plan under a hidden cost model's *exact* conditional
+// selectivities and record the per-stage counts into an
+// adapt::Observation_log — the analytic stand-in for a virtual-clock
+// execution, cheap enough for property tests that replay hundreds of
+// cases. With a noise Rng, stage outputs are binomially perturbed (normal
+// approximation), modelling the sampling error a real execution's
+// per-tuple thinning would carry.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "quest/adapt/observation_log.hpp"
+#include "quest/common/rng.hpp"
+#include "quest/model/cost_model.hpp"
+#include "quest/model/instance.hpp"
+#include "quest/model/plan.hpp"
+#include "support/generators.hpp"
+
+namespace quest::test {
+
+/// One synthetic execution of `plan` on `tuples` input tuples under
+/// `truth`, recorded into `log`. Deterministic rounding when `noise` is
+/// null; binomial-approximate stage noise otherwise.
+inline void synthesize_run(adapt::Observation_log& log,
+                           const model::Instance& instance,
+                           const model::Cost_model& truth,
+                           const model::Plan& plan, std::uint64_t tuples,
+                           Rng* noise = nullptr) {
+  const std::vector<double> sigma =
+      truth.stage_selectivities(instance, plan);
+  std::vector<std::uint64_t> in(plan.size(), 0);
+  std::vector<std::uint64_t> out(plan.size(), 0);
+  std::uint64_t current = tuples;
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    in[p] = current;
+    const double expected = static_cast<double>(current) * sigma[p];
+    double produced = expected;
+    if (noise != nullptr && current > 0 && sigma[p] < 1.0) {
+      produced += noise->normal() *
+                  std::sqrt(expected * std::max(1.0 - sigma[p], 0.0));
+    }
+    double rounded = std::round(produced);
+    if (rounded < 0.0) rounded = 0.0;
+    // A filtering stage cannot produce more than it consumed.
+    if (sigma[p] <= 1.0 && rounded > static_cast<double>(current)) {
+      rounded = static_cast<double>(current);
+    }
+    out[p] = static_cast<std::uint64_t>(rounded);
+    current = out[p];
+  }
+  log.record_run(plan, in, out);
+}
+
+/// Records `runs` random complete plans executed under `truth`.
+inline void synthesize_runs(adapt::Observation_log& log,
+                            const model::Instance& instance,
+                            const model::Cost_model& truth,
+                            std::size_t runs, std::uint64_t tuples,
+                            Rng& plan_rng, Rng* noise = nullptr) {
+  for (std::size_t r = 0; r < runs; ++r) {
+    synthesize_run(log, instance, truth,
+                   gen_plan(plan_rng, instance.size()), tuples, noise);
+  }
+}
+
+}  // namespace quest::test

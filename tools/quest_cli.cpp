@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "quest/adapt/model_fitter.hpp"
+#include "quest/adapt/observation_log.hpp"
 #include "quest/common/cli.hpp"
 #include "quest/common/rng.hpp"
 #include "quest/common/table.hpp"
@@ -105,6 +107,86 @@ io::Json stats_json(const opt::Search_stats& stats) {
   return json;
 }
 
+/// The offline adaptive round trip (--adapt): treat the --model spec as
+/// the *hidden truth*, execute random plans on the virtual-clock
+/// executor under it, fit a model from the observed per-stage tuple
+/// counts, re-optimize under the fitted model, and report the fitted
+/// plan's true cost against the oracle (optimized under the hidden
+/// model) and the naive baseline (optimized under independent).
+struct Adapt_outcome {
+  adapt::Fit_report report;
+  std::string fitted_spec_text;
+  std::string fitted_key;
+  std::uint64_t runs = 0;
+  double naive_true_cost = 0.0;
+  double fitted_true_cost = 0.0;
+  double oracle_true_cost = 0.0;
+  model::Plan fitted_plan;
+};
+
+Adapt_outcome run_adapt(const model::Instance& instance,
+                        const std::string& spec_text,
+                        const model::Cost_model& hidden,
+                        model::Objective objective, std::size_t rounds,
+                        std::uint64_t input_tuples, std::uint64_t seed) {
+  const std::size_t n = instance.size();
+  adapt::Observation_log log(n);
+  Rng rng(seed ^ 0x5eedade5ull);
+  runtime::Runtime_config exec_config;
+  exec_config.input_tuples = input_tuples;
+  exec_config.clock_mode = runtime::Clock_mode::virtual_time;
+  exec_config.model = hidden;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<model::Service_id> order;
+    order.reserve(n);
+    for (const std::size_t id : rng.permutation(n)) {
+      order.push_back(static_cast<model::Service_id>(id));
+    }
+    const model::Plan plan(std::move(order));
+    const runtime::Runtime_result run =
+        runtime::execute(instance, plan, exec_config);
+    log.record_run(plan, run.tuples_in, run.tuples_out);
+    for (std::size_t p = 0; p < n; ++p) {
+      // The executor charges exactly the mean per-tuple cost, so the
+      // observed moments are the deterministic ones.
+      const double cost = instance.service(plan[p]).cost;
+      log.record_cost(plan[p], run.tuples_in[p],
+                      static_cast<double>(run.tuples_in[p]) * cost,
+                      static_cast<double>(run.tuples_in[p]) * cost * cost);
+    }
+  }
+
+  const adapt::Model_fitter fitter;
+  Adapt_outcome outcome;
+  outcome.report = fitter.fit(log);
+  outcome.runs = log.runs();
+  const model::Cost_model_spec fitted_spec =
+      fitter.to_spec(outcome.report, hidden.policy(), objective);
+  outcome.fitted_spec_text = fitted_spec.to_string();
+  const model::Cost_model fitted = fitted_spec.bind(n);
+  outcome.fitted_key = fitted.key();
+
+  const auto optimize_under = [&](const model::Cost_model& model) {
+    opt::Request request;
+    request.instance = &instance;
+    request.model = model;
+    request.seed = seed;
+    return core::make_optimizer(spec_text)->optimize(request);
+  };
+  const opt::Result naive =
+      optimize_under(model::Cost_model::independent(hidden.policy()));
+  const opt::Result fitted_run = optimize_under(fitted);
+  const opt::Result oracle = optimize_under(hidden);
+  outcome.naive_true_cost =
+      model::bottleneck_cost(instance, naive.plan, hidden);
+  outcome.fitted_true_cost =
+      model::bottleneck_cost(instance, fitted_run.plan, hidden);
+  outcome.oracle_true_cost =
+      model::bottleneck_cost(instance, oracle.plan, hidden);
+  outcome.fitted_plan = fitted_run.plan;
+  return outcome;
+}
+
 int run(int argc, char** argv) {
   Cli cli("quest_cli",
           "load/generate an instance, optimize under a budget, explain, "
@@ -155,6 +237,13 @@ int run(int argc, char** argv) {
       cli.add_int("workers", 4, "executor worker pool size");
   auto& json_output =
       cli.add_bool("json", false, "machine-readable JSON on stdout");
+  auto& adapt_mode = cli.add_bool(
+      "adapt", false,
+      "offline observe->fit->re-optimize round trip: --model is the "
+      "hidden truth; executes random plans on the virtual clock, fits a "
+      "model from the observations, re-optimizes under it");
+  auto& adapt_rounds =
+      cli.add_int("adapt-rounds", 24, "plans executed per --adapt run");
   cli.parse(argc, argv);
 
   if (list.value) {
@@ -204,6 +293,61 @@ int run(int argc, char** argv) {
   const model::Cost_model cost_model = opt::spec_model_override(
       spec.value, model_spec.bind(instance.size()), instance.size());
 
+  if (adapt_mode.value) {
+    if (precedence != nullptr && !precedence->unconstrained()) {
+      throw Parse_error("--adapt requires an unconstrained instance "
+                        "(random observation plans must be feasible)");
+    }
+    if (adapt_rounds.value < 1) {
+      throw Parse_error("--adapt-rounds must be positive");
+    }
+    const Adapt_outcome outcome = run_adapt(
+        instance, spec.value, cost_model, model_spec.objective,
+        static_cast<std::size_t>(adapt_rounds.value),
+        static_cast<std::uint64_t>(tuples.value),
+        static_cast<std::uint64_t>(seed.value));
+    const double gap =
+        outcome.oracle_true_cost > 0.0
+            ? (outcome.fitted_true_cost - outcome.oracle_true_cost) /
+                  outcome.oracle_true_cost
+            : 0.0;
+    if (json_output.value) {
+      io::Json doc;
+      doc.set("hidden_model", io::Json(cost_model.key()));
+      doc.set("runs", io::Json(static_cast<double>(outcome.runs)));
+      doc.set("fitted_model", io::Json(outcome.fitted_spec_text));
+      doc.set("fitted_key", io::Json(outcome.fitted_key));
+      doc.set("falsified",
+              io::Json(outcome.report.independent_falsified));
+      doc.set("max_abs_log_gamma",
+              io::Json(outcome.report.max_abs_log_gamma));
+      doc.set("naive_true_cost", io::Json(outcome.naive_true_cost));
+      doc.set("fitted_true_cost", io::Json(outcome.fitted_true_cost));
+      doc.set("oracle_true_cost", io::Json(outcome.oracle_true_cost));
+      doc.set("fitted_plan", io::to_json(outcome.fitted_plan));
+      doc.set("gap", io::Json(gap));
+      std::cout << doc.dump(2) << '\n';
+      return 0;
+    }
+    std::cout << "adapt: hidden model " << cost_model.key() << '\n'
+              << "observe: " << outcome.runs
+              << " random plans on the virtual clock\n"
+              << "fit: falsified="
+              << (outcome.report.independent_falsified ? "yes" : "no")
+              << " max|log gamma|="
+              << Table::num(outcome.report.max_abs_log_gamma, 4) << '\n'
+              << "fitted model: " << outcome.fitted_spec_text << '\n'
+              << "replan (true costs under the hidden model):\n"
+              << "  naive (independent): "
+              << Table::num(outcome.naive_true_cost, 6) << '\n'
+              << "  fitted:              "
+              << Table::num(outcome.fitted_true_cost, 6) << '\n'
+              << "  oracle:              "
+              << Table::num(outcome.oracle_true_cost, 6) << " (gap "
+              << Table::num(gap * 100.0, 2) << "%)\n";
+    return 0;
+  }
+
   opt::Request request;
   request.instance = &instance;
   request.precedence = precedence;
@@ -251,6 +395,7 @@ int run(int argc, char** argv) {
     config.block_size = static_cast<std::uint64_t>(block_size.value);
     config.worker_count = static_cast<std::size_t>(workers.value);
     config.clock_mode = runtime::Clock_mode::virtual_time;
+    config.model = cost_model;
     executed = runtime::execute(instance, result.plan, config);
   }
 
