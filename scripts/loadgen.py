@@ -31,6 +31,14 @@ Two exclusive modes replace the throughput run when selected:
                  merged stats report the fleet shape, kill -9s one
                  backend, and asserts its shard sheds with typed
                  `overloaded` errors while the survivors keep serving.
+  --replicas R   (with --router K, R > 1) replication smoke: the router
+                 runs with --replicas R and a registration journal.
+                 kill -9 one backend under concurrent optimize load and
+                 assert ZERO client-visible errors (every key has a live
+                 replica; failovers are counted in merged stats), then
+                 restart the backend on its old port and poll stats
+                 until the prober revives it and journal replay heals it
+                 (repairs > 0). Ends with a clean fleet shutdown.
 
 Usage:
   loadgen.py --binary build/tools/quest_serve --connections 256 --requests 8
@@ -38,10 +46,12 @@ Usage:
   loadgen.py --binary ... --persist --smoke                       # ctest
   loadgen.py --binary ... --router-binary build/tools/quest_router \\
              --router 2 --smoke                                   # ctest
+  loadgen.py --binary ... --router-binary ... --router 3 \\
+             --replicas 2 --smoke                                 # ctest
 
-Used by ctest (serve/tcp_smoke, serve/persist_smoke, serve/router_smoke)
-and the CI smoke job; BENCH_7.json is a recorded run of the
-256-connection profile.
+Used by ctest (serve/tcp_smoke, serve/persist_smoke, serve/router_smoke,
+serve/replication_smoke) and the CI smoke job; BENCH_7.json is a
+recorded run of the 256-connection profile.
 """
 
 import argparse
@@ -83,9 +93,9 @@ def make_instance(n=8):
 class Server:
     """A quest_serve process in TCP mode; context-manages its lifetime."""
 
-    def __init__(self, binary, extra_flags=()):
+    def __init__(self, binary, extra_flags=(), port=0):
         self.proc = subprocess.Popen(
-            [binary, "--tcp-port", "0", *extra_flags],
+            [binary, "--tcp-port", str(port), *extra_flags],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -550,6 +560,190 @@ def router_phase(args):
     }
 
 
+def optimize_outcome(client, request_id, name):
+    """Sends one optimize and returns its terminal event (result|error).
+    Failovers are invisible here by design — at most a duplicate
+    `admitted`, which the predicate skips."""
+    client.send(
+        {
+            "op": "optimize",
+            "id": request_id,
+            "instance": name,
+            "optimizer": "bnb",
+            "budget": {"deadline_ms": 30000},
+            "cache": True,
+        }
+    )
+    return client.wait_for(
+        lambda e: e.get("id") == request_id
+        and e.get("event") in ("result", "error"),
+        f"outcome of {request_id}",
+    )
+
+
+def replicated_load(port, names, stop, errors, completed):
+    """Background load: optimize round-robin over `names` until told to
+    stop, recording any client-visible error. With --replicas 2 and one
+    dead backend, this list must stay empty."""
+    try:
+        with Client(port) as client:
+            r = 0
+            while not stop.is_set():
+                event = optimize_outcome(
+                    client, f"load/{r}", names[r % len(names)]
+                )
+                if event["event"] == "error":
+                    errors.append(f"load/{r}: client-visible error {event}")
+                    return
+                completed.append(r)
+                r += 1
+    except (OSError, EOFError, ValueError) as exc:
+        errors.append(f"load connection: {exc!r}")
+
+
+def fetch_stats(port):
+    with Client(port) as client:
+        client.send({"op": "stats"})
+        return client.wait_for(lambda e: e.get("event") == "stats", "stats")
+
+
+def replication_phase(args):
+    """K backends, --replicas R: kill -9 one backend under load (zero
+    client-visible errors, failovers counted), restart it on the same
+    port, and assert the journal replay heals it (repairs > 0)."""
+    shards = args.router
+    replicas = args.replicas
+    tmpdir = tempfile.mkdtemp(prefix="quest_replication_smoke_")
+    journal = os.path.join(tmpdir, "journal.jsonl")
+    try:
+        backends = [Server(args.binary) for _ in range(shards)]
+        ports = [b.port for b in backends]
+        router = Server(
+            args.router_binary,
+            (
+                "--backends", ",".join(f"127.0.0.1:{p}" for p in ports),
+                "--replicas", str(replicas),
+                "--journal", journal,
+                "--probe-interval-ms", "50",
+            ),
+        )
+
+        def spread_instance(i):
+            instance = make_instance(6)
+            instance["services"][0]["cost"] += 0.001 * (i + 1)
+            return instance
+
+        names = [f"spread{i}" for i in range(12)]
+        with Client(router.port) as client:
+            for i, name in enumerate(names):
+                client.send(
+                    {"op": "register", "name": name,
+                     "instance": spread_instance(i)}
+                )
+                client.wait_for(
+                    lambda e: e.get("event") == "registered", "registered"
+                )
+            for name in names:
+                event = optimize_outcome(client, f"route/{name}", name)
+                if event["event"] != "result" or not event.get("complete"):
+                    fail(f"route/{name}: bad result through router: {event}")
+
+        stats = fetch_stats(router.port)
+        if stats.get("shards") != shards or stats.get("shards_live") != shards:
+            fail(f"merged stats disagree with the healthy fleet: {stats}")
+        if stats.get("replicas") != replicas:
+            fail(f"replicated stats must carry the factor: {stats}")
+        if stats.get("shards_degraded", -1) != 0:
+            fail(f"healthy fleet reported degraded shards: {stats}")
+
+        # kill -9 one backend under concurrent load: every key has R
+        # distinct owners, so the router must absorb the loss without a
+        # single client-visible error.
+        victim = 0
+        stop = threading.Event()
+        errors = []
+        completed = []
+        load = threading.Thread(
+            target=replicated_load,
+            args=(router.port, names, stop, errors, completed),
+        )
+        load.start()
+        time.sleep(0.4)  # let the load reach steady state
+        backends[victim].kill()
+        time.sleep(1.5)  # keep hammering through the failure window
+        stop.set()
+        load.join(timeout=60)
+        if load.is_alive():
+            fail("load thread hung after the kill")
+        if errors:
+            fail("; ".join(errors[:5]))
+        if len(completed) < len(names):
+            fail(f"load barely ran: {len(completed)} requests completed")
+
+        # One deliberate pass over every key with the shard still dead:
+        # guarantees at least one request had the victim as its primary.
+        with Client(router.port) as client:
+            for name in names:
+                event = optimize_outcome(client, f"degraded/{name}", name)
+                if event["event"] != "result":
+                    fail(f"degraded/{name}: error with a live replica: {event}")
+
+        degraded = fetch_stats(router.port)
+        if degraded.get("shards_live") != shards - 1:
+            fail(f"merged stats missed the dead shard: {degraded}")
+        if degraded.get("shards_degraded", 0) < 1:
+            fail(f"prober never reported the dead shard: {degraded}")
+        if degraded.get("replica_failovers", 0) < 1:
+            fail(f"no failovers counted with a dead primary: {degraded}")
+
+        # Rejoin: restart the backend on its old port (empty state). The
+        # prober revives it and the router replays its share of the
+        # journal ahead of traffic — visible as repairs > 0.
+        backends[victim] = Server(args.binary, port=ports[victim])
+        deadline = time.monotonic() + 60.0
+        healed = {}
+        while time.monotonic() < deadline:
+            healed = fetch_stats(router.port)
+            if (
+                healed.get("shards_live") == shards
+                and healed.get("repairs", 0) >= 1
+            ):
+                break
+            time.sleep(0.1)
+        else:
+            fail(f"fleet never healed after the rejoin: {healed}")
+
+        with Client(router.port) as client:
+            for name in names:
+                event = optimize_outcome(client, f"healed/{name}", name)
+                if event["event"] != "result":
+                    fail(f"healed/{name}: error after heal: {event}")
+
+        final = fetch_stats(router.port)
+        router.shutdown()
+        for backend in backends:
+            try:
+                code = backend.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                backend.kill()
+                fail("backend did not exit after fleet shutdown")
+            if code != 0:
+                fail(f"backend exited with code {code} after fleet shutdown")
+        return {
+            "mode": "replication",
+            "shards": shards,
+            "replicas": replicas,
+            "routed": len(names),
+            "load_requests_during_kill": len(completed),
+            "client_visible_errors": len(errors),
+            "replica_failovers": int(final.get("replica_failovers", 0)),
+            "repairs": int(final.get("repairs", 0)),
+            "merged_stats": final,
+        }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", required=True, help="quest_serve path")
@@ -573,6 +767,14 @@ def main():
         help="run the K-shard router smoke instead (needs --router-binary)",
     )
     parser.add_argument("--router-binary", help="quest_router path")
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="with --router K and R > 1: run the replication smoke "
+        "(kill/rejoin with journal-backed repair) instead",
+    )
     args = parser.parse_args()
 
     if args.persist:
@@ -582,7 +784,12 @@ def main():
             fail("--router requires --router-binary")
         if args.router < 1:
             fail("--router needs at least one shard")
-        report = router_phase(args)
+        if args.replicas > args.router:
+            fail("--replicas cannot exceed --router")
+        if args.replicas > 1:
+            report = replication_phase(args)
+        else:
+            report = router_phase(args)
     else:
         report = throughput_phase(args)
         if args.smoke:

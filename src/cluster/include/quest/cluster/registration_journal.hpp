@@ -1,0 +1,127 @@
+// quest/cluster/registration_journal.hpp
+//
+// The replica router's repair source of truth: a bounded JSONL journal of
+// every register payload that passed through the router, keyed by the
+// instance's content fingerprint. When a backend rejoins the fleet after
+// a crash (or a fresh backend is added), the router heals it by replaying
+// the journaled register lines it should own — and when a failover
+// target answers a routed optimize with the typed "unknown-instance"
+// error, the same journal entry repairs that backend on the spot.
+//
+// File shape (the store layer's shared JSONL discipline,
+// quest/store/jsonl.hpp — same header convention, same per-record
+// byte-wise FNV-1a "crc", same atomic .tmp + rename replacement):
+//
+//   {"quest_journal":true,"format_version":1,"crc":"<hex16>"}
+//   {"type":"register","fingerprint":"<hex16>","name":...,
+//    "line":"<raw wire-protocol register op>","crc":"<hex16>"}
+//
+// The journal is *bounded*: it holds at most one live record per
+// fingerprint in memory, and once the on-disk file accumulates more than
+// max_records appended lines (re-registrations append; the dead versions
+// pile up) it is compacted — rewritten with only the live records, via
+// the atomic rename, so a crash mid-compaction leaves the previous
+// journal intact.
+//
+// Trust model on load mirrors the snapshot's: an unauthenticated local
+// file is refused record by record — bad header refuses the whole file;
+// a record whose crc, fields, or embedded register line fail to verify
+// (the line must re-parse as a register op whose instance re-fingerprints
+// to the stored fingerprint under *this* build) is refused and counted,
+// never replayed. Replaying a mis-keyed registration would silently
+// route repairs to the wrong shard, so refusal is the only safe answer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace quest::cluster {
+
+/// On-disk format generation; a loader refuses other generations
+/// wholesale, exactly like the snapshot loader.
+inline constexpr int k_journal_format_version = 1;
+
+/// Configuration of a Registration_journal.
+struct Journal_options {
+  /// Journal file path; empty runs the journal purely in memory (repair
+  /// still works for the router's own lifetime, nothing survives it).
+  std::string path;
+  /// Appended on-disk records beyond which the file is compacted down to
+  /// the live set. Also caps the *live* set: a record() call beyond this
+  /// many distinct fingerprints evicts the oldest entry (the journal is
+  /// a bounded repair buffer, not an unbounded database).
+  std::size_t max_records = 4096;
+};
+
+/// What loading an existing journal file restored (and refused).
+struct Journal_load_report {
+  bool file_found = false;
+  bool header_ok = false;
+  std::size_t entries_loaded = 0;
+  std::size_t stale_refused = 0;
+};
+
+/// One replayable registration.
+struct Journal_entry {
+  std::uint64_t fingerprint = 0;
+  std::string name;
+  /// The raw wire-protocol register line, replayed to a backend verbatim.
+  std::string line;
+};
+
+/// Bounded, checksummed, atomically-compacted registration journal.
+/// Thread-safe: the router records on its transport loop thread and
+/// replays from reader and health-probe threads.
+class Registration_journal {
+ public:
+  /// Loads `options.path` when it exists (per-record refusal, see the
+  /// file comment); a missing or empty path is a cold start, not an
+  /// error. Never throws on bad file contents.
+  explicit Registration_journal(Journal_options options);
+
+  /// Records (or replaces) the registration for `fingerprint`. `line` is
+  /// the raw register op exactly as the client sent it. File-backed
+  /// journals append a sealed record (and compact past the bound); I/O
+  /// failures are counted, not thrown — the in-memory entry always
+  /// lands, so in-process repair keeps working even on a full disk.
+  void record(std::uint64_t fingerprint, std::string name, std::string line);
+
+  /// The raw register line for `fingerprint`; empty when unknown.
+  std::string line_for(std::uint64_t fingerprint) const;
+
+  /// Every live entry, oldest first — the replay order for healing a
+  /// rejoining backend.
+  std::vector<Journal_entry> entries() const;
+
+  /// Live (fingerprint-distinct) entries.
+  std::size_t size() const;
+
+  /// Appends + compactions that failed at the filesystem.
+  std::size_t io_failures() const;
+
+  /// What the constructor's load pass found.
+  const Journal_load_report& load_report() const { return load_report_; }
+
+ private:
+  void append_locked(const Journal_entry& entry);
+  void compact_locked();
+  std::string render_locked() const;
+
+  mutable std::mutex mutex_;
+  Journal_options options_;
+  Journal_load_report load_report_;
+  /// Insertion-ordered live fingerprints (replay order).
+  std::vector<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, Journal_entry> entries_;
+  /// Data records currently appended to the file (live + superseded).
+  std::size_t disk_records_ = 0;
+  std::size_t io_failures_ = 0;
+};
+
+}  // namespace quest::cluster

@@ -1,0 +1,200 @@
+#include "quest/cluster/registration_journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "quest/common/error.hpp"
+#include "quest/io/fingerprint.hpp"
+#include "quest/io/json.hpp"
+#include "quest/serve/protocol.hpp"
+#include "quest/store/jsonl.hpp"
+
+namespace quest::cluster {
+namespace {
+
+io::Json header_record() {
+  io::Json header;
+  header.set("quest_journal", true);
+  header.set("format_version", k_journal_format_version);
+  return header;
+}
+
+/// The deep check on a loaded record: its "line" must re-parse as a
+/// register op whose document re-fingerprints (under this build's
+/// hashing) to the record's "fingerprint". False on any mismatch.
+bool verified_entry(const io::Json& record, Journal_entry& entry) {
+  const io::Json* fp = record.find("fingerprint");
+  const io::Json* name = record.find("name");
+  const io::Json* line = record.find("line");
+  const io::Json* type = record.find("type");
+  if (fp == nullptr || name == nullptr || line == nullptr ||
+      type == nullptr || !fp->is_string() || !name->is_string() ||
+      !line->is_string() || !type->is_string() ||
+      type->as_string() != "register") {
+    return false;
+  }
+  std::uint64_t fingerprint = 0;
+  if (!store::parse_hex64(fp->as_string(), fingerprint)) return false;
+  try {
+    serve::Op op = serve::parse_op(line->as_string());
+    const auto* reg = std::get_if<serve::Register_op>(&op);
+    if (reg == nullptr) return false;
+    const auto& doc = reg->document;
+    const constraints::Precedence_graph* precedence =
+        doc.precedence ? &*doc.precedence : nullptr;
+    if (io::fingerprint(doc.instance, precedence) != fingerprint) {
+      return false;
+    }
+  } catch (const Error&) {
+    return false;
+  }
+  entry.fingerprint = fingerprint;
+  entry.name = name->as_string();
+  entry.line = line->as_string();
+  return true;
+}
+
+io::Json entry_record(const Journal_entry& entry) {
+  io::Json record;
+  record.set("type", "register");
+  record.set("fingerprint", io::hex64(entry.fingerprint));
+  record.set("name", entry.name);
+  record.set("line", entry.line);
+  return record;
+}
+
+}  // namespace
+
+Registration_journal::Registration_journal(Journal_options options)
+    : options_(std::move(options)) {
+  if (options_.max_records == 0) options_.max_records = 1;
+  if (options_.path.empty()) return;
+
+  std::ifstream in(options_.path);
+  if (!in.is_open()) return;
+  load_report_.file_found = true;
+
+  std::string line;
+  if (!std::getline(in, line)) return;
+  io::Json header;
+  if (!store::checked_record(line, header)) return;
+  const io::Json* magic = header.find("quest_journal");
+  const io::Json* version = header.find("format_version");
+  if (magic == nullptr || !magic->is_bool() || !magic->as_bool() ||
+      version == nullptr || !version->is_number() ||
+      version->as_number() != k_journal_format_version) {
+    return;
+  }
+  load_report_.header_ok = true;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++disk_records_;
+    io::Json record;
+    Journal_entry entry;
+    if (!store::checked_record(line, record) ||
+        !verified_entry(record, entry)) {
+      ++load_report_.stale_refused;
+      continue;
+    }
+    // Later appends supersede earlier ones for the same fingerprint,
+    // matching how record() replaces in memory.
+    auto found = entries_.find(entry.fingerprint);
+    if (found == entries_.end()) {
+      order_.push_back(entry.fingerprint);
+      ++load_report_.entries_loaded;
+    }
+    entries_[entry.fingerprint] = std::move(entry);
+  }
+}
+
+void Registration_journal::record(std::uint64_t fingerprint,
+                                  std::string name, std::string line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Journal_entry entry{fingerprint, std::move(name), std::move(line)};
+  auto found = entries_.find(fingerprint);
+  if (found == entries_.end()) {
+    if (order_.size() >= options_.max_records) {
+      entries_.erase(order_.front());
+      order_.erase(order_.begin());
+    }
+    order_.push_back(fingerprint);
+  }
+  entries_[fingerprint] = entry;
+  append_locked(entry);
+  if (disk_records_ > options_.max_records) compact_locked();
+}
+
+std::string Registration_journal::line_for(std::uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = entries_.find(fingerprint);
+  return found == entries_.end() ? std::string() : found->second.line;
+}
+
+std::vector<Journal_entry> Registration_journal::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Journal_entry> out;
+  out.reserve(order_.size());
+  for (std::uint64_t fingerprint : order_) {
+    out.push_back(entries_.at(fingerprint));
+  }
+  return out;
+}
+
+std::size_t Registration_journal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_.size();
+}
+
+std::size_t Registration_journal::io_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return io_failures_;
+}
+
+void Registration_journal::append_locked(const Journal_entry& entry) {
+  if (options_.path.empty()) return;
+  if (disk_records_ == 0 && load_report_.entries_loaded == 0 &&
+      !load_report_.header_ok) {
+    // First record into a fresh (or refused) file: start it over with a
+    // valid header rather than appending to an unparseable one.
+    compact_locked();
+    return;
+  }
+  std::ofstream out(options_.path, std::ios::app);
+  if (!out.is_open()) {
+    ++io_failures_;
+    return;
+  }
+  out << store::sealed_line(entry_record(entry)) << '\n';
+  out.flush();
+  if (!out) {
+    ++io_failures_;
+    return;
+  }
+  ++disk_records_;
+}
+
+void Registration_journal::compact_locked() {
+  if (options_.path.empty()) return;
+  try {
+    store::atomic_write_file(options_.path, render_locked());
+    disk_records_ = order_.size();
+    load_report_.header_ok = true;
+  } catch (const Error&) {
+    ++io_failures_;
+  }
+}
+
+std::string Registration_journal::render_locked() const {
+  std::ostringstream out;
+  out << store::sealed_line(header_record()) << '\n';
+  for (std::uint64_t fingerprint : order_) {
+    out << store::sealed_line(entry_record(entries_.at(fingerprint))) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace quest::cluster

@@ -50,10 +50,17 @@
 // when one could be parsed) instead of killing the session. Errors that
 // clients are expected to branch on carry a machine-readable "code":
 //
-//   "parse"         malformed JSON / unknown op / bad field types
-//   "line-overflow" a request line exceeded the transport's size cap
-//   "overloaded"    load shed: the admission queue (or the transport's
-//                   connection limit) is full — retry later, with backoff
+//   "parse"            malformed JSON / unknown op / bad field types
+//   "line-overflow"    a request line exceeded the transport's size cap
+//   "overloaded"       load shed: the admission queue (or the
+//                      transport's connection limit) is full — retry
+//                      later, with backoff
+//   "unknown-instance" the op named an instance this server has no
+//                      registration for — re-register (or send the
+//                      document inline) and retry. The replicated
+//                      router treats this as "replica missed": it
+//                      replays the registration journal at the backend
+//                      and retries on the client's behalf.
 //
 // Human-readable "message" text is never a contract; "code" is.
 
@@ -191,6 +198,12 @@ io::Json error_event(const std::string& message, const std::string& id = {},
 /// state so clients can implement informed backoff.
 io::Json overloaded_event(const std::string& id, std::size_t queue_depth,
                           std::size_t queue_cap);
+/// The typed "unknown-instance" error for ops naming an instance this
+/// server has never seen — one builder so the server and the replicated
+/// router (which branches on the code to trigger journal repair) cannot
+/// drift in how they spell it.
+io::Json unknown_instance_event(const std::string& name,
+                                const std::string& id = {});
 
 /// The shared "result" event shape — one builder so the cached and
 /// fresh-run paths cannot drift apart. `stats` may be nullptr (cached

@@ -330,6 +330,12 @@ io::Json overloaded_event(const std::string& id, std::size_t queue_depth,
   return event;
 }
 
+io::Json unknown_instance_event(const std::string& name,
+                                const std::string& id) {
+  return error_event("unknown instance '" + name + "' (register it first)",
+                     id, "unknown-instance");
+}
+
 io::Json result_event(const std::string& id, opt::Termination termination,
                       const model::Plan& plan, double cost, bool complete,
                       bool proven_optimal, bool cached, bool warm_started,

@@ -268,9 +268,7 @@ std::shared_ptr<const Stored_instance> Server::resolve_instance(
   }
   auto problem = store_.get(name);
   if (problem == nullptr) {
-    emit(*session, error_event(
-                       "unknown instance '" + name + "' (register it first)",
-                       request_id));
+    emit(*session, unknown_instance_event(name, request_id));
   }
   return problem;
 }

@@ -1,0 +1,53 @@
+// quest/store/jsonl.hpp
+//
+// The durable-state layer's shared JSONL record discipline: every
+// line-oriented on-disk format in quest (the snapshot, the cluster
+// layer's registration journal) is a sequence of JSON objects, one per
+// line, each sealed with a trailing "crc" field — a byte-wise FNV-1a
+// checksum over the record serialized *without* that field. Writers seal
+// with sealed_line; loaders verify with checked_record; whole files are
+// replaced via atomic_write_file's .tmp + rename so readers never see a
+// torn file.
+//
+// Factoring these helpers here keeps exactly one checksum implementation
+// (and one hex64 parser, and one atomic-replace path) across every
+// format that claims "snapshot-grade" durability — a second hand-rolled
+// copy is how checksum semantics silently fork.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "quest/io/json.hpp"
+
+namespace quest::store {
+
+/// Byte-wise FNV-1a over `text` — the per-record checksum of every JSONL
+/// format in the store/cluster layers (common/hash.hpp folds 8-byte
+/// words; records are text, so the classic byte-wise form fits here).
+std::uint64_t jsonl_checksum(std::string_view text);
+
+/// Renders a sealed record line: dump the payload, checksum those exact
+/// bytes, then re-dump with "crc" appended last. checked_record strips
+/// the trailing "crc" field and re-hashes, so writer and loader agree on
+/// the covered bytes by construction.
+std::string sealed_line(io::Json record);
+
+/// Parses and checksum-verifies one sealed record line. True only when
+/// `text` parses as a JSON object carrying a 16-digit "crc" whose value
+/// matches the checksum of the record minus that field; `record` then
+/// holds the parsed object (crc included). Never throws on bad input.
+bool checked_record(const std::string& text, io::Json& record);
+
+/// Strict 16-digit lower-case hex (the hex64 wire form) -> u64.
+bool parse_hex64(const std::string& text, std::uint64_t& value);
+
+/// Replaces `path` atomically: writes `contents` to `path + ".tmp"` and
+/// renames into place, so a concurrent reader (or a crash mid-write)
+/// sees either the previous file or the new one, never a torn mix.
+/// Throws quest::Parse_error on I/O failure.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace quest::store

@@ -67,7 +67,7 @@ struct Router_options {
   /// Backend addresses, "host:port", one per shard; index = shard id.
   std::vector<std::string> backends;
   /// Consistent-hash ring points per shard (Shard_map).
-  std::size_t replicas = 64;
+  std::size_t ring_points = 64;
   /// Inbound line cap, mirroring the session layer's overflow handling.
   std::size_t max_line_bytes = 1 << 20;
 };
@@ -183,5 +183,23 @@ class Router {
 /// for tests.
 io::Json merge_stats_events(const std::vector<io::Json>& events,
                             std::size_t shards);
+
+/// Blocking TCP connect to "host:port" with TCP_NODELAY set; -1 when the
+/// address is malformed or the backend unreachable. Shared by the
+/// sharding router, the cluster layer's replica router, and its health
+/// prober — one dial path, one failure behavior.
+int dial_backend(const std::string& address) noexcept;
+
+/// Writes one newline-framed line to a backend socket; false on any
+/// write error (callers treat the link as dead). MSG_NOSIGNAL keeps a
+/// closed backend from raising SIGPIPE into the process.
+bool send_backend_line(int fd, std::string_view line) noexcept;
+
+/// Best-effort id extraction from a backend "result" line, so routers
+/// can retire that id's route entry. Result events always start
+/// {"event":"result","id":"..." (the builder's field order is fixed);
+/// anything else returns empty and the entry stays until cancel or
+/// client disconnect — bounded either way.
+std::string result_event_id(std::string_view line);
 
 }  // namespace quest::store

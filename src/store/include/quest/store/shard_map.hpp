@@ -2,7 +2,7 @@
 //
 // Consistent hashing of instance fingerprints onto K shards — the
 // partitioning function behind quest_router. Each shard contributes
-// `replicas` pseudo-random points to a 64-bit hash ring; a fingerprint
+// `ring_points` pseudo-random points to a 64-bit hash ring; a fingerprint
 // is owned by the shard whose point follows the fingerprint's own hash
 // (wrapping at the top of the ring).
 //
@@ -11,6 +11,12 @@
 // (~1/(K+1) of the space); every other fingerprint keeps its owner, and
 // with it its backend's warm cache. A modulo mapping would reshuffle
 // nearly everything and turn every resize into a fleet-wide cold boot.
+//
+// Replication extends the same walk: replicas(fingerprint, R) continues
+// past the owning point to the first R *distinct* shards, so replica
+// sets inherit both determinism and the K -> K+1 movement bound — a new
+// shard can only insert itself into a replica list (displacing the
+// list's tail), never reshuffle the surviving members.
 //
 // Ring points and key hashes both derive from the shared FNV-1a
 // (quest/common/hash.hpp), so the mapping is deterministic across
@@ -29,16 +35,25 @@ namespace quest::store {
 /// cheap to copy; safe to share across threads.
 class Shard_map {
  public:
-  /// `shards` >= 1 backends, each with `replicas` >= 1 ring points.
+  /// `shards` >= 1 backends, each with `ring_points` >= 1 ring points.
   /// 64 points per shard keeps the expected load imbalance within a few
   /// percent at smoke-test fleet sizes.
-  explicit Shard_map(std::size_t shards, std::size_t replicas = 64);
+  explicit Shard_map(std::size_t shards, std::size_t ring_points = 64);
 
-  /// Owner of `fingerprint`, in [0, shards()).
+  /// Owner of `fingerprint`, in [0, shards()). Identical to
+  /// replicas(fingerprint, 1).front().
   std::size_t shard_of(std::uint64_t fingerprint) const noexcept;
 
+  /// The first min(count, shards()) *distinct* shards along the ring
+  /// from the fingerprint's position — the replica set, primary first.
+  /// Element 0 is shard_of(fingerprint) always; deterministic across
+  /// processes; growing K -> K+1 can only insert the new shard into the
+  /// list (pushing later members back), never reorder survivors.
+  std::vector<std::size_t> replicas(std::uint64_t fingerprint,
+                                    std::size_t count = 2) const;
+
   std::size_t shards() const noexcept { return shards_; }
-  std::size_t replicas() const noexcept { return replicas_; }
+  std::size_t ring_points() const noexcept { return ring_points_; }
 
  private:
   struct Point {
@@ -47,7 +62,7 @@ class Shard_map {
   };
 
   std::size_t shards_;
-  std::size_t replicas_;
+  std::size_t ring_points_;
   /// Sorted by position; shard_of binary-searches the successor point.
   std::vector<Point> ring_;
 };

@@ -1,0 +1,71 @@
+#include "quest/store/jsonl.hpp"
+
+#include <cstdio>
+
+#include "quest/common/error.hpp"
+#include "quest/io/fingerprint.hpp"
+
+namespace quest::store {
+
+std::uint64_t jsonl_checksum(std::string_view text) {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    state ^= static_cast<unsigned char>(c);
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+std::string sealed_line(io::Json record) {
+  const std::uint64_t crc = jsonl_checksum(record.dump());
+  record.set("crc", io::Json(io::hex64(crc)));
+  return record.dump();
+}
+
+bool parse_hex64(const std::string& text, std::uint64_t& value) {
+  if (text.size() != 16) return false;
+  std::uint64_t parsed = 0;
+  for (const char c : text) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    parsed = (parsed << 4) | static_cast<std::uint64_t>(digit);
+  }
+  value = parsed;
+  return true;
+}
+
+bool checked_record(const std::string& text, io::Json& record) {
+  try {
+    record = io::Json::parse(text);
+  } catch (const Error&) {
+    return false;  // truncated or corrupt JSON
+  }
+  if (!record.is_object()) return false;
+  const io::Json* crc = record.find("crc");
+  if (crc == nullptr || !crc->is_string()) return false;
+  std::uint64_t stored_crc = 0;
+  if (!parse_hex64(crc->as_string(), stored_crc)) return false;
+  io::Json stripped;
+  for (const auto& [key, value] : record.as_object()) {
+    if (key == "crc") continue;
+    stripped.set(key, value);
+  }
+  return jsonl_checksum(stripped.dump()) == stored_crc;
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string temp = path + ".tmp";
+  io::write_file(temp, contents);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw Parse_error("cannot rename file into place: " + path);
+  }
+}
+
+}  // namespace quest::store

@@ -19,10 +19,36 @@
 
 namespace quest::store {
 
-namespace {
+bool send_backend_line(int fd, std::string_view line) noexcept {
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t offset = 0;
+  while (offset < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + offset,
+                             framed.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return true;
+}
 
-/// Connects to "host:port" (blocking); -1 when unreachable.
-int connect_backend(const std::string& address) {
+std::string result_event_id(std::string_view line) {
+  constexpr std::string_view prefix = "{\"event\":\"result\",\"id\":\"";
+  if (line.substr(0, prefix.size()) != prefix) return {};
+  const auto rest = line.substr(prefix.size());
+  std::string id;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == '\\') return {};  // escaped id: punt, keep the entry
+    if (rest[i] == '"') return id;
+    id.push_back(rest[i]);
+  }
+  return {};
+}
+
+int dial_backend(const std::string& address) noexcept {
   const auto colon = address.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
       colon + 1 == address.size()) {
@@ -53,45 +79,6 @@ int connect_backend(const std::string& address) {
   ::freeaddrinfo(results);
   return fd;
 }
-
-/// Writes one framed line; false on any write error (the caller treats
-/// the link as dead). MSG_NOSIGNAL keeps a closed backend from raising
-/// SIGPIPE into the process.
-bool send_line(int fd, std::string_view line) {
-  std::string framed(line);
-  framed.push_back('\n');
-  std::size_t offset = 0;
-  while (offset < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + offset,
-                             framed.size() - offset, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    offset += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Best-effort id extraction from a backend "result" line, so the
-/// router can retire that id's route entry. Result events always start
-/// {"event":"result","id":"..." (the builder's field order is fixed);
-/// anything else returns empty and the entry stays until cancel or
-/// client disconnect — bounded either way.
-std::string result_event_id(std::string_view line) {
-  constexpr std::string_view prefix = "{\"event\":\"result\",\"id\":\"";
-  if (line.substr(0, prefix.size()) != prefix) return {};
-  const auto rest = line.substr(prefix.size());
-  std::string id;
-  for (std::size_t i = 0; i < rest.size(); ++i) {
-    if (rest[i] == '\\') return {};  // escaped id: punt, keep the entry
-    if (rest[i] == '"') return id;
-    id.push_back(rest[i]);
-  }
-  return {};
-}
-
-}  // namespace
 
 io::Json merge_stats_events(const std::vector<io::Json>& events,
                             std::size_t shards) {
@@ -143,7 +130,7 @@ Router::Router(Router_options options, serve::Transport& transport)
     : options_(std::move(options)),
       transport_(transport),
       map_(std::max<std::size_t>(options_.backends.size(), 1),
-           options_.replicas) {
+           options_.ring_points) {
   QUEST_EXPECTS(!options_.backends.empty(),
                 "router needs at least one backend");
   QUEST_EXPECTS(options_.max_line_bytes >= 2,
@@ -471,7 +458,7 @@ void Router::handle_stats(const std::shared_ptr<Client>& client,
     for (const auto& member : members) member->merge_member = true;
   }
   for (const auto& member : members) {
-    if (!send_line(member->fd, line)) {
+    if (!send_backend_line(member->fd, line)) {
       // The reader's EOF path retires this link's share of the merge.
       ::shutdown(member->fd, SHUT_RDWR);
     }
@@ -487,7 +474,7 @@ bool Router::handle_shutdown(const std::shared_ptr<Client>& client,
   for (std::size_t shard = 0; shard < options_.backends.size(); ++shard) {
     const auto link = link_for(client, shard);
     if (link == nullptr) continue;
-    if (!send_line(link->fd, line)) ::shutdown(link->fd, SHUT_RDWR);
+    if (!send_backend_line(link->fd, line)) ::shutdown(link->fd, SHUT_RDWR);
   }
   // Backends exit after their shutdown-complete; readers see EOF and
   // return. Joining here (readers keep forwarding drain-mode results
@@ -529,7 +516,7 @@ std::shared_ptr<Router::Link> Router::link_for(
     ::close(slot->fd);
     slot.reset();
   }
-  const int fd = connect_backend(options_.backends[shard]);
+  const int fd = dial_backend(options_.backends[shard]);
   if (fd < 0) return nullptr;
   auto link = std::make_shared<Link>();
   link->shard = shard;
@@ -544,7 +531,7 @@ bool Router::forward(const std::shared_ptr<Client>& client, std::size_t shard,
                      std::string_view line) {
   const auto link = link_for(client, shard);
   if (link == nullptr) return false;
-  if (!send_line(link->fd, line)) {
+  if (!send_backend_line(link->fd, line)) {
     ::shutdown(link->fd, SHUT_RDWR);
     return false;
   }

@@ -27,15 +27,15 @@ std::uint64_t key_position(std::uint64_t fingerprint) {
 
 }  // namespace
 
-Shard_map::Shard_map(std::size_t shards, std::size_t replicas)
-    : shards_(shards), replicas_(replicas) {
+Shard_map::Shard_map(std::size_t shards, std::size_t ring_points)
+    : shards_(shards), ring_points_(ring_points) {
   QUEST_EXPECTS(shards >= 1, "shard map needs at least one shard");
-  QUEST_EXPECTS(replicas >= 1, "shard map needs at least one replica");
-  ring_.reserve(shards * replicas);
+  QUEST_EXPECTS(ring_points >= 1, "shard map needs at least one ring point");
+  ring_.reserve(shards * ring_points);
   for (std::size_t shard = 0; shard < shards; ++shard) {
-    for (std::size_t replica = 0; replica < replicas; ++replica) {
-      ring_.push_back(Point{ring_point(shard, replica),
-                            static_cast<std::uint32_t>(shard)});
+    for (std::size_t point = 0; point < ring_points; ++point) {
+      ring_.push_back(
+          Point{ring_point(shard, point), static_cast<std::uint32_t>(shard)});
     }
   }
   std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
@@ -54,6 +54,36 @@ std::size_t Shard_map::shard_of(std::uint64_t fingerprint) const noexcept {
         return point.position < key;
       });
   return successor != ring_.end() ? successor->shard : ring_.front().shard;
+}
+
+std::vector<std::size_t> Shard_map::replicas(std::uint64_t fingerprint,
+                                             std::size_t count) const {
+  std::vector<std::size_t> owners;
+  if (count == 0) return owners;
+  owners.reserve(std::min(count, shards_));
+  const std::uint64_t position = key_position(fingerprint);
+  const auto successor = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Point& point, std::uint64_t key) {
+        return point.position < key;
+      });
+  // Walk the whole ring once, wrapping at the top; every point visits its
+  // shard in the same order shard_of would, so owners.front() is the
+  // shard_of owner and later entries are the next distinct shards along
+  // the walk.
+  const std::size_t start =
+      successor != ring_.end()
+          ? static_cast<std::size_t>(successor - ring_.begin())
+          : 0;
+  for (std::size_t step = 0;
+       step < ring_.size() && owners.size() < std::min(count, shards_);
+       ++step) {
+    const std::size_t shard = ring_[(start + step) % ring_.size()].shard;
+    if (std::find(owners.begin(), owners.end(), shard) == owners.end()) {
+      owners.push_back(shard);
+    }
+  }
+  return owners;
 }
 
 }  // namespace quest::store

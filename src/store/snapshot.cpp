@@ -16,70 +16,11 @@
 #include "quest/io/instance_io.hpp"
 #include "quest/io/json.hpp"
 #include "quest/model/cost_model.hpp"
+#include "quest/store/jsonl.hpp"
 
 namespace quest::store {
 
 namespace {
-
-/// Renders a record line: dump the payload, checksum those exact bytes,
-/// then re-dump with "crc" appended last. The loader strips the trailing
-/// "crc" field and re-hashes, so writer and loader agree on the covered
-/// bytes by construction.
-std::string sealed_line(io::Json record) {
-  const std::uint64_t crc = snapshot_checksum(record.dump());
-  record.set("crc", io::Json(hex64(crc)));
-  return record.dump();
-}
-
-/// The payload a record's crc covers: the record minus its "crc" field.
-/// Returns false when there is no "crc" field to strip.
-bool unsealed_payload(const io::Json& record, std::string& payload,
-                      std::uint64_t& stored_crc) {
-  if (!record.is_object()) return false;
-  const io::Json* crc = record.find("crc");
-  if (crc == nullptr || !crc->is_string() || crc->as_string().size() != 16) {
-    return false;
-  }
-  std::uint64_t parsed = 0;
-  for (const char c : crc->as_string()) {
-    int digit = 0;
-    if (c >= '0' && c <= '9') {
-      digit = c - '0';
-    } else if (c >= 'a' && c <= 'f') {
-      digit = c - 'a' + 10;
-    } else {
-      return false;
-    }
-    parsed = (parsed << 4) | static_cast<std::uint64_t>(digit);
-  }
-  stored_crc = parsed;
-  io::Json stripped;
-  for (const auto& [key, value] : record.as_object()) {
-    if (key == "crc") continue;
-    stripped.set(key, value);
-  }
-  payload = stripped.dump();
-  return true;
-}
-
-/// Strict 16-digit lower-case hex (the hex64 wire form) -> u64.
-bool parse_hex64(const std::string& text, std::uint64_t& value) {
-  if (text.size() != 16) return false;
-  std::uint64_t parsed = 0;
-  for (const char c : text) {
-    int digit = 0;
-    if (c >= '0' && c <= '9') {
-      digit = c - '0';
-    } else if (c >= 'a' && c <= 'f') {
-      digit = c - 'a' + 10;
-    } else {
-      return false;
-    }
-    parsed = (parsed << 4) | static_cast<std::uint64_t>(digit);
-  }
-  value = parsed;
-  return true;
-}
 
 const char* const k_termination_names[] = {
     "optimal", "completed", "budget-exhausted", "cancelled",
@@ -193,14 +134,9 @@ bool get_hex64(const io::Json& record, std::string_view key,
 }  // namespace
 
 std::uint64_t snapshot_checksum(std::string_view text) {
-  // FNV-1a over raw bytes (common/hash.hpp folds 8-byte words; records
-  // are text, so the byte-wise classic form is the natural fit here).
-  std::uint64_t state = 0xcbf29ce484222325ull;
-  for (const char c : text) {
-    state ^= static_cast<unsigned char>(c);
-    state *= 0x100000001b3ull;
-  }
-  return state;
+  // One checksum for every JSONL format (snapshot, registration
+  // journal): the shared store/jsonl.hpp implementation.
+  return jsonl_checksum(text);
 }
 
 bool model_key_reproducible(const std::string& model_key, std::size_t n) {
@@ -266,12 +202,7 @@ Write_report write_snapshot(const std::string& path,
 
   // Atomic rename-into-place: a crash between write and rename leaves
   // the previous snapshot intact; readers never see a torn file.
-  const std::string temp = path + ".tmp";
-  io::write_file(temp, contents);
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    throw Parse_error("cannot rename snapshot into place: " + path);
-  }
+  atomic_write_file(path, contents);
   report.bytes = contents.size();
   return report;
 }
@@ -293,21 +224,9 @@ Load_report load_snapshot(const std::string& path,
     lines.push_back(std::move(line));
   }
 
-  // A record is admissible only if it parses, checksums, and re-derives
-  // (fingerprint, model key, plan shape) under this build. This lambda
-  // covers the parse + checksum stage shared by header and records.
-  const auto checked_record = [](const std::string& text,
-                                 io::Json& record) -> bool {
-    try {
-      record = io::Json::parse(text);
-    } catch (const Error&) {
-      return false;  // truncated or corrupt JSON
-    }
-    std::string payload;
-    std::uint64_t stored_crc = 0;
-    if (!unsealed_payload(record, payload, stored_crc)) return false;
-    return snapshot_checksum(payload) == stored_crc;
-  };
+  // A record is admissible only if it parses, checksums (the shared
+  // store/jsonl.hpp checked_record covers that stage), and re-derives
+  // (fingerprint, model key, plan shape) under this build.
 
   // Header: anything less than a bit-exact, current-version header
   // refuses the entire file, record by record.

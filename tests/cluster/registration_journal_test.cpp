@@ -1,0 +1,209 @@
+// Registration_journal: record/replace/replay semantics, persistence
+// round trips through the sealed-JSONL file format, bounded compaction,
+// and the paranoid load path — a record whose checksum, shape, or
+// embedded register line fails verification is refused, never replayed
+// (replaying a mis-keyed registration would route repairs to the wrong
+// shard).
+
+#include "quest/cluster/registration_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "quest/io/fingerprint.hpp"
+#include "quest/io/instance_io.hpp"
+#include "quest/io/json.hpp"
+#include "support/helpers.hpp"
+
+namespace quest {
+namespace {
+
+using cluster::Journal_options;
+using cluster::Registration_journal;
+
+struct Temp_path {
+  std::string path;
+  explicit Temp_path(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~Temp_path() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+};
+
+/// A real register line (the journal's load path re-parses and
+/// re-fingerprints it, so a hand-faked line would be refused).
+struct Registration {
+  std::uint64_t fingerprint;
+  std::string name;
+  std::string line;
+};
+
+Registration make_registration(const std::string& name, std::uint64_t seed) {
+  const model::Instance instance = test::selective_instance(5, seed);
+  Registration out;
+  out.fingerprint = io::fingerprint(instance);
+  out.name = name;
+  out.line = "{\"op\":\"register\",\"name\":\"" + name +
+             "\",\"instance\":" + io::to_json(instance).dump() + "}";
+  return out;
+}
+
+TEST(Registration_journal_test, RecordsReplaceAndReplayInOrder) {
+  Registration_journal journal(Journal_options{});  // in-memory
+  const auto a = make_registration("a", 1);
+  const auto b = make_registration("b", 2);
+  journal.record(a.fingerprint, a.name, a.line);
+  journal.record(b.fingerprint, b.name, b.line);
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.line_for(a.fingerprint), a.line);
+  EXPECT_EQ(journal.line_for(b.fingerprint), b.line);
+  EXPECT_EQ(journal.line_for(0xdeadbeef), "");
+
+  // Re-recording the same fingerprint replaces, it does not grow.
+  journal.record(a.fingerprint, "a-renamed", a.line);
+  EXPECT_EQ(journal.size(), 2u);
+
+  const auto entries = journal.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // Replay order is insertion order (oldest first).
+  EXPECT_EQ(entries[0].fingerprint, a.fingerprint);
+  EXPECT_EQ(entries[0].name, "a-renamed");
+  EXPECT_EQ(entries[1].fingerprint, b.fingerprint);
+}
+
+TEST(Registration_journal_test, PersistsAcrossReopen) {
+  Temp_path temp("quest_journal_roundtrip");
+  const auto a = make_registration("a", 3);
+  const auto b = make_registration("b", 4);
+  {
+    Registration_journal journal(Journal_options{temp.path, 64});
+    journal.record(a.fingerprint, a.name, a.line);
+    journal.record(b.fingerprint, b.name, b.line);
+    EXPECT_EQ(journal.io_failures(), 0u);
+  }
+  Registration_journal reopened(Journal_options{temp.path, 64});
+  EXPECT_TRUE(reopened.load_report().file_found);
+  EXPECT_TRUE(reopened.load_report().header_ok);
+  EXPECT_EQ(reopened.load_report().entries_loaded, 2u);
+  EXPECT_EQ(reopened.load_report().stale_refused, 0u);
+  EXPECT_EQ(reopened.line_for(a.fingerprint), a.line);
+  EXPECT_EQ(reopened.line_for(b.fingerprint), b.line);
+}
+
+TEST(Registration_journal_test, CompactsPastTheBound) {
+  Temp_path temp("quest_journal_compact");
+  const auto a = make_registration("a", 5);
+  Registration_journal journal(Journal_options{temp.path, 4});
+  // 12 re-registrations of one fingerprint: the file would accumulate 12
+  // appended records, but the bound forces compaction down to the single
+  // live one.
+  for (int i = 0; i < 12; ++i) {
+    journal.record(a.fingerprint, a.name, a.line);
+  }
+  EXPECT_EQ(journal.size(), 1u);
+
+  std::ifstream in(temp.path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  // Header plus at most max_records data lines survive on disk.
+  EXPECT_LE(lines.size(), 1u + 4u);
+  EXPECT_GE(lines.size(), 2u);
+}
+
+TEST(Registration_journal_test, LiveSetIsBounded) {
+  Registration_journal journal(Journal_options{"", 2});
+  const auto a = make_registration("a", 6);
+  const auto b = make_registration("b", 7);
+  const auto c = make_registration("c", 8);
+  journal.record(a.fingerprint, a.name, a.line);
+  journal.record(b.fingerprint, b.name, b.line);
+  journal.record(c.fingerprint, c.name, c.line);
+  // Oldest entry evicted: the journal is a bounded repair buffer.
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(journal.line_for(a.fingerprint), "");
+  EXPECT_EQ(journal.line_for(c.fingerprint), c.line);
+}
+
+TEST(Registration_journal_test, CorruptRecordsAreRefusedNotReplayed) {
+  Temp_path temp("quest_journal_corrupt");
+  const auto a = make_registration("a", 9);
+  const auto b = make_registration("b", 10);
+  {
+    Registration_journal journal(Journal_options{temp.path, 64});
+    journal.record(a.fingerprint, a.name, a.line);
+    journal.record(b.fingerprint, b.name, b.line);
+  }
+  // Flip a byte inside the second record's payload.
+  std::ifstream in(temp.path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  const auto pos = contents.rfind("\"name\":\"b\"");
+  ASSERT_NE(pos, std::string::npos);
+  contents[pos + 8] = 'x';
+  std::ofstream out(temp.path, std::ios::trunc);
+  out << contents;
+  out.close();
+
+  Registration_journal reopened(Journal_options{temp.path, 64});
+  EXPECT_TRUE(reopened.load_report().header_ok);
+  EXPECT_EQ(reopened.load_report().entries_loaded, 1u);
+  EXPECT_EQ(reopened.load_report().stale_refused, 1u);
+  EXPECT_EQ(reopened.line_for(a.fingerprint), a.line);
+  EXPECT_EQ(reopened.line_for(b.fingerprint), "");
+}
+
+TEST(Registration_journal_test, MismatchedFingerprintIsRefused) {
+  Temp_path temp("quest_journal_miskey");
+  const auto a = make_registration("a", 11);
+  {
+    // Record under a *wrong* fingerprint: the line itself is valid and
+    // checksums fine, but on load it re-fingerprints to a different
+    // value — exactly the mis-keyed case replay must refuse.
+    Registration_journal journal(Journal_options{temp.path, 64});
+    journal.record(a.fingerprint ^ 1, a.name, a.line);
+  }
+  Registration_journal reopened(Journal_options{temp.path, 64});
+  EXPECT_EQ(reopened.load_report().entries_loaded, 0u);
+  EXPECT_EQ(reopened.load_report().stale_refused, 1u);
+}
+
+TEST(Registration_journal_test, BadHeaderRefusesTheWholeFile) {
+  Temp_path temp("quest_journal_header");
+  {
+    std::ofstream out(temp.path);
+    out << "{\"not_a_journal\":true}\n";
+  }
+  Registration_journal journal(Journal_options{temp.path, 64});
+  EXPECT_TRUE(journal.load_report().file_found);
+  EXPECT_FALSE(journal.load_report().header_ok);
+  EXPECT_EQ(journal.size(), 0u);
+
+  // Recording into the refused file starts it over with a valid header.
+  const auto a = make_registration("a", 12);
+  journal.record(a.fingerprint, a.name, a.line);
+  Registration_journal reopened(Journal_options{temp.path, 64});
+  EXPECT_TRUE(reopened.load_report().header_ok);
+  EXPECT_EQ(reopened.load_report().entries_loaded, 1u);
+}
+
+TEST(Registration_journal_test, MissingFileIsACleanColdStart) {
+  Temp_path temp("quest_journal_cold");
+  Registration_journal journal(Journal_options{temp.path, 64});
+  EXPECT_FALSE(journal.load_report().file_found);
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.io_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace quest

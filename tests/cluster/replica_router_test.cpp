@@ -1,0 +1,74 @@
+// Replica_router construction contracts and counter surface. The full
+// failure/repair behavior (kill a backend under load, failover, journal
+// replay on rejoin) is process-level and lives in the scripted
+// serve/replication_smoke ctest (scripts/loadgen.py --replicas); these
+// tests pin what can be checked in-process: option validation and the
+// zeroed counter surface the merged stats event reads from.
+
+#include "quest/cluster/replica_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "quest/common/error.hpp"
+#include "quest/serve/transport.hpp"
+
+namespace quest {
+namespace {
+
+using cluster::Replica_options;
+using cluster::Replica_router;
+
+Replica_options three_backends() {
+  Replica_options options;
+  // Port 1: nothing listens there — constructing a router never dials
+  // (connections are on-demand), so unreachable backends are fine.
+  options.backends = {"127.0.0.1:1", "127.0.0.1:1", "127.0.0.1:1"};
+  options.replicas = 2;
+  // Keep the probe thread quiet for the test's lifetime.
+  options.probe_interval = std::chrono::minutes(1);
+  options.max_backoff = std::chrono::minutes(1);
+  return options;
+}
+
+TEST(Replica_router_test, ValidatesItsOptions) {
+  serve::Stdio_transport transport;
+
+  Replica_options no_backends = three_backends();
+  no_backends.backends.clear();
+  EXPECT_THROW(Replica_router(no_backends, transport), Error);
+
+  Replica_options zero_replicas = three_backends();
+  zero_replicas.replicas = 0;
+  EXPECT_THROW(Replica_router(zero_replicas, transport), Error);
+
+  Replica_options too_many = three_backends();
+  too_many.replicas = 4;  // more than the three backends
+  EXPECT_THROW(Replica_router(too_many, transport), Error);
+
+  Replica_options tiny_lines = three_backends();
+  tiny_lines.max_line_bytes = 1;
+  EXPECT_THROW(Replica_router(tiny_lines, transport), Error);
+}
+
+TEST(Replica_router_test, ConstructsWithFullReplication) {
+  serve::Stdio_transport transport;
+  Replica_options options = three_backends();
+  options.replicas = 3;  // R == K: every key everywhere
+  Replica_router router(options, transport);
+  EXPECT_EQ(router.replica_failovers(), 0u);
+  EXPECT_EQ(router.repairs(), 0u);
+  EXPECT_EQ(router.replica_lag(), 0u);
+}
+
+TEST(Replica_router_test, CountersStartAtZero) {
+  serve::Stdio_transport transport;
+  Replica_router router(three_backends(), transport);
+  EXPECT_EQ(router.replica_failovers(), 0u);
+  EXPECT_EQ(router.repairs(), 0u);
+  EXPECT_EQ(router.replica_lag(), 0u);
+}
+
+}  // namespace
+}  // namespace quest

@@ -226,6 +226,20 @@ TEST(Protocol_test, EventShapes) {
   EXPECT_EQ(overloaded.at("id").as_string(), "r7");
   EXPECT_EQ(overloaded.at("queue_depth").as_number(), 64.0);
   EXPECT_EQ(overloaded.at("queue_cap").as_number(), 64.0);
+
+  // The typed unknown-instance error: the code is a wire contract — the
+  // replicated router branches on it to trigger journal repair, so it
+  // must stay byte-stable.
+  const io::Json unknown = unknown_instance_event("prod", "r3");
+  EXPECT_EQ(unknown.at("event").as_string(), "error");
+  EXPECT_EQ(unknown.at("code").as_string(), "unknown-instance");
+  EXPECT_EQ(unknown.at("id").as_string(), "r3");
+  EXPECT_NE(unknown.at("message").as_string().find("prod"),
+            std::string::npos);
+  // The id is optional (observe/refit carry none) and omitted, not empty.
+  EXPECT_EQ(unknown_instance_event("prod").find("id"), nullptr);
+  EXPECT_EQ(unknown_instance_event("prod").at("code").as_string(),
+            "unknown-instance");
 }
 
 }  // namespace

@@ -489,6 +489,8 @@ TEST(Server_test, ErrorsBecomeEventsAndTheServerSurvives) {
   });
   EXPECT_NE(unknown.at("message").as_string().find("unknown instance"),
             std::string::npos);
+  // Typed: the replicated router keys journal repair off this code.
+  EXPECT_EQ(unknown.at("code").as_string(), "unknown-instance");
 
   // Unknown engine spec fails at admission.
   server.handle(register_op("prod", test::selective_instance(8, 23)));

@@ -1,0 +1,120 @@
+// The shared JSONL record discipline (quest/store/jsonl.hpp): seal /
+// verify round trips, tamper refusal, the strict hex64 parser, and the
+// atomic-replace write path. Both the snapshot format and the cluster
+// layer's registration journal sit on these helpers, so a semantics
+// change here is a durability-format change — these tests pin it.
+
+#include "quest/store/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "quest/common/error.hpp"
+#include "quest/io/json.hpp"
+
+namespace quest {
+namespace {
+
+/// A temp path that cleans up after itself.
+struct Temp_path {
+  std::string path;
+  explicit Temp_path(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~Temp_path() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+};
+
+io::Json sample_record() {
+  io::Json record;
+  record.set("type", "register");
+  record.set("name", "prod");
+  record.set("weight", 2.5);
+  return record;
+}
+
+TEST(Jsonl_test, SealedLinesVerifyAndRoundTrip) {
+  const std::string line = store::sealed_line(sample_record());
+  io::Json loaded;
+  ASSERT_TRUE(store::checked_record(line, loaded));
+  EXPECT_EQ(loaded.at("type").as_string(), "register");
+  EXPECT_EQ(loaded.at("name").as_string(), "prod");
+  EXPECT_EQ(loaded.at("weight").as_number(), 2.5);
+  // The crc field is part of the parsed record (hex64 form).
+  EXPECT_EQ(loaded.at("crc").as_string().size(), 16u);
+}
+
+TEST(Jsonl_test, ChecksumIsByteWiseFnv1a) {
+  // The FNV-1a offset basis: hashing nothing yields it exactly. Pinned
+  // so the on-disk checksum can never silently change algorithm.
+  EXPECT_EQ(store::jsonl_checksum(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(store::jsonl_checksum("a"), store::jsonl_checksum("b"));
+}
+
+TEST(Jsonl_test, TamperedRecordsAreRefused) {
+  const std::string line = store::sealed_line(sample_record());
+  io::Json ignored;
+
+  // Flip one payload byte: "prod" -> "prad".
+  std::string tampered = line;
+  tampered.replace(tampered.find("prod"), 4, "prad");
+  EXPECT_FALSE(store::checked_record(tampered, ignored));
+
+  // Flip one crc digit.
+  std::string bad_crc = line;
+  const auto crc_pos = bad_crc.rfind("\"crc\":\"") + 7;
+  bad_crc[crc_pos] = bad_crc[crc_pos] == '0' ? '1' : '0';
+  EXPECT_FALSE(store::checked_record(bad_crc, ignored));
+
+  // Truncation, non-objects, and records with no crc at all.
+  EXPECT_FALSE(store::checked_record(line.substr(0, line.size() / 2),
+                                     ignored));
+  EXPECT_FALSE(store::checked_record("[1,2,3]", ignored));
+  EXPECT_FALSE(store::checked_record(sample_record().dump(), ignored));
+  EXPECT_FALSE(store::checked_record("", ignored));
+}
+
+TEST(Jsonl_test, ParseHex64IsStrict) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(store::parse_hex64("00000000000000ff", value));
+  EXPECT_EQ(value, 0xffu);
+  EXPECT_TRUE(store::parse_hex64("cbf29ce484222325", value));
+  EXPECT_EQ(value, 0xcbf29ce484222325ull);
+
+  // Wrong width, upper case, stray characters: all refused.
+  EXPECT_FALSE(store::parse_hex64("ff", value));
+  EXPECT_FALSE(store::parse_hex64("00000000000000FF", value));
+  EXPECT_FALSE(store::parse_hex64("00000000000000fg", value));
+  EXPECT_FALSE(store::parse_hex64("00000000000000ff0", value));
+  EXPECT_FALSE(store::parse_hex64("", value));
+}
+
+TEST(Jsonl_test, AtomicWriteReplacesWholeFiles) {
+  Temp_path temp("quest_jsonl_atomic_test");
+  store::atomic_write_file(temp.path, "first\n");
+  store::atomic_write_file(temp.path, "second\n");
+
+  std::ifstream in(temp.path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "second\n");
+  // The staging file never survives a successful replace.
+  std::ifstream staging(temp.path + ".tmp");
+  EXPECT_FALSE(staging.is_open());
+}
+
+TEST(Jsonl_test, AtomicWriteFailureThrows) {
+  EXPECT_THROW(
+      store::atomic_write_file("/nonexistent-dir/quest_jsonl_test", "x"),
+      Error);
+}
+
+}  // namespace
+}  // namespace quest

@@ -1,20 +1,30 @@
 // Shard_map: deterministic cross-process ownership, bounded imbalance at
 // smoke-scale fleets, and the consistent-hashing contract — growing K to
-// K+1 only moves keys onto the new shard, never between old ones.
+// K+1 only moves keys onto the new shard, never between old ones. The
+// replica walk (replicas(fingerprint, R)) is checked property-style: it
+// must inherit both the determinism and the movement bound, since the
+// replicated router's repair logic assumes replica sets never reshuffle
+// survivors on fleet growth.
 
 #include "quest/store/shard_map.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
 #include "quest/common/error.hpp"
 #include "quest/common/hash.hpp"
+#include "support/property.hpp"
 
 namespace quest {
 namespace {
 
 using store::Shard_map;
+using test::check_property;
+using test::no_shrink;
+using test::Property_config;
 
 std::vector<std::uint64_t> sample_keys(std::size_t count) {
   std::vector<std::uint64_t> keys;
@@ -39,7 +49,7 @@ TEST(Shard_map_test, OwnershipIsDeterministicAndInRange) {
     EXPECT_EQ(shard, b.shard_of(key));
   }
   EXPECT_EQ(a.shards(), 4u);
-  EXPECT_EQ(a.replicas(), 64u);
+  EXPECT_EQ(a.ring_points(), 64u);
 }
 
 TEST(Shard_map_test, SingleShardOwnsEverything) {
@@ -82,11 +92,11 @@ TEST(Shard_map_test, GrowthOnlyMovesKeysToTheNewShard) {
   EXPECT_LT(moved, keys.size() / 2);
 }
 
-TEST(Shard_map_test, MoreReplicasSmoothTheSplit) {
-  // Not a statistical assertion — just that replica count is honored
-  // and alternate values still produce a total mapping.
+TEST(Shard_map_test, MoreRingPointsSmoothTheSplit) {
+  // Not a statistical assertion — just that the ring-point count is
+  // honored and alternate values still produce a total mapping.
   const Shard_map map(3, 128);
-  EXPECT_EQ(map.replicas(), 128u);
+  EXPECT_EQ(map.ring_points(), 128u);
   for (const std::uint64_t key : sample_keys(64)) {
     EXPECT_LT(map.shard_of(key), 3u);
   }
@@ -95,6 +105,107 @@ TEST(Shard_map_test, MoreReplicasSmoothTheSplit) {
 TEST(Shard_map_test, RejectsEmptyConfigurations) {
   EXPECT_THROW(Shard_map(0), Error);
   EXPECT_THROW(Shard_map(2, 0), Error);
+}
+
+// ---- replica-walk properties ------------------------------------------
+
+/// One generated replica-set case: a fleet size, a replication factor
+/// within it, and a fingerprint.
+struct Replica_case {
+  std::size_t shards;
+  std::size_t count;
+  std::uint64_t fingerprint;
+};
+
+Replica_case gen_replica_case(Rng& rng) {
+  Replica_case value;
+  value.shards = 1 + rng.uniform_int(std::uint64_t{8});
+  value.count = 1 + rng.uniform_int(static_cast<std::uint64_t>(value.shards));
+  value.fingerprint = rng();
+  return value;
+}
+
+TEST(Shard_map_property, ReplicasAreDistinctInRangeAndExactlyR) {
+  check_property<Replica_case>(
+      "replicas(fp, R) returns R distinct shards whenever K >= R", {},
+      gen_replica_case, no_shrink<Replica_case>,
+      [](const Replica_case& v) {
+        const Shard_map map(v.shards);
+        const auto owners = map.replicas(v.fingerprint, v.count);
+        const std::set<std::size_t> distinct(owners.begin(), owners.end());
+        const bool in_range = std::all_of(
+            owners.begin(), owners.end(),
+            [&](std::size_t shard) { return shard < v.shards; });
+        return QUEST_PROP(owners.size() == v.count &&
+                          distinct.size() == owners.size() && in_range)
+               << "K = " << v.shards << ", R = " << v.count << ", fp = "
+               << v.fingerprint << ", got " << owners.size() << " owners ("
+               << distinct.size() << " distinct)";
+      });
+}
+
+TEST(Shard_map_property, ReplicasAreDeterministicAcrossProcesses) {
+  check_property<Replica_case>(
+      "independently built maps agree on every replica set", {},
+      gen_replica_case, no_shrink<Replica_case>,
+      [](const Replica_case& v) {
+        // Two maps built from scratch stand in for a router restart (or a
+        // second router): byte-for-byte agreement, order included.
+        const Shard_map a(v.shards), b(v.shards);
+        const auto lhs = a.replicas(v.fingerprint, v.count);
+        const auto rhs = b.replicas(v.fingerprint, v.count);
+        return QUEST_PROP(lhs == rhs)
+               << "K = " << v.shards << ", R = " << v.count
+               << ", fp = " << v.fingerprint;
+      });
+}
+
+TEST(Shard_map_property, PrimaryReplicaIsShardOf) {
+  check_property<Replica_case>(
+      "replicas(fp, 1) is exactly {shard_of(fp)}", {}, gen_replica_case,
+      no_shrink<Replica_case>, [](const Replica_case& v) {
+        const Shard_map map(v.shards);
+        const auto owners = map.replicas(v.fingerprint, 1);
+        return QUEST_PROP(owners.size() == 1 &&
+                          owners.front() == map.shard_of(v.fingerprint))
+               << "K = " << v.shards << ", fp = " << v.fingerprint;
+      });
+}
+
+TEST(Shard_map_property, GrowthOnlyInsertsTheNewShardIntoReplicaSets) {
+  check_property<Replica_case>(
+      "K -> K+1 growth only inserts the new shard; survivors keep order",
+      {}, gen_replica_case, no_shrink<Replica_case>,
+      [](const Replica_case& v) {
+        const Shard_map before(v.shards), after(v.shards + 1);
+        const auto old_set = before.replicas(v.fingerprint, v.count);
+        const auto new_set = after.replicas(v.fingerprint, v.count);
+
+        // Any member of the new set that is not the new shard must come
+        // from the old set, in the old relative order — the new shard may
+        // insert itself (displacing the tail) but never reshuffle
+        // survivors. That is what lets the replicated router grow a
+        // fleet without invalidating every replica placement at once.
+        std::vector<std::size_t> survivors;
+        for (const std::size_t shard : new_set) {
+          if (shard != v.shards) survivors.push_back(shard);
+        }
+        std::size_t cursor = 0;
+        bool subsequence = true;
+        for (const std::size_t shard : survivors) {
+          while (cursor < old_set.size() && old_set[cursor] != shard) {
+            ++cursor;
+          }
+          if (cursor == old_set.size()) {
+            subsequence = false;
+            break;
+          }
+          ++cursor;
+        }
+        return QUEST_PROP(subsequence)
+               << "K = " << v.shards << ", R = " << v.count
+               << ", fp = " << v.fingerprint;
+      });
 }
 
 }  // namespace

@@ -14,18 +14,30 @@
 // Clients connect to the router exactly as they would to a single
 // quest_serve: register / optimize / optimize_batch / cancel flow to the
 // owning shard, stats fans out and comes back as one merged event (with
-// "shards" / "shards_live"), shutdown takes the whole fleet down. A dead
-// backend sheds its ops with the protocol's typed "overloaded" error and
-// is reconnected lazily once it returns — a restarted backend warm boots
-// from its snapshot and picks up where it left off.
+// "shards" / "shards_live"), shutdown takes the whole fleet down.
+//
+// With the default --replicas 1 each key lives on exactly one shard: a
+// dead backend sheds its ops with the protocol's typed "overloaded"
+// error and is reconnected lazily once it returns — byte-identical to
+// the router's pre-replication behavior. With --replicas R > 1 the
+// cluster layer takes over (quest/cluster/replica_router.hpp): every key
+// lives on R distinct shards, registers fan out, optimizes fail over to
+// the next live replica on backend death or shed, a health prober tracks
+// the fleet, and a registration journal (--journal) heals rejoining
+// backends by replay. The merged stats event then additionally carries
+// "replicas" / "shards_degraded" / "replica_failovers" / "repairs" /
+// "replica_lag".
 //
 // The first stdout line is {"event":"listening","port":N} (N is the
 // bound port — useful with --tcp-port 0).
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "quest/cluster/replica_router.hpp"
 #include "quest/common/cli.hpp"
 #include "quest/io/json.hpp"
 #include "quest/serve/tcp_transport.hpp"
@@ -46,9 +58,22 @@ int main(int argc, char** argv) {
     auto& bind_address =
         cli.add_string("bind", "127.0.0.1", "TCP listen address");
     auto& replicas = cli.add_int(
-        "replicas", 64,
+        "replicas", 1,
+        "replication factor: each key lives on this many distinct shards; "
+        "1 = plain sharding (one owner per key), >1 enables fan-out, "
+        "failover and journal-backed repair");
+    auto& ring_points = cli.add_int(
+        "ring-points", 64,
         "consistent-hash ring points per shard; more points = smoother "
         "load split, identical values on every router = identical routing");
+    auto& journal_path = cli.add_string(
+        "journal", "",
+        "registration journal file for replica repair (only with "
+        "--replicas > 1; empty = in-memory only)");
+    auto& probe_interval_ms = cli.add_int(
+        "probe-interval-ms", 500,
+        "backend health probe cadence in milliseconds (only with "
+        "--replicas > 1; dead shards back off exponentially from here)");
     auto& max_connections = cli.add_int(
         "max-connections", 1024,
         "client connection limit; excess connects are refused with a "
@@ -86,7 +111,16 @@ int main(int argc, char** argv) {
     if (tcp_port.value < 0 || tcp_port.value > 65535) {
       throw Parse_error("--tcp-port must be in [0, 65535]");
     }
-    if (replicas.value < 1) throw Parse_error("--replicas must be >= 1");
+    if (replicas.value < 1 ||
+        static_cast<std::size_t>(replicas.value) > backend_list.size()) {
+      throw Parse_error("--replicas must be in [1, number of backends]");
+    }
+    if (ring_points.value < 1) {
+      throw Parse_error("--ring-points must be >= 1");
+    }
+    if (probe_interval_ms.value < 1) {
+      throw Parse_error("--probe-interval-ms must be >= 1");
+    }
     if (max_connections.value < 1) {
       throw Parse_error("--max-connections must be >= 1");
     }
@@ -110,11 +144,28 @@ int main(int argc, char** argv) {
     listening.set("port", io::Json(transport.port()));
     std::cout << listening.dump() << std::endl;
 
-    store::Router_options options;
+    if (replicas.value == 1) {
+      // Plain sharding: the pre-replication router, byte-for-byte.
+      store::Router_options options;
+      options.backends = std::move(backend_list);
+      options.ring_points = static_cast<std::size_t>(ring_points.value);
+      options.max_line_bytes = static_cast<std::size_t>(max_line_bytes.value);
+      store::Router router(std::move(options), transport);
+      router.serve();
+      return 0;
+    }
+
+    cluster::Replica_options options;
     options.backends = std::move(backend_list);
     options.replicas = static_cast<std::size_t>(replicas.value);
+    options.ring_points = static_cast<std::size_t>(ring_points.value);
     options.max_line_bytes = static_cast<std::size_t>(max_line_bytes.value);
-    store::Router router(std::move(options), transport);
+    options.journal.path = journal_path.value;
+    options.probe_interval =
+        std::chrono::milliseconds(probe_interval_ms.value);
+    options.max_backoff = std::chrono::milliseconds(
+        std::max(probe_interval_ms.value * 16, probe_interval_ms.value));
+    cluster::Replica_router router(std::move(options), transport);
     router.serve();
     return 0;
   } catch (const quest::Parse_error& error) {
